@@ -1,0 +1,35 @@
+//! EXP-10 criterion bench: compression time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqc_core::theorem1::Theorem1Structure;
+use cqc_join::baselines::MaterializedView;
+use cqc_storage::Database;
+use cqc_workload::{graphs, queries};
+use std::time::Duration;
+
+fn bench_build(c: &mut Criterion) {
+    let view = queries::triangle_self("bfb").unwrap();
+    let mut g = c.benchmark_group("build_triangle_bfb");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(4));
+    g.warm_up_time(Duration::from_millis(300));
+    for edges in [1000usize, 2000] {
+        let mut rng = cqc_workload::rng(7);
+        let mut db = Database::new();
+        db.add(graphs::friendship_graph(&mut rng, (edges / 5) as u64, edges, 1.0))
+            .unwrap();
+        let n = db.size() as f64;
+        g.bench_function(BenchmarkId::new("theorem1_sqrtN", edges), |b| {
+            b.iter(|| {
+                Theorem1Structure::build(&view, &db, &[0.5, 0.5, 0.5], n.sqrt()).unwrap()
+            })
+        });
+        g.bench_function(BenchmarkId::new("materialize", edges), |b| {
+            b.iter(|| MaterializedView::build(&view, &db).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

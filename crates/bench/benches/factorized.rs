@@ -1,0 +1,36 @@
+//! EXP-3 criterion bench: constant-delay factorized enumeration vs the
+//! materialized scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqc_factorized::FactorizedRepresentation;
+use cqc_join::baselines::MaterializedView;
+use cqc_storage::Database;
+use cqc_workload::queries;
+use std::time::Duration;
+
+fn bench_factorized(c: &mut Criterion) {
+    let mut rng = cqc_workload::rng(6);
+    let mut db = Database::new();
+    for i in 1..=3 {
+        db.add(cqc_workload::uniform_relation(&mut rng, &format!("R{i}"), 2, 1200, 60))
+            .unwrap();
+    }
+    let view = queries::star(3, "ffff").unwrap();
+    let f = FactorizedRepresentation::build_with_search(&view, &db).unwrap();
+    let m = MaterializedView::build(&view, &db).unwrap();
+
+    let mut g = c.benchmark_group("star3_full_enumeration");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(300));
+    g.bench_function(BenchmarkId::new("factorized", "full"), |b| {
+        b.iter(|| f.answer(&[]).unwrap().count())
+    });
+    g.bench_function(BenchmarkId::new("materialized", "full"), |b| {
+        b.iter(|| m.answer(&[]).unwrap().count())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_factorized);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! EXP-9 criterion bench: the Section 6 optimizers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqc_lp::covers::{min_fractional_edge_cover, rho_plus};
+use cqc_lp::fractional::{min_delay_cover, min_delay_cover_bisect};
+use cqc_workload::queries;
+use std::time::Duration;
+
+fn bench_lp(c: &mut Criterion) {
+    let views = vec![
+        ("triangle", queries::triangle_self("bfb").unwrap()),
+        ("star4", queries::star(4, "bbbbf").unwrap()),
+        ("lw4", queries::loomis_whitney(4, "bfff").unwrap()),
+        ("path5", queries::path(5, &queries::path_pattern(5)).unwrap()),
+    ];
+    let mut g = c.benchmark_group("lp_optimizers");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(200));
+    for (name, view) in &views {
+        let h = view.query().hypergraph();
+        let sizes = vec![1.0; h.num_edges()];
+        g.bench_function(BenchmarkId::new("rho_star", *name), |b| {
+            b.iter(|| min_fractional_edge_cover(&h, h.all_vars()).unwrap())
+        });
+        g.bench_function(BenchmarkId::new("min_delay_cover_cc", *name), |b| {
+            b.iter(|| min_delay_cover(&h, view.free_vars(), &sizes, 1.2).unwrap())
+        });
+        g.bench_function(BenchmarkId::new("min_delay_cover_bisect", *name), |b| {
+            b.iter(|| min_delay_cover_bisect(&h, view.free_vars(), &sizes, 1.2).unwrap())
+        });
+        g.bench_function(BenchmarkId::new("rho_plus", *name), |b| {
+            b.iter(|| rho_plus(&h, h.all_vars(), view.free_vars(), 0.25).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lp);
+criterion_main!(benches);

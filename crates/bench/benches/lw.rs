@@ -1,0 +1,50 @@
+//! EXP-4 criterion bench: Loomis-Whitney LW_3 access latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqc_core::theorem1::Theorem1Structure;
+use cqc_join::baselines::DirectView;
+use cqc_storage::Database;
+use cqc_workload::{queries, witness_requests};
+use std::time::Duration;
+
+fn bench_lw(c: &mut Criterion) {
+    let mut rng = cqc_workload::rng(4);
+    let mut db = Database::new();
+    for i in 1..=3 {
+        db.add(cqc_workload::uniform_relation(&mut rng, &format!("S{i}"), 2, 2500, 250))
+            .unwrap();
+    }
+    let n = db.size() as f64;
+    let view = queries::loomis_whitney(3, "bff").unwrap();
+    let requests = witness_requests(&mut rng, &view, &db, 64);
+
+    let dir = DirectView::build(&view, &db).unwrap();
+    let t1 = Theorem1Structure::build(&view, &db, &[0.5, 0.5, 0.5], n.sqrt()).unwrap();
+
+    let mut g = c.benchmark_group("lw3_bff_answer");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    g.bench_function(BenchmarkId::new("direct", "batch"), |b| {
+        b.iter(|| {
+            let mut k = 0usize;
+            for r in &requests {
+                k += dir.answer(r).unwrap().count();
+            }
+            k
+        })
+    });
+    g.bench_function(BenchmarkId::new("theorem1_sqrtN", "batch"), |b| {
+        b.iter(|| {
+            let mut k = 0usize;
+            for r in &requests {
+                k += t1.answer(r).unwrap().count();
+            }
+            k
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lw);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! EXP-7 criterion bench: path query, Theorem 1 vs Theorem 2 regimes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqc_core::theorem1::Theorem1Structure;
+use cqc_core::theorem2::Theorem2Structure;
+use cqc_decomp::TreeDecomposition;
+use cqc_query::{Var, VarSet};
+use cqc_storage::Database;
+use cqc_workload::{queries, witness_requests};
+use std::time::Duration;
+
+fn vs(vars: &[u32]) -> VarSet {
+    vars.iter().map(|&v| Var(v)).collect()
+}
+
+fn bench_path(c: &mut Criterion) {
+    let mut rng = cqc_workload::rng(3);
+    let mut db = Database::new();
+    for i in 1..=4 {
+        db.add(cqc_workload::uniform_relation(&mut rng, &format!("R{i}"), 2, 1500, 150))
+            .unwrap();
+    }
+    let view = queries::path(4, "bfffb").unwrap();
+    let requests = witness_requests(&mut rng, &view, &db, 64);
+
+    let td = TreeDecomposition::new(
+        vec![vs(&[0, 4]), vs(&[0, 1, 3, 4]), vs(&[1, 2, 3])],
+        vec![None, Some(0), Some(1)],
+    )
+    .unwrap();
+
+    let t1 = Theorem1Structure::build(&view, &db, &[1.0, 1.0, 1.0, 1.0], 16.0).unwrap();
+    let t2_zero = Theorem2Structure::build(&view, &db, &td, &[0.0; 3]).unwrap();
+    let t2_mixed = Theorem2Structure::build(&view, &db, &td, &[0.0, 0.3, 0.3]).unwrap();
+
+    let mut g = c.benchmark_group("path4_bfffb_answer");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    g.bench_function(BenchmarkId::new("theorem1", "tau16"), |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for r in &requests {
+                n += t1.answer(r).unwrap().count();
+            }
+            n
+        })
+    });
+    g.bench_function(BenchmarkId::new("theorem2", "delta0"), |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for r in &requests {
+                n += t2_zero.answer(r).unwrap().count();
+            }
+            n
+        })
+    });
+    g.bench_function(BenchmarkId::new("theorem2", "delta0.3"), |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for r in &requests {
+                n += t2_mixed.answer(r).unwrap().count();
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_path);
+criterion_main!(benches);

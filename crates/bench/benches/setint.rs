@@ -1,0 +1,52 @@
+//! EXP-6 criterion bench: set-intersection enumeration and disjointness
+//! probes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqc_core::theorem1::Theorem1Structure;
+use cqc_storage::Database;
+use cqc_workload::{gen, queries};
+use std::time::Duration;
+
+fn bench_setint(c: &mut Criterion) {
+    let mut rng = cqc_workload::rng(5);
+    let zipf = gen::Zipf::new(1200, 0.9);
+    let rel = gen::zipf_pairs(&mut rng, "R", 20_000, 500, &zipf);
+    let mut db = Database::new();
+    db.add(rel).unwrap();
+    let view = queries::set_intersection().unwrap();
+
+    let set_zipf = gen::Zipf::new(500, 0.8);
+    let requests: Vec<Vec<u64>> = (0..128)
+        .map(|_| vec![set_zipf.sample(&mut rng), set_zipf.sample(&mut rng)])
+        .collect();
+
+    let mut g = c.benchmark_group("set_intersection");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    for tau in [1.0f64, 16.0, 256.0] {
+        let s = Theorem1Structure::build(&view, &db, &[1.0, 1.0], tau).unwrap();
+        g.bench_function(BenchmarkId::new("enumerate", format!("tau{tau}")), |b| {
+            b.iter(|| {
+                let mut n = 0usize;
+                for r in &requests {
+                    n += s.answer(r).unwrap().count();
+                }
+                n
+            })
+        });
+        g.bench_function(BenchmarkId::new("disjointness", format!("tau{tau}")), |b| {
+            b.iter(|| {
+                let mut n = 0usize;
+                for r in &requests {
+                    n += usize::from(s.exists(r).unwrap());
+                }
+                n
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_setint);
+criterion_main!(benches);

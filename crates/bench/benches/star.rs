@@ -1,0 +1,39 @@
+//! EXP-5 criterion bench: star-join access with slack-aware covers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqc_core::theorem1::Theorem1Structure;
+use cqc_storage::Database;
+use cqc_workload::{queries, witness_requests};
+use std::time::Duration;
+
+fn bench_star(c: &mut Criterion) {
+    let mut rng = cqc_workload::rng(2);
+    let mut db = Database::new();
+    for i in 1..=3 {
+        db.add(cqc_workload::uniform_relation(&mut rng, &format!("R{i}"), 2, 3000, 300))
+            .unwrap();
+    }
+    let view = queries::star(3, "bbbf").unwrap();
+    let requests = witness_requests(&mut rng, &view, &db, 128);
+
+    let mut g = c.benchmark_group("star3_bbbf_answer");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    for tau in [1.0f64, 8.0, 64.0] {
+        let s = Theorem1Structure::build(&view, &db, &[1.0, 1.0, 1.0], tau).unwrap();
+        g.bench_function(BenchmarkId::new("theorem1", format!("tau{tau}")), |b| {
+            b.iter(|| {
+                let mut n = 0usize;
+                for r in &requests {
+                    n += s.answer(r).unwrap().count();
+                }
+                n
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_star);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Substrate micro-benchmarks: gallop, count probes, leapfrog joins.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqc_common::util::gallop;
+use cqc_join::leapfrog::{AtomInput, LeapfrogJoin, LevelConstraint};
+use cqc_storage::{Relation, SortedIndex};
+use cqc_workload::uniform_relation;
+use std::time::Duration;
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut rng = cqc_workload::rng(8);
+    let data: Vec<u64> = {
+        let mut v: Vec<u64> = (0..100_000u64).map(|i| i * 3).collect();
+        v.sort_unstable();
+        v
+    };
+    let rel: Relation = uniform_relation(&mut rng, "R", 2, 50_000, 5_000);
+    let s_rel: Relation = uniform_relation(&mut rng, "S", 2, 50_000, 5_000);
+    let ri = SortedIndex::build(&rel, &[0, 1]);
+    let si = SortedIndex::build(&s_rel, &[0, 1]);
+
+    let mut g = c.benchmark_group("substrate");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(200));
+
+    g.bench_function(BenchmarkId::new("gallop", "100k"), |b| {
+        b.iter(|| {
+            let mut pos = 0usize;
+            let mut acc = 0usize;
+            for key in (0..300_000u64).step_by(1111) {
+                pos = gallop(&data, pos, data.len(), key);
+                acc += pos;
+            }
+            acc
+        })
+    });
+    g.bench_function(BenchmarkId::new("count_probe", "50k rows"), |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for k in (0..5000u64).step_by(37) {
+                acc += ri.count(&[k], Some((100, 4000)));
+            }
+            acc
+        })
+    });
+    g.bench_function(BenchmarkId::new("leapfrog_2path", "50k x 50k"), |b| {
+        b.iter(|| {
+            let atoms = vec![
+                AtomInput::new(&ri, vec![0, 1]),
+                AtomInput::new(&si, vec![1, 2]),
+            ];
+            let mut j = LeapfrogJoin::new(atoms, 3, vec![LevelConstraint::Free; 3]);
+            let mut n = 0usize;
+            while j.next().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

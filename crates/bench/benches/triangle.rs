@@ -1,0 +1,70 @@
+//! EXP-1 criterion bench: per-request answer latency on the triangle view
+//! `V^bfb` across the space/delay continuum.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqc_core::theorem1::Theorem1Structure;
+use cqc_join::baselines::{DirectView, MaterializedView};
+use cqc_storage::Database;
+use cqc_workload::{graphs, queries, witness_requests};
+use std::time::Duration;
+
+fn bench_triangle(c: &mut Criterion) {
+    let mut rng = cqc_workload::rng(1);
+    let mut db = Database::new();
+    db.add(graphs::friendship_graph(&mut rng, 400, 4000, 1.0))
+        .unwrap();
+    let n = db.size() as f64;
+    let view = queries::triangle_self("bfb").unwrap();
+    let requests = witness_requests(&mut rng, &view, &db, 64);
+
+    let mat = MaterializedView::build(&view, &db).unwrap();
+    let dir = DirectView::build(&view, &db).unwrap();
+    let t1_sqrt = Theorem1Structure::build(&view, &db, &[0.5, 0.5, 0.5], n.sqrt()).unwrap();
+    let t1_small = Theorem1Structure::build(&view, &db, &[0.5, 0.5, 0.5], 4.0).unwrap();
+
+    let mut g = c.benchmark_group("triangle_bfb_answer");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+
+    g.bench_function(BenchmarkId::new("materialized", "batch64"), |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for r in &requests {
+                n += mat.answer(r).unwrap().count();
+            }
+            n
+        })
+    });
+    g.bench_function(BenchmarkId::new("direct", "batch64"), |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for r in &requests {
+                n += dir.answer(r).unwrap().count();
+            }
+            n
+        })
+    });
+    g.bench_function(BenchmarkId::new("theorem1_tau4", "batch64"), |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for r in &requests {
+                n += t1_small.answer(r).unwrap().count();
+            }
+            n
+        })
+    });
+    g.bench_function(BenchmarkId::new("theorem1_tau_sqrtN", "batch64"), |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for r in &requests {
+                n += t1_sqrt.answer(r).unwrap().count();
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_triangle);
+criterion_main!(benches);

@@ -1,0 +1,257 @@
+//! Measurement harness shared by the criterion benches and the
+//! `paper_eval` table generator.
+//!
+//! The paper's claims are about *shapes* — how space, delay and answer time
+//! scale with `|D|` and τ — so the harness measures:
+//!
+//! * per-tuple **delay percentiles** (max/p99/p50 inter-arrival gaps and
+//!   time-to-first), not just totals;
+//! * deterministic **space** via `HeapSize`;
+//! * machine-independent **work counters** from `cqc_common::metrics`;
+//! * log-log **slope fits** for scaling exponents.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cqc_common::metrics::{self, MetricsSnapshot};
+use cqc_common::value::Tuple;
+use std::time::Instant;
+
+/// Delay statistics of one enumeration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DelayStats {
+    /// Nanoseconds to the first tuple (or to exhaustion when empty).
+    pub first_ns: u64,
+    /// Maximum inter-tuple gap (includes the first tuple and the final
+    /// exhaustion step, per the paper's delay definition).
+    pub max_ns: u64,
+    /// Median gap.
+    pub p50_ns: u64,
+    /// 99th-percentile gap.
+    pub p99_ns: u64,
+    /// Total answer time.
+    pub total_ns: u64,
+    /// Number of tuples produced.
+    pub tuples: usize,
+    /// Work counters consumed during the enumeration.
+    pub work: MetricsSnapshot,
+}
+
+/// Drains `iter`, recording inter-arrival gaps.
+pub fn measure_delays(iter: impl Iterator<Item = Tuple>) -> DelayStats {
+    let before = metrics::snapshot();
+    let start = Instant::now();
+    let mut last = start;
+    let mut gaps: Vec<u64> = Vec::new();
+    let mut first_ns = 0u64;
+    let mut tuples = 0usize;
+    for _ in iter {
+        let now = Instant::now();
+        let gap = now.duration_since(last).as_nanos() as u64;
+        if tuples == 0 {
+            first_ns = gap;
+        }
+        gaps.push(gap);
+        last = now;
+        tuples += 1;
+    }
+    let end = Instant::now();
+    // The "done" notification also counts as a delay step (§2.3).
+    gaps.push(end.duration_since(last).as_nanos() as u64);
+    if tuples == 0 {
+        first_ns = gaps[0];
+    }
+    gaps.sort_unstable();
+    let q = |p: f64| -> u64 {
+        let idx = ((gaps.len() as f64 - 1.0) * p).round() as usize;
+        gaps[idx]
+    };
+    DelayStats {
+        first_ns,
+        max_ns: *gaps.last().unwrap(),
+        p50_ns: q(0.5),
+        p99_ns: q(0.99),
+        total_ns: end.duration_since(start).as_nanos() as u64,
+        tuples,
+        work: metrics::snapshot().delta_since(&before),
+    }
+}
+
+/// Aggregates delay stats across a batch of enumerations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchStats {
+    /// Worst observed inter-tuple gap across the batch.
+    pub max_delay_ns: u64,
+    /// Mean p99 gap.
+    pub mean_p99_ns: u64,
+    /// Total time across the batch.
+    pub total_ns: u64,
+    /// Total tuples across the batch.
+    pub tuples: usize,
+    /// Requests measured.
+    pub requests: usize,
+    /// Total trie seeks (machine-independent work).
+    pub trie_seeks: u64,
+}
+
+impl BatchStats {
+    /// Folds one enumeration into the batch.
+    pub fn add(&mut self, d: &DelayStats) {
+        self.max_delay_ns = self.max_delay_ns.max(d.max_ns);
+        self.mean_p99_ns += d.p99_ns;
+        self.total_ns += d.total_ns;
+        self.tuples += d.tuples;
+        self.requests += 1;
+        self.trie_seeks += d.work.trie_seeks;
+    }
+
+    /// Finishes aggregation (divides the mean fields).
+    pub fn finish(mut self) -> BatchStats {
+        if self.requests > 0 {
+            self.mean_p99_ns /= self.requests as u64;
+        }
+        self
+    }
+}
+
+/// Least-squares slope of `log y` against `log x` — the measured scaling
+/// exponent (e.g. a triangle-space series growing as `N^{1.5}` fits ≈ 1.5).
+pub fn fit_loglog_slope(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least two points for a slope");
+    let lx: Vec<f64> = xs.iter().map(|&x| x.max(1e-12).ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|&y| y.max(1e-12).ln()).collect();
+    let n = lx.len() as f64;
+    let mx = lx.iter().sum::<f64>() / n;
+    let my = ly.iter().sum::<f64>() / n;
+    let cov: f64 = lx.iter().zip(&ly).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let var: f64 = lx.iter().map(|x| (x - mx) * (x - mx)).sum();
+    cov / var
+}
+
+/// Renders a markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&headers.join(" | "));
+    out.push_str(" |\n|");
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+/// Human-readable byte counts.
+pub fn fmt_bytes(b: usize) -> String {
+    if b >= 10 * 1024 * 1024 {
+        format!("{:.1} MiB", b as f64 / (1024.0 * 1024.0))
+    } else if b >= 10 * 1024 {
+        format!("{:.1} KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// Human-readable nanoseconds.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 10_000_000 {
+        format!("{:.1} ms", ns as f64 / 1e6)
+    } else if ns >= 10_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// The benchmark scale, read from `CQC_SCALE` (`small` default, `full` for
+/// the EXPERIMENTS.md numbers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Quick smoke-test sizes.
+    Small,
+    /// The sizes used for EXPERIMENTS.md.
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from the environment.
+    pub fn from_env() -> Scale {
+        match std::env::var("CQC_SCALE").as_deref() {
+            Ok("full") => Scale::Full,
+            _ => Scale::Small,
+        }
+    }
+
+    /// Picks between the two size lists.
+    pub fn pick<T>(self, small: T, full: T) -> T {
+        match self {
+            Scale::Small => small,
+            Scale::Full => full,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_counts_tuples_and_gaps() {
+        let tuples: Vec<Tuple> = (0..10).map(|i| vec![i]).collect();
+        let d = measure_delays(tuples.into_iter());
+        assert_eq!(d.tuples, 10);
+        assert!(d.max_ns >= d.p99_ns && d.p99_ns >= d.p50_ns);
+        assert!(d.total_ns > 0);
+    }
+
+    #[test]
+    fn measure_empty_iterator() {
+        let d = measure_delays(std::iter::empty());
+        assert_eq!(d.tuples, 0);
+        assert!(d.first_ns > 0 || d.max_ns >= d.first_ns);
+    }
+
+    #[test]
+    fn slope_recovers_exponent() {
+        let xs = [100.0f64, 200.0, 400.0, 800.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x.powf(1.5)).collect();
+        let s = fit_loglog_slope(&xs, &ys);
+        assert!((s - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = markdown_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        assert!(t.contains("| a | b |"));
+        assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert!(fmt_bytes(50_000).contains("KiB"));
+        assert!(fmt_ns(50_000).contains("µs"));
+        assert_eq!(Scale::Small.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn batch_aggregation() {
+        let mut b = BatchStats::default();
+        let d = measure_delays((0..5).map(|i| vec![i]).collect::<Vec<_>>().into_iter());
+        b.add(&d);
+        b.add(&d);
+        let b = b.finish();
+        assert_eq!(b.requests, 2);
+        assert_eq!(b.tuples, 10);
+    }
+}

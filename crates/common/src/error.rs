@@ -1,0 +1,62 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+/// Errors produced anywhere in the `cqc` workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CqcError {
+    /// The query text could not be parsed.
+    Parse(String),
+    /// A query is structurally invalid for the requested operation
+    /// (e.g. a projection was supplied where a full CQ is required).
+    InvalidQuery(String),
+    /// A relation referenced by a query is missing from the database, or has
+    /// the wrong arity.
+    Schema(String),
+    /// A tree decomposition failed validation.
+    InvalidDecomposition(String),
+    /// A linear program was infeasible or unbounded.
+    Lp(String),
+    /// An access request does not conform to the view's access pattern.
+    InvalidAccess(String),
+    /// A configuration parameter is out of range.
+    Config(String),
+}
+
+impl fmt::Display for CqcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CqcError::Parse(m) => write!(f, "parse error: {m}"),
+            CqcError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
+            CqcError::Schema(m) => write!(f, "schema error: {m}"),
+            CqcError::InvalidDecomposition(m) => write!(f, "invalid decomposition: {m}"),
+            CqcError::Lp(m) => write!(f, "linear program error: {m}"),
+            CqcError::InvalidAccess(m) => write!(f, "invalid access request: {m}"),
+            CqcError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CqcError {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, CqcError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = CqcError::Parse("unexpected token".into());
+        assert_eq!(e.to_string(), "parse error: unexpected token");
+        let e = CqcError::Lp("infeasible".into());
+        assert!(e.to_string().contains("infeasible"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&CqcError::Config("tau must be >= 1".into()));
+    }
+}

@@ -1,0 +1,136 @@
+//! A fast, non-cryptographic hasher and hash-table aliases.
+//!
+//! The join and dictionary machinery keys hash tables by small integers and
+//! short integer tuples. The standard library's SipHash is designed to resist
+//! HashDoS attacks, which is irrelevant for an in-process data structure and
+//! measurably slow for these keys. This module implements the well-known
+//! FxHash mixing function (multiply by a large odd constant, rotate, xor) —
+//! the same scheme used by the Rust compiler — so the workspace does not need
+//! an external hashing dependency.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative mixing constant; the 64-bit golden-ratio constant used by
+/// FxHash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// An FxHash-style streaming hasher.
+///
+/// Not cryptographically secure and not HashDoS resistant — by design. Use
+/// only for in-memory tables whose keys are not attacker controlled.
+#[derive(Default, Clone, Copy)]
+pub struct FastHasher {
+    state: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// `HashMap` using [`FastHasher`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// `HashSet` using [`FastHasher`].
+pub type FastSet<T> = HashSet<T, BuildHasherDefault<FastHasher>>;
+
+/// Creates an empty [`FastMap`].
+#[inline]
+pub fn fast_map<K, V>() -> FastMap<K, V> {
+    FastMap::default()
+}
+
+/// Creates an empty [`FastSet`].
+#[inline]
+pub fn fast_set<T>() -> FastSet<T> {
+    FastSet::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FastMap<u64, u64> = fast_map();
+        for i in 0..1000u64 {
+            m.insert(i, i * 2);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&i), Some(&(i * 2)));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn tuple_keys_distinguish_order() {
+        let mut s: FastSet<Vec<u64>> = fast_set();
+        s.insert(vec![1, 2]);
+        s.insert(vec![2, 1]);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&vec![1, 2]));
+        assert!(!s.contains(&vec![1, 3]));
+    }
+
+    #[test]
+    fn hasher_is_deterministic() {
+        let mut a = FastHasher::default();
+        let mut b = FastHasher::default();
+        a.write(b"conjunctive query");
+        b.write(b"conjunctive query");
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FastHasher::default();
+        c.write(b"conjunctive querz");
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn partial_chunks_hash_differently() {
+        let mut a = FastHasher::default();
+        a.write(b"abc");
+        let mut b = FastHasher::default();
+        b.write(b"abd");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,31 @@
+//! Shared foundations for the `cqc` workspace.
+//!
+//! This crate hosts the small, dependency-free building blocks used by every
+//! other crate in the workspace:
+//!
+//! * [`value`] — the domain value and tuple types together with the
+//!   lexicographic comparisons that the paper's enumeration order is built on;
+//! * [`hash`] — a fast FxHash-style hasher plus [`FastMap`]/[`FastSet`]
+//!   aliases (the default SipHash tables are needlessly slow for the integer
+//!   keys used throughout the join machinery);
+//! * [`util`] — galloping (exponential) search and generic binary searches
+//!   over monotone predicates, the workhorses of the trie cursors and the
+//!   Lemma 3 split-point searches;
+//! * [`error`] — the workspace-wide error type;
+//! * [`metrics`] — cheap thread-local operation counters used by the
+//!   benchmark harness to report machine-independent work measures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod hash;
+pub mod heap;
+pub mod metrics;
+pub mod util;
+pub mod value;
+
+pub use error::{CqcError, Result};
+pub use hash::{FastHasher, FastMap, FastSet};
+pub use heap::HeapSize;
+pub use value::{lex_cmp, Tuple, Value};

@@ -1,0 +1,122 @@
+//! Thread-local operation counters.
+//!
+//! Wall-clock time is noisy and machine dependent; the benchmark harness
+//! additionally reports *work* counters (trie seeks, count-index probes,
+//! dictionary lookups) so that the scaling shapes claimed by the paper can be
+//! verified independently of the host. Counting uses plain `Cell`s in
+//! thread-local storage and costs a few nanoseconds per increment; the
+//! counters are always compiled in.
+
+use std::cell::Cell;
+
+thread_local! {
+    static TRIE_SEEKS: Cell<u64> = const { Cell::new(0) };
+    static COUNT_PROBES: Cell<u64> = const { Cell::new(0) };
+    static DICT_LOOKUPS: Cell<u64> = const { Cell::new(0) };
+    static TUPLES_OUTPUT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A snapshot of all counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Number of trie cursor seek/next operations performed by joins.
+    pub trie_seeks: u64,
+    /// Number of range-count probes against sorted indexes.
+    pub count_probes: u64,
+    /// Number of heavy-pair dictionary lookups.
+    pub dict_lookups: u64,
+    /// Number of output tuples produced by enumerators.
+    pub tuples_output: u64,
+}
+
+impl MetricsSnapshot {
+    /// Componentwise difference `self - earlier`, saturating at zero.
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            trie_seeks: self.trie_seeks.saturating_sub(earlier.trie_seeks),
+            count_probes: self.count_probes.saturating_sub(earlier.count_probes),
+            dict_lookups: self.dict_lookups.saturating_sub(earlier.dict_lookups),
+            tuples_output: self.tuples_output.saturating_sub(earlier.tuples_output),
+        }
+    }
+
+    /// Total work units (sum of all counters except output tuples).
+    pub fn work(&self) -> u64 {
+        self.trie_seeks + self.count_probes + self.dict_lookups
+    }
+}
+
+/// Records `n` trie seek operations.
+#[inline]
+pub fn record_trie_seeks(n: u64) {
+    TRIE_SEEKS.with(|c| c.set(c.get() + n));
+}
+
+/// Records a count-index probe.
+#[inline]
+pub fn record_count_probe() {
+    COUNT_PROBES.with(|c| c.set(c.get() + 1));
+}
+
+/// Records a dictionary lookup.
+#[inline]
+pub fn record_dict_lookup() {
+    DICT_LOOKUPS.with(|c| c.set(c.get() + 1));
+}
+
+/// Records an output tuple.
+#[inline]
+pub fn record_tuple_output() {
+    TUPLES_OUTPUT.with(|c| c.set(c.get() + 1));
+}
+
+/// Reads the current counter values.
+pub fn snapshot() -> MetricsSnapshot {
+    MetricsSnapshot {
+        trie_seeks: TRIE_SEEKS.with(Cell::get),
+        count_probes: COUNT_PROBES.with(Cell::get),
+        dict_lookups: DICT_LOOKUPS.with(Cell::get),
+        tuples_output: TUPLES_OUTPUT.with(Cell::get),
+    }
+}
+
+/// Resets all counters to zero (per thread).
+pub fn reset() {
+    TRIE_SEEKS.with(|c| c.set(0));
+    COUNT_PROBES.with(|c| c.set(0));
+    DICT_LOOKUPS.with(|c| c.set(0));
+    TUPLES_OUTPUT.with(|c| c.set(0));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        reset();
+        record_trie_seeks(3);
+        record_count_probe();
+        record_dict_lookup();
+        record_dict_lookup();
+        record_tuple_output();
+        let s = snapshot();
+        assert_eq!(s.trie_seeks, 3);
+        assert_eq!(s.count_probes, 1);
+        assert_eq!(s.dict_lookups, 2);
+        assert_eq!(s.tuples_output, 1);
+        assert_eq!(s.work(), 6);
+        reset();
+        assert_eq!(snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn delta_since_subtracts() {
+        reset();
+        record_trie_seeks(5);
+        let a = snapshot();
+        record_trie_seeks(7);
+        let b = snapshot();
+        assert_eq!(b.delta_since(&a).trie_seeks, 7);
+    }
+}

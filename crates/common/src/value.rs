@@ -1,0 +1,78 @@
+//! Domain values and tuples.
+//!
+//! The paper works over an abstract ordered domain **dom**. We represent
+//! values as `u64`: real datasets are interned through
+//! `cqc_storage::interner::Interner`, and the total order on `u64` plays the
+//! role of the order `≤` on **dom** that the lexicographic enumeration order
+//! of Section 3.1 is derived from.
+
+use std::cmp::Ordering;
+
+/// A single domain value.
+pub type Value = u64;
+
+/// An owned tuple of domain values.
+///
+/// Tuples are kept as plain `Vec<Value>`; arities in conjunctive queries are
+/// tiny (≤ 8 in every workload in this repository) and the flat storage used
+/// by `cqc-storage` avoids per-row allocations on the hot paths, so a simple
+/// representation suffices here.
+pub type Tuple = Vec<Value>;
+
+/// Lexicographic comparison of two equal-length value slices.
+///
+/// This is the order `≤` lifted from **dom** to tuples in Section 4.1 of the
+/// paper; all output enumeration guarantees are stated with respect to it.
+///
+/// # Panics
+///
+/// Debug-asserts that both slices have the same length.
+#[inline]
+pub fn lex_cmp(a: &[Value], b: &[Value]) -> Ordering {
+    debug_assert_eq!(a.len(), b.len(), "lex_cmp requires equal arity");
+    for (x, y) in a.iter().zip(b.iter()) {
+        match x.cmp(y) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+/// Returns `true` if `a` is lexicographically strictly smaller than `b`.
+#[inline]
+pub fn lex_lt(a: &[Value], b: &[Value]) -> bool {
+    lex_cmp(a, b) == Ordering::Less
+}
+
+/// Returns `true` if `a ≤ b` lexicographically.
+#[inline]
+pub fn lex_le(a: &[Value], b: &[Value]) -> bool {
+    lex_cmp(a, b) != Ordering::Greater
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_cmp_orders_prefix_first() {
+        assert_eq!(lex_cmp(&[1, 2, 3], &[1, 2, 3]), Ordering::Equal);
+        assert_eq!(lex_cmp(&[1, 2, 3], &[1, 3, 0]), Ordering::Less);
+        assert_eq!(lex_cmp(&[2, 0, 0], &[1, 9, 9]), Ordering::Greater);
+    }
+
+    #[test]
+    fn lex_helpers_agree_with_cmp() {
+        assert!(lex_lt(&[0, 1], &[0, 2]));
+        assert!(!lex_lt(&[0, 2], &[0, 2]));
+        assert!(lex_le(&[0, 2], &[0, 2]));
+        assert!(!lex_le(&[1, 0], &[0, 9]));
+    }
+
+    #[test]
+    fn empty_tuples_are_equal() {
+        assert_eq!(lex_cmp(&[], &[]), Ordering::Equal);
+        assert!(lex_le(&[], &[]));
+    }
+}

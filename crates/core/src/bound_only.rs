@@ -1,0 +1,144 @@
+//! Proposition 1: all-bound adorned views.
+//!
+//! When every head variable is bound, an access request is a membership
+//! test: `Q^{b…b}[v]` is non-empty iff the projection of `v` onto each
+//! atom's variables is present in the corresponding relation. Linear
+//! compression time and space, O(1)-per-atom (logarithmic) answer time.
+
+use cqc_common::error::{CqcError, Result};
+use cqc_common::heap::HeapSize;
+use cqc_common::metrics;
+use cqc_common::value::{Tuple, Value};
+use cqc_query::{AdornedView, Var};
+use cqc_storage::{Database, Relation};
+
+/// The Proposition 1 structure: per-atom relations plus head-position
+/// extraction tables.
+#[derive(Debug)]
+pub struct BoundOnlyView {
+    view: AdornedView,
+    /// Per atom: the relation and, per schema column, the bound-head
+    /// position supplying its value.
+    checks: Vec<(Relation, Vec<usize>)>,
+}
+
+impl BoundOnlyView {
+    /// Builds the structure (clones the referenced relations; linear space
+    /// and time).
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the view is a full natural join with an all-bound
+    /// pattern.
+    pub fn build(view: &AdornedView, db: &Database) -> Result<BoundOnlyView> {
+        let query = view.query();
+        query.require_natural_join()?;
+        query.check_schema(db)?;
+        if view.mu() != 0 {
+            return Err(CqcError::Config(
+                "BoundOnlyView requires an all-bound access pattern".into(),
+            ));
+        }
+        let bound_head = view.bound_head();
+        let pos_of = |v: Var| -> usize {
+            bound_head
+                .iter()
+                .position(|w| *w == v)
+                .expect("full view: every variable is in the head")
+        };
+        let mut checks = Vec::with_capacity(query.atoms.len());
+        for atom in &query.atoms {
+            let rel = db.require(&atom.relation)?.clone();
+            let positions: Vec<usize> = atom.vars().map(pos_of).collect();
+            checks.push((rel, positions));
+        }
+        Ok(BoundOnlyView {
+            view: view.clone(),
+            checks,
+        })
+    }
+
+    /// `true` iff the fully bound request is in the view.
+    pub fn exists(&self, bound_values: &[Value]) -> Result<bool> {
+        self.view.check_access(bound_values)?;
+        for (rel, positions) in &self.checks {
+            let tuple: Tuple = positions.iter().map(|&p| bound_values[p]).collect();
+            if !rel.contains(&tuple) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Answers the request: at most one (empty) output tuple, matching the
+    /// enumeration contract of the other structures.
+    pub fn answer(&self, bound_values: &[Value]) -> Result<std::vec::IntoIter<Tuple>> {
+        let out = if self.exists(bound_values)? {
+            metrics::record_tuple_output();
+            vec![Vec::new()]
+        } else {
+            Vec::new()
+        };
+        Ok(out.into_iter())
+    }
+
+    /// The view definition.
+    pub fn view(&self) -> &AdornedView {
+        &self.view
+    }
+}
+
+impl HeapSize for BoundOnlyView {
+    fn heap_bytes(&self) -> usize {
+        self.checks
+            .iter()
+            .map(|(r, p)| r.heap_bytes() + p.heap_bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqc_query::parser::parse_adorned;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add(Relation::from_pairs("R", vec![(1, 2), (2, 3)])).unwrap();
+        db.add(Relation::from_pairs("S", vec![(2, 3), (3, 4)])).unwrap();
+        db
+    }
+
+    #[test]
+    fn membership_semantics() {
+        let v = parse_adorned("Q(x, y, z) :- R(x, y), S(y, z)", "bbb").unwrap();
+        let b = BoundOnlyView::build(&v, &db()).unwrap();
+        assert!(b.exists(&[1, 2, 3]).unwrap());
+        assert!(b.exists(&[2, 3, 4]).unwrap());
+        assert!(!b.exists(&[1, 2, 4]).unwrap());
+        assert!(!b.exists(&[9, 9, 9]).unwrap());
+        assert_eq!(b.answer(&[1, 2, 3]).unwrap().count(), 1);
+        assert_eq!(b.answer(&[1, 2, 4]).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn self_join_positions() {
+        // ∆^bbb over a single relation used three times.
+        let v = parse_adorned("Q(x, y, z) :- R(x, y), R(y, z), R(z, x)", "bbb").unwrap();
+        let mut db = Database::new();
+        db.add(Relation::from_pairs("R", vec![(1, 2), (2, 3), (3, 1)]))
+            .unwrap();
+        let b = BoundOnlyView::build(&v, &db).unwrap();
+        assert!(b.exists(&[1, 2, 3]).unwrap());
+        assert!(!b.exists(&[2, 1, 3]).unwrap());
+    }
+
+    #[test]
+    fn rejects_free_patterns_and_bad_access() {
+        let v = parse_adorned("Q(x, y) :- R(x, y)", "bf").unwrap();
+        assert!(BoundOnlyView::build(&v, &db()).is_err());
+        let v = parse_adorned("Q(x, y) :- R(x, y)", "bb").unwrap();
+        let b = BoundOnlyView::build(&v, &db()).unwrap();
+        assert!(b.exists(&[1]).is_err());
+    }
+}

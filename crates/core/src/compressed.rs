@@ -1,0 +1,561 @@
+//! The unified front door: strategy selection and a single answer
+//! interface.
+//!
+//! `CompressedView` wraps every representation in the workspace — the two
+//! extremal baselines of §2.3, Proposition 1's all-bound structure, the
+//! factorized representation of Propositions 2/4, and the Theorem 1/2
+//! structures — behind one `answer`/`exists`/space-accounting API, after
+//! applying the Example 3 rewrite so that constants and repeated variables
+//! are always accepted.
+
+use crate::bound_only::BoundOnlyView;
+use crate::theorem1::Theorem1Structure;
+use crate::theorem2::Theorem2Structure;
+use cqc_common::error::{CqcError, Result};
+use cqc_common::heap::HeapSize;
+use cqc_common::value::{Tuple, Value};
+use cqc_decomp::TreeDecomposition;
+use cqc_factorized::FactorizedRepresentation;
+use cqc_join::baselines::{DirectView, MaterializedView};
+use cqc_lp::fractional::{min_delay_cover, min_space_cover};
+use cqc_query::rewrite::rewrite_view;
+use cqc_query::AdornedView;
+use cqc_storage::Database;
+
+/// How to compress a view.
+#[derive(Debug, Clone)]
+pub enum Strategy {
+    /// Pick automatically: all-bound patterns get Prop. 1; otherwise the
+    /// factorized representation (constant delay at `fhw(H|V_b)` space)
+    /// when no budget is given, or Theorem 2 under the given space budget
+    /// exponent.
+    Auto {
+        /// Optional space budget as an exponent of `|D|`.
+        space_budget_exp: Option<f64>,
+    },
+    /// The §2.3 baseline: materialize and index.
+    Materialize,
+    /// The §2.3 baseline: evaluate every request on the base relations.
+    Direct,
+    /// Theorem 1 with delay knob `τ`; `weights` defaults to the
+    /// MinSpaceCover optimum for delay budget τ (§6).
+    Tradeoff {
+        /// The delay knob τ ≥ 1.
+        tau: f64,
+        /// Optional explicit fractional edge cover (one weight per atom).
+        weights: Option<Vec<f64>>,
+    },
+    /// Theorem 1 under a space budget: MinDelayCover (§6, Prop. 11) picks
+    /// the cover and the smallest τ whose structure fits in
+    /// `|D|^{space_budget_exp}`.
+    TradeoffBudget {
+        /// Space budget as an exponent of `|D|`.
+        space_budget_exp: f64,
+    },
+    /// Theorem 2 with a searched decomposition under a space budget.
+    Decomposed {
+        /// Space budget as an exponent of `|D|`.
+        space_budget_exp: f64,
+    },
+    /// Theorem 2 over an explicit decomposition and delay assignment.
+    DecomposedExplicit {
+        /// The `V_b`-connex decomposition.
+        td: TreeDecomposition,
+        /// Per-node delay exponents (0 at the root).
+        delta: Vec<f64>,
+    },
+    /// Propositions 2/4: constant delay over a width-minimal connex
+    /// decomposition.
+    Factorized,
+}
+
+/// A compressed representation of an adorned view, ready to answer access
+/// requests.
+#[derive(Debug)]
+pub enum CompressedView {
+    /// Proposition 1 (all head variables bound).
+    BoundOnly(BoundOnlyView),
+    /// Full materialization baseline.
+    Materialized(MaterializedView),
+    /// Per-request evaluation baseline.
+    Direct(DirectView),
+    /// Theorem 1 structure.
+    Tradeoff(Theorem1Structure),
+    /// Theorem 2 structure.
+    Decomposed(Theorem2Structure),
+    /// Factorized representation (Props. 2/4).
+    Factorized(FactorizedRepresentation),
+    /// A view proven empty during rewriting (a ground atom failed).
+    AlwaysEmpty(AdornedView),
+}
+
+impl CompressedView {
+    /// Compresses `view` over `db` with the chosen strategy.
+    ///
+    /// Constants and repeated variables are eliminated first (Example 3);
+    /// projections are rejected, as in the paper.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse/schema/LP errors and invalid configurations.
+    pub fn build(view: &AdornedView, db: &Database, strategy: Strategy) -> Result<CompressedView> {
+        // Example 3 preprocessing.
+        let rewritten = rewrite_view(view, db)?;
+        if rewritten.always_empty {
+            return Ok(CompressedView::AlwaysEmpty(rewritten.view));
+        }
+        let view = &rewritten.view;
+        let db = &rewritten.database;
+        view.query().require_natural_join()?;
+
+        // All-bound views answer by membership regardless of strategy
+        // (Prop. 1) — except when the caller explicitly requests a
+        // baseline.
+        if view.mu() == 0 {
+            match strategy {
+                Strategy::Materialize => {
+                    return Ok(CompressedView::Materialized(MaterializedView::build(
+                        view, db,
+                    )?));
+                }
+                Strategy::Direct => {
+                    return Ok(CompressedView::Direct(DirectView::build(view, db)?));
+                }
+                _ => return Ok(CompressedView::BoundOnly(BoundOnlyView::build(view, db)?)),
+            }
+        }
+
+        match strategy {
+            Strategy::Auto { space_budget_exp } => match space_budget_exp {
+                None => Ok(CompressedView::Factorized(
+                    FactorizedRepresentation::build_with_search(view, db)?,
+                )),
+                Some(budget) => Ok(CompressedView::Decomposed(
+                    Theorem2Structure::build_with_budget(view, db, budget)?,
+                )),
+            },
+            Strategy::Materialize => Ok(CompressedView::Materialized(
+                MaterializedView::build(view, db)?,
+            )),
+            Strategy::Direct => Ok(CompressedView::Direct(DirectView::build(view, db)?)),
+            Strategy::Tradeoff { tau, weights } => {
+                if tau < 1.0 {
+                    return Err(CqcError::Config(format!("τ = {tau} must be ≥ 1")));
+                }
+                let weights = match weights {
+                    Some(w) => w,
+                    None => {
+                        // §6: given the delay budget, minimize space.
+                        let query = view.query();
+                        let h = query.hypergraph();
+                        let log_sizes: Vec<f64> = query
+                            .atoms
+                            .iter()
+                            .map(|a| {
+                                let n = db.require(&a.relation).map(|r| r.len().max(2));
+                                n.map(|n| (n as f64).ln())
+                            })
+                            .collect::<Result<_>>()?;
+                        let choice =
+                            min_space_cover(&h, view.free_vars(), &log_sizes, tau.ln())?;
+                        choice.weights
+                    }
+                };
+                Ok(CompressedView::Tradeoff(Theorem1Structure::build(
+                    view, db, &weights, tau,
+                )?))
+            }
+            Strategy::TradeoffBudget { space_budget_exp } => {
+                let query = view.query();
+                let h = query.hypergraph();
+                let log_sizes: Vec<f64> = query
+                    .atoms
+                    .iter()
+                    .map(|a| {
+                        let n = db.require(&a.relation).map(|r| r.len().max(2));
+                        n.map(|n| (n as f64).ln())
+                    })
+                    .collect::<Result<_>>()?;
+                let log_budget = space_budget_exp * (db.size().max(2) as f64).ln();
+                let choice = min_delay_cover(&h, view.free_vars(), &log_sizes, log_budget)?;
+                let tau = choice.log_tau.exp().max(1.0);
+                Ok(CompressedView::Tradeoff(Theorem1Structure::build(
+                    view,
+                    db,
+                    &choice.weights,
+                    tau,
+                )?))
+            }
+            Strategy::Decomposed { space_budget_exp } => Ok(CompressedView::Decomposed(
+                Theorem2Structure::build_with_budget(view, db, space_budget_exp)?,
+            )),
+            Strategy::DecomposedExplicit { td, delta } => Ok(CompressedView::Decomposed(
+                Theorem2Structure::build(view, db, &td, &delta)?,
+            )),
+            Strategy::Factorized => Ok(CompressedView::Factorized(
+                FactorizedRepresentation::build_with_search(view, db)?,
+            )),
+        }
+    }
+
+    /// Answers an access request: an iterator over the free-variable tuples.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the bound value count mismatches the view's pattern.
+    pub fn answer(&self, bound_values: &[Value]) -> Result<AnswerIter<'_>> {
+        Ok(match self {
+            CompressedView::BoundOnly(s) => AnswerIter::Eager(s.answer(bound_values)?),
+            CompressedView::Materialized(s) => AnswerIter::Materialized(s.answer(bound_values)?),
+            CompressedView::Direct(s) => AnswerIter::Direct(s.answer(bound_values)?),
+            CompressedView::Tradeoff(s) => AnswerIter::Tradeoff(s.answer(bound_values)?),
+            CompressedView::Decomposed(s) => AnswerIter::Decomposed(s.answer(bound_values)?),
+            CompressedView::Factorized(s) => AnswerIter::Factorized(s.answer(bound_values)?),
+            CompressedView::AlwaysEmpty(v) => {
+                v.check_access(bound_values)?;
+                AnswerIter::Eager(Vec::new().into_iter())
+            }
+        })
+    }
+
+    /// `true` iff the request has at least one answer.
+    pub fn exists(&self, bound_values: &[Value]) -> Result<bool> {
+        Ok(self.answer(bound_values)?.next().is_some())
+    }
+
+    /// A human-readable description of the representation: strategy,
+    /// tuning knobs and size accounting — the "EXPLAIN" of a compressed
+    /// view.
+    pub fn describe(&self) -> String {
+        match self {
+            CompressedView::BoundOnly(s) => format!(
+                "bound-only (Prop 1): {} membership relations, {} heap bytes",
+                s.view().query().atoms.len(),
+                s.heap_bytes()
+            ),
+            CompressedView::Materialized(s) => format!(
+                "materialized view: {} result tuples, {} heap bytes",
+                s.len(),
+                s.heap_bytes()
+            ),
+            CompressedView::Direct(s) => format!(
+                "direct evaluation: {} trie indexes, {} heap bytes (linear)",
+                s.plan().num_atoms(),
+                s.heap_bytes()
+            ),
+            CompressedView::Tradeoff(s) => {
+                let st = s.stats();
+                format!(
+                    "theorem 1: τ = {:.2}, cover = {:?}, slack α = {:.2}; tree {} nodes                      (depth {}), dictionary {} heavy pairs, {} heap bytes",
+                    s.tau(),
+                    s.weights()
+                        .iter()
+                        .map(|w| (w * 100.0).round() / 100.0)
+                        .collect::<Vec<_>>(),
+                    s.alpha(),
+                    st.tree_nodes,
+                    st.tree_depth,
+                    st.dict_entries,
+                    st.heap_bytes
+                )
+            }
+            CompressedView::Decomposed(s) => {
+                let st = s.stats();
+                format!(
+                    "theorem 2: {} bags ({} delay-tuned, max δ = {:.3}); {} materialized                      bag tuples, {} dictionary entries, {} heap bytes",
+                    st.bags,
+                    st.tradeoff_bags,
+                    st.max_delta,
+                    st.materialized_tuples,
+                    st.dict_entries,
+                    st.heap_bytes
+                )
+            }
+            CompressedView::Factorized(s) => format!(
+                "factorized (Props 2/4): {} bag tuples, {} heap bytes, constant delay",
+                s.materialized_tuples(),
+                s.heap_bytes()
+            ),
+            CompressedView::AlwaysEmpty(_) => {
+                "always-empty: a ground atom failed during the Example 3 rewrite".into()
+            }
+        }
+    }
+
+    /// A short name of the strategy in use (for reports).
+    pub fn strategy_name(&self) -> &'static str {
+        match self {
+            CompressedView::BoundOnly(_) => "bound-only (Prop 1)",
+            CompressedView::Materialized(_) => "materialized",
+            CompressedView::Direct(_) => "direct",
+            CompressedView::Tradeoff(_) => "theorem-1",
+            CompressedView::Decomposed(_) => "theorem-2",
+            CompressedView::Factorized(_) => "factorized (Props 2/4)",
+            CompressedView::AlwaysEmpty(_) => "always-empty",
+        }
+    }
+}
+
+impl HeapSize for CompressedView {
+    fn heap_bytes(&self) -> usize {
+        match self {
+            CompressedView::BoundOnly(s) => s.heap_bytes(),
+            CompressedView::Materialized(s) => s.heap_bytes(),
+            CompressedView::Direct(s) => s.heap_bytes(),
+            CompressedView::Tradeoff(s) => s.heap_bytes(),
+            CompressedView::Decomposed(s) => s.heap_bytes(),
+            CompressedView::Factorized(s) => s.heap_bytes(),
+            CompressedView::AlwaysEmpty(_) => 0,
+        }
+    }
+}
+
+/// Unified answer iterator.
+pub enum AnswerIter<'a> {
+    /// Pre-collected answers (bound-only and always-empty cases).
+    Eager(std::vec::IntoIter<Tuple>),
+    /// Materialized range scan.
+    Materialized(cqc_join::baselines::MaterializedAnswer<'a>),
+    /// Per-request worst-case-optimal join.
+    Direct(cqc_join::baselines::DirectAnswer<'a>),
+    /// Algorithm 2.
+    Tradeoff(crate::theorem1::Theorem1Iter<'a>),
+    /// Algorithm 5.
+    Decomposed(crate::theorem2::Theorem2Iter<'a>),
+    /// Factorized pre-order enumeration.
+    Factorized(cqc_factorized::FactorizedIter<'a>),
+}
+
+impl Iterator for AnswerIter<'_> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        match self {
+            AnswerIter::Eager(i) => i.next(),
+            AnswerIter::Materialized(i) => i.next(),
+            AnswerIter::Direct(i) => i.next(),
+            AnswerIter::Tradeoff(i) => i.next(),
+            AnswerIter::Decomposed(i) => i.next(),
+            AnswerIter::Factorized(i) => i.next(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqc_common::value::lex_cmp;
+    use cqc_join::naive::evaluate_view;
+    use cqc_query::parser::parse_adorned;
+    use cqc_storage::Relation;
+
+    fn triangle_db() -> Database {
+        let mut db = Database::new();
+        db.add(Relation::from_pairs(
+            "R",
+            vec![(1, 2), (2, 3), (1, 3), (3, 1), (2, 1), (4, 2)],
+        ))
+        .unwrap();
+        db.add(Relation::from_pairs(
+            "S",
+            vec![(2, 3), (3, 1), (3, 2), (1, 2), (2, 4)],
+        ))
+        .unwrap();
+        db.add(Relation::from_pairs(
+            "T",
+            vec![(3, 1), (1, 2), (2, 3), (2, 1), (4, 4)],
+        ))
+        .unwrap();
+        db
+    }
+
+    fn sorted(mut v: Vec<Tuple>) -> Vec<Tuple> {
+        v.sort_unstable_by(|a, b| lex_cmp(a, b));
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn every_strategy_matches_oracle_on_triangle() {
+        let db = triangle_db();
+        let strategies: Vec<Strategy> = vec![
+            Strategy::Materialize,
+            Strategy::Direct,
+            Strategy::Tradeoff { tau: 1.0, weights: None },
+            Strategy::Tradeoff { tau: 3.0, weights: Some(vec![0.5, 0.5, 0.5]) },
+            Strategy::Factorized,
+            Strategy::Auto { space_budget_exp: None },
+            Strategy::Auto { space_budget_exp: Some(1.2) },
+            Strategy::Decomposed { space_budget_exp: 1.5 },
+        ];
+        for pattern in ["bfb", "fff", "bbf"] {
+            let view =
+                parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", pattern).unwrap();
+            let nb = pattern.chars().filter(|c| *c == 'b').count();
+            for strat in &strategies {
+                let cv = CompressedView::build(&view, &db, strat.clone()).unwrap();
+                let mut reqs: Vec<Vec<Value>> = vec![vec![]];
+                for _ in 0..nb {
+                    reqs = reqs
+                        .iter()
+                        .flat_map(|r| {
+                            (0..6u64).map(move |v| {
+                                let mut r2 = r.clone();
+                                r2.push(v);
+                                r2
+                            })
+                        })
+                        .collect();
+                }
+                for req in reqs {
+                    let expect = evaluate_view(&view, &db, &req).unwrap();
+                    let got: Vec<Tuple> = cv.answer(&req).unwrap().collect();
+                    assert_eq!(
+                        sorted(got),
+                        expect,
+                        "strategy {} pattern {pattern} req {req:?}",
+                        cv.strategy_name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bound_only_dispatch() {
+        let db = triangle_db();
+        let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", "bbb").unwrap();
+        let cv =
+            CompressedView::build(&view, &db, Strategy::Auto { space_budget_exp: None })
+                .unwrap();
+        assert_eq!(cv.strategy_name(), "bound-only (Prop 1)");
+        assert!(cv.exists(&[1, 2, 3]).unwrap());
+        assert!(!cv.exists(&[1, 1, 1]).unwrap());
+    }
+
+    #[test]
+    fn rewrite_applied_for_constants() {
+        // Example 3 style: constants are eliminated before compression.
+        let mut db = Database::new();
+        db.add(Relation::new(
+            "R",
+            3,
+            vec![vec![1, 2, 9], vec![1, 3, 9], vec![2, 2, 5]],
+        ))
+        .unwrap();
+        let view = parse_adorned("Q(x, y) :- R(x, y, 9)", "bf").unwrap();
+        let cv = CompressedView::build(
+            &view,
+            &db,
+            Strategy::Tradeoff { tau: 1.0, weights: None },
+        )
+        .unwrap();
+        let got: Vec<Tuple> = cv.answer(&[1]).unwrap().collect();
+        assert_eq!(got, vec![vec![2], vec![3]]);
+        let got: Vec<Tuple> = cv.answer(&[2]).unwrap().collect();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn always_empty_via_failed_guard() {
+        let mut db = Database::new();
+        db.add(Relation::from_pairs("R", vec![(1, 2)])).unwrap();
+        db.add(Relation::from_pairs("G", vec![(5, 5)])).unwrap();
+        let view = parse_adorned("Q(x, y) :- R(x, y), G(7, 7)", "bf").unwrap();
+        let cv = CompressedView::build(&view, &db, Strategy::Direct).unwrap();
+        assert_eq!(cv.strategy_name(), "always-empty");
+        assert!(!cv.exists(&[1]).unwrap());
+        assert!(cv.answer(&[1, 2]).is_err(), "access arity still validated");
+    }
+
+    #[test]
+    fn projections_rejected() {
+        let db = triangle_db();
+        let view = parse_adorned("Q(x, y) :- R(x, y), S(y, z)", "bf").unwrap();
+        let err = CompressedView::build(&view, &db, Strategy::Direct);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn tradeoff_budget_strategy_picks_lp_optimum() {
+        // A database large enough that Π|R_F|^{u_F} clears the linear
+        // budget (the asymptotic regime the §6 program reasons about).
+        let mut db = Database::new();
+        let mut rng = cqc_workload::rng(71);
+        for name in ["R", "S", "T"] {
+            db.add(cqc_workload::uniform_relation(&mut rng, name, 2, 150, 25))
+                .unwrap();
+        }
+        let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", "bfb").unwrap();
+        // τ must shrink monotonically as the budget grows, reaching ≈ 1.
+        let mut taus = Vec::new();
+        for budget in [1.0, 1.5, 3.0] {
+            let cv = CompressedView::build(
+                &view,
+                &db,
+                Strategy::TradeoffBudget { space_budget_exp: budget },
+            )
+            .unwrap();
+            let CompressedView::Tradeoff(t) = &cv else {
+                panic!("expected theorem 1")
+            };
+            taus.push(t.tau());
+            // Correctness at every budget.
+            for x in 0..8u64 {
+                let expect = evaluate_view(&view, &db, &[x, (x + 3) % 25]).unwrap();
+                let got: Vec<Tuple> = cv.answer(&[x, (x + 3) % 25]).unwrap().collect();
+                assert_eq!(got, expect, "budget {budget}");
+            }
+        }
+        assert!(taus[0] >= taus[1] - 1e-9 && taus[1] >= taus[2] - 1e-9, "{taus:?}");
+        assert!(taus[0] > 1.5, "tight budget needs real delay: {taus:?}");
+        assert!(taus[2] <= 1.5, "generous budget ⇒ τ ≈ 1: {taus:?}");
+    }
+
+    #[test]
+    fn describe_mentions_the_knobs() {
+        let db = triangle_db();
+        let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", "bfb").unwrap();
+        let cv = CompressedView::build(
+            &view,
+            &db,
+            Strategy::Tradeoff { tau: 4.0, weights: None },
+        )
+        .unwrap();
+        let d = cv.describe();
+        assert!(d.contains("theorem 1"), "{d}");
+        assert!(d.contains("τ = 4"), "{d}");
+        assert!(d.contains("dictionary"), "{d}");
+        let cv = CompressedView::build(&view, &db, Strategy::Materialize).unwrap();
+        assert!(cv.describe().contains("materialized"), "{}", cv.describe());
+        let cv = CompressedView::build(
+            &view,
+            &db,
+            Strategy::Decomposed { space_budget_exp: 1.5 },
+        )
+        .unwrap();
+        assert!(cv.describe().contains("theorem 2"), "{}", cv.describe());
+    }
+
+    #[test]
+    fn tradeoff_space_decreases_with_tau() {
+        let db = triangle_db();
+        let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", "bfb").unwrap();
+        let mut last = usize::MAX;
+        for tau in [1.0, 2.0, 4.0, 16.0] {
+            let cv = CompressedView::build(
+                &view,
+                &db,
+                Strategy::Tradeoff { tau, weights: Some(vec![0.5, 0.5, 0.5]) },
+            )
+            .unwrap();
+            if let CompressedView::Tradeoff(t) = &cv {
+                let s = t.stats();
+                assert!(s.tree_nodes + s.dict_entries <= last);
+                last = s.tree_nodes + s.dict_entries;
+            } else {
+                panic!("expected tradeoff structure");
+            }
+        }
+    }
+}

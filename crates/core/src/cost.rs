@@ -1,0 +1,445 @@
+//! The `T(·)` cost oracle of §4.2.
+//!
+//! For a weight assignment `u` with slack `α = α(V_f)` and `û = u/α`, the
+//! paper defines, for a canonical f-box `B` and a bound valuation `v`:
+//!
+//! ```text
+//! T(B)    = Π_F |R_F(B)|^{û_F}          T(v, B) = Π_F |R_F(v, B)|^{û_F}
+//! T(I)    = Σ_{B ∈ B(I)} T(B)           T(v, I) = Σ_{B ∈ B(I)} T(v, B)
+//! ```
+//!
+//! `T(v, I)` bounds the worst-case-optimal time to evaluate
+//! `(⋈_F R_F(v)) ⋉ I` (Prop. 6), so it doubles as the heaviness predicate
+//! (Def. 3) and as the per-level stopping rule of the delay-balanced tree.
+//!
+//! Every count is two binary searches on one of two sorted indexes per
+//! relation (DESIGN.md §4): `[free columns in enumeration order | bound
+//! columns]` for `T(B)` during construction, and `[bound columns | free
+//! columns]` for `T(v_b, B)` at query time. A canonical box constrains a
+//! *prefix* of the free columns plus at most one range, so both layouts
+//! make every count a contiguous row range.
+
+use crate::fbox::{box_decomposition, CanonicalBox, FInterval};
+use cqc_common::error::{CqcError, Result};
+use cqc_common::heap::HeapSize;
+use cqc_common::value::Value;
+use cqc_query::AdornedView;
+use cqc_storage::{Database, Domain, SortedIndex};
+
+/// Per-atom count indexes and exponent.
+#[derive(Debug)]
+struct AtomCost {
+    /// Sorted `[free cols (enum order) | bound cols]`.
+    build_index: SortedIndex,
+    /// Sorted `[bound cols (bound-head order) | free cols (enum order)]`.
+    access_index: SortedIndex,
+    /// Enumeration positions of this atom's free variables, ascending.
+    free_enum: Vec<usize>,
+    /// Bound-head positions of this atom's bound variables, ascending.
+    bound_pos: Vec<usize>,
+    /// `û_F = u_F / α`.
+    u_hat: f64,
+}
+
+/// The cost oracle for one adorned view under a fixed cover.
+#[derive(Debug)]
+pub struct CostEstimator {
+    atoms: Vec<AtomCost>,
+    /// Active domains of the free variables, in enumeration order.
+    domains: Vec<Domain>,
+    /// The slack α(V_f) of the cover.
+    alpha: f64,
+}
+
+impl CostEstimator {
+    /// Builds the oracle: computes free-variable active domains and the two
+    /// sorted indexes per atom.
+    ///
+    /// `weights[i]` is the cover weight `u_F` of atom `i`; `alpha` its slack
+    /// on the free variables.
+    ///
+    /// # Errors
+    ///
+    /// Fails on schema mismatches.
+    pub fn build(
+        view: &AdornedView,
+        db: &Database,
+        weights: &[f64],
+        alpha: f64,
+    ) -> Result<CostEstimator> {
+        let query = view.query();
+        query.require_natural_join()?;
+        query.check_schema(db)?;
+        if weights.len() != query.atoms.len() {
+            return Err(CqcError::Config(format!(
+                "expected {} cover weights, got {}",
+                query.atoms.len(),
+                weights.len()
+            )));
+        }
+        if alpha < 1.0 - 1e-9 {
+            return Err(CqcError::Config(format!("slack α = {alpha} must be ≥ 1")));
+        }
+
+        let free_head = view.free_head();
+        let bound_head = view.bound_head();
+        let all_domains = query.active_domains(db)?;
+        let domains: Vec<Domain> = free_head
+            .iter()
+            .map(|v| all_domains[v.index()].clone())
+            .collect();
+
+        let enum_pos_of = |v: cqc_query::Var| free_head.iter().position(|w| *w == v);
+        let bound_pos_of = |v: cqc_query::Var| bound_head.iter().position(|w| *w == v);
+
+        let mut atoms = Vec::with_capacity(query.atoms.len());
+        for (i, atom) in query.atoms.iter().enumerate() {
+            let rel = db.require(&atom.relation)?;
+            let vars: Vec<cqc_query::Var> = atom.vars().collect();
+
+            // (enum position, schema column) of free vars, ascending.
+            let mut free_cols: Vec<(usize, usize)> = vars
+                .iter()
+                .enumerate()
+                .filter_map(|(col, v)| enum_pos_of(*v).map(|p| (p, col)))
+                .collect();
+            free_cols.sort_unstable();
+            // (bound-head position, schema column) of bound vars, ascending.
+            let mut bound_cols: Vec<(usize, usize)> = vars
+                .iter()
+                .enumerate()
+                .filter_map(|(col, v)| bound_pos_of(*v).map(|p| (p, col)))
+                .collect();
+            bound_cols.sort_unstable();
+
+            let build_order: Vec<usize> = free_cols
+                .iter()
+                .map(|&(_, c)| c)
+                .chain(bound_cols.iter().map(|&(_, c)| c))
+                .collect();
+            let access_order: Vec<usize> = bound_cols
+                .iter()
+                .map(|&(_, c)| c)
+                .chain(free_cols.iter().map(|&(_, c)| c))
+                .collect();
+
+            atoms.push(AtomCost {
+                build_index: SortedIndex::build(rel, &build_order),
+                access_index: SortedIndex::build(rel, &access_order),
+                free_enum: free_cols.iter().map(|&(p, _)| p).collect(),
+                bound_pos: bound_cols.iter().map(|&(p, _)| p).collect(),
+                u_hat: weights[i] / alpha,
+            });
+        }
+
+        Ok(CostEstimator {
+            atoms,
+            domains,
+            alpha,
+        })
+    }
+
+    /// The slack α used for the `û` exponents.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Free-variable active domains (enumeration order).
+    pub fn domains(&self) -> &[Domain] {
+        &self.domains
+    }
+
+    /// Domain sizes (the grid for rank-space geometry).
+    pub fn sizes(&self) -> Vec<usize> {
+        self.domains.iter().map(Domain::len).collect()
+    }
+
+    /// Translates a rank tuple of free variables to values.
+    pub fn ranks_to_values(&self, ranks: &[usize]) -> Vec<Value> {
+        ranks
+            .iter()
+            .zip(&self.domains)
+            .map(|(&r, d)| d.value(r))
+            .collect()
+    }
+
+    /// `|R_F(B)|` for atom `ai` — the build-time count (no valuation).
+    pub fn count_box(&self, ai: usize, b: &CanonicalBox) -> usize {
+        if b.is_empty() {
+            return 0;
+        }
+        let atom = &self.atoms[ai];
+        let (prefix, range) = self.atom_free_constraints(atom, b, &mut Vec::new());
+        atom.build_index.count(&prefix, range)
+    }
+
+    /// `|R_F(v_b, B)|` for atom `ai` — the query-time count.
+    pub fn count_box_bound(&self, ai: usize, vb: &[Value], b: &CanonicalBox) -> usize {
+        if b.is_empty() {
+            return 0;
+        }
+        let atom = &self.atoms[ai];
+        let mut prefix: Vec<Value> = atom.bound_pos.iter().map(|&p| vb[p]).collect();
+        let (prefix, range) = self.atom_free_constraints(atom, b, &mut prefix);
+        atom.access_index.count(&prefix, range)
+    }
+
+    /// Shared constraint extraction: appends the atom's constrained free
+    /// columns (values) to `acc` and returns the optional range.
+    fn atom_free_constraints(
+        &self,
+        atom: &AtomCost,
+        b: &CanonicalBox,
+        acc: &mut Vec<Value>,
+    ) -> (Vec<Value>, Option<(Value, Value)>) {
+        let p = b.range_pos();
+        let mut range = None;
+        for &ep in &atom.free_enum {
+            if ep < p {
+                acc.push(self.domains[ep].value(b.prefix[ep]));
+            } else if ep == p {
+                range = Some((
+                    self.domains[ep].value(b.range.0),
+                    self.domains[ep].value(b.range.1),
+                ));
+                break;
+            } else {
+                break;
+            }
+        }
+        (std::mem::take(acc), range)
+    }
+
+    /// `T(B) = Π_F |R_F(B)|^{û_F}` (atoms with `û_F = 0` contribute 1, the
+    /// `0^0 = 1` convention of AGM-style bounds).
+    pub fn t_box(&self, b: &CanonicalBox) -> f64 {
+        if b.is_empty() {
+            return 0.0;
+        }
+        let mut t = 1.0f64;
+        for ai in 0..self.atoms.len() {
+            let uh = self.atoms[ai].u_hat;
+            if uh <= 1e-12 {
+                continue;
+            }
+            let c = self.count_box(ai, b) as f64;
+            if c == 0.0 {
+                return 0.0;
+            }
+            t *= c.powf(uh);
+        }
+        t
+    }
+
+    /// `T(v_b, B)`.
+    pub fn t_box_bound(&self, vb: &[Value], b: &CanonicalBox) -> f64 {
+        if b.is_empty() {
+            return 0.0;
+        }
+        let mut t = 1.0f64;
+        for ai in 0..self.atoms.len() {
+            let uh = self.atoms[ai].u_hat;
+            if uh <= 1e-12 {
+                continue;
+            }
+            let c = self.count_box_bound(ai, vb, b) as f64;
+            if c == 0.0 {
+                return 0.0;
+            }
+            t *= c.powf(uh);
+        }
+        t
+    }
+
+    /// `T(I) = Σ_{B ∈ B(I)} T(B)`.
+    pub fn t_interval(&self, i: &FInterval, sizes: &[usize]) -> f64 {
+        box_decomposition(i, sizes)
+            .iter()
+            .map(|b| self.t_box(b))
+            .sum()
+    }
+
+    /// `T(v_b, I)`.
+    pub fn t_interval_bound(&self, vb: &[Value], i: &FInterval, sizes: &[usize]) -> f64 {
+        box_decomposition(i, sizes)
+            .iter()
+            .map(|b| self.t_box_bound(vb, b))
+            .sum()
+    }
+}
+
+impl HeapSize for CostEstimator {
+    fn heap_bytes(&self) -> usize {
+        self.atoms
+            .iter()
+            .map(|a| {
+                a.build_index.heap_bytes()
+                    + a.access_index.heap_bytes()
+                    + a.free_enum.heap_bytes()
+                    + a.bound_pos.heap_bytes()
+                    + std::mem::size_of::<AtomCost>()
+            })
+            .sum::<usize>()
+            + self
+                .domains
+                .iter()
+                .map(|d| d.heap_bytes() + std::mem::size_of::<Domain>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use cqc_query::parser::parse_adorned;
+    use cqc_storage::Relation;
+
+    /// The running example instance (Example 13).
+    pub(crate) fn running_example() -> (AdornedView, Database) {
+        let mut db = Database::new();
+        db.add(Relation::new(
+            "R1",
+            3,
+            vec![
+                vec![1, 1, 1],
+                vec![1, 1, 2],
+                vec![1, 2, 1],
+                vec![2, 1, 1],
+                vec![3, 1, 1],
+            ],
+        ))
+        .unwrap();
+        db.add(Relation::new(
+            "R2",
+            3,
+            vec![
+                vec![1, 1, 2],
+                vec![1, 2, 1],
+                vec![1, 2, 2],
+                vec![2, 1, 1],
+                vec![2, 1, 2],
+            ],
+        ))
+        .unwrap();
+        db.add(Relation::new(
+            "R3",
+            3,
+            vec![
+                vec![1, 1, 1],
+                vec![1, 1, 2],
+                vec![1, 2, 1],
+                vec![2, 1, 1],
+                vec![2, 1, 2],
+            ],
+        ))
+        .unwrap();
+        let view = parse_adorned(
+            "Q(x, y, z, w1, w2, w3) :- R1(w1, x, y), R2(w2, y, z), R3(w3, x, z)",
+            "fffbbb",
+        )
+        .unwrap();
+        (view, db)
+    }
+
+    pub(crate) fn running_estimator() -> CostEstimator {
+        let (view, db) = running_example();
+        CostEstimator::build(&view, &db, &[1.0, 1.0, 1.0], 2.0).unwrap()
+    }
+
+    #[test]
+    fn example_13_t_of_root_interval() {
+        let est = running_estimator();
+        let sizes = est.sizes();
+        assert_eq!(sizes, vec![2, 2, 2]);
+        let root = FInterval::full(&sizes).unwrap();
+        let t = est.t_interval(&root, &sizes);
+        // √(3·3·4) + √(1·2·4) + √(1·3·1) + 0 ≈ 10.56.
+        let expect = 36.0f64.sqrt() + 8.0f64.sqrt() + 3.0f64.sqrt();
+        assert!((t - expect).abs() < 1e-9, "T(I(r)) = {t}, expected {expect}");
+        assert!((t - 10.56).abs() < 0.01);
+    }
+
+    #[test]
+    fn example_13_t_of_bound_valuation() {
+        let est = running_estimator();
+        let sizes = est.sizes();
+        let root = FInterval::full(&sizes).unwrap();
+        let t = est.t_interval_bound(&[1, 1, 1], &root, &sizes);
+        // √2 + 2 + 1 ≈ 4.414; with τ = 4 the pair (v_b, I(r)) is heavy.
+        let expect = 2.0f64.sqrt() + 2.0 + 1.0;
+        assert!((t - expect).abs() < 1e-9, "T(v_b, I(r)) = {t}");
+        assert!(t > 4.0);
+    }
+
+    #[test]
+    fn example_14_first_box_count() {
+        // T([⟨1,1,1⟩,⟨1,1,1⟩]) = √(3·1·2) ≈ 2.449.
+        let est = running_estimator();
+        let b = CanonicalBox::unit(&[0, 0, 0]);
+        let t = est.t_box(&b);
+        assert!((t - 6.0f64.sqrt()).abs() < 1e-9, "{t}");
+        // Individual counts: |R1(x=1,y=1)| = 3, |R2(y=1,z=1)| = 1,
+        // |R3(x=1,z=1)| = 2.
+        assert_eq!(est.count_box(0, &b), 3);
+        assert_eq!(est.count_box(1, &b), 1);
+        assert_eq!(est.count_box(2, &b), 2);
+    }
+
+    #[test]
+    fn bound_counts_match_manual_filter() {
+        let est = running_estimator();
+        // Box ⟨1,1,[1,2]⟩ with v_b = (1,1,1):
+        // |R1(w1=1, x=1, y=1)| = 1, |R2(w2=1, y=1, z∈[1,2])| = 1,
+        // |R3(w3=1, x=1, z∈[1,2])| = 2.
+        let b = CanonicalBox {
+            prefix: vec![0, 0],
+            range: (0, 1),
+        };
+        assert_eq!(est.count_box_bound(0, &[1, 1, 1], &b), 1);
+        assert_eq!(est.count_box_bound(1, &[1, 1, 1], &b), 1);
+        assert_eq!(est.count_box_bound(2, &[1, 1, 1], &b), 2);
+        assert!((est.t_box_bound(&[1, 1, 1], &b) - 2.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_boxes_cost_zero() {
+        let est = running_estimator();
+        let empty = CanonicalBox {
+            prefix: vec![0],
+            range: (1, 0),
+        };
+        assert_eq!(est.t_box(&empty), 0.0);
+        assert_eq!(est.count_box(0, &empty), 0);
+    }
+
+    #[test]
+    fn t_interval_bound_subadditive_under_split() {
+        // Lemma 2 consequence: splitting an interval never increases total T.
+        let est = running_estimator();
+        let sizes = est.sizes();
+        let root = FInterval::full(&sizes).unwrap();
+        let whole = est.t_interval(&root, &sizes);
+        let left = FInterval { lo: vec![0, 0, 0], hi: vec![0, 1, 1] };
+        let right = FInterval { lo: vec![1, 0, 0], hi: vec![1, 1, 1] };
+        let parts = est.t_interval(&left, &sizes) + est.t_interval(&right, &sizes);
+        assert!(parts <= whole + 1e-9, "split {parts} > whole {whole}");
+    }
+
+    #[test]
+    fn zero_weight_atoms_are_skipped() {
+        let (view, db) = running_example();
+        // Cover (2, 2, 0) with slack on free vars: x covered by R1 (2) and
+        // R3 (0) → 2; y by R1+R2 → 4; z by R2+R3 → 2; α = 2.
+        let est = CostEstimator::build(&view, &db, &[2.0, 2.0, 0.0], 2.0).unwrap();
+        let b = CanonicalBox::unit(&[0, 0, 0]);
+        // T = 3^1 · 1^1 (R3 skipped).
+        assert!((est.t_box(&b) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let (view, db) = running_example();
+        assert!(CostEstimator::build(&view, &db, &[1.0, 1.0], 2.0).is_err());
+        assert!(CostEstimator::build(&view, &db, &[1.0, 1.0, 1.0], 0.5).is_err());
+    }
+}

@@ -1,0 +1,330 @@
+//! The delay-balanced tree (§4.3, step 1).
+//!
+//! An annotated binary tree over f-intervals: the root holds the full grid
+//! `D_f`; a node at level `ℓ` with `T(I(w)) ≥ τ_ℓ = τ / 2^{ℓ(1−1/α)}` is
+//! split at the Algorithm 1 point `β(w)` into `[a, pred(β)]` and
+//! `[succ(β), b]` (the split point itself is handled at the node, cf.
+//! Algorithm 2 line 11); nodes below the threshold are leaves. Lemma 4
+//! bounds the depth by `O(log T)` because `T` halves at every level while
+//! the threshold decays strictly slower.
+
+use crate::cost::CostEstimator;
+use crate::fbox::{lex_cmp_ranks, pred, succ, FInterval};
+use crate::split::{split_interval, split_interval_midpoint};
+use cqc_common::heap::HeapSize;
+use cqc_common::util::approx_ge;
+use std::cmp::Ordering;
+
+/// Hard cap on tree depth; reaching it indicates a bug in the halving
+/// invariant (Prop. 8), not a legitimate instance.
+const MAX_LEVEL: u16 = 512;
+
+/// One node of the delay-balanced tree.
+#[derive(Debug, Clone)]
+pub struct TreeNode {
+    /// The node's f-interval (closed, rank space).
+    pub interval: FInterval,
+    /// Algorithm 1 split point; `None` for leaves.
+    pub beta: Option<Vec<usize>>,
+    /// Left child (covers `[lo, pred(β)]`).
+    pub left: Option<u32>,
+    /// Right child (covers `[succ(β), hi]`).
+    pub right: Option<u32>,
+    /// Depth (root = 0).
+    pub level: u16,
+    /// `T(I(w))` at construction time (kept for invariant checks and
+    /// statistics).
+    pub t_value: f64,
+}
+
+/// The delay-balanced tree.
+#[derive(Debug)]
+pub struct DelayBalancedTree {
+    /// Nodes; index 0 is the root.
+    pub nodes: Vec<TreeNode>,
+    /// The delay knob τ.
+    pub tau: f64,
+    /// The slack α of the cover.
+    pub alpha: f64,
+}
+
+/// `τ_ℓ = τ / 2^{ℓ(1−1/α)}`.
+pub fn tau_level(tau: f64, alpha: f64, level: u16) -> f64 {
+    tau / 2f64.powf(f64::from(level) * (1.0 - 1.0 / alpha))
+}
+
+/// Which split-point rule the tree uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Splitter {
+    /// Algorithm 1: cost-balanced splits with the Prop. 8 `T/2` guarantee.
+    #[default]
+    Balanced,
+    /// Ablation baseline: grid midpoints (no balance guarantee).
+    Midpoint,
+}
+
+impl DelayBalancedTree {
+    /// Builds the tree for the given cost oracle and threshold `τ ≥ 1`.
+    ///
+    /// Returns `None` when some free variable has an empty active domain
+    /// (the view result is empty for every access request).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau < 1`.
+    pub fn build(est: &CostEstimator, tau: f64) -> Option<DelayBalancedTree> {
+        DelayBalancedTree::build_with_splitter(est, tau, Splitter::Balanced)
+    }
+
+    /// Builds the tree with an explicit split rule (the `Midpoint` variant
+    /// exists for the EXP-11 ablation; production code uses
+    /// [`DelayBalancedTree::build`]).
+    ///
+    /// With the midpoint rule the `T`-halving guarantee is lost, so the
+    /// construction additionally stops when an interval becomes a unit —
+    /// termination then follows from the strict shrinkage of intervals.
+    pub fn build_with_splitter(
+        est: &CostEstimator,
+        tau: f64,
+        splitter: Splitter,
+    ) -> Option<DelayBalancedTree> {
+        assert!(tau >= 1.0, "τ must be at least 1");
+        let alpha = est.alpha();
+        let sizes = est.sizes();
+        let root_interval = FInterval::full(&sizes)?;
+
+        let mut nodes: Vec<TreeNode> = Vec::new();
+        // Work stack entries: (interval, level, parent slot), where the
+        // slot is `(parent node, is_left_child)`.
+        type Slot = Option<(u32, bool)>;
+        let mut stack: Vec<(FInterval, u16, Slot)> = vec![(root_interval, 0, None)];
+
+        while let Some((interval, level, slot)) = stack.pop() {
+            assert!(level < MAX_LEVEL, "delay-balanced tree too deep (bug)");
+            let t = est.t_interval(&interval, &sizes);
+            let idx = nodes.len() as u32;
+            if let Some((parent, is_left)) = slot {
+                let p = &mut nodes[parent as usize];
+                if is_left {
+                    p.left = Some(idx);
+                } else {
+                    p.right = Some(idx);
+                }
+            }
+            let threshold = tau_level(tau, alpha, level);
+            // Leaf when T(I(w)) < τ_ℓ (zero-cost intervals are always
+            // leaves; they cannot be split).
+            if t <= 0.0 || !approx_ge(t, threshold) {
+                nodes.push(TreeNode {
+                    interval,
+                    beta: None,
+                    left: None,
+                    right: None,
+                    level,
+                    t_value: t,
+                });
+                continue;
+            }
+            let beta = match splitter {
+                Splitter::Balanced => split_interval(est, &sizes, &interval),
+                Splitter::Midpoint => split_interval_midpoint(est, &sizes, &interval),
+            };
+            let left = pred(&beta, &sizes).filter(|p| {
+                lex_cmp_ranks(&interval.lo, p) != Ordering::Greater
+            });
+            let right = succ(&beta, &sizes).filter(|s| {
+                lex_cmp_ranks(s, &interval.hi) != Ordering::Greater
+            });
+            nodes.push(TreeNode {
+                interval: interval.clone(),
+                beta: Some(beta),
+                left: None,
+                right: None,
+                level,
+                t_value: t,
+            });
+            // Push right first so the left child is processed (and thus
+            // numbered) first — purely cosmetic, but it makes node ids
+            // follow the in-order layout of Figure 3.
+            if let Some(hi_lo) = right {
+                let child = FInterval {
+                    lo: hi_lo,
+                    hi: interval.hi.clone(),
+                };
+                stack.push((child, level + 1, Some((idx, false))));
+            }
+            if let Some(lo_hi) = left {
+                let child = FInterval {
+                    lo: interval.lo.clone(),
+                    hi: lo_hi,
+                };
+                stack.push((child, level + 1, Some((idx, true))));
+            }
+        }
+
+        Some(DelayBalancedTree { nodes, tau, alpha })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the tree has no nodes (never produced by `build`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> u32 {
+        0
+    }
+
+    /// The level threshold for a node.
+    pub fn threshold_of(&self, node: u32) -> f64 {
+        tau_level(self.tau, self.alpha, self.nodes[node as usize].level)
+    }
+
+    /// Maximum node level.
+    pub fn depth(&self) -> u16 {
+        self.nodes.iter().map(|n| n.level).max().unwrap_or(0)
+    }
+}
+
+impl HeapSize for DelayBalancedTree {
+    fn heap_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| {
+                n.interval.lo.heap_bytes()
+                    + n.interval.hi.heap_bytes()
+                    + n.beta.as_ref().map_or(0, |b| b.heap_bytes())
+                    + std::mem::size_of::<TreeNode>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::tests::running_estimator;
+
+    /// Figure 3: the delay-balanced tree of the running example at τ = 4
+    /// has exactly five nodes with the depicted intervals and split points.
+    #[test]
+    fn figure_3_tree_shape() {
+        let est = running_estimator();
+        let tree = DelayBalancedTree::build(&est, 4.0).unwrap();
+        assert_eq!(tree.len(), 5);
+
+        let root = &tree.nodes[0];
+        assert_eq!(est.ranks_to_values(&root.interval.lo), vec![1, 1, 1]);
+        assert_eq!(est.ranks_to_values(&root.interval.hi), vec![2, 2, 2]);
+        assert_eq!(
+            est.ranks_to_values(root.beta.as_ref().unwrap()),
+            vec![1, 1, 2]
+        );
+        assert!((root.t_value - 10.5605).abs() < 1e-3);
+
+        // Left child r_l = [⟨1,1,1⟩, ⟨1,1,1⟩], a leaf.
+        let rl = &tree.nodes[root.left.unwrap() as usize];
+        assert_eq!(est.ranks_to_values(&rl.interval.lo), vec![1, 1, 1]);
+        assert_eq!(est.ranks_to_values(&rl.interval.hi), vec![1, 1, 1]);
+        assert!(rl.beta.is_none());
+        assert!((rl.t_value - 6.0f64.sqrt()).abs() < 1e-9);
+
+        // Right child r_r = [⟨1,2,1⟩, ⟨2,2,2⟩] with β = (1,2,2).
+        let rr = &tree.nodes[root.right.unwrap() as usize];
+        assert_eq!(est.ranks_to_values(&rr.interval.lo), vec![1, 2, 1]);
+        assert_eq!(est.ranks_to_values(&rr.interval.hi), vec![2, 2, 2]);
+        assert_eq!(
+            est.ranks_to_values(rr.beta.as_ref().unwrap()),
+            vec![1, 2, 2]
+        );
+
+        // Its children r_rl = [⟨1,2,1⟩,⟨1,2,1⟩] and r_rr = [⟨2,1,1⟩,⟨2,2,2⟩]
+        // are leaves (T < τ_2 = 2).
+        let rrl = &tree.nodes[rr.left.unwrap() as usize];
+        assert_eq!(est.ranks_to_values(&rrl.interval.lo), vec![1, 2, 1]);
+        assert_eq!(est.ranks_to_values(&rrl.interval.hi), vec![1, 2, 1]);
+        assert!(rrl.beta.is_none());
+        let rrr = &tree.nodes[rr.right.unwrap() as usize];
+        assert_eq!(est.ranks_to_values(&rrr.interval.lo), vec![2, 1, 1]);
+        assert_eq!(est.ranks_to_values(&rrr.interval.hi), vec![2, 2, 2]);
+        assert!(rrr.beta.is_none());
+    }
+
+    /// Lemma 4 item 1 on the running example: every child's T is at most
+    /// half its parent's.
+    #[test]
+    fn t_halves_along_edges() {
+        let est = running_estimator();
+        for tau in [1.0, 2.0, 4.0, 8.0] {
+            let tree = DelayBalancedTree::build(&est, tau).unwrap();
+            for node in &tree.nodes {
+                for child in [node.left, node.right].into_iter().flatten() {
+                    let ct = tree.nodes[child as usize].t_value;
+                    assert!(
+                        ct <= node.t_value / 2.0 + 1e-9,
+                        "child T {ct} > parent T {} / 2 (tau {tau})",
+                        node.t_value
+                    );
+                }
+            }
+        }
+    }
+
+    /// Threshold bookkeeping: internal nodes satisfy T ≥ τ_ℓ, leaves with
+    /// children slots empty satisfy T < τ_ℓ or are unsplittable points.
+    #[test]
+    fn threshold_invariants() {
+        let est = running_estimator();
+        let tree = DelayBalancedTree::build(&est, 4.0).unwrap();
+        for (i, node) in tree.nodes.iter().enumerate() {
+            let thr = tree.threshold_of(i as u32);
+            if node.beta.is_some() {
+                assert!(node.t_value >= thr - 1e-9);
+            } else {
+                assert!(node.t_value < thr);
+            }
+        }
+    }
+
+    /// τ_ℓ: at α = 2 the threshold decays by √2 per level; at α = 1 it is
+    /// constant.
+    #[test]
+    fn tau_level_formula() {
+        assert!((tau_level(4.0, 2.0, 0) - 4.0).abs() < 1e-12);
+        assert!((tau_level(4.0, 2.0, 1) - 4.0 / 2f64.sqrt()).abs() < 1e-12);
+        assert!((tau_level(4.0, 2.0, 2) - 2.0).abs() < 1e-12);
+        for l in 0..10 {
+            assert!((tau_level(7.0, 1.0, l) - 7.0).abs() < 1e-12);
+        }
+    }
+
+    /// A huge τ makes the root a leaf (the structure degenerates to direct
+    /// evaluation).
+    #[test]
+    fn huge_tau_single_leaf() {
+        let est = running_estimator();
+        let tree = DelayBalancedTree::build(&est, 1e6).unwrap();
+        assert_eq!(tree.len(), 1);
+        assert!(tree.nodes[0].beta.is_none());
+    }
+
+    /// τ = 1 with α = 2: thresholds decay, the tree splits down to points.
+    #[test]
+    fn tau_one_fully_splits() {
+        let est = running_estimator();
+        let tree = DelayBalancedTree::build(&est, 1.0).unwrap();
+        assert!(tree.len() >= 5);
+        assert!(tree.depth() >= 2);
+        // Every leaf has T < its threshold.
+        for (i, n) in tree.nodes.iter().enumerate() {
+            if n.beta.is_none() {
+                assert!(n.t_value < tree.threshold_of(i as u32));
+            }
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! The heavy-pair dictionary **D** (§4.3 step 2, Appendix A).
+//!
+//! For every tree node `w` at level `ℓ` and every bound valuation `v_b`
+//! with `T(v_b, I(w)) > τ_ℓ` (a *τ_ℓ-heavy pair*, Def. 3), the dictionary
+//! stores one bit: whether `(⋈_F R_F(v_b)) ⋉ I(w)` is non-empty. Light
+//! pairs have no entry (`⊥`) and are evaluated directly at query time.
+//!
+//! Construction follows Appendix A: candidate valuations are the distinct
+//! `V_b`-prefixes of the join of the bound-touching atoms `E_{V_b}`
+//! restricted to `I(w)` (Prop. 13), enumerated with prefix-skipping
+//! leapfrog joins; each heavy candidate's bit is then decided. For the bit
+//! we use a first-answer probe of the fully restricted join instead of
+//! streaming the complete join output (Algorithm 3): the result is
+//! identical and each probe is bounded by the same `T(v_b, I(w))` quantity
+//! that bounds Algorithm 3's per-valuation work (see DESIGN.md §4).
+
+use crate::cost::CostEstimator;
+use crate::dbtree::{tau_level, DelayBalancedTree};
+use crate::fbox::{box_decomposition, CanonicalBox};
+use cqc_common::hash::{fast_set, FastMap, FastSet};
+use cqc_common::heap::HeapSize;
+use cqc_common::metrics;
+use cqc_common::util::approx_gt;
+use cqc_common::value::Value;
+use cqc_join::leapfrog::LevelConstraint;
+use cqc_join::plan::ViewPlan;
+
+/// The dictionary: one map per tree node, keyed by the bound valuation in
+/// bound-head order.
+#[derive(Debug, Default)]
+pub struct HeavyDictionary {
+    maps: Vec<FastMap<Box<[Value]>, bool>>,
+}
+
+impl HeavyDictionary {
+    /// Builds the dictionary for a delay-balanced tree.
+    pub fn build(
+        plan: &ViewPlan,
+        est: &CostEstimator,
+        tree: &DelayBalancedTree,
+    ) -> HeavyDictionary {
+        let sizes = est.sizes();
+        let nb = plan.num_bound;
+        let levels = plan.num_levels();
+        let all_atoms: Vec<usize> = (0..plan.num_atoms()).collect();
+        let bound_atoms: Vec<usize> = (0..plan.num_atoms())
+            .filter(|&i| plan.atom_levels(i).iter().any(|&l| l < nb))
+            .collect();
+        // Free levels covered by the bound-touching atoms.
+        let mut covered = vec![false; levels];
+        for &i in &bound_atoms {
+            for &l in plan.atom_levels(i) {
+                covered[l] = true;
+            }
+        }
+
+        let mut maps: Vec<FastMap<Box<[Value]>, bool>> =
+            (0..tree.nodes.len()).map(|_| FastMap::default()).collect();
+
+        // 1. Candidate bound valuations at the root (Prop. 13): the
+        //    distinct V_b-prefixes of the E_{V_b} join over the full grid.
+        //
+        //    Candidate sets only shrink down the tree — `I(child) ⊆
+        //    I(parent)` and `T(v_b, ·)` is monotone in the interval — so we
+        //    enumerate once here and *filter* along tree edges below,
+        //    instead of re-running the join per node (same output, far less
+        //    work; the per-node join of Algorithm 3 costs a full
+        //    worst-case-join per level).
+        let root_boxes = box_decomposition(&tree.nodes[0].interval, &sizes);
+        let mut root_candidates: Vec<Vec<Value>> = Vec::new();
+        if nb == 0 {
+            root_candidates.push(Vec::new());
+        } else {
+            let mut seen: FastSet<Box<[Value]>> = fast_set();
+            for b in &root_boxes {
+                let mut cons = vec![LevelConstraint::Free; nb];
+                cons.extend(free_constraints(est, b, levels - nb));
+                // Free levels untouched by E_{V_b} cannot be joined over;
+                // fixing them to an arbitrary value drops their (vacuous)
+                // constraint and only enlarges the candidate set.
+                for (l, c) in cons.iter_mut().enumerate().skip(nb) {
+                    if !covered[l] {
+                        *c = LevelConstraint::Fixed(0);
+                    }
+                }
+                let mut join = plan.join_subset(&bound_atoms, cons);
+                while let Some(t) = join.next() {
+                    if seen.insert(Box::from(&t[..nb])) {
+                        root_candidates.push(t[..nb].to_vec());
+                    }
+                    join.skip_to_level(nb - 1);
+                }
+            }
+        }
+
+        // 2. DFS: at each node, evaluate T(v_b, I(w)) for the surviving
+        //    candidates; store heavy pairs (with an emptiness-probe bit) and
+        //    pass the non-zero ones to the children.
+        let mut stack: Vec<(u32, Vec<Vec<Value>>)> = vec![(0, root_candidates)];
+        while let Some((w, cands)) = stack.pop() {
+            let node = &tree.nodes[w as usize];
+            let threshold = tau_level(tree.tau, tree.alpha, node.level);
+            let boxes = box_decomposition(&node.interval, &sizes);
+            let mut survivors: Vec<Vec<Value>> = Vec::with_capacity(cands.len());
+            for cand in cands {
+                let t: f64 = boxes.iter().map(|b| est.t_box_bound(&cand, b)).sum();
+                if t <= 0.0 {
+                    continue; // dead everywhere below this node too
+                }
+                if approx_gt(t, threshold) {
+                    let mut bit = false;
+                    for b in &boxes {
+                        let mut cons: Vec<LevelConstraint> =
+                            cand.iter().map(|&v| LevelConstraint::Fixed(v)).collect();
+                        cons.extend(free_constraints(est, b, levels - nb));
+                        let mut join = plan.join_subset(&all_atoms, cons);
+                        if join.is_non_empty() {
+                            bit = true;
+                            break;
+                        }
+                    }
+                    maps[w as usize].insert(Box::from(&cand[..]), bit);
+                }
+                survivors.push(cand);
+            }
+            match (node.left, node.right) {
+                (Some(l), Some(r)) => {
+                    stack.push((l, survivors.clone()));
+                    stack.push((r, survivors));
+                }
+                (Some(l), None) => stack.push((l, survivors)),
+                (None, Some(r)) => stack.push((r, survivors)),
+                (None, None) => {}
+            }
+        }
+
+        HeavyDictionary { maps }
+    }
+
+    /// An empty dictionary sized for `n` nodes (empty-view case).
+    pub fn empty(n: usize) -> HeavyDictionary {
+        HeavyDictionary {
+            maps: (0..n).map(|_| FastMap::default()).collect(),
+        }
+    }
+
+    /// Looks up `D(w, v_b)`: `Some(bit)` for heavy pairs, `None` (⊥) for
+    /// light ones.
+    pub fn get(&self, node: u32, vb: &[Value]) -> Option<bool> {
+        metrics::record_dict_lookup();
+        self.maps[node as usize].get(vb).copied()
+    }
+
+    /// Overwrites an entry (used by the Theorem 2 semijoin fixup, which
+    /// only ever flips 1 → 0).
+    pub fn set(&mut self, node: u32, vb: &[Value], bit: bool) {
+        self.maps[node as usize].insert(Box::from(vb), bit);
+    }
+
+    /// Total number of stored pairs (the non-linear space term of Lemma 5).
+    pub fn num_entries(&self) -> usize {
+        self.maps.iter().map(FastMap::len).sum()
+    }
+
+    /// Iterates over all entries as `(node, v_b, bit)`.
+    pub fn entries(&self) -> impl Iterator<Item = (u32, &[Value], bool)> + '_ {
+        self.maps.iter().enumerate().flat_map(|(w, m)| {
+            m.iter().map(move |(k, &v)| (w as u32, k.as_ref(), v))
+        })
+    }
+
+    /// The entries of one node.
+    pub fn entries_of(&self, node: u32) -> impl Iterator<Item = (&[Value], bool)> + '_ {
+        self.maps[node as usize].iter().map(|(k, &v)| (k.as_ref(), v))
+    }
+}
+
+impl HeapSize for HeavyDictionary {
+    fn heap_bytes(&self) -> usize {
+        self.maps
+            .iter()
+            .map(|m| {
+                m.keys().map(|k| k.len() * std::mem::size_of::<Value>())
+                    .sum::<usize>()
+                    + m.capacity()
+                        * (std::mem::size_of::<(Box<[Value]>, bool)>() + 8)
+            })
+            .sum::<usize>()
+            + self.maps.capacity() * std::mem::size_of::<FastMap<Box<[Value]>, bool>>()
+    }
+}
+
+/// Per-free-level constraints induced by a canonical box, in enumeration
+/// order (length `mu`).
+pub fn free_constraints(
+    est: &CostEstimator,
+    b: &CanonicalBox,
+    mu: usize,
+) -> Vec<LevelConstraint> {
+    let doms = est.domains();
+    let p = b.range_pos();
+    let mut cons = Vec::with_capacity(mu);
+    for (ep, dom) in doms.iter().enumerate().take(mu) {
+        if ep < p {
+            cons.push(LevelConstraint::Fixed(dom.value(b.prefix[ep])));
+        } else if ep == p {
+            cons.push(LevelConstraint::Range(
+                dom.value(b.range.0),
+                dom.value(b.range.1),
+            ));
+        } else {
+            cons.push(LevelConstraint::Free);
+        }
+    }
+    cons
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::tests::{running_example, running_estimator};
+
+    /// Example 15: at τ = 4 the dictionary holds exactly the two entries
+    /// D(I(r), (1,1,1)) = 1 and D(I(r_r), (1,1,1)) = 1 for that valuation,
+    /// and leaves carry no entries.
+    #[test]
+    fn example_15_dictionary_entries() {
+        let (view, db) = running_example();
+        let est = running_estimator();
+        let plan = ViewPlan::build(&view, &db).unwrap();
+        let tree = DelayBalancedTree::build(&est, 4.0).unwrap();
+        let dict = HeavyDictionary::build(&plan, &est, &tree);
+
+        // Node ids from the Figure 3 test: 0 = r, 2 = r_r (left child is 1).
+        let rr = tree.nodes[0].right.unwrap();
+        assert_eq!(dict.get(0, &[1, 1, 1]), Some(true));
+        assert_eq!(dict.get(rr, &[1, 1, 1]), Some(true));
+
+        // Leaves carry no entries at all (they have no heavy pairs).
+        for (w, n) in tree.nodes.iter().enumerate() {
+            if n.beta.is_none() {
+                assert_eq!(dict.entries_of(w as u32).count(), 0, "leaf {w}");
+            }
+        }
+
+        // Brute-force cross-check of heaviness over the whole bound grid.
+        let sizes = est.sizes();
+        for w1 in 1..=3u64 {
+            for w2 in 1..=2u64 {
+                for w3 in 1..=2u64 {
+                    let vb = [w1, w2, w3];
+                    for (w, node) in tree.nodes.iter().enumerate() {
+                        let t = est.t_interval_bound(&vb, &node.interval, &sizes);
+                        let thr = tau_level(tree.tau, tree.alpha, node.level);
+                        let entry = dict.get(w as u32, &vb);
+                        if t > thr + 1e-9 {
+                            assert!(
+                                entry.is_some(),
+                                "heavy pair (({w1},{w2},{w3}), node {w}) missing"
+                            );
+                        } else {
+                            assert!(
+                                entry.is_none(),
+                                "light pair (({w1},{w2},{w3}), node {w}) stored"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bits must reflect emptiness of the restricted join.
+    #[test]
+    fn bits_match_restricted_emptiness() {
+        let (view, db) = running_example();
+        let est = running_estimator();
+        let plan = ViewPlan::build(&view, &db).unwrap();
+        for tau in [1.0, 2.0, 4.0] {
+            let tree = DelayBalancedTree::build(&est, tau).unwrap();
+            let dict = HeavyDictionary::build(&plan, &est, &tree);
+            for (w, vb, bit) in dict.entries() {
+                let node = &tree.nodes[w as usize];
+                // Naive emptiness: enumerate the full join of the view for
+                // this v_b and check membership in the interval.
+                let res = cqc_join::naive::evaluate_view(&view, &db, vb).unwrap();
+                let doms = est.domains();
+                let nonempty = res.iter().any(|t| {
+                    let ranks: Vec<usize> = t
+                        .iter()
+                        .zip(doms)
+                        .map(|(v, d)| d.rank(*v).expect("output value in domain"))
+                        .collect();
+                    node.interval.contains(&ranks)
+                });
+                assert_eq!(bit, nonempty, "bit mismatch at node {w}, vb {vb:?}");
+            }
+        }
+    }
+
+    /// Lemma 5 sanity: the number of entries stays within the
+    /// (constant-factor-padded) bound Π|R_F|^{u_F} / τ^α · log.
+    #[test]
+    fn entry_count_within_lemma_5_bound() {
+        let (view, db) = running_example();
+        let est = running_estimator();
+        let plan = ViewPlan::build(&view, &db).unwrap();
+        for tau in [1.0f64, 2.0, 4.0, 8.0] {
+            let tree = DelayBalancedTree::build(&est, tau).unwrap();
+            let dict = HeavyDictionary::build(&plan, &est, &tree);
+            let product = 5.0f64 * 5.0 * 5.0; // Π|R_F| with u = (1,1,1)
+            let alpha = 2.0;
+            let mu = 3.0f64;
+            let c = (2.0 * mu - 1.0).powf(alpha);
+            let levels = f64::from(tree.depth()) + 1.0;
+            let bound = c * levels * product / tau.powf(alpha);
+            assert!(
+                (dict.num_entries() as f64) <= bound,
+                "τ={tau}: {} entries > bound {bound}",
+                dict.num_entries()
+            );
+        }
+    }
+}

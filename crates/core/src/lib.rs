@@ -1,0 +1,55 @@
+//! Compressed representations of conjunctive query results.
+//!
+//! A from-scratch implementation of *Compressed Representations of
+//! Conjunctive Query Results* (Deep & Koutris, PODS 2018): a tunable data
+//! structure that compresses the result of a full conjunctive query for a
+//! given access pattern (adorned view), trading space against enumeration
+//! delay across the full continuum between the two classical extremes —
+//! materialize-everything and evaluate-per-request.
+//!
+//! The crate exposes:
+//!
+//! * [`theorem1::Theorem1Structure`] — the compression primitive
+//!   (Theorem 1): delay-balanced tree + heavy-pair dictionary; space
+//!   `Õ(|D| + Π|R_F|^{u_F}/τ^α)`, delay `Õ(τ)`;
+//! * [`theorem2::Theorem2Structure`] — Theorem 1 combined with
+//!   `V_b`-connex tree decompositions (Theorem 2): space `Õ(|D| + |D|^f)`,
+//!   delay `Õ(|D|^h)` for δ-width `f` and δ-height `h`;
+//! * [`bound_only::BoundOnlyView`] — Proposition 1 for all-bound views;
+//! * [`compressed::CompressedView`] — a unified front door that picks (or
+//!   is told) a strategy and exposes `answer`/`exists`/space accounting;
+//! * the geometric/costing substrate of §4: [`fbox`] (f-intervals, box
+//!   decompositions), [`cost`] (the `T(·)` oracle), [`split`]
+//!   (Lemma 3/Algorithm 1) and [`dbtree`] (the delay-balanced tree).
+//!
+//! ```
+//! use cqc_core::compressed::{CompressedView, Strategy};
+//! use cqc_query::parser::parse_adorned;
+//! use cqc_storage::{Database, Relation};
+//!
+//! let mut db = Database::new();
+//! db.add(Relation::from_pairs("R", vec![(1, 2), (2, 3), (3, 1), (1, 3)])).unwrap();
+//! // Mutual friends: V^bfb(x, y, z) = R(x,y), R(y,z), R(z,x).
+//! let view = parse_adorned("V(x, y, z) :- R(x, y), R(y, z), R(z, x)", "bfb").unwrap();
+//! let cv = CompressedView::build(&view, &db, Strategy::Tradeoff { tau: 2.0, weights: None }).unwrap();
+//! let ys: Vec<Vec<u64>> = cv.answer(&[1, 3]).unwrap().collect();
+//! assert_eq!(ys, vec![vec![2]]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bound_only;
+pub mod compressed;
+pub mod cost;
+pub mod dbtree;
+pub mod dictionary;
+pub mod fbox;
+pub mod split;
+pub mod theorem1;
+pub mod theorem2;
+
+pub use bound_only::BoundOnlyView;
+pub use compressed::{CompressedView, Strategy};
+pub use theorem1::{Theorem1Structure, Theorem1Stats};
+pub use theorem2::Theorem2Structure;

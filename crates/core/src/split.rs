@@ -1,0 +1,258 @@
+//! Balanced interval splitting (Lemma 3 and Algorithm 1).
+//!
+//! Given an f-interval `I` with cost `T = T(I)`, Algorithm 1 computes a
+//! split point `c ∈ D_f` such that both `T([a, c))` and `T((c, b])` are at
+//! most `T/2` (Prop. 8). It first locates the box `B_s` of `B(I)` where the
+//! prefix sums cross `T/2`, then refines coordinate by coordinate inside
+//! `B_s`, each step a binary search over the variable's active domain
+//! (Lemma 3) — Õ(1) total, thanks to the count oracle.
+
+use crate::cost::CostEstimator;
+use crate::fbox::{box_decomposition, CanonicalBox, FInterval};
+use cqc_common::util::{approx_ge, approx_gt, partition_point};
+
+/// `T` of the canonical box `⟨prefix, range, □…⟩`; `range = None` means the
+/// full domain at position `prefix.len()`. A prefix of length µ denotes the
+/// unit box.
+fn t_prefix_box(
+    est: &CostEstimator,
+    sizes: &[usize],
+    prefix: &[usize],
+    range: Option<(usize, usize)>,
+) -> f64 {
+    let mu = sizes.len();
+    let b = if prefix.len() == mu {
+        debug_assert!(range.is_none());
+        CanonicalBox::unit(prefix)
+    } else {
+        let p = prefix.len();
+        CanonicalBox {
+            prefix: prefix.to_vec(),
+            range: range.unwrap_or((0, sizes[p] - 1)),
+        }
+    };
+    est.t_box(&b)
+}
+
+/// Lemma 3: the smallest rank `β ∈ [r_lo, r_hi]` such that
+/// `T(⟨prefix, [r_lo, β]⟩) ≥ min(T(⟨prefix, [r_lo, r_hi]⟩), target)`.
+///
+/// Such a `β` always exists because the prefix-T is non-decreasing in `β`
+/// and reaches the full-box value at `r_hi`.
+fn find_beta(
+    est: &CostEstimator,
+    sizes: &[usize],
+    prefix: &[usize],
+    r_lo: usize,
+    r_hi: usize,
+    target: f64,
+) -> usize {
+    debug_assert!(r_lo <= r_hi);
+    let full = t_prefix_box(est, sizes, prefix, Some((r_lo, r_hi)));
+    let goal = full.min(target);
+    let idx = partition_point(r_lo, r_hi + 1, |r| {
+        approx_ge(t_prefix_box(est, sizes, prefix, Some((r_lo, r))), goal)
+    });
+    idx.min(r_hi)
+}
+
+/// Algorithm 1: a split point `c` of `interval` such that
+/// `T([lo, c)) ≤ T/2` and `T((c, hi]) ≤ T/2`.
+///
+/// # Panics
+///
+/// Panics if `T(interval) = 0` (the caller never splits zero-cost
+/// intervals) or the interval is malformed.
+pub fn split_interval(
+    est: &CostEstimator,
+    sizes: &[usize],
+    interval: &FInterval,
+) -> Vec<usize> {
+    let mu = sizes.len();
+    let boxes = box_decomposition(interval, sizes);
+    let t_of: Vec<f64> = boxes.iter().map(|b| est.t_box(b)).collect();
+    let total: f64 = t_of.iter().sum();
+    assert!(total > 0.0, "cannot split a zero-cost interval");
+
+    // s = argmin_j { Σ_{i≤j} T(B_i) > T/2 }.
+    let mut acc = 0.0f64;
+    let mut s = boxes.len() - 1;
+    for (j, &t) in t_of.iter().enumerate() {
+        acc += t;
+        if approx_gt(acc, total / 2.0) {
+            s = j;
+            break;
+        }
+    }
+    let gamma0: f64 = t_of[..s].iter().sum();
+    let bs = &boxes[s];
+
+    // Refine inside B_s coordinate by coordinate (line 5–9 of Algorithm 1).
+    let mut c: Vec<usize> = bs.prefix.clone();
+    let k = c.len();
+    let mut gamma = gamma0;
+    let mut delta = t_of[s];
+    for j in k..mu {
+        let (r_lo, r_hi) = if j == k {
+            bs.range
+        } else {
+            (0, sizes[j] - 1)
+        };
+        let target = delta.min(total / 2.0 - gamma);
+        let cj = find_beta(est, sizes, &c, r_lo, r_hi, target);
+        // γ_j = γ_{j-1} + T(⟨c, I_j ∩ [⊥, c_j)⟩).
+        if cj > r_lo {
+            gamma += t_prefix_box(est, sizes, &c, Some((r_lo, cj - 1)));
+        }
+        c.push(cj);
+        // Δ_j = T(⟨c_1..c_j⟩) with the rest unconstrained.
+        delta = if c.len() == mu {
+            t_prefix_box(est, sizes, &c, None)
+        } else {
+            t_prefix_box(est, sizes, &c, Some((0, sizes[c.len()] - 1)))
+        };
+    }
+    debug_assert_eq!(c.len(), mu);
+    debug_assert!(interval.contains(&c), "split point must lie in the interval");
+    c
+}
+
+/// Ablation baseline: split at the *grid midpoint* of the interval,
+/// ignoring costs entirely.
+///
+/// Used by the EXP-11 ablation to quantify what Algorithm 1's cost-balanced
+/// choice buys: a midpoint split gives no `T/2` guarantee, so skewed
+/// instances produce deeper, larger trees (and, with them, larger
+/// dictionaries) for the same τ.
+pub fn split_interval_midpoint(
+    _est: &CostEstimator,
+    sizes: &[usize],
+    interval: &FInterval,
+) -> Vec<usize> {
+    // Midpoint in mixed-radix coordinates: average the endpoints digit by
+    // digit with carry propagation (an approximation of the true rank
+    // midpoint that stays inside the interval).
+    let mu = sizes.len();
+    let mut c = Vec::with_capacity(mu);
+    let mut carry = 0usize; // 0 or 1 unit of the current digit.
+    for (i, &size) in sizes.iter().enumerate().take(mu) {
+        let sum = interval.lo[i] + interval.hi[i] + carry * size;
+        c.push(sum / 2);
+        carry = sum % 2;
+    }
+    debug_assert!(interval.contains(&c), "midpoint stays inside");
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::tests::running_estimator;
+    use crate::fbox::{pred, succ};
+
+    #[test]
+    fn midpoint_splitter_stays_inside() {
+        let est = running_estimator();
+        let sizes = est.sizes();
+        let iv = FInterval {
+            lo: vec![0, 0, 0],
+            hi: vec![1, 1, 1],
+        };
+        let c = split_interval_midpoint(&est, &sizes, &iv);
+        assert!(iv.contains(&c));
+        let unit = FInterval {
+            lo: vec![1, 0, 1],
+            hi: vec![1, 0, 1],
+        };
+        assert_eq!(split_interval_midpoint(&est, &sizes, &unit), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn example_14_root_split_is_112() {
+        let est = running_estimator();
+        let sizes = est.sizes();
+        let root = FInterval::full(&sizes).unwrap();
+        let c = split_interval(&est, &sizes, &root);
+        // β(r) = (1,1,2) in values = ranks (0,0,1).
+        assert_eq!(c, vec![0, 0, 1]);
+        assert_eq!(est.ranks_to_values(&c), vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn example_14_second_split_is_122() {
+        let est = running_estimator();
+        let sizes = est.sizes();
+        // I(rr) = [⟨1,2,1⟩, ⟨2,2,2⟩] = ranks [(0,1,0), (1,1,1)].
+        let rr = FInterval {
+            lo: vec![0, 1, 0],
+            hi: vec![1, 1, 1],
+        };
+        let c = split_interval(&est, &sizes, &rr);
+        assert_eq!(est.ranks_to_values(&c), vec![1, 2, 2]);
+    }
+
+    /// Proposition 8, exhaustively on the running example: for every
+    /// subinterval with positive cost, both halves cost at most T/2 (small
+    /// tolerance for floating point).
+    #[test]
+    fn proposition_8_exhaustive() {
+        let est = running_estimator();
+        let sizes = est.sizes();
+        let all: Vec<Vec<usize>> = {
+            let mut pts = Vec::new();
+            for a in 0..2 {
+                for b in 0..2 {
+                    for c in 0..2 {
+                        pts.push(vec![a, b, c]);
+                    }
+                }
+            }
+            pts
+        };
+        let mut checked = 0usize;
+        for i in 0..all.len() {
+            for j in i..all.len() {
+                let iv = FInterval {
+                    lo: all[i].clone(),
+                    hi: all[j].clone(),
+                };
+                let total = est.t_interval(&iv, &sizes);
+                if total <= 0.0 {
+                    continue;
+                }
+                let c = split_interval(&est, &sizes, &iv);
+                assert!(iv.contains(&c));
+                let half = total / 2.0 + 1e-9;
+                if let Some(p) = pred(&c, &sizes) {
+                    if iv.contains(&p) {
+                        let left = FInterval { lo: iv.lo.clone(), hi: p };
+                        let tl = est.t_interval(&left, &sizes);
+                        assert!(tl <= half, "left {tl} > {half} for [{i},{j}]");
+                    }
+                }
+                if let Some(sx) = succ(&c, &sizes) {
+                    if iv.contains(&sx) {
+                        let right = FInterval { lo: sx, hi: iv.hi.clone() };
+                        let tr = est.t_interval(&right, &sizes);
+                        assert!(tr <= half, "right {tr} > {half} for [{i},{j}]");
+                    }
+                }
+                checked += 1;
+            }
+        }
+        assert!(checked > 20, "exhaustive sweep must cover many intervals");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-cost")]
+    fn zero_cost_interval_panics() {
+        let est = running_estimator();
+        let sizes = est.sizes();
+        // The point (2,2,2) has T = 0 (no R1 row with x=2, y=2).
+        let iv = FInterval {
+            lo: vec![1, 1, 1],
+            hi: vec![1, 1, 1],
+        };
+        split_interval(&est, &sizes, &iv);
+    }
+}

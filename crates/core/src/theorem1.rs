@@ -1,0 +1,798 @@
+//! The Theorem 1 compressed representation and its Algorithm 2 enumerator.
+//!
+//! The structure is the pair `(T, D)` of §4.3 — delay-balanced tree plus
+//! heavy-pair dictionary — together with the linear-size base indexes
+//! (tries for evaluation, sorted count indexes inside the cost oracle).
+//! For a cover `u` with slack `α` on the free variables and knob `τ`:
+//!
+//! * space: `Õ(|D| + Π_F |R_F|^{u_F} / τ^α)`;
+//! * answering `Q^η[v_b]`: lexicographic enumeration with delay `Õ(τ)` and
+//!   total answer time `Õ(|q(D)| + τ·|q(D)|^{1/α})` (Props. 9–10).
+//!
+//! The enumerator walks the tree in order: at a `⊥` (light) node it
+//! evaluates the restricted join box by box with worst-case-optimal joins;
+//! at a `1` node it recurses left, checks the split point, recurses right;
+//! `0` nodes are skipped. The explicit stack keeps O(depth) = O(log)
+//! working memory, as the paper's model requires.
+
+use crate::cost::CostEstimator;
+use crate::dbtree::DelayBalancedTree;
+use crate::dictionary::{free_constraints, HeavyDictionary};
+use crate::fbox::{box_decomposition, CanonicalBox, FInterval};
+use cqc_common::error::{CqcError, Result};
+use cqc_common::heap::HeapSize;
+use cqc_common::metrics;
+use cqc_common::value::{Tuple, Value};
+use cqc_join::leapfrog::{LeapfrogJoin, LevelConstraint};
+use cqc_join::plan::ViewPlan;
+use cqc_lp::covers::slack;
+use cqc_query::AdornedView;
+use cqc_storage::Database;
+
+/// The Theorem 1 data structure.
+#[derive(Debug)]
+pub struct Theorem1Structure {
+    view: AdornedView,
+    plan: ViewPlan,
+    est: CostEstimator,
+    /// `None` when some free variable's active domain is empty — every
+    /// access request then has an empty answer.
+    tree: Option<DelayBalancedTree>,
+    dict: HeavyDictionary,
+    sizes: Vec<usize>,
+    weights: Vec<f64>,
+    alpha: f64,
+    tau: f64,
+}
+
+impl Theorem1Structure {
+    /// Compresses the view with the given fractional edge cover `weights`
+    /// (one weight per atom, covering **all** variables, as Theorem 1
+    /// requires) and threshold `τ ≥ 1`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-natural-join views, views without free variables (use
+    /// `BoundOnlyView`), invalid covers, or `τ < 1`.
+    pub fn build(
+        view: &AdornedView,
+        db: &Database,
+        weights: &[f64],
+        tau: f64,
+    ) -> Result<Theorem1Structure> {
+        let query = view.query();
+        query.require_natural_join()?;
+        query.check_schema(db)?;
+        if view.mu() == 0 {
+            return Err(CqcError::Config(
+                "all head variables are bound; use BoundOnlyView (Prop. 1)".into(),
+            ));
+        }
+        if tau < 1.0 {
+            return Err(CqcError::Config(format!("τ = {tau} must be ≥ 1")));
+        }
+        let h = query.hypergraph();
+        if weights.len() != query.atoms.len() {
+            return Err(CqcError::Config(format!(
+                "expected {} cover weights, got {}",
+                query.atoms.len(),
+                weights.len()
+            )));
+        }
+        for x in h.all_vars().iter() {
+            let covered: f64 = h
+                .edges()
+                .iter()
+                .zip(weights)
+                .filter(|(e, _)| e.contains(x))
+                .map(|(_, w)| *w)
+                .sum();
+            if covered < 1.0 - 1e-6 {
+                return Err(CqcError::Config(format!(
+                    "weights do not cover variable {} (Theorem 1 needs a cover of V)",
+                    query.var_name(x)
+                )));
+            }
+        }
+        let alpha = slack(&h, weights, view.free_vars()).max(1.0);
+
+        let est = CostEstimator::build(view, db, weights, alpha)?;
+        let plan = ViewPlan::build(view, db)?;
+        let sizes = est.sizes();
+        let tree = DelayBalancedTree::build(&est, tau);
+        let dict = match &tree {
+            Some(t) => HeavyDictionary::build(&plan, &est, t),
+            None => HeavyDictionary::empty(0),
+        };
+        Ok(Theorem1Structure {
+            view: view.clone(),
+            plan,
+            est,
+            tree,
+            dict,
+            sizes,
+            weights: weights.to_vec(),
+            alpha,
+            tau,
+        })
+    }
+
+    /// The slack `α(V_f)` of the cover in use.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The delay knob τ.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// The cover weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The compressed view definition.
+    pub fn view(&self) -> &AdornedView {
+        &self.view
+    }
+
+    /// The delay-balanced tree (if the view is non-degenerate).
+    pub fn tree(&self) -> Option<&DelayBalancedTree> {
+        self.tree.as_ref()
+    }
+
+    /// The heavy-pair dictionary.
+    pub fn dictionary(&self) -> &HeavyDictionary {
+        &self.dict
+    }
+
+    /// Mutable dictionary access (Theorem 2's semijoin fixup flips 1 → 0).
+    pub fn dictionary_mut(&mut self) -> &mut HeavyDictionary {
+        &mut self.dict
+    }
+
+    /// The cost oracle.
+    pub fn estimator(&self) -> &CostEstimator {
+        &self.est
+    }
+
+    /// Answers an access request: lexicographic, duplicate-free enumeration
+    /// of the free-variable tuples with delay Õ(τ).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the bound value count mismatches the pattern.
+    pub fn answer(&self, bound_values: &[Value]) -> Result<Theorem1Iter<'_>> {
+        self.view.check_access(bound_values)?;
+        let stack = match &self.tree {
+            Some(t) => vec![Frame::Enter(t.root())],
+            None => Vec::new(),
+        };
+        Ok(Theorem1Iter {
+            s: self,
+            vb: bound_values.to_vec(),
+            stack,
+            inner: None,
+            clip: None,
+        })
+    }
+
+    /// Range-restricted access: enumerates only the answers whose
+    /// free-variable tuple lies in the inclusive lexicographic range
+    /// `[lo, hi]` (in enumeration order) — an extension the structure
+    /// supports natively because its output is ordered.
+    ///
+    /// Only the O(log) tree nodes straddling the range boundaries lose the
+    /// dictionary's progress guarantee, so the delay stays `Õ(τ)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on access arity mismatches or when `lo`/`hi` do not have one
+    /// value per free variable.
+    pub fn answer_range(
+        &self,
+        bound_values: &[Value],
+        lo: &[Value],
+        hi: &[Value],
+    ) -> Result<Theorem1Iter<'_>> {
+        self.view.check_access(bound_values)?;
+        let mu = self.view.mu();
+        if lo.len() != mu || hi.len() != mu {
+            return Err(CqcError::InvalidAccess(format!(
+                "range endpoints must have {mu} values (one per free variable)"
+            )));
+        }
+        let domains = self.est.domains();
+        let clip = grid_ceil(domains, lo).zip(grid_floor(domains, hi)).and_then(
+            |(lo_r, hi_r)| {
+                use crate::fbox::lex_cmp_ranks;
+                (lex_cmp_ranks(&lo_r, &hi_r) != std::cmp::Ordering::Greater)
+                    .then_some(FInterval { lo: lo_r, hi: hi_r })
+            },
+        );
+        let stack = match (&self.tree, &clip) {
+            (Some(t), Some(_)) => vec![Frame::Enter(t.root())],
+            _ => Vec::new(),
+        };
+        Ok(Theorem1Iter {
+            s: self,
+            vb: bound_values.to_vec(),
+            stack,
+            inner: None,
+            clip,
+        })
+    }
+
+    /// First-answer probe (the boolean/k-SetDisjointness access of §3.3).
+    pub fn exists(&self, bound_values: &[Value]) -> Result<bool> {
+        Ok(self.answer(bound_values)?.next().is_some())
+    }
+
+    /// Evaluates `(⋈_F R_F(v_b)) ⋉ I` directly (worst-case-optimal, box by
+    /// box) — the `⊥` branch of Algorithm 2, also used by the Theorem 2
+    /// fixup to enumerate a node's interval.
+    pub fn enumerate_interval(
+        &self,
+        bound_values: &[Value],
+        interval: &FInterval,
+    ) -> IntervalJoinIter<'_> {
+        IntervalJoinIter {
+            plan: &self.plan,
+            est: &self.est,
+            vb: bound_values.to_vec(),
+            boxes: box_decomposition(interval, &self.sizes),
+            next_box: 0,
+            join: None,
+        }
+    }
+
+    /// Membership of the fully fixed point: is `(v_b, free_vals)` in the
+    /// join? (Algorithm 2 line 11: the split-point check, O(#atoms·log).)
+    fn point_in_join(&self, vb: &[Value], free_vals: &[Value]) -> bool {
+        let nb = self.plan.num_bound;
+        for i in 0..self.plan.num_atoms() {
+            let levels = self.plan.atom_levels(i);
+            let prefix: Vec<Value> = levels
+                .iter()
+                .map(|&l| if l < nb { vb[l] } else { free_vals[l - nb] })
+                .collect();
+            if self.plan.index(i).count(&prefix, None) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Statistics for the benchmark harness.
+    pub fn stats(&self) -> Theorem1Stats {
+        Theorem1Stats {
+            tree_nodes: self.tree.as_ref().map_or(0, DelayBalancedTree::len),
+            tree_depth: self.tree.as_ref().map_or(0, DelayBalancedTree::depth),
+            dict_entries: self.dict.num_entries(),
+            heap_bytes: self.heap_bytes(),
+            alpha: self.alpha,
+            tau: self.tau,
+        }
+    }
+
+    /// Per-component space accounting: the linear base indexes versus the
+    /// τ-dependent structure (tree + dictionary) — the two terms of
+    /// Theorem 1's `Õ(|D| + Π|R_F|^{u_F}/τ^α)` bound, separated so that
+    /// scaling experiments can fit the non-linear term in isolation.
+    pub fn space_breakdown(&self) -> SpaceBreakdown {
+        SpaceBreakdown {
+            base_index_bytes: self.plan.heap_bytes() + self.est.heap_bytes(),
+            tree_bytes: self.tree.as_ref().map_or(0, HeapSize::heap_bytes),
+            dict_bytes: self.dict.heap_bytes(),
+        }
+    }
+}
+
+/// The two space terms of Theorem 1, reported separately.
+#[derive(Debug, Clone, Copy)]
+pub struct SpaceBreakdown {
+    /// Linear-size base indexes (tries + count indexes): the `Õ(|D|)` term.
+    pub base_index_bytes: usize,
+    /// Delay-balanced tree bytes (part of the `/τ^α` term).
+    pub tree_bytes: usize,
+    /// Heavy-pair dictionary bytes (the dominant `/τ^α` term).
+    pub dict_bytes: usize,
+}
+
+impl SpaceBreakdown {
+    /// The τ-dependent (non-linear) bytes.
+    pub fn nonlinear_bytes(&self) -> usize {
+        self.tree_bytes + self.dict_bytes
+    }
+
+    /// Total bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.base_index_bytes + self.nonlinear_bytes()
+    }
+}
+
+/// Structure statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct Theorem1Stats {
+    /// Nodes in the delay-balanced tree.
+    pub tree_nodes: usize,
+    /// Tree depth.
+    pub tree_depth: u16,
+    /// Heavy pairs stored in the dictionary.
+    pub dict_entries: usize,
+    /// Total owned heap bytes (tree + dictionary + base indexes).
+    pub heap_bytes: usize,
+    /// Slack α.
+    pub alpha: f64,
+    /// Threshold τ.
+    pub tau: f64,
+}
+
+impl HeapSize for Theorem1Structure {
+    fn heap_bytes(&self) -> usize {
+        self.plan.heap_bytes()
+            + self.est.heap_bytes()
+            + self.tree.as_ref().map_or(0, HeapSize::heap_bytes)
+            + self.dict.heap_bytes()
+            + self.sizes.heap_bytes()
+            + self.weights.heap_bytes()
+    }
+}
+
+/// Worst-case-optimal evaluation of a restricted sub-instance, box by box,
+/// in lexicographic order.
+pub struct IntervalJoinIter<'a> {
+    plan: &'a ViewPlan,
+    est: &'a CostEstimator,
+    vb: Vec<Value>,
+    boxes: Vec<CanonicalBox>,
+    next_box: usize,
+    join: Option<LeapfrogJoin<'a>>,
+}
+
+impl IntervalJoinIter<'_> {
+    fn constraints_for(&self, b: &CanonicalBox) -> Vec<LevelConstraint> {
+        let mut cons: Vec<LevelConstraint> = self
+            .vb
+            .iter()
+            .map(|&v| LevelConstraint::Fixed(v))
+            .collect();
+        cons.extend(free_constraints(
+            self.est,
+            b,
+            self.plan.num_levels() - self.plan.num_bound,
+        ));
+        cons
+    }
+}
+
+impl Iterator for IntervalJoinIter<'_> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        let nb = self.plan.num_bound;
+        loop {
+            if let Some(j) = &mut self.join {
+                if let Some(t) = j.next() {
+                    metrics::record_tuple_output();
+                    return Some(t[nb..].to_vec());
+                }
+                self.join = None;
+            }
+            if self.next_box >= self.boxes.len() {
+                return None;
+            }
+            let b = self.boxes[self.next_box].clone();
+            self.next_box += 1;
+            if b.is_empty() {
+                continue;
+            }
+            let cons = self.constraints_for(&b);
+            self.join = Some(self.plan.join(cons));
+        }
+    }
+}
+
+/// Stack frames of the in-order traversal.
+#[derive(Debug, Clone, Copy)]
+enum Frame {
+    /// Visit a node (dictionary lookup decides how).
+    Enter(u32),
+    /// Emit the node's split point if it is in the join (after the left
+    /// subtree).
+    Point(u32),
+}
+
+/// The Algorithm 2 enumerator (optionally clipped to an output range).
+pub struct Theorem1Iter<'a> {
+    s: &'a Theorem1Structure,
+    vb: Vec<Value>,
+    stack: Vec<Frame>,
+    inner: Option<IntervalJoinIter<'a>>,
+    /// Optional lexicographic output clip (rank space).
+    clip: Option<FInterval>,
+}
+
+impl Iterator for Theorem1Iter<'_> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        use crate::fbox::lex_cmp_ranks;
+        use std::cmp::Ordering;
+        loop {
+            if let Some(inner) = &mut self.inner {
+                if let Some(t) = inner.next() {
+                    return Some(t);
+                }
+                self.inner = None;
+            }
+            let tree = self.s.tree.as_ref()?;
+            match self.stack.pop() {
+                None => return None,
+                Some(Frame::Enter(w)) => {
+                    let node = &tree.nodes[w as usize];
+                    // Clip the node's interval to the requested range.
+                    let effective = match &self.clip {
+                        None => node.interval.clone(),
+                        Some(c) => {
+                            let lo = if lex_cmp_ranks(&node.interval.lo, &c.lo)
+                                == Ordering::Less
+                            {
+                                c.lo.clone()
+                            } else {
+                                node.interval.lo.clone()
+                            };
+                            let hi = if lex_cmp_ranks(&node.interval.hi, &c.hi)
+                                == Ordering::Greater
+                            {
+                                c.hi.clone()
+                            } else {
+                                node.interval.hi.clone()
+                            };
+                            if lex_cmp_ranks(&lo, &hi) == Ordering::Greater {
+                                continue; // disjoint from the range
+                            }
+                            FInterval { lo, hi }
+                        }
+                    };
+                    match self.s.dict.get(w, &self.vb) {
+                        // ⊥: evaluate the (clipped) interval directly; cost
+                        // bounded by τ_ℓ since the pair is light and
+                        // T(v_b, ·) is monotone under clipping.
+                        None => {
+                            self.inner =
+                                Some(self.s.enumerate_interval(&self.vb, &effective));
+                        }
+                        // 0: provably empty, skip the subtree.
+                        Some(false) => {}
+                        // 1: in-order recursion.
+                        Some(true) => {
+                            debug_assert!(
+                                node.beta.is_some(),
+                                "leaves cannot hold heavy pairs"
+                            );
+                            if let Some(r) = node.right {
+                                self.stack.push(Frame::Enter(r));
+                            }
+                            self.stack.push(Frame::Point(w));
+                            if let Some(l) = node.left {
+                                self.stack.push(Frame::Enter(l));
+                            }
+                        }
+                    }
+                }
+                Some(Frame::Point(w)) => {
+                    let node = &tree.nodes[w as usize];
+                    let beta = node.beta.as_ref().expect("Point frames come from 1-nodes");
+                    if let Some(c) = &self.clip {
+                        if !c.contains(beta) {
+                            continue;
+                        }
+                    }
+                    let vals = self.s.est.ranks_to_values(beta);
+                    if self.s.point_in_join(&self.vb, &vals) {
+                        metrics::record_tuple_output();
+                        return Some(vals);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The smallest grid rank-tuple whose value tuple is lexicographically
+/// `>= vals`, or `None` when every grid tuple is smaller.
+fn grid_ceil(domains: &[cqc_storage::Domain], vals: &[Value]) -> Option<Vec<usize>> {
+    let mu = domains.len();
+    let mut ranks = Vec::with_capacity(mu);
+    for i in 0..mu {
+        let d = &domains[i];
+        let r = d.rank_ceil(vals[i]);
+        if r >= d.len() {
+            // No value at this coordinate can reach vals[i] with the exact
+            // prefix: bump the prefix and floor-fill the rest.
+            return bump_up(&mut ranks, domains).then(|| {
+                ranks.resize(mu, 0);
+                ranks
+            });
+        }
+        ranks.push(r);
+        if d.value(r) > vals[i] {
+            // Strictly above: everything after can be minimal.
+            ranks.resize(mu, 0);
+            return Some(ranks);
+        }
+    }
+    Some(ranks)
+}
+
+/// The largest grid rank-tuple whose value tuple is lexicographically
+/// `<= vals`, or `None` when every grid tuple is larger.
+fn grid_floor(domains: &[cqc_storage::Domain], vals: &[Value]) -> Option<Vec<usize>> {
+    let mu = domains.len();
+    let mut ranks = Vec::with_capacity(mu);
+    for i in 0..mu {
+        let d = &domains[i];
+        match d.rank_floor(vals[i]) {
+            None => {
+                // No value small enough at this coordinate: borrow from the
+                // prefix and ceil-fill the rest.
+                return bump_down(&mut ranks, domains).then(|| {
+                    for d in domains.iter().take(mu).skip(ranks.len()) {
+                        ranks.push(d.len() - 1);
+                    }
+                    ranks
+                });
+            }
+            Some(r) => {
+                ranks.push(r);
+                if d.value(r) < vals[i] {
+                    while ranks.len() < mu {
+                        ranks.push(domains[ranks.len()].len() - 1);
+                    }
+                    return Some(ranks);
+                }
+            }
+        }
+    }
+    Some(ranks)
+}
+
+/// Increments the rank prefix (with carry); `false` on overflow.
+fn bump_up(prefix: &mut Vec<usize>, domains: &[cqc_storage::Domain]) -> bool {
+    while let Some(last) = prefix.pop() {
+        let pos = prefix.len();
+        if last + 1 < domains[pos].len() {
+            prefix.push(last + 1);
+            return true;
+        }
+    }
+    false
+}
+
+/// Decrements the rank prefix (with borrow); `false` on underflow.
+fn bump_down(prefix: &mut Vec<usize>, _domains: &[cqc_storage::Domain]) -> bool {
+    while let Some(last) = prefix.pop() {
+        if last > 0 {
+            prefix.push(last - 1);
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::tests::running_example;
+    use cqc_common::value::lex_cmp;
+    use cqc_join::naive::evaluate_view;
+    use cqc_query::parser::parse_adorned;
+    use cqc_storage::Relation;
+
+    #[test]
+    fn running_example_access_matches_oracle_for_all_taus() {
+        let (view, db) = running_example();
+        for tau in [1.0, 2.0, 4.0, 8.0, 1e6] {
+            let s = Theorem1Structure::build(&view, &db, &[1.0, 1.0, 1.0], tau).unwrap();
+            assert!((s.alpha() - 2.0).abs() < 1e-9, "Example 4 slack is 2");
+            for w1 in 0..4u64 {
+                for w2 in 0..3u64 {
+                    for w3 in 0..3u64 {
+                        let vb = [w1, w2, w3];
+                        let expect = evaluate_view(&view, &db, &vb).unwrap();
+                        let got: Vec<Tuple> = s.answer(&vb).unwrap().collect();
+                        assert_eq!(got, expect, "τ={tau}, v_b={vb:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn example_5_shapes() {
+        // Example 5: u = (1,1,1), τ = √N: delay knob √5 ≈ 2.23 on the tiny
+        // instance — just verify the structure builds and answers.
+        let (view, db) = running_example();
+        let s = Theorem1Structure::build(&view, &db, &[1.0, 1.0, 1.0], 5.0f64.sqrt())
+            .unwrap();
+        let got: Vec<Tuple> = s.answer(&[1, 1, 1]).unwrap().collect();
+        assert_eq!(got, vec![vec![1, 1, 2], vec![1, 2, 1], vec![1, 2, 2]]);
+    }
+
+    #[test]
+    fn output_is_lexicographic_and_duplicate_free() {
+        let (view, db) = running_example();
+        let s = Theorem1Structure::build(&view, &db, &[1.0, 1.0, 1.0], 2.0).unwrap();
+        let got: Vec<Tuple> = s.answer(&[1, 1, 1]).unwrap().collect();
+        for w in got.windows(2) {
+            assert!(
+                lex_cmp(&w[0], &w[1]) == std::cmp::Ordering::Less,
+                "strictly increasing output"
+            );
+        }
+    }
+
+    #[test]
+    fn triangle_all_patterns_match_oracle() {
+        let mut db = Database::new();
+        db.add(Relation::from_pairs(
+            "R",
+            vec![(1, 2), (2, 3), (1, 3), (3, 1), (2, 1), (4, 2)],
+        ))
+        .unwrap();
+        db.add(Relation::from_pairs(
+            "S",
+            vec![(2, 3), (3, 1), (3, 2), (1, 2), (2, 4)],
+        ))
+        .unwrap();
+        db.add(Relation::from_pairs(
+            "T",
+            vec![(3, 1), (1, 2), (2, 3), (2, 1), (4, 4)],
+        ))
+        .unwrap();
+        for pattern in ["fff", "bff", "fbf", "ffb", "bbf", "bfb", "fbb"] {
+            let view =
+                parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", pattern).unwrap();
+            let nb = pattern.chars().filter(|c| *c == 'b').count();
+            for tau in [1.0, 3.0, 100.0] {
+                let s =
+                    Theorem1Structure::build(&view, &db, &[0.5, 0.5, 0.5], tau).unwrap();
+                // All bound assignments over a small candidate grid.
+                let grid: Vec<u64> = (0..6).collect();
+                let mut reqs: Vec<Vec<u64>> = vec![vec![]];
+                for _ in 0..nb {
+                    reqs = reqs
+                        .iter()
+                        .flat_map(|r| {
+                            grid.iter().map(move |&v| {
+                                let mut r2 = r.clone();
+                                r2.push(v);
+                                r2
+                            })
+                        })
+                        .collect();
+                }
+                for req in reqs {
+                    let expect = evaluate_view(&view, &db, &req).unwrap();
+                    let got: Vec<Tuple> = s.answer(&req).unwrap().collect();
+                    assert_eq!(got, expect, "pattern={pattern} τ={tau} req={req:?}");
+                    assert_eq!(
+                        s.exists(&req).unwrap(),
+                        !expect.is_empty(),
+                        "exists, pattern={pattern}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_domain_view_always_empty() {
+        // x and y have empty active domains (R is empty): no tree is built
+        // and every request answers empty.
+        let mut db = Database::new();
+        db.add(Relation::new("R", 2, vec![])).unwrap();
+        let view = parse_adorned("Q(x, y) :- R(x, y)", "bf").unwrap();
+        let s = Theorem1Structure::build(&view, &db, &[1.0], 2.0).unwrap();
+        assert!(s.tree().is_none());
+        let got: Vec<Tuple> = s.answer(&[1]).unwrap().collect();
+        assert!(got.is_empty());
+        assert!(!s.exists(&[7]).unwrap());
+    }
+
+    #[test]
+    fn empty_relation_with_live_domains_still_answers_empty() {
+        // R is empty but y's domain is fed by S, so the tree may exist; the
+        // answers must still be empty everywhere.
+        let mut db = Database::new();
+        db.add(Relation::new("R", 2, vec![])).unwrap();
+        db.add(Relation::from_pairs("S", vec![(1, 2)])).unwrap();
+        let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z)", "bff").unwrap();
+        let s = Theorem1Structure::build(&view, &db, &[1.0, 1.0], 2.0).unwrap();
+        for x in 0..3u64 {
+            let got: Vec<Tuple> = s.answer(&[x]).unwrap().collect();
+            assert!(got.is_empty());
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let (view, db) = running_example();
+        // τ < 1.
+        assert!(Theorem1Structure::build(&view, &db, &[1.0, 1.0, 1.0], 0.5).is_err());
+        // Not a cover (w1 not covered).
+        assert!(Theorem1Structure::build(&view, &db, &[0.0, 1.0, 1.0], 2.0).is_err());
+        // Wrong weight count.
+        assert!(Theorem1Structure::build(&view, &db, &[1.0, 1.0], 2.0).is_err());
+        // All-bound view.
+        let v = parse_adorned(
+            "Q(x, y, z, w1, w2, w3) :- R1(w1, x, y), R2(w2, y, z), R3(w3, x, z)",
+            "bbbbbb",
+        )
+        .unwrap();
+        assert!(Theorem1Structure::build(&v, &db, &[1.0, 1.0, 1.0], 2.0).is_err());
+    }
+
+    #[test]
+    fn answer_range_matches_filtered_answer() {
+        let (view, db) = running_example();
+        for tau in [1.0, 4.0, 64.0] {
+            let s = Theorem1Structure::build(&view, &db, &[1.0, 1.0, 1.0], tau).unwrap();
+            let vbs: Vec<[u64; 3]> = vec![[1, 1, 1], [1, 2, 1], [2, 1, 2], [3, 2, 2]];
+            // Range endpoints including values outside the active domains
+            // (0 and 5 are not domain members).
+            let ranges: Vec<([u64; 3], [u64; 3])> = vec![
+                ([1, 1, 1], [2, 2, 2]),
+                ([1, 1, 2], [1, 2, 1]),
+                ([0, 0, 0], [5, 5, 5]),
+                ([1, 2, 0], [2, 0, 5]),
+                ([2, 2, 2], [1, 1, 1]), // empty (inverted)
+                ([1, 1, 1], [1, 1, 1]),
+            ];
+            for vb in &vbs {
+                let full: Vec<Tuple> = s.answer(vb).unwrap().collect();
+                for (lo, hi) in &ranges {
+                    let got: Vec<Tuple> = s.answer_range(vb, lo, hi).unwrap().collect();
+                    let expect: Vec<Tuple> = full
+                        .iter()
+                        .filter(|t| t.as_slice() >= &lo[..] && t.as_slice() <= &hi[..])
+                        .cloned()
+                        .collect();
+                    assert_eq!(got, expect, "τ={tau} vb={vb:?} range=[{lo:?},{hi:?}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn answer_range_validates_arity() {
+        let (view, db) = running_example();
+        let s = Theorem1Structure::build(&view, &db, &[1.0, 1.0, 1.0], 2.0).unwrap();
+        assert!(s.answer_range(&[1, 1, 1], &[1, 1], &[2, 2, 2]).is_err());
+        assert!(s.answer_range(&[1, 1], &[1, 1, 1], &[2, 2, 2]).is_err());
+    }
+
+    #[test]
+    fn space_breakdown_separates_terms() {
+        let (view, db) = running_example();
+        let tight = Theorem1Structure::build(&view, &db, &[1.0, 1.0, 1.0], 1.0).unwrap();
+        let loose = Theorem1Structure::build(&view, &db, &[1.0, 1.0, 1.0], 1e6).unwrap();
+        let bt = tight.space_breakdown();
+        let bl = loose.space_breakdown();
+        // The linear term is τ-independent; the non-linear term shrinks.
+        assert_eq!(bt.base_index_bytes, bl.base_index_bytes);
+        assert!(bt.nonlinear_bytes() >= bl.nonlinear_bytes());
+        assert_eq!(bt.total_bytes(), bt.base_index_bytes + bt.nonlinear_bytes());
+    }
+
+    #[test]
+    fn space_shrinks_as_tau_grows() {
+        let (view, db) = running_example();
+        let tight = Theorem1Structure::build(&view, &db, &[1.0, 1.0, 1.0], 1.0).unwrap();
+        let loose = Theorem1Structure::build(&view, &db, &[1.0, 1.0, 1.0], 16.0).unwrap();
+        assert!(tight.stats().tree_nodes >= loose.stats().tree_nodes);
+        assert!(tight.stats().dict_entries >= loose.stats().dict_entries);
+    }
+}

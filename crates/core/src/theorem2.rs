@@ -1,0 +1,857 @@
+//! The Theorem 2 structure: Theorem 1 over a `V_b`-connex decomposition.
+//!
+//! Given a `V_b`-connex tree decomposition `(T, A)` and a delay assignment
+//! `δ`, every non-root bag `t` carries either
+//!
+//! * a **materialized** bag (when `δ(t) = 0`, the §5.1 regime — exact
+//!   constant delay, space `|D|^{ρ*(B_t)}`), or
+//! * a **Theorem 1** structure over the bag-local projections with knob
+//!   `τ_t = |D|^{δ(t)}` and the cover minimizing `ρ⁺_t` (eq. 3), giving
+//!   space `Õ(|D|^{ρ⁺_t})` and per-bag delay `Õ(|D|^{δ(t)})`.
+//!
+//! After construction, the bottom-up semijoin fixup of Algorithm 4 flips a
+//! dictionary 1-entry (or drops a materialized row) whenever no valuation
+//! in its interval extends to an answer in *every* child subtree, so that a
+//! `1` seen during enumeration guarantees progress (Prop. 17).
+//!
+//! Answering follows Algorithm 5: the bags are walked in pre-order; a bag
+//! that has never produced a tuple for the current ancestor valuation
+//! backtracks to its *tree parent* (independence across sibling branches —
+//! this is what makes the total delay `Õ(|D|^h)` with the δ-height `h`,
+//! multiplicative along a branch but additive across branches), while a
+//! bag that exhausts after producing backtracks to its pre-order
+//! predecessor, enumerating the cartesian product across branches.
+
+use crate::theorem1::Theorem1Structure;
+use cqc_common::error::{CqcError, Result};
+use cqc_common::heap::HeapSize;
+use cqc_common::metrics;
+use cqc_common::value::{Tuple, Value};
+use cqc_decomp::{search_connex, Objective, TreeDecomposition};
+use cqc_factorized::bag::{bag_local_components, MaterializedBag};
+use cqc_lp::covers::rho_plus;
+use cqc_query::{AdornedView, Var};
+use cqc_storage::{Database, Relation};
+
+/// One bag of the structure.
+#[derive(Debug)]
+struct Bag {
+    /// Node id in the decomposition.
+    node: usize,
+    /// Bound variables `V_b^t` (original ids, canonical order).
+    bound_vars: Vec<Var>,
+    /// Free variables `V_f^t` (original ids, canonical order).
+    free_vars: Vec<Var>,
+    kind: BagKind,
+}
+
+#[derive(Debug)]
+enum BagKind {
+    Materialized(MaterializedBag),
+    Tradeoff(Box<Theorem1Structure>),
+}
+
+/// The Theorem 2 compressed representation.
+#[derive(Debug)]
+pub struct Theorem2Structure {
+    view: AdornedView,
+    /// Bags in pre-order of the decomposition (root excluded).
+    bags: Vec<Bag>,
+    /// Tree parent in `bags` indexes (`None` = the root bag).
+    parent_of: Vec<Option<usize>>,
+    /// Children in `bags` indexes.
+    children_of: Vec<Vec<usize>>,
+    root_checks: Vec<(Relation, Vec<Var>)>,
+    num_vars: usize,
+    delta: Vec<f64>,
+}
+
+impl Theorem2Structure {
+    /// Builds the structure over an explicit decomposition and delay
+    /// assignment (`delta[node]`, 0 at the root).
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-natural-join views, invalid or non-connex
+    /// decompositions, or LP failures on a bag.
+    pub fn build(
+        view: &AdornedView,
+        db: &Database,
+        td: &TreeDecomposition,
+        delta: &[f64],
+    ) -> Result<Theorem2Structure> {
+        let query = view.query();
+        query.require_natural_join()?;
+        query.check_schema(db)?;
+        let h = query.hypergraph();
+        td.validate_connex(&h, view.bound_vars())?;
+        if delta.len() != td.len() {
+            return Err(CqcError::Config(format!(
+                "expected {} delay entries, got {}",
+                td.len(),
+                delta.len()
+            )));
+        }
+        let db_size = (db.size() as f64).max(2.0);
+
+        let atoms: Vec<(String, Vec<Var>)> = query
+            .atoms
+            .iter()
+            .map(|a| (a.relation.clone(), a.vars().collect()))
+            .collect();
+
+        // Build bags in pre-order.
+        let pre = td.preorder();
+        let mut bags: Vec<Bag> = Vec::with_capacity(pre.len() - 1);
+        let mut bag_index_of_node = vec![usize::MAX; td.len()];
+        for &t in &pre[1..] {
+            let bound = td.bag_bound(t);
+            let free = td.bag_free(t);
+            let bound_vars: Vec<Var> = bound.iter().collect();
+            let free_vars: Vec<Var> = free.iter().collect();
+            let kind = if delta[t] <= 1e-9 || free_vars.is_empty() {
+                BagKind::Materialized(MaterializedBag::build(t, bound, free, &atoms, db)?)
+            } else {
+                let (bag_view, bag_db, origins) =
+                    bag_local_components(t, bound, free, &atoms, db)?;
+                let rp = rho_plus(&h, td.bag(t), free, delta[t])?;
+                let weights: Vec<f64> = origins.iter().map(|&i| rp.weights[i]).collect();
+                let tau = db_size.powf(delta[t]).max(1.0);
+                BagKind::Tradeoff(Box::new(Theorem1Structure::build(
+                    &bag_view, &bag_db, &weights, tau,
+                )?))
+            };
+            bag_index_of_node[t] = bags.len();
+            bags.push(Bag {
+                node: t,
+                bound_vars,
+                free_vars,
+                kind,
+            });
+        }
+        let parent_of: Vec<Option<usize>> = bags
+            .iter()
+            .map(|b| {
+                let p = td.parent(b.node).expect("non-root");
+                if p == td.root() {
+                    None
+                } else {
+                    Some(bag_index_of_node[p])
+                }
+            })
+            .collect();
+        let mut children_of: Vec<Vec<usize>> = vec![Vec::new(); bags.len()];
+        for (i, p) in parent_of.iter().enumerate() {
+            if let Some(p) = p {
+                children_of[*p].push(i);
+            }
+        }
+
+        let vb = view.bound_vars();
+        let mut root_checks = Vec::new();
+        for atom in &query.atoms {
+            let vars: Vec<Var> = atom.vars().collect();
+            if vars.iter().all(|v| vb.contains(*v)) {
+                root_checks.push((db.require(&atom.relation)?.clone(), vars));
+            }
+        }
+
+        let mut s = Theorem2Structure {
+            view: view.clone(),
+            bags,
+            parent_of,
+            children_of,
+            root_checks,
+            num_vars: query.num_vars(),
+            delta: delta.to_vec(),
+        };
+        s.semijoin_fixup(td);
+        Ok(s)
+    }
+
+    /// End-to-end convenience: searches a decomposition minimizing the
+    /// δ-height under the space budget `|D|^{budget_exp}` and optimizes the
+    /// per-bag delays (§6).
+    pub fn build_with_budget(
+        view: &AdornedView,
+        db: &Database,
+        budget_exp: f64,
+    ) -> Result<Theorem2Structure> {
+        let query = view.query();
+        query.require_natural_join()?;
+        let h = query.hypergraph();
+        let found = search_connex(
+            &h,
+            view.bound_vars(),
+            Objective::MinimizeHeightUnderBudget { budget_exp },
+        )?;
+        Theorem2Structure::build(view, db, &found.td, &found.delta)
+    }
+
+    /// The Algorithm 4 bottom-up pass: every materialized row / dictionary
+    /// 1-entry must extend into all child subtrees.
+    fn semijoin_fixup(&mut self, td: &TreeDecomposition) {
+        // Process deepest-first so children are already truthful.
+        let order: Vec<usize> = {
+            let mut idx: Vec<usize> = (0..self.bags.len()).collect();
+            // Pre-order indexes: children always have larger indexes, so
+            // reversing the bag order is a valid bottom-up sweep.
+            idx.reverse();
+            idx
+        };
+        let _ = td;
+        for bi in order {
+            if self.children_of[bi].is_empty() {
+                continue;
+            }
+            // Positions of each child's bound vars inside this bag's row
+            // (bound prefix then free suffix).
+            let row_vars: Vec<Var> = {
+                let b = &self.bags[bi];
+                b.bound_vars.iter().chain(&b.free_vars).copied().collect()
+            };
+            let extractors: Vec<(usize, Vec<usize>)> = self.children_of[bi]
+                .iter()
+                .map(|&ci| {
+                    let pos = self.bags[ci]
+                        .bound_vars
+                        .iter()
+                        .map(|bv| {
+                            row_vars
+                                .iter()
+                                .position(|rv| rv == bv)
+                                .expect("child bound var must appear in the parent bag")
+                        })
+                        .collect();
+                    (ci, pos)
+                })
+                .collect();
+
+            match &self.bags[bi].kind {
+                BagKind::Materialized(mb) => {
+                    let n = mb.len();
+                    let mut keep = vec![true; n];
+                    for (i, flag) in keep.iter_mut().enumerate() {
+                        let row = mb.row(i).to_vec();
+                        *flag = extractors.iter().all(|(ci, pos)| {
+                            let key: Vec<Value> = pos.iter().map(|&p| row[p]).collect();
+                            self.probe_subtree(*ci, &key)
+                        });
+                    }
+                    if let BagKind::Materialized(mb) = &mut self.bags[bi].kind {
+                        let mut it = keep.into_iter();
+                        mb.retain(|_| it.next().unwrap());
+                    }
+                }
+                BagKind::Tradeoff(t1) => {
+                    // Collect entries to flip, then apply.
+                    let mut flips: Vec<(u32, Vec<Value>)> = Vec::new();
+                    if let Some(tree) = t1.tree() {
+                        for (w, node) in tree.nodes.iter().enumerate() {
+                            for (key, bit) in t1.dictionary().entries_of(w as u32) {
+                                if !bit {
+                                    continue;
+                                }
+                                let mut extends = false;
+                                for free in t1.enumerate_interval(key, &node.interval) {
+                                    let mut row: Vec<Value> = key.to_vec();
+                                    row.extend(free);
+                                    if extractors.iter().all(|(ci, pos)| {
+                                        let k: Vec<Value> =
+                                            pos.iter().map(|&p| row[p]).collect();
+                                        self.probe_subtree(*ci, &k)
+                                    }) {
+                                        extends = true;
+                                        break;
+                                    }
+                                }
+                                if !extends {
+                                    flips.push((w as u32, key.to_vec()));
+                                }
+                            }
+                        }
+                    }
+                    if let BagKind::Tradeoff(t1) = &mut self.bags[bi].kind {
+                        for (w, key) in flips {
+                            t1.dictionary_mut().set(w, &key, false);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// First-answer probe of the subtree rooted at bag `bi` for the bound
+    /// key of that bag: does any bag answer extend through all descendants?
+    fn probe_subtree(&self, bi: usize, key: &[Value]) -> bool {
+        let bag = &self.bags[bi];
+        let children = &self.children_of[bi];
+        let nb = bag.bound_vars.len();
+        let check_children = |row: &[Value]| -> bool {
+            children.iter().all(|&ci| {
+                let child_key: Vec<Value> = self.bags[ci]
+                    .bound_vars
+                    .iter()
+                    .map(|bv| {
+                        let pos = bag
+                            .bound_vars
+                            .iter()
+                            .chain(&bag.free_vars)
+                            .position(|rv| rv == bv)
+                            .expect("child bound var in parent bag");
+                        row[pos]
+                    })
+                    .collect();
+                self.probe_subtree(ci, &child_key)
+            })
+        };
+        match &bag.kind {
+            BagKind::Materialized(mb) => {
+                let (lo, hi) = mb.range_for(key);
+                (lo..hi).any(|i| {
+                    let mut row: Vec<Value> = key.to_vec();
+                    row.extend(mb.free_part(i));
+                    debug_assert_eq!(row.len(), nb + bag.free_vars.len());
+                    check_children(&row)
+                })
+            }
+            BagKind::Tradeoff(t1) => {
+                let iter = t1.answer(key).expect("bag key arity is internal");
+                for free in iter {
+                    let mut row: Vec<Value> = key.to_vec();
+                    row.extend(free);
+                    if check_children(&row) {
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Answers an access request (Algorithm 5). Output order is
+    /// decomposition-dependent (§3.2); tuples are duplicate-free.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the bound value count mismatches the pattern.
+    pub fn answer(&self, bound_values: &[Value]) -> Result<Theorem2Iter<'_>> {
+        self.view.check_access(bound_values)?;
+        let mut valuation: Vec<Option<Value>> = vec![None; self.num_vars];
+        for (var, val) in self.view.bound_head().iter().zip(bound_values) {
+            valuation[var.index()] = Some(*val);
+        }
+        let mut root_ok = true;
+        for (rel, vars) in &self.root_checks {
+            let tuple: Vec<Value> = vars
+                .iter()
+                .map(|v| valuation[v.index()].expect("bound var valued"))
+                .collect();
+            if !rel.contains(&tuple) {
+                root_ok = false;
+                break;
+            }
+        }
+        Ok(Theorem2Iter {
+            s: self,
+            valuation,
+            states: (0..self.bags.len()).map(|_| BagIterState::Closed).collect(),
+            started: false,
+            done: !root_ok,
+        })
+    }
+
+    /// First-answer probe.
+    pub fn exists(&self, bound_values: &[Value]) -> Result<bool> {
+        Ok(self.answer(bound_values)?.next().is_some())
+    }
+
+    /// The view definition.
+    pub fn view(&self) -> &AdornedView {
+        &self.view
+    }
+
+    /// Per-bag reports: which decomposition node each bag serves, its
+    /// variable split, structure kind and size — the decomposition-level
+    /// companion to `CompressedView::describe`.
+    pub fn bag_reports(&self) -> Vec<BagReport> {
+        self.bags
+            .iter()
+            .map(|b| match &b.kind {
+                BagKind::Materialized(m) => BagReport {
+                    node: b.node,
+                    bound_vars: b.bound_vars.len(),
+                    free_vars: b.free_vars.len(),
+                    delta: self.delta[b.node],
+                    kind: "materialized",
+                    tuples_or_entries: m.len(),
+                    heap_bytes: m.heap_bytes(),
+                },
+                BagKind::Tradeoff(t) => BagReport {
+                    node: b.node,
+                    bound_vars: b.bound_vars.len(),
+                    free_vars: b.free_vars.len(),
+                    delta: self.delta[b.node],
+                    kind: "theorem-1",
+                    tuples_or_entries: t.dictionary().num_entries(),
+                    heap_bytes: t.heap_bytes(),
+                },
+            })
+            .collect()
+    }
+
+    /// Per-bag statistics.
+    pub fn stats(&self) -> Theorem2Stats {
+        let mut materialized_tuples = 0usize;
+        let mut dict_entries = 0usize;
+        let mut tradeoff_bags = 0usize;
+        for b in &self.bags {
+            match &b.kind {
+                BagKind::Materialized(m) => materialized_tuples += m.len(),
+                BagKind::Tradeoff(t) => {
+                    tradeoff_bags += 1;
+                    dict_entries += t.dictionary().num_entries();
+                }
+            }
+        }
+        Theorem2Stats {
+            bags: self.bags.len(),
+            tradeoff_bags,
+            materialized_tuples,
+            dict_entries,
+            heap_bytes: self.heap_bytes(),
+            max_delta: self
+                .delta
+                .iter()
+                .copied()
+                .fold(0.0, f64::max),
+        }
+    }
+}
+
+/// One bag's report (see [`Theorem2Structure::bag_reports`]).
+#[derive(Debug, Clone, Copy)]
+pub struct BagReport {
+    /// Decomposition node id.
+    pub node: usize,
+    /// Number of bound variables `|V_b^t|`.
+    pub bound_vars: usize,
+    /// Number of free variables `|V_f^t|`.
+    pub free_vars: usize,
+    /// The bag's delay exponent δ(t).
+    pub delta: f64,
+    /// `"materialized"` or `"theorem-1"`.
+    pub kind: &'static str,
+    /// Materialized tuples, or dictionary entries for delay-tuned bags.
+    pub tuples_or_entries: usize,
+    /// Owned heap bytes.
+    pub heap_bytes: usize,
+}
+
+/// Statistics of a Theorem 2 structure.
+#[derive(Debug, Clone, Copy)]
+pub struct Theorem2Stats {
+    /// Number of non-root bags.
+    pub bags: usize,
+    /// Bags carrying a Theorem 1 structure (δ > 0).
+    pub tradeoff_bags: usize,
+    /// Total materialized bag tuples.
+    pub materialized_tuples: usize,
+    /// Total dictionary entries across Theorem 1 bags.
+    pub dict_entries: usize,
+    /// Owned heap bytes.
+    pub heap_bytes: usize,
+    /// `max_t δ(t)`.
+    pub max_delta: f64,
+}
+
+impl HeapSize for Theorem2Structure {
+    fn heap_bytes(&self) -> usize {
+        self.bags
+            .iter()
+            .map(|b| {
+                b.bound_vars.heap_bytes()
+                    + b.free_vars.heap_bytes()
+                    + match &b.kind {
+                        BagKind::Materialized(m) => m.heap_bytes(),
+                        BagKind::Tradeoff(t) => t.heap_bytes(),
+                    }
+            })
+            .sum::<usize>()
+            + self
+                .root_checks
+                .iter()
+                .map(|(r, v)| r.heap_bytes() + v.heap_bytes())
+                .sum::<usize>()
+    }
+}
+
+/// Per-bag iterator state inside the odometer.
+enum BagIterState<'a> {
+    Closed,
+    Mat { cur: usize, end: usize },
+    Trade(Box<crate::theorem1::Theorem1Iter<'a>>),
+}
+
+/// The Algorithm 5 enumerator.
+pub struct Theorem2Iter<'a> {
+    s: &'a Theorem2Structure,
+    valuation: Vec<Option<Value>>,
+    states: Vec<BagIterState<'a>>,
+    started: bool,
+    done: bool,
+}
+
+impl<'a> Theorem2Iter<'a> {
+    fn key_of(&self, bi: usize) -> Vec<Value> {
+        self.s.bags[bi]
+            .bound_vars
+            .iter()
+            .map(|v| self.valuation[v.index()].expect("bag bound var set by ancestors"))
+            .collect()
+    }
+
+    fn bind(&mut self, bi: usize, free_vals: &[Value]) {
+        let bag = &self.s.bags[bi];
+        debug_assert_eq!(free_vals.len(), bag.free_vars.len());
+        for (v, val) in bag.free_vars.iter().zip(free_vals) {
+            self.valuation[v.index()] = Some(*val);
+        }
+    }
+
+    /// Opens bag `bi` under the current ancestor valuation; binds the first
+    /// tuple if any.
+    fn open(&mut self, bi: usize) -> bool {
+        let key = self.key_of(bi);
+        match &self.s.bags[bi].kind {
+            BagKind::Materialized(mb) => {
+                let (lo, hi) = mb.range_for(&key);
+                if lo >= hi {
+                    self.states[bi] = BagIterState::Closed;
+                    return false;
+                }
+                let free = mb.free_part(lo).to_vec();
+                self.states[bi] = BagIterState::Mat { cur: lo, end: hi };
+                self.bind(bi, &free);
+                true
+            }
+            BagKind::Tradeoff(t1) => {
+                let mut iter = t1.answer(&key).expect("bag key arity is internal");
+                match iter.next() {
+                    Some(free) => {
+                        self.states[bi] = BagIterState::Trade(Box::new(iter));
+                        self.bind(bi, &free);
+                        true
+                    }
+                    None => {
+                        self.states[bi] = BagIterState::Closed;
+                        false
+                    }
+                }
+            }
+        }
+    }
+
+    fn advance(&mut self, bi: usize) -> bool {
+        let next_free: Option<Vec<Value>> = match &mut self.states[bi] {
+            BagIterState::Closed => None,
+            BagIterState::Mat { cur, end } => {
+                if *cur + 1 < *end {
+                    *cur += 1;
+                    let c = *cur;
+                    match &self.s.bags[bi].kind {
+                        BagKind::Materialized(mb) => Some(mb.free_part(c).to_vec()),
+                        BagKind::Tradeoff(_) => unreachable!("state/kind mismatch"),
+                    }
+                } else {
+                    None
+                }
+            }
+            BagIterState::Trade(iter) => iter.next(),
+        };
+        match next_free {
+            Some(free) => {
+                self.bind(bi, &free);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn emit(&self) -> Tuple {
+        metrics::record_tuple_output();
+        self.s
+            .view
+            .free_head()
+            .iter()
+            .map(|v| self.valuation[v.index()].expect("free var bound by some bag"))
+            .collect()
+    }
+}
+
+impl Iterator for Theorem2Iter<'_> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        if self.done {
+            return None;
+        }
+        let k = self.s.bags.len();
+        if k == 0 {
+            // Boolean view over the root bag only.
+            self.done = true;
+            return Some(self.emit());
+        }
+        let mut i: usize;
+        let mut opening: bool;
+        if self.started {
+            i = k - 1;
+            opening = false;
+        } else {
+            self.started = true;
+            i = 0;
+            opening = true;
+        }
+        loop {
+            let ok = if opening { self.open(i) } else { self.advance(i) };
+            if ok {
+                if i + 1 == k {
+                    return Some(self.emit());
+                }
+                i += 1;
+                opening = true;
+            } else if opening {
+                // Fresh failure: the ancestor valuation is infeasible for
+                // this subtree — backtrack to the tree parent, skipping
+                // sibling subtrees (Algorithm 5 lines 6–8).
+                match self.s.parent_of[i] {
+                    Some(p) => {
+                        i = p;
+                        opening = false;
+                    }
+                    None => {
+                        // Parent is the root: the access valuation itself
+                        // has no extension here, so no answers exist at all.
+                        self.done = true;
+                        return None;
+                    }
+                }
+            } else {
+                // Exhausted after producing: move to the pre-order
+                // predecessor (Algorithm 5 lines 10–13).
+                if i == 0 {
+                    self.done = true;
+                    return None;
+                }
+                i -= 1;
+                opening = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqc_common::value::lex_cmp;
+    use cqc_join::naive::evaluate_view;
+    use cqc_query::parser::parse_adorned;
+    use cqc_query::VarSet;
+
+    fn vs(vars: &[u32]) -> VarSet {
+        vars.iter().map(|&v| Var(v)).collect()
+    }
+
+    fn sorted(mut v: Vec<Tuple>) -> Vec<Tuple> {
+        v.sort_unstable_by(|a, b| lex_cmp(a, b));
+        v.dedup();
+        v
+    }
+
+    /// P_4^{bfffb}: R1(x1,x2), …, R4(x4,x5) with endpoints bound — the
+    /// Example 10 query at n = 4.
+    fn path4() -> (AdornedView, Database) {
+        let view = parse_adorned(
+            "P(x1, x2, x3, x4, x5) :- R1(x1,x2), R2(x2,x3), R3(x3,x4), R4(x4,x5)",
+            "bfffb",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        let pairs = |shift: u64| -> Vec<(u64, u64)> {
+            let mut p = Vec::new();
+            for i in 0..6u64 {
+                p.push((i, (i * 7 + shift) % 6));
+                p.push((i, (i * 3 + shift + 1) % 6));
+                p.push(((i + shift) % 6, i));
+            }
+            p
+        };
+        db.add(Relation::from_pairs("R1", pairs(0))).unwrap();
+        db.add(Relation::from_pairs("R2", pairs(1))).unwrap();
+        db.add(Relation::from_pairs("R3", pairs(2))).unwrap();
+        db.add(Relation::from_pairs("R4", pairs(3))).unwrap();
+        (view, db)
+    }
+
+    /// The paper's Example 10 decomposition for n = 4:
+    /// root {x1,x5} → {x2,x4 | x1,x5} → {x3 | x2,x4}.
+    fn path4_paper_td() -> TreeDecomposition {
+        TreeDecomposition::new(
+            vec![vs(&[0, 4]), vs(&[0, 1, 3, 4]), vs(&[1, 2, 3])],
+            vec![None, Some(0), Some(1)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn path4_all_zero_delay_matches_oracle() {
+        let (view, db) = path4();
+        let td = path4_paper_td();
+        let s = Theorem2Structure::build(&view, &db, &td, &[0.0, 0.0, 0.0]).unwrap();
+        for a in 0..7u64 {
+            for b in 0..7u64 {
+                let expect = evaluate_view(&view, &db, &[a, b]).unwrap();
+                let got: Vec<Tuple> = s.answer(&[a, b]).unwrap().collect();
+                assert_eq!(sorted(got.clone()), expect, "a={a} b={b}");
+                assert_eq!(got.len(), expect.len(), "duplicates for a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn path4_mixed_delays_match_oracle() {
+        let (view, db) = path4();
+        let td = path4_paper_td();
+        for delta in [
+            vec![0.0, 0.3, 0.0],
+            vec![0.0, 0.0, 0.4],
+            vec![0.0, 0.25, 0.25],
+            vec![0.0, 0.8, 0.5],
+        ] {
+            let s = Theorem2Structure::build(&view, &db, &td, &delta).unwrap();
+            for a in 0..7u64 {
+                for b in 0..7u64 {
+                    let expect = evaluate_view(&view, &db, &[a, b]).unwrap();
+                    let got: Vec<Tuple> = s.answer(&[a, b]).unwrap().collect();
+                    assert_eq!(sorted(got.clone()), expect, "δ={delta:?} a={a} b={b}");
+                    assert_eq!(got.len(), expect.len(), "duplicates, δ={delta:?}");
+                    assert_eq!(s.exists(&[a, b]).unwrap(), !expect.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_constructor_end_to_end() {
+        let (view, db) = path4();
+        for budget in [1.0, 1.5, 2.0] {
+            let s = Theorem2Structure::build_with_budget(&view, &db, budget).unwrap();
+            for a in 0..6u64 {
+                for b in 0..6u64 {
+                    let expect = evaluate_view(&view, &db, &[a, b]).unwrap();
+                    let got: Vec<Tuple> = s.answer(&[a, b]).unwrap().collect();
+                    assert_eq!(sorted(got.clone()), expect, "budget={budget} a={a} b={b}");
+                }
+            }
+        }
+    }
+
+    /// Multi-branch decomposition (Figure 2 right): bags on independent
+    /// branches under the root enumerate a cartesian product.
+    #[test]
+    fn figure_2_path6_enumeration() {
+        // The paper's C = {v1, v5, v6}: with head order v1..v7 the
+        // pattern binds positions 1, 5 and 6.
+        let view = parse_adorned(
+            "P(v1,v2,v3,v4,v5,v6,v7) :- E1(v1,v2), E2(v2,v3), E3(v3,v4), E4(v4,v5), E5(v5,v6), E6(v6,v7)",
+            "bfffbbf",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        for (i, name) in ["E1", "E2", "E3", "E4", "E5", "E6"].iter().enumerate() {
+            let pairs: Vec<(u64, u64)> = (0..5u64)
+                .flat_map(|a| {
+                    let i = i as u64;
+                    vec![(a, (a + i) % 5), (a, (a * 2 + i) % 5)]
+                })
+                .collect();
+            db.add(Relation::from_pairs(*name, pairs)).unwrap();
+        }
+        let td = TreeDecomposition::new(
+            vec![
+                vs(&[0, 4, 5]),
+                vs(&[1, 3, 0, 4]),
+                vs(&[2, 1, 3]),
+                vs(&[6, 5]),
+            ],
+            vec![None, Some(0), Some(1), Some(0)],
+        )
+        .unwrap();
+        // Example 9's delay assignment.
+        let delta = [0.0, 1.0 / 3.0, 1.0 / 6.0, 0.0];
+        let s = Theorem2Structure::build(&view, &db, &td, &delta).unwrap();
+        for a in 0..5u64 {
+            for b in 0..5u64 {
+                for c in 0..5u64 {
+                    let expect = evaluate_view(&view, &db, &[a, b, c]).unwrap();
+                    let got: Vec<Tuple> = s.answer(&[a, b, c]).unwrap().collect();
+                    assert_eq!(sorted(got.clone()), expect, "v1={a} v5={b} v6={c}");
+                    assert_eq!(got.len(), expect.len(), "duplicates");
+                }
+            }
+        }
+    }
+
+    /// Theorem 2 with all-zero delays must agree with the factorized
+    /// representation (Prop. 4 ≡ the δ = 0 special case).
+    #[test]
+    fn zero_delay_agrees_with_factorized() {
+        let (view, db) = path4();
+        let td = path4_paper_td();
+        let t2 = Theorem2Structure::build(&view, &db, &td, &[0.0; 3]).unwrap();
+        let fr =
+            cqc_factorized::FactorizedRepresentation::build(&view, &db, &td).unwrap();
+        for a in 0..6u64 {
+            for b in 0..6u64 {
+                let x: Vec<Tuple> = t2.answer(&[a, b]).unwrap().collect();
+                let y: Vec<Tuple> = fr.answer(&[a, b]).unwrap().collect();
+                assert_eq!(sorted(x), sorted(y));
+            }
+        }
+    }
+
+    #[test]
+    fn bag_reports_cover_all_bags() {
+        let (view, db) = path4();
+        let td = path4_paper_td();
+        let s = Theorem2Structure::build(&view, &db, &td, &[0.0, 0.3, 0.0]).unwrap();
+        let reports = s.bag_reports();
+        assert_eq!(reports.len(), 2);
+        // Pre-order: node 1 = {x2,x4 | x1,x5} with δ = 0.3 (theorem-1),
+        // node 2 = {x3 | x2,x4} with δ = 0 (materialized).
+        assert_eq!(reports[0].node, 1);
+        assert_eq!(reports[0].kind, "theorem-1");
+        assert_eq!(reports[0].bound_vars, 2);
+        assert_eq!(reports[0].free_vars, 2);
+        assert!(reports[0].delta > 0.0);
+        assert_eq!(reports[1].node, 2);
+        assert_eq!(reports[1].kind, "materialized");
+        assert_eq!(reports[1].free_vars, 1);
+        assert!(reports[1].heap_bytes > 0);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let (view, db) = path4();
+        let td = path4_paper_td();
+        // Wrong delta length.
+        assert!(Theorem2Structure::build(&view, &db, &td, &[0.0, 0.0]).is_err());
+        // Non-connex decomposition (root bag mismatch).
+        let bad = TreeDecomposition::new(
+            vec![vs(&[0]), vs(&[0, 1, 3, 4]), vs(&[1, 2, 3])],
+            vec![None, Some(0), Some(1)],
+        )
+        .unwrap();
+        assert!(Theorem2Structure::build(&view, &db, &bad, &[0.0; 3]).is_err());
+    }
+}

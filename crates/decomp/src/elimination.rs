@@ -1,0 +1,178 @@
+//! Connex decompositions from elimination orders.
+//!
+//! Eliminating the free variables one by one (bound variables are never
+//! eliminated) yields a `V_b`-connex tree decomposition: each elimination
+//! step contributes the bag `{x} ∪ N(x)` (current neighborhood, including
+//! fill edges) hanging below the bag of the next eliminated neighbor, and
+//! the bound variables collect in the root bag `C`. This is the classical
+//! triangulation construction, specialized so that `C` stays connected at
+//! the top — the same route by which \[5\] obtains C-connex decompositions.
+
+use crate::tree::TreeDecomposition;
+use cqc_common::error::{CqcError, Result};
+use cqc_query::{Hypergraph, Var, VarSet};
+
+/// Builds the `c`-connex decomposition induced by eliminating the free
+/// variables in `order` (which must enumerate exactly `V \ c`).
+///
+/// The returned decomposition is simplified (subsumed bags contracted) and
+/// always satisfies `validate_connex(h, c)`.
+///
+/// # Errors
+///
+/// Fails if `order` is not a permutation of the free variables.
+pub fn from_elimination(
+    h: &Hypergraph,
+    c: VarSet,
+    order: &[Var],
+) -> Result<TreeDecomposition> {
+    let free = h.all_vars().minus(c);
+    let order_set: VarSet = order.iter().copied().collect();
+    if order_set != free || order.len() != free.len() {
+        return Err(CqcError::InvalidDecomposition(format!(
+            "elimination order {order_set} must enumerate the free variables {free} exactly"
+        )));
+    }
+
+    // Current adjacency (including fill edges), as a neighbor set per var.
+    let mut adj: Vec<VarSet> = (0..h.num_vars())
+        .map(|i| h.neighbors(Var(i as u32)))
+        .collect();
+
+    let mut eliminated = VarSet::EMPTY;
+    // Bags in construction order; node 0 is the root bag C.
+    let mut bags: Vec<VarSet> = vec![c];
+    // For each eliminated var: its bag node id.
+    let mut node_of: Vec<usize> = vec![usize::MAX; h.num_vars()];
+    // Record bags first; parents are resolved afterwards (a bag's parent is
+    // the bag of the *earliest eliminated later* neighbor, which may not
+    // exist yet while we sweep).
+    let mut elim_pos: Vec<usize> = vec![usize::MAX; h.num_vars()];
+
+    for (pos, &x) in order.iter().enumerate() {
+        let live_neighbors = adj[x.index()].minus(eliminated);
+        let bag = live_neighbors.with(x);
+        let node = bags.len();
+        bags.push(bag);
+        node_of[x.index()] = node;
+        elim_pos[x.index()] = pos;
+        eliminated = eliminated.with(x);
+        // Fill: the live neighbors become a clique.
+        for v in live_neighbors.iter() {
+            adj[v.index()] = adj[v.index()].union(live_neighbors).without(v);
+        }
+    }
+
+    // Parent of bag(x): bag of the earliest-eliminated free variable in
+    // bag(x) \ {x}; if none (all remaining members are bound), the root.
+    let mut parent: Vec<Option<usize>> = vec![None; bags.len()];
+    for &x in order {
+        let node = node_of[x.index()];
+        let later = bags[node].without(x).minus(c);
+        let next = later
+            .iter()
+            .filter(|v| elim_pos[v.index()] > elim_pos[x.index()])
+            .min_by_key(|v| elim_pos[v.index()]);
+        parent[node] = Some(match next {
+            Some(v) => node_of[v.index()],
+            None => 0,
+        });
+    }
+    parent[0] = None;
+
+    // Parents may point forward (a later-eliminated variable has a later
+    // node id, which is *larger*); re-index in topological order.
+    let td = TreeDecomposition::from_unordered(bags, parent)?;
+    let td = td.simplify();
+    td.validate_connex(h, c)?;
+    Ok(td)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vs(vars: &[u32]) -> VarSet {
+        vars.iter().map(|&v| Var(v)).collect()
+    }
+
+    fn path6() -> Hypergraph {
+        Hypergraph::new(7, (0..6).map(|i| vs(&[i, i + 1])).collect())
+    }
+
+    #[test]
+    fn path6_elimination_produces_paper_like_bags() {
+        // Eliminate v3, v2, v4, v7 with C = {v1, v5, v6}
+        // (vars v1..v7 = Var(0)..Var(6)).
+        let h = path6();
+        let c = vs(&[0, 4, 5]);
+        let order = [Var(2), Var(1), Var(3), Var(6)];
+        let td = from_elimination(&h, c, &order).unwrap();
+        td.validate_connex(&h, c).unwrap();
+        // Expected bags: {v3,v2,v4}, {v2,v1,v4}, {v4,v1,v5}, {v7,v6}.
+        let bags: Vec<VarSet> = (1..td.len()).map(|t| td.bag(t)).collect();
+        assert!(bags.contains(&vs(&[2, 1, 3])));
+        assert!(bags.contains(&vs(&[1, 0, 3])));
+        assert!(bags.contains(&vs(&[3, 0, 4])));
+        assert!(bags.contains(&vs(&[6, 5])));
+    }
+
+    #[test]
+    fn triangle_full_enumeration_collapses_to_one_bag() {
+        let h = Hypergraph::new(3, vec![vs(&[0, 1]), vs(&[1, 2]), vs(&[2, 0])]);
+        let td = from_elimination(&h, VarSet::EMPTY, &[Var(0), Var(1), Var(2)]).unwrap();
+        // {x}∪N = {x,y,z}; later bags are subsumed and contracted away.
+        assert_eq!(td.len(), 2);
+        assert_eq!(td.bag(1), vs(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn acyclic_star_stays_small() {
+        // Star R_i(x_i, z), C = {x_1..x_n} bound, eliminate z last... z is
+        // the only free variable.
+        let h = Hypergraph::new(4, vec![vs(&[0, 3]), vs(&[1, 3]), vs(&[2, 3])]);
+        let c = vs(&[0, 1, 2]);
+        let td = from_elimination(&h, c, &[Var(3)]).unwrap();
+        assert_eq!(td.len(), 2);
+        assert_eq!(td.bag(1), vs(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn wrong_order_rejected() {
+        let h = path6();
+        let c = vs(&[0, 4, 5]);
+        assert!(from_elimination(&h, c, &[Var(2), Var(1)]).is_err());
+        assert!(from_elimination(&h, c, &[Var(2), Var(1), Var(3), Var(5)]).is_err());
+    }
+
+    #[test]
+    fn every_order_is_valid_for_path4() {
+        // All 3! orders over the free variables of a 4-path with endpoints
+        // bound must produce valid connex decompositions.
+        let h = Hypergraph::new(5, (0..4).map(|i| vs(&[i, i + 1])).collect());
+        let c = vs(&[0, 4]);
+        let free = [Var(1), Var(2), Var(3)];
+        let perms: Vec<Vec<Var>> = permutations(&free);
+        assert_eq!(perms.len(), 6);
+        for p in perms {
+            let td = from_elimination(&h, c, &p).unwrap();
+            td.validate_connex(&h, c).unwrap();
+        }
+    }
+
+    fn permutations(items: &[Var]) -> Vec<Vec<Var>> {
+        if items.is_empty() {
+            return vec![vec![]];
+        }
+        let mut out = Vec::new();
+        for (i, &x) in items.iter().enumerate() {
+            let mut rest: Vec<Var> = items.to_vec();
+            rest.remove(i);
+            for mut p in permutations(&rest) {
+                p.insert(0, x);
+                out.push(p);
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,31 @@
+//! Tree decompositions and `V_b`-connex tree decompositions (§3.2, §5, §6).
+//!
+//! * [`tree`] — the [`tree::TreeDecomposition`] type with full validation:
+//!   edge coverage, running intersection, and the connex condition of
+//!   Definition 1 (normalized, as in Appendix B, to a single root bag that
+//!   equals the bound set `C = V_b`);
+//! * [`elimination`] — construction of connex decompositions from
+//!   elimination orders of the free variables;
+//! * [`width`] — the width machinery: per-bag `ρ⁺_t` (eq. 3), the
+//!   `V_b`-connex fractional hypertree δ-width, the δ-height, `u*`, and the
+//!   delay-assignment optimizer that, given a space budget, picks the
+//!   smallest per-bag delays (the per-bag **MinDelayCover** application of
+//!   §6);
+//! * [`search`] — decomposition search: exhaustive over elimination orders
+//!   for small queries plus heuristic orders and bag-merge local search for
+//!   larger ones; finding the optimal decomposition is NP-hard (§6), so the
+//!   searcher optimizes the chosen objective best-effort while golden tests
+//!   pin the paper's hand-constructed decompositions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod elimination;
+pub mod search;
+pub mod tree;
+pub mod width;
+
+pub use elimination::from_elimination;
+pub use search::{search_connex, Objective};
+pub use tree::TreeDecomposition;
+pub use width::{connex_fhw, decomposition_widths, optimize_delays, BagWidth, WidthReport};

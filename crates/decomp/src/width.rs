@@ -1,0 +1,284 @@
+//! Width machinery: δ-width, δ-height, `u*` and delay-assignment
+//! optimization.
+//!
+//! Given a `V_b`-connex decomposition and a delay assignment
+//! `δ : V(T) → [0, ∞)` (with `δ = 0` on the root), the paper defines
+//! (§3.2):
+//!
+//! * `ρ⁺_t = min_u (Σ_F u_F − δ(t)·α(V_f^t))` per non-root bag (eq. 3);
+//! * the **δ-width**: `max_t ρ⁺_t` over non-root bags;
+//! * the **δ-height**: the maximum root-to-leaf total `Σ_{t∈P} δ(t)`;
+//! * `u* = max_t u⁺_t`, which drives Theorem 2's compression time.
+//!
+//! [`optimize_delays`] implements the §6 strategy for a given decomposition
+//! and space budget: per bag, pick the smallest `δ(t)` whose `ρ⁺_t` fits the
+//! budget — each bag's problem is an instance of MinDelayCover, solved here
+//! by a monotone binary search over `δ(t)` (the paper's Prop. 11 LP solves
+//! the same problem; `cqc-lp` provides both and they are cross-checked in
+//! its tests).
+
+use crate::tree::TreeDecomposition;
+use cqc_common::error::Result;
+use cqc_lp::covers::rho_plus;
+use cqc_query::Hypergraph;
+
+/// Width data for one bag.
+#[derive(Debug, Clone)]
+pub struct BagWidth {
+    /// Bag (node) index in the decomposition.
+    pub node: usize,
+    /// The delay exponent δ(t).
+    pub delta: f64,
+    /// `ρ⁺_t` (eq. 3).
+    pub rho_plus: f64,
+    /// `u⁺_t`: total weight of the minimizing cover.
+    pub u_plus: f64,
+    /// Slack of the minimizing cover on the bag's free variables.
+    pub alpha: f64,
+    /// The minimizing cover, indexed by hypergraph edge.
+    pub weights: Vec<f64>,
+}
+
+/// Widths of a whole decomposition under a delay assignment.
+#[derive(Debug, Clone)]
+pub struct WidthReport {
+    /// Per-bag widths for non-root bags (indexed by node id; the root has
+    /// no entry).
+    pub bags: Vec<BagWidth>,
+    /// The `V_b`-connex fractional hypertree δ-width `max_t ρ⁺_t`.
+    pub delta_width: f64,
+    /// The δ-height: maximum root-to-leaf `Σ δ(t)`.
+    pub delta_height: f64,
+    /// `u* = max_t u⁺_t`.
+    pub u_star: f64,
+    /// `max_t δ(t)` (appears in Theorem 2's compression time).
+    pub max_delta: f64,
+}
+
+/// Computes per-bag `ρ⁺`, δ-width, δ-height and `u*` for a decomposition
+/// under the delay assignment `delta` (indexed by node; `delta[root]` must
+/// be 0).
+///
+/// # Errors
+///
+/// Propagates LP failures (e.g. a bag variable covered by no edge).
+// Node ids double as indexes into the per-node delay vector.
+#[allow(clippy::needless_range_loop)]
+pub fn decomposition_widths(
+    h: &Hypergraph,
+    td: &TreeDecomposition,
+    delta: &[f64],
+) -> Result<WidthReport> {
+    assert_eq!(delta.len(), td.len(), "one delay per node");
+    assert!(
+        delta[td.root()] == 0.0,
+        "the root (bound) bag carries no delay"
+    );
+    let mut bags = Vec::with_capacity(td.len().saturating_sub(1));
+    let mut delta_width: f64 = 0.0;
+    let mut u_star: f64 = 0.0;
+    let mut max_delta: f64 = 0.0;
+    for t in 1..td.len() {
+        let rp = rho_plus(h, td.bag(t), td.bag_free(t), delta[t])?;
+        delta_width = delta_width.max(rp.value);
+        u_star = u_star.max(rp.u_plus);
+        max_delta = max_delta.max(delta[t]);
+        bags.push(BagWidth {
+            node: t,
+            delta: delta[t],
+            rho_plus: rp.value,
+            u_plus: rp.u_plus,
+            alpha: rp.alpha,
+            weights: rp.weights,
+        });
+    }
+    // δ-height: max over leaves of the path sum.
+    let mut height = vec![0.0f64; td.len()];
+    let mut delta_height: f64 = 0.0;
+    for t in td.preorder() {
+        height[t] = td.parent(t).map_or(0.0, |p| height[p]) + delta[t];
+        if td.children(t).is_empty() {
+            delta_height = delta_height.max(height[t]);
+        }
+    }
+    Ok(WidthReport {
+        bags,
+        delta_width,
+        delta_height,
+        u_star,
+        max_delta,
+    })
+}
+
+/// The `V_b`-connex fractional hypertree width of a *given* decomposition:
+/// its δ-width under the all-zero assignment (`fhw(H | V_b)` is the minimum
+/// of this over all decompositions; use `search::search_connex` for the
+/// search).
+pub fn connex_fhw(h: &Hypergraph, td: &TreeDecomposition) -> Result<f64> {
+    Ok(decomposition_widths(h, td, &vec![0.0; td.len()])?.delta_width)
+}
+
+/// Given a space budget (as an exponent of `|D|`), assigns each bag the
+/// smallest delay exponent `δ(t)` such that `ρ⁺_t ≤ budget_exp`, i.e. such
+/// that the bag's Theorem-1 structure fits in `O(|D|^{budget_exp})` space.
+///
+/// Returns the per-node delay vector (0 for the root). A bag whose plain
+/// `ρ*` already fits gets `δ(t) = 0`.
+///
+/// # Errors
+///
+/// Propagates LP failures. A budget below 1 (less than linear space) is
+/// clamped to 1, since the base indexes alone are linear.
+// Node ids double as indexes into the per-node delay vector.
+#[allow(clippy::needless_range_loop)]
+pub fn optimize_delays(
+    h: &Hypergraph,
+    td: &TreeDecomposition,
+    budget_exp: f64,
+) -> Result<Vec<f64>> {
+    let budget = budget_exp.max(1.0);
+    let mut delta = vec![0.0f64; td.len()];
+    for t in 1..td.len() {
+        let at_zero = rho_plus(h, td.bag(t), td.bag_free(t), 0.0)?;
+        if at_zero.value <= budget + 1e-9 {
+            continue;
+        }
+        // ρ⁺ is non-increasing and continuous in δ; binary search for the
+        // smallest δ meeting the budget. δ ≤ u⁺(0) always suffices: with the
+        // cover fixed, ρ⁺ ≤ Σu − δ·1 ≤ 0 ≤ budget at δ = Σu.
+        let mut lo = 0.0f64;
+        let mut hi = at_zero.u_plus.max(1.0);
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            let rp = rho_plus(h, td.bag(t), td.bag_free(t), mid)?;
+            if rp.value <= budget + 1e-12 {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        delta[t] = hi;
+    }
+    Ok(delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeDecomposition;
+    use cqc_query::{Var, VarSet};
+
+    fn vs(vars: &[u32]) -> VarSet {
+        vars.iter().map(|&v| Var(v)).collect()
+    }
+
+    fn path6() -> Hypergraph {
+        Hypergraph::new(7, (0..6).map(|i| vs(&[i, i + 1])).collect())
+    }
+
+    fn fig2_right() -> TreeDecomposition {
+        TreeDecomposition::new(
+            vec![
+                vs(&[0, 4, 5]),
+                vs(&[1, 3, 0, 4]),
+                vs(&[2, 1, 3]),
+                vs(&[6, 5]),
+            ],
+            vec![None, Some(0), Some(1), Some(0)],
+        )
+        .unwrap()
+    }
+
+    /// Example 9: δ = (1/3, 1/6, 0) on the three non-root bags gives
+    /// δ-width 5/3, δ-height 1/2, and u⁺ values (2, 2, 1).
+    #[test]
+    fn example_9_widths() {
+        let h = path6();
+        let td = fig2_right();
+        let delta = vec![0.0, 1.0 / 3.0, 1.0 / 6.0, 0.0];
+        let w = decomposition_widths(&h, &td, &delta).unwrap();
+        assert!((w.delta_width - 5.0 / 3.0).abs() < 1e-6, "{}", w.delta_width);
+        assert!((w.delta_height - 0.5).abs() < 1e-9, "{}", w.delta_height);
+        assert!((w.u_star - 2.0).abs() < 1e-6);
+        let u: Vec<f64> = w.bags.iter().map(|b| b.u_plus).collect();
+        assert!((u[0] - 2.0).abs() < 1e-6);
+        assert!((u[1] - 2.0).abs() < 1e-6);
+        assert!((u[2] - 1.0).abs() < 1e-6);
+    }
+
+    /// With δ = 0 everywhere the δ-width of Figure 2 (right) is
+    /// max(ρ*(bags)) = 2.
+    #[test]
+    fn zero_delay_width() {
+        let h = path6();
+        let td = fig2_right();
+        let w = connex_fhw(&h, &td).unwrap();
+        assert!((w - 2.0).abs() < 1e-6, "{w}");
+    }
+
+    /// Example 16: R(x,y), S(y,z) with V_b = {x,z}. The only connex
+    /// decomposition has bags {x,z} and {x,y,z}: fhw(H | V_b) = 2 even
+    /// though fhw(H) = 1.
+    #[test]
+    fn example_16_connex_width_exceeds_fhw() {
+        let h = Hypergraph::new(3, vec![vs(&[0, 1]), vs(&[1, 2])]);
+        let td = TreeDecomposition::new(
+            vec![vs(&[0, 2]), vs(&[0, 1, 2])],
+            vec![None, Some(0)],
+        )
+        .unwrap();
+        td.validate_connex(&h, vs(&[0, 2])).unwrap();
+        let w = connex_fhw(&h, &td).unwrap();
+        assert!((w - 2.0).abs() < 1e-6, "{w}");
+    }
+
+    /// Figure 7 / Example 17: fhw(H) = 2 but fhw(H | V_b) = 3/2 with
+    /// C = {v1..v4}: the lower bag {v5 | v1, v2} is covered at weight 3/2.
+    ///
+    /// Hypergraph (Fig. 7): vertices v1..v5 = Var(0..4); edges
+    /// W = {v1, v5}, V = {v2, v5}, U = {v2, v3}, T = {v3, v4}, R = {v4, v5}?
+    /// The figure draws a 4-cycle v1v2v3v4 with center v5; we encode edges
+    /// S={v1,v2}, U={v2,v3}, T={v3,v4}, R={v4,v1}, W={v1,v5}, V={v2,v5}.
+    #[test]
+    fn figure_7_connex_width() {
+        let h = Hypergraph::new(
+            5,
+            vec![
+                vs(&[0, 1]), // S
+                vs(&[1, 2]), // U
+                vs(&[2, 3]), // T
+                vs(&[3, 0]), // R
+                vs(&[0, 4]), // W
+                vs(&[1, 4]), // V
+            ],
+        );
+        let c = vs(&[0, 1, 2, 3]);
+        let td = TreeDecomposition::new(vec![c, vs(&[4, 0, 1])], vec![None, Some(0)]).unwrap();
+        td.validate_connex(&h, c).unwrap();
+        // Bag {v5, v1, v2}: cover by W{v1,v5}, V{v2,v5}, S{v1,v2} at 1/2
+        // each = 3/2.
+        let w = connex_fhw(&h, &td).unwrap();
+        assert!((w - 1.5).abs() < 1e-6, "{w}");
+    }
+
+    #[test]
+    fn optimize_delays_respects_budget() {
+        let h = path6();
+        let td = fig2_right();
+        // Budget |D|^{5/3} should admit delays ≤ Example 9's assignment.
+        let delta = optimize_delays(&h, &td, 5.0 / 3.0).unwrap();
+        let w = decomposition_widths(&h, &td, &delta).unwrap();
+        assert!(w.delta_width <= 5.0 / 3.0 + 1e-6);
+        assert!(delta[1] <= 1.0 / 3.0 + 1e-6);
+        assert!(delta[2] <= 1.0 / 6.0 + 1e-4);
+        assert!(delta[3] <= 1e-9);
+        // A generous budget needs no delay at all.
+        let delta = optimize_delays(&h, &td, 2.0).unwrap();
+        assert!(delta.iter().all(|d| *d < 1e-9));
+        // A tight (linear) budget forces larger delays but stays within it.
+        let delta = optimize_delays(&h, &td, 1.0).unwrap();
+        let w = decomposition_widths(&h, &td, &delta).unwrap();
+        assert!(w.delta_width <= 1.0 + 1e-6);
+        assert!(delta[1] > 0.0);
+    }
+}

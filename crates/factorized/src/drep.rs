@@ -1,0 +1,468 @@
+//! The constant-delay factorized representation (Propositions 2 and 4).
+
+use crate::bag::MaterializedBag;
+use cqc_common::error::Result;
+use cqc_common::heap::HeapSize;
+use cqc_common::metrics;
+use cqc_common::value::{Tuple, Value};
+use cqc_decomp::TreeDecomposition;
+use cqc_query::{AdornedView, Var};
+use cqc_storage::{Database, Relation};
+
+/// A factorized representation of a full adorned view over a `V_b`-connex
+/// tree decomposition: semijoin-reduced materialized bags indexed by their
+/// top-down bound variables, enumerated in pre-order with O(1) delay.
+#[derive(Debug)]
+pub struct FactorizedRepresentation {
+    view: AdornedView,
+    /// Pre-order sequence of non-root bags.
+    bags: Vec<MaterializedBag>,
+    /// Relations fully contained in `V_b`, checked per access request
+    /// (§5.1: "a hash index that tests membership for every hyperedge of H
+    /// contained in V_b"; sorted-relation membership is the same Õ(1)).
+    root_checks: Vec<(Relation, Vec<Var>)>,
+    num_vars: usize,
+}
+
+impl FactorizedRepresentation {
+    /// Builds the representation over the given connex decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the view is not a full natural join, the decomposition is
+    /// not `V_b`-connex, or schemas mismatch.
+    pub fn build(
+        view: &AdornedView,
+        db: &Database,
+        td: &TreeDecomposition,
+    ) -> Result<FactorizedRepresentation> {
+        let query = view.query();
+        query.require_natural_join()?;
+        query.check_schema(db)?;
+        let h = query.hypergraph();
+        td.validate_connex(&h, view.bound_vars())?;
+
+        let atoms: Vec<(String, Vec<Var>)> = query
+            .atoms
+            .iter()
+            .map(|a| (a.relation.clone(), a.vars().collect()))
+            .collect();
+
+        // Materialize bags in pre-order.
+        let pre = td.preorder();
+        debug_assert_eq!(pre[0], td.root());
+        let mut bags: Vec<MaterializedBag> = Vec::with_capacity(pre.len() - 1);
+        let mut bag_index_of_node = vec![usize::MAX; td.len()];
+        for &t in &pre[1..] {
+            bag_index_of_node[t] = bags.len();
+            bags.push(MaterializedBag::build(
+                t,
+                td.bag_bound(t),
+                td.bag_free(t),
+                &atoms,
+                db,
+            )?);
+        }
+        // Bottom-up semijoin reduction: a bag row survives iff every child
+        // bag has a matching row (children already reduced → every survivor
+        // extends to the whole subtree).
+        for &t in td.postorder().iter() {
+            if t == td.root() {
+                continue;
+            }
+            let bi = bag_index_of_node[t];
+            let child_bis: Vec<usize> = td
+                .children(t)
+                .iter()
+                .map(|&c| bag_index_of_node[c])
+                .collect();
+            if child_bis.is_empty() {
+                continue;
+            }
+            // For each child: positions of the child's bound vars inside
+            // this bag's row (bound prefix then free suffix).
+            let row_vars: Vec<Var> = {
+                let mut v = bags[bi].bound_vars.clone();
+                v.extend(&bags[bi].free_vars);
+                v
+            };
+            let extractors: Vec<(usize, Vec<usize>)> = child_bis
+                .iter()
+                .map(|&cbi| {
+                    let positions = bags[cbi]
+                        .bound_vars
+                        .iter()
+                        .map(|bv| {
+                            row_vars
+                                .iter()
+                                .position(|rv| rv == bv)
+                                .expect("child bound var is in the parent bag")
+                        })
+                        .collect();
+                    (cbi, positions)
+                })
+                .collect();
+            // We cannot hold `&mut bags[bi]` and `&bags[cbi]` at once, so
+            // collect keep-flags first, then retain.
+            let n = bags[bi].len();
+            let mut keep = vec![true; n];
+            for (i, flag) in keep.iter_mut().enumerate() {
+                let row = bags[bi].row(i);
+                for (cbi, positions) in &extractors {
+                    let key: Vec<Value> = positions.iter().map(|&p| row[p]).collect();
+                    if !bags[*cbi].contains_key(&key) {
+                        *flag = false;
+                        break;
+                    }
+                }
+            }
+            let mut it = keep.into_iter();
+            bags[bi].retain(|_| it.next().unwrap());
+        }
+
+        // Root membership checks: edges fully inside V_b.
+        let vb = view.bound_vars();
+        let mut root_checks = Vec::new();
+        for atom in &query.atoms {
+            let vars: Vec<Var> = atom.vars().collect();
+            if vars.iter().all(|v| vb.contains(*v)) {
+                root_checks.push((db.require(&atom.relation)?.clone(), vars));
+            }
+        }
+
+        Ok(FactorizedRepresentation {
+            view: view.clone(),
+            bags,
+            root_checks,
+            num_vars: query.num_vars(),
+        })
+    }
+
+    /// Convenience constructor: searches for a width-minimal decomposition
+    /// first (Prop. 4 end-to-end).
+    pub fn build_with_search(
+        view: &AdornedView,
+        db: &Database,
+    ) -> Result<FactorizedRepresentation> {
+        let query = view.query();
+        query.require_natural_join()?;
+        let h = query.hypergraph();
+        let found = cqc_decomp::search_connex(
+            &h,
+            view.bound_vars(),
+            cqc_decomp::Objective::MinimizeWidth,
+        )?;
+        FactorizedRepresentation::build(view, db, &found.td)
+    }
+
+    /// Answers an access request with constant delay.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the bound value count mismatches the access pattern.
+    pub fn answer(&self, bound_values: &[Value]) -> Result<FactorizedIter<'_>> {
+        self.view.check_access(bound_values)?;
+        let mut valuation: Vec<Option<Value>> = vec![None; self.num_vars];
+        for (var, val) in self.view.bound_head().iter().zip(bound_values) {
+            valuation[var.index()] = Some(*val);
+        }
+        // Root guards.
+        let mut root_ok = true;
+        for (rel, vars) in &self.root_checks {
+            let tuple: Vec<Value> = vars
+                .iter()
+                .map(|v| valuation[v.index()].expect("bound var has a value"))
+                .collect();
+            if !rel.contains(&tuple) {
+                root_ok = false;
+                break;
+            }
+        }
+        Ok(FactorizedIter {
+            rep: self,
+            valuation,
+            cursor: vec![(0, 0); self.bags.len()],
+            started: false,
+            done: !root_ok,
+        })
+    }
+
+    /// First-answer probe.
+    pub fn exists(&self, bound_values: &[Value]) -> Result<bool> {
+        Ok(self.answer(bound_values)?.next().is_some())
+    }
+
+    /// The total number of materialized bag tuples (the dominant space
+    /// term).
+    pub fn materialized_tuples(&self) -> usize {
+        self.bags.iter().map(MaterializedBag::len).sum()
+    }
+
+    /// The underlying view.
+    pub fn view(&self) -> &AdornedView {
+        &self.view
+    }
+}
+
+impl HeapSize for FactorizedRepresentation {
+    fn heap_bytes(&self) -> usize {
+        self.bags
+            .iter()
+            .map(|b| b.heap_bytes() + std::mem::size_of::<MaterializedBag>())
+            .sum::<usize>()
+            + self
+                .root_checks
+                .iter()
+                .map(|(r, v)| r.heap_bytes() + v.heap_bytes())
+                .sum::<usize>()
+    }
+}
+
+/// Constant-delay pre-order enumerator over the reduced bags.
+pub struct FactorizedIter<'a> {
+    rep: &'a FactorizedRepresentation,
+    valuation: Vec<Option<Value>>,
+    /// Per bag: (current row, end row) of the active range.
+    cursor: Vec<(usize, usize)>,
+    started: bool,
+    done: bool,
+}
+
+impl FactorizedIter<'_> {
+    /// Opens bag `i` for the current valuation: positions at the first row
+    /// of the key range and binds its free variables.
+    fn open(&mut self, i: usize) -> bool {
+        let bag = &self.rep.bags[i];
+        let key: Vec<Value> = bag
+            .bound_vars
+            .iter()
+            .map(|v| self.valuation[v.index()].expect("bag bound var set by ancestors"))
+            .collect();
+        let (lo, hi) = bag.range_for(&key);
+        self.cursor[i] = (lo, hi);
+        if lo >= hi {
+            return false;
+        }
+        self.bind(i, lo);
+        true
+    }
+
+    /// Advances bag `i` to its next row, if any.
+    fn advance(&mut self, i: usize) -> bool {
+        let (cur, end) = self.cursor[i];
+        if cur + 1 >= end {
+            return false;
+        }
+        self.cursor[i] = (cur + 1, end);
+        self.bind(i, cur + 1);
+        true
+    }
+
+    fn bind(&mut self, i: usize, row: usize) {
+        let bag = &self.rep.bags[i];
+        for (v, val) in bag.free_vars.iter().zip(bag.free_part(row)) {
+            self.valuation[v.index()] = Some(*val);
+        }
+    }
+
+    fn emit(&self) -> Tuple {
+        metrics::record_tuple_output();
+        self.rep
+            .view
+            .free_head()
+            .iter()
+            .map(|v| self.valuation[v.index()].expect("free var bound"))
+            .collect()
+    }
+}
+
+impl Iterator for FactorizedIter<'_> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        if self.done {
+            return None;
+        }
+        let k = self.rep.bags.len();
+        if k == 0 {
+            // Boolean view: the root guards already passed.
+            self.done = true;
+            return Some(self.emit());
+        }
+        let mut i: usize;
+        let mut opening: bool;
+        if self.started {
+            i = k - 1;
+            opening = false;
+        } else {
+            self.started = true;
+            i = 0;
+            opening = true;
+        }
+        loop {
+            let ok = if opening { self.open(i) } else { self.advance(i) };
+            if ok {
+                if i + 1 == k {
+                    return Some(self.emit());
+                }
+                i += 1;
+                opening = true;
+            } else {
+                if i == 0 {
+                    self.done = true;
+                    return None;
+                }
+                i -= 1;
+                opening = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqc_common::value::lex_cmp;
+    use cqc_join::naive::evaluate_view;
+    use cqc_query::parser::parse_adorned;
+    use cqc_query::VarSet;
+
+    fn vs(vars: &[u32]) -> VarSet {
+        vars.iter().map(|&v| Var(v)).collect()
+    }
+
+    fn star_db() -> Database {
+        let mut db = Database::new();
+        db.add(Relation::from_pairs(
+            "R1",
+            vec![(1, 10), (1, 20), (2, 10), (3, 30)],
+        ))
+        .unwrap();
+        db.add(Relation::from_pairs(
+            "R2",
+            vec![(5, 10), (5, 20), (6, 30), (7, 40)],
+        ))
+        .unwrap();
+        db
+    }
+
+    fn sorted(mut v: Vec<Tuple>) -> Vec<Tuple> {
+        v.sort_unstable_by(|a, b| lex_cmp(a, b));
+        v
+    }
+
+    #[test]
+    fn star_bbf_matches_oracle() {
+        // S_2^{bbf}(x1, x2, z) = R1(x1, z), R2(x2, z) — the set-intersection
+        // view of Example 7 / §3.1.
+        let v = parse_adorned("Q(x1, x2, z) :- R1(x1, z), R2(x2, z)", "bbf").unwrap();
+        let db = star_db();
+        let rep = FactorizedRepresentation::build_with_search(&v, &db).unwrap();
+        for x1 in 0..5u64 {
+            for x2 in 4..9u64 {
+                let expect = evaluate_view(&v, &db, &[x1, x2]).unwrap();
+                let got: Vec<Tuple> = rep.answer(&[x1, x2]).unwrap().collect();
+                assert_eq!(sorted(got), expect, "x1={x1} x2={x2}");
+                assert_eq!(rep.exists(&[x1, x2]).unwrap(), !expect.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn full_enumeration_prop2() {
+        // Acyclic path query, full enumeration: linear-space d-rep.
+        let mut db = Database::new();
+        db.add(Relation::from_pairs("R", vec![(1, 2), (2, 3), (4, 5)]))
+            .unwrap();
+        db.add(Relation::from_pairs("S", vec![(2, 7), (3, 8), (5, 9)]))
+            .unwrap();
+        let v = parse_adorned("Q(x, y, z) :- R(x, y), S(y, z)", "fff").unwrap();
+        let rep = FactorizedRepresentation::build_with_search(&v, &db).unwrap();
+        let expect = evaluate_view(&v, &db, &[]).unwrap();
+        let got: Vec<Tuple> = rep.answer(&[]).unwrap().collect();
+        assert_eq!(sorted(got), expect);
+    }
+
+    #[test]
+    fn semijoin_removes_dangling_tuples() {
+        // R(x,y) tuples whose y never joins S must be filtered by the
+        // bottom-up pass; delay stays constant because no bag row is dead.
+        let mut db = Database::new();
+        db.add(Relation::from_pairs("R", vec![(1, 2), (1, 99), (2, 3)]))
+            .unwrap();
+        db.add(Relation::from_pairs("S", vec![(2, 7), (3, 8)]))
+            .unwrap();
+        let v = parse_adorned("Q(x, y, z) :- R(x, y), S(y, z)", "bff").unwrap();
+        let h = v.query().hypergraph();
+        // Manual decomposition: root {x} → {x,y} → {y,z}.
+        let td = TreeDecomposition::new(
+            vec![vs(&[0]), vs(&[0, 1]), vs(&[1, 2])],
+            vec![None, Some(0), Some(1)],
+        )
+        .unwrap();
+        td.validate_connex(&h, vs(&[0])).unwrap();
+        let rep = FactorizedRepresentation::build(&v, &db, &td).unwrap();
+        // y = 99 must not survive in the {x,y} bag.
+        assert_eq!(rep.bags[0].len(), 2);
+        let got: Vec<Tuple> = rep.answer(&[1]).unwrap().collect();
+        assert_eq!(got, vec![vec![2, 7]]);
+    }
+
+    #[test]
+    fn boolean_view_checks_root_relations() {
+        let mut db = Database::new();
+        db.add(Relation::from_pairs("R", vec![(1, 2)])).unwrap();
+        let v = parse_adorned("Q(x, y) :- R(x, y)", "bb").unwrap();
+        let h = v.query().hypergraph();
+        let td = TreeDecomposition::new(vec![vs(&[0, 1])], vec![None]).unwrap();
+        td.validate_connex(&h, vs(&[0, 1])).unwrap();
+        let rep = FactorizedRepresentation::build(&v, &db, &td).unwrap();
+        assert!(rep.exists(&[1, 2]).unwrap());
+        assert!(!rep.exists(&[2, 1]).unwrap());
+        let got: Vec<Tuple> = rep.answer(&[1, 2]).unwrap().collect();
+        assert_eq!(got, vec![Vec::<Value>::new()]);
+    }
+
+    #[test]
+    fn triangle_with_one_bag() {
+        let mut db = Database::new();
+        db.add(Relation::from_pairs("R", vec![(1, 2), (2, 3), (1, 3)]))
+            .unwrap();
+        db.add(Relation::from_pairs("S", vec![(2, 3), (3, 1)])).unwrap();
+        db.add(Relation::from_pairs("T", vec![(3, 1), (1, 2)])).unwrap();
+        let v = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", "fff").unwrap();
+        let rep = FactorizedRepresentation::build_with_search(&v, &db).unwrap();
+        let expect = evaluate_view(&v, &db, &[]).unwrap();
+        let got: Vec<Tuple> = rep.answer(&[]).unwrap().collect();
+        assert_eq!(sorted(got), expect);
+    }
+
+    #[test]
+    fn multi_branch_cartesian_enumeration() {
+        // Root {x} with two independent children {x,y} and {x,z}: the
+        // answer is a cartesian product across branches.
+        let mut db = Database::new();
+        db.add(Relation::from_pairs("R", vec![(1, 10), (1, 11), (2, 20)]))
+            .unwrap();
+        db.add(Relation::from_pairs("S", vec![(1, 77), (1, 78), (2, 99)]))
+            .unwrap();
+        let v = parse_adorned("Q(x, y, z) :- R(x, y), S(x, z)", "bff").unwrap();
+        let h = v.query().hypergraph();
+        let td = TreeDecomposition::new(
+            vec![vs(&[0]), vs(&[0, 1]), vs(&[0, 2])],
+            vec![None, Some(0), Some(0)],
+        )
+        .unwrap();
+        let rep = FactorizedRepresentation::build(&v, &db, &td).unwrap();
+        let _ = h;
+        let got: Vec<Tuple> = rep.answer(&[1]).unwrap().collect();
+        assert_eq!(
+            sorted(got),
+            vec![vec![10, 77], vec![10, 78], vec![11, 77], vec![11, 78]]
+        );
+        let got: Vec<Tuple> = rep.answer(&[2]).unwrap().collect();
+        assert_eq!(got, vec![vec![20, 99]]);
+        let got: Vec<Tuple> = rep.answer(&[3]).unwrap().collect();
+        assert!(got.is_empty());
+    }
+}

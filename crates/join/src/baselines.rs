@@ -1,0 +1,307 @@
+//! The two extremal solutions of §2.3.
+//!
+//! * [`MaterializedView`] — "materialize the view `Q(D)` and index it by the
+//!   bound variables": constant delay per access, but up to `|D|^{ρ*}`
+//!   space.
+//! * [`DirectView`] — "answer each access request directly on the input
+//!   database": linear space (just the base trie indexes), but up to
+//!   AGM-bound time before the first tuple is emitted.
+//!
+//! The paper's contribution lives between these two; the benchmark harness
+//! anchors every tradeoff curve with them.
+
+use crate::plan::ViewPlan;
+use cqc_common::error::Result;
+use cqc_common::heap::HeapSize;
+use cqc_common::metrics;
+use cqc_common::value::{lex_cmp, Tuple, Value};
+use cqc_query::AdornedView;
+use cqc_storage::Database;
+
+/// Fully materialized view with a lexicographic index on the bound prefix.
+#[derive(Debug)]
+pub struct MaterializedView {
+    view: AdornedView,
+    /// Result tuples in `[bound | free]` order, flattened, sorted.
+    rows: Vec<Value>,
+    width: usize,
+    num_bound: usize,
+}
+
+impl MaterializedView {
+    /// Materializes the view with a worst-case-optimal join.
+    ///
+    /// # Errors
+    ///
+    /// Fails on non-natural-join views or schema mismatches.
+    pub fn build(view: &AdornedView, db: &Database) -> Result<MaterializedView> {
+        let plan = ViewPlan::build(view, db)?;
+        let width = plan.num_levels();
+        let mut join = plan.join(vec![crate::leapfrog::LevelConstraint::Free; width]);
+        let mut rows = Vec::new();
+        while let Some(t) = join.next() {
+            rows.extend_from_slice(t);
+        }
+        // LFTJ emits in lexicographic order of [bound | free] already.
+        Ok(MaterializedView {
+            view: view.clone(),
+            rows,
+            width: width.max(1),
+            num_bound: plan.num_bound,
+        })
+    }
+
+    /// Number of materialized result tuples.
+    pub fn len(&self) -> usize {
+        if self.rows.is_empty() {
+            0
+        } else {
+            self.rows.len() / self.width
+        }
+    }
+
+    /// `true` when the view result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn row(&self, i: usize) -> &[Value] {
+        &self.rows[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Answers an access request: an iterator over the free-variable tuples,
+    /// in lexicographic order, with O(1) delay after an O(log) prefix
+    /// search.
+    pub fn answer(&self, bound_values: &[Value]) -> Result<MaterializedAnswer<'_>> {
+        self.view.check_access(bound_values)?;
+        // Binary-search the contiguous run with the given bound prefix.
+        let n = self.len();
+        let prefix = bound_values;
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if lex_cmp(&self.row(mid)[..prefix.len()], prefix) == std::cmp::Ordering::Less {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let start = lo;
+        let mut hi = n;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if lex_cmp(&self.row(mid)[..prefix.len()], prefix) != std::cmp::Ordering::Greater {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(MaterializedAnswer {
+            mv: self,
+            pos: start,
+            end: lo,
+        })
+    }
+
+    /// `true` iff the access request has at least one answer.
+    pub fn exists(&self, bound_values: &[Value]) -> Result<bool> {
+        Ok(self.answer(bound_values)?.next().is_some())
+    }
+}
+
+impl HeapSize for MaterializedView {
+    fn heap_bytes(&self) -> usize {
+        self.rows.heap_bytes()
+    }
+}
+
+/// Streaming answer over a [`MaterializedView`].
+#[derive(Debug)]
+pub struct MaterializedAnswer<'a> {
+    mv: &'a MaterializedView,
+    pos: usize,
+    end: usize,
+}
+
+impl Iterator for MaterializedAnswer<'_> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        if self.pos >= self.end {
+            return None;
+        }
+        let row = self.mv.row(self.pos);
+        self.pos += 1;
+        metrics::record_tuple_output();
+        Some(row[self.mv.num_bound..].to_vec())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.end - self.pos;
+        (n, Some(n))
+    }
+}
+
+/// Per-request direct evaluation over linear-size base indexes.
+#[derive(Debug)]
+pub struct DirectView {
+    view: AdornedView,
+    plan: ViewPlan,
+}
+
+impl DirectView {
+    /// Builds the base trie indexes (linear space, linear-ish time).
+    ///
+    /// # Errors
+    ///
+    /// Fails on non-natural-join views or schema mismatches.
+    pub fn build(view: &AdornedView, db: &Database) -> Result<DirectView> {
+        Ok(DirectView {
+            view: view.clone(),
+            plan: ViewPlan::build(view, db)?,
+        })
+    }
+
+    /// Answers an access request by running a fresh worst-case-optimal join.
+    pub fn answer(&self, bound_values: &[Value]) -> Result<DirectAnswer<'_>> {
+        self.view.check_access(bound_values)?;
+        let join = self.plan.join(self.plan.bound_constraints(bound_values));
+        Ok(DirectAnswer {
+            join,
+            num_bound: self.plan.num_bound,
+        })
+    }
+
+    /// `true` iff the access request has at least one answer (first-answer
+    /// probe).
+    pub fn exists(&self, bound_values: &[Value]) -> Result<bool> {
+        Ok(self.answer(bound_values)?.next().is_some())
+    }
+
+    /// The underlying plan (used by benchmarks for space accounting).
+    pub fn plan(&self) -> &ViewPlan {
+        &self.plan
+    }
+}
+
+impl HeapSize for DirectView {
+    fn heap_bytes(&self) -> usize {
+        self.plan.heap_bytes()
+    }
+}
+
+/// Streaming answer over a [`DirectView`].
+pub struct DirectAnswer<'a> {
+    join: crate::leapfrog::LeapfrogJoin<'a>,
+    num_bound: usize,
+}
+
+impl Iterator for DirectAnswer<'_> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        let nb = self.num_bound;
+        self.join.next().map(|t| {
+            metrics::record_tuple_output();
+            t[nb..].to_vec()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::evaluate_view;
+    use cqc_query::parser::parse_adorned;
+    use cqc_storage::Relation;
+
+    fn triangle_db() -> Database {
+        let mut db = Database::new();
+        db.add(Relation::from_pairs(
+            "R",
+            vec![(1, 2), (2, 3), (1, 3), (3, 1), (2, 1)],
+        ))
+        .unwrap();
+        db.add(Relation::from_pairs("S", vec![(2, 3), (3, 1), (3, 2), (1, 2)]))
+            .unwrap();
+        db.add(Relation::from_pairs("T", vec![(3, 1), (1, 2), (2, 3), (2, 1)]))
+            .unwrap();
+        db
+    }
+
+    fn all_requests(db: &Database, k: usize) -> Vec<Vec<Value>> {
+        // Cross product of a small candidate domain.
+        let dom: Vec<Value> = vec![1, 2, 3, 4];
+        let mut reqs = vec![vec![]];
+        for _ in 0..k {
+            let mut next = Vec::new();
+            for r in &reqs {
+                for &v in &dom {
+                    let mut r2 = r.clone();
+                    r2.push(v);
+                    next.push(r2);
+                }
+            }
+            reqs = next;
+        }
+        let _ = db;
+        reqs
+    }
+
+    #[test]
+    fn baselines_match_oracle_on_every_request() {
+        for pattern in ["bfb", "bbf", "fff", "bbb", "fbf"] {
+            let v = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", pattern).unwrap();
+            let db = triangle_db();
+            let mat = MaterializedView::build(&v, &db).unwrap();
+            let dir = DirectView::build(&v, &db).unwrap();
+            let nb = pattern.chars().filter(|c| *c == 'b').count();
+            for req in all_requests(&db, nb) {
+                let expect = evaluate_view(&v, &db, &req).unwrap();
+                let got_m: Vec<Tuple> = mat.answer(&req).unwrap().collect();
+                let got_d: Vec<Tuple> = dir.answer(&req).unwrap().collect();
+                assert_eq!(got_m, expect, "materialized, pattern {pattern}, req {req:?}");
+                assert_eq!(got_d, expect, "direct, pattern {pattern}, req {req:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn materialized_len_is_result_size() {
+        let v = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", "fff").unwrap();
+        let db = triangle_db();
+        let mat = MaterializedView::build(&v, &db).unwrap();
+        let expect = evaluate_view(&v, &db, &[]).unwrap();
+        assert_eq!(mat.len(), expect.len());
+        assert!(!mat.is_empty() || expect.is_empty());
+    }
+
+    #[test]
+    fn exists_probes() {
+        let v = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", "bbb").unwrap();
+        let db = triangle_db();
+        let mat = MaterializedView::build(&v, &db).unwrap();
+        let dir = DirectView::build(&v, &db).unwrap();
+        assert!(mat.exists(&[1, 2, 3]).unwrap());
+        assert!(dir.exists(&[1, 2, 3]).unwrap());
+        assert!(!mat.exists(&[1, 1, 1]).unwrap());
+        assert!(!dir.exists(&[1, 1, 1]).unwrap());
+    }
+
+    #[test]
+    fn direct_space_is_smaller_than_materialized_on_dense_instances() {
+        // A hub instance where the join result (30×30 pairs through the
+        // shared middle value) is much larger than the input (60 tuples).
+        let mut db = Database::new();
+        let r: Vec<(Value, Value)> = (0..30u64).map(|i| (i, 1000)).collect();
+        let s: Vec<(Value, Value)> = (0..30u64).map(|j| (1000, j)).collect();
+        db.add(Relation::from_pairs("R", r)).unwrap();
+        db.add(Relation::from_pairs("S", s)).unwrap();
+        let v = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z)", "fff").unwrap();
+        let mat = MaterializedView::build(&v, &db).unwrap();
+        let dir = DirectView::build(&v, &db).unwrap();
+        assert!(mat.len() > db.size());
+        assert!(dir.heap_bytes() < mat.heap_bytes());
+    }
+}

@@ -1,0 +1,395 @@
+//! Fractional edge covers, cover numbers, slack and ρ⁺.
+
+use crate::simplex::{Cmp, Lp};
+use cqc_common::error::{CqcError, Result};
+use cqc_query::{Hypergraph, VarSet};
+
+/// A fractional edge cover: one weight per hyperedge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverSolution {
+    /// Weight `u_F` per edge, indexed like `Hypergraph::edges`.
+    pub weights: Vec<f64>,
+    /// `Σ_F u_F`.
+    pub total: f64,
+}
+
+impl CoverSolution {
+    /// Verifies that the weights cover every variable of `targets` with
+    /// total incident weight at least 1 (§2.1 condition (ii)).
+    pub fn is_cover_of(&self, h: &Hypergraph, targets: VarSet) -> bool {
+        targets.iter().all(|x| {
+            let incident: f64 = h
+                .edges()
+                .iter()
+                .zip(&self.weights)
+                .filter(|(e, _)| e.contains(x))
+                .map(|(_, w)| *w)
+                .sum();
+            incident >= 1.0 - 1e-6
+        }) && self.weights.iter().all(|&w| w >= -1e-9)
+    }
+}
+
+/// Minimum fractional edge cover of the variable set `targets`:
+/// `min Σ u_F` s.t. every `x ∈ targets` has `Σ_{F ∋ x} u_F ≥ 1`, `u ≥ 0`.
+///
+/// Returns a zero cover when `targets` is empty.
+///
+/// # Errors
+///
+/// Fails when a target variable appears in no edge (the LP is infeasible).
+pub fn min_fractional_edge_cover(h: &Hypergraph, targets: VarSet) -> Result<CoverSolution> {
+    let m = h.num_edges();
+    if targets.is_empty() {
+        return Ok(CoverSolution {
+            weights: vec![0.0; m],
+            total: 0.0,
+        });
+    }
+    for x in targets.iter() {
+        if !h.edges().iter().any(|e| e.contains(x)) {
+            return Err(CqcError::Lp(format!(
+                "variable {x} is not covered by any hyperedge"
+            )));
+        }
+    }
+    let mut lp = Lp::minimize(m, vec![1.0; m]);
+    for x in targets.iter() {
+        let row: Vec<f64> = h
+            .edges()
+            .iter()
+            .map(|e| if e.contains(x) { 1.0 } else { 0.0 })
+            .collect();
+        lp.constraint(row, Cmp::Ge, 1.0);
+    }
+    let s = lp.solve()?;
+    Ok(CoverSolution {
+        total: s.objective,
+        weights: s.x,
+    })
+}
+
+/// The fractional edge cover number `ρ*_H(S)` (§2.1).
+pub fn rho_star(h: &Hypergraph, s: VarSet) -> Result<f64> {
+    Ok(min_fractional_edge_cover(h, s)?.total)
+}
+
+/// The slack `α(S)` of a weight assignment for the set `S` (eq. 2):
+/// `α(S) = min_{x ∈ S} Σ_{F ∋ x} u_F`.
+///
+/// Returns `1.0` when `S` is empty (the degenerate boolean-view case — the
+/// paper's structures only divide by the slack, and `α ≥ 1` always holds for
+/// covers, so 1 is the conservative choice).
+pub fn slack(h: &Hypergraph, weights: &[f64], s: VarSet) -> f64 {
+    assert_eq!(weights.len(), h.num_edges());
+    if s.is_empty() {
+        return 1.0;
+    }
+    s.iter()
+        .map(|x| {
+            h.edges()
+                .iter()
+                .zip(weights)
+                .filter(|(e, _)| e.contains(x))
+                .map(|(_, w)| *w)
+                .sum::<f64>()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Result of the ρ⁺ optimization (eq. 3).
+#[derive(Debug, Clone)]
+pub struct RhoPlus {
+    /// `ρ⁺_t = min_u (Σ_F u_F − δ(t) · α(V_f^t))`.
+    pub value: f64,
+    /// The minimizing cover `u'` of the bag.
+    pub weights: Vec<f64>,
+    /// The slack of `u'` for the bag's free variables.
+    pub alpha: f64,
+    /// `u⁺_t = Σ_F u'_F` for the minimizing cover (used in Theorem 2's
+    /// compression-time bound).
+    pub u_plus: f64,
+}
+
+/// Computes `ρ⁺_t` (eq. 3) for a bag: minimize `Σ u_F − δ·α` over fractional
+/// edge covers `u` of `bag` (using only the edges incident to the bag) with
+/// `α ≤ Σ_{F ∋ x} u_F` for every free variable `x` of the bag.
+///
+/// Per Figure 5 the weights are capped at `u_F ≤ 1` and `1 ≤ α ≤ |E|`; these
+/// caps keep the program bounded for every `δ ≥ 0`.
+///
+/// # Errors
+///
+/// Fails when some bag variable is not covered by any incident edge.
+pub fn rho_plus(
+    h: &Hypergraph,
+    bag: VarSet,
+    bag_free: VarSet,
+    delta: f64,
+) -> Result<RhoPlus> {
+    assert!(bag_free.is_subset_of(bag));
+    assert!(delta >= 0.0, "delay exponents are non-negative");
+    let edge_ids = h.edges_incident(bag);
+    if edge_ids.is_empty() {
+        return Err(CqcError::Lp("bag is not covered by any edge".into()));
+    }
+    let k = edge_ids.len();
+    let m_all = h.num_edges() as f64;
+
+    // Variables: u_0..u_{k-1} (per incident edge, restricted to the bag),
+    // then α.
+    let mut obj = vec![1.0; k];
+    obj.push(-delta);
+    let mut lp = Lp::minimize(k + 1, obj);
+
+    // Edges act on the bag through their intersection with it.
+    let cover_row = |x| -> Vec<f64> {
+        let mut row = vec![0.0; k + 1];
+        for (j, &eid) in edge_ids.iter().enumerate() {
+            if h.edges()[eid].intersect(bag).contains(x) {
+                row[j] = 1.0;
+            }
+        }
+        row
+    };
+
+    for x in bag.iter() {
+        let row = cover_row(x);
+        if row[..k].iter().all(|&c| c == 0.0) {
+            return Err(CqcError::Lp(format!(
+                "bag variable {x} is not covered by any incident edge"
+            )));
+        }
+        lp.constraint(row, Cmp::Ge, 1.0);
+    }
+    for x in bag_free.iter() {
+        let mut row = cover_row(x);
+        row[k] = -1.0; // Σ u_F − α ≥ 0.
+        lp.constraint(row, Cmp::Ge, 0.0);
+    }
+    // 1 ≤ α ≤ |E|.
+    let mut row = vec![0.0; k + 1];
+    row[k] = 1.0;
+    lp.constraint(row.clone(), Cmp::Ge, 1.0);
+    lp.constraint(row, Cmp::Le, m_all.max(1.0));
+    // u_F ≤ 1.
+    for j in 0..k {
+        let mut row = vec![0.0; k + 1];
+        row[j] = 1.0;
+        lp.constraint(row, Cmp::Le, 1.0);
+    }
+
+    let s = lp.solve()?;
+    let mut weights = vec![0.0; h.num_edges()];
+    for (j, &eid) in edge_ids.iter().enumerate() {
+        weights[eid] = s.x[j];
+    }
+    let u_plus = s.x[..k].iter().sum();
+    Ok(RhoPlus {
+        value: s.objective,
+        weights,
+        alpha: s.x[k],
+        u_plus,
+    })
+}
+
+/// Certifies optimality of a fractional edge cover value via LP duality:
+/// the dual of the covering LP is a *fractional matching* (weights `y_x ≥ 0`
+/// per target variable with `Σ_{x ∈ F} y_x ≤ 1` per edge), and any feasible
+/// matching's total is a lower bound on every cover's total. This solves
+/// the dual and checks that the two optima coincide (strong duality), which
+/// pins `ρ*` from both sides — the certificate the AGM-bound literature
+/// relies on.
+///
+/// Returns the maximum fractional matching value.
+///
+/// # Errors
+///
+/// Propagates LP failures.
+pub fn max_fractional_matching(h: &Hypergraph, targets: VarSet) -> Result<f64> {
+    if targets.is_empty() {
+        return Ok(0.0);
+    }
+    let vars: Vec<_> = targets.iter().collect();
+    let n = vars.len();
+    let mut lp = Lp::maximize(n, vec![1.0; n]);
+    for e in h.edges() {
+        let row: Vec<f64> = vars
+            .iter()
+            .map(|x| if e.contains(*x) { 1.0 } else { 0.0 })
+            .collect();
+        lp.constraint(row, Cmp::Le, 1.0);
+    }
+    Ok(lp.solve()?.objective)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqc_query::Var;
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    fn vs(vars: &[u32]) -> VarSet {
+        vars.iter().map(|&v| Var(v)).collect()
+    }
+
+    fn triangle() -> Hypergraph {
+        Hypergraph::new(3, vec![vs(&[0, 1]), vs(&[1, 2]), vs(&[2, 0])])
+    }
+
+    /// Loomis–Whitney join LW_n: n edges, edge i = all vars except i.
+    fn loomis_whitney(n: u32) -> Hypergraph {
+        let all = VarSet::first_n(n as usize);
+        let edges = (0..n).map(|i| all.without(Var(i))).collect();
+        Hypergraph::new(n as usize, edges)
+    }
+
+    /// Star join S_n: edges {x_i, z} with z = Var(n).
+    fn star(n: u32) -> Hypergraph {
+        let edges = (0..n).map(|i| vs(&[i, n])).collect();
+        Hypergraph::new(n as usize + 1, edges)
+    }
+
+    #[test]
+    fn triangle_rho_star_is_three_halves() {
+        let h = triangle();
+        close(rho_star(&h, h.all_vars()).unwrap(), 1.5);
+        let c = min_fractional_edge_cover(&h, h.all_vars()).unwrap();
+        assert!(c.is_cover_of(&h, h.all_vars()));
+        for w in &c.weights {
+            close(*w, 0.5);
+        }
+    }
+
+    #[test]
+    fn lw_rho_star_matches_example_6() {
+        // Example 6: ρ* = n/(n−1), weight 1/(n−1) per edge.
+        for n in [3u32, 4, 5] {
+            let h = loomis_whitney(n);
+            close(
+                rho_star(&h, h.all_vars()).unwrap(),
+                f64::from(n) / f64::from(n - 1),
+            );
+        }
+    }
+
+    #[test]
+    fn star_rho_star() {
+        // Each leaf x_i needs its own edge: ρ* = n.
+        for n in [2u32, 3, 4] {
+            let h = star(n);
+            close(rho_star(&h, h.all_vars()).unwrap(), f64::from(n));
+        }
+    }
+
+    #[test]
+    fn partial_target_sets() {
+        let h = triangle();
+        // Covering just {x} costs one edge... fractionally 1.
+        close(rho_star(&h, vs(&[0])).unwrap(), 1.0);
+        close(rho_star(&h, vs(&[0, 1])).unwrap(), 1.0);
+        close(rho_star(&h, VarSet::EMPTY).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn uncovered_variable_is_an_error() {
+        let h = Hypergraph::new(3, vec![vs(&[0, 1])]);
+        assert!(min_fractional_edge_cover(&h, vs(&[2])).is_err());
+    }
+
+    #[test]
+    fn slack_of_all_ones_triangle() {
+        // Example: uR1 = uR2 = uR3 = 1 on the running example's free part
+        // gives slack 2 (each free variable is covered twice).
+        let h = triangle();
+        let s = slack(&h, &[1.0, 1.0, 1.0], h.all_vars());
+        close(s, 2.0);
+        // Empty set: degenerate slack 1.
+        close(slack(&h, &[1.0, 1.0, 1.0], VarSet::EMPTY), 1.0);
+    }
+
+    #[test]
+    fn star_slack_matches_example_7() {
+        // Example 7: u_i = 1 gives slack α(V_f) = n for V_f = {z}.
+        for n in [2u32, 3, 4] {
+            let h = star(n);
+            let w = vec![1.0; n as usize];
+            close(slack(&h, &w, VarSet::singleton(Var(n))), f64::from(n));
+        }
+    }
+
+    /// Strong duality: ρ*(S) equals the maximum fractional matching on S —
+    /// each certifies the other's optimality.
+    #[test]
+    fn duality_certifies_rho_star() {
+        let cases: Vec<(Hypergraph, VarSet)> = vec![
+            (triangle(), VarSet::first_n(3)),
+            (loomis_whitney(3), VarSet::first_n(3)),
+            (loomis_whitney(4), VarSet::first_n(4)),
+            (star(3), VarSet::first_n(4)),
+            (triangle(), vs(&[0, 1])),
+        ];
+        for (h, s) in cases {
+            let cover = rho_star(&h, s).unwrap();
+            let matching = max_fractional_matching(&h, s).unwrap();
+            assert!(
+                (cover - matching).abs() < 1e-6,
+                "duality gap: cover {cover} vs matching {matching}"
+            );
+        }
+        // Empty target set: both zero.
+        assert_eq!(max_fractional_matching(&triangle(), VarSet::EMPTY).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rho_plus_zero_delta_is_rho_star() {
+        let h = triangle();
+        let rp = rho_plus(&h, h.all_vars(), h.all_vars(), 0.0).unwrap();
+        close(rp.value, 1.5);
+    }
+
+    #[test]
+    fn rho_plus_example_9_bags() {
+        // Example 9: path of length 6, v1..v7 = Var(0)..Var(6).
+        let h = Hypergraph::new(
+            7,
+            vec![
+                vs(&[0, 1]),
+                vs(&[1, 2]),
+                vs(&[2, 3]),
+                vs(&[3, 4]),
+                vs(&[4, 5]),
+                vs(&[5, 6]),
+            ],
+        );
+        // Bag t1 = {v2, v4, v1, v5}, free {v2, v4}, δ = 1/3:
+        // cover by {v1,v2} and {v4,v5} at weight 1 ⇒ ρ+ = 2 − 1/3 = 5/3.
+        let rp = rho_plus(&h, vs(&[0, 1, 3, 4]), vs(&[1, 3]), 1.0 / 3.0).unwrap();
+        close(rp.value, 5.0 / 3.0);
+        close(rp.u_plus, 2.0);
+
+        // Bag t2 = {v2, v3, v4}, free {v3}... the paper assigns 1/6 and gets
+        // ρ+ = (1+1) − 1/6·2 = 5/3 — slack 2 because v3 sits in both edges.
+        let rp = rho_plus(&h, vs(&[1, 2, 3]), vs(&[2]), 1.0 / 6.0).unwrap();
+        close(rp.value, 5.0 / 3.0);
+        close(rp.alpha, 2.0);
+        close(rp.u_plus, 2.0);
+
+        // Bag t3 = {v6, v7}, free {v7}, δ = 0 ⇒ ρ+ = 1.
+        let rp = rho_plus(&h, vs(&[5, 6]), vs(&[6]), 0.0).unwrap();
+        close(rp.value, 1.0);
+        close(rp.u_plus, 1.0);
+    }
+
+    #[test]
+    fn rho_plus_bounded_for_large_delta() {
+        // The u ≤ 1, α ≤ |E| caps keep the program bounded even for δ > 1.
+        let h = star(3);
+        let rp = rho_plus(&h, h.all_vars(), VarSet::singleton(Var(3)), 2.0).unwrap();
+        assert!(rp.value.is_finite());
+        assert!(rp.alpha <= 3.0 + 1e-9);
+    }
+}

@@ -1,0 +1,430 @@
+//! The Section 6 optimization problems.
+//!
+//! **MinDelayCover**: given an adorned view, relation sizes and a space
+//! budget `Σ`, choose a fractional edge cover `u` (and its slack `α`)
+//! minimizing the delay `τ` of Theorem 1 subject to the space constraint
+//! `Π_F |R_F|^{u_F} / τ^α ≤ Σ`.
+//!
+//! Figure 5 expresses the problem as a bilinear program, rewrites it as a
+//! linear-fractional program in `(u, α, τ̂)` with `τ̂ = α·log τ`, and
+//! Proposition 11 solves it through the Charnes–Cooper transformation. This
+//! module implements that transformation directly ([`min_delay_cover`]) plus
+//! an independent feasibility binary search ([`min_delay_cover_bisect`]) used
+//! to cross-check it.
+//!
+//! **MinSpaceCover** (Proposition 12) minimizes space under a delay budget;
+//! with the delay fixed the objective is already linear, so a single LP
+//! suffices.
+//!
+//! All size quantities are *logarithms* (natural log of relation sizes, of
+//! the space budget, of the delay). Working in log space is exactly what
+//! turns the paper's products into linear constraints.
+
+use crate::simplex::{Cmp, Lp};
+use cqc_common::error::{CqcError, Result};
+use cqc_query::{Hypergraph, VarSet};
+
+/// A cover choice produced by the optimizers.
+#[derive(Debug, Clone)]
+pub struct CoverChoice {
+    /// The fractional edge cover `u` (indexed like `Hypergraph::edges`).
+    pub weights: Vec<f64>,
+    /// The slack `α = α(V_f)` of `u` (eq. 2).
+    pub alpha: f64,
+    /// `log τ`: logarithm of the delay parameter.
+    pub log_tau: f64,
+    /// `log` of the non-linear space term `Π_F |R_F|^{u_F} / τ^α`
+    /// (the structure additionally keeps the linear-size base indexes).
+    pub log_space: f64,
+}
+
+fn validate_inputs(h: &Hypergraph, vf: VarSet, log_sizes: &[f64]) -> Result<()> {
+    if log_sizes.len() != h.num_edges() {
+        return Err(CqcError::Lp(format!(
+            "expected {} log-sizes, got {}",
+            h.num_edges(),
+            log_sizes.len()
+        )));
+    }
+    if log_sizes.iter().any(|l| !l.is_finite() || *l < 0.0) {
+        return Err(CqcError::Lp("log-sizes must be finite and >= 0".into()));
+    }
+    if !vf.is_subset_of(h.all_vars()) {
+        return Err(CqcError::Lp("free variables outside hypergraph".into()));
+    }
+    for x in h.all_vars().iter() {
+        if !h.edges().iter().any(|e| e.contains(x)) {
+            return Err(CqcError::Lp(format!("variable {x} covered by no edge")));
+        }
+    }
+    Ok(())
+}
+
+/// The slack of `weights` for `vf` (duplicated from `covers` to keep this
+/// module self-contained for the recovered solutions).
+fn slack_of(h: &Hypergraph, weights: &[f64], vf: VarSet) -> f64 {
+    if vf.is_empty() {
+        return 1.0;
+    }
+    vf.iter()
+        .map(|x| {
+            h.edges()
+                .iter()
+                .zip(weights)
+                .filter(|(e, _)| e.contains(x))
+                .map(|(_, w)| *w)
+                .sum::<f64>()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// **MinDelayCover** via the Charnes–Cooper transformation (Fig. 5b,
+/// Prop. 11).
+///
+/// Minimizes `log τ` subject to
+/// `Σ_F u_F·log|R_F| ≤ log Σ + α·log τ`, `u` a fractional edge cover of all
+/// variables with `u_F ≤ 1`, and `α` at most the slack of `u` on `vf`
+/// (capped at the number of edges, as in the proof of Prop. 11).
+///
+/// After the substitution `z = t·y`, `t = 1/α`, the transformed program is a
+/// plain LP whose optimal objective *is* `log τ` directly.
+pub fn min_delay_cover(
+    h: &Hypergraph,
+    vf: VarSet,
+    log_sizes: &[f64],
+    log_space_budget: f64,
+) -> Result<CoverChoice> {
+    validate_inputs(h, vf, log_sizes)?;
+    let m = h.num_edges();
+    let sum_l: f64 = log_sizes.iter().sum();
+    let tau_cap = ((m as f64) + 1.0) * sum_l.max(1.0);
+    let alpha_cap = (m as f64).max(1.0);
+
+    // Variables: u'_0..u'_{m-1}, τ̂', t   (α' = α·t = 1 substituted away).
+    let n = m + 2;
+    let ti = m + 1; // index of t
+    let hi = m; // index of τ̂'
+
+    let mut obj = vec![0.0; n];
+    obj[hi] = 1.0;
+    let mut lp = Lp::minimize(n, obj);
+
+    // Σ u'_F L_F − τ̂' − t·logΣ ≤ 0.
+    let mut row = vec![0.0; n];
+    row[..m].copy_from_slice(log_sizes);
+    row[hi] = -1.0;
+    row[ti] = -log_space_budget;
+    lp.constraint(row, Cmp::Le, 0.0);
+
+    // ∀x ∈ V_f: Σ_{F∋x} u'_F ≥ α' = 1.
+    for x in vf.iter() {
+        let mut row = vec![0.0; n];
+        for (j, e) in h.edges().iter().enumerate() {
+            if e.contains(x) {
+                row[j] = 1.0;
+            }
+        }
+        lp.constraint(row, Cmp::Ge, 1.0);
+    }
+    // ∀x ∈ V: Σ_{F∋x} u'_F ≥ t (cover after de-homogenization).
+    for x in h.all_vars().iter() {
+        let mut row = vec![0.0; n];
+        for (j, e) in h.edges().iter().enumerate() {
+            if e.contains(x) {
+                row[j] = 1.0;
+            }
+        }
+        row[ti] = -1.0;
+        lp.constraint(row, Cmp::Ge, 0.0);
+    }
+    // u'_F ≤ t (u ≤ 1).
+    for j in 0..m {
+        let mut row = vec![0.0; n];
+        row[j] = 1.0;
+        row[ti] = -1.0;
+        lp.constraint(row, Cmp::Le, 0.0);
+    }
+    // α ≥ 1 ⇔ t ≤ 1; α ≤ alpha_cap ⇔ t ≥ 1/alpha_cap.
+    let mut row = vec![0.0; n];
+    row[ti] = 1.0;
+    lp.constraint(row.clone(), Cmp::Le, 1.0);
+    lp.constraint(row, Cmp::Ge, 1.0 / alpha_cap);
+    // τ̂ ≤ tau_cap ⇔ τ̂' ≤ t·tau_cap (keeps the region bounded, cf. Prop. 11).
+    let mut row = vec![0.0; n];
+    row[hi] = 1.0;
+    row[ti] = -tau_cap;
+    lp.constraint(row, Cmp::Le, 0.0);
+
+    let s = lp.solve()?;
+    let t = s.x[ti];
+    if t <= 1e-12 {
+        return Err(CqcError::Lp(
+            "degenerate Charnes-Cooper solution (t = 0)".into(),
+        ));
+    }
+    let weights: Vec<f64> = s.x[..m].iter().map(|u| u / t).collect();
+    let alpha = 1.0 / t;
+    let log_tau = s.objective; // τ̂/α = τ̂' by the transformation.
+    let log_space = weights
+        .iter()
+        .zip(log_sizes)
+        .map(|(u, l)| u * l)
+        .sum::<f64>()
+        - alpha * log_tau;
+    Ok(CoverChoice {
+        weights,
+        alpha,
+        log_tau: log_tau.max(0.0),
+        log_space,
+    })
+}
+
+/// Inner LP of the binary search: the minimum achievable
+/// `log(Π|R_F|^{u_F} / τ^α)` for a *fixed* `log τ = d`.
+fn best_space_at_delay(
+    h: &Hypergraph,
+    vf: VarSet,
+    log_sizes: &[f64],
+    d: f64,
+) -> Result<(f64, Vec<f64>, f64)> {
+    let m = h.num_edges();
+    let alpha_cap = (m as f64).max(1.0);
+    // Variables: u_0..u_{m-1}, α.
+    let n = m + 1;
+    let mut obj = vec![0.0; n];
+    obj[..m].copy_from_slice(log_sizes);
+    obj[m] = -d;
+    let mut lp = Lp::minimize(n, obj);
+    for x in h.all_vars().iter() {
+        let mut row = vec![0.0; n];
+        for (j, e) in h.edges().iter().enumerate() {
+            if e.contains(x) {
+                row[j] = 1.0;
+            }
+        }
+        lp.constraint(row, Cmp::Ge, 1.0);
+    }
+    for x in vf.iter() {
+        let mut row = vec![0.0; n];
+        for (j, e) in h.edges().iter().enumerate() {
+            if e.contains(x) {
+                row[j] = 1.0;
+            }
+        }
+        row[m] = -1.0;
+        lp.constraint(row, Cmp::Ge, 0.0);
+    }
+    for j in 0..m {
+        let mut row = vec![0.0; n];
+        row[j] = 1.0;
+        lp.constraint(row, Cmp::Le, 1.0);
+    }
+    let mut row = vec![0.0; n];
+    row[m] = 1.0;
+    lp.constraint(row.clone(), Cmp::Ge, 1.0);
+    lp.constraint(row, Cmp::Le, alpha_cap);
+    let s = lp.solve()?;
+    Ok((s.objective, s.x[..m].to_vec(), s.x[m]))
+}
+
+/// **MinDelayCover** by feasibility binary search over `log τ`
+/// (cross-check for [`min_delay_cover`]; also a readable reference
+/// implementation).
+pub fn min_delay_cover_bisect(
+    h: &Hypergraph,
+    vf: VarSet,
+    log_sizes: &[f64],
+    log_space_budget: f64,
+) -> Result<CoverChoice> {
+    validate_inputs(h, vf, log_sizes)?;
+    let sum_l: f64 = log_sizes.iter().sum();
+    let mut lo = 0.0f64;
+    let mut hi = sum_l.max(1.0);
+    // Feasibility is monotone in d: more delay never hurts.
+    if best_space_at_delay(h, vf, log_sizes, lo)?.0 > log_space_budget + 1e-9 {
+        for _ in 0..70 {
+            let mid = 0.5 * (lo + hi);
+            let (space, _, _) = best_space_at_delay(h, vf, log_sizes, mid)?;
+            if space <= log_space_budget + 1e-12 {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+    } else {
+        hi = 0.0;
+    }
+    let d = hi;
+    let (space, weights, alpha) = best_space_at_delay(h, vf, log_sizes, d)?;
+    Ok(CoverChoice {
+        alpha: alpha.min(slack_of(h, &weights, vf)),
+        weights,
+        log_tau: d,
+        log_space: space,
+    })
+}
+
+/// **MinSpaceCover** (Prop. 12): minimize the space of Theorem 1 subject to
+/// a delay budget `log τ ≤ log_delay_budget`.
+///
+/// Because space strictly decreases in `τ`, the optimum uses the entire
+/// delay budget, so the problem is the single LP
+/// `min Σ u_F·log|R_F| − α·log Δ` over covers — no fractional objective and
+/// no binary search needed (the paper reaches the same conclusion by reusing
+/// MinDelayCover inside a search; the direct LP is equivalent).
+pub fn min_space_cover(
+    h: &Hypergraph,
+    vf: VarSet,
+    log_sizes: &[f64],
+    log_delay_budget: f64,
+) -> Result<CoverChoice> {
+    validate_inputs(h, vf, log_sizes)?;
+    if log_delay_budget < 0.0 {
+        return Err(CqcError::Lp("delay budget must be >= 1 (log >= 0)".into()));
+    }
+    let (space, weights, alpha) = best_space_at_delay(h, vf, log_sizes, log_delay_budget)?;
+    Ok(CoverChoice {
+        alpha,
+        weights,
+        log_tau: log_delay_budget,
+        log_space: space,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqc_query::Var;
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-5, "expected {b}, got {a}");
+    }
+
+    fn vs(vars: &[u32]) -> VarSet {
+        vars.iter().map(|&v| Var(v)).collect()
+    }
+
+    fn triangle() -> Hypergraph {
+        Hypergraph::new(3, vec![vs(&[0, 1]), vs(&[1, 2]), vs(&[2, 0])])
+    }
+
+    fn star(n: u32) -> Hypergraph {
+        Hypergraph::new(n as usize + 1, (0..n).map(|i| vs(&[i, n])).collect())
+    }
+
+    /// Triangle, all free, unit log-sizes (log base N): linear-space budget
+    /// forces `log τ = 1/2` — the √N delay of Example 1.
+    #[test]
+    fn triangle_linear_space_needs_sqrt_delay() {
+        let h = triangle();
+        let c = min_delay_cover(&h, h.all_vars(), &[1.0, 1.0, 1.0], 1.0).unwrap();
+        close(c.log_tau, 0.5);
+        assert!(c.log_space <= 1.0 + 1e-6);
+        // Cover validity.
+        for x in h.all_vars().iter() {
+            let cov: f64 = h
+                .edges()
+                .iter()
+                .zip(&c.weights)
+                .filter(|(e, _)| e.contains(x))
+                .map(|(_, w)| *w)
+                .sum();
+            assert!(cov >= 1.0 - 1e-6);
+        }
+    }
+
+    /// With budget N^{3/2} the triangle admits constant delay (materialize).
+    #[test]
+    fn triangle_full_space_constant_delay() {
+        let h = triangle();
+        let c = min_delay_cover(&h, h.all_vars(), &[1.0, 1.0, 1.0], 1.5).unwrap();
+        close(c.log_tau, 0.0);
+    }
+
+    /// Example 7 shape: star with bound petals and free center, budget N:
+    /// `log τ = (n−1)/n` thanks to slack n.
+    #[test]
+    fn star_slack_improves_delay() {
+        for n in [2u32, 3, 4] {
+            let h = star(n);
+            let sizes = vec![1.0; n as usize];
+            let c = min_delay_cover(&h, VarSet::singleton(Var(n)), &sizes, 1.0).unwrap();
+            close(c.log_tau, f64::from(n - 1) / f64::from(n));
+            close(c.alpha, f64::from(n));
+        }
+    }
+
+    #[test]
+    fn charnes_cooper_matches_bisection() {
+        let cases: Vec<(Hypergraph, VarSet, Vec<f64>, f64)> = vec![
+            (triangle(), vs(&[0, 1, 2]), vec![1.0, 1.0, 1.0], 1.0),
+            (triangle(), vs(&[1]), vec![1.0, 1.0, 1.0], 1.0),
+            (triangle(), vs(&[0, 1, 2]), vec![1.0, 2.0, 1.0], 1.7),
+            (star(3), vs(&[3]), vec![1.0, 1.0, 1.0], 1.2),
+            (star(2), vs(&[0, 1, 2]), vec![1.0, 1.5], 1.4),
+        ];
+        for (h, vf, sizes, budget) in cases {
+            let cc = min_delay_cover(&h, vf, &sizes, budget).unwrap();
+            let bs = min_delay_cover_bisect(&h, vf, &sizes, budget).unwrap();
+            assert!(
+                (cc.log_tau - bs.log_tau).abs() < 1e-5,
+                "CC {} vs bisect {} (budget {budget})",
+                cc.log_tau,
+                bs.log_tau
+            );
+        }
+    }
+
+    #[test]
+    fn min_space_uses_whole_delay_budget() {
+        let h = triangle();
+        // Delay budget √N on the triangle: minimal space is N (linear).
+        let c = min_space_cover(&h, h.all_vars(), &[1.0, 1.0, 1.0], 0.5).unwrap();
+        close(c.log_space, 1.0);
+        close(c.log_tau, 0.5);
+        // No delay budget: space is N^{3/2}.
+        let c = min_space_cover(&h, h.all_vars(), &[1.0, 1.0, 1.0], 0.0).unwrap();
+        close(c.log_space, 1.5);
+    }
+
+    #[test]
+    fn space_delay_tradeoff_is_monotone() {
+        let h = triangle();
+        let mut last = f64::INFINITY;
+        for d in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let c = min_space_cover(&h, h.all_vars(), &[1.0, 1.0, 1.0], d).unwrap();
+            assert!(c.log_space <= last + 1e-9, "space must shrink with delay");
+            last = c.log_space;
+        }
+    }
+
+    #[test]
+    fn generous_budget_gives_zero_delay() {
+        let h = star(3);
+        let c = min_delay_cover(&h, vs(&[3]), &[1.0, 1.0, 1.0], 10.0).unwrap();
+        close(c.log_tau, 0.0);
+    }
+
+    #[test]
+    fn input_validation() {
+        let h = triangle();
+        assert!(min_delay_cover(&h, h.all_vars(), &[1.0, 1.0], 1.0).is_err());
+        assert!(min_delay_cover(&h, h.all_vars(), &[1.0, f64::NAN, 1.0], 1.0).is_err());
+        assert!(min_space_cover(&h, h.all_vars(), &[1.0, 1.0, 1.0], -1.0).is_err());
+        let uncovered = Hypergraph::new(2, vec![vs(&[0])]);
+        assert!(min_delay_cover(&uncovered, vs(&[0]), &[1.0], 1.0).is_err());
+    }
+
+    /// Loomis–Whitney (Example 6): budget N forces log τ = 1/(n−1).
+    #[test]
+    fn lw_linear_space_delay() {
+        for n in [3usize, 4] {
+            let all = VarSet::first_n(n);
+            let edges = (0..n as u32).map(|i| all.without(Var(i))).collect();
+            let h = Hypergraph::new(n, edges);
+            let sizes = vec![1.0; n];
+            let c = min_delay_cover(&h, all, &sizes, 1.0).unwrap();
+            close(c.log_tau, 1.0 / (n as f64 - 1.0));
+        }
+    }
+}

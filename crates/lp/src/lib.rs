@@ -1,0 +1,26 @@
+//! Linear programming for cover computations and parameter optimization.
+//!
+//! Three layers:
+//!
+//! * [`simplex`] — a dense two-phase primal simplex solver with Bland's
+//!   anti-cycling rule. The LPs in this workspace have at most a few dozen
+//!   variables (one per hyperedge plus `α`, `τ̂`, `t`), so a dense tableau is
+//!   the right tool;
+//! * [`covers`] — fractional edge covers: the cover number `ρ*_H(S)` of
+//!   §2.1, the slack `α(S)` of eq. (2), and the per-bag quantity `ρ⁺_t` of
+//!   eq. (3);
+//! * [`fractional`] — the Section 6 optimization problems **MinDelayCover**
+//!   and **MinSpaceCover**, solved both through the Charnes–Cooper
+//!   transformation of Figure 5 (Proposition 11) and through a feasibility
+//!   binary search used as a cross-check.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod covers;
+pub mod fractional;
+pub mod simplex;
+
+pub use covers::{max_fractional_matching, min_fractional_edge_cover, rho_plus, rho_star, slack, CoverSolution, RhoPlus};
+pub use fractional::{min_delay_cover, min_space_cover, CoverChoice};
+pub use simplex::{Cmp, Lp, LpSolution};

@@ -1,0 +1,234 @@
+//! Adorned views and access patterns (§2.2).
+
+use crate::cq::ConjunctiveQuery;
+use crate::var::{Var, VarSet};
+use cqc_common::error::{CqcError, Result};
+use cqc_common::value::Value;
+use std::fmt;
+
+/// The binding type of a head variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Binding {
+    /// The access request supplies a value for this variable (`b`).
+    Bound,
+    /// The access request enumerates values for this variable (`f`).
+    Free,
+}
+
+impl Binding {
+    /// One-letter code, as in the paper's superscripts.
+    pub fn code(self) -> char {
+        match self {
+            Binding::Bound => 'b',
+            Binding::Free => 'f',
+        }
+    }
+}
+
+/// An adorned view `Q^η(x_1, …, x_k)`: a conjunctive query whose head
+/// variables each carry a binding type (§2.2).
+///
+/// An access request `Q^η[v]` supplies a value for every bound variable (in
+/// head order) and asks for the enumeration of the matching free-variable
+/// valuations. The enumeration order over free variables is the
+/// lexicographic order induced by their head order (§3.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdornedView {
+    query: ConjunctiveQuery,
+    bindings: Vec<Binding>,
+}
+
+impl AdornedView {
+    /// Attaches an access pattern string (e.g. `"bfb"`) to a query.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the pattern length differs from the head arity or contains
+    /// characters other than `b`/`f`.
+    pub fn new(query: ConjunctiveQuery, pattern: &str) -> Result<AdornedView> {
+        if pattern.len() != query.head.len() {
+            return Err(CqcError::InvalidQuery(format!(
+                "access pattern `{pattern}` has length {} but the head of `{}` has {} variables",
+                pattern.len(),
+                query.name,
+                query.head.len()
+            )));
+        }
+        let bindings = pattern
+            .chars()
+            .map(|c| match c {
+                'b' => Ok(Binding::Bound),
+                'f' => Ok(Binding::Free),
+                other => Err(CqcError::InvalidQuery(format!(
+                    "access pattern character `{other}` is not `b` or `f`"
+                ))),
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(AdornedView { query, bindings })
+    }
+
+    /// The underlying query.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    /// The per-head-position bindings.
+    pub fn bindings(&self) -> &[Binding] {
+        &self.bindings
+    }
+
+    /// The access pattern as a string of `b`/`f` codes.
+    pub fn pattern(&self) -> String {
+        self.bindings.iter().map(|b| b.code()).collect()
+    }
+
+    /// The set `V_b` of bound variables.
+    pub fn bound_vars(&self) -> VarSet {
+        self.bound_head().into_iter().collect()
+    }
+
+    /// The set `V_f` of free variables.
+    pub fn free_vars(&self) -> VarSet {
+        self.free_head().into_iter().collect()
+    }
+
+    /// Bound head variables in head order — the order in which an access
+    /// request supplies values.
+    pub fn bound_head(&self) -> Vec<Var> {
+        self.query
+            .head
+            .iter()
+            .zip(&self.bindings)
+            .filter(|(_, b)| **b == Binding::Bound)
+            .map(|(v, _)| *v)
+            .collect()
+    }
+
+    /// Free head variables in head order — the enumeration order
+    /// `x_f^1, …, x_f^µ` of §3.1.
+    pub fn free_head(&self) -> Vec<Var> {
+        self.query
+            .head
+            .iter()
+            .zip(&self.bindings)
+            .filter(|(_, b)| **b == Binding::Free)
+            .map(|(v, _)| *v)
+            .collect()
+    }
+
+    /// `µ = |V_f|`, the number of free variables.
+    pub fn mu(&self) -> usize {
+        self.bindings.iter().filter(|b| **b == Binding::Free).count()
+    }
+
+    /// `true` when every head variable is bound (§2.2 "boolean").
+    pub fn is_boolean(&self) -> bool {
+        self.mu() == 0
+    }
+
+    /// `true` when every head variable is free (§2.2 "non-parametric").
+    pub fn is_non_parametric(&self) -> bool {
+        self.mu() == self.bindings.len()
+    }
+
+    /// `true` when the underlying CQ is full (§2.2).
+    pub fn is_full(&self) -> bool {
+        self.query.is_full()
+    }
+
+    /// Validates that an access request supplies exactly one value per bound
+    /// variable.
+    pub fn check_access(&self, bound_values: &[Value]) -> Result<()> {
+        let expect = self.bindings.len() - self.mu();
+        if bound_values.len() != expect {
+            return Err(CqcError::InvalidAccess(format!(
+                "access request supplies {} values but pattern `{}` has {} bound variables",
+                bound_values.len(),
+                self.pattern(),
+                expect
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for AdornedView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}^{} :: {}", self.query.name, self.pattern(), self.query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+
+    fn triangle() -> ConjunctiveQuery {
+        ConjunctiveQuery {
+            name: "Q".into(),
+            head: vec![Var(0), Var(1), Var(2)],
+            atoms: vec![
+                Atom::new("R", [Var(0), Var(1)]),
+                Atom::new("S", [Var(1), Var(2)]),
+                Atom::new("T", [Var(2), Var(0)]),
+            ],
+            var_names: vec!["x".into(), "y".into(), "z".into()],
+        }
+    }
+
+    #[test]
+    fn pattern_roundtrip() {
+        let v = AdornedView::new(triangle(), "bfb").unwrap();
+        assert_eq!(v.pattern(), "bfb");
+        assert_eq!(v.bound_head(), vec![Var(0), Var(2)]);
+        assert_eq!(v.free_head(), vec![Var(1)]);
+        assert_eq!(v.mu(), 1);
+        assert!(!v.is_boolean());
+        assert!(!v.is_non_parametric());
+        assert!(v.is_full());
+        assert_eq!(v.bound_vars(), [Var(0), Var(2)].into_iter().collect());
+        assert_eq!(v.free_vars(), VarSet::singleton(Var(1)));
+    }
+
+    #[test]
+    fn boolean_and_non_parametric() {
+        let b = AdornedView::new(triangle(), "bbb").unwrap();
+        assert!(b.is_boolean());
+        assert_eq!(b.mu(), 0);
+        let f = AdornedView::new(triangle(), "fff").unwrap();
+        assert!(f.is_non_parametric());
+        assert_eq!(f.free_head(), vec![Var(0), Var(1), Var(2)]);
+    }
+
+    #[test]
+    fn bad_patterns_rejected() {
+        assert!(AdornedView::new(triangle(), "bf").is_err());
+        assert!(AdornedView::new(triangle(), "bfx").is_err());
+    }
+
+    #[test]
+    fn access_arity_checked() {
+        let v = AdornedView::new(triangle(), "bfb").unwrap();
+        assert!(v.check_access(&[1, 2]).is_ok());
+        assert!(v.check_access(&[1]).is_err());
+        assert!(v.check_access(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn free_order_follows_head_order() {
+        // Head order (z, x, y) with pattern fbf: free order must be (z, y).
+        let q = ConjunctiveQuery {
+            name: "P".into(),
+            head: vec![Var(2), Var(0), Var(1)],
+            atoms: vec![
+                Atom::new("R", [Var(0), Var(1)]),
+                Atom::new("S", [Var(1), Var(2)]),
+                Atom::new("T", [Var(2), Var(0)]),
+            ],
+            var_names: vec!["x".into(), "y".into(), "z".into()],
+        };
+        let v = AdornedView::new(q, "fbf").unwrap();
+        assert_eq!(v.free_head(), vec![Var(2), Var(1)]);
+        assert_eq!(v.bound_head(), vec![Var(0)]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Atoms of a conjunctive query body.
+
+use crate::var::{Var, VarSet};
+use cqc_common::value::Value;
+use std::fmt;
+
+/// A term in an atom: a variable or a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A query variable.
+    Var(Var),
+    /// A domain constant.
+    Const(Value),
+}
+
+/// One atom `R(t_1, …, t_k)` of a query body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// Name of the referenced relation.
+    pub relation: String,
+    /// The argument terms in schema order.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Builds an atom over variables only (the natural-join case).
+    pub fn new(relation: impl Into<String>, vars: impl IntoIterator<Item = Var>) -> Atom {
+        Atom {
+            relation: relation.into(),
+            terms: vars.into_iter().map(Term::Var).collect(),
+        }
+    }
+
+    /// The atom's arity.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The variables appearing in the atom, in argument order, with
+    /// repetitions preserved.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.terms.iter().filter_map(|t| match t {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        })
+    }
+
+    /// The set of variables appearing in the atom.
+    pub fn var_set(&self) -> VarSet {
+        self.vars().collect()
+    }
+
+    /// `true` when the atom is a natural-join atom: every term is a variable
+    /// and no variable repeats.
+    pub fn is_natural(&self) -> bool {
+        let mut seen = VarSet::EMPTY;
+        for t in &self.terms {
+            match t {
+                Term::Const(_) => return false,
+                Term::Var(v) => {
+                    if seen.contains(*v) {
+                        return false;
+                    }
+                    seen = seen.with(*v);
+                }
+            }
+        }
+        true
+    }
+
+    /// The schema position of variable `v` in this atom, if present.
+    /// For natural atoms the position is unique.
+    pub fn position_of(&self, v: Var) -> Option<usize> {
+        self.terms.iter().position(|t| matches!(t, Term::Var(w) if *w == v))
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            match t {
+                Term::Var(v) => write!(f, "{v}")?,
+                Term::Const(c) => write!(f, "{c}")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn natural_atom_properties() {
+        let a = Atom::new("R", [Var(0), Var(1)]);
+        assert!(a.is_natural());
+        assert_eq!(a.arity(), 2);
+        assert_eq!(a.var_set(), [Var(0), Var(1)].into_iter().collect());
+        assert_eq!(a.position_of(Var(1)), Some(1));
+        assert_eq!(a.position_of(Var(2)), None);
+    }
+
+    #[test]
+    fn constants_and_repeats_are_not_natural() {
+        let a = Atom {
+            relation: "R".into(),
+            terms: vec![Term::Var(Var(0)), Term::Const(7)],
+        };
+        assert!(!a.is_natural());
+        assert_eq!(a.var_set(), VarSet::singleton(Var(0)));
+
+        let b = Atom::new("S", [Var(1), Var(1)]);
+        assert!(!b.is_natural());
+        assert_eq!(b.var_set().len(), 1);
+    }
+
+    #[test]
+    fn display() {
+        let a = Atom {
+            relation: "R".into(),
+            terms: vec![Term::Var(Var(0)), Term::Const(3)],
+        };
+        assert_eq!(a.to_string(), "R(v0,3)");
+    }
+}

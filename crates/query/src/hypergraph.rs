@@ -1,0 +1,244 @@
+//! Query hypergraphs.
+
+use crate::var::{Var, VarSet};
+
+/// The hypergraph `H = (V, E)` of a natural join query (§2.1): vertices are
+/// query variables, and each atom contributes the hyperedge of its variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hypergraph {
+    n_vars: usize,
+    edges: Vec<VarSet>,
+}
+
+impl Hypergraph {
+    /// Builds a hypergraph over `n_vars` variables with the given edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge mentions a variable `>= n_vars` or is empty.
+    pub fn new(n_vars: usize, edges: Vec<VarSet>) -> Hypergraph {
+        assert!(n_vars <= 64, "at most 64 variables supported");
+        let all = VarSet::first_n(n_vars);
+        for e in &edges {
+            assert!(!e.is_empty(), "hyperedges must be non-empty");
+            assert!(e.is_subset_of(all), "edge mentions unknown variable");
+        }
+        Hypergraph { n_vars, edges }
+    }
+
+    /// Number of vertices (variables).
+    pub fn num_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// The vertex set `V`.
+    pub fn all_vars(&self) -> VarSet {
+        VarSet::first_n(self.n_vars)
+    }
+
+    /// The hyperedges, indexed in atom order.
+    pub fn edges(&self) -> &[VarSet] {
+        &self.edges
+    }
+
+    /// Number of hyperedges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The incidence operator of §2.1:
+    /// `E_I = { F ∈ E | F ∩ I ≠ ∅ }`, returned as edge indices.
+    pub fn edges_incident(&self, i: VarSet) -> Vec<usize> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !e.is_disjoint(i))
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// Edge indices fully contained in `s`.
+    pub fn edges_within(&self, s: VarSet) -> Vec<usize> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_subset_of(s))
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// Neighbors of `v`: all variables sharing an edge with `v`, excluding
+    /// `v` itself. Used by the elimination-order decomposition search.
+    pub fn neighbors(&self, v: Var) -> VarSet {
+        let mut n = VarSet::EMPTY;
+        for e in &self.edges {
+            if e.contains(v) {
+                n = n.union(*e);
+            }
+        }
+        n.without(v)
+    }
+
+    /// `true` when every variable appears in at least one edge.
+    pub fn covers_all_vars(&self) -> bool {
+        let mut seen = VarSet::EMPTY;
+        for e in &self.edges {
+            seen = seen.union(*e);
+        }
+        seen == self.all_vars()
+    }
+
+    /// α-acyclicity via the GYO (Graham–Yu–Özsoyoğlu) reduction.
+    ///
+    /// Repeatedly (a) removes *ear* variables that occur in exactly one
+    /// edge and (b) removes edges contained in another edge; the hypergraph
+    /// is α-acyclic iff everything vanishes. Acyclic queries have
+    /// `fhw = 1`, so by Prop. 2 they factorize to linear size with
+    /// constant-delay enumeration — this predicate is how callers detect
+    /// that fast path without running the LP-based width search.
+    pub fn is_acyclic(&self) -> bool {
+        let mut edges: Vec<VarSet> = self.edges.clone();
+        loop {
+            let mut changed = false;
+            // (a) Remove variables occurring in exactly one remaining edge.
+            let mut occurrence: Vec<u32> = vec![0; 64];
+            for e in &edges {
+                for v in e.iter() {
+                    occurrence[v.index()] += 1;
+                }
+            }
+            for e in edges.iter_mut() {
+                for v in e.iter().collect::<Vec<_>>() {
+                    if occurrence[v.index()] == 1 {
+                        *e = e.without(v);
+                        changed = true;
+                    }
+                }
+            }
+            edges.retain(|e| !e.is_empty());
+            // (b) Remove edges contained in another edge.
+            let mut keep = vec![true; edges.len()];
+            for i in 0..edges.len() {
+                for j in 0..edges.len() {
+                    if i != j
+                        && keep[j]
+                        && edges[i].is_subset_of(edges[j])
+                        && (edges[i] != edges[j] || i > j)
+                    {
+                        keep[i] = false;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+            let mut it = keep.iter();
+            edges.retain(|_| *it.next().unwrap());
+            if edges.is_empty() {
+                return true;
+            }
+            if !changed {
+                return false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Hypergraph {
+        // R(x,y), S(y,z), T(z,x) with x=v0, y=v1, z=v2.
+        Hypergraph::new(
+            3,
+            vec![
+                [Var(0), Var(1)].into_iter().collect(),
+                [Var(1), Var(2)].into_iter().collect(),
+                [Var(2), Var(0)].into_iter().collect(),
+            ],
+        )
+    }
+
+    #[test]
+    fn incidence() {
+        let h = triangle();
+        assert_eq!(h.edges_incident(VarSet::singleton(Var(0))), vec![0, 2]);
+        assert_eq!(h.edges_incident(VarSet::singleton(Var(1))), vec![0, 1]);
+        assert_eq!(h.edges_incident(VarSet::first_n(3)), vec![0, 1, 2]);
+        assert_eq!(h.edges_incident(VarSet::EMPTY), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn containment() {
+        let h = triangle();
+        let xy: VarSet = [Var(0), Var(1)].into_iter().collect();
+        assert_eq!(h.edges_within(xy), vec![0]);
+        assert_eq!(h.edges_within(VarSet::first_n(3)).len(), 3);
+    }
+
+    #[test]
+    fn neighbors() {
+        let h = triangle();
+        assert_eq!(h.neighbors(Var(0)), [Var(1), Var(2)].into_iter().collect());
+        let path = Hypergraph::new(
+            3,
+            vec![
+                [Var(0), Var(1)].into_iter().collect(),
+                [Var(1), Var(2)].into_iter().collect(),
+            ],
+        );
+        assert_eq!(path.neighbors(Var(0)), VarSet::singleton(Var(1)));
+        assert_eq!(path.neighbors(Var(1)), [Var(0), Var(2)].into_iter().collect());
+    }
+
+    #[test]
+    fn coverage() {
+        let h = triangle();
+        assert!(h.covers_all_vars());
+        let partial = Hypergraph::new(3, vec![[Var(0), Var(1)].into_iter().collect()]);
+        assert!(!partial.covers_all_vars());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_edge_panics() {
+        Hypergraph::new(2, vec![VarSet::EMPTY]);
+    }
+
+    #[test]
+    fn gyo_classifies_classics() {
+        // Cyclic: the triangle.
+        assert!(!triangle().is_acyclic());
+        // Acyclic: paths and stars.
+        let path = Hypergraph::new(5, (0..4).map(|i| vs(&[i, i + 1])).collect());
+        assert!(path.is_acyclic());
+        let star = Hypergraph::new(4, (0..3).map(|i| vs(&[i, 3])).collect());
+        assert!(star.is_acyclic());
+        // Acyclic: a single big edge subsuming small ones.
+        let sub = Hypergraph::new(
+            3,
+            vec![vs(&[0, 1, 2]), vs(&[0, 1]), vs(&[1, 2])],
+        );
+        assert!(sub.is_acyclic());
+        // Cyclic: 4-cycle.
+        let cycle4 = Hypergraph::new(4, (0..4).map(|i| vs(&[i, (i + 1) % 4])).collect());
+        assert!(!cycle4.is_acyclic());
+        // Cyclic: Loomis–Whitney LW_3 (every pair, missing joint coverage).
+        let lw3 = Hypergraph::new(3, vec![vs(&[1, 2]), vs(&[0, 2]), vs(&[0, 1])]);
+        assert!(!lw3.is_acyclic());
+        // α-acyclic despite containing the triangle as sub-edges: the big
+        // edge absorbs them.
+        let absorbed = Hypergraph::new(
+            3,
+            vec![vs(&[0, 1, 2]), vs(&[1, 2]), vs(&[0, 2]), vs(&[0, 1])],
+        );
+        assert!(absorbed.is_acyclic());
+        // Duplicate edges reduce away.
+        let dup = Hypergraph::new(2, vec![vs(&[0, 1]), vs(&[0, 1])]);
+        assert!(dup.is_acyclic());
+    }
+
+    fn vs(vars: &[u32]) -> VarSet {
+        vars.iter().map(|&v| Var(v)).collect()
+    }
+}

@@ -1,0 +1,38 @@
+//! Conjunctive queries, hypergraphs and adorned views.
+//!
+//! This crate implements the query model of §2 of the paper:
+//!
+//! * [`var::Var`] / [`var::VarSet`] — query variables and fast bitmask sets;
+//! * [`atom::Atom`] and [`cq::ConjunctiveQuery`] — the class of CQs
+//!   `Q(y) = R_1(x_1), …, R_n(x_n)`, with the *natural join* restriction
+//!   (full, no constants, no repeated variables per atom) that the main
+//!   results assume;
+//! * [`hypergraph::Hypergraph`] — the hypergraph `H = (V, E)` of a natural
+//!   join, with the `E_I` incidence operator of §2.1;
+//! * [`adorned::AdornedView`] — adorned views `Q^η` with access patterns
+//!   `η ∈ {b, f}^k` (§2.2), bound/free variable sets and the lexicographic
+//!   enumeration order over free variables of §3.1;
+//! * [`parser`] — a small text format for queries
+//!   (`"Q(x,y,z) :- R(x,y), S(y,z), T(z,x)"` plus an adornment string
+//!   `"bfb"`);
+//! * [`rewrite`] — the Example 3 preprocessing that eliminates constants and
+//!   repeated variables in linear time, so that w.l.o.g. every full adorned
+//!   view is a natural join query.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adorned;
+pub mod atom;
+pub mod cq;
+pub mod hypergraph;
+pub mod parser;
+pub mod rewrite;
+pub mod var;
+
+pub use adorned::{AdornedView, Binding};
+pub use atom::Atom;
+pub use cq::ConjunctiveQuery;
+pub use hypergraph::Hypergraph;
+pub use parser::{parse_adorned, parse_query};
+pub use var::{Var, VarSet};

@@ -1,0 +1,311 @@
+//! A small text format for conjunctive queries.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query := NAME '(' terms ')' (':-' | '<-') atom (',' atom)*
+//! atom  := NAME '(' terms ')'
+//! terms := term (',' term)*
+//! term  := IDENT            -- a variable
+//!        | INTEGER          -- a constant
+//! ```
+//!
+//! Examples:
+//!
+//! ```
+//! use cqc_query::parser::{parse_query, parse_adorned};
+//! let q = parse_query("Q(x, y, z) :- R(x, y), S(y, z), T(z, x)").unwrap();
+//! assert_eq!(q.head.len(), 3);
+//! let v = parse_adorned("Q(x, y, z) :- R(x, y), S(y, z), T(z, x)", "bfb").unwrap();
+//! assert_eq!(v.mu(), 1);
+//! ```
+
+use crate::adorned::AdornedView;
+use crate::atom::{Atom, Term};
+use crate::cq::ConjunctiveQuery;
+use crate::var::Var;
+use cqc_common::error::{CqcError, Result};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(u64),
+    LParen,
+    RParen,
+    Comma,
+    Turnstile,
+}
+
+fn tokenize(text: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    tokens.push(Token::Turnstile);
+                    i += 2;
+                } else {
+                    return Err(CqcError::Parse(format!("expected `:-` at byte {i}")));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    tokens.push(Token::Turnstile);
+                    i += 2;
+                } else {
+                    return Err(CqcError::Parse(format!("expected `<-` at byte {i}")));
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let lit = &text[start..i];
+                let n = lit
+                    .parse::<u64>()
+                    .map_err(|_| CqcError::Parse(format!("integer literal `{lit}` out of range")))?;
+                tokens.push(Token::Int(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(text[start..i].to_string()));
+            }
+            other => {
+                return Err(CqcError::Parse(format!(
+                    "unexpected character `{other}` at byte {i}"
+                )));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| CqcError::Parse("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<()> {
+        let got = self.next()?;
+        if &got == want {
+            Ok(())
+        } else {
+            Err(CqcError::Parse(format!("expected {what}, found {got:?}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(CqcError::Parse(format!("expected {what}, found {other:?}"))),
+        }
+    }
+}
+
+/// Raw terms before variable resolution.
+enum RawTerm {
+    Name(String),
+    Const(u64),
+}
+
+fn parse_term_list(p: &mut Parser) -> Result<Vec<RawTerm>> {
+    p.expect(&Token::LParen, "`(`")?;
+    let mut terms = Vec::new();
+    loop {
+        match p.next()? {
+            Token::Ident(s) => terms.push(RawTerm::Name(s)),
+            Token::Int(n) => terms.push(RawTerm::Const(n)),
+            other => return Err(CqcError::Parse(format!("expected a term, found {other:?}"))),
+        }
+        match p.next()? {
+            Token::Comma => continue,
+            Token::RParen => break,
+            other => {
+                return Err(CqcError::Parse(format!(
+                    "expected `,` or `)`, found {other:?}"
+                )));
+            }
+        }
+    }
+    Ok(terms)
+}
+
+/// Parses a conjunctive query from text.
+///
+/// Variables are named by identifiers; constants are unsigned integers. The
+/// head may only contain variables.
+pub fn parse_query(text: &str) -> Result<ConjunctiveQuery> {
+    let mut p = Parser {
+        tokens: tokenize(text)?,
+        pos: 0,
+    };
+    let name = p.ident("query name")?;
+    let head_terms = parse_term_list(&mut p)?;
+    p.expect(&Token::Turnstile, "`:-`")?;
+
+    let mut var_names: Vec<String> = Vec::new();
+    let var_of = |n: &str, var_names: &mut Vec<String>| -> Var {
+        if let Some(i) = var_names.iter().position(|v| v == n) {
+            Var(i as u32)
+        } else {
+            var_names.push(n.to_string());
+            Var((var_names.len() - 1) as u32)
+        }
+    };
+
+    let mut head = Vec::with_capacity(head_terms.len());
+    for t in head_terms {
+        match t {
+            RawTerm::Name(n) => head.push(var_of(&n, &mut var_names)),
+            RawTerm::Const(c) => {
+                return Err(CqcError::Parse(format!(
+                    "constant `{c}` is not allowed in the query head"
+                )));
+            }
+        }
+    }
+
+    let mut atoms = Vec::new();
+    loop {
+        let rel = p.ident("relation name")?;
+        let raw = parse_term_list(&mut p)?;
+        let terms = raw
+            .into_iter()
+            .map(|t| match t {
+                RawTerm::Name(n) => Term::Var(var_of(&n, &mut var_names)),
+                RawTerm::Const(c) => Term::Const(c),
+            })
+            .collect();
+        atoms.push(Atom {
+            relation: rel,
+            terms,
+        });
+        match p.peek() {
+            Some(Token::Comma) => {
+                p.pos += 1;
+            }
+            None => break,
+            Some(other) => {
+                return Err(CqcError::Parse(format!(
+                    "expected `,` or end of input after an atom, found {other:?}"
+                )));
+            }
+        }
+    }
+
+    if var_names.len() > 64 {
+        return Err(CqcError::Parse(
+            "queries with more than 64 variables are not supported".into(),
+        ));
+    }
+
+    Ok(ConjunctiveQuery {
+        name,
+        head,
+        atoms,
+        var_names,
+    })
+}
+
+/// Parses a query and attaches an access pattern, producing an adorned view.
+pub fn parse_adorned(text: &str, pattern: &str) -> Result<AdornedView> {
+    AdornedView::new(parse_query(text)?, pattern)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_triangle() {
+        let q = parse_query("Q(x, y, z) :- R(x, y), S(y, z), T(z, x)").unwrap();
+        assert_eq!(q.name, "Q");
+        assert_eq!(q.head, vec![Var(0), Var(1), Var(2)]);
+        assert_eq!(q.atoms.len(), 3);
+        assert!(q.is_natural_join());
+        assert_eq!(q.to_string(), "Q(x,y,z) :- R(x,y), S(y,z), T(z,x)");
+    }
+
+    #[test]
+    fn parses_constants_and_repeats() {
+        let q = parse_query("Q(x, z) :- R(x, y, 7), S(y, y, z)").unwrap();
+        assert!(!q.is_natural_join());
+        assert_eq!(q.var_names, vec!["x", "z", "y"]);
+        assert_eq!(q.atoms[0].terms[2], Term::Const(7));
+    }
+
+    #[test]
+    fn alternative_arrow() {
+        let q = parse_query("V(a, b) <- E(a, b)").unwrap();
+        assert_eq!(q.atoms.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_query("Q(x) :-").is_err());
+        assert!(parse_query("Q(x) R(x)").is_err());
+        assert!(parse_query("Q(3) :- R(x)").is_err());
+        assert!(parse_query("Q(x :- R(x)").is_err());
+        assert!(parse_query("Q(x) :- R(x,)").is_err());
+        assert!(parse_query("").is_err());
+        assert!(parse_query("Q(x) := R(x)").is_err());
+    }
+
+    #[test]
+    fn adorned_parse() {
+        let v = parse_adorned("Q(x, y, z) :- R(x, y), S(y, z), T(z, x)", "fff").unwrap();
+        assert!(v.is_non_parametric());
+        assert!(parse_adorned("Q(x) :- R(x)", "bb").is_err());
+    }
+
+    #[test]
+    fn head_variable_not_in_body_is_allowed_by_parser() {
+        // Structural validation happens later; the parser accepts it.
+        let q = parse_query("Q(x, w) :- R(x)").unwrap();
+        assert!(!q.body_vars().contains(Var(1)));
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let a = parse_query("Q(x,y):-R(x,y)").unwrap();
+        let b = parse_query("  Q ( x , y )  :-  R ( x , y ) ").unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,124 @@
+//! The database catalog.
+
+use crate::relation::Relation;
+use cqc_common::error::{CqcError, Result};
+use cqc_common::hash::FastMap;
+use cqc_common::heap::HeapSize;
+
+/// Index of a relation inside a [`Database`].
+pub type RelationId = usize;
+
+/// A database instance `D`: a named collection of relations.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    relations: Vec<Relation>,
+    by_name: FastMap<String, RelationId>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Adds a relation, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a relation with the same name already exists.
+    pub fn add(&mut self, relation: Relation) -> Result<RelationId> {
+        if self.by_name.contains_key(relation.name()) {
+            return Err(CqcError::Schema(format!(
+                "relation `{}` already exists",
+                relation.name()
+            )));
+        }
+        let id = self.relations.len();
+        self.by_name.insert(relation.name().to_string(), id);
+        self.relations.push(relation);
+        Ok(id)
+    }
+
+    /// Looks a relation up by name.
+    pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.by_name.get(name).map(|&id| &self.relations[id])
+    }
+
+    /// Looks a relation id up by name.
+    pub fn id_of(&self, name: &str) -> Option<RelationId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The relation with the given id.
+    pub fn relation(&self, id: RelationId) -> &Relation {
+        &self.relations[id]
+    }
+
+    /// All relations in insertion order.
+    pub fn relations(&self) -> &[Relation] {
+        &self.relations
+    }
+
+    /// Number of relations.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// The paper's input size measure `|D|`: total number of tuples across
+    /// all relations.
+    pub fn size(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// Fetches a relation by name or fails with a schema error mentioning the
+    /// querying context.
+    pub fn require(&self, name: &str) -> Result<&Relation> {
+        self.get(name)
+            .ok_or_else(|| CqcError::Schema(format!("relation `{name}` not found in database")))
+    }
+}
+
+impl HeapSize for Database {
+    fn heap_bytes(&self) -> usize {
+        let rels: usize = self
+            .relations
+            .iter()
+            .map(|r| std::mem::size_of::<Relation>() + r.heap_bytes())
+            .sum();
+        let names: usize = self
+            .by_name
+            .keys()
+            .map(|k| k.heap_bytes() + std::mem::size_of::<(String, RelationId)>())
+            .sum();
+        rels + names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_size() {
+        let mut db = Database::new();
+        let r = Relation::from_pairs("R", vec![(1, 2), (2, 3)]);
+        let s = Relation::from_pairs("S", vec![(2, 3)]);
+        let rid = db.add(r).unwrap();
+        let sid = db.add(s).unwrap();
+        assert_eq!(db.size(), 3);
+        assert_eq!(db.num_relations(), 2);
+        assert_eq!(db.id_of("R"), Some(rid));
+        assert_eq!(db.relation(sid).name(), "S");
+        assert!(db.get("T").is_none());
+        assert!(db.require("T").is_err());
+        assert_eq!(db.require("R").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut db = Database::new();
+        db.add(Relation::from_pairs("R", vec![(1, 2)])).unwrap();
+        let err = db.add(Relation::from_pairs("R", vec![(3, 4)]));
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! String interning for loading real-world datasets.
+//!
+//! The engine works over `u64` values; the examples (co-author graphs,
+//! social networks) carry string identities. The [`Interner`] provides the
+//! bidirectional mapping.
+
+use cqc_common::hash::FastMap;
+use cqc_common::heap::HeapSize;
+use cqc_common::value::Value;
+
+/// A bidirectional string ↔ value mapping.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    by_name: FastMap<String, Value>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Interns a string, returning its stable value. Idempotent.
+    pub fn intern(&mut self, s: &str) -> Value {
+        if let Some(&v) = self.by_name.get(s) {
+            return v;
+        }
+        let v = self.names.len() as Value;
+        self.by_name.insert(s.to_string(), v);
+        self.names.push(s.to_string());
+        v
+    }
+
+    /// The value previously assigned to `s`, if any.
+    pub fn get(&self, s: &str) -> Option<Value> {
+        self.by_name.get(s).copied()
+    }
+
+    /// The string behind a value, if it was produced by this interner.
+    pub fn resolve(&self, v: Value) -> Option<&str> {
+        self.names.get(v as usize).map(String::as_str)
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+impl HeapSize for Interner {
+    fn heap_bytes(&self) -> usize {
+        let names: usize = self
+            .names
+            .iter()
+            .map(|n| n.heap_bytes() + std::mem::size_of::<String>())
+            .sum();
+        let map: usize = self
+            .by_name
+            .keys()
+            .map(|k| k.heap_bytes() + std::mem::size_of::<(String, Value)>())
+            .sum();
+        names + map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_roundtrip() {
+        let mut i = Interner::new();
+        let alice = i.intern("alice");
+        let bob = i.intern("bob");
+        assert_ne!(alice, bob);
+        assert_eq!(i.intern("alice"), alice);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(alice), Some("alice"));
+        assert_eq!(i.resolve(bob), Some("bob"));
+        assert_eq!(i.resolve(99), None);
+        assert_eq!(i.get("alice"), Some(alice));
+        assert_eq!(i.get("carol"), None);
+    }
+}

@@ -1,0 +1,37 @@
+//! Relational storage for the `cqc` workspace.
+//!
+//! The paper assumes the input database is stored with "the necessary indexes
+//! on the base relations (that need only linear space)" (§4.3). This crate
+//! provides exactly that substrate:
+//!
+//! * [`relation::Relation`] — a deduplicated, lexicographically sorted set of
+//!   tuples with O(log n) membership tests;
+//! * [`database::Database`] — the catalog mapping relation names to
+//!   relations, with the `|D|` size measure used throughout the paper;
+//! * [`sorted_index::SortedIndex`] — a column-major sorted projection of a
+//!   relation under an arbitrary attribute order, supporting the
+//!   prefix-plus-range *count* probes that implement the paper's Õ(1) count
+//!   oracle (two binary searches), and the cursor ranges that back the
+//!   leapfrog trie-join in `cqc-join`;
+//! * [`domain::Domain`] — per-variable sorted active domains with
+//!   rank/value conversions; `cqc-core` works in rank space so that the
+//!   open/closed interval algebra of §4.1 reduces to integer arithmetic;
+//! * [`interner::Interner`] — string interning so that real datasets (e.g.
+//!   the DBLP-style examples) can be loaded into the `u64` value domain.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod database;
+pub mod domain;
+pub mod interner;
+pub mod relation;
+pub mod sorted_index;
+
+pub use csv::{relation_from_csv, CsvOptions};
+pub use database::{Database, RelationId};
+pub use domain::Domain;
+pub use interner::Interner;
+pub use relation::Relation;
+pub use sorted_index::SortedIndex;

@@ -1,0 +1,202 @@
+//! Relations: deduplicated sorted tuple sets.
+
+use cqc_common::heap::HeapSize;
+use cqc_common::value::{lex_cmp, Tuple, Value};
+use std::cmp::Ordering;
+
+/// A relation instance: a set of `arity`-tuples over the value domain.
+///
+/// Rows are stored row-major in a single flat buffer, sorted
+/// lexicographically in schema order and deduplicated. Sortedness gives
+/// O(log n) membership without an auxiliary hash table, keeping the base
+/// indexes linear in size as §4.3 requires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    name: String,
+    arity: usize,
+    rows: Vec<Value>,
+}
+
+impl Relation {
+    /// Builds a relation from tuples, sorting and deduplicating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tuple's length differs from `arity`, or if `arity == 0`.
+    pub fn new(name: impl Into<String>, arity: usize, tuples: Vec<Tuple>) -> Relation {
+        assert!(arity > 0, "relations must have positive arity");
+        let mut tuples = tuples;
+        for t in &tuples {
+            assert_eq!(t.len(), arity, "tuple arity mismatch in relation");
+        }
+        tuples.sort_unstable_by(|a, b| lex_cmp(a, b));
+        tuples.dedup();
+        let mut rows = Vec::with_capacity(tuples.len() * arity);
+        for t in &tuples {
+            rows.extend_from_slice(t);
+        }
+        Relation {
+            name: name.into(),
+            arity,
+            rows,
+        }
+    }
+
+    /// Builds a binary relation from `(a, b)` pairs; common in the graph
+    /// workloads.
+    pub fn from_pairs(name: impl Into<String>, pairs: impl IntoIterator<Item = (Value, Value)>) -> Relation {
+        let tuples: Vec<Tuple> = pairs.into_iter().map(|(a, b)| vec![a, b]).collect();
+        Relation::new(name, 2, tuples)
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len() / self.arity
+    }
+
+    /// `true` if the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The `i`-th tuple in schema-lexicographic order.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Value] {
+        &self.rows[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Iterates over tuples in schema-lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Value]> + '_ {
+        self.rows.chunks_exact(self.arity)
+    }
+
+    /// O(log n) membership test (binary search over the sorted rows).
+    pub fn contains(&self, tuple: &[Value]) -> bool {
+        debug_assert_eq!(tuple.len(), self.arity);
+        let mut lo = 0usize;
+        let mut hi = self.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match lex_cmp(self.row(mid), tuple) {
+                Ordering::Less => lo = mid + 1,
+                Ordering::Greater => hi = mid,
+                Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Sorted distinct values of column `col`.
+    pub fn column_values(&self, col: usize) -> Vec<Value> {
+        assert!(col < self.arity, "column out of range");
+        let mut vals: Vec<Value> = self.iter().map(|r| r[col]).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        vals
+    }
+
+    /// Projects the relation onto the given columns (with deduplication),
+    /// producing a new relation. Used by Theorem 2 to build the per-bag
+    /// databases π_{F∩Bt}(R_F) of Appendix B.
+    pub fn project(&self, name: impl Into<String>, cols: &[usize]) -> Relation {
+        assert!(!cols.is_empty(), "projection needs at least one column");
+        for &c in cols {
+            assert!(c < self.arity, "projection column out of range");
+        }
+        let tuples: Vec<Tuple> = self
+            .iter()
+            .map(|r| cols.iter().map(|&c| r[c]).collect())
+            .collect();
+        Relation::new(name, cols.len(), tuples)
+    }
+}
+
+impl HeapSize for Relation {
+    fn heap_bytes(&self) -> usize {
+        self.name.heap_bytes() + self.rows.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r() -> Relation {
+        Relation::new(
+            "R",
+            2,
+            vec![vec![3, 1], vec![1, 2], vec![1, 2], vec![2, 2], vec![1, 1]],
+        )
+    }
+
+    #[test]
+    fn sorts_and_dedups() {
+        let r = r();
+        assert_eq!(r.len(), 4);
+        let rows: Vec<&[Value]> = r.iter().collect();
+        assert_eq!(rows, vec![&[1, 1][..], &[1, 2], &[2, 2], &[3, 1]]);
+    }
+
+    #[test]
+    fn membership() {
+        let r = r();
+        assert!(r.contains(&[1, 2]));
+        assert!(r.contains(&[3, 1]));
+        assert!(!r.contains(&[2, 1]));
+        assert!(!r.contains(&[0, 0]));
+        assert!(!r.contains(&[4, 4]));
+    }
+
+    #[test]
+    fn column_values_sorted_distinct() {
+        let r = r();
+        assert_eq!(r.column_values(0), vec![1, 2, 3]);
+        assert_eq!(r.column_values(1), vec![1, 2]);
+    }
+
+    #[test]
+    fn projection_dedups() {
+        let r = r();
+        let p = r.project("P", &[1]);
+        assert_eq!(p.arity(), 1);
+        assert_eq!(p.len(), 2);
+        assert!(p.contains(&[1]));
+        assert!(p.contains(&[2]));
+        // Reordering columns.
+        let q = r.project("Q", &[1, 0]);
+        assert!(q.contains(&[2, 1]));
+        assert!(!q.contains(&[1, 2]) || r.contains(&[2, 1]));
+    }
+
+    #[test]
+    fn from_pairs_builds_binary() {
+        let r = Relation::from_pairs("E", vec![(1, 2), (2, 1), (1, 2)]);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::new("E", 3, vec![]);
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert!(!r.contains(&[1, 2, 3]));
+        assert_eq!(r.column_values(2), Vec::<Value>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "tuple arity mismatch")]
+    fn arity_mismatch_panics() {
+        Relation::new("R", 2, vec![vec![1, 2, 3]]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Base samplers.
+
+use cqc_common::value::Value;
+use cqc_storage::Relation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG for the given seed.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A uniform random `arity`-ary relation with (up to) `rows` distinct
+/// tuples over the value domain `0..domain`.
+pub fn uniform_relation(
+    rng: &mut StdRng,
+    name: &str,
+    arity: usize,
+    rows: usize,
+    domain: u64,
+) -> Relation {
+    let mut tuples = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        tuples.push((0..arity).map(|_| rng.gen_range(0..domain)).collect());
+    }
+    Relation::new(name, arity, tuples)
+}
+
+/// A Zipf(s) sampler over `0..n` via an inverse-CDF table.
+///
+/// Item `i` has probability proportional to `1/(i+1)^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs a non-empty support");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Samples one item.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+
+    /// Support size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` when the support is empty (never true after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// A relation of `rows` pairs with Zipf-skewed second component — a classic
+/// "many small sets, a few huge ones" shape for the set-intersection
+/// workloads.
+pub fn zipf_pairs(
+    rng: &mut StdRng,
+    name: &str,
+    rows: usize,
+    first_domain: u64,
+    zipf: &Zipf,
+) -> Relation {
+    let mut tuples: Vec<Vec<Value>> = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        tuples.push(vec![rng.gen_range(0..first_domain), zipf.sample(rng)]);
+    }
+    Relation::new(name, 2, tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = uniform_relation(&mut rng(7), "R", 2, 100, 50);
+        let b = uniform_relation(&mut rng(7), "R", 2, 100, 50);
+        assert_eq!(a, b);
+        let c = uniform_relation(&mut rng(8), "R", 2, 100, 50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn relation_shape() {
+        let r = uniform_relation(&mut rng(1), "R", 3, 200, 10);
+        assert_eq!(r.arity(), 3);
+        assert!(r.len() <= 200);
+        assert!(r.iter().all(|t| t.iter().all(|&v| v < 10)));
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let z = Zipf::new(1000, 1.2);
+        let mut r = rng(42);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut r) as usize] += 1;
+        }
+        // The head must dominate the tail.
+        assert!(counts[0] > counts[100] && counts[0] > 50);
+        let head: usize = counts[..10].iter().sum();
+        let tail: usize = counts[500..].iter().sum();
+        assert!(head > tail);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniformish() {
+        let z = Zipf::new(4, 0.0);
+        let mut r = rng(3);
+        let mut counts = vec![0usize; 4];
+        for _ in 0..8000 {
+            counts[z.sample(&mut r) as usize] += 1;
+        }
+        for c in counts {
+            assert!(c > 1500 && c < 2500, "{c}");
+        }
+    }
+
+    #[test]
+    fn zipf_pairs_in_domain() {
+        let z = Zipf::new(20, 1.0);
+        let r = zipf_pairs(&mut rng(5), "R", 500, 30, &z);
+        assert!(r.iter().all(|t| t[0] < 30 && t[1] < 20));
+    }
+}

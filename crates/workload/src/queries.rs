@@ -1,0 +1,182 @@
+//! The paper's query zoo.
+
+use cqc_common::error::Result;
+use cqc_query::parser::parse_adorned;
+use cqc_query::AdornedView;
+
+/// The triangle view over a single (e.g. friendship) relation:
+/// `V^η(x,y,z) = R(x,y), R(y,z), R(z,x)` — Example 1 uses η = `bfb`
+/// (mutual friends), Example 2 the variants `bbf`/`fff`.
+pub fn triangle_self(pattern: &str) -> Result<AdornedView> {
+    parse_adorned("V(x, y, z) :- R(x, y), R(y, z), R(z, x)", pattern)
+}
+
+/// The triangle over three distinct relations:
+/// `∆^η(x,y,z) = R(x,y), S(y,z), T(z,x)`.
+pub fn triangle(pattern: &str) -> Result<AdornedView> {
+    parse_adorned("D(x, y, z) :- R(x, y), S(y, z), T(z, x)", pattern)
+}
+
+/// The star join of Example 7:
+/// `S_n^η(x_1,…,x_n,z) = R_1(x_1,z), …, R_n(x_n,z)`.
+/// `pattern` covers the `n + 1` head variables `(x_1,…,x_n,z)`.
+pub fn star(n: usize, pattern: &str) -> Result<AdornedView> {
+    assert!(n >= 1);
+    let head: Vec<String> = (1..=n).map(|i| format!("x{i}")).collect();
+    let atoms: Vec<String> = (1..=n).map(|i| format!("R{i}(x{i}, z)")).collect();
+    let text = format!("S({}, z) :- {}", head.join(", "), atoms.join(", "));
+    parse_adorned(&text, pattern)
+}
+
+/// The set-intersection view of §3.1 (the \[13\] structure):
+/// `S_2^{bbf}(x_1, x_2, z) = R(x_1, z), R(x_2, z)` over a single
+/// set-membership relation (`R(s, a)` ⇔ `a ∈ S_s`).
+pub fn set_intersection() -> Result<AdornedView> {
+    parse_adorned("I(x1, x2, z) :- R(x1, z), R(x2, z)", "bbf")
+}
+
+/// The k-ary variant backing k-SetDisjointness (§3.3):
+/// `Q^{b…bf}(x_1,…,x_k,z) = R(x_1,z), …, R(x_k,z)` over one relation.
+pub fn k_set_disjointness(k: usize) -> Result<AdornedView> {
+    assert!(k >= 2);
+    let head: Vec<String> = (1..=k).map(|i| format!("x{i}")).collect();
+    let atoms: Vec<String> = (1..=k).map(|i| format!("R(x{i}, z)")).collect();
+    let text = format!("K({}, z) :- {}", head.join(", "), atoms.join(", "));
+    let pattern = "b".repeat(k) + "f";
+    parse_adorned(&text, &pattern)
+}
+
+/// The path query of Example 10:
+/// `P_n^η(x_1,…,x_{n+1}) = R_1(x_1,x_2), …, R_n(x_n,x_{n+1})`.
+/// Example 10 uses the pattern `b f…f b`.
+pub fn path(n: usize, pattern: &str) -> Result<AdornedView> {
+    assert!(n >= 1);
+    let head: Vec<String> = (1..=n + 1).map(|i| format!("x{i}")).collect();
+    let atoms: Vec<String> = (1..=n)
+        .map(|i| format!("R{i}(x{i}, x{})", i + 1))
+        .collect();
+    let text = format!("P({}) :- {}", head.join(", "), atoms.join(", "));
+    parse_adorned(&text, pattern)
+}
+
+/// The Example 10 pattern for `path(n)`: endpoints bound, middle free.
+pub fn path_pattern(n: usize) -> String {
+    let mut p = String::from("b");
+    p.push_str(&"f".repeat(n - 1));
+    p.push('b');
+    p
+}
+
+/// The Loomis–Whitney join of Example 6:
+/// `LW_n(x_1,…,x_n) = S_1(x_2,…,x_n), S_2(x_1,x_3,…,x_n), …`.
+/// Atom `S_i` contains every variable except `x_i`.
+pub fn loomis_whitney(n: usize, pattern: &str) -> Result<AdornedView> {
+    assert!(n >= 3);
+    let head: Vec<String> = (1..=n).map(|i| format!("x{i}")).collect();
+    let atoms: Vec<String> = (1..=n)
+        .map(|i| {
+            let vars: Vec<String> = (1..=n)
+                .filter(|&j| j != i)
+                .map(|j| format!("x{j}"))
+                .collect();
+            format!("S{i}({})", vars.join(", "))
+        })
+        .collect();
+    let text = format!("LW({}) :- {}", head.join(", "), atoms.join(", "));
+    parse_adorned(&text, pattern)
+}
+
+/// The length-`n` cycle query
+/// `C_n^η(x_1,…,x_n) = R_1(x_1,x_2), …, R_n(x_n,x_1)` — the simplest
+/// family with `fhw = 2` for even `n`, used to exercise non-acyclic
+/// decompositions beyond the triangle.
+pub fn cycle(n: usize, pattern: &str) -> Result<AdornedView> {
+    assert!(n >= 3);
+    let head: Vec<String> = (1..=n).map(|i| format!("x{i}")).collect();
+    let atoms: Vec<String> = (1..=n)
+        .map(|i| format!("R{i}(x{i}, x{})", if i == n { 1 } else { i + 1 }))
+        .collect();
+    let text = format!("C({}) :- {}", head.join(", "), atoms.join(", "));
+    parse_adorned(&text, pattern)
+}
+
+/// The running example (Example 4):
+/// `Q^{fffbbb}(x,y,z,w1,w2,w3) = R1(w1,x,y), R2(w2,y,z), R3(w3,x,z)`.
+pub fn running_example() -> Result<AdornedView> {
+    parse_adorned(
+        "Q(x, y, z, w1, w2, w3) :- R1(w1, x, y), R2(w2, y, z), R3(w3, x, z)",
+        "fffbbb",
+    )
+}
+
+/// The co-author view of §1: `V^bf(x, y) = R(x, p), R(y, p)` — neighbors
+/// of an author in the co-author graph.
+pub fn coauthor() -> Result<AdornedView> {
+    parse_adorned("V(x, y) :- R(x, p), R(y, p)", "bf")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_builders_produce_natural_joins() {
+        let views = vec![
+            triangle_self("bfb").unwrap(),
+            triangle("fff").unwrap(),
+            star(3, "bbbf").unwrap(),
+            set_intersection().unwrap(),
+            k_set_disjointness(3).unwrap(),
+            path(4, &path_pattern(4)).unwrap(),
+            loomis_whitney(3, "fff").unwrap(),
+            running_example().unwrap(),
+        ];
+        for v in views {
+            assert!(v.query().is_natural_join(), "{v}");
+        }
+    }
+
+    #[test]
+    fn coauthor_is_a_projection() {
+        // The §1 co-author view projects the paper variable away — the
+        // paper defers projections, and so do we (it is used with the
+        // triangle-style rewrite in the examples instead).
+        let v = coauthor().unwrap();
+        assert!(!v.query().is_full());
+    }
+
+    #[test]
+    fn cycle_shapes() {
+        let v = cycle(4, "bfbf").unwrap();
+        assert!(v.query().is_natural_join());
+        let h = v.query().hypergraph();
+        assert_eq!(h.num_edges(), 4);
+        assert!(!h.is_acyclic());
+        assert!(cycle(6, "ffffff").unwrap().query().is_natural_join());
+    }
+
+    #[test]
+    fn star_shapes() {
+        let v = star(4, "bbbbf").unwrap();
+        assert_eq!(v.query().atoms.len(), 4);
+        assert_eq!(v.mu(), 1);
+        assert_eq!(v.bound_head().len(), 4);
+    }
+
+    #[test]
+    fn lw_edges_miss_one_variable_each() {
+        let v = loomis_whitney(4, "ffff").unwrap();
+        let h = v.query().hypergraph();
+        assert_eq!(h.num_edges(), 4);
+        for e in h.edges() {
+            assert_eq!(e.len(), 3);
+        }
+    }
+
+    #[test]
+    fn path_pattern_shape() {
+        assert_eq!(path_pattern(4), "bfffb");
+        let v = path(4, &path_pattern(4)).unwrap();
+        assert_eq!(v.mu(), 3);
+    }
+}

@@ -1,0 +1,208 @@
+//! Property-based equivalence: random databases, random access patterns,
+//! random delay knobs — every structure must agree with the naive oracle,
+//! in order, without duplicates, and the §4 structural invariants must
+//! hold on the constructed trees.
+
+use cqc_common::value::Tuple;
+use cqc_core::dbtree::tau_level;
+use cqc_core::theorem1::Theorem1Structure;
+use cqc_core::theorem2::Theorem2Structure;
+use cqc_join::naive::evaluate_view;
+use cqc_query::parser::parse_adorned;
+use cqc_query::AdornedView;
+use cqc_storage::{Database, Relation};
+use proptest::prelude::*;
+
+/// A random binary relation as a list of pairs over a small domain.
+fn rel_strategy(max_rows: usize, dom: u64) -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0..dom, 0..dom), 0..max_rows)
+}
+
+fn db_from(pairs: &[(&str, Vec<(u64, u64)>)]) -> Database {
+    let mut db = Database::new();
+    for (name, rows) in pairs {
+        db.add(Relation::from_pairs(*name, rows.clone())).unwrap();
+    }
+    db
+}
+
+fn sorted(mut v: Vec<Tuple>) -> Vec<Tuple> {
+    v.sort();
+    v.dedup();
+    v
+}
+
+/// All bound-value combinations over `0..dom` for `nb` bound variables.
+fn all_requests(nb: usize, dom: u64) -> Vec<Vec<u64>> {
+    let mut reqs: Vec<Vec<u64>> = vec![vec![]];
+    for _ in 0..nb {
+        reqs = reqs
+            .iter()
+            .flat_map(|r| {
+                (0..dom).map(move |v| {
+                    let mut r2 = r.clone();
+                    r2.push(v);
+                    r2
+                })
+            })
+            .collect();
+    }
+    reqs
+}
+
+fn check_theorem1(view: &AdornedView, db: &Database, weights: &[f64], tau: f64, dom: u64) {
+    let s = Theorem1Structure::build(view, db, weights, tau).unwrap();
+    let nb = view.bound_head().len();
+    for req in all_requests(nb, dom) {
+        let expect = evaluate_view(view, db, &req).unwrap();
+        let got: Vec<Tuple> = s.answer(&req).unwrap().collect();
+        assert_eq!(got, expect, "τ={tau} req={req:?}");
+    }
+    // Structural invariants (Lemma 4 / threshold rules).
+    if let Some(tree) = s.tree() {
+        for (i, node) in tree.nodes.iter().enumerate() {
+            let thr = tau_level(tree.tau, tree.alpha, node.level);
+            if node.beta.is_some() {
+                assert!(node.t_value >= thr - 1e-9, "internal below threshold");
+            } else {
+                assert!(node.t_value < thr, "leaf above threshold");
+            }
+            for child in [node.left, node.right].into_iter().flatten() {
+                let ct = tree.nodes[child as usize].t_value;
+                assert!(
+                    ct <= node.t_value / 2.0 + 1e-6,
+                    "Prop 8 halving violated at node {i}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 200,
+        .. ProptestConfig::default()
+    })]
+
+    /// Triangle over three random relations, every adornment with ≤ 2 bound
+    /// variables, random τ.
+    #[test]
+    fn theorem1_triangle_roundtrip(
+        r in rel_strategy(30, 6),
+        s in rel_strategy(30, 6),
+        t in rel_strategy(30, 6),
+        pattern in prop::sample::select(vec!["fff", "bff", "fbf", "ffb", "bbf", "bfb", "fbb"]),
+        tau in 1.0f64..24.0,
+    ) {
+        let db = db_from(&[("R", r), ("S", s), ("T", t)]);
+        let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", pattern).unwrap();
+        check_theorem1(&view, &db, &[0.5, 0.5, 0.5], tau, 6);
+    }
+
+    /// Two-path (the paper's P_2^{ff} example of a non-factorizable-to-
+    /// linear query) plus star-shaped adornments, with the all-ones cover.
+    #[test]
+    fn theorem1_two_path_roundtrip(
+        r in rel_strategy(35, 7),
+        s in rel_strategy(35, 7),
+        pattern in prop::sample::select(vec!["fff", "bff", "ffb", "fbf", "bfb"]),
+        tau in 1.0f64..16.0,
+    ) {
+        let db = db_from(&[("R", r), ("S", s)]);
+        let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z)", pattern).unwrap();
+        check_theorem1(&view, &db, &[1.0, 1.0], tau, 7);
+    }
+
+    /// Set intersection S_2^{bbf} over one random membership relation — the
+    /// self-join case where both atoms share an index.
+    #[test]
+    fn theorem1_set_intersection_roundtrip(
+        r in rel_strategy(45, 8),
+        tau in 1.0f64..12.0,
+    ) {
+        let db = db_from(&[("R", r)]);
+        let view = parse_adorned("Q(a, b, z) :- R(a, z), R(b, z)", "bbf").unwrap();
+        check_theorem1(&view, &db, &[1.0, 1.0], tau, 8);
+    }
+
+    /// Theorem 2 on the 3-path with random per-bag delays: equivalence +
+    /// duplicate freedom.
+    #[test]
+    fn theorem2_path3_roundtrip(
+        r1 in rel_strategy(25, 5),
+        r2 in rel_strategy(25, 5),
+        r3 in rel_strategy(25, 5),
+        d1 in 0.0f64..0.7,
+        d2 in 0.0f64..0.7,
+    ) {
+        use cqc_query::{Var, VarSet};
+        let db = db_from(&[("R1", r1), ("R2", r2), ("R3", r3)]);
+        let view = parse_adorned(
+            "P(x1,x2,x3,x4) :- R1(x1,x2), R2(x2,x3), R3(x3,x4)", "bffb",
+        ).unwrap();
+        let vs = |vars: &[u32]| -> VarSet { vars.iter().map(|&v| Var(v)).collect() };
+        let td = cqc_decomp::TreeDecomposition::new(
+            vec![vs(&[0, 3]), vs(&[0, 1, 2, 3]), ],
+            vec![None, Some(0)],
+        ).unwrap();
+        let td2 = cqc_decomp::TreeDecomposition::new(
+            vec![vs(&[0, 3]), vs(&[0, 1, 3]), vs(&[1, 2, 3])],
+            vec![None, Some(0), Some(1)],
+        ).unwrap();
+        for (td, delta) in [(td, vec![0.0, d1]), (td2, vec![0.0, d1, d2])] {
+            let s = Theorem2Structure::build(&view, &db, &td, &delta).unwrap();
+            for req in all_requests(2, 5) {
+                let expect = evaluate_view(&view, &db, &req).unwrap();
+                let got: Vec<Tuple> = s.answer(&req).unwrap().collect();
+                prop_assert_eq!(got.len(), expect.len(), "duplicates at {:?}", &req);
+                prop_assert_eq!(sorted(got), expect, "mismatch at {:?}", &req);
+            }
+        }
+    }
+
+    /// Oracle cross-validation: the nested-loop oracle and the independent
+    /// hash-join evaluator agree on random instances and patterns (so tests
+    /// validated against either are validated against both).
+    #[test]
+    fn oracles_agree(
+        r in rel_strategy(35, 7),
+        s in rel_strategy(35, 7),
+        t in rel_strategy(35, 7),
+        pattern in prop::sample::select(vec!["fff", "bff", "fbf", "bbf", "bfb", "bbb"]),
+    ) {
+        let db = db_from(&[("R", r), ("S", s), ("T", t)]);
+        let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", pattern).unwrap();
+        let nb = view.bound_head().len();
+        for req in all_requests(nb, 7) {
+            let a = cqc_join::naive::evaluate_view(&view, &db, &req).unwrap();
+            let b = cqc_join::hashjoin::evaluate_view_hash(&view, &db, &req).unwrap();
+            prop_assert_eq!(a, b, "req {:?}", &req);
+        }
+    }
+
+    /// Heavy-pair bound (Prop. 7): the dictionary never stores more than
+    /// (T(I)/τ_ℓ)^α entries per node.
+    #[test]
+    fn proposition_7_heavy_bound(
+        r in rel_strategy(40, 6),
+        s in rel_strategy(40, 6),
+        tau in 1.0f64..10.0,
+    ) {
+        let db = db_from(&[("R", r), ("S", s)]);
+        let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z)", "bfb").unwrap();
+        let st = Theorem1Structure::build(&view, &db, &[1.0, 1.0], tau).unwrap();
+        if let Some(tree) = st.tree() {
+            let alpha = st.alpha();
+            for (w, node) in tree.nodes.iter().enumerate() {
+                let thr = tau_level(tree.tau, tree.alpha, node.level);
+                let count = st.dictionary().entries_of(w as u32).count() as f64;
+                let bound = (node.t_value / thr).powf(alpha) + 1e-9;
+                prop_assert!(
+                    count <= bound,
+                    "node {} holds {} heavy pairs > bound {}", w, count, bound
+                );
+            }
+        }
+    }
+}
