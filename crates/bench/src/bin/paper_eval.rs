@@ -150,7 +150,14 @@ fn exp1_triangle(scale: Scale) {
     println!(
         "{}",
         markdown_table(
-            &["representation", "space", "build", "max delay", "mean answer", "tuples"],
+            &[
+                "representation",
+                "space",
+                "build",
+                "max delay",
+                "mean answer",
+                "tuples"
+            ],
             &rows
         )
     );
@@ -158,9 +165,7 @@ fn exp1_triangle(scale: Scale) {
     // (slope ≈ −1 in τ) per Prop. 3.
     let taus = [1.0, n.powf(0.25), n.sqrt(), n.powf(0.75)];
     let slope = fit_loglog_slope(&taus, &spaces);
-    println!(
-        "non-linear space vs τ: fitted slope {slope:.2} (paper: −α = −1 for this cover)\n"
-    );
+    println!("non-linear space vs τ: fitted slope {slope:.2} (paper: −α = −1 for this cover)\n");
     let _ = delays;
 }
 
@@ -252,7 +257,14 @@ fn exp3_factorized(scale: Scale) {
     println!(
         "{}",
         markdown_table(
-            &["representation", "space", "build", "max delay", "p99 delay", "tuples"],
+            &[
+                "representation",
+                "space",
+                "build",
+                "max delay",
+                "p99 delay",
+                "tuples"
+            ],
             &rows
         )
     );
@@ -308,7 +320,14 @@ fn exp4_loomis_whitney(scale: Scale) {
     println!(
         "{}",
         markdown_table(
-            &["configuration", "space", "dict entries", "max delay", "mean answer", "tuples"],
+            &[
+                "configuration",
+                "space",
+                "dict entries",
+                "max delay",
+                "mean answer",
+                "tuples"
+            ],
             &rows
         )
     );
@@ -359,7 +378,13 @@ fn exp5_star_slack(scale: Scale) {
         println!(
             "{}",
             markdown_table(
-                &["configuration", "slack", "dict entries", "tree nodes", "space"],
+                &[
+                    "configuration",
+                    "slack",
+                    "dict entries",
+                    "tree nodes",
+                    "space"
+                ],
                 &rows
             )
         );
@@ -433,7 +458,14 @@ fn exp6_set_intersection(scale: Scale) {
     println!(
         "{}",
         markdown_table(
-            &["configuration", "space", "dict entries", "max delay", "disjointness probe", "intersecting"],
+            &[
+                "configuration",
+                "space",
+                "dict entries",
+                "max delay",
+                "disjointness probe",
+                "intersecting"
+            ],
             &rows
         )
     );
@@ -519,7 +551,14 @@ fn exp7_path(scale: Scale) {
     println!(
         "{}",
         markdown_table(
-            &["representation", "space", "build", "max delay", "mean answer", "tuples"],
+            &[
+                "representation",
+                "space",
+                "build",
+                "max delay",
+                "mean answer",
+                "tuples"
+            ],
             &rows
         )
     );
@@ -535,19 +574,37 @@ fn exp8_running_example() {
     db.add(Relation::new(
         "R1",
         3,
-        vec![vec![1, 1, 1], vec![1, 1, 2], vec![1, 2, 1], vec![2, 1, 1], vec![3, 1, 1]],
+        vec![
+            vec![1, 1, 1],
+            vec![1, 1, 2],
+            vec![1, 2, 1],
+            vec![2, 1, 1],
+            vec![3, 1, 1],
+        ],
     ))
     .unwrap();
     db.add(Relation::new(
         "R2",
         3,
-        vec![vec![1, 1, 2], vec![1, 2, 1], vec![1, 2, 2], vec![2, 1, 1], vec![2, 1, 2]],
+        vec![
+            vec![1, 1, 2],
+            vec![1, 2, 1],
+            vec![1, 2, 2],
+            vec![2, 1, 1],
+            vec![2, 1, 2],
+        ],
     ))
     .unwrap();
     db.add(Relation::new(
         "R3",
         3,
-        vec![vec![1, 1, 1], vec![1, 1, 2], vec![1, 2, 1], vec![2, 1, 1], vec![2, 1, 2]],
+        vec![
+            vec![1, 1, 1],
+            vec![1, 1, 2],
+            vec![1, 2, 1],
+            vec![2, 1, 1],
+            vec![2, 1, 2],
+        ],
     ))
     .unwrap();
     let s = Theorem1Structure::build(&view, &db, &[1.0, 1.0, 1.0], 4.0).unwrap();
@@ -591,7 +648,10 @@ fn exp9_lp_tables() {
         ("triangle bfb", queries::triangle_self("bfb").unwrap()),
         ("star_3 bbbf", queries::star(3, "bbbf").unwrap()),
         ("LW_3 fff", queries::loomis_whitney(3, "fff").unwrap()),
-        ("path_4 bfffb", queries::path(4, &queries::path_pattern(4)).unwrap()),
+        (
+            "path_4 bfffb",
+            queries::path(4, &queries::path_pattern(4)).unwrap(),
+        ),
     ];
     let mut rows = Vec::new();
     for (name, view) in &cases {
@@ -611,7 +671,13 @@ fn exp9_lp_tables() {
     println!(
         "{}",
         markdown_table(
-            &["query", "space budget", "cover u", "slack α", "optimal delay τ"],
+            &[
+                "query",
+                "space budget",
+                "cover u",
+                "slack α",
+                "optimal delay τ"
+            ],
             &rows
         )
     );
@@ -687,7 +753,13 @@ fn exp11_splitter_ablation(scale: Scale) {
     println!(
         "{}",
         markdown_table(
-            &["configuration", "tree nodes", "depth", "dict entries", "build"],
+            &[
+                "configuration",
+                "tree nodes",
+                "depth",
+                "dict entries",
+                "build"
+            ],
             &rows
         )
     );
@@ -740,7 +812,14 @@ fn exp12_community_locality(scale: Scale) {
     println!(
         "{}",
         markdown_table(
-            &["graph", "|D|", "dict entries", "triangles", "thm-1 answer", "direct answer"],
+            &[
+                "graph",
+                "|D|",
+                "dict entries",
+                "triangles",
+                "thm-1 answer",
+                "direct answer"
+            ],
             &rows
         )
     );
@@ -759,7 +838,10 @@ fn exp10_build_time(scale: Scale) {
     let mut rows = Vec::new();
     let mut ns = Vec::new();
     let mut times = Vec::new();
-    let edge_counts = scale.pick(vec![500usize, 1000, 2000, 4000], vec![2000, 4000, 8000, 16000, 32000]);
+    let edge_counts = scale.pick(
+        vec![500usize, 1000, 2000, 4000],
+        vec![2000, 4000, 8000, 16000, 32000],
+    );
     for edges in edge_counts {
         let db = triangle_db(11, (edges / 5) as u64, edges);
         let n = db.size() as f64;
@@ -779,7 +861,10 @@ fn exp10_build_time(scale: Scale) {
     }
     println!(
         "{}",
-        markdown_table(&["|D|", "knob", "build time", "tree nodes", "dict entries"], &rows)
+        markdown_table(
+            &["|D|", "knob", "build time", "tree nodes", "dict entries"],
+            &rows
+        )
     );
     println!(
         "build time vs |D| slope: {:.2} (paper bound: Π|R|^{{u_F}} = N^{{1.5}} worst case; \

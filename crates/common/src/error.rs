@@ -21,6 +21,32 @@ pub enum CqcError {
     InvalidAccess(String),
     /// A configuration parameter is out of range.
     Config(String),
+    /// Building (or rebuilding) a registered view's compressed
+    /// representation failed. Carries the view name and the strategy that
+    /// was being applied, so serve-time failures are actionable without
+    /// digging through engine state.
+    ViewBuild {
+        /// The registered view's name.
+        view: String,
+        /// Human-readable description of the strategy being applied.
+        strategy: String,
+        /// The underlying failure.
+        source: Box<CqcError>,
+    },
+    /// A request referenced a view name that was never registered.
+    UnknownView(String),
+}
+
+impl CqcError {
+    /// Wraps `self` in a [`CqcError::ViewBuild`] tagging the failing view
+    /// and strategy.
+    pub fn for_view(self, view: &str, strategy: &str) -> CqcError {
+        CqcError::ViewBuild {
+            view: view.to_string(),
+            strategy: strategy.to_string(),
+            source: Box::new(self),
+        }
+    }
 }
 
 impl fmt::Display for CqcError {
@@ -33,11 +59,32 @@ impl fmt::Display for CqcError {
             CqcError::Lp(m) => write!(f, "linear program error: {m}"),
             CqcError::InvalidAccess(m) => write!(f, "invalid access request: {m}"),
             CqcError::Config(m) => write!(f, "configuration error: {m}"),
+            CqcError::ViewBuild {
+                view,
+                strategy,
+                source,
+            } => write!(
+                f,
+                "building view `{view}` with strategy `{strategy}`: {source}"
+            ),
+            CqcError::UnknownView(name) => {
+                write!(
+                    f,
+                    "unknown view `{name}`: register it before serving requests"
+                )
+            }
         }
     }
 }
 
-impl std::error::Error for CqcError {}
+impl std::error::Error for CqcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CqcError::ViewBuild { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// Workspace-wide result alias.
 pub type Result<T> = std::result::Result<T, CqcError>;
@@ -52,6 +99,26 @@ mod tests {
         assert_eq!(e.to_string(), "parse error: unexpected token");
         let e = CqcError::Lp("infeasible".into());
         assert!(e.to_string().contains("infeasible"));
+    }
+
+    #[test]
+    fn view_build_carries_view_and_strategy() {
+        let e = CqcError::Lp("infeasible".into()).for_view("mutual_friends", "auto → theorem-2");
+        let msg = e.to_string();
+        assert!(msg.contains("mutual_friends"), "{msg}");
+        assert!(msg.contains("auto → theorem-2"), "{msg}");
+        assert!(msg.contains("infeasible"), "{msg}");
+        let e = CqcError::UnknownView("V".into());
+        assert!(e.to_string().contains("`V`"));
+    }
+
+    #[test]
+    fn view_build_source_is_walkable() {
+        use std::error::Error;
+        let e = CqcError::Schema("relation `S` not found".into()).for_view("v", "auto");
+        let cause = e.source().expect("ViewBuild must expose its cause");
+        assert!(cause.to_string().contains("not found"), "{cause}");
+        assert!(CqcError::Parse("x".into()).source().is_none());
     }
 
     #[test]

@@ -104,8 +104,10 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        db.add(Relation::from_pairs("R", vec![(1, 2), (2, 3)])).unwrap();
-        db.add(Relation::from_pairs("S", vec![(2, 3), (3, 4)])).unwrap();
+        db.add(Relation::from_pairs("R", vec![(1, 2), (2, 3)]))
+            .unwrap();
+        db.add(Relation::from_pairs("S", vec![(2, 3), (3, 4)]))
+            .unwrap();
         db
     }
 

@@ -134,9 +134,9 @@ impl CompressedView {
                     Theorem2Structure::build_with_budget(view, db, budget)?,
                 )),
             },
-            Strategy::Materialize => Ok(CompressedView::Materialized(
-                MaterializedView::build(view, db)?,
-            )),
+            Strategy::Materialize => Ok(CompressedView::Materialized(MaterializedView::build(
+                view, db,
+            )?)),
             Strategy::Direct => Ok(CompressedView::Direct(DirectView::build(view, db)?)),
             Strategy::Tradeoff { tau, weights } => {
                 if tau < 1.0 {
@@ -156,8 +156,7 @@ impl CompressedView {
                                 n.map(|n| (n as f64).ln())
                             })
                             .collect::<Result<_>>()?;
-                        let choice =
-                            min_space_cover(&h, view.free_vars(), &log_sizes, tau.ln())?;
+                        let choice = min_space_cover(&h, view.free_vars(), &log_sizes, tau.ln())?;
                         choice.weights
                     }
                 };
@@ -381,16 +380,27 @@ mod tests {
         let strategies: Vec<Strategy> = vec![
             Strategy::Materialize,
             Strategy::Direct,
-            Strategy::Tradeoff { tau: 1.0, weights: None },
-            Strategy::Tradeoff { tau: 3.0, weights: Some(vec![0.5, 0.5, 0.5]) },
+            Strategy::Tradeoff {
+                tau: 1.0,
+                weights: None,
+            },
+            Strategy::Tradeoff {
+                tau: 3.0,
+                weights: Some(vec![0.5, 0.5, 0.5]),
+            },
             Strategy::Factorized,
-            Strategy::Auto { space_budget_exp: None },
-            Strategy::Auto { space_budget_exp: Some(1.2) },
-            Strategy::Decomposed { space_budget_exp: 1.5 },
+            Strategy::Auto {
+                space_budget_exp: None,
+            },
+            Strategy::Auto {
+                space_budget_exp: Some(1.2),
+            },
+            Strategy::Decomposed {
+                space_budget_exp: 1.5,
+            },
         ];
         for pattern in ["bfb", "fff", "bbf"] {
-            let view =
-                parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", pattern).unwrap();
+            let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", pattern).unwrap();
             let nb = pattern.chars().filter(|c| *c == 'b').count();
             for strat in &strategies {
                 let cv = CompressedView::build(&view, &db, strat.clone()).unwrap();
@@ -425,9 +435,14 @@ mod tests {
     fn bound_only_dispatch() {
         let db = triangle_db();
         let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", "bbb").unwrap();
-        let cv =
-            CompressedView::build(&view, &db, Strategy::Auto { space_budget_exp: None })
-                .unwrap();
+        let cv = CompressedView::build(
+            &view,
+            &db,
+            Strategy::Auto {
+                space_budget_exp: None,
+            },
+        )
+        .unwrap();
         assert_eq!(cv.strategy_name(), "bound-only (Prop 1)");
         assert!(cv.exists(&[1, 2, 3]).unwrap());
         assert!(!cv.exists(&[1, 1, 1]).unwrap());
@@ -447,7 +462,10 @@ mod tests {
         let cv = CompressedView::build(
             &view,
             &db,
-            Strategy::Tradeoff { tau: 1.0, weights: None },
+            Strategy::Tradeoff {
+                tau: 1.0,
+                weights: None,
+            },
         )
         .unwrap();
         let got: Vec<Tuple> = cv.answer(&[1]).unwrap().collect();
@@ -493,7 +511,9 @@ mod tests {
             let cv = CompressedView::build(
                 &view,
                 &db,
-                Strategy::TradeoffBudget { space_budget_exp: budget },
+                Strategy::TradeoffBudget {
+                    space_budget_exp: budget,
+                },
             )
             .unwrap();
             let CompressedView::Tradeoff(t) = &cv else {
@@ -507,7 +527,10 @@ mod tests {
                 assert_eq!(got, expect, "budget {budget}");
             }
         }
-        assert!(taus[0] >= taus[1] - 1e-9 && taus[1] >= taus[2] - 1e-9, "{taus:?}");
+        assert!(
+            taus[0] >= taus[1] - 1e-9 && taus[1] >= taus[2] - 1e-9,
+            "{taus:?}"
+        );
         assert!(taus[0] > 1.5, "tight budget needs real delay: {taus:?}");
         assert!(taus[2] <= 1.5, "generous budget ⇒ τ ≈ 1: {taus:?}");
     }
@@ -519,7 +542,10 @@ mod tests {
         let cv = CompressedView::build(
             &view,
             &db,
-            Strategy::Tradeoff { tau: 4.0, weights: None },
+            Strategy::Tradeoff {
+                tau: 4.0,
+                weights: None,
+            },
         )
         .unwrap();
         let d = cv.describe();
@@ -531,7 +557,9 @@ mod tests {
         let cv = CompressedView::build(
             &view,
             &db,
-            Strategy::Decomposed { space_budget_exp: 1.5 },
+            Strategy::Decomposed {
+                space_budget_exp: 1.5,
+            },
         )
         .unwrap();
         assert!(cv.describe().contains("theorem 2"), "{}", cv.describe());
@@ -546,7 +574,10 @@ mod tests {
             let cv = CompressedView::build(
                 &view,
                 &db,
-                Strategy::Tradeoff { tau, weights: Some(vec![0.5, 0.5, 0.5]) },
+                Strategy::Tradeoff {
+                    tau,
+                    weights: Some(vec![0.5, 0.5, 0.5]),
+                },
             )
             .unwrap();
             if let CompressedView::Tradeoff(t) = &cv {

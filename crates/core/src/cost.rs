@@ -355,7 +355,10 @@ pub(crate) mod tests {
         let t = est.t_interval(&root, &sizes);
         // √(3·3·4) + √(1·2·4) + √(1·3·1) + 0 ≈ 10.56.
         let expect = 36.0f64.sqrt() + 8.0f64.sqrt() + 3.0f64.sqrt();
-        assert!((t - expect).abs() < 1e-9, "T(I(r)) = {t}, expected {expect}");
+        assert!(
+            (t - expect).abs() < 1e-9,
+            "T(I(r)) = {t}, expected {expect}"
+        );
         assert!((t - 10.56).abs() < 0.01);
     }
 
@@ -419,8 +422,14 @@ pub(crate) mod tests {
         let sizes = est.sizes();
         let root = FInterval::full(&sizes).unwrap();
         let whole = est.t_interval(&root, &sizes);
-        let left = FInterval { lo: vec![0, 0, 0], hi: vec![0, 1, 1] };
-        let right = FInterval { lo: vec![1, 0, 0], hi: vec![1, 1, 1] };
+        let left = FInterval {
+            lo: vec![0, 0, 0],
+            hi: vec![0, 1, 1],
+        };
+        let right = FInterval {
+            lo: vec![1, 0, 0],
+            hi: vec![1, 1, 1],
+        };
         let parts = est.t_interval(&left, &sizes) + est.t_interval(&right, &sizes);
         assert!(parts <= whole + 1e-9, "split {parts} > whole {whole}");
     }

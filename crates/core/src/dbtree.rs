@@ -129,12 +129,10 @@ impl DelayBalancedTree {
                 Splitter::Balanced => split_interval(est, &sizes, &interval),
                 Splitter::Midpoint => split_interval_midpoint(est, &sizes, &interval),
             };
-            let left = pred(&beta, &sizes).filter(|p| {
-                lex_cmp_ranks(&interval.lo, p) != Ordering::Greater
-            });
-            let right = succ(&beta, &sizes).filter(|s| {
-                lex_cmp_ranks(s, &interval.hi) != Ordering::Greater
-            });
+            let left =
+                pred(&beta, &sizes).filter(|p| lex_cmp_ranks(&interval.lo, p) != Ordering::Greater);
+            let right =
+                succ(&beta, &sizes).filter(|s| lex_cmp_ranks(s, &interval.hi) != Ordering::Greater);
             nodes.push(TreeNode {
                 interval: interval.clone(),
                 beta: Some(beta),

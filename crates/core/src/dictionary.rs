@@ -164,14 +164,17 @@ impl HeavyDictionary {
 
     /// Iterates over all entries as `(node, v_b, bit)`.
     pub fn entries(&self) -> impl Iterator<Item = (u32, &[Value], bool)> + '_ {
-        self.maps.iter().enumerate().flat_map(|(w, m)| {
-            m.iter().map(move |(k, &v)| (w as u32, k.as_ref(), v))
-        })
+        self.maps
+            .iter()
+            .enumerate()
+            .flat_map(|(w, m)| m.iter().map(move |(k, &v)| (w as u32, k.as_ref(), v)))
     }
 
     /// The entries of one node.
     pub fn entries_of(&self, node: u32) -> impl Iterator<Item = (&[Value], bool)> + '_ {
-        self.maps[node as usize].iter().map(|(k, &v)| (k.as_ref(), v))
+        self.maps[node as usize]
+            .iter()
+            .map(|(k, &v)| (k.as_ref(), v))
     }
 }
 
@@ -180,10 +183,10 @@ impl HeapSize for HeavyDictionary {
         self.maps
             .iter()
             .map(|m| {
-                m.keys().map(|k| k.len() * std::mem::size_of::<Value>())
+                m.keys()
+                    .map(|k| k.len() * std::mem::size_of::<Value>())
                     .sum::<usize>()
-                    + m.capacity()
-                        * (std::mem::size_of::<(Box<[Value]>, bool)>() + 8)
+                    + m.capacity() * (std::mem::size_of::<(Box<[Value]>, bool)>() + 8)
             })
             .sum::<usize>()
             + self.maps.capacity() * std::mem::size_of::<FastMap<Box<[Value]>, bool>>()
@@ -192,11 +195,7 @@ impl HeapSize for HeavyDictionary {
 
 /// Per-free-level constraints induced by a canonical box, in enumeration
 /// order (length `mu`).
-pub fn free_constraints(
-    est: &CostEstimator,
-    b: &CanonicalBox,
-    mu: usize,
-) -> Vec<LevelConstraint> {
+pub fn free_constraints(est: &CostEstimator, b: &CanonicalBox, mu: usize) -> Vec<LevelConstraint> {
     let doms = est.domains();
     let p = b.range_pos();
     let mut cons = Vec::with_capacity(mu);
@@ -218,7 +217,7 @@ pub fn free_constraints(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cost::tests::{running_example, running_estimator};
+    use crate::cost::tests::{running_estimator, running_example};
 
     /// Example 15: at τ = 4 the dictionary holds exactly the two entries
     /// D(I(r), (1,1,1)) = 1 and D(I(r_r), (1,1,1)) = 1 for that valuation,

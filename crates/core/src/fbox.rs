@@ -131,7 +131,10 @@ impl CanonicalBox {
 /// point of a later box), and number at most `2µ − 1`.
 pub fn box_decomposition(interval: &FInterval, sizes: &[usize]) -> Vec<CanonicalBox> {
     let mu = interval.mu();
-    assert!(mu >= 1, "box decomposition needs at least one free variable");
+    assert!(
+        mu >= 1,
+        "box decomposition needs at least one free variable"
+    );
     debug_assert_eq!(sizes.len(), mu);
     let lo = &interval.lo;
     let hi = &interval.hi;
@@ -268,10 +271,22 @@ mod tests {
         assert_eq!(
             boxes,
             vec![
-                CanonicalBox { prefix: vec![0, 0], range: (0, 1) },
-                CanonicalBox { prefix: vec![0], range: (1, 1) },
-                CanonicalBox { prefix: vec![1], range: (0, 0) },
-                CanonicalBox { prefix: vec![1, 1], range: (0, 1) },
+                CanonicalBox {
+                    prefix: vec![0, 0],
+                    range: (0, 1)
+                },
+                CanonicalBox {
+                    prefix: vec![0],
+                    range: (1, 1)
+                },
+                CanonicalBox {
+                    prefix: vec![1],
+                    range: (0, 0)
+                },
+                CanonicalBox {
+                    prefix: vec![1, 1],
+                    range: (0, 1)
+                },
             ]
         );
     }
@@ -290,15 +305,30 @@ mod tests {
             boxes,
             vec![
                 // Bℓ3 = ⟨10, 50, (100, ⊤]⟩
-                CanonicalBox { prefix: vec![9, 49], range: (100, 999) },
+                CanonicalBox {
+                    prefix: vec![9, 49],
+                    range: (100, 999)
+                },
                 // Bℓ2 = ⟨10, (50, ⊤]⟩
-                CanonicalBox { prefix: vec![9], range: (50, 999) },
+                CanonicalBox {
+                    prefix: vec![9],
+                    range: (50, 999)
+                },
                 // B1 = ⟨(10, 20)⟩
-                CanonicalBox { prefix: vec![], range: (10, 18) },
+                CanonicalBox {
+                    prefix: vec![],
+                    range: (10, 18)
+                },
                 // Br2 = ⟨20, [⊥, 10)⟩
-                CanonicalBox { prefix: vec![19], range: (0, 8) },
+                CanonicalBox {
+                    prefix: vec![19],
+                    range: (0, 8)
+                },
                 // Br3 = ⟨20, 10, [⊥, 50)⟩
-                CanonicalBox { prefix: vec![19, 9], range: (0, 48) },
+                CanonicalBox {
+                    prefix: vec![19, 9],
+                    range: (0, 48)
+                },
             ]
         );
     }
@@ -315,16 +345,28 @@ mod tests {
         let boxes = box_decomposition(&i, &sizes);
         assert_eq!(
             boxes,
-            vec![CanonicalBox { prefix: vec![9, 49], range: (99, 198) }]
+            vec![CanonicalBox {
+                prefix: vec![9, 49],
+                range: (99, 198)
+            }]
         );
     }
 
     #[test]
     fn unit_interval_single_unit_box() {
         let sizes = [3usize, 3];
-        let i = FInterval { lo: vec![1, 2], hi: vec![1, 2] };
+        let i = FInterval {
+            lo: vec![1, 2],
+            hi: vec![1, 2],
+        };
         let boxes = box_decomposition(&i, &sizes);
-        assert_eq!(boxes, vec![CanonicalBox { prefix: vec![1], range: (2, 2) }]);
+        assert_eq!(
+            boxes,
+            vec![CanonicalBox {
+                prefix: vec![1],
+                range: (2, 2)
+            }]
+        );
         assert!(boxes[0].contains(&[1, 2]));
         assert!(!boxes[0].contains(&[1, 1]));
     }
@@ -382,7 +424,10 @@ mod tests {
 
     #[test]
     fn interval_contains() {
-        let i = FInterval { lo: vec![0, 1], hi: vec![2, 0] };
+        let i = FInterval {
+            lo: vec![0, 1],
+            hi: vec![2, 0],
+        };
         assert!(i.contains(&[0, 1]));
         assert!(i.contains(&[1, 5]));
         assert!(i.contains(&[2, 0]));

@@ -51,5 +51,5 @@ pub mod theorem2;
 
 pub use bound_only::BoundOnlyView;
 pub use compressed::{CompressedView, Strategy};
-pub use theorem1::{Theorem1Structure, Theorem1Stats};
+pub use theorem1::{Theorem1Stats, Theorem1Structure};
 pub use theorem2::Theorem2Structure;

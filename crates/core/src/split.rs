@@ -63,11 +63,7 @@ fn find_beta(
 ///
 /// Panics if `T(interval) = 0` (the caller never splits zero-cost
 /// intervals) or the interval is malformed.
-pub fn split_interval(
-    est: &CostEstimator,
-    sizes: &[usize],
-    interval: &FInterval,
-) -> Vec<usize> {
+pub fn split_interval(est: &CostEstimator, sizes: &[usize], interval: &FInterval) -> Vec<usize> {
     let mu = sizes.len();
     let boxes = box_decomposition(interval, sizes);
     let t_of: Vec<f64> = boxes.iter().map(|b| est.t_box(b)).collect();
@@ -93,11 +89,7 @@ pub fn split_interval(
     let mut gamma = gamma0;
     let mut delta = t_of[s];
     for j in k..mu {
-        let (r_lo, r_hi) = if j == k {
-            bs.range
-        } else {
-            (0, sizes[j] - 1)
-        };
+        let (r_lo, r_hi) = if j == k { bs.range } else { (0, sizes[j] - 1) };
         let target = delta.min(total / 2.0 - gamma);
         let cj = find_beta(est, sizes, &c, r_lo, r_hi, target);
         // γ_j = γ_{j-1} + T(⟨c, I_j ∩ [⊥, c_j)⟩).
@@ -113,7 +105,10 @@ pub fn split_interval(
         };
     }
     debug_assert_eq!(c.len(), mu);
-    debug_assert!(interval.contains(&c), "split point must lie in the interval");
+    debug_assert!(
+        interval.contains(&c),
+        "split point must lie in the interval"
+    );
     c
 }
 
@@ -225,14 +220,20 @@ mod tests {
                 let half = total / 2.0 + 1e-9;
                 if let Some(p) = pred(&c, &sizes) {
                     if iv.contains(&p) {
-                        let left = FInterval { lo: iv.lo.clone(), hi: p };
+                        let left = FInterval {
+                            lo: iv.lo.clone(),
+                            hi: p,
+                        };
                         let tl = est.t_interval(&left, &sizes);
                         assert!(tl <= half, "left {tl} > {half} for [{i},{j}]");
                     }
                 }
                 if let Some(sx) = succ(&c, &sizes) {
                     if iv.contains(&sx) {
-                        let right = FInterval { lo: sx, hi: iv.hi.clone() };
+                        let right = FInterval {
+                            lo: sx,
+                            hi: iv.hi.clone(),
+                        };
                         let tr = est.t_interval(&right, &sizes);
                         assert!(tr <= half, "right {tr} > {half} for [{i},{j}]");
                     }

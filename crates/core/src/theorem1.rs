@@ -204,13 +204,13 @@ impl Theorem1Structure {
             )));
         }
         let domains = self.est.domains();
-        let clip = grid_ceil(domains, lo).zip(grid_floor(domains, hi)).and_then(
-            |(lo_r, hi_r)| {
+        let clip = grid_ceil(domains, lo)
+            .zip(grid_floor(domains, hi))
+            .and_then(|(lo_r, hi_r)| {
                 use crate::fbox::lex_cmp_ranks;
                 (lex_cmp_ranks(&lo_r, &hi_r) != std::cmp::Ordering::Greater)
                     .then_some(FInterval { lo: lo_r, hi: hi_r })
-            },
-        );
+            });
         let stack = match (&self.tree, &clip) {
             (Some(t), Some(_)) => vec![Frame::Enter(t.root())],
             _ => Vec::new(),
@@ -353,11 +353,8 @@ pub struct IntervalJoinIter<'a> {
 
 impl IntervalJoinIter<'_> {
     fn constraints_for(&self, b: &CanonicalBox) -> Vec<LevelConstraint> {
-        let mut cons: Vec<LevelConstraint> = self
-            .vb
-            .iter()
-            .map(|&v| LevelConstraint::Fixed(v))
-            .collect();
+        let mut cons: Vec<LevelConstraint> =
+            self.vb.iter().map(|&v| LevelConstraint::Fixed(v)).collect();
         cons.extend(free_constraints(
             self.est,
             b,
@@ -436,15 +433,12 @@ impl Iterator for Theorem1Iter<'_> {
                     let effective = match &self.clip {
                         None => node.interval.clone(),
                         Some(c) => {
-                            let lo = if lex_cmp_ranks(&node.interval.lo, &c.lo)
-                                == Ordering::Less
-                            {
+                            let lo = if lex_cmp_ranks(&node.interval.lo, &c.lo) == Ordering::Less {
                                 c.lo.clone()
                             } else {
                                 node.interval.lo.clone()
                             };
-                            let hi = if lex_cmp_ranks(&node.interval.hi, &c.hi)
-                                == Ordering::Greater
+                            let hi = if lex_cmp_ranks(&node.interval.hi, &c.hi) == Ordering::Greater
                             {
                                 c.hi.clone()
                             } else {
@@ -461,17 +455,13 @@ impl Iterator for Theorem1Iter<'_> {
                         // bounded by τ_ℓ since the pair is light and
                         // T(v_b, ·) is monotone under clipping.
                         None => {
-                            self.inner =
-                                Some(self.s.enumerate_interval(&self.vb, &effective));
+                            self.inner = Some(self.s.enumerate_interval(&self.vb, &effective));
                         }
                         // 0: provably empty, skip the subtree.
                         Some(false) => {}
                         // 1: in-order recursion.
                         Some(true) => {
-                            debug_assert!(
-                                node.beta.is_some(),
-                                "leaves cannot hold heavy pairs"
-                            );
+                            debug_assert!(node.beta.is_some(), "leaves cannot hold heavy pairs");
                             if let Some(r) = node.right {
                                 self.stack.push(Frame::Enter(r));
                             }
@@ -615,8 +605,7 @@ mod tests {
         // Example 5: u = (1,1,1), τ = √N: delay knob √5 ≈ 2.23 on the tiny
         // instance — just verify the structure builds and answers.
         let (view, db) = running_example();
-        let s = Theorem1Structure::build(&view, &db, &[1.0, 1.0, 1.0], 5.0f64.sqrt())
-            .unwrap();
+        let s = Theorem1Structure::build(&view, &db, &[1.0, 1.0, 1.0], 5.0f64.sqrt()).unwrap();
         let got: Vec<Tuple> = s.answer(&[1, 1, 1]).unwrap().collect();
         assert_eq!(got, vec![vec![1, 1, 2], vec![1, 2, 1], vec![1, 2, 2]]);
     }
@@ -653,12 +642,10 @@ mod tests {
         ))
         .unwrap();
         for pattern in ["fff", "bff", "fbf", "ffb", "bbf", "bfb", "fbb"] {
-            let view =
-                parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", pattern).unwrap();
+            let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", pattern).unwrap();
             let nb = pattern.chars().filter(|c| *c == 'b').count();
             for tau in [1.0, 3.0, 100.0] {
-                let s =
-                    Theorem1Structure::build(&view, &db, &[0.5, 0.5, 0.5], tau).unwrap();
+                let s = Theorem1Structure::build(&view, &db, &[0.5, 0.5, 0.5], tau).unwrap();
                 // All bound assignments over a small candidate grid.
                 let grid: Vec<u64> = (0..6).collect();
                 let mut reqs: Vec<Vec<u64>> = vec![vec![]];

@@ -112,8 +112,7 @@ impl Theorem2Structure {
             let kind = if delta[t] <= 1e-9 || free_vars.is_empty() {
                 BagKind::Materialized(MaterializedBag::build(t, bound, free, &atoms, db)?)
             } else {
-                let (bag_view, bag_db, origins) =
-                    bag_local_components(t, bound, free, &atoms, db)?;
+                let (bag_view, bag_db, origins) = bag_local_components(t, bound, free, &atoms, db)?;
                 let rp = rho_plus(&h, td.bag(t), free, delta[t])?;
                 let weights: Vec<f64> = origins.iter().map(|&i| rp.weights[i]).collect();
                 let tau = db_size.powf(delta[t]).max(1.0);
@@ -257,8 +256,7 @@ impl Theorem2Structure {
                                     let mut row: Vec<Value> = key.to_vec();
                                     row.extend(free);
                                     if extractors.iter().all(|(ci, pos)| {
-                                        let k: Vec<Value> =
-                                            pos.iter().map(|&p| row[p]).collect();
+                                        let k: Vec<Value> = pos.iter().map(|&p| row[p]).collect();
                                         self.probe_subtree(*ci, &k)
                                     }) {
                                         extends = true;
@@ -420,11 +418,7 @@ impl Theorem2Structure {
             materialized_tuples,
             dict_entries,
             heap_bytes: self.heap_bytes(),
-            max_delta: self
-                .delta
-                .iter()
-                .copied()
-                .fold(0.0, f64::max),
+            max_delta: self.delta.iter().copied().fold(0.0, f64::max),
         }
     }
 }
@@ -613,7 +607,11 @@ impl Iterator for Theorem2Iter<'_> {
             opening = true;
         }
         loop {
-            let ok = if opening { self.open(i) } else { self.advance(i) };
+            let ok = if opening {
+                self.open(i)
+            } else {
+                self.advance(i)
+            };
             if ok {
                 if i + 1 == k {
                     return Some(self.emit());
@@ -809,8 +807,7 @@ mod tests {
         let (view, db) = path4();
         let td = path4_paper_td();
         let t2 = Theorem2Structure::build(&view, &db, &td, &[0.0; 3]).unwrap();
-        let fr =
-            cqc_factorized::FactorizedRepresentation::build(&view, &db, &td).unwrap();
+        let fr = cqc_factorized::FactorizedRepresentation::build(&view, &db, &td).unwrap();
         for a in 0..6u64 {
             for b in 0..6u64 {
                 let x: Vec<Tuple> = t2.answer(&[a, b]).unwrap().collect();

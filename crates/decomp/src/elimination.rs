@@ -21,11 +21,7 @@ use cqc_query::{Hypergraph, Var, VarSet};
 /// # Errors
 ///
 /// Fails if `order` is not a permutation of the free variables.
-pub fn from_elimination(
-    h: &Hypergraph,
-    c: VarSet,
-    order: &[Var],
-) -> Result<TreeDecomposition> {
+pub fn from_elimination(h: &Hypergraph, c: VarSet, order: &[Var]) -> Result<TreeDecomposition> {
     let free = h.all_vars().minus(c);
     let order_set: VarSet = order.iter().copied().collect();
     if order_set != free || order.len() != free.len() {

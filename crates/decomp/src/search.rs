@@ -53,11 +53,7 @@ pub struct SearchResult {
 ///
 /// Fails when `h` admits no connex decomposition (a variable covered by no
 /// edge) or LP evaluation fails.
-pub fn search_connex(
-    h: &Hypergraph,
-    c: VarSet,
-    objective: Objective,
-) -> Result<SearchResult> {
+pub fn search_connex(h: &Hypergraph, c: VarSet, objective: Objective) -> Result<SearchResult> {
     let free: Vec<Var> = h.all_vars().minus(c).iter().collect();
     if free.is_empty() {
         // Boolean views: the decomposition is just the root bag.
@@ -81,8 +77,7 @@ pub fn search_connex(
                 None => true,
                 Some(b) => {
                     scored.score < b.score - 1e-9
-                        || ((scored.score - b.score).abs() <= 1e-9
-                            && cand.len() < b.td.len())
+                        || ((scored.score - b.score).abs() <= 1e-9 && cand.len() < b.td.len())
                 }
             };
             if better {
@@ -140,9 +135,7 @@ fn with_merges(td: &TreeDecomposition, h: &Hypergraph, c: VarSet) -> Vec<TreeDec
                     continue;
                 }
                 let merged = cand.merge_into_parent(t).simplify();
-                if merged.validate_connex(h, c).is_ok()
-                    && !out.iter().any(|o| o == &merged)
-                {
+                if merged.validate_connex(h, c).is_ok() && !out.iter().any(|o| o == &merged) {
                     out.push(merged.clone());
                     next.push(merged);
                 }
@@ -255,7 +248,11 @@ mod tests {
         // Path of length 3, full enumeration: fhw = 1.
         let h = Hypergraph::new(4, (0..3).map(|i| vs(&[i, i + 1])).collect());
         let r = search_connex(&h, VarSet::EMPTY, Objective::MinimizeWidth).unwrap();
-        assert!((r.score - 1.0).abs() < 1e-6, "fhw(path) = 1, got {}", r.score);
+        assert!(
+            (r.score - 1.0).abs() < 1e-6,
+            "fhw(path) = 1, got {}",
+            r.score
+        );
     }
 
     #[test]
@@ -332,10 +329,7 @@ mod tests {
     fn larger_query_uses_heuristics() {
         // 9-cycle, full enumeration: 8 free vars triggers the heuristic
         // path; just verify a valid decomposition is produced.
-        let h = Hypergraph::new(
-            9,
-            (0..9).map(|i| vs(&[i, (i + 1) % 9])).collect(),
-        );
+        let h = Hypergraph::new(9, (0..9).map(|i| vs(&[i, (i + 1) % 9])).collect());
         let r = search_connex(&h, VarSet::EMPTY, Objective::MinimizeWidth).unwrap();
         r.td.validate_connex(&h, VarSet::EMPTY).unwrap();
         assert!(r.score <= 2.0 + 1e-6, "cycle fhw ≤ 2, got {}", r.score);

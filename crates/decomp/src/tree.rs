@@ -379,7 +379,10 @@ impl TreeDecomposition {
     /// its children to the root (the root bag is unchanged).
     fn drop_redundant_under_root(&self, t: usize) -> TreeDecomposition {
         debug_assert!(self.bags[t].is_subset_of(self.bags[0]));
-        let bags: Vec<VarSet> = (0..self.len()).filter(|&i| i != t).map(|i| self.bags[i]).collect();
+        let bags: Vec<VarSet> = (0..self.len())
+            .filter(|&i| i != t)
+            .map(|i| self.bags[i])
+            .collect();
         let parent: Vec<Option<usize>> = (0..self.len())
             .filter(|&i| i != t)
             .map(|i| match self.parent[i] {
@@ -406,22 +409,17 @@ mod tests {
     /// The path query of length 6 from Figure 2: edges {v_i, v_{i+1}},
     /// variables v1..v7 = Var(0)..Var(6).
     fn path6() -> Hypergraph {
-        Hypergraph::new(
-            7,
-            (0..6)
-                .map(|i| vs(&[i, i + 1]))
-                .collect(),
-        )
+        Hypergraph::new(7, (0..6).map(|i| vs(&[i, i + 1])).collect())
     }
 
     /// The right-hand decomposition of Figure 2: C = {v1, v5, v6}.
     fn fig2_right() -> TreeDecomposition {
         TreeDecomposition::new(
             vec![
-                vs(&[0, 4, 5]),       // root: {v1, v5, v6}
-                vs(&[1, 3, 0, 4]),    // {v2, v4 | v1, v5}
-                vs(&[2, 1, 3]),       // {v3 | v2, v4}
-                vs(&[6, 5]),          // {v7 | v6}
+                vs(&[0, 4, 5]),    // root: {v1, v5, v6}
+                vs(&[1, 3, 0, 4]), // {v2, v4 | v1, v5}
+                vs(&[2, 1, 3]),    // {v3 | v2, v4}
+                vs(&[6, 5]),       // {v7 | v6}
             ],
             vec![None, Some(0), Some(1), Some(0)],
         )
@@ -519,9 +517,7 @@ mod tests {
     fn malformed_trees_rejected() {
         assert!(TreeDecomposition::new(vec![], vec![]).is_err());
         assert!(TreeDecomposition::new(vec![VarSet::EMPTY], vec![Some(0)]).is_err());
-        assert!(
-            TreeDecomposition::new(vec![VarSet::EMPTY, vs(&[0])], vec![None, None]).is_err()
-        );
+        assert!(TreeDecomposition::new(vec![VarSet::EMPTY, vs(&[0])], vec![None, None]).is_err());
         // Forward parent reference.
         assert!(TreeDecomposition::new(
             vec![VarSet::EMPTY, vs(&[0]), vs(&[1])],

@@ -197,7 +197,11 @@ mod tests {
         let td = fig2_right();
         let delta = vec![0.0, 1.0 / 3.0, 1.0 / 6.0, 0.0];
         let w = decomposition_widths(&h, &td, &delta).unwrap();
-        assert!((w.delta_width - 5.0 / 3.0).abs() < 1e-6, "{}", w.delta_width);
+        assert!(
+            (w.delta_width - 5.0 / 3.0).abs() < 1e-6,
+            "{}",
+            w.delta_width
+        );
         assert!((w.delta_height - 0.5).abs() < 1e-9, "{}", w.delta_height);
         assert!((w.u_star - 2.0).abs() < 1e-6);
         let u: Vec<f64> = w.bags.iter().map(|b| b.u_plus).collect();
@@ -222,11 +226,8 @@ mod tests {
     #[test]
     fn example_16_connex_width_exceeds_fhw() {
         let h = Hypergraph::new(3, vec![vs(&[0, 1]), vs(&[1, 2])]);
-        let td = TreeDecomposition::new(
-            vec![vs(&[0, 2]), vs(&[0, 1, 2])],
-            vec![None, Some(0)],
-        )
-        .unwrap();
+        let td =
+            TreeDecomposition::new(vec![vs(&[0, 2]), vs(&[0, 1, 2])], vec![None, Some(0)]).unwrap();
         td.validate_connex(&h, vs(&[0, 2])).unwrap();
         let w = connex_fhw(&h, &td).unwrap();
         assert!((w - 2.0).abs() < 1e-6, "{w}");

@@ -1,0 +1,444 @@
+//! `cqe` — the command-line front door to [`cqc_engine::Engine`].
+//!
+//! Reads commands from script files given as arguments, from `-e '<cmd>'`
+//! flags, or from stdin (one command per line; `#` starts a comment):
+//!
+//! ```text
+//! load <rel> <file.csv> [header]       load a CSV relation
+//! gen triangle <rows> [seed]           synthetic R, S, T (uniform pairs)
+//! gen social <nodes> <edges> [seed]    skewed friendship graph R
+//! gen star <k> <rows> [seed]           star relations R1..Rk
+//! register <name> <pattern> <strategy> <query>
+//!                                      e.g. register mutual bfb auto
+//!                                           "V(x,y,z) :- R(x,y), R(y,z), R(z,x)"
+//! ask <name> <v1> <v2> ...             answer one access request
+//! exists <name> <v1> ...               boolean probe
+//! explain <name>                       strategy selection + representation
+//! bench <name> <requests> <threads> [seed] [witness|random]
+//!                                      serve a generated request stream
+//! stats                                catalog counters
+//! demo                                 canned end-to-end tour
+//! help | quit
+//! ```
+//!
+//! Strategies: `auto`, `auto:<budget>`, `materialize`, `direct`,
+//! `factorized`, `tau:<τ>`, `budget:<exp>`, `decomposed:<exp>`.
+
+use cqc_bench::{fmt_bytes, fmt_ns, BatchStats};
+use cqc_core::Strategy;
+use cqc_engine::{Engine, Policy, Request};
+use cqc_storage::csv::CsvOptions;
+use cqc_workload::{graphs, random_requests, uniform_relation, witness_requests};
+use std::io::BufRead;
+
+fn main() {
+    let mut commands: Vec<String> = Vec::new();
+    let mut from_stdin = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-e" => {
+                let Some(cmd) = args.next() else {
+                    eprintln!("cqe: -e needs a command");
+                    std::process::exit(2);
+                };
+                commands.push(cmd);
+                from_stdin = false;
+            }
+            "-h" | "--help" => {
+                print_help();
+                return;
+            }
+            path => {
+                match std::fs::read_to_string(path) {
+                    Ok(text) => commands.extend(text.lines().map(str::to_string)),
+                    Err(e) => {
+                        eprintln!("cqe: cannot read script `{path}`: {e}");
+                        std::process::exit(2);
+                    }
+                }
+                from_stdin = false;
+            }
+        }
+    }
+
+    let mut engine = Engine::new(cqc_storage::Database::new());
+    let mut failed = false;
+    let mut run = |engine: &mut Engine, line: &str| {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return true;
+        }
+        match execute(engine, line) {
+            Ok(keep_going) => keep_going,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                failed = true;
+                true
+            }
+        }
+    };
+
+    if from_stdin {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if !run(&mut engine, &line) {
+                break;
+            }
+        }
+    } else {
+        for line in &commands {
+            if !run(&mut engine, line) {
+                break;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn print_help() {
+    println!("cqe — serve conjunctive-query views from compressed representations");
+    println!();
+    println!("usage: cqe [script ...] [-e '<command>'] (no args: read stdin)");
+    println!();
+    println!("commands:");
+    println!("  load <rel> <file.csv> [header]");
+    println!("  gen triangle <rows> [seed] | gen social <nodes> <edges> [seed] | gen star <k> <rows> [seed]");
+    println!("  register <name> <pattern> <strategy> <query>");
+    println!("  ask <name> <values...>   exists <name> <values...>   explain <name>");
+    println!("  bench <name> <requests> <threads> [seed] [witness|random]");
+    println!("  stats   demo   help   quit");
+    println!();
+    println!("strategies: auto  auto:<budget>  materialize  direct  factorized");
+    println!("            tau:<t>  budget:<exp>  decomposed:<exp>");
+}
+
+/// Splits a command line into words, honoring double quotes (queries
+/// contain spaces and commas).
+fn split_words(line: &str) -> Result<Vec<String>, String> {
+    let mut words = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    for c in line.chars() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            c if c.is_whitespace() && !in_quotes => {
+                if !cur.is_empty() {
+                    words.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(format!("unterminated quote in `{line}`"));
+    }
+    if !cur.is_empty() {
+        words.push(cur);
+    }
+    Ok(words)
+}
+
+fn parse_strategy(token: &str) -> Result<Policy, String> {
+    let (kind, param) = match token.split_once(':') {
+        Some((k, p)) => (k, Some(p)),
+        None => (token, None),
+    };
+    let num = |p: Option<&str>| -> Result<f64, String> {
+        p.ok_or_else(|| format!("strategy `{kind}` needs a numeric parameter"))?
+            .parse::<f64>()
+            .map_err(|_| format!("bad numeric parameter in `{token}`"))
+    };
+    match kind {
+        "auto" => Ok(Policy::Auto {
+            space_budget_exp: param.map(|p| num(Some(p))).transpose()?,
+        }),
+        "materialize" => Ok(Policy::Fixed(Strategy::Materialize)),
+        "direct" => Ok(Policy::Fixed(Strategy::Direct)),
+        "factorized" => Ok(Policy::Fixed(Strategy::Factorized)),
+        "tau" => Ok(Policy::Fixed(Strategy::Tradeoff {
+            tau: num(param)?,
+            weights: None,
+        })),
+        "budget" => Ok(Policy::Fixed(Strategy::TradeoffBudget {
+            space_budget_exp: num(param)?,
+        })),
+        "decomposed" => Ok(Policy::Fixed(Strategy::Decomposed {
+            space_budget_exp: num(param)?,
+        })),
+        other => Err(format!(
+            "unknown strategy `{other}` (try: auto, auto:<b>, materialize, direct, \
+             factorized, tau:<t>, budget:<b>, decomposed:<b>)"
+        )),
+    }
+}
+
+/// Executes one command; `Ok(false)` means quit.
+fn execute(engine: &mut Engine, line: &str) -> Result<bool, String> {
+    let words = split_words(line)?;
+    let Some(cmd) = words.first() else {
+        // e.g. a line of only quotes: nothing to do.
+        return Ok(true);
+    };
+    let cmd = cmd.as_str();
+    let rest = &words[1..];
+    match cmd {
+        "help" => print_help(),
+        "quit" | "exit" => return Ok(false),
+        "load" => {
+            let [rel, path, opts @ ..] = rest else {
+                return Err("usage: load <rel> <file.csv> [header]".into());
+            };
+            let has_header = match opts {
+                [] => false,
+                [o] if o == "header" => true,
+                _ => {
+                    return Err(format!(
+                        "unknown load option(s) `{}` (only `header` is accepted)",
+                        opts.join(" ")
+                    ));
+                }
+            };
+            let file = std::fs::File::open(path).map_err(|e| format!("open `{path}`: {e}"))?;
+            engine
+                .load_csv(
+                    rel,
+                    std::io::BufReader::new(file),
+                    CsvOptions { has_header },
+                )
+                .map_err(|e| e.to_string())?;
+            let r = engine.db().get(rel).expect("just loaded");
+            println!(
+                "loaded `{rel}`: {} tuples, arity {} (|D| = {})",
+                r.len(),
+                r.arity(),
+                engine.db().size()
+            );
+        }
+        "gen" => gen(engine, rest)?,
+        "register" => {
+            let [name, pattern, strategy, query] = rest else {
+                return Err("usage: register <name> <pattern> <strategy> \"<query>\"".into());
+            };
+            let policy = parse_strategy(strategy)?;
+            let rv = engine
+                .register_text(name, query, pattern, policy)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "registered `{name}` [{}]: {}",
+                rv.selection.tag, rv.selection.reason
+            );
+        }
+        "ask" | "exists" => {
+            let [name, vals @ ..] = rest else {
+                return Err(format!("usage: {cmd} <name> <values...>"));
+            };
+            let bound: Vec<u64> = vals
+                .iter()
+                .map(|v| engine.resolve_value(v).map_err(|e| e.to_string()))
+                .collect::<Result<_, _>>()?;
+            if cmd == "exists" {
+                let yes = engine.exists(name, &bound).map_err(|e| e.to_string())?;
+                println!("{yes}");
+            } else {
+                let served = engine
+                    .serve(&Request {
+                        view: name.clone(),
+                        bound,
+                    })
+                    .map_err(|e| e.to_string())?;
+                for t in &served.tuples {
+                    let row: Vec<String> = t.iter().map(|&v| engine.display_value(v)).collect();
+                    println!("{}", row.join(", "));
+                }
+                println!(
+                    "-- {} tuples in {} (max delay {})",
+                    served.tuples.len(),
+                    fmt_ns(served.delay.total_ns),
+                    fmt_ns(served.delay.max_ns)
+                );
+            }
+        }
+        "explain" => {
+            let [name] = rest else {
+                return Err("usage: explain <name>".into());
+            };
+            println!("{}", engine.explain(name).map_err(|e| e.to_string())?);
+        }
+        "stats" => {
+            let s = engine.catalog_stats();
+            println!(
+                "catalog: {} entries, {} resident (budget {}), {} hits, {} misses, \
+                 {} builds, {} evictions",
+                s.entries,
+                fmt_bytes(s.resident_bytes),
+                fmt_bytes(s.budget_bytes),
+                s.hits,
+                s.misses,
+                s.builds,
+                s.evictions
+            );
+        }
+        "bench" => bench(engine, rest)?,
+        "demo" => {
+            for cmd in [
+                "gen social 400 4000 7",
+                "register mutual bfb auto \"V(x,y,z) :- R(x,y), R(y,z), R(z,x)\"",
+                "explain mutual",
+                "bench mutual 2000 4 7 witness",
+                "stats",
+            ] {
+                println!("cqe> {cmd}");
+                execute(engine, cmd)?;
+            }
+        }
+        other => return Err(format!("unknown command `{other}` (try `help`)")),
+    }
+    Ok(true)
+}
+
+fn gen(engine: &mut Engine, rest: &[String]) -> Result<(), String> {
+    let usage = "usage: gen triangle <rows> [seed] | gen social <nodes> <edges> [seed] \
+                 | gen star <k> <rows> [seed]";
+    let arg = |i: usize| -> Result<u64, String> {
+        rest.get(i)
+            .ok_or_else(|| usage.to_string())?
+            .parse::<u64>()
+            .map_err(|_| format!("bad number `{}`", rest[i]))
+    };
+    // A *present* but unparseable seed is an error, not the default.
+    let seed_arg = |i: usize| -> Result<u64, String> {
+        match rest.get(i) {
+            None => Ok(7),
+            Some(_) => arg(i),
+        }
+    };
+    match rest.first().map(String::as_str) {
+        Some("triangle") => {
+            let rows = arg(1)? as usize;
+            let seed = seed_arg(2)?;
+            let mut rng = cqc_workload::rng(seed);
+            let domain = ((rows as f64).sqrt() as u64 * 2).max(4);
+            for name in ["R", "S", "T"] {
+                let r = uniform_relation(&mut rng, name, 2, rows, domain);
+                engine.add_relation(r).map_err(|e| e.to_string())?;
+            }
+            println!(
+                "generated triangle workload: R, S, T with ≤{rows} pairs over 0..{domain} \
+                 (|D| = {})",
+                engine.db().size()
+            );
+        }
+        Some("social") => {
+            let nodes = arg(1)?;
+            let edges = arg(2)? as usize;
+            let seed = seed_arg(3)?;
+            let mut rng = cqc_workload::rng(seed);
+            let r = graphs::friendship_graph(&mut rng, nodes, edges, 1.0);
+            engine.add_relation(r).map_err(|e| e.to_string())?;
+            println!(
+                "generated social graph `R`: {} directed friendship edges over {nodes} users",
+                engine.db().size()
+            );
+        }
+        Some("star") => {
+            let k = arg(1)? as usize;
+            let rows = arg(2)? as usize;
+            let seed = seed_arg(3)?;
+            if k == 0 {
+                return Err("star needs k ≥ 1".into());
+            }
+            let mut rng = cqc_workload::rng(seed);
+            let domain = (rows as u64 / 4).max(4);
+            for i in 1..=k {
+                let r = uniform_relation(&mut rng, &format!("R{i}"), 2, rows, domain);
+                engine.add_relation(r).map_err(|e| e.to_string())?;
+            }
+            println!(
+                "generated star workload: R1..R{k} with ≤{rows} pairs (|D| = {})",
+                engine.db().size()
+            );
+        }
+        _ => return Err(usage.into()),
+    }
+    Ok(())
+}
+
+fn bench(engine: &mut Engine, rest: &[String]) -> Result<(), String> {
+    let [name, n_req, threads, opts @ ..] = rest else {
+        return Err("usage: bench <name> <requests> <threads> [seed] [witness|random]".into());
+    };
+    let n_req: usize = n_req.parse().map_err(|_| "bad request count")?;
+    let threads: usize = threads.parse().map_err(|_| "bad thread count")?;
+    let seed: u64 = opts
+        .first()
+        .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
+        .transpose()?
+        .unwrap_or(7);
+    let witness = match opts.get(1).map(String::as_str) {
+        None | Some("witness") => true,
+        Some("random") => false,
+        Some(other) => return Err(format!("bad sampler `{other}` (witness|random)")),
+    };
+
+    let rv = engine.view(name).map_err(|e| e.to_string())?;
+    let mut rng = cqc_workload::rng(seed);
+    let bounds = if witness {
+        witness_requests(&mut rng, &rv.view, engine.db(), n_req)
+    } else {
+        random_requests(&mut rng, &rv.view, engine.db(), n_req)
+    };
+    let requests: Vec<Request> = bounds
+        .into_iter()
+        .map(|bound| Request {
+            view: name.clone(),
+            bound,
+        })
+        .collect();
+
+    let before = engine.catalog_stats();
+    let t0 = std::time::Instant::now();
+    // measure_batch drains without retaining tuples, so the reported gaps
+    // are the representation's §2.3 enumeration delay, not Vec reallocs.
+    let measured = engine
+        .measure_batch(&requests, threads)
+        .map_err(|e| e.to_string())?;
+    let wall = t0.elapsed();
+    let after = engine.catalog_stats();
+
+    let mut batch = BatchStats::default();
+    for d in &measured {
+        batch.add(d);
+    }
+    let batch = batch.finish();
+    let rebuilds = after.builds - before.builds;
+
+    println!(
+        "bench `{name}`: {} requests on {threads} threads in {} \
+         ({:.0} req/s, {} tuples)",
+        measured.len(),
+        fmt_ns(wall.as_nanos() as u64),
+        measured.len() as f64 / wall.as_secs_f64(),
+        batch.tuples
+    );
+    println!(
+        "  delay: max {} | mean p99 {} | trie seeks {}",
+        fmt_ns(batch.max_delay_ns),
+        fmt_ns(batch.mean_p99_ns),
+        batch.trie_seeks
+    );
+    println!(
+        "  catalog: {} representation rebuilds during serving ({}), {} hits",
+        rebuilds,
+        if rebuilds == 0 {
+            "cache-hit request path"
+        } else {
+            "catalog thrashing — raise the budget"
+        },
+        after.hits - before.hits
+    );
+    Ok(())
+}

@@ -1,0 +1,200 @@
+//! The representation catalog: a concurrent, memory-budgeted cache of built
+//! [`CompressedView`]s.
+//!
+//! The paper's regime is *build once, answer many*: a compressed
+//! representation is amortized over a stream of access requests. The catalog
+//! owns that amortization. It maps a [`CatalogKey`] — normalized query
+//! text, adornment and strategy tag — to an `Arc<CompressedView>`, so that
+//! repeated requests (and distinct registered names for the same view)
+//! never rebuild. Entries are evicted least-recently-used when the
+//! deterministic [`HeapSize`] accounting exceeds the configured byte
+//! budget.
+
+use cqc_common::heap::HeapSize;
+use cqc_common::FastMap;
+use cqc_core::CompressedView;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Cache key: one entry per distinct (view, adornment, strategy) triple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CatalogKey {
+    /// [`cqc_query::ConjunctiveQuery::normalized_text`] of the view's query.
+    pub normalized_query: String,
+    /// The access pattern string (e.g. `"bfb"`).
+    pub pattern: String,
+    /// A canonical tag of the resolved strategy (e.g. `"theorem-1 τ=2.00"`).
+    pub strategy_tag: String,
+}
+
+/// Counters describing catalog effectiveness. `builds` counts every
+/// representation construction (including rebuilds after eviction), which is
+/// what the zero-rebuild acceptance tests assert on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CatalogStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found no entry.
+    pub misses: u64,
+    /// Representations built (registrations + rebuilds after eviction).
+    pub builds: u64,
+    /// Entries evicted to respect the memory budget.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Deterministic heap bytes currently resident.
+    pub resident_bytes: usize,
+    /// The configured budget.
+    pub budget_bytes: usize,
+}
+
+struct Slot {
+    view: Arc<CompressedView>,
+    bytes: usize,
+    /// Logical-clock tick of the last lookup; atomic so cache hits can
+    /// refresh recency under the shared lock.
+    last_used: AtomicU64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: FastMap<CatalogKey, Slot>,
+    resident_bytes: usize,
+}
+
+/// The concurrent representation cache.
+///
+/// Reads take a shared lock (lookups clone an `Arc` out); only insertion and
+/// eviction take the exclusive lock. Recency is tracked with a lock-free
+/// logical clock so hits on the shared path still update LRU order.
+pub struct Catalog {
+    inner: RwLock<Inner>,
+    /// Per-key build serialization: concurrent misses on the *same* key —
+    /// including through different registered names aliasing one view —
+    /// build once. Keyed here rather than per registered view so aliases
+    /// share the lock.
+    build_locks: Mutex<FastMap<CatalogKey, Arc<Mutex<()>>>>,
+    budget_bytes: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    builds: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Catalog {
+    /// An empty catalog holding at most `budget_bytes` of representations
+    /// (a single oversized entry is still admitted — the budget bounds
+    /// *retained* memory, not the largest buildable view).
+    pub fn new(budget_bytes: usize) -> Catalog {
+        Catalog {
+            inner: RwLock::new(Inner::default()),
+            build_locks: Mutex::new(FastMap::default()),
+            budget_bytes,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            builds: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit. Hits stay entirely
+    /// on the shared lock: recency is an atomic stamp, not a list splice.
+    pub fn get(&self, key: &CatalogKey) -> Option<Arc<CompressedView>> {
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let inner = self.inner.read().expect("catalog lock poisoned");
+        match inner.map.get(key) {
+            Some(slot) => {
+                slot.last_used.fetch_max(tick, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&slot.view))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly built view, counting the build and evicting
+    /// least-recently-used entries until the budget holds (the new entry is
+    /// never evicted by its own insertion).
+    pub fn insert(&self, key: CatalogKey, view: Arc<CompressedView>) {
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        let bytes = std::mem::size_of::<CompressedView>() + view.heap_bytes();
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut inner = self.inner.write().expect("catalog lock poisoned");
+        if let Some(old) = inner.map.insert(
+            key.clone(),
+            Slot {
+                view,
+                bytes,
+                last_used: AtomicU64::new(tick),
+            },
+        ) {
+            inner.resident_bytes -= old.bytes;
+        }
+        inner.resident_bytes += bytes;
+        while inner.resident_bytes > self.budget_bytes && inner.map.len() > 1 {
+            let victim = inner
+                .map
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            if let Some(slot) = inner.map.remove(&victim) {
+                inner.resident_bytes -= slot.bytes;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The build-serialization mutex for `key` (one per distinct key for
+    /// the catalog's lifetime). Hold it while building after a miss and
+    /// re-check [`Catalog::get`] once acquired.
+    pub fn build_lock(&self, key: &CatalogKey) -> Arc<Mutex<()>> {
+        let mut locks = self.build_locks.lock().expect("build-locks poisoned");
+        Arc::clone(locks.entry(key.clone()).or_default())
+    }
+
+    /// Whether `key` is currently resident (no recency update, no counter
+    /// bump — for tests and introspection).
+    pub fn contains(&self, key: &CatalogKey) -> bool {
+        self.inner
+            .read()
+            .expect("catalog lock poisoned")
+            .map
+            .contains_key(key)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CatalogStats {
+        let inner = self.inner.read().expect("catalog lock poisoned");
+        CatalogStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            builds: self.builds.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: inner.map.len(),
+            resident_bytes: inner.resident_bytes,
+            budget_bytes: self.budget_bytes,
+        }
+    }
+}
+
+impl std::fmt::Debug for Catalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("Catalog")
+            .field("entries", &s.entries)
+            .field("resident_bytes", &s.resident_bytes)
+            .field("budget_bytes", &s.budget_bytes)
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .field("builds", &s.builds)
+            .field("evictions", &s.evictions)
+            .finish()
+    }
+}

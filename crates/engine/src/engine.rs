@@ -1,0 +1,424 @@
+//! The [`Engine`]: register-once / serve-many over a [`Database`].
+//!
+//! Lifecycle: load relations (`&mut self`), then register adorned views and
+//! serve access requests concurrently (`&self` — the engine is `Sync`).
+//! Registered views are built through [`crate::policy::select`] and cached
+//! in the [`Catalog`]; a request that hits the catalog performs **zero**
+//! representation rebuilds, which is the whole point of the paper's
+//! build-once/answer-many regime.
+
+use crate::catalog::{Catalog, CatalogKey, CatalogStats};
+use crate::policy::{select, Policy};
+use cqc_bench::{measure_delays, DelayStats};
+use cqc_common::error::{CqcError, Result};
+use cqc_common::value::{Tuple, Value};
+use cqc_common::FastMap;
+use cqc_core::CompressedView;
+use cqc_query::parser::parse_adorned;
+use cqc_query::AdornedView;
+use cqc_storage::csv::{relation_from_csv, CsvOptions};
+use cqc_storage::{Database, Interner, Relation, RelationId};
+use std::io::BufRead;
+use std::sync::{Arc, RwLock};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Byte budget for the representation catalog (deterministic
+    /// [`cqc_common::heap::HeapSize`] accounting).
+    pub catalog_budget_bytes: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            // Generous enough that eviction only happens under real
+            // pressure; tests shrink it to force the LRU path.
+            catalog_budget_bytes: 256 * 1024 * 1024,
+        }
+    }
+}
+
+/// A view registered with the engine.
+#[derive(Debug)]
+pub struct RegisteredView {
+    /// The name requests address the view by.
+    pub name: String,
+    /// The adorned view itself.
+    pub view: AdornedView,
+    /// The concrete strategy selection (strategy, tag, reason).
+    pub selection: crate::policy::Selection,
+    /// Catalog key (normalized query text + adornment + strategy tag).
+    pub key: CatalogKey,
+}
+
+/// One access request `Q^η[v]` addressed to a registered view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Name of the registered view.
+    pub view: String,
+    /// One value per bound variable, in head order.
+    pub bound: Vec<Value>,
+}
+
+/// The answer to one request, with its measured enumeration delays.
+#[derive(Debug, Clone)]
+pub struct Served {
+    /// The enumerated free-variable tuples, in the structure's order.
+    pub tuples: Vec<Tuple>,
+    /// Delay statistics of the enumeration (paper §2.3 definition).
+    pub delay: DelayStats,
+}
+
+/// The serve-many front door over a database and a representation catalog.
+pub struct Engine {
+    db: Database,
+    interner: Interner,
+    catalog: Catalog,
+    views: RwLock<FastMap<String, Arc<RegisteredView>>>,
+}
+
+impl Engine {
+    /// An engine over `db` with default configuration.
+    pub fn new(db: Database) -> Engine {
+        Engine::with_config(db, EngineConfig::default())
+    }
+
+    /// An engine over `db` with explicit tuning.
+    pub fn with_config(db: Database, config: EngineConfig) -> Engine {
+        Engine {
+            db,
+            interner: Interner::new(),
+            catalog: Catalog::new(config.catalog_budget_bytes),
+            views: RwLock::new(FastMap::default()),
+        }
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The interner used by CSV loading and textual request values.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Adds an already-built relation (load phase).
+    ///
+    /// # Errors
+    ///
+    /// Fails if a relation with the same name exists.
+    pub fn add_relation(&mut self, relation: Relation) -> Result<RelationId> {
+        self.db.add(relation)
+    }
+
+    /// Loads a relation from CSV through the engine's interner (load phase).
+    ///
+    /// # Errors
+    ///
+    /// Propagates CSV parse errors and duplicate relation names.
+    pub fn load_csv(
+        &mut self,
+        name: &str,
+        reader: impl BufRead,
+        options: CsvOptions,
+    ) -> Result<RelationId> {
+        let rel = relation_from_csv(name, reader, &mut self.interner, options)?;
+        self.db.add(rel)
+    }
+
+    /// Registers an adorned view under `name`, resolving `policy` to a
+    /// concrete strategy and building its representation into the catalog
+    /// immediately (so the first request is already a cache hit).
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate names; build failures are tagged with the view
+    /// name and strategy via [`CqcError::ViewBuild`].
+    pub fn register(
+        &self,
+        name: &str,
+        view: AdornedView,
+        policy: Policy,
+    ) -> Result<Arc<RegisteredView>> {
+        let selection =
+            select(&view, &self.db, &policy).map_err(|e| e.for_view(name, "auto-selection"))?;
+        let key = CatalogKey {
+            normalized_query: view.query().normalized_text(),
+            pattern: view.pattern(),
+            strategy_tag: selection.tag.clone(),
+        };
+        let registered = Arc::new(RegisteredView {
+            name: name.to_string(),
+            view,
+            selection,
+            key,
+        });
+        {
+            let mut views = self.views.write().expect("views lock poisoned");
+            if views.contains_key(name) {
+                return Err(CqcError::Config(format!(
+                    "view `{name}` is already registered"
+                )));
+            }
+            views.insert(name.to_string(), Arc::clone(&registered));
+        }
+        // Build eagerly; distinct names sharing a catalog key share the
+        // build (the catalog hit skips it). A failed build must unregister
+        // the name, or the caller could never retry with a fixed strategy.
+        if let Err(e) = self.representation(&registered) {
+            self.views
+                .write()
+                .expect("views lock poisoned")
+                .remove(name);
+            return Err(e);
+        }
+        Ok(registered)
+    }
+
+    /// Parses `query_text` + `pattern` and registers it (CLI front door).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse and registration failures.
+    pub fn register_text(
+        &self,
+        name: &str,
+        query_text: &str,
+        pattern: &str,
+        policy: Policy,
+    ) -> Result<Arc<RegisteredView>> {
+        let view = parse_adorned(query_text, pattern)?;
+        self.register(name, view, policy)
+    }
+
+    /// The registered view named `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`CqcError::UnknownView`] when not registered.
+    pub fn view(&self, name: &str) -> Result<Arc<RegisteredView>> {
+        self.views
+            .read()
+            .expect("views lock poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CqcError::UnknownView(name.to_string()))
+    }
+
+    /// All registered views, sorted by name.
+    pub fn views(&self) -> Vec<Arc<RegisteredView>> {
+        let mut v: Vec<_> = self
+            .views
+            .read()
+            .expect("views lock poisoned")
+            .values()
+            .cloned()
+            .collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    /// The compressed representation for a registered view: catalog hit, or
+    /// (re)build under the key's build lock on a miss (aliased names share
+    /// the lock, so one key never builds twice concurrently).
+    fn representation(&self, rv: &RegisteredView) -> Result<Arc<CompressedView>> {
+        if let Some(cv) = self.catalog.get(&rv.key) {
+            return Ok(cv);
+        }
+        let lock = self.catalog.build_lock(&rv.key);
+        let _guard = lock.lock().expect("build lock poisoned");
+        // Double-check: a concurrent miss may have built while we waited.
+        if let Some(cv) = self.catalog.get(&rv.key) {
+            return Ok(cv);
+        }
+        let built = CompressedView::build(&rv.view, &self.db, rv.selection.strategy.clone())
+            .map_err(|e| e.for_view(&rv.name, &rv.selection.tag))?;
+        let cv = Arc::new(built);
+        self.catalog.insert(rv.key.clone(), Arc::clone(&cv));
+        Ok(cv)
+    }
+
+    /// Answers one request, discarding delay measurements.
+    ///
+    /// # Errors
+    ///
+    /// Unknown view, bound-arity mismatch, or a tagged rebuild failure.
+    pub fn answer(&self, view: &str, bound: &[Value]) -> Result<Vec<Tuple>> {
+        let rv = self.view(view)?;
+        let cv = self.representation(&rv)?;
+        Ok(cv.answer(bound)?.collect())
+    }
+
+    /// `true` iff the request has at least one answer.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Engine::answer`].
+    pub fn exists(&self, view: &str, bound: &[Value]) -> Result<bool> {
+        let rv = self.view(view)?;
+        let cv = self.representation(&rv)?;
+        cv.exists(bound)
+    }
+
+    /// Serves one request, measuring enumeration delays.
+    ///
+    /// The measured gaps include the cost of materializing the result
+    /// tuples into the returned `Vec`; use [`Engine::measure`] for the pure
+    /// §2.3 enumeration delay of the representation itself.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Engine::answer`].
+    pub fn serve(&self, request: &Request) -> Result<Served> {
+        let rv = self.view(&request.view)?;
+        let cv = self.representation(&rv)?;
+        let iter = cv.answer(&request.bound)?;
+        let mut tuples = Vec::new();
+        let delay = measure_delays(iter.inspect(|t| tuples.push(t.clone())));
+        Ok(Served { tuples, delay })
+    }
+
+    /// Measures one request's enumeration delays without retaining the
+    /// tuples — no clone or reallocation pollutes the gap measurements
+    /// (the benchmark path).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Engine::answer`].
+    pub fn measure(&self, request: &Request) -> Result<DelayStats> {
+        let rv = self.view(&request.view)?;
+        let cv = self.representation(&rv)?;
+        Ok(measure_delays(cv.answer(&request.bound)?))
+    }
+
+    /// Runs `f` over the requests striped round-robin across `threads` OS
+    /// threads (`std::thread::scope`), preserving request order.
+    fn run_batch<T: Send>(
+        &self,
+        requests: &[Request],
+        threads: usize,
+        f: impl Fn(&Request) -> Result<T> + Sync,
+    ) -> Result<Vec<T>> {
+        let threads = threads.clamp(1, requests.len().max(1));
+        if threads == 1 {
+            return requests.iter().map(f).collect();
+        }
+        let f = &f;
+        let mut slots: Vec<Result<T>> = Vec::with_capacity(requests.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|worker| {
+                    scope.spawn(move || {
+                        requests
+                            .iter()
+                            .enumerate()
+                            .skip(worker)
+                            .step_by(threads)
+                            .map(|(i, r)| (i, f(r)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let mut indexed: Vec<(usize, Result<T>)> = handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("serve worker panicked"))
+                .collect();
+            indexed.sort_by_key(|(i, _)| *i);
+            slots.extend(indexed.into_iter().map(|(_, r)| r));
+        });
+        slots.into_iter().collect()
+    }
+
+    /// Serves a batch of requests across `threads` OS threads, preserving
+    /// request order in the result. Every worker shares the catalog, so a
+    /// view built once serves all threads.
+    ///
+    /// # Errors
+    ///
+    /// The first failing request's error (by request order), if any.
+    pub fn serve_batch(&self, requests: &[Request], threads: usize) -> Result<Vec<Served>> {
+        self.run_batch(requests, threads, |r| self.serve(r))
+    }
+
+    /// [`Engine::measure`] over a batch: delay statistics only, no tuple
+    /// retention, same striping and ordering as [`Engine::serve_batch`].
+    ///
+    /// # Errors
+    ///
+    /// The first failing request's error (by request order), if any.
+    pub fn measure_batch(&self, requests: &[Request], threads: usize) -> Result<Vec<DelayStats>> {
+        self.run_batch(requests, threads, |r| self.measure(r))
+    }
+
+    /// Catalog effectiveness counters.
+    pub fn catalog_stats(&self) -> CatalogStats {
+        self.catalog.stats()
+    }
+
+    /// The "EXPLAIN" of a registered view: selection reasoning plus the
+    /// built representation's self-description.
+    ///
+    /// # Errors
+    ///
+    /// Unknown view, or a tagged rebuild failure.
+    pub fn explain(&self, view: &str) -> Result<String> {
+        let rv = self.view(view)?;
+        let cv = self.representation(&rv)?;
+        Ok(format!(
+            "view `{}` = {}\n  pattern:  {}\n  strategy: {} ({})\n  repr:     {}",
+            rv.name,
+            rv.view.query(),
+            rv.view.pattern(),
+            rv.selection.tag,
+            rv.selection.reason,
+            cv.describe()
+        ))
+    }
+
+    /// Resolves a textual request value: an interned string if the text was
+    /// ever interned (CSV data), otherwise a numeric literal.
+    ///
+    /// Interned strings take precedence: on a workload mixing CSV relations
+    /// with generated numeric relations, a numeric-looking token that also
+    /// appears in a CSV resolves to its interned id, not the number. Keep
+    /// CSV tokens non-numeric (or workloads unmixed) when both spaces are
+    /// in play; [`Engine::display_value`] mirrors the same precedence.
+    ///
+    /// # Errors
+    ///
+    /// The text is neither interned nor numeric.
+    pub fn resolve_value(&self, text: &str) -> Result<Value> {
+        if let Some(v) = self.interner.get(text) {
+            return Ok(v);
+        }
+        text.parse::<Value>().map_err(|_| {
+            CqcError::InvalidAccess(format!(
+                "value `{text}` is neither a loaded string nor a number"
+            ))
+        })
+    }
+
+    /// Renders a value for display: its interned string when available,
+    /// else the number itself.
+    pub fn display_value(&self, v: Value) -> String {
+        self.interner
+            .resolve(v)
+            .map_or_else(|| v.to_string(), str::to_string)
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("relations", &self.db.num_relations())
+            .field("|D|", &self.db.size())
+            .field(
+                "views",
+                &self.views.read().expect("views lock poisoned").len(),
+            )
+            .field("catalog", &self.catalog)
+            .finish()
+    }
+}

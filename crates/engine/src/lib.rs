@@ -1,0 +1,49 @@
+//! `cqc-engine` — the serve-many front door for the `cqc` workspace.
+//!
+//! The paper's regime (Deep & Koutris, PODS 2018) is *build once, answer
+//! many*: a compressed representation of a conjunctive query result is
+//! amortized over a stream of access requests `Q^η[v]`. The per-layer
+//! machinery lives in `cqc_query` → `cqc_decomp` → `cqc_core` →
+//! `cqc_storage`; this crate owns the lifecycle:
+//!
+//! * [`Engine`] — load relations, register adorned views, serve requests
+//!   concurrently (`&self`, `Sync`);
+//! * [`Catalog`] — a concurrent, memory-budgeted, LRU representation cache
+//!   keyed by normalized query text + adornment + strategy, so repeated
+//!   requests (and aliased registrations) never rebuild;
+//! * [`Policy`] / [`policy::select`] — auto strategy selection consulting
+//!   the width machinery, the §6 LP optimizers and the `T(·)` cost oracle;
+//! * [`Engine::serve_batch`] — batched request serving across OS threads,
+//!   returning per-request [`cqc_bench::DelayStats`];
+//! * the `cqe` binary — `load` / `gen` / `register` / `ask` / `bench` from
+//!   the command line.
+//!
+//! ```
+//! use cqc_engine::{Engine, Policy, Request};
+//! use cqc_storage::{Database, Relation};
+//!
+//! let mut db = Database::new();
+//! db.add(Relation::from_pairs("R", vec![(1, 2), (2, 3), (3, 1), (1, 3)])).unwrap();
+//! let engine = Engine::new(db);
+//! engine
+//!     .register_text("mutual", "V(x,y,z) :- R(x,y), R(y,z), R(z,x)", "bfb", Policy::default())
+//!     .unwrap();
+//! // Serve many: the representation is built exactly once.
+//! let reqs: Vec<Request> = (0..4)
+//!     .map(|v| Request { view: "mutual".into(), bound: vec![1, v] })
+//!     .collect();
+//! let served = engine.serve_batch(&reqs, 2).unwrap();
+//! assert_eq!(served[3].tuples, vec![vec![2]]); // V(1, y, 3): y = 2
+//! assert_eq!(engine.catalog_stats().builds, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod engine;
+pub mod policy;
+
+pub use catalog::{Catalog, CatalogKey, CatalogStats};
+pub use engine::{Engine, EngineConfig, RegisteredView, Request, Served};
+pub use policy::{Policy, Selection};

@@ -1,0 +1,431 @@
+//! Auto strategy selection.
+//!
+//! Given an adorned view and a database, [`select`] resolves a [`Policy`]
+//! into a concrete [`Strategy`] by consulting the width machinery
+//! (`cqc_decomp::width` via the decomposition search), the §6 LP optimizers
+//! (`cqc_lp::fractional`) and the concrete `T(·)` cost oracle
+//! (`cqc_core::cost`):
+//!
+//! * all head variables bound → Proposition 1 membership structure;
+//! * the connex fractional hypertree width fits the space budget → the
+//!   factorized representation (Props. 2/4): constant delay, done;
+//! * otherwise the two delay-tuned candidates are compared on their
+//!   *predicted delay exponents* — MinDelayCover's `log τ / log |D|` for
+//!   Theorem 1 against the δ-height of the best budgeted decomposition for
+//!   Theorem 2 — and the smaller one wins, with the Theorem 1 candidate's
+//!   concrete dictionary load `(T(I)/τ)^α` (Prop. 7, priced by the cost
+//!   oracle) used as a sanity veto when the asymptotic prediction hides a
+//!   blowup on the actual instance.
+
+use cqc_common::error::Result;
+use cqc_core::cost::CostEstimator;
+use cqc_core::fbox::FInterval;
+use cqc_core::Strategy;
+use cqc_decomp::{search_connex, Objective};
+use cqc_lp::fractional::min_delay_cover;
+use cqc_query::rewrite::rewrite_view;
+use cqc_query::AdornedView;
+use cqc_storage::Database;
+
+/// How the engine should compress a registered view.
+#[derive(Debug, Clone)]
+pub enum Policy {
+    /// Let the engine pick, optionally under a space budget exponent
+    /// (`|D|^budget`). Without a budget the engine targets linear space.
+    Auto {
+        /// Optional space budget as an exponent of `|D|`.
+        space_budget_exp: Option<f64>,
+    },
+    /// Use exactly this strategy.
+    Fixed(Strategy),
+}
+
+impl Default for Policy {
+    fn default() -> Policy {
+        Policy::Auto {
+            space_budget_exp: None,
+        }
+    }
+}
+
+/// The outcome of strategy selection.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    /// The concrete strategy to build with.
+    pub strategy: Strategy,
+    /// Canonical tag for catalog keying (same view + same tag ⇒ shareable).
+    pub tag: String,
+    /// Human-readable account of why this strategy was chosen.
+    pub reason: String,
+}
+
+/// A canonical, deterministic tag for a strategy (used in catalog keys and
+/// error messages). Numeric knobs use `f64`'s shortest-roundtrip display,
+/// so strategies differing in any parameter — however slightly — never
+/// collide into one catalog key.
+pub fn strategy_tag(strategy: &Strategy) -> String {
+    let nums = |xs: &[f64]| xs.iter().map(f64::to_string).collect::<Vec<_>>().join(",");
+    match strategy {
+        Strategy::Auto {
+            space_budget_exp: None,
+        } => "auto".into(),
+        Strategy::Auto {
+            space_budget_exp: Some(b),
+        } => format!("auto budget={b}"),
+        Strategy::Materialize => "materialize".into(),
+        Strategy::Direct => "direct".into(),
+        Strategy::Tradeoff { tau, weights } => match weights {
+            None => format!("theorem-1 τ={tau}"),
+            Some(w) => format!("theorem-1 τ={tau} u=[{}]", nums(w)),
+        },
+        Strategy::TradeoffBudget { space_budget_exp } => {
+            format!("theorem-1 budget={space_budget_exp}")
+        }
+        Strategy::Decomposed { space_budget_exp } => {
+            format!("theorem-2 budget={space_budget_exp}")
+        }
+        Strategy::DecomposedExplicit { td, delta } => {
+            format!("theorem-2 explicit bags={} δ=[{}]", td.len(), nums(delta))
+        }
+        Strategy::Factorized => "factorized".into(),
+    }
+}
+
+const EPS: f64 = 1e-6;
+
+/// Resolves `policy` for `view` over `db`.
+///
+/// # Errors
+///
+/// Propagates schema/LP/decomposition failures from the consulted oracles.
+pub fn select(view: &AdornedView, db: &Database, policy: &Policy) -> Result<Selection> {
+    let budget = match policy {
+        Policy::Fixed(s) => {
+            return Ok(Selection {
+                strategy: s.clone(),
+                tag: strategy_tag(s),
+                reason: "fixed by caller".into(),
+            });
+        }
+        Policy::Auto { space_budget_exp } => *space_budget_exp,
+    };
+
+    if view.mu() == 0 {
+        // Prop. 1: membership probes on linear-space indexes; no knob beats
+        // that for boolean access patterns.
+        return Ok(Selection {
+            strategy: Strategy::Auto {
+                space_budget_exp: None,
+            },
+            tag: "bound-only".into(),
+            reason: "all head variables bound → Prop. 1 membership structure \
+                     (linear space, O(1) per probe)"
+                .into(),
+        });
+    }
+
+    // Analyze the Example 3 rewrite of the view, exactly as
+    // `CompressedView::build` will: constants and repeated variables are
+    // eliminated, so Auto accepts the same view language as every fixed
+    // strategy. The chosen strategy is applied to the *original* view
+    // (build re-runs the same deterministic rewrite).
+    let rewritten = rewrite_view(view, db)?;
+    if rewritten.always_empty {
+        return Ok(Selection {
+            strategy: Strategy::Auto {
+                space_budget_exp: None,
+            },
+            tag: "always-empty".into(),
+            reason: "a ground atom fails on this database → the view is empty \
+                     regardless of strategy"
+                .into(),
+        });
+    }
+    let view = &rewritten.view;
+    let db = &rewritten.database;
+    if view.mu() == 0 {
+        // The rewrite can absorb free variables (e.g. one repeated with a
+        // bound variable): re-check the Prop. 1 case post-rewrite.
+        return Ok(Selection {
+            strategy: Strategy::Auto {
+                space_budget_exp: None,
+            },
+            tag: "bound-only".into(),
+            reason: "all head variables bound after the Example 3 rewrite → \
+                     Prop. 1 membership structure"
+                .into(),
+        });
+    }
+    let query = view.query();
+    query.require_natural_join()?;
+    query.check_schema(db)?;
+    let h = query.hypergraph();
+
+    // Width consultation: the best connex decomposition ignoring delay.
+    let width_search = search_connex(&h, view.bound_vars(), Objective::MinimizeWidth)?;
+    let fhw = width_search.score;
+
+    // The space target: the caller's budget, or linear space — the paper's
+    // headline regime — when none is given.
+    let (target, target_note) = match budget {
+        Some(b) => (b, format!("budget |D|^{b:.2}")),
+        None => (1.0, "the linear-space target (no budget given)".into()),
+    };
+
+    if fhw <= target + EPS {
+        // Constant delay fits the budget: nothing can beat it.
+        return Ok(Selection {
+            strategy: Strategy::Factorized,
+            tag: "factorized".into(),
+            reason: format!(
+                "connex fhw(H|V_b) = {fhw:.2} fits {target_note} → factorized \
+                 representation (constant delay)"
+            ),
+        });
+    }
+
+    // Delay-tuned candidates under the budget.
+    let n = db.size().max(2) as f64;
+    let log_sizes: Vec<f64> = query
+        .atoms
+        .iter()
+        .map(|a| {
+            db.require(&a.relation)
+                .map(|r| (r.len().max(2) as f64).ln())
+        })
+        .collect::<Result<_>>()?;
+
+    // Theorem 1: MinDelayCover picks the cover and the smallest τ that fits.
+    let t1 = min_delay_cover(&h, view.free_vars(), &log_sizes, target * n.ln());
+    // Theorem 2: best decomposition minimizing δ-height under the budget.
+    let t2 = search_connex(
+        &h,
+        view.bound_vars(),
+        Objective::MinimizeHeightUnderBudget { budget_exp: target },
+    );
+
+    match (t1, t2) {
+        (Ok(choice), Ok(decomp)) => {
+            let t1_exp = (choice.log_tau / n.ln()).max(0.0);
+            let t2_exp = decomp.score.max(0.0);
+            // Concrete-instance veto for the Theorem 1 candidate: per
+            // Prop. 7 its dictionary stores at most (T(I)/τ)^α entries.
+            // The LP reasons about exponents only; the cost oracle prices
+            // the actual instance.
+            let alpha = choice.alpha.max(1.0);
+            let est = CostEstimator::build(view, db, &choice.weights, alpha)
+                .ok()
+                .and_then(|cost| {
+                    let sizes = cost.sizes();
+                    FInterval::full(&sizes).map(|full| {
+                        let t_root = cost.t_interval(&full, &sizes);
+                        (t_root / choice.log_tau.exp().max(1.0))
+                            .max(0.0)
+                            .powf(alpha)
+                    })
+                });
+            let t1_blowup = est.is_some_and(|entries| entries > 8.0 * n.powf(target));
+            if t1_exp <= t2_exp + EPS && !t1_blowup {
+                let est_note = est
+                    .map(|e| format!(", ≈{e:.0} dictionary entries predicted"))
+                    .unwrap_or_default();
+                Ok(Selection {
+                    strategy: Strategy::TradeoffBudget {
+                        space_budget_exp: target,
+                    },
+                    tag: format!("theorem-1 budget={target}"),
+                    reason: format!(
+                        "fhw(H|V_b) = {fhw:.2} exceeds {target_note}; MinDelayCover delay \
+                         |D|^{t1_exp:.2} ≤ δ-height {t2_exp:.2} → theorem-1{est_note}"
+                    ),
+                })
+            } else {
+                let why = if t1_blowup {
+                    "theorem-1 dictionary load vetoed by cost oracle"
+                } else {
+                    "δ-height wins"
+                };
+                Ok(Selection {
+                    strategy: Strategy::Decomposed {
+                        space_budget_exp: target,
+                    },
+                    tag: format!("theorem-2 budget={target}"),
+                    reason: format!(
+                        "fhw(H|V_b) = {fhw:.2} exceeds {target_note}; δ-height {t2_exp:.2} vs \
+                         theorem-1 delay |D|^{t1_exp:.2} → theorem-2 ({why})"
+                    ),
+                })
+            }
+        }
+        (Ok(choice), Err(_)) => {
+            let t1_exp = (choice.log_tau / n.ln()).max(0.0);
+            Ok(Selection {
+                strategy: Strategy::TradeoffBudget {
+                    space_budget_exp: target,
+                },
+                tag: format!("theorem-1 budget={target}"),
+                reason: format!(
+                    "no budgeted decomposition found; MinDelayCover delay |D|^{t1_exp:.2} \
+                     under {target_note} → theorem-1"
+                ),
+            })
+        }
+        (Err(_), Ok(decomp)) => Ok(Selection {
+            strategy: Strategy::Decomposed {
+                space_budget_exp: target,
+            },
+            tag: format!("theorem-2 budget={target}"),
+            reason: format!(
+                "MinDelayCover infeasible; δ-height {:.2} under {target_note} → theorem-2",
+                decomp.score
+            ),
+        }),
+        (Err(e), Err(_)) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqc_storage::Relation;
+    use cqc_workload::queries;
+
+    fn triangle_db(rows: usize) -> Database {
+        let mut db = Database::new();
+        let mut rng = cqc_workload::rng(13);
+        for name in ["R", "S", "T"] {
+            db.add(cqc_workload::uniform_relation(
+                &mut rng,
+                name,
+                2,
+                rows,
+                (rows / 4).max(4) as u64,
+            ))
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn all_bound_selects_membership() {
+        let db = triangle_db(60);
+        let view = queries::triangle("bbb").unwrap();
+        let sel = select(&view, &db, &Policy::default()).unwrap();
+        assert_eq!(sel.tag, "bound-only");
+    }
+
+    #[test]
+    fn acyclic_view_selects_factorized() {
+        // Full enumeration of a path query: fhw = 1 ≤ the linear-space
+        // target. (With both endpoints *bound* the connex width jumps to 2
+        // — the paper's Example 10 — and selection goes delay-tuned; see
+        // `bound_endpoints_path_goes_delay_tuned`.)
+        let mut db = Database::new();
+        db.add(Relation::from_pairs("R1", vec![(1, 2), (2, 3)]))
+            .unwrap();
+        db.add(Relation::from_pairs("R2", vec![(2, 3), (3, 4)]))
+            .unwrap();
+        let view = queries::path(2, "fff").unwrap();
+        let sel = select(&view, &db, &Policy::default()).unwrap();
+        assert_eq!(sel.tag, "factorized", "{}", sel.reason);
+        assert!(sel.reason.contains("fhw"), "{}", sel.reason);
+    }
+
+    #[test]
+    fn bound_endpoints_path_goes_delay_tuned() {
+        // Example 10: P_2^{bfb} has connex fhw 2 > linear space, so auto
+        // selection must reach for a delay-tuned structure.
+        let mut db = Database::new();
+        let mut rng = cqc_workload::rng(29);
+        db.add(cqc_workload::uniform_relation(&mut rng, "R1", 2, 80, 20))
+            .unwrap();
+        db.add(cqc_workload::uniform_relation(&mut rng, "R2", 2, 80, 20))
+            .unwrap();
+        let view = queries::path(2, "bfb").unwrap();
+        let sel = select(&view, &db, &Policy::default()).unwrap();
+        assert!(
+            sel.tag.starts_with("theorem-"),
+            "{} ({})",
+            sel.tag,
+            sel.reason
+        );
+    }
+
+    #[test]
+    fn generous_budget_admits_factorized_triangle() {
+        let db = triangle_db(80);
+        let view = queries::triangle("bfb").unwrap();
+        let sel = select(
+            &view,
+            &db,
+            &Policy::Auto {
+                space_budget_exp: Some(2.0),
+            },
+        )
+        .unwrap();
+        // fhw(H | {x, z}) of the triangle is 1 ≤ 2: factorized fits.
+        assert_eq!(sel.tag, "factorized", "{}", sel.reason);
+    }
+
+    #[test]
+    fn tight_budget_on_cyclic_view_goes_delay_tuned() {
+        let db = triangle_db(120);
+        let view = queries::triangle("fff").unwrap();
+        let sel = select(
+            &view,
+            &db,
+            &Policy::Auto {
+                space_budget_exp: Some(1.05),
+            },
+        )
+        .unwrap();
+        assert!(
+            sel.tag.starts_with("theorem-1") || sel.tag.starts_with("theorem-2"),
+            "{} ({})",
+            sel.tag,
+            sel.reason
+        );
+        // Whatever was chosen must build and answer correctly.
+        let cv = cqc_core::CompressedView::build(&view, &db, sel.strategy.clone()).unwrap();
+        let got: Vec<_> = cv.answer(&[]).unwrap().collect();
+        let expect = cqc_join::naive::evaluate_view(&view, &db, &[]).unwrap();
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn fixed_policy_passes_through() {
+        let db = triangle_db(30);
+        let view = queries::triangle("bfb").unwrap();
+        let sel = select(
+            &view,
+            &db,
+            &Policy::Fixed(Strategy::Tradeoff {
+                tau: 2.0,
+                weights: None,
+            }),
+        )
+        .unwrap();
+        assert_eq!(sel.tag, "theorem-1 τ=2");
+        assert_eq!(sel.reason, "fixed by caller");
+    }
+
+    #[test]
+    fn tags_are_canonical() {
+        assert_eq!(
+            strategy_tag(&Strategy::TradeoffBudget {
+                space_budget_exp: 1.5
+            }),
+            "theorem-1 budget=1.5"
+        );
+        assert_eq!(strategy_tag(&Strategy::Factorized), "factorized");
+        assert_eq!(
+            strategy_tag(&Strategy::Auto {
+                space_budget_exp: None
+            }),
+            "auto"
+        );
+    }
+}

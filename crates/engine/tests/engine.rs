@@ -1,0 +1,465 @@
+//! Integration tests for the serve-many engine: catalog hit/miss/eviction
+//! semantics, build-once guarantees, and multi-threaded batch serving.
+
+use cqc_common::error::CqcError;
+use cqc_common::value::Tuple;
+use cqc_core::Strategy;
+use cqc_engine::{Engine, EngineConfig, Policy, Request};
+use cqc_join::naive::evaluate_view;
+use cqc_query::parser::parse_adorned;
+use cqc_storage::{Database, Relation};
+use cqc_workload::{queries, random_requests};
+
+fn triangle_db(rows: usize, seed: u64) -> Database {
+    let mut db = Database::new();
+    let mut rng = cqc_workload::rng(seed);
+    let domain = (rows as u64 / 4).max(6);
+    for name in ["R", "S", "T"] {
+        db.add(cqc_workload::uniform_relation(
+            &mut rng, name, 2, rows, domain,
+        ))
+        .unwrap();
+    }
+    db
+}
+
+#[test]
+fn engine_is_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+}
+
+#[test]
+fn register_once_serve_many_zero_rebuilds() {
+    let db = triangle_db(120, 3);
+    let engine = Engine::new(db);
+    engine
+        .register_text(
+            "tri",
+            "Q(x,y,z) :- R(x,y), S(y,z), T(z,x)",
+            "bfb",
+            Policy::default(),
+        )
+        .unwrap();
+    assert_eq!(engine.catalog_stats().builds, 1, "registration builds once");
+
+    let builds_after_register = engine.catalog_stats().builds;
+    for x in 0..20u64 {
+        engine.answer("tri", &[x % 7, (x + 2) % 7]).unwrap();
+    }
+    let stats = engine.catalog_stats();
+    assert_eq!(
+        stats.builds, builds_after_register,
+        "cache-hit serving must perform zero representation rebuilds"
+    );
+    assert!(stats.hits >= 20);
+}
+
+#[test]
+fn answers_match_naive_oracle() {
+    let db = triangle_db(90, 11);
+    let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", "bfb").unwrap();
+    let engine = Engine::new(db);
+    engine
+        .register("tri", view.clone(), Policy::default())
+        .unwrap();
+    for x in 0..15u64 {
+        let req = [x, (x * 3 + 1) % 20];
+        let expect = evaluate_view(&view, engine.db(), &req).unwrap();
+        let mut got = engine.answer("tri", &req).unwrap();
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got, expect, "request {req:?}");
+    }
+}
+
+#[test]
+fn aliased_registrations_share_one_build() {
+    let db = triangle_db(60, 5);
+    let engine = Engine::new(db);
+    // Same view modulo query name, variable spelling, and atom order, same
+    // strategy → same catalog key → one build.
+    engine
+        .register_text(
+            "a",
+            "Q(x,y,z) :- R(x,y), S(y,z), T(z,x)",
+            "bfb",
+            Policy::default(),
+        )
+        .unwrap();
+    engine
+        .register_text(
+            "b",
+            "View(u,v,w) :- T(w,u), R(u,v), S(v,w)",
+            "bfb",
+            Policy::default(),
+        )
+        .unwrap();
+    let stats = engine.catalog_stats();
+    assert_eq!(stats.builds, 1, "aliases must share the representation");
+    assert_eq!(stats.entries, 1);
+    // And they answer identically.
+    assert_eq!(
+        engine.answer("a", &[1, 2]).unwrap(),
+        engine.answer("b", &[1, 2]).unwrap()
+    );
+}
+
+#[test]
+fn distinct_strategies_get_distinct_entries() {
+    let db = triangle_db(60, 5);
+    let engine = Engine::new(db);
+    engine
+        .register_text(
+            "mat",
+            "Q(x,y,z) :- R(x,y), S(y,z), T(z,x)",
+            "bfb",
+            Policy::Fixed(Strategy::Materialize),
+        )
+        .unwrap();
+    engine
+        .register_text(
+            "fac",
+            "Q(x,y,z) :- R(x,y), S(y,z), T(z,x)",
+            "bfb",
+            Policy::Fixed(Strategy::Factorized),
+        )
+        .unwrap();
+    assert_eq!(engine.catalog_stats().entries, 2);
+    assert_eq!(engine.catalog_stats().builds, 2);
+}
+
+#[test]
+fn tight_budget_evicts_lru_and_rebuilds_on_demand() {
+    let db = triangle_db(150, 9);
+    // A budget far below one representation: every new view evicts the
+    // previous one (the catalog always admits the newest entry).
+    let engine = Engine::with_config(
+        db,
+        EngineConfig {
+            catalog_budget_bytes: 1024,
+        },
+    );
+    engine
+        .register_text(
+            "mat",
+            "Q(x,y,z) :- R(x,y), S(y,z), T(z,x)",
+            "bfb",
+            Policy::Fixed(Strategy::Materialize),
+        )
+        .unwrap();
+    engine
+        .register_text(
+            "dir",
+            "Q(x,y,z) :- R(x,y), S(y,z), T(z,x)",
+            "bfb",
+            Policy::Fixed(Strategy::Direct),
+        )
+        .unwrap();
+    let s = engine.catalog_stats();
+    assert_eq!(s.builds, 2);
+    assert!(s.evictions >= 1, "tight budget must evict: {s:?}");
+    assert_eq!(s.entries, 1, "only the newest survives: {s:?}");
+
+    // Serving the evicted view rebuilds exactly once and evicts the other.
+    engine.answer("mat", &[1, 2]).unwrap();
+    let s = engine.catalog_stats();
+    assert_eq!(s.builds, 3, "evicted view rebuilds on demand: {s:?}");
+    // The rebuilt `mat` is now resident: serving it again is a pure hit…
+    engine.answer("mat", &[1, 3]).unwrap();
+    assert_eq!(engine.catalog_stats().builds, 3);
+    // …while the displaced `dir` must rebuild (the two thrash under 1 KiB).
+    engine.answer("dir", &[1, 2]).unwrap();
+    assert_eq!(engine.catalog_stats().builds, 4);
+}
+
+#[test]
+fn generous_budget_never_evicts() {
+    let db = triangle_db(100, 21);
+    let engine = Engine::new(db);
+    for (name, pattern) in [("v1", "bfb"), ("v2", "bbf"), ("v3", "fff")] {
+        engine
+            .register_text(
+                name,
+                "Q(x,y,z) :- R(x,y), S(y,z), T(z,x)",
+                pattern,
+                Policy::default(),
+            )
+            .unwrap();
+    }
+    for _ in 0..5 {
+        engine.answer("v1", &[1, 2]).unwrap();
+        engine.answer("v2", &[1, 2]).unwrap();
+        engine.answer("v3", &[]).unwrap();
+    }
+    let s = engine.catalog_stats();
+    assert_eq!(s.evictions, 0);
+    assert_eq!(s.entries, 3);
+    assert_eq!(s.builds, 3);
+}
+
+#[test]
+fn serve_batch_matches_sequential_across_threads() {
+    let db = triangle_db(200, 17);
+    let view = queries::triangle("bfb").unwrap();
+    let engine = Engine::new(db);
+    engine
+        .register("tri", view.clone(), Policy::default())
+        .unwrap();
+
+    let mut rng = cqc_workload::rng(99);
+    let requests: Vec<Request> = random_requests(&mut rng, &view, engine.db(), 300)
+        .into_iter()
+        .map(|bound| Request {
+            view: "tri".into(),
+            bound,
+        })
+        .collect();
+
+    let sequential: Vec<Vec<Tuple>> = requests
+        .iter()
+        .map(|r| engine.answer("tri", &r.bound).unwrap())
+        .collect();
+    let builds_before = engine.catalog_stats().builds;
+
+    for threads in [2, 4, 8] {
+        let served = engine.serve_batch(&requests, threads).unwrap();
+        assert_eq!(served.len(), requests.len());
+        for (i, (s, expect)) in served.iter().zip(&sequential).enumerate() {
+            assert_eq!(
+                &s.tuples, expect,
+                "request {i} differs on {threads} threads"
+            );
+            assert_eq!(s.delay.tuples, expect.len());
+        }
+    }
+    // The measure-only path agrees on cardinalities and also never
+    // rebuilds.
+    let measured = engine.measure_batch(&requests, 4).unwrap();
+    for (d, expect) in measured.iter().zip(&sequential) {
+        assert_eq!(d.tuples, expect.len());
+    }
+    assert_eq!(
+        engine.catalog_stats().builds,
+        builds_before,
+        "batched serving must not rebuild"
+    );
+}
+
+#[test]
+fn serve_batch_on_star_workload() {
+    // The other acceptance workload: a star join, all-bound-but-one.
+    let mut db = Database::new();
+    let mut rng = cqc_workload::rng(31);
+    for i in 1..=3 {
+        db.add(cqc_workload::uniform_relation(
+            &mut rng,
+            &format!("R{i}"),
+            2,
+            150,
+            30,
+        ))
+        .unwrap();
+    }
+    let view = queries::star(3, "bbbf").unwrap();
+    let engine = Engine::new(db);
+    engine
+        .register("star", view.clone(), Policy::default())
+        .unwrap();
+    let mut rng = cqc_workload::rng(32);
+    let requests: Vec<Request> = random_requests(&mut rng, &view, engine.db(), 200)
+        .into_iter()
+        .map(|bound| Request {
+            view: "star".into(),
+            bound,
+        })
+        .collect();
+    let sequential = engine.serve_batch(&requests, 1).unwrap();
+    let parallel = engine.serve_batch(&requests, 4).unwrap();
+    for (s, p) in sequential.iter().zip(&parallel) {
+        assert_eq!(s.tuples, p.tuples);
+    }
+    let s = engine.catalog_stats();
+    assert_eq!(s.builds, 1, "one build serves every thread: {s:?}");
+}
+
+#[test]
+fn unknown_view_and_duplicate_registration_are_actionable() {
+    let db = triangle_db(30, 1);
+    let engine = Engine::new(db);
+    let err = engine.answer("nope", &[1]).unwrap_err();
+    assert!(
+        matches!(err, CqcError::UnknownView(ref n) if n == "nope"),
+        "{err}"
+    );
+
+    engine
+        .register_text(
+            "tri",
+            "Q(x,y,z) :- R(x,y), S(y,z), T(z,x)",
+            "bfb",
+            Policy::default(),
+        )
+        .unwrap();
+    let err = engine
+        .register_text(
+            "tri",
+            "Q(x,y,z) :- R(x,y), S(y,z), T(z,x)",
+            "fff",
+            Policy::default(),
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("already registered"), "{err}");
+}
+
+#[test]
+fn build_failures_carry_view_and_strategy() {
+    let mut db = Database::new();
+    db.add(Relation::from_pairs("R", vec![(1, 2)])).unwrap();
+    let engine = Engine::new(db);
+    // S is missing from the database: selection/build must fail and the
+    // error must name the view.
+    let err = engine
+        .register_text(
+            "broken",
+            "Q(x,y,z) :- R(x,y), S(y,z)",
+            "bff",
+            Policy::default(),
+        )
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("broken"), "{msg}");
+    assert!(msg.contains('S'), "{msg}");
+
+    // A bad fixed strategy names both the view and the strategy tag.
+    let err = engine
+        .register_text(
+            "badtau",
+            "Q(x,y) :- R(x,y)",
+            "bf",
+            Policy::Fixed(Strategy::Tradeoff {
+                tau: 0.5,
+                weights: None,
+            }),
+        )
+        .unwrap_err();
+    match &err {
+        CqcError::ViewBuild { view, strategy, .. } => {
+            assert_eq!(view, "badtau");
+            assert!(strategy.contains("theorem-1"), "{strategy}");
+        }
+        other => panic!("expected ViewBuild, got {other}"),
+    }
+}
+
+#[test]
+fn failed_registration_can_be_retried() {
+    let mut db = Database::new();
+    db.add(Relation::from_pairs("R", vec![(1, 2), (2, 3)]))
+        .unwrap();
+    let engine = Engine::new(db);
+    // First attempt fails (τ < 1) — the name must not stay registered.
+    let err = engine
+        .register_text(
+            "v",
+            "Q(x,y) :- R(x,y)",
+            "bf",
+            Policy::Fixed(Strategy::Tradeoff {
+                tau: 0.5,
+                weights: None,
+            }),
+        )
+        .unwrap_err();
+    assert!(matches!(err, CqcError::ViewBuild { .. }), "{err}");
+    assert!(
+        engine.view("v").is_err(),
+        "failed registration must roll back"
+    );
+    // Retrying with a valid strategy succeeds.
+    engine
+        .register_text("v", "Q(x,y) :- R(x,y)", "bf", Policy::default())
+        .unwrap();
+    assert_eq!(engine.answer("v", &[1]).unwrap(), vec![vec![2]]);
+}
+
+#[test]
+fn auto_policy_accepts_constants_like_fixed_strategies() {
+    // Example 3 views (constants in atoms) must register under Auto just
+    // as they do under a fixed strategy.
+    let mut db = Database::new();
+    db.add(Relation::new(
+        "R",
+        3,
+        vec![vec![1, 2, 9], vec![1, 3, 9], vec![2, 2, 5]],
+    ))
+    .unwrap();
+    let engine = Engine::new(db);
+    engine
+        .register_text("c", "Q(x,y) :- R(x,y,9)", "bf", Policy::default())
+        .unwrap();
+    assert_eq!(engine.answer("c", &[1]).unwrap(), vec![vec![2], vec![3]]);
+    // A failing ground atom short-circuits to the always-empty view.
+    let mut db = Database::new();
+    db.add(Relation::from_pairs("R", vec![(1, 2)])).unwrap();
+    db.add(Relation::from_pairs("G", vec![(5, 5)])).unwrap();
+    let engine = Engine::new(db);
+    let rv = engine
+        .register_text("e", "Q(x,y) :- R(x,y), G(7,7)", "bf", Policy::default())
+        .unwrap();
+    assert_eq!(rv.selection.tag, "always-empty");
+    assert!(engine.answer("e", &[1]).unwrap().is_empty());
+}
+
+#[test]
+fn explain_mentions_selection_and_representation() {
+    let db = triangle_db(80, 41);
+    let engine = Engine::new(db);
+    engine
+        .register_text(
+            "tri",
+            "Q(x,y,z) :- R(x,y), S(y,z), T(z,x)",
+            "bfb",
+            Policy::default(),
+        )
+        .unwrap();
+    let text = engine.explain("tri").unwrap();
+    assert!(text.contains("pattern:  bfb"), "{text}");
+    assert!(text.contains("strategy:"), "{text}");
+    assert!(text.contains("heap bytes"), "{text}");
+}
+
+#[test]
+fn csv_load_and_textual_requests() {
+    let csv = "alice,bob\nbob,carol\ncarol,alice\nalice,carol\n";
+    let mut engine = Engine::new(Database::new());
+    engine
+        .load_csv("R", csv.as_bytes(), Default::default())
+        .unwrap();
+    engine
+        .register_text(
+            "reach2",
+            "Q(x,y,z) :- R(x,y), R(y,z)",
+            "bff",
+            Policy::default(),
+        )
+        .unwrap();
+    let alice = engine.resolve_value("alice").unwrap();
+    let tuples = engine.answer("reach2", &[alice]).unwrap();
+    // alice → bob → carol and alice → carol → alice.
+    let rendered: Vec<String> = tuples
+        .iter()
+        .map(|t| {
+            t.iter()
+                .map(|&v| engine.display_value(v))
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+    assert!(rendered.contains(&"bob,carol".to_string()), "{rendered:?}");
+    assert!(
+        rendered.contains(&"carol,alice".to_string()),
+        "{rendered:?}"
+    );
+    assert!(engine.resolve_value("mallory").is_err());
+    assert_eq!(engine.resolve_value("42").unwrap(), 42);
+}

@@ -3,12 +3,12 @@
 use cqc_common::error::Result;
 use cqc_common::heap::HeapSize;
 use cqc_common::value::{lex_cmp, Value};
+use cqc_join::leapfrog::LevelConstraint;
+use cqc_join::plan::ViewPlan;
 use cqc_query::adorned::AdornedView;
 use cqc_query::atom::Atom;
 use cqc_query::cq::ConjunctiveQuery;
 use cqc_query::{Var, VarSet};
-use cqc_join::leapfrog::LevelConstraint;
-use cqc_join::plan::ViewPlan;
 use cqc_storage::Database;
 use std::cmp::Ordering;
 
@@ -55,9 +55,8 @@ pub fn bag_local_components(
 
     let mut bag_vs: Vec<Var> = bound_vars.clone();
     bag_vs.extend(&free_vars);
-    let local_of = |v: Var| -> Var {
-        Var(bag_vs.iter().position(|&w| w == v).expect("bag var") as u32)
-    };
+    let local_of =
+        |v: Var| -> Var { Var(bag_vs.iter().position(|&w| w == v).expect("bag var") as u32) };
 
     let mut local_db = Database::new();
     let mut local_atoms = Vec::new();

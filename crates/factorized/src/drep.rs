@@ -147,11 +147,8 @@ impl FactorizedRepresentation {
         let query = view.query();
         query.require_natural_join()?;
         let h = query.hypergraph();
-        let found = cqc_decomp::search_connex(
-            &h,
-            view.bound_vars(),
-            cqc_decomp::Objective::MinimizeWidth,
-        )?;
+        let found =
+            cqc_decomp::search_connex(&h, view.bound_vars(), cqc_decomp::Objective::MinimizeWidth)?;
         FactorizedRepresentation::build(view, db, &found.td)
     }
 
@@ -300,7 +297,11 @@ impl Iterator for FactorizedIter<'_> {
             opening = true;
         }
         loop {
-            let ok = if opening { self.open(i) } else { self.advance(i) };
+            let ok = if opening {
+                self.open(i)
+            } else {
+                self.advance(i)
+            };
             if ok {
                 if i + 1 == k {
                     return Some(self.emit());
@@ -428,8 +429,10 @@ mod tests {
         let mut db = Database::new();
         db.add(Relation::from_pairs("R", vec![(1, 2), (2, 3), (1, 3)]))
             .unwrap();
-        db.add(Relation::from_pairs("S", vec![(2, 3), (3, 1)])).unwrap();
-        db.add(Relation::from_pairs("T", vec![(3, 1), (1, 2)])).unwrap();
+        db.add(Relation::from_pairs("S", vec![(2, 3), (3, 1)]))
+            .unwrap();
+        db.add(Relation::from_pairs("T", vec![(3, 1), (1, 2)]))
+            .unwrap();
         let v = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", "fff").unwrap();
         let rep = FactorizedRepresentation::build_with_search(&v, &db).unwrap();
         let expect = evaluate_view(&v, &db, &[]).unwrap();

@@ -223,10 +223,16 @@ mod tests {
             vec![(1, 2), (2, 3), (1, 3), (3, 1), (2, 1)],
         ))
         .unwrap();
-        db.add(Relation::from_pairs("S", vec![(2, 3), (3, 1), (3, 2), (1, 2)]))
-            .unwrap();
-        db.add(Relation::from_pairs("T", vec![(3, 1), (1, 2), (2, 3), (2, 1)]))
-            .unwrap();
+        db.add(Relation::from_pairs(
+            "S",
+            vec![(2, 3), (3, 1), (3, 2), (1, 2)],
+        ))
+        .unwrap();
+        db.add(Relation::from_pairs(
+            "T",
+            vec![(3, 1), (1, 2), (2, 3), (2, 1)],
+        ))
+        .unwrap();
         db
     }
 
@@ -261,7 +267,10 @@ mod tests {
                 let expect = evaluate_view(&v, &db, &req).unwrap();
                 let got_m: Vec<Tuple> = mat.answer(&req).unwrap().collect();
                 let got_d: Vec<Tuple> = dir.answer(&req).unwrap().collect();
-                assert_eq!(got_m, expect, "materialized, pattern {pattern}, req {req:?}");
+                assert_eq!(
+                    got_m, expect,
+                    "materialized, pattern {pattern}, req {req:?}"
+                );
                 assert_eq!(got_d, expect, "direct, pattern {pattern}, req {req:?}");
             }
         }

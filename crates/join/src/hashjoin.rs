@@ -88,9 +88,7 @@ pub fn evaluate_view_hash(
         let shared: Vec<(usize, usize)> = vars
             .iter()
             .enumerate()
-            .filter_map(|(li, v)| {
-                atom_vars.iter().position(|w| w == v).map(|ri| (li, ri))
-            })
+            .filter_map(|(li, v)| atom_vars.iter().position(|w| w == v).map(|ri| (li, ri)))
             .collect();
         let new_right: Vec<usize> = (0..atom_vars.len())
             .filter(|&ri| !shared.iter().any(|&(_, r)| r == ri))
@@ -223,7 +221,8 @@ mod tests {
     fn cartesian_product_atoms() {
         // Atoms sharing no variables: a cross product.
         let mut db = Database::new();
-        db.add(Relation::from_pairs("A", vec![(1, 2), (3, 4)])).unwrap();
+        db.add(Relation::from_pairs("A", vec![(1, 2), (3, 4)]))
+            .unwrap();
         db.add(Relation::from_pairs("B", vec![(5, 6)])).unwrap();
         let v = parse_adorned("Q(a,b,c,d) :- A(a,b), B(c,d)", "ffff").unwrap();
         let out = evaluate_view_hash(&v, &db, &[]).unwrap();

@@ -255,7 +255,9 @@ impl<'a> LeapfrogJoin<'a> {
         let cons = self.constraints[level];
         let parts = &self.participants[level];
         let mut cand = cand;
-        if !cons.admits(cand) && matches!(cons, LevelConstraint::Fixed(_) | LevelConstraint::Range(..)) {
+        if !cons.admits(cand)
+            && matches!(cons, LevelConstraint::Fixed(_) | LevelConstraint::Range(..))
+        {
             // cand already beyond a fixed value / range top.
             if cand > cons.start() {
                 return None;
@@ -423,10 +425,7 @@ mod tests {
 
     #[test]
     fn skip_to_level_enumerates_distinct_prefixes() {
-        let r = Relation::from_pairs(
-            "R",
-            vec![(1, 1), (1, 2), (1, 3), (2, 5), (3, 6), (3, 7)],
-        );
+        let r = Relation::from_pairs("R", vec![(1, 1), (1, 2), (1, 3), (2, 5), (3, 6), (3, 7)]);
         let ri = SortedIndex::build(&r, &[0, 1]);
         let mut j = LeapfrogJoin::new(
             vec![AtomInput::new(&ri, vec![0, 1])],

@@ -39,7 +39,11 @@ pub fn evaluate_view(
     let free = view.free_head();
     let mut out: Vec<Tuple> = valuations
         .into_iter()
-        .map(|v| free.iter().map(|x| v[x.index()].expect("free var bound by body")).collect())
+        .map(|v| {
+            free.iter()
+                .map(|x| v[x.index()].expect("free var bound by body"))
+                .collect()
+        })
         .collect();
     out.sort_unstable_by(|a, b| lex_cmp(a, b));
     out.dedup();
@@ -119,8 +123,11 @@ mod tests {
 
     fn triangle_db() -> Database {
         let mut db = Database::new();
-        db.add(Relation::from_pairs("R", vec![(1, 2), (2, 3), (1, 3), (3, 1)]))
-            .unwrap();
+        db.add(Relation::from_pairs(
+            "R",
+            vec![(1, 2), (2, 3), (1, 3), (3, 1)],
+        ))
+        .unwrap();
         db.add(Relation::from_pairs("S", vec![(2, 3), (3, 1), (3, 2)]))
             .unwrap();
         db.add(Relation::from_pairs("T", vec![(3, 1), (1, 2), (2, 3)]))
@@ -153,7 +160,9 @@ mod tests {
             evaluate_view(&v, &triangle_db(), &[1, 2, 3]).unwrap(),
             vec![Vec::<Value>::new()]
         );
-        assert!(evaluate_view(&v, &triangle_db(), &[1, 2, 2]).unwrap().is_empty());
+        assert!(evaluate_view(&v, &triangle_db(), &[1, 2, 2])
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

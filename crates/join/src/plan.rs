@@ -53,8 +53,7 @@ impl ViewPlan {
         let mut atom_levels = Vec::with_capacity(query.atoms.len());
         for atom in &query.atoms {
             let rel = db.require(&atom.relation)?;
-            let var_levels: Vec<usize> =
-                atom.vars().map(|v| level_of[v.index()]).collect();
+            let var_levels: Vec<usize> = atom.vars().map(|v| level_of[v.index()]).collect();
             let (cols, levels) = trie_order_for_atom(&var_levels);
             indexes.push(SortedIndex::build(rel, &cols));
             atom_levels.push(levels);
@@ -151,8 +150,11 @@ mod tests {
 
     fn triangle_db() -> Database {
         let mut db = Database::new();
-        db.add(Relation::from_pairs("R", vec![(1, 2), (2, 3), (1, 3), (3, 1)]))
-            .unwrap();
+        db.add(Relation::from_pairs(
+            "R",
+            vec![(1, 2), (2, 3), (1, 3), (3, 1)],
+        ))
+        .unwrap();
         db.add(Relation::from_pairs("S", vec![(2, 3), (3, 1), (3, 2)]))
             .unwrap();
         db.add(Relation::from_pairs("T", vec![(3, 1), (1, 2), (2, 3)]))
@@ -167,11 +169,7 @@ mod tests {
         // Bound: x, z; free: y.
         assert_eq!(plan.num_bound, 2);
         assert_eq!(plan.num_free(), 1);
-        let names: Vec<&str> = plan
-            .order
-            .iter()
-            .map(|w| v.query().var_name(*w))
-            .collect();
+        let names: Vec<&str> = plan.order.iter().map(|w| v.query().var_name(*w)).collect();
         assert_eq!(names, vec!["x", "z", "y"]);
     }
 

@@ -121,12 +121,7 @@ pub struct RhoPlus {
 /// # Errors
 ///
 /// Fails when some bag variable is not covered by any incident edge.
-pub fn rho_plus(
-    h: &Hypergraph,
-    bag: VarSet,
-    bag_free: VarSet,
-    delta: f64,
-) -> Result<RhoPlus> {
+pub fn rho_plus(h: &Hypergraph, bag: VarSet, bag_free: VarSet, delta: f64) -> Result<RhoPlus> {
     assert!(bag_free.is_subset_of(bag));
     assert!(delta >= 0.0, "delay exponents are non-negative");
     let edge_ids = h.edges_incident(bag);
@@ -341,7 +336,10 @@ mod tests {
             );
         }
         // Empty target set: both zero.
-        assert_eq!(max_fractional_matching(&triangle(), VarSet::EMPTY).unwrap(), 0.0);
+        assert_eq!(
+            max_fractional_matching(&triangle(), VarSet::EMPTY).unwrap(),
+            0.0
+        );
     }
 
     #[test]

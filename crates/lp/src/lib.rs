@@ -21,6 +21,9 @@ pub mod covers;
 pub mod fractional;
 pub mod simplex;
 
-pub use covers::{max_fractional_matching, min_fractional_edge_cover, rho_plus, rho_star, slack, CoverSolution, RhoPlus};
+pub use covers::{
+    max_fractional_matching, min_fractional_edge_cover, rho_plus, rho_star, slack, CoverSolution,
+    RhoPlus,
+};
 pub use fractional::{min_delay_cover, min_space_cover, CoverChoice};
 pub use simplex::{Cmp, Lp, LpSolution};

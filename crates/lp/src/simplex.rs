@@ -207,7 +207,12 @@ impl Lp {
                 x[basis[i]] = t[i][rhs_col];
             }
         }
-        let mut objective = self.objective.iter().zip(&x).map(|(c, v)| c * v).sum::<f64>();
+        let mut objective = self
+            .objective
+            .iter()
+            .zip(&x)
+            .map(|(c, v)| c * v)
+            .sum::<f64>();
         if self.objective_negated {
             objective = -objective;
         }
@@ -240,8 +245,7 @@ impl Lp {
                 if row[enter] > EPS {
                     let ratio = row[rhs_col] / row[enter];
                     let better = ratio < best - EPS
-                        || (ratio < best + EPS
-                            && leave.is_some_and(|l| basis[i] < basis[l]));
+                        || (ratio < best + EPS && leave.is_some_and(|l| basis[i] < basis[l]));
                     if better {
                         best = ratio;
                         leave = Some(i);

@@ -118,7 +118,10 @@ impl AdornedView {
 
     /// `µ = |V_f|`, the number of free variables.
     pub fn mu(&self) -> usize {
-        self.bindings.iter().filter(|b| **b == Binding::Free).count()
+        self.bindings
+            .iter()
+            .filter(|b| **b == Binding::Free)
+            .count()
     }
 
     /// `true` when every head variable is bound (§2.2 "boolean").
@@ -154,7 +157,13 @@ impl AdornedView {
 
 impl fmt::Display for AdornedView {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}^{} :: {}", self.query.name, self.pattern(), self.query)
+        write!(
+            f,
+            "{}^{} :: {}",
+            self.query.name,
+            self.pattern(),
+            self.query
+        )
     }
 }
 

@@ -71,7 +71,9 @@ impl Atom {
     /// The schema position of variable `v` in this atom, if present.
     /// For natural atoms the position is unique.
     pub fn position_of(&self, v: Var) -> Option<usize> {
-        self.terms.iter().position(|t| matches!(t, Term::Var(w) if *w == v))
+        self.terms
+            .iter()
+            .position(|t| matches!(t, Term::Var(w) if *w == v))
     }
 }
 

@@ -31,7 +31,10 @@ impl ConjunctiveQuery {
 
     /// The set of variables appearing in the body.
     pub fn body_vars(&self) -> VarSet {
-        self.atoms.iter().map(Atom::var_set).fold(VarSet::EMPTY, VarSet::union)
+        self.atoms
+            .iter()
+            .map(Atom::var_set)
+            .fold(VarSet::EMPTY, VarSet::union)
     }
 
     /// The set of head variables.
@@ -107,7 +110,10 @@ impl ConjunctiveQuery {
             self.is_natural_join(),
             "hypergraph is defined for natural join queries"
         );
-        Hypergraph::new(self.num_vars(), self.atoms.iter().map(Atom::var_set).collect())
+        Hypergraph::new(
+            self.num_vars(),
+            self.atoms.iter().map(Atom::var_set).collect(),
+        )
     }
 
     /// The display name of a variable.
@@ -154,6 +160,57 @@ impl ConjunctiveQuery {
             }
         }
         Ok(columns.into_iter().map(Domain::new).collect())
+    }
+
+    /// A canonical text rendering used as a cache key: the query name is
+    /// dropped, variables are renamed positionally (head order first, then
+    /// first occurrence in the body) and atoms are sorted. For **full**
+    /// queries (every body variable in the head — the engine's serving
+    /// class) two parses of the same view differing in query name, variable
+    /// spelling or atom order normalize to the same string. For non-full
+    /// queries, body-only variables are named in body scan order, so an
+    /// atom reorder can key differently — a conservative cache miss, never
+    /// a false merge (the renaming is injective either way).
+    pub fn normalized_text(&self) -> String {
+        // Positional names: head variables first (their order is part of
+        // the view's semantics), remaining body variables by first
+        // occurrence.
+        let mut order: Vec<Var> = Vec::with_capacity(self.num_vars());
+        for v in &self.head {
+            if !order.contains(v) {
+                order.push(*v);
+            }
+        }
+        for atom in &self.atoms {
+            for term in &atom.terms {
+                if let Term::Var(v) = term {
+                    if !order.contains(v) {
+                        order.push(*v);
+                    }
+                }
+            }
+        }
+        let canon = |v: &Var| -> String {
+            format!("v{}", order.iter().position(|w| w == v).expect("var seen"))
+        };
+        let mut atoms: Vec<String> = self
+            .atoms
+            .iter()
+            .map(|atom| {
+                let terms: Vec<String> = atom
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Var(v) => canon(v),
+                        Term::Const(c) => format!("#{c}"),
+                    })
+                    .collect();
+                format!("{}({})", atom.relation, terms.join(","))
+            })
+            .collect();
+        atoms.sort_unstable();
+        let head: Vec<String> = self.head.iter().map(canon).collect();
+        format!("({}) :- {}", head.join(","), atoms.join(", "))
     }
 }
 
@@ -243,9 +300,11 @@ mod tests {
     fn active_domains_union_columns() {
         let q = triangle();
         let mut db = Database::new();
-        db.add(Relation::from_pairs("R", vec![(1, 2), (5, 2)])).unwrap();
+        db.add(Relation::from_pairs("R", vec![(1, 2), (5, 2)]))
+            .unwrap();
         db.add(Relation::from_pairs("S", vec![(2, 3)])).unwrap();
-        db.add(Relation::from_pairs("T", vec![(3, 1), (4, 9)])).unwrap();
+        db.add(Relation::from_pairs("T", vec![(3, 1), (4, 9)]))
+            .unwrap();
         let doms = q.active_domains(&db).unwrap();
         // x occurs in R.0 and T.1: {1, 5} ∪ {1, 9}.
         assert_eq!(doms[0].values(), &[1, 5, 9]);
@@ -263,5 +322,15 @@ mod tests {
         db.add(Relation::from_pairs("S", vec![])).unwrap();
         db.add(Relation::from_pairs("T", vec![])).unwrap();
         assert!(q.check_schema(&db).is_err());
+    }
+
+    #[test]
+    fn normalized_text_ignores_name_spelling_and_atom_order() {
+        let a = crate::parser::parse_query("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)").unwrap();
+        let b = crate::parser::parse_query("View(a,b,c) :- T(c,a), R(a,b), S(b,c)").unwrap();
+        assert_eq!(a.normalized_text(), b.normalized_text());
+        // A genuinely different view (head order swapped) keys differently.
+        let c = crate::parser::parse_query("Q(y,x,z) :- R(x,y), S(y,z), T(z,x)").unwrap();
+        assert_ne!(a.normalized_text(), c.normalized_text());
     }
 }

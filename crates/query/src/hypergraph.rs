@@ -188,7 +188,10 @@ mod tests {
             ],
         );
         assert_eq!(path.neighbors(Var(0)), VarSet::singleton(Var(1)));
-        assert_eq!(path.neighbors(Var(1)), [Var(0), Var(2)].into_iter().collect());
+        assert_eq!(
+            path.neighbors(Var(1)),
+            [Var(0), Var(2)].into_iter().collect()
+        );
     }
 
     #[test]
@@ -215,10 +218,7 @@ mod tests {
         let star = Hypergraph::new(4, (0..3).map(|i| vs(&[i, 3])).collect());
         assert!(star.is_acyclic());
         // Acyclic: a single big edge subsuming small ones.
-        let sub = Hypergraph::new(
-            3,
-            vec![vs(&[0, 1, 2]), vs(&[0, 1]), vs(&[1, 2])],
-        );
+        let sub = Hypergraph::new(3, vec![vs(&[0, 1, 2]), vs(&[0, 1]), vs(&[1, 2])]);
         assert!(sub.is_acyclic());
         // Cyclic: 4-cycle.
         let cycle4 = Hypergraph::new(4, (0..4).map(|i| vs(&[i, (i + 1) % 4])).collect());

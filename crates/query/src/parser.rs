@@ -78,9 +78,9 @@ fn tokenize(text: &str) -> Result<Vec<Token>> {
                     i += 1;
                 }
                 let lit = &text[start..i];
-                let n = lit
-                    .parse::<u64>()
-                    .map_err(|_| CqcError::Parse(format!("integer literal `{lit}` out of range")))?;
+                let n = lit.parse::<u64>().map_err(|_| {
+                    CqcError::Parse(format!("integer literal `{lit}` out of range"))
+                })?;
                 tokens.push(Token::Int(n));
             }
             c if c.is_ascii_alphabetic() || c == '_' => {

@@ -109,8 +109,8 @@ mod tests {
     fn loads_basic_csv() {
         let data = "alice,bob\nbob,carol\nalice,carol\n";
         let mut interner = Interner::new();
-        let r = relation_from_csv("E", data.as_bytes(), &mut interner, CsvOptions::default())
-            .unwrap();
+        let r =
+            relation_from_csv("E", data.as_bytes(), &mut interner, CsvOptions::default()).unwrap();
         assert_eq!(r.arity(), 2);
         assert_eq!(r.len(), 3);
         let a = interner.get("alice").unwrap();
@@ -137,8 +137,8 @@ mod tests {
     fn quoting_and_escapes() {
         let data = "\"Smith, John\",\"say \"\"hi\"\"\"\nplain,field\n";
         let mut interner = Interner::new();
-        let r = relation_from_csv("E", data.as_bytes(), &mut interner, CsvOptions::default())
-            .unwrap();
+        let r =
+            relation_from_csv("E", data.as_bytes(), &mut interner, CsvOptions::default()).unwrap();
         assert_eq!(r.len(), 2);
         assert!(interner.get("Smith, John").is_some());
         assert!(interner.get("say \"hi\"").is_some());
@@ -161,8 +161,8 @@ mod tests {
     #[test]
     fn whitespace_trimmed_outside_quotes() {
         let mut i = Interner::new();
-        let r = relation_from_csv("E", " a , b \n".as_bytes(), &mut i, CsvOptions::default())
-            .unwrap();
+        let r =
+            relation_from_csv("E", " a , b \n".as_bytes(), &mut i, CsvOptions::default()).unwrap();
         assert!(i.get("a").is_some());
         assert!(i.get(" a ").is_none());
         assert_eq!(r.len(), 1);

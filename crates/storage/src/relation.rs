@@ -44,7 +44,10 @@ impl Relation {
 
     /// Builds a binary relation from `(a, b)` pairs; common in the graph
     /// workloads.
-    pub fn from_pairs(name: impl Into<String>, pairs: impl IntoIterator<Item = (Value, Value)>) -> Relation {
+    pub fn from_pairs(
+        name: impl Into<String>,
+        pairs: impl IntoIterator<Item = (Value, Value)>,
+    ) -> Relation {
         let tuples: Vec<Tuple> = pairs.into_iter().map(|(a, b)| vec![a, b]).collect();
         Relation::new(name, 2, tuples)
     }

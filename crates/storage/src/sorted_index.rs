@@ -256,7 +256,9 @@ mod tests {
                     let hi = lo + 150;
                     let expect = r
                         .iter()
-                        .filter(|row| row[order[0]] == p && row[order[1]] >= lo && row[order[1]] <= hi)
+                        .filter(|row| {
+                            row[order[0]] == p && row[order[1]] >= lo && row[order[1]] <= hi
+                        })
                         .count();
                     assert_eq!(ix.count(&[p], Some((lo, hi))), expect);
                 }

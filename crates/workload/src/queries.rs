@@ -52,9 +52,7 @@ pub fn k_set_disjointness(k: usize) -> Result<AdornedView> {
 pub fn path(n: usize, pattern: &str) -> Result<AdornedView> {
     assert!(n >= 1);
     let head: Vec<String> = (1..=n + 1).map(|i| format!("x{i}")).collect();
-    let atoms: Vec<String> = (1..=n)
-        .map(|i| format!("R{i}(x{i}, x{})", i + 1))
-        .collect();
+    let atoms: Vec<String> = (1..=n).map(|i| format!("R{i}(x{i}, x{})", i + 1)).collect();
     let text = format!("P({}) :- {}", head.join(", "), atoms.join(", "));
     parse_adorned(&text, pattern)
 }

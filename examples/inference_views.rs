@@ -39,15 +39,21 @@ fn main() {
         ("eager (materialize)".into(), Strategy::Materialize),
         (
             "partial: budget |D|^1.0".into(),
-            Strategy::Auto { space_budget_exp: Some(1.0) },
+            Strategy::Auto {
+                space_budget_exp: Some(1.0),
+            },
         ),
         (
             "partial: budget |D|^1.3".into(),
-            Strategy::Auto { space_budget_exp: Some(1.3) },
+            Strategy::Auto {
+                space_budget_exp: Some(1.3),
+            },
         ),
         (
             "partial: budget |D|^2.0".into(),
-            Strategy::Auto { space_budget_exp: Some(2.0) },
+            Strategy::Auto {
+                space_budget_exp: Some(2.0),
+            },
         ),
     ];
 

@@ -48,7 +48,11 @@ fn main() {
     // Full enumeration vs three catalogue segments.
     let t = Instant::now();
     let all: Vec<u64> = s.answer(&pair).unwrap().map(|t| t[0]).collect();
-    println!("full enumeration: {} results in {:.1?}", all.len(), t.elapsed());
+    println!(
+        "full enumeration: {} results in {:.1?}",
+        all.len(),
+        t.elapsed()
+    );
 
     for (lo, hi) in [(0u64, 99u64), (100, 299), (300, 499)] {
         let t = Instant::now();
@@ -59,7 +63,11 @@ fn main() {
             .collect();
         let dt = t.elapsed();
         // Cross-check against the client-side filter.
-        let expect: Vec<u64> = all.iter().copied().filter(|&y| y >= lo && y <= hi).collect();
+        let expect: Vec<u64> = all
+            .iter()
+            .copied()
+            .filter(|&y| y >= lo && y <= hi)
+            .collect();
         assert_eq!(seg, expect);
         println!(
             "segment [{lo:>3}, {hi:>3}]: {:>3} results in {dt:.1?} (verified)",
@@ -69,6 +77,10 @@ fn main() {
 
     // Ranges also compose with the boolean probe: "is anything in this
     // segment?" without enumerating it.
-    let any_high = s.answer_range(&pair, &[450], &[499]).unwrap().next().is_some();
+    let any_high = s
+        .answer_range(&pair, &[450], &[499])
+        .unwrap()
+        .next()
+        .is_some();
     println!("\nany co-purchase with id ≥ 450? {any_high}");
 }

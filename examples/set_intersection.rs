@@ -59,12 +59,12 @@ fn main() {
     let k = 3;
     let kview = queries::k_set_disjointness(k).unwrap();
     let s = Theorem1Structure::build(&kview, &db, &vec![1.0; k], 16.0).unwrap();
-    println!("\nk-SetDisjointness (k = {k}), α = {} (slack = k):", s.alpha());
+    println!(
+        "\nk-SetDisjointness (k = {k}), α = {} (slack = k):",
+        s.alpha()
+    );
     for _ in 0..5 {
         let q: Vec<u64> = (0..k).map(|_| set_zipf.sample(&mut rng)).collect();
-        println!(
-            "  sets {q:?} intersect? {}",
-            s.exists(&q).unwrap()
-        );
+        println!("  sets {q:?} intersect? {}", s.exists(&q).unwrap());
     }
 }

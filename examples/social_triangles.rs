@@ -106,5 +106,8 @@ fn main() {
             s.stats().dict_entries,
         );
     }
-    println!("\n{outs} mutual-friend results per batch of {} requests", requests.len());
+    println!(
+        "\n{outs} mutual-friend results per batch of {} requests",
+        requests.len()
+    );
 }

@@ -29,7 +29,10 @@ fn social_network_mutual_friends() {
         let cv = CompressedView::build(
             &view,
             &db,
-            Strategy::Tradeoff { tau, weights: Some(vec![0.5, 0.5, 0.5]) },
+            Strategy::Tradeoff {
+                tau,
+                weights: Some(vec![0.5, 0.5, 0.5]),
+            },
         )
         .unwrap();
         spaces.push(cv.heap_bytes());
@@ -71,7 +74,10 @@ fn coauthor_graph_neighborhoods() {
     let cv = CompressedView::build(
         &view,
         &db,
-        Strategy::Tradeoff { tau: 4.0, weights: None },
+        Strategy::Tradeoff {
+            tau: 4.0,
+            weights: None,
+        },
     )
     .unwrap();
     let baseline = CompressedView::build(&view, &db, Strategy::Materialize).unwrap();
@@ -105,8 +111,10 @@ fn felix_style_materialization_continuum() {
     // (person, other) chains.
     let mut r = cqc_workload::rng(52);
     let mut db = Database::new();
-    db.add(cqc_workload::uniform_relation(&mut r, "Mention", 2, 220, 25))
-        .unwrap();
+    db.add(cqc_workload::uniform_relation(
+        &mut r, "Mention", 2, 220, 25,
+    ))
+    .unwrap();
     db.add(cqc_workload::uniform_relation(&mut r, "Friend", 2, 220, 25))
         .unwrap();
     db.add(cqc_workload::uniform_relation(&mut r, "Works", 2, 220, 25))
@@ -119,12 +127,22 @@ fn felix_style_materialization_continuum() {
 
     let lazy = CompressedView::build(&view, &db, Strategy::Direct).unwrap();
     let eager = CompressedView::build(&view, &db, Strategy::Materialize).unwrap();
-    let partial_small =
-        CompressedView::build(&view, &db, Strategy::Auto { space_budget_exp: Some(1.1) })
-            .unwrap();
-    let partial_large =
-        CompressedView::build(&view, &db, Strategy::Auto { space_budget_exp: Some(2.0) })
-            .unwrap();
+    let partial_small = CompressedView::build(
+        &view,
+        &db,
+        Strategy::Auto {
+            space_budget_exp: Some(1.1),
+        },
+    )
+    .unwrap();
+    let partial_large = CompressedView::build(
+        &view,
+        &db,
+        Strategy::Auto {
+            space_budget_exp: Some(2.0),
+        },
+    )
+    .unwrap();
 
     let reqs = cqc_workload::witness_requests(&mut r, &view, &db, 60);
     for req in &reqs {
@@ -165,7 +183,10 @@ fn interned_string_pipeline() {
     let cv = CompressedView::build(
         &view,
         &db,
-        Strategy::Tradeoff { tau: 1.0, weights: None },
+        Strategy::Tradeoff {
+            tau: 1.0,
+            weights: None,
+        },
     )
     .unwrap();
     let alice = interner.get("alice").unwrap();

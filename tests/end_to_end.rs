@@ -60,8 +60,14 @@ fn scenarios() -> Vec<Scenario> {
     for (n, pattern) in [(2usize, "bbf"), (3, "bbbf"), (3, "fbfb")] {
         let mut db = Database::new();
         for i in 1..=n {
-            db.add(cqc_workload::uniform_relation(&mut r, &format!("R{i}"), 2, 110, 16))
-                .unwrap();
+            db.add(cqc_workload::uniform_relation(
+                &mut r,
+                &format!("R{i}"),
+                2,
+                110,
+                16,
+            ))
+            .unwrap();
         }
         out.push(Scenario {
             name: "star",
@@ -74,8 +80,14 @@ fn scenarios() -> Vec<Scenario> {
     for (n, pattern) in [(3usize, "bffb"), (4, "bfffb"), (3, "ffff")] {
         let mut db = Database::new();
         for i in 1..=n {
-            db.add(cqc_workload::uniform_relation(&mut r, &format!("R{i}"), 2, 90, 11))
-                .unwrap();
+            db.add(cqc_workload::uniform_relation(
+                &mut r,
+                &format!("R{i}"),
+                2,
+                90,
+                11,
+            ))
+            .unwrap();
         }
         out.push(Scenario {
             name: "path",
@@ -88,8 +100,14 @@ fn scenarios() -> Vec<Scenario> {
     {
         let mut db = Database::new();
         for i in 1..=3 {
-            db.add(cqc_workload::uniform_relation(&mut r, &format!("S{i}"), 2, 80, 10))
-                .unwrap();
+            db.add(cqc_workload::uniform_relation(
+                &mut r,
+                &format!("S{i}"),
+                2,
+                80,
+                10,
+            ))
+            .unwrap();
         }
         out.push(Scenario {
             name: "lw3/fbf",
@@ -102,8 +120,14 @@ fn scenarios() -> Vec<Scenario> {
     {
         let mut db = Database::new();
         for i in 1..=4 {
-            db.add(cqc_workload::uniform_relation(&mut r, &format!("R{i}"), 2, 90, 12))
-                .unwrap();
+            db.add(cqc_workload::uniform_relation(
+                &mut r,
+                &format!("R{i}"),
+                2,
+                90,
+                12,
+            ))
+            .unwrap();
         }
         out.push(Scenario {
             name: "cycle4/bfbf",
@@ -116,8 +140,14 @@ fn scenarios() -> Vec<Scenario> {
     {
         let mut db = Database::new();
         for i in 1..=3 {
-            db.add(cqc_workload::uniform_relation(&mut r, &format!("R{i}"), 3, 100, 8))
-                .unwrap();
+            db.add(cqc_workload::uniform_relation(
+                &mut r,
+                &format!("R{i}"),
+                3,
+                100,
+                8,
+            ))
+            .unwrap();
         }
         out.push(Scenario {
             name: "running/fffbbb",
@@ -133,12 +163,40 @@ fn strategies() -> Vec<(&'static str, Strategy)> {
     vec![
         ("direct", Strategy::Direct),
         ("materialize", Strategy::Materialize),
-        ("tradeoff-tau1", Strategy::Tradeoff { tau: 1.0, weights: None }),
-        ("tradeoff-tau4", Strategy::Tradeoff { tau: 4.0, weights: None }),
-        ("tradeoff-tau32", Strategy::Tradeoff { tau: 32.0, weights: None }),
+        (
+            "tradeoff-tau1",
+            Strategy::Tradeoff {
+                tau: 1.0,
+                weights: None,
+            },
+        ),
+        (
+            "tradeoff-tau4",
+            Strategy::Tradeoff {
+                tau: 4.0,
+                weights: None,
+            },
+        ),
+        (
+            "tradeoff-tau32",
+            Strategy::Tradeoff {
+                tau: 32.0,
+                weights: None,
+            },
+        ),
         ("factorized", Strategy::Factorized),
-        ("auto-budget1.4", Strategy::Auto { space_budget_exp: Some(1.4) }),
-        ("decomposed-2.0", Strategy::Decomposed { space_budget_exp: 2.0 }),
+        (
+            "auto-budget1.4",
+            Strategy::Auto {
+                space_budget_exp: Some(1.4),
+            },
+        ),
+        (
+            "decomposed-2.0",
+            Strategy::Decomposed {
+                space_budget_exp: 2.0,
+            },
+        ),
     ]
 }
 
@@ -185,7 +243,10 @@ fn theorem1_output_is_lexicographic() {
         let cv = CompressedView::build(
             &sc.view,
             &sc.db,
-            Strategy::Tradeoff { tau: 2.0, weights: None },
+            Strategy::Tradeoff {
+                tau: 2.0,
+                weights: None,
+            },
         )
         .unwrap();
         for req in witness_requests(&mut r, &sc.view, &sc.db, 15) {
@@ -207,8 +268,14 @@ fn decomposed_explicit_strategy() {
     let mut r = cqc_workload::rng(55);
     let mut db = Database::new();
     for i in 1..=4 {
-        db.add(cqc_workload::uniform_relation(&mut r, &format!("R{i}"), 2, 80, 10))
-            .unwrap();
+        db.add(cqc_workload::uniform_relation(
+            &mut r,
+            &format!("R{i}"),
+            2,
+            80,
+            10,
+        ))
+        .unwrap();
     }
     let view = queries::path(4, "bfffb").unwrap();
     let td = TreeDecomposition::new(
@@ -219,7 +286,10 @@ fn decomposed_explicit_strategy() {
     let cv = CompressedView::build(
         &view,
         &db,
-        Strategy::DecomposedExplicit { td, delta: vec![0.0, 0.3, 0.2] },
+        Strategy::DecomposedExplicit {
+            td,
+            delta: vec![0.0, 0.3, 0.2],
+        },
     )
     .unwrap();
     assert!(cv.describe().contains("theorem 2"), "{}", cv.describe());
@@ -235,8 +305,24 @@ fn decomposed_explicit_strategy() {
 #[test]
 fn builds_are_deterministic() {
     let sc = &scenarios()[0];
-    let a = CompressedView::build(&sc.view, &sc.db, Strategy::Tradeoff { tau: 3.0, weights: None }).unwrap();
-    let b = CompressedView::build(&sc.view, &sc.db, Strategy::Tradeoff { tau: 3.0, weights: None }).unwrap();
+    let a = CompressedView::build(
+        &sc.view,
+        &sc.db,
+        Strategy::Tradeoff {
+            tau: 3.0,
+            weights: None,
+        },
+    )
+    .unwrap();
+    let b = CompressedView::build(
+        &sc.view,
+        &sc.db,
+        Strategy::Tradeoff {
+            tau: 3.0,
+            weights: None,
+        },
+    )
+    .unwrap();
     let mut r = cqc_workload::rng(4);
     for req in random_requests(&mut r, &sc.view, &sc.db, 20) {
         let x: Vec<Tuple> = a.answer(&req).unwrap().collect();

@@ -89,7 +89,11 @@ fn check_tree_partitions(tree: &DelayBalancedTree) {
         }
         last_hi = Some(hi);
     }
-    assert_eq!(last_hi.as_ref(), Some(&root.hi), "last piece ends at root hi");
+    assert_eq!(
+        last_hi.as_ref(),
+        Some(&root.hi),
+        "last piece ends at root hi"
+    );
 }
 
 fn running_example() -> (cqc_query::AdornedView, Database) {
@@ -98,19 +102,37 @@ fn running_example() -> (cqc_query::AdornedView, Database) {
     db.add(Relation::new(
         "R1",
         3,
-        vec![vec![1, 1, 1], vec![1, 1, 2], vec![1, 2, 1], vec![2, 1, 1], vec![3, 1, 1]],
+        vec![
+            vec![1, 1, 1],
+            vec![1, 1, 2],
+            vec![1, 2, 1],
+            vec![2, 1, 1],
+            vec![3, 1, 1],
+        ],
     ))
     .unwrap();
     db.add(Relation::new(
         "R2",
         3,
-        vec![vec![1, 1, 2], vec![1, 2, 1], vec![1, 2, 2], vec![2, 1, 1], vec![2, 1, 2]],
+        vec![
+            vec![1, 1, 2],
+            vec![1, 2, 1],
+            vec![1, 2, 2],
+            vec![2, 1, 1],
+            vec![2, 1, 2],
+        ],
     ))
     .unwrap();
     db.add(Relation::new(
         "R3",
         3,
-        vec![vec![1, 1, 1], vec![1, 1, 2], vec![1, 2, 1], vec![2, 1, 1], vec![2, 1, 2]],
+        vec![
+            vec![1, 1, 1],
+            vec![1, 1, 2],
+            vec![1, 2, 1],
+            vec![2, 1, 1],
+            vec![2, 1, 2],
+        ],
     ))
     .unwrap();
     let view = parse_adorned(
@@ -138,8 +160,7 @@ fn midpoint_tree_partitions_too() {
     let (view, db) = running_example();
     let est = CostEstimator::build(&view, &db, &[1.0, 1.0, 1.0], 2.0).unwrap();
     for tau in [1.0, 4.0] {
-        let tree =
-            DelayBalancedTree::build_with_splitter(&est, tau, Splitter::Midpoint).unwrap();
+        let tree = DelayBalancedTree::build_with_splitter(&est, tau, Splitter::Midpoint).unwrap();
         check_tree_partitions(&tree);
     }
 }
@@ -193,8 +214,14 @@ fn deep_chain_theorem2_equivalence() {
     let mut rng = cqc_workload::rng(33);
     let mut db = Database::new();
     for i in 1..=6 {
-        db.add(cqc_workload::uniform_relation(&mut rng, &format!("E{i}"), 2, 60, 8))
-            .unwrap();
+        db.add(cqc_workload::uniform_relation(
+            &mut rng,
+            &format!("E{i}"),
+            2,
+            60,
+            8,
+        ))
+        .unwrap();
     }
     // Chain decomposition: {v1,v7} → {v1,v2,v7} → {v2,v3,v7} → … each bag
     // introducing one free variable.
@@ -210,7 +237,8 @@ fn deep_chain_theorem2_equivalence() {
         vec![None, Some(0), Some(1), Some(2), Some(3), Some(4)],
     )
     .unwrap();
-    td.validate_connex(&view.query().hypergraph(), vs(&[0, 6])).unwrap();
+    td.validate_connex(&view.query().hypergraph(), vs(&[0, 6]))
+        .unwrap();
     for delta in [
         vec![0.0; 6],
         vec![0.0, 0.2, 0.0, 0.3, 0.0, 0.1],
@@ -234,8 +262,10 @@ fn deep_chain_theorem2_equivalence() {
 fn self_join_triangle_invariants() {
     let mut rng = cqc_workload::rng(34);
     let mut db = Database::new();
-    db.add(cqc_workload::graphs::friendship_graph(&mut rng, 30, 150, 1.0))
-        .unwrap();
+    db.add(cqc_workload::graphs::friendship_graph(
+        &mut rng, 30, 150, 1.0,
+    ))
+    .unwrap();
     let view = parse_adorned("V(x,y,z) :- R(x,y), R(y,z), R(z,x)", "fbf").unwrap();
     let s = Theorem1Structure::build(&view, &db, &[0.5, 0.5, 0.5], 3.0).unwrap();
     for b in 0..30u64 {

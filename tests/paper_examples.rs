@@ -35,19 +35,37 @@ fn running_db() -> Database {
     db.add(Relation::new(
         "R1",
         3,
-        vec![vec![1, 1, 1], vec![1, 1, 2], vec![1, 2, 1], vec![2, 1, 1], vec![3, 1, 1]],
+        vec![
+            vec![1, 1, 1],
+            vec![1, 1, 2],
+            vec![1, 2, 1],
+            vec![2, 1, 1],
+            vec![3, 1, 1],
+        ],
     ))
     .unwrap();
     db.add(Relation::new(
         "R2",
         3,
-        vec![vec![1, 1, 2], vec![1, 2, 1], vec![1, 2, 2], vec![2, 1, 1], vec![2, 1, 2]],
+        vec![
+            vec![1, 1, 2],
+            vec![1, 2, 1],
+            vec![1, 2, 2],
+            vec![2, 1, 1],
+            vec![2, 1, 2],
+        ],
     ))
     .unwrap();
     db.add(Relation::new(
         "R3",
         3,
-        vec![vec![1, 1, 1], vec![1, 1, 2], vec![1, 2, 1], vec![2, 1, 1], vec![2, 1, 2]],
+        vec![
+            vec![1, 1, 1],
+            vec![1, 1, 2],
+            vec![1, 2, 1],
+            vec![2, 1, 1],
+            vec![2, 1, 2],
+        ],
     ))
     .unwrap();
     db
@@ -62,7 +80,10 @@ fn running_example_end_to_end() {
     let db = running_db();
     let s = Theorem1Structure::build(&view, &db, &[1.0, 1.0, 1.0], 4.0).unwrap();
 
-    assert!((s.alpha() - 2.0).abs() < 1e-9, "Example 4: slack α(V_f) = 2");
+    assert!(
+        (s.alpha() - 2.0).abs() < 1e-9,
+        "Example 4: slack α(V_f) = 2"
+    );
     let stats = s.stats();
     assert_eq!(stats.tree_nodes, 5, "Figure 3: five nodes");
     assert_eq!(stats.tree_depth, 2);
@@ -135,8 +156,14 @@ fn example_6_loomis_whitney() {
     let mut r = cqc_workload::rng(21);
     let mut db = Database::new();
     for i in 1..=3 {
-        db.add(cqc_workload::uniform_relation(&mut r, &format!("S{i}"), 2, 80, 12))
-            .unwrap();
+        db.add(cqc_workload::uniform_relation(
+            &mut r,
+            &format!("S{i}"),
+            2,
+            80,
+            12,
+        ))
+        .unwrap();
     }
     let s = Theorem1Structure::build(&view, &db, &[0.5, 0.5, 0.5], 3.0).unwrap();
     for req in cqc_workload::random_requests(&mut r, &view, &db, 60) {
@@ -160,8 +187,14 @@ fn example_7_star_slack() {
         let mut r = cqc_workload::rng(22);
         let mut db = Database::new();
         for i in 1..=n {
-            db.add(cqc_workload::uniform_relation(&mut r, &format!("R{i}"), 2, 120, 15))
-                .unwrap();
+            db.add(cqc_workload::uniform_relation(
+                &mut r,
+                &format!("R{i}"),
+                2,
+                120,
+                15,
+            ))
+            .unwrap();
         }
         let s = Theorem1Structure::build(&view, &db, &w, 4.0).unwrap();
         assert!((s.alpha() - n as f64).abs() < 1e-9);
@@ -204,7 +237,12 @@ fn set_intersection_special_case() {
 fn example_9_figure_2_widths() {
     let h = cqc_query::Hypergraph::new(7, (0..6).map(|i| vs(&[i, i + 1])).collect());
     let td = TreeDecomposition::new(
-        vec![vs(&[0, 4, 5]), vs(&[1, 3, 0, 4]), vs(&[2, 1, 3]), vs(&[6, 5])],
+        vec![
+            vs(&[0, 4, 5]),
+            vs(&[1, 3, 0, 4]),
+            vs(&[2, 1, 3]),
+            vs(&[6, 5]),
+        ],
         vec![None, Some(0), Some(1), Some(0)],
     )
     .unwrap();
@@ -227,8 +265,14 @@ fn example_10_path_theorem1_vs_theorem2() {
     let mut r = cqc_workload::rng(24);
     let mut db = Database::new();
     for i in 1..=n {
-        db.add(cqc_workload::uniform_relation(&mut r, &format!("R{i}"), 2, 90, 10))
-            .unwrap();
+        db.add(cqc_workload::uniform_relation(
+            &mut r,
+            &format!("R{i}"),
+            2,
+            90,
+            10,
+        ))
+        .unwrap();
     }
 
     // Theorem 1 path.
@@ -248,9 +292,7 @@ fn example_10_path_theorem1_vs_theorem2() {
     let t2_zero = Theorem2Structure::build(&view, &db, &td, &[0.0; 3]).unwrap();
     let t2_delay = Theorem2Structure::build(&view, &db, &td, &[0.0, 0.4, 0.2]).unwrap();
     // Delayed bags store strictly less than materialized ones.
-    assert!(
-        t2_delay.stats().materialized_tuples <= t2_zero.stats().materialized_tuples
-    );
+    assert!(t2_delay.stats().materialized_tuples <= t2_zero.stats().materialized_tuples);
 
     for req in cqc_workload::witness_requests(&mut r, &view, &db, 50) {
         let expect = evaluate_view(&view, &db, &req).unwrap();
@@ -276,10 +318,21 @@ fn appendix_d_width_relations() {
     // Figure 7: fhw(H) = 2 while fhw(H | V_b) = 3/2.
     let h7 = cqc_query::Hypergraph::new(
         5,
-        vec![vs(&[0, 1]), vs(&[1, 2]), vs(&[2, 3]), vs(&[3, 0]), vs(&[0, 4]), vs(&[1, 4])],
+        vec![
+            vs(&[0, 1]),
+            vs(&[1, 2]),
+            vs(&[2, 3]),
+            vs(&[3, 0]),
+            vs(&[0, 4]),
+            vs(&[1, 4]),
+        ],
     );
     let w = search_connex(&h7, vs(&[0, 1, 2, 3]), Objective::MinimizeWidth).unwrap();
-    assert!((w.score - 1.5).abs() < 1e-6, "fhw(H|Vb) = 3/2, got {}", w.score);
+    assert!(
+        (w.score - 1.5).abs() < 1e-6,
+        "fhw(H|Vb) = 3/2, got {}",
+        w.score
+    );
 }
 
 /// Figure 2, left side: the C = ∅ decomposition of the 6-path (the plain
@@ -305,7 +358,10 @@ fn figure_2_left_decomposition() {
     )
     .unwrap();
     td.validate_connex(&h, VarSet::EMPTY).unwrap();
-    assert!((connex_fhw(&h, &td).unwrap() - 1.0).abs() < 1e-6, "acyclic width 1");
+    assert!(
+        (connex_fhw(&h, &td).unwrap() - 1.0).abs() < 1e-6,
+        "acyclic width 1"
+    );
 
     // Drive Prop. 2 through it: linear-size, constant-delay full
     // enumeration of the 6-path query.
@@ -317,11 +373,20 @@ fn figure_2_left_decomposition() {
     let mut r = cqc_workload::rng(28);
     let mut db = Database::new();
     for i in 1..=6 {
-        db.add(cqc_workload::uniform_relation(&mut r, &format!("E{i}"), 2, 60, 9))
-            .unwrap();
+        db.add(cqc_workload::uniform_relation(
+            &mut r,
+            &format!("E{i}"),
+            2,
+            60,
+            9,
+        ))
+        .unwrap();
     }
     let rep = cqc_factorized::FactorizedRepresentation::build(&view, &db, &td).unwrap();
-    assert!(rep.materialized_tuples() <= db.size(), "semijoin-reduced ≤ |D|");
+    assert!(
+        rep.materialized_tuples() <= db.size(),
+        "semijoin-reduced ≤ |D|"
+    );
     let expect = evaluate_view(&view, &db, &[]).unwrap();
     let got: Vec<Tuple> = rep.answer(&[]).unwrap().collect();
     assert_eq!(sorted(got), expect);
@@ -336,8 +401,14 @@ fn proposition_1_bound_only() {
     let mut db = Database::new();
     db.add(cqc_workload::graphs::friendship_graph(&mut r, 40, 200, 0.7))
         .unwrap();
-    let cv = CompressedView::build(&view, &db, Strategy::Auto { space_budget_exp: None })
-        .unwrap();
+    let cv = CompressedView::build(
+        &view,
+        &db,
+        Strategy::Auto {
+            space_budget_exp: None,
+        },
+    )
+    .unwrap();
     assert_eq!(cv.strategy_name(), "bound-only (Prop 1)");
     for req in cqc_workload::witness_requests(&mut r, &view, &db, 100) {
         let expect = !evaluate_view(&view, &db, &req).unwrap().is_empty();
@@ -354,8 +425,14 @@ fn propositions_2_and_4_factorized() {
     let view = queries::path(3, "ffff").unwrap();
     let mut db = Database::new();
     for i in 1..=3 {
-        db.add(cqc_workload::uniform_relation(&mut r, &format!("R{i}"), 2, 100, 14))
-            .unwrap();
+        db.add(cqc_workload::uniform_relation(
+            &mut r,
+            &format!("R{i}"),
+            2,
+            100,
+            14,
+        ))
+        .unwrap();
     }
     let cv = CompressedView::build(&view, &db, Strategy::Factorized).unwrap();
     if let CompressedView::Factorized(f) = &cv {
