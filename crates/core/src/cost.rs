@@ -67,6 +67,26 @@ impl CostEstimator {
         weights: &[f64],
         alpha: f64,
     ) -> Result<CostEstimator> {
+        let all_domains = view.query().active_domains(db)?;
+        CostEstimator::build_with_domains(view, db, weights, alpha, &all_domains)
+    }
+
+    /// [`CostEstimator::build`] with the per-variable active domains
+    /// already computed (indexed by variable, as
+    /// [`cqc_query::ConjunctiveQuery::active_domains`] returns them) —
+    /// callers that just scanned the domains anyway (delta maintenance)
+    /// skip the second O(|D|) column-union pass.
+    ///
+    /// # Errors
+    ///
+    /// Fails on schema mismatches.
+    pub fn build_with_domains(
+        view: &AdornedView,
+        db: &Database,
+        weights: &[f64],
+        alpha: f64,
+        all_domains: &[Domain],
+    ) -> Result<CostEstimator> {
         let query = view.query();
         query.require_natural_join()?;
         query.check_schema(db)?;
@@ -83,7 +103,6 @@ impl CostEstimator {
 
         let free_head = view.free_head();
         let bound_head = view.bound_head();
-        let all_domains = query.active_domains(db)?;
         let domains: Vec<Domain> = free_head
             .iter()
             .map(|v| all_domains[v.index()].clone())

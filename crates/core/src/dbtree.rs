@@ -38,7 +38,7 @@ pub struct TreeNode {
 }
 
 /// The delay-balanced tree.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DelayBalancedTree {
     /// Nodes; index 0 is the root.
     pub nodes: Vec<TreeNode>,

@@ -27,7 +27,7 @@ use cqc_join::plan::ViewPlan;
 
 /// The dictionary: one map per tree node, keyed by the bound valuation in
 /// bound-head order.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct HeavyDictionary {
     maps: Vec<FastMap<Box<[Value]>, bool>>,
 }

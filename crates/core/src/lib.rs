@@ -20,7 +20,11 @@
 //!   is told) a strategy and exposes `answer`/`exists`/space accounting;
 //! * the geometric/costing substrate of §4: [`fbox`] (f-intervals, box
 //!   decompositions), [`cost`] (the `T(·)` oracle), [`split`]
-//!   (Lemma 3/Algorithm 1) and [`dbtree`] (the delay-balanced tree).
+//!   (Lemma 3/Algorithm 1) and [`dbtree`] (the delay-balanced tree);
+//! * [`maintain`] — delta maintenance: a Theorem 1 structure absorbs a
+//!   batched insert by refreshing its linear base indexes and re-probing
+//!   only the dictionary bits on affected root-to-leaf paths, instead of
+//!   rebuilding the whole representation.
 //!
 //! ```
 //! use cqc_core::compressed::{CompressedView, Strategy};
@@ -45,11 +49,13 @@ pub mod cost;
 pub mod dbtree;
 pub mod dictionary;
 pub mod fbox;
+pub mod maintain;
 pub mod split;
 pub mod theorem1;
 pub mod theorem2;
 
 pub use bound_only::BoundOnlyView;
 pub use compressed::{CompressedView, Strategy};
+pub use maintain::{MaintainOutcome, MaintainReport};
 pub use theorem1::{Theorem1Stats, Theorem1Structure};
 pub use theorem2::Theorem2Structure;

@@ -1,0 +1,603 @@
+//! Delta maintenance of compressed representations.
+//!
+//! The paper builds its structures over a static database (§4); this module
+//! extends the Theorem 1 structure to survive batched inserts without a
+//! full rebuild, in the spirit of factorised-representation maintenance
+//! (Olteanu & Závodný). The observation that makes localized maintenance
+//! sound is monotonicity: under insertions, every cost `T(v_b, I(w))` and
+//! every restricted join can only *grow*, so
+//!
+//! * heavy pairs stay heavy and `1` bits stay `1` — nothing stored becomes
+//!   wrong by staying;
+//! * a light pair that turns heavy simply keeps being evaluated directly
+//!   (the `⊥` branch of Algorithm 2 runs on the refreshed base indexes and
+//!   is always correct; only its delay bound degrades, proportionally to
+//!   the delta);
+//! * the single hazard is a stored `0` bit whose restricted join became
+//!   non-empty — a stale "provably empty" certificate would *suppress*
+//!   answers.
+//!
+//! Maintenance therefore (1) refreshes the linear-size base indexes (the
+//! `Õ(|D|)` term, unavoidable because answers are enumerated from them),
+//! (2) keeps the delay-balanced tree's shape, and (3) re-probes exactly the
+//! `0` bits on tree nodes whose f-interval intersects an inserted tuple's
+//! slab — the affected root-to-leaf paths — flipping them to `1` where the
+//! insert created answers. Everything else is untouched, so the work beyond
+//! the linear refresh is bounded by the delta, not by the structure.
+//!
+//! When the preconditions fail — a free variable's active domain changed
+//! (the rank-space grid the tree lives in would shift), or the view needs
+//! the Example 3 rewrite (the delta would have to be rewritten too) — the
+//! caller is told to rebuild instead. The engine additionally rebuilds when
+//! its cost calibration says the delta is too large for maintenance to pay
+//! off.
+
+use crate::compressed::CompressedView;
+use crate::cost::CostEstimator;
+use crate::dictionary::free_constraints;
+use crate::fbox::{box_decomposition, CanonicalBox};
+use crate::theorem1::Theorem1Structure;
+use cqc_common::error::Result;
+use cqc_common::value::Value;
+use cqc_join::leapfrog::LevelConstraint;
+use cqc_join::plan::ViewPlan;
+use cqc_query::rewrite::rewrite_view;
+use cqc_query::AdornedView;
+use cqc_storage::{Database, Delta};
+
+/// What happened during a maintenance attempt.
+#[derive(Debug)]
+pub enum MaintainOutcome {
+    /// The representation was updated in place of a rebuild.
+    Maintained {
+        /// The maintained representation, valid for the post-delta database.
+        view: Box<CompressedView>,
+        /// Work accounting for the maintenance pass.
+        report: MaintainReport,
+    },
+    /// The delta does not touch any relation of the view: the existing
+    /// representation is already valid for the new database.
+    Unaffected,
+    /// The structure cannot absorb this delta; build a fresh representation.
+    NeedsRebuild {
+        /// Why maintenance was refused.
+        reason: String,
+    },
+}
+
+/// Work performed by a successful maintenance pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintainReport {
+    /// Tuples in the delta that touch the view's relations.
+    pub delta_tuples: usize,
+    /// Tree nodes whose interval intersects an inserted tuple's slab.
+    pub affected_nodes: usize,
+    /// Stored `0` bits re-probed on affected nodes.
+    pub reprobed_entries: usize,
+    /// `0` bits flipped to `1` (inserts created answers in the interval).
+    pub flipped_bits: usize,
+}
+
+/// An inserted tuple's footprint on the free-variable grid and the bound
+/// valuation space: positions it pins, in rank space (free) and value space
+/// (bound). A tree node can only gain answers from this tuple if its
+/// interval contains a point agreeing with `free_fix`; a dictionary entry
+/// can only be invalidated by it if its valuation agrees with `bound_fix`.
+struct Slab {
+    free_fix: Vec<(usize, usize)>,
+    bound_fix: Vec<(usize, Value)>,
+}
+
+impl Slab {
+    fn hits_box(&self, b: &CanonicalBox) -> bool {
+        if b.is_empty() {
+            return false;
+        }
+        let p = b.range_pos();
+        self.free_fix.iter().all(|&(pos, rank)| {
+            if pos < p {
+                b.prefix[pos] == rank
+            } else if pos == p {
+                b.range.0 <= rank && rank <= b.range.1
+            } else {
+                true
+            }
+        })
+    }
+
+    fn matches_valuation(&self, vb: &[Value]) -> bool {
+        self.bound_fix.iter().all(|&(pos, v)| vb[pos] == v)
+    }
+}
+
+impl CompressedView {
+    /// Attempts to maintain this representation across `delta`, which has
+    /// already been applied to `db`. `original` is the view as registered
+    /// (pre-rewrite); `self` must have been built from the pre-delta
+    /// database.
+    ///
+    /// Only the Theorem 1 structure supports genuine delta maintenance;
+    /// every other strategy (and any precondition failure) reports
+    /// [`MaintainOutcome::NeedsRebuild`]. A delta that does not touch the
+    /// view's relations is [`MaintainOutcome::Unaffected`] for *every*
+    /// strategy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schema errors from rebuilding the base indexes.
+    pub fn maintain(
+        &self,
+        original: &AdornedView,
+        db: &Database,
+        delta: &Delta,
+    ) -> Result<MaintainOutcome> {
+        let query = original.query();
+        if !query.atoms.iter().any(|a| delta.touches(&a.relation)) {
+            return Ok(MaintainOutcome::Unaffected);
+        }
+        match self {
+            CompressedView::Tradeoff(s) => {
+                if query.atoms.iter().any(|a| !a.is_natural()) {
+                    return Ok(MaintainOutcome::NeedsRebuild {
+                        reason: "the Example 3 rewrite derives filtered relations; \
+                                 the delta would need the same rewrite"
+                            .into(),
+                    });
+                }
+                maintain_theorem1(s, db, delta)
+            }
+            CompressedView::AlwaysEmpty(_) => {
+                // Inserts can make a previously failing ground guard pass,
+                // so "always empty" must be re-derived, not trusted.
+                let rewritten = rewrite_view(original, db)?;
+                if rewritten.always_empty {
+                    Ok(MaintainOutcome::Maintained {
+                        view: Box::new(CompressedView::AlwaysEmpty(rewritten.view)),
+                        report: MaintainReport {
+                            delta_tuples: touched_tuples(query, delta),
+                            ..MaintainReport::default()
+                        },
+                    })
+                } else {
+                    Ok(MaintainOutcome::NeedsRebuild {
+                        reason: "the delta satisfied a previously failing ground guard".into(),
+                    })
+                }
+            }
+            other => Ok(MaintainOutcome::NeedsRebuild {
+                reason: format!(
+                    "strategy `{}` has no delta-maintenance path",
+                    other.strategy_name()
+                ),
+            }),
+        }
+    }
+}
+
+fn touched_tuples(query: &cqc_query::ConjunctiveQuery, delta: &Delta) -> usize {
+    let mut names: Vec<&str> = query.atoms.iter().map(|a| a.relation.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    names
+        .iter()
+        .filter_map(|n| delta.tuples_for(n))
+        .map(<[_]>::len)
+        .sum()
+}
+
+/// Theorem 1 maintenance proper. `s` was built over the pre-delta database
+/// and is a natural-join view, `db` is the post-delta database.
+fn maintain_theorem1(
+    s: &Theorem1Structure,
+    db: &Database,
+    delta: &Delta,
+) -> Result<MaintainOutcome> {
+    let query = s.view.query();
+    let free_head = s.view.free_head();
+    let bound_head = s.view.bound_head();
+
+    // Precondition: the free-variable grid is unchanged. A grown active
+    // domain shifts ranks, and every interval in the tree is rank-space.
+    let all_domains = query.active_domains(db)?;
+    let same_grid = free_head
+        .iter()
+        .zip(s.est.domains())
+        .all(|(v, old)| all_domains[v.index()] == *old);
+    if !same_grid {
+        return Ok(MaintainOutcome::NeedsRebuild {
+            reason: "a free variable's active domain changed; the rank-space grid shifted".into(),
+        });
+    }
+
+    // Linear refresh: base indexes over the post-delta database. The
+    // domains scanned for the grid check above are reused, not recomputed.
+    let est = CostEstimator::build_with_domains(&s.view, db, &s.weights, s.alpha, &all_domains)?;
+    let plan = ViewPlan::build(&s.view, db)?;
+
+    let mut report = MaintainReport {
+        delta_tuples: touched_tuples(query, delta),
+        ..MaintainReport::default()
+    };
+
+    let Some(tree) = &s.tree else {
+        // Empty grid at build time and the grid is unchanged: still empty.
+        return Ok(MaintainOutcome::Maintained {
+            view: Box::new(CompressedView::Tradeoff(Theorem1Structure {
+                view: s.view.clone(),
+                plan,
+                est,
+                tree: None,
+                dict: s.dict.clone(),
+                sizes: s.sizes.clone(),
+                weights: s.weights.clone(),
+                alpha: s.alpha,
+                tau: s.tau,
+            })),
+            report,
+        });
+    };
+
+    // One slab per (atom, inserted tuple) pair — an atom is touched per
+    // occurrence, so self-joins see the tuple once per role.
+    let enum_pos_of = |v: cqc_query::Var| free_head.iter().position(|w| *w == v);
+    let bound_pos_of = |v: cqc_query::Var| bound_head.iter().position(|w| *w == v);
+    let mut slabs: Vec<Slab> = Vec::new();
+    for atom in &query.atoms {
+        let Some(tuples) = delta.tuples_for(&atom.relation) else {
+            continue;
+        };
+        for t in tuples {
+            let mut free_fix = Vec::new();
+            let mut bound_fix = Vec::new();
+            for (col, v) in atom.vars().enumerate() {
+                if let Some(p) = enum_pos_of(v) {
+                    match s.est.domains()[p].rank(t[col]) {
+                        Some(r) => free_fix.push((p, r)),
+                        // Unreachable after the grid check; bail soundly
+                        // rather than trusting the invariant.
+                        None => {
+                            return Ok(MaintainOutcome::NeedsRebuild {
+                                reason: format!(
+                                    "inserted value {} is outside the free grid",
+                                    t[col]
+                                ),
+                            });
+                        }
+                    }
+                } else if let Some(p) = bound_pos_of(v) {
+                    bound_fix.push((p, t[col]));
+                }
+            }
+            slabs.push(Slab {
+                free_fix,
+                bound_fix,
+            });
+        }
+    }
+
+    // Re-probe stale `0` bits on affected nodes. Monotonicity makes this
+    // the only repair needed for exact answers (see module docs).
+    let mut dict = s.dict.clone();
+    let all_atoms: Vec<usize> = (0..plan.num_atoms()).collect();
+    let nb = plan.num_bound;
+    let mu = plan.num_levels() - nb;
+    for (w, node) in tree.nodes.iter().enumerate() {
+        let boxes = box_decomposition(&node.interval, &s.sizes);
+        let hitting: Vec<&Slab> = slabs
+            .iter()
+            .filter(|slab| boxes.iter().any(|b| slab.hits_box(b)))
+            .collect();
+        if hitting.is_empty() {
+            continue;
+        }
+        report.affected_nodes += 1;
+        let stale: Vec<Vec<Value>> = dict
+            .entries_of(w as u32)
+            .filter(|(vb, bit)| !bit && hitting.iter().any(|s| s.matches_valuation(vb)))
+            .map(|(vb, _)| vb.to_vec())
+            .collect();
+        for vb in stale {
+            report.reprobed_entries += 1;
+            let nonempty = boxes.iter().any(|b| {
+                let mut cons: Vec<LevelConstraint> =
+                    vb.iter().map(|&v| LevelConstraint::Fixed(v)).collect();
+                cons.extend(free_constraints(&est, b, mu));
+                plan.join_subset(&all_atoms, cons).is_non_empty()
+            });
+            if nonempty {
+                dict.set(w as u32, &vb, true);
+                report.flipped_bits += 1;
+            }
+        }
+    }
+
+    Ok(MaintainOutcome::Maintained {
+        view: Box::new(CompressedView::Tradeoff(Theorem1Structure {
+            view: s.view.clone(),
+            plan,
+            est,
+            tree: Some(tree.clone()),
+            dict,
+            sizes: s.sizes.clone(),
+            weights: s.weights.clone(),
+            alpha: s.alpha,
+            tau: s.tau,
+        })),
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Strategy;
+    use cqc_common::value::Tuple;
+    use cqc_join::naive::evaluate_view;
+    use cqc_query::parser::parse_adorned;
+    use cqc_storage::Relation;
+
+    fn triangle_db(rows: usize, domain: u64, seed: u64) -> Database {
+        let mut db = Database::new();
+        let mut rng = cqc_workload::rng(seed);
+        for name in ["R", "S", "T"] {
+            db.add(cqc_workload::uniform_relation(
+                &mut rng, name, 2, rows, domain,
+            ))
+            .unwrap();
+        }
+        db
+    }
+
+    /// A delta that recombines existing column values, so active domains
+    /// (unions of columns) are guaranteed stable and the maintain path is
+    /// reachable.
+    fn in_domain_delta(db: &Database, names: &[&str], per_rel: usize, seed: u64) -> Delta {
+        cqc_workload::recombination_delta(&mut cqc_workload::rng(seed), db, names, per_rel)
+    }
+
+    fn answers(cv: &CompressedView, vb: &[Value]) -> Vec<Tuple> {
+        cv.answer(vb).unwrap().collect()
+    }
+
+    #[test]
+    fn maintained_matches_rebuild_on_random_deltas() {
+        // The acceptance property: over random deltas, a maintained
+        // Theorem 1 structure answers identically to a from-scratch
+        // rebuild on the post-delta database.
+        let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", "bfb").unwrap();
+        for seed in 0..12u64 {
+            let mut db = triangle_db(60, 12, seed * 31 + 1);
+            let built = CompressedView::build(
+                &view,
+                &db,
+                Strategy::Tradeoff {
+                    tau: 2.0,
+                    weights: Some(vec![0.5, 0.5, 0.5]),
+                },
+            )
+            .unwrap();
+            let delta = in_domain_delta(&db, &["R", "S", "T"], 4, seed * 7 + 3);
+            db.apply(&delta).unwrap();
+
+            let outcome = built.maintain(&view, &db, &delta).unwrap();
+            let MaintainOutcome::Maintained {
+                view: maintained, ..
+            } = outcome
+            else {
+                panic!("expected maintenance, got {outcome:?} (seed {seed})");
+            };
+            let rebuilt = CompressedView::build(
+                &view,
+                &db,
+                Strategy::Tradeoff {
+                    tau: 2.0,
+                    weights: Some(vec![0.5, 0.5, 0.5]),
+                },
+            )
+            .unwrap();
+            for x in 0..12u64 {
+                for z in 0..12u64 {
+                    let vb = [x, z];
+                    let got = answers(&maintained, &vb);
+                    let expect = answers(&rebuilt, &vb);
+                    assert_eq!(got, expect, "seed {seed}, vb {vb:?}");
+                    let oracle = evaluate_view(&view, &db, &vb).unwrap();
+                    assert_eq!(got, oracle, "seed {seed}, vb {vb:?} vs naive oracle");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stale_zero_bits_are_flipped() {
+        // Engineer a stored 0 bit and a delta that creates answers inside
+        // its interval: without the re-probe the answer would be lost.
+        let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", "bfb").unwrap();
+        let mut db = Database::new();
+        db.add(Relation::from_pairs(
+            "R",
+            vec![(1, 2), (2, 3), (1, 3), (3, 1), (2, 1), (4, 2)],
+        ))
+        .unwrap();
+        db.add(Relation::from_pairs(
+            "S",
+            vec![(2, 3), (3, 1), (3, 2), (1, 2), (2, 4)],
+        ))
+        .unwrap();
+        db.add(Relation::from_pairs(
+            "T",
+            vec![(3, 1), (1, 2), (2, 3), (2, 1), (4, 4)],
+        ))
+        .unwrap();
+        let built = CompressedView::build(
+            &view,
+            &db,
+            Strategy::Tradeoff {
+                tau: 1.0,
+                weights: Some(vec![0.5, 0.5, 0.5]),
+            },
+        )
+        .unwrap();
+
+        // (x=4, z=4): T(4,4) exists but R(4,·)/S(·,4) only meet at y=2
+        // after we insert S(2,4)… which already exists; instead create the
+        // missing R(4, 2) companion pair (4, y=4): add S(4,4) wait—
+        // keep it simple: before the delta Q(4, y, 1) is empty; insert
+        // S(2,1): R(4,2), S(2,1), T(1,4)? T(1,4) missing. Use values that
+        // complete a triangle through existing tuples:
+        // R(4,2) ∧ S(2,1)(new) ∧ T(1,2)? needs T(z=1, x=4) → insert both.
+        let mut delta = Delta::new();
+        delta.insert("S", vec![2, 1]);
+        delta.insert("T", vec![1, 4]);
+        db.apply(&delta).unwrap();
+
+        let before: Vec<Tuple> = answers(&built, &[4, 1]);
+        assert!(before.is_empty(), "stale structure knows nothing of y=2");
+        let outcome = built.maintain(&view, &db, &delta).unwrap();
+        let MaintainOutcome::Maintained {
+            view: maintained,
+            report,
+        } = outcome
+        else {
+            panic!("expected maintenance, got {outcome:?}");
+        };
+        assert_eq!(answers(&maintained, &[4, 1]), vec![vec![2u64]]);
+        let oracle = evaluate_view(&view, &db, &[4, 1]).unwrap();
+        assert_eq!(answers(&maintained, &[4, 1]), oracle);
+        assert!(report.delta_tuples == 2, "{report:?}");
+        // All other requests agree with the oracle too.
+        for x in 0..6u64 {
+            for z in 0..6u64 {
+                assert_eq!(
+                    answers(&maintained, &[x, z]),
+                    evaluate_view(&view, &db, &[x, z]).unwrap(),
+                    "vb ({x},{z})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn untouched_relations_report_unaffected() {
+        let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", "bfb").unwrap();
+        let mut db = triangle_db(40, 10, 5);
+        db.add(Relation::from_pairs("U", vec![(1, 2)])).unwrap();
+        let built = CompressedView::build(
+            &view,
+            &db,
+            Strategy::Tradeoff {
+                tau: 2.0,
+                weights: None,
+            },
+        )
+        .unwrap();
+        let mut delta = Delta::new();
+        delta.insert("U", vec![5, 6]);
+        db.apply(&delta).unwrap();
+        assert!(matches!(
+            built.maintain(&view, &db, &delta).unwrap(),
+            MaintainOutcome::Unaffected
+        ));
+    }
+
+    #[test]
+    fn domain_growth_forces_rebuild() {
+        let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", "bfb").unwrap();
+        let mut db = triangle_db(40, 10, 9);
+        let built = CompressedView::build(
+            &view,
+            &db,
+            Strategy::Tradeoff {
+                tau: 2.0,
+                weights: None,
+            },
+        )
+        .unwrap();
+        // 999 is outside every column: y's active domain grows.
+        let mut delta = Delta::new();
+        delta.insert("R", vec![0, 999]);
+        db.apply(&delta).unwrap();
+        assert!(matches!(
+            built.maintain(&view, &db, &delta).unwrap(),
+            MaintainOutcome::NeedsRebuild { .. }
+        ));
+    }
+
+    #[test]
+    fn non_maintainable_strategies_ask_for_rebuild() {
+        let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", "bfb").unwrap();
+        let mut db = triangle_db(40, 10, 13);
+        for strategy in [
+            Strategy::Materialize,
+            Strategy::Direct,
+            Strategy::Factorized,
+        ] {
+            let built = CompressedView::build(&view, &db, strategy).unwrap();
+            let delta = in_domain_delta(&db, &["R"], 2, 17);
+            let mut db2 = db.clone();
+            db2.apply(&delta).unwrap();
+            assert!(matches!(
+                built.maintain(&view, &db2, &delta).unwrap(),
+                MaintainOutcome::NeedsRebuild { .. }
+            ));
+        }
+        // Constants in the view (Example 3 rewrite) also refuse.
+        let mut db3 = Database::new();
+        db3.add(Relation::new(
+            "R",
+            3,
+            vec![vec![1, 2, 9], vec![1, 3, 9], vec![2, 2, 5]],
+        ))
+        .unwrap();
+        let cview = parse_adorned("Q(x, y) :- R(x, y, 9)", "bf").unwrap();
+        let built = CompressedView::build(
+            &cview,
+            &db3,
+            Strategy::Tradeoff {
+                tau: 1.0,
+                weights: None,
+            },
+        )
+        .unwrap();
+        let mut delta = Delta::new();
+        delta.insert("R", vec![2, 3, 9]);
+        db3.apply(&delta).unwrap();
+        assert!(matches!(
+            built.maintain(&cview, &db3, &delta).unwrap(),
+            MaintainOutcome::NeedsRebuild { .. }
+        ));
+        let _ = db.apply(&Delta::new());
+    }
+
+    #[test]
+    fn always_empty_guard_flip_is_detected() {
+        let mut db = Database::new();
+        db.add(Relation::from_pairs("R", vec![(1, 2)])).unwrap();
+        db.add(Relation::from_pairs("G", vec![(5, 5)])).unwrap();
+        let view = parse_adorned("Q(x, y) :- R(x, y), G(7, 7)", "bf").unwrap();
+        let built = CompressedView::build(&view, &db, Strategy::Direct).unwrap();
+        assert_eq!(built.strategy_name(), "always-empty");
+
+        // A delta elsewhere in G keeps the guard failing: maintainable.
+        let mut delta = Delta::new();
+        delta.insert("G", vec![6, 6]);
+        db.apply(&delta).unwrap();
+        match built.maintain(&view, &db, &delta).unwrap() {
+            MaintainOutcome::Maintained { view: v, .. } => {
+                assert_eq!(v.strategy_name(), "always-empty");
+                assert!(!v.exists(&[1]).unwrap());
+            }
+            other => panic!("expected maintained always-empty, got {other:?}"),
+        }
+
+        // Satisfying the guard must force a rebuild (the view is no longer
+        // empty).
+        let mut delta = Delta::new();
+        delta.insert("G", vec![7, 7]);
+        db.apply(&delta).unwrap();
+        assert!(matches!(
+            built.maintain(&view, &db, &delta).unwrap(),
+            MaintainOutcome::NeedsRebuild { .. }
+        ));
+    }
+}

@@ -30,19 +30,22 @@ use cqc_query::AdornedView;
 use cqc_storage::Database;
 
 /// The Theorem 1 data structure.
+///
+/// Fields are `pub(crate)` so that [`crate::maintain`] can re-assemble a
+/// structure from delta-maintained parts without re-running Algorithm 1.
 #[derive(Debug)]
 pub struct Theorem1Structure {
-    view: AdornedView,
-    plan: ViewPlan,
-    est: CostEstimator,
+    pub(crate) view: AdornedView,
+    pub(crate) plan: ViewPlan,
+    pub(crate) est: CostEstimator,
     /// `None` when some free variable's active domain is empty — every
     /// access request then has an empty answer.
-    tree: Option<DelayBalancedTree>,
-    dict: HeavyDictionary,
-    sizes: Vec<usize>,
-    weights: Vec<f64>,
-    alpha: f64,
-    tau: f64,
+    pub(crate) tree: Option<DelayBalancedTree>,
+    pub(crate) dict: HeavyDictionary,
+    pub(crate) sizes: Vec<usize>,
+    pub(crate) weights: Vec<f64>,
+    pub(crate) alpha: f64,
+    pub(crate) tau: f64,
 }
 
 impl Theorem1Structure {

@@ -14,9 +14,15 @@
 //! ask <name> <v1> <v2> ...             answer one access request
 //! exists <name> <v1> ...               boolean probe
 //! explain <name>                       strategy selection + representation
+//! update <rel> <v1> <v2> ...           insert one tuple (bumps the epoch,
+//!                                      maintains/rebuilds cached views)
 //! bench <name> <requests> <threads> [seed] [witness|random]
-//!                                      serve a generated request stream
-//! stats                                catalog counters
+//!       [--with-updates[=<rounds>]] [--json=<path>]
+//!                                      serve a generated request stream;
+//!                                      --with-updates interleaves deltas and
+//!                                      cross-checks answers against a naive
+//!                                      oracle, --json writes a summary file
+//! stats                                catalog + update counters
 //! demo                                 canned end-to-end tour
 //! help | quit
 //! ```
@@ -26,9 +32,13 @@
 
 use cqc_bench::{fmt_bytes, fmt_ns, BatchStats};
 use cqc_core::Strategy;
-use cqc_engine::{Engine, Policy, Request};
+use cqc_engine::{Engine, Policy, Request, UpdateReport};
+use cqc_join::naive::evaluate_view;
 use cqc_storage::csv::CsvOptions;
-use cqc_workload::{graphs, random_requests, uniform_relation, witness_requests};
+use cqc_storage::Delta;
+use cqc_workload::{
+    graphs, random_requests, recombination_delta, uniform_relation, witness_requests,
+};
 use std::io::BufRead;
 
 fn main() {
@@ -109,7 +119,9 @@ fn print_help() {
     println!("  gen triangle <rows> [seed] | gen social <nodes> <edges> [seed] | gen star <k> <rows> [seed]");
     println!("  register <name> <pattern> <strategy> <query>");
     println!("  ask <name> <values...>   exists <name> <values...>   explain <name>");
+    println!("  update <rel> <values...>");
     println!("  bench <name> <requests> <threads> [seed] [witness|random]");
+    println!("        [--with-updates[=<rounds>]] [--json=<path>]");
     println!("  stats   demo   help   quit");
     println!();
     println!("strategies: auto  auto:<budget>  materialize  direct  factorized");
@@ -210,12 +222,14 @@ fn execute(engine: &mut Engine, line: &str) -> Result<bool, String> {
                     CsvOptions { has_header },
                 )
                 .map_err(|e| e.to_string())?;
-            let r = engine.db().get(rel).expect("just loaded");
+            let db = engine.db();
+            let r = db.get(rel).expect("just loaded");
             println!(
-                "loaded `{rel}`: {} tuples, arity {} (|D| = {})",
+                "loaded `{rel}`: {} tuples, arity {} (|D| = {}, epoch {})",
                 r.len(),
                 r.arity(),
-                engine.db().size()
+                db.size(),
+                db.epoch()
             );
         }
         "gen" => gen(engine, rest)?,
@@ -268,18 +282,49 @@ fn execute(engine: &mut Engine, line: &str) -> Result<bool, String> {
             };
             println!("{}", engine.explain(name).map_err(|e| e.to_string())?);
         }
+        "update" => {
+            let [rel, vals @ ..] = rest else {
+                return Err("usage: update <rel> <values...>".into());
+            };
+            if vals.is_empty() {
+                return Err("usage: update <rel> <values...>".into());
+            }
+            let tuple: Vec<u64> = vals
+                .iter()
+                .map(|v| engine.resolve_value(v).map_err(|e| e.to_string()))
+                .collect::<Result<_, _>>()?;
+            let mut delta = Delta::new();
+            delta.insert(rel, tuple);
+            let report = engine.update(&delta).map_err(|e| e.to_string())?;
+            println!(
+                "applied delta to `{rel}` (epoch {}): {} maintained, {} rebuilt, \
+                 {} restamped",
+                report.epoch, report.maintained, report.rebuilt, report.restamped
+            );
+        }
         "stats" => {
             let s = engine.catalog_stats();
+            let u = engine.update_stats();
             println!(
                 "catalog: {} entries, {} resident (budget {}), {} hits, {} misses, \
-                 {} builds, {} evictions",
+                 {} builds, {} maintained, {} evictions, {} invalidations",
                 s.entries,
                 fmt_bytes(s.resident_bytes),
                 fmt_bytes(s.budget_bytes),
                 s.hits,
                 s.misses,
                 s.builds,
-                s.evictions
+                s.maintained,
+                s.evictions,
+                s.invalidations
+            );
+            println!(
+                "updates: {} deltas (epoch {}), {} maintained, {} rebuilt, {} restamped",
+                u.deltas,
+                engine.epoch(),
+                u.maintained,
+                u.rebuilt,
+                u.restamped
             );
         }
         "bench" => bench(engine, rest)?,
@@ -367,29 +412,108 @@ fn gen(engine: &mut Engine, rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Options accepted by `bench` after the positional arguments.
+struct BenchOpts {
+    seed: u64,
+    witness: bool,
+    /// `Some(rounds)` to interleave delta application with serving.
+    updates: Option<usize>,
+    json_path: Option<String>,
+}
+
+fn parse_bench_opts(opts: &[String]) -> Result<BenchOpts, String> {
+    let mut parsed = BenchOpts {
+        seed: 7,
+        witness: true,
+        updates: None,
+        json_path: None,
+    };
+    let mut positional = 0usize;
+    for opt in opts {
+        if let Some(flag) = opt.strip_prefix("--") {
+            let (key, val) = match flag.split_once('=') {
+                Some((k, v)) => (k, Some(v)),
+                None => (flag, None),
+            };
+            match key {
+                "with-updates" => {
+                    let rounds = match val {
+                        None => 6,
+                        Some(v) => v
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&r| r >= 2)
+                            .ok_or_else(|| format!("bad round count `{v}` (need ≥ 2)"))?,
+                    };
+                    parsed.updates = Some(rounds);
+                }
+                "json" => {
+                    let Some(path) = val else {
+                        return Err("--json needs a path (--json=<path>)".into());
+                    };
+                    parsed.json_path = Some(path.to_string());
+                }
+                other => return Err(format!("unknown bench flag `--{other}`")),
+            }
+            continue;
+        }
+        match positional {
+            0 => parsed.seed = opt.parse().map_err(|_| format!("bad seed `{opt}`"))?,
+            1 => {
+                parsed.witness = match opt.as_str() {
+                    "witness" => true,
+                    "random" => false,
+                    other => return Err(format!("bad sampler `{other}` (witness|random)")),
+                }
+            }
+            _ => return Err(format!("unexpected bench argument `{opt}`")),
+        }
+        positional += 1;
+    }
+    Ok(parsed)
+}
+
+/// Cross-checks a few served answers against the naive oracle on the
+/// current snapshot; any divergence is a stale-serve violation.
+fn stale_serve_violations(
+    engine: &Engine,
+    rv: &cqc_engine::RegisteredView,
+    probes: &[Request],
+) -> Result<usize, String> {
+    let db = engine.db();
+    let mut violations = 0;
+    for req in probes {
+        let expect = evaluate_view(&rv.view, &db, &req.bound).map_err(|e| e.to_string())?;
+        let mut got = engine
+            .answer(&rv.name, &req.bound)
+            .map_err(|e| e.to_string())?;
+        got.sort_unstable();
+        got.dedup();
+        if got != expect {
+            violations += 1;
+        }
+    }
+    Ok(violations)
+}
+
 fn bench(engine: &mut Engine, rest: &[String]) -> Result<(), String> {
     let [name, n_req, threads, opts @ ..] = rest else {
-        return Err("usage: bench <name> <requests> <threads> [seed] [witness|random]".into());
+        return Err(
+            "usage: bench <name> <requests> <threads> [seed] [witness|random] \
+                    [--with-updates[=<rounds>]] [--json=<path>]"
+                .into(),
+        );
     };
     let n_req: usize = n_req.parse().map_err(|_| "bad request count")?;
     let threads: usize = threads.parse().map_err(|_| "bad thread count")?;
-    let seed: u64 = opts
-        .first()
-        .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
-        .transpose()?
-        .unwrap_or(7);
-    let witness = match opts.get(1).map(String::as_str) {
-        None | Some("witness") => true,
-        Some("random") => false,
-        Some(other) => return Err(format!("bad sampler `{other}` (witness|random)")),
-    };
+    let opts = parse_bench_opts(opts)?;
 
     let rv = engine.view(name).map_err(|e| e.to_string())?;
-    let mut rng = cqc_workload::rng(seed);
-    let bounds = if witness {
-        witness_requests(&mut rng, &rv.view, engine.db(), n_req)
+    let mut rng = cqc_workload::rng(opts.seed);
+    let bounds = if opts.witness {
+        witness_requests(&mut rng, &rv.view, &engine.db(), n_req)
     } else {
-        random_requests(&mut rng, &rv.view, engine.db(), n_req)
+        random_requests(&mut rng, &rv.view, &engine.db(), n_req)
     };
     let requests: Vec<Request> = bounds
         .into_iter()
@@ -399,29 +523,77 @@ fn bench(engine: &mut Engine, rest: &[String]) -> Result<(), String> {
         })
         .collect();
 
+    let mut view_relations: Vec<&str> = rv
+        .view
+        .query()
+        .atoms
+        .iter()
+        .map(|a| a.relation.as_str())
+        .collect();
+    view_relations.sort_unstable();
+    view_relations.dedup();
+
     let before = engine.catalog_stats();
-    let t0 = std::time::Instant::now();
-    // measure_batch drains without retaining tuples, so the reported gaps
-    // are the representation's §2.3 enumeration delay, not Vec reallocs.
-    let measured = engine
-        .measure_batch(&requests, threads)
-        .map_err(|e| e.to_string())?;
-    let wall = t0.elapsed();
+    let mut updates = UpdateReport::default();
+    let mut rounds_applied = 0usize;
+    let mut violations = 0usize;
+    // Serving-only wall time: delta application and oracle verification
+    // stay outside it, so the reported (and JSON-archived) req/s tracks
+    // the serve path, not the self-check harness.
+    let mut serve_ns = 0u64;
+    let mut batch = BatchStats::default();
+    let mut served = 0usize;
+    let mut measure = |engine: &Engine, reqs: &[Request]| -> Result<(), String> {
+        // measure_batch drains without retaining tuples, so the reported
+        // gaps are the representation's §2.3 enumeration delay, not Vec
+        // reallocs.
+        let t0 = std::time::Instant::now();
+        let measured = engine
+            .measure_batch(reqs, threads)
+            .map_err(|e| e.to_string())?;
+        serve_ns += t0.elapsed().as_nanos() as u64;
+        served += measured.len();
+        for d in &measured {
+            batch.add(d);
+        }
+        Ok(())
+    };
+    match opts.updates {
+        None => measure(engine, &requests)?,
+        Some(rounds) => {
+            let chunk = requests.len().div_ceil(rounds).max(1);
+            let mut chunks = requests.chunks(chunk).peekable();
+            while let Some(reqs) = chunks.next() {
+                measure(engine, reqs)?;
+                if chunks.peek().is_some() {
+                    let delta = recombination_delta(&mut rng, &engine.db(), &view_relations, 3);
+                    let report = engine.update(&delta).map_err(|e| e.to_string())?;
+                    rounds_applied += 1;
+                    updates.epoch = report.epoch;
+                    updates.delta_tuples += report.delta_tuples;
+                    updates.maintained += report.maintained;
+                    updates.rebuilt += report.rebuilt;
+                    updates.restamped += report.restamped;
+                    let probes: Vec<Request> =
+                        chunks.peek().unwrap().iter().take(3).cloned().collect();
+                    violations += stale_serve_violations(engine, &rv, &probes)?;
+                }
+            }
+        }
+    }
     let after = engine.catalog_stats();
 
-    let mut batch = BatchStats::default();
-    for d in &measured {
-        batch.add(d);
-    }
     let batch = batch.finish();
-    let rebuilds = after.builds - before.builds;
+    // Serving-phase rebuilds only: update-phase rebuilds are reported (and
+    // judged) separately below.
+    let rebuilds = (after.builds - before.builds) - updates.rebuilt as u64;
 
     println!(
         "bench `{name}`: {} requests on {threads} threads in {} \
          ({:.0} req/s, {} tuples)",
-        measured.len(),
-        fmt_ns(wall.as_nanos() as u64),
-        measured.len() as f64 / wall.as_secs_f64(),
+        served,
+        fmt_ns(serve_ns),
+        served as f64 / (serve_ns.max(1) as f64 / 1e9),
         batch.tuples
     );
     println!(
@@ -440,5 +612,89 @@ fn bench(engine: &mut Engine, rest: &[String]) -> Result<(), String> {
         },
         after.hits - before.hits
     );
+    if opts.updates.is_some() {
+        println!(
+            "  updates: {rounds_applied} rounds, {} tuples queued, \
+             delta-maintained: {}, rebuilt: {}, restamped: {}",
+            updates.delta_tuples, updates.maintained, updates.rebuilt, updates.restamped
+        );
+        println!("  stale-serve violations: {violations}");
+    }
+    if let Some(path) = &opts.json_path {
+        let json = bench_json(
+            name,
+            served,
+            threads,
+            serve_ns,
+            &batch,
+            rebuilds,
+            opts.updates.map(|_| (rounds_applied, &updates, violations)),
+        );
+        std::fs::write(path, json).map_err(|e| format!("write `{path}`: {e}"))?;
+        println!("  wrote JSON summary to {path}");
+    }
+    if violations > 0 {
+        return Err(format!(
+            "{violations} stale-serve violation(s): answers diverged from the naive oracle"
+        ));
+    }
     Ok(())
+}
+
+/// Escapes a string per RFC 8259 (Rust's `{:?}` is close but emits the
+/// non-JSON `\u{…}` brace syntax for non-ASCII characters).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Hand-rolled JSON (the environment has no serde): flat summary object for
+/// per-commit perf tracking. `wall_ns` is serving-only wall time.
+fn bench_json(
+    name: &str,
+    requests: usize,
+    threads: usize,
+    wall_ns: u64,
+    batch: &BatchStats,
+    rebuilds: u64,
+    updates: Option<(usize, &UpdateReport, usize)>,
+) -> String {
+    let mut fields = vec![
+        format!("\"view\": {}", json_string(name)),
+        format!("\"requests\": {requests}"),
+        format!("\"threads\": {threads}"),
+        format!("\"wall_ns\": {wall_ns}"),
+        format!(
+            "\"req_per_s\": {:.1}",
+            requests as f64 / (wall_ns.max(1) as f64 / 1e9)
+        ),
+        format!("\"tuples\": {}", batch.tuples),
+        format!("\"max_delay_ns\": {}", batch.max_delay_ns),
+        format!("\"mean_p99_ns\": {}", batch.mean_p99_ns),
+        format!("\"trie_seeks\": {}", batch.trie_seeks),
+        format!("\"serve_rebuilds\": {rebuilds}"),
+    ];
+    if let Some((rounds, u, violations)) = updates {
+        fields.push(format!("\"update_rounds\": {rounds}"));
+        fields.push(format!("\"delta_tuples\": {}", u.delta_tuples));
+        fields.push(format!("\"delta_maintained\": {}", u.maintained));
+        fields.push(format!("\"update_rebuilt\": {}", u.rebuilt));
+        fields.push(format!("\"update_restamped\": {}", u.restamped));
+        fields.push(format!("\"stale_serve_violations\": {violations}"));
+        fields.push(format!("\"final_epoch\": {}", u.epoch));
+    }
+    format!("{{\n  {}\n}}\n", fields.join(",\n  "))
 }

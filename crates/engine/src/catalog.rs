@@ -9,10 +9,21 @@
 //! never rebuild. Entries are evicted least-recently-used when the
 //! deterministic [`HeapSize`] accounting exceeds the configured byte
 //! budget.
+//!
+//! Since the database became versioned, every entry additionally carries
+//! the [`Epoch`] it was built (or maintained) at. A lookup passes the
+//! epoch of the database snapshot it is serving from; an entry stamped
+//! older is **stale** — it was built before some applied delta — and is
+//! invalidated on the spot instead of served wrong. [`Catalog::restamp`]
+//! lets the engine mark entries that a delta provably did not affect, and
+//! [`Catalog::invalidate_stale`] sweeps eagerly. Entries also remember
+//! their measured build time, which calibrates the engine's
+//! maintain-versus-rebuild decision.
 
 use cqc_common::heap::HeapSize;
 use cqc_common::FastMap;
 use cqc_core::CompressedView;
+use cqc_storage::Epoch;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -28,18 +39,25 @@ pub struct CatalogKey {
 }
 
 /// Counters describing catalog effectiveness. `builds` counts every
-/// representation construction (including rebuilds after eviction), which is
-/// what the zero-rebuild acceptance tests assert on.
+/// representation construction (including rebuilds after eviction or
+/// invalidation), which is what the zero-rebuild acceptance tests assert
+/// on; delta-maintained insertions are counted separately.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CatalogStats {
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that found no entry.
     pub misses: u64,
-    /// Representations built (registrations + rebuilds after eviction).
+    /// Representations built (registrations + rebuilds after eviction or
+    /// invalidation).
     pub builds: u64,
+    /// Maintained representations installed without a rebuild.
+    pub maintained: u64,
     /// Entries evicted to respect the memory budget.
     pub evictions: u64,
+    /// Entries dropped because their epoch stamp was older than the
+    /// database they were asked to serve (lazy lookups + explicit sweeps).
+    pub invalidations: u64,
     /// Entries currently resident.
     pub entries: usize,
     /// Deterministic heap bytes currently resident.
@@ -51,6 +69,11 @@ pub struct CatalogStats {
 struct Slot {
     view: Arc<CompressedView>,
     bytes: usize,
+    /// Database epoch this representation is valid for.
+    epoch: Epoch,
+    /// Measured wall time of the build that produced the entry (0 for
+    /// maintained entries, which keep the original build's measurement).
+    build_ns: u64,
     /// Logical-clock tick of the last lookup; atomic so cache hits can
     /// refresh recency under the shared lock.
     last_used: AtomicU64,
@@ -62,11 +85,23 @@ struct Inner {
     resident_bytes: usize,
 }
 
+impl Inner {
+    fn remove(&mut self, key: &CatalogKey) -> bool {
+        if let Some(slot) = self.map.remove(key) {
+            self.resident_bytes -= slot.bytes;
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// The concurrent representation cache.
 ///
-/// Reads take a shared lock (lookups clone an `Arc` out); only insertion and
-/// eviction take the exclusive lock. Recency is tracked with a lock-free
-/// logical clock so hits on the shared path still update LRU order.
+/// Reads take a shared lock (lookups clone an `Arc` out); only insertion,
+/// eviction and invalidation take the exclusive lock. Recency is tracked
+/// with a lock-free logical clock so hits on the shared path still update
+/// LRU order.
 pub struct Catalog {
     inner: RwLock<Inner>,
     /// Per-key build serialization: concurrent misses on the *same* key —
@@ -79,7 +114,9 @@ pub struct Catalog {
     hits: AtomicU64,
     misses: AtomicU64,
     builds: AtomicU64,
+    maintained: AtomicU64,
     evictions: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl Catalog {
@@ -95,41 +132,93 @@ impl Catalog {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             builds: AtomicU64::new(0),
+            maintained: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
-    /// Looks `key` up, refreshing its recency on a hit. Hits stay entirely
-    /// on the shared lock: recency is an atomic stamp, not a list splice.
-    pub fn get(&self, key: &CatalogKey) -> Option<Arc<CompressedView>> {
+    /// Looks `key` up for a request serving the database at epoch `at`,
+    /// refreshing recency on a hit. An entry stamped **older** than `at`
+    /// is stale — built before a delta the caller can already observe —
+    /// and is dropped (counted as an invalidation plus a miss) instead of
+    /// returned. An entry stamped newer is fine: representations advance
+    /// monotonically and serving fresher data is always allowed.
+    pub fn get(&self, key: &CatalogKey, at: Epoch) -> Option<Arc<CompressedView>> {
         let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
-        let inner = self.inner.read().expect("catalog lock poisoned");
-        match inner.map.get(key) {
-            Some(slot) => {
-                slot.last_used.fetch_max(tick, Ordering::Relaxed);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(&slot.view))
+        let stale = {
+            let inner = self.inner.read().expect("catalog lock poisoned");
+            match inner.map.get(key) {
+                Some(slot) if slot.epoch >= at => {
+                    slot.last_used.fetch_max(tick, Ordering::Relaxed);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(Arc::clone(&slot.view));
+                }
+                Some(_) => true,
+                None => false,
             }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+        };
+        if stale {
+            let mut inner = self.inner.write().expect("catalog lock poisoned");
+            // Re-check under the exclusive lock: a maintainer may have
+            // replaced the entry with a fresh one while we upgraded.
+            match inner.map.get(key) {
+                Some(slot) if slot.epoch >= at => {
+                    slot.last_used.fetch_max(tick, Ordering::Relaxed);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(Arc::clone(&slot.view));
+                }
+                Some(_) => {
+                    inner.remove(key);
+                    self.invalidations.fetch_add(1, Ordering::Relaxed);
+                }
+                None => {}
             }
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
     }
 
-    /// Inserts a freshly built view, counting the build and evicting
-    /// least-recently-used entries until the budget holds (the new entry is
-    /// never evicted by its own insertion).
-    pub fn insert(&self, key: CatalogKey, view: Arc<CompressedView>) {
+    /// Inserts a freshly built view stamped with the epoch of the database
+    /// it was built from and its measured build time, counting the build
+    /// and evicting least-recently-used entries until the budget holds.
+    pub fn insert(&self, key: CatalogKey, view: Arc<CompressedView>, epoch: Epoch, build_ns: u64) {
         self.builds.fetch_add(1, Ordering::Relaxed);
+        self.insert_at(key, view, epoch, build_ns);
+    }
+
+    /// Installs a delta-maintained view — counted as maintenance, not as a
+    /// build, so zero-rebuild assertions over serving phases stay
+    /// meaningful. The entry keeps the original build-time measurement if
+    /// it is still resident (maintenance does not re-measure a rebuild).
+    pub fn insert_maintained(&self, key: CatalogKey, view: Arc<CompressedView>, epoch: Epoch) {
+        self.maintained.fetch_add(1, Ordering::Relaxed);
+        let prior_build_ns = self
+            .inner
+            .read()
+            .expect("catalog lock poisoned")
+            .map
+            .get(&key)
+            .map_or(0, |s| s.build_ns);
+        self.insert_at(key, view, epoch, prior_build_ns);
+    }
+
+    fn insert_at(&self, key: CatalogKey, view: Arc<CompressedView>, epoch: Epoch, build_ns: u64) {
         let bytes = std::mem::size_of::<CompressedView>() + view.heap_bytes();
         let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         let mut inner = self.inner.write().expect("catalog lock poisoned");
+        // Never replace a fresher entry with an older build: a builder
+        // racing a concurrent `update` may finish after the maintainer.
+        if inner.map.get(&key).is_some_and(|s| s.epoch > epoch) {
+            return;
+        }
         if let Some(old) = inner.map.insert(
             key.clone(),
             Slot {
                 view,
                 bytes,
+                epoch,
+                build_ns,
                 last_used: AtomicU64::new(tick),
             },
         ) {
@@ -144,11 +233,60 @@ impl Catalog {
                 .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
                 .map(|(k, _)| k.clone());
             let Some(victim) = victim else { break };
-            if let Some(slot) = inner.map.remove(&victim) {
-                inner.resident_bytes -= slot.bytes;
+            if inner.remove(&victim) {
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
+    }
+
+    /// Advances an entry's epoch stamp without touching its contents —
+    /// used when a delta provably does not affect the entry's view (none
+    /// of the view's relations were touched). Stamps only move forward.
+    /// Returns `true` when the entry exists.
+    pub fn restamp(&self, key: &CatalogKey, epoch: Epoch) -> bool {
+        let mut inner = self.inner.write().expect("catalog lock poisoned");
+        match inner.map.get_mut(key) {
+            Some(slot) => {
+                slot.epoch = slot.epoch.max(epoch);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops every entry stamped older than `at`, returning how many were
+    /// removed. The lazy path in [`Catalog::get`] already guarantees stale
+    /// entries are never served; this sweep additionally returns their
+    /// memory ahead of the next lookup.
+    pub fn invalidate_stale(&self, at: Epoch) -> usize {
+        let mut inner = self.inner.write().expect("catalog lock poisoned");
+        let stale: Vec<CatalogKey> = inner
+            .map
+            .iter()
+            .filter(|(_, slot)| slot.epoch < at)
+            .map(|(k, _)| k.clone())
+            .collect();
+        let mut dropped = 0;
+        for key in &stale {
+            if inner.remove(key) {
+                dropped += 1;
+            }
+        }
+        self.invalidations
+            .fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
+    }
+
+    /// The resident entry for `key`, with its epoch stamp and measured
+    /// build time — no recency update, no counter bumps (the maintenance
+    /// and introspection path).
+    pub fn peek(&self, key: &CatalogKey) -> Option<(Arc<CompressedView>, Epoch, u64)> {
+        self.inner
+            .read()
+            .expect("catalog lock poisoned")
+            .map
+            .get(key)
+            .map(|slot| (Arc::clone(&slot.view), slot.epoch, slot.build_ns))
     }
 
     /// The build-serialization mutex for `key` (one per distinct key for
@@ -176,7 +314,9 @@ impl Catalog {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             builds: self.builds.load(Ordering::Relaxed),
+            maintained: self.maintained.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
             entries: inner.map.len(),
             resident_bytes: inner.resident_bytes,
             budget_bytes: self.budget_bytes,
@@ -194,7 +334,9 @@ impl std::fmt::Debug for Catalog {
             .field("hits", &s.hits)
             .field("misses", &s.misses)
             .field("builds", &s.builds)
+            .field("maintained", &s.maintained)
             .field("evictions", &s.evictions)
+            .field("invalidations", &s.invalidations)
             .finish()
     }
 }

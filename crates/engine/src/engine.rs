@@ -1,4 +1,5 @@
-//! The [`Engine`]: register-once / serve-many over a [`Database`].
+//! The [`Engine`]: register-once / serve-many over a versioned
+//! [`Database`].
 //!
 //! Lifecycle: load relations (`&mut self`), then register adorned views and
 //! serve access requests concurrently (`&self` — the engine is `Sync`).
@@ -6,20 +7,33 @@
 //! in the [`Catalog`]; a request that hits the catalog performs **zero**
 //! representation rebuilds, which is the whole point of the paper's
 //! build-once/answer-many regime.
+//!
+//! The database is held as a copy-on-write snapshot (`RwLock<Arc<…>>`):
+//! readers clone the `Arc` out and serve from a consistent epoch while
+//! [`Engine::update`] installs the next version. Each update applies a
+//! batched [`Delta`], bumps the epoch, and reconciles the catalog —
+//! entries whose views the delta cannot affect are restamped, Theorem 1
+//! entries absorb the delta through [`cqc_core::maintain`], and everything
+//! else is rebuilt (or left for lazy invalidation on the next lookup).
+//! Requests therefore never observe a representation older than the
+//! database snapshot they serve from.
 
 use crate::catalog::{Catalog, CatalogKey, CatalogStats};
 use crate::policy::{select, Policy};
 use cqc_bench::{measure_delays, DelayStats};
 use cqc_common::error::{CqcError, Result};
 use cqc_common::value::{Tuple, Value};
-use cqc_common::FastMap;
+use cqc_common::{FastMap, FastSet};
+use cqc_core::maintain::MaintainOutcome;
 use cqc_core::CompressedView;
 use cqc_query::parser::parse_adorned;
 use cqc_query::AdornedView;
 use cqc_storage::csv::{relation_from_csv, CsvOptions};
-use cqc_storage::{Database, Interner, Relation, RelationId};
+use cqc_storage::{Database, Delta, Epoch, Interner, Relation, RelationId};
 use std::io::BufRead;
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -27,7 +41,22 @@ pub struct EngineConfig {
     /// Byte budget for the representation catalog (deterministic
     /// [`cqc_common::heap::HeapSize`] accounting).
     pub catalog_budget_bytes: usize,
+    /// Largest delta, as a fraction of `|D|`, that [`Engine::update`] will
+    /// try to absorb by maintenance instead of a rebuild. Above it the
+    /// localized repair no longer beats rebuilding — the cost model behind
+    /// maintenance assumes the delta is small relative to the structure.
+    pub maintain_max_delta_fraction: f64,
+    /// Whether to calibrate maintain-versus-rebuild against measured wall
+    /// times (pause maintenance for a key whose repair decisively loses to
+    /// its own rebuild). On by default; tests that assert the maintain
+    /// path deterministically turn it off, since wall clocks on a loaded
+    /// machine can otherwise flip the decision.
+    pub maintain_calibration: bool,
 }
+
+/// How many further deltas a key sits out after its maintenance was
+/// measured decisively slower than its own rebuild, before it is retried.
+const MAINTAIN_RETRY_DELTAS: u64 = 16;
 
 impl Default for EngineConfig {
     fn default() -> EngineConfig {
@@ -35,6 +64,8 @@ impl Default for EngineConfig {
             // Generous enough that eviction only happens under real
             // pressure; tests shrink it to force the LRU path.
             catalog_budget_bytes: 256 * 1024 * 1024,
+            maintain_max_delta_fraction: 0.2,
+            maintain_calibration: true,
         }
     }
 }
@@ -70,12 +101,54 @@ pub struct Served {
     pub delay: DelayStats,
 }
 
+/// What one [`Engine::update`] call did to the catalog.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// The database epoch after the delta.
+    pub epoch: Epoch,
+    /// Tuples the delta queued (including duplicates that were no-ops).
+    pub delta_tuples: usize,
+    /// Resident entries absorbed by delta maintenance.
+    pub maintained: usize,
+    /// Resident entries rebuilt from scratch.
+    pub rebuilt: usize,
+    /// Resident entries the delta provably did not affect (epoch restamp).
+    pub restamped: usize,
+}
+
+/// Cumulative [`Engine::update`] counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Deltas applied (calls that changed the database).
+    pub deltas: u64,
+    /// Catalog entries absorbed by delta maintenance, total.
+    pub maintained: u64,
+    /// Catalog entries rebuilt by updates, total.
+    pub rebuilt: u64,
+    /// Catalog entries restamped as unaffected, total.
+    pub restamped: u64,
+}
+
 /// The serve-many front door over a database and a representation catalog.
 pub struct Engine {
-    db: Database,
+    db: RwLock<Arc<Database>>,
     interner: Interner,
     catalog: Catalog,
     views: RwLock<FastMap<String, Arc<RegisteredView>>>,
+    config: EngineConfig,
+    /// Serializes writers: updates see a quiescent catalog-reconciliation
+    /// phase while readers keep serving from their snapshots.
+    update_lock: Mutex<()>,
+    /// Keys whose maintenance was measured decisively slower than their
+    /// own rebuild, mapped to the delta count at which they lost. The
+    /// measured build time calibrates the choice; the pause expires after
+    /// [`MAINTAIN_RETRY_DELTAS`] further deltas so one noisy sample never
+    /// disables maintenance forever.
+    maintain_paused: Mutex<FastMap<CatalogKey, u64>>,
+    upd_deltas: AtomicU64,
+    upd_maintained: AtomicU64,
+    upd_rebuilt: AtomicU64,
+    upd_restamped: AtomicU64,
 }
 
 impl Engine {
@@ -87,16 +160,30 @@ impl Engine {
     /// An engine over `db` with explicit tuning.
     pub fn with_config(db: Database, config: EngineConfig) -> Engine {
         Engine {
-            db,
+            db: RwLock::new(Arc::new(db)),
             interner: Interner::new(),
             catalog: Catalog::new(config.catalog_budget_bytes),
             views: RwLock::new(FastMap::default()),
+            config,
+            update_lock: Mutex::new(()),
+            maintain_paused: Mutex::new(FastMap::default()),
+            upd_deltas: AtomicU64::new(0),
+            upd_maintained: AtomicU64::new(0),
+            upd_rebuilt: AtomicU64::new(0),
+            upd_restamped: AtomicU64::new(0),
         }
     }
 
-    /// The underlying database.
-    pub fn db(&self) -> &Database {
-        &self.db
+    /// A consistent snapshot of the database. Cheap (`Arc` clone); the
+    /// snapshot stays valid — and unchanged — however many updates land
+    /// afterwards.
+    pub fn db(&self) -> Arc<Database> {
+        Arc::clone(&self.db.read().expect("db lock poisoned"))
+    }
+
+    /// The current database epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.db().epoch()
     }
 
     /// The interner used by CSV loading and textual request values.
@@ -106,11 +193,17 @@ impl Engine {
 
     /// Adds an already-built relation (load phase).
     ///
+    /// Routed through the versioning path: the epoch bump makes every
+    /// cached representation stale, so a catalog entry built before this
+    /// call is invalidated on its next lookup instead of being served
+    /// against an outdated view of the database.
+    ///
     /// # Errors
     ///
     /// Fails if a relation with the same name exists.
     pub fn add_relation(&mut self, relation: Relation) -> Result<RelationId> {
-        self.db.add(relation)
+        let arc = self.db.get_mut().expect("db lock poisoned");
+        Arc::make_mut(arc).add(relation)
     }
 
     /// Loads a relation from CSV through the engine's interner (load phase).
@@ -125,7 +218,221 @@ impl Engine {
         options: CsvOptions,
     ) -> Result<RelationId> {
         let rel = relation_from_csv(name, reader, &mut self.interner, options)?;
-        self.db.add(rel)
+        self.add_relation(rel)
+    }
+
+    /// Applies a batched insertion delta and reconciles the catalog: the
+    /// epoch is bumped, unaffected entries are restamped, Theorem 1 entries
+    /// absorb the delta via [`cqc_core::maintain`] when the delta is small
+    /// enough (and maintenance has not been measured slower than rebuild
+    /// for that key), and everything else is rebuilt eagerly. Concurrent
+    /// readers keep serving their snapshots throughout; once this returns,
+    /// every resident entry is valid for the new epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`CqcError::Schema`] when the delta references a missing relation or
+    /// mismatched arity (the database is untouched), and build errors from
+    /// eager rebuilds (the affected entry is left stale and will be
+    /// invalidated, never served).
+    pub fn update(&self, delta: &Delta) -> Result<UpdateReport> {
+        let _writer = self.update_lock.lock().expect("update lock poisoned");
+        let old = self.db();
+        let pre_epoch = old.epoch();
+        let mut new_db = (*old).clone();
+        let epoch = new_db.apply(delta)?;
+        let mut report = UpdateReport {
+            epoch,
+            delta_tuples: delta.total_tuples(),
+            ..UpdateReport::default()
+        };
+        if epoch == pre_epoch {
+            // Nothing genuinely new (duplicates only): entries stay valid.
+            return Ok(report);
+        }
+        let new_db = Arc::new(new_db);
+        self.upd_deltas.fetch_add(1, Ordering::Relaxed);
+
+        // Reconcile the catalog *before* publishing the new epoch: readers
+        // keep hitting the old-epoch entries (still valid for the snapshot
+        // they serve) instead of lazily invalidating entries this very
+        // loop is about to maintain — fresher-stamped entries are already
+        // legal to serve, so stamping ahead of the swap is safe. Reconcile
+        // every entry even if one rebuild fails: a failed entry stays
+        // stale after the swap (the lazy lookup path refuses it), but the
+        // remaining views must still be restamped/maintained or they would
+        // pay needless invalidations. The first error is reported at the
+        // end — after the swap, since the delta itself has been applied.
+        let mut first_error: Option<CqcError> = None;
+        let mut seen: FastSet<CatalogKey> = FastSet::default();
+        for rv in self.views() {
+            if !seen.insert(rv.key.clone()) {
+                continue; // aliases share one entry; reconcile it once
+            }
+            if let Err(e) = self.reconcile_entry(&rv, &new_db, delta, pre_epoch, epoch, &mut report)
+            {
+                first_error.get_or_insert(e);
+            }
+        }
+        *self.db.write().expect("db lock poisoned") = new_db;
+        self.upd_maintained
+            .fetch_add(report.maintained as u64, Ordering::Relaxed);
+        self.upd_rebuilt
+            .fetch_add(report.rebuilt as u64, Ordering::Relaxed);
+        self.upd_restamped
+            .fetch_add(report.restamped as u64, Ordering::Relaxed);
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    }
+
+    /// Brings one catalog entry up to `epoch` (maintain / rebuild /
+    /// restamp), under the key's build lock so concurrent miss-builders
+    /// for the same key serialize with the maintainer.
+    fn reconcile_entry(
+        &self,
+        rv: &RegisteredView,
+        db: &Arc<Database>,
+        delta: &Delta,
+        pre_epoch: Epoch,
+        epoch: Epoch,
+        report: &mut UpdateReport,
+    ) -> Result<()> {
+        let lock = self.catalog.build_lock(&rv.key);
+        let _guard = lock.lock().expect("build lock poisoned");
+        let Some((cv, entry_epoch, build_ns)) = self.catalog.peek(&rv.key) else {
+            return Ok(()); // nothing resident: the next lookup builds fresh
+        };
+        if entry_epoch >= epoch {
+            return Ok(()); // a racing builder already produced a fresh entry
+        }
+        let touched = rv
+            .view
+            .query()
+            .atoms
+            .iter()
+            .any(|a| delta.touches(&a.relation));
+        if !touched && entry_epoch == pre_epoch {
+            self.catalog.restamp(&rv.key, epoch);
+            report.restamped += 1;
+            return Ok(());
+        }
+        // Decide maintain versus rebuild. An entry that predates
+        // `pre_epoch` is stale beyond this delta (e.g. a relation was added
+        // since it was built) and cannot absorb just this delta. Only the
+        // tuples landing in *this view's* relations count against the
+        // threshold — a delta that floods an unrelated relation must not
+        // push other views off their maintain path.
+        let mut view_relations: Vec<&str> = rv
+            .view
+            .query()
+            .atoms
+            .iter()
+            .map(|a| a.relation.as_str())
+            .collect();
+        view_relations.sort_unstable();
+        view_relations.dedup();
+        let touched_tuples: usize = view_relations
+            .iter()
+            .filter_map(|r| delta.tuples_for(r))
+            .map(<[_]>::len)
+            .sum();
+        let too_large = touched_tuples as f64
+            > self.config.maintain_max_delta_fraction * (db.size().max(1) as f64);
+        let deltas_now = self.upd_deltas.load(Ordering::Relaxed);
+        let paused = {
+            let mut paused = self
+                .maintain_paused
+                .lock()
+                .expect("maintain-paused lock poisoned");
+            match paused.get(&rv.key) {
+                Some(&at) if deltas_now.saturating_sub(at) < MAINTAIN_RETRY_DELTAS => true,
+                Some(_) => {
+                    // Cool-down expired: give maintenance another shot.
+                    paused.remove(&rv.key);
+                    false
+                }
+                None => false,
+            }
+        };
+        if entry_epoch == pre_epoch && !too_large && !paused {
+            let t0 = Instant::now();
+            match cv.maintain(&rv.view, db, delta)? {
+                MaintainOutcome::Maintained { view, .. } => {
+                    // Calibrate against the rebuild time measured when the
+                    // entry was built: a key whose maintenance decisively
+                    // loses to its own rebuild pauses maintenance for a
+                    // while (not forever — one noisy sample must not
+                    // disable the feature on a long-running engine). The
+                    // floor keeps sub-millisecond builds — where either
+                    // choice is free and timers are noise — from pausing
+                    // anything.
+                    // `build_ns` from the peek above is still current: the
+                    // held build lock serializes every writer to this key.
+                    let maintain_ns = t0.elapsed().as_nanos() as u64;
+                    if self.config.maintain_calibration
+                        && build_ns > 1_000_000
+                        && maintain_ns > 2 * build_ns
+                    {
+                        self.maintain_paused
+                            .lock()
+                            .expect("maintain-paused lock poisoned")
+                            .insert(rv.key.clone(), deltas_now);
+                    }
+                    self.catalog
+                        .insert_maintained(rv.key.clone(), Arc::from(view), epoch);
+                    report.maintained += 1;
+                    return Ok(());
+                }
+                MaintainOutcome::Unaffected => {
+                    self.catalog.restamp(&rv.key, epoch);
+                    report.restamped += 1;
+                    return Ok(());
+                }
+                MaintainOutcome::NeedsRebuild { .. } => {}
+            }
+        }
+        let t0 = Instant::now();
+        let built = CompressedView::build(&rv.view, db, rv.selection.strategy.clone())
+            .map_err(|e| e.for_view(&rv.name, &rv.selection.tag))?;
+        self.catalog.insert(
+            rv.key.clone(),
+            Arc::new(built),
+            epoch,
+            t0.elapsed().as_nanos() as u64,
+        );
+        report.rebuilt += 1;
+        Ok(())
+    }
+
+    /// Eagerly drops every catalog entry stamped older than the current
+    /// epoch (the lazy lookup path already refuses to serve them); returns
+    /// how many entries were reclaimed.
+    pub fn invalidate_stale(&self) -> usize {
+        self.catalog.invalidate_stale(self.epoch())
+    }
+
+    /// Cumulative update counters.
+    pub fn update_stats(&self) -> UpdateStats {
+        UpdateStats {
+            deltas: self.upd_deltas.load(Ordering::Relaxed),
+            maintained: self.upd_maintained.load(Ordering::Relaxed),
+            rebuilt: self.upd_rebuilt.load(Ordering::Relaxed),
+            restamped: self.upd_restamped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The epoch stamp of a registered view's resident representation, if
+    /// one is resident — serving guarantees this is never older than the
+    /// snapshot a request was answered from.
+    ///
+    /// # Errors
+    ///
+    /// [`CqcError::UnknownView`] when not registered.
+    pub fn representation_epoch(&self, view: &str) -> Result<Option<Epoch>> {
+        let rv = self.view(view)?;
+        Ok(self.catalog.peek(&rv.key).map(|(_, e, _)| e))
     }
 
     /// Registers an adorned view under `name`, resolving `policy` to a
@@ -143,7 +450,7 @@ impl Engine {
         policy: Policy,
     ) -> Result<Arc<RegisteredView>> {
         let selection =
-            select(&view, &self.db, &policy).map_err(|e| e.for_view(name, "auto-selection"))?;
+            select(&view, &self.db(), &policy).map_err(|e| e.for_view(name, "auto-selection"))?;
         let key = CatalogKey {
             normalized_query: view.query().normalized_text(),
             pattern: view.pattern(),
@@ -223,20 +530,31 @@ impl Engine {
     /// The compressed representation for a registered view: catalog hit, or
     /// (re)build under the key's build lock on a miss (aliased names share
     /// the lock, so one key never builds twice concurrently).
+    ///
+    /// The lookup carries the epoch of the database snapshot being served:
+    /// an entry stamped older — built before a delta this snapshot already
+    /// reflects — is invalidated and rebuilt instead of served stale.
     fn representation(&self, rv: &RegisteredView) -> Result<Arc<CompressedView>> {
-        if let Some(cv) = self.catalog.get(&rv.key) {
+        let db = self.db();
+        if let Some(cv) = self.catalog.get(&rv.key, db.epoch()) {
             return Ok(cv);
         }
         let lock = self.catalog.build_lock(&rv.key);
         let _guard = lock.lock().expect("build lock poisoned");
         // Double-check: a concurrent miss may have built while we waited.
-        if let Some(cv) = self.catalog.get(&rv.key) {
+        if let Some(cv) = self.catalog.get(&rv.key, db.epoch()) {
             return Ok(cv);
         }
-        let built = CompressedView::build(&rv.view, &self.db, rv.selection.strategy.clone())
+        let t0 = Instant::now();
+        let built = CompressedView::build(&rv.view, &db, rv.selection.strategy.clone())
             .map_err(|e| e.for_view(&rv.name, &rv.selection.tag))?;
         let cv = Arc::new(built);
-        self.catalog.insert(rv.key.clone(), Arc::clone(&cv));
+        self.catalog.insert(
+            rv.key.clone(),
+            Arc::clone(&cv),
+            db.epoch(),
+            t0.elapsed().as_nanos() as u64,
+        );
         Ok(cv)
     }
 
@@ -411,9 +729,11 @@ impl Engine {
 
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let db = self.db();
         f.debug_struct("Engine")
-            .field("relations", &self.db.num_relations())
-            .field("|D|", &self.db.size())
+            .field("relations", &db.num_relations())
+            .field("|D|", &db.size())
+            .field("epoch", &db.epoch())
             .field(
                 "views",
                 &self.views.read().expect("views lock poisoned").len(),

@@ -7,10 +7,16 @@
 //! `cqc_storage`; this crate owns the lifecycle:
 //!
 //! * [`Engine`] — load relations, register adorned views, serve requests
-//!   concurrently (`&self`, `Sync`);
+//!   concurrently (`&self`, `Sync`), and absorb writes:
+//!   [`Engine::update`] applies a batched [`cqc_storage::Delta`] against a
+//!   copy-on-write database snapshot, bumps the epoch, and reconciles the
+//!   catalog (delta maintenance for Theorem 1 entries, eager rebuild or
+//!   epoch restamp for the rest);
 //! * [`Catalog`] — a concurrent, memory-budgeted, LRU representation cache
 //!   keyed by normalized query text + adornment + strategy, so repeated
-//!   requests (and aliased registrations) never rebuild;
+//!   requests (and aliased registrations) never rebuild; entries carry
+//!   epoch stamps and are invalidated — lazily on lookup or by an explicit
+//!   sweep — rather than ever served stale;
 //! * [`Policy`] / [`policy::select`] — auto strategy selection consulting
 //!   the width machinery, the §6 LP optimizers and the `T(·)` cost oracle;
 //! * [`Engine::serve_batch`] — batched request serving across OS threads,
@@ -45,5 +51,7 @@ pub mod engine;
 pub mod policy;
 
 pub use catalog::{Catalog, CatalogKey, CatalogStats};
-pub use engine::{Engine, EngineConfig, RegisteredView, Request, Served};
+pub use engine::{
+    Engine, EngineConfig, RegisteredView, Request, Served, UpdateReport, UpdateStats,
+};
 pub use policy::{Policy, Selection};

@@ -65,7 +65,7 @@ fn answers_match_naive_oracle() {
         .unwrap();
     for x in 0..15u64 {
         let req = [x, (x * 3 + 1) % 20];
-        let expect = evaluate_view(&view, engine.db(), &req).unwrap();
+        let expect = evaluate_view(&view, &engine.db(), &req).unwrap();
         let mut got = engine.answer("tri", &req).unwrap();
         got.sort_unstable();
         got.dedup();
@@ -138,6 +138,7 @@ fn tight_budget_evicts_lru_and_rebuilds_on_demand() {
         db,
         EngineConfig {
             catalog_budget_bytes: 1024,
+            ..EngineConfig::default()
         },
     );
     engine
@@ -208,7 +209,7 @@ fn serve_batch_matches_sequential_across_threads() {
         .unwrap();
 
     let mut rng = cqc_workload::rng(99);
-    let requests: Vec<Request> = random_requests(&mut rng, &view, engine.db(), 300)
+    let requests: Vec<Request> = random_requests(&mut rng, &view, &engine.db(), 300)
         .into_iter()
         .map(|bound| Request {
             view: "tri".into(),
@@ -267,7 +268,7 @@ fn serve_batch_on_star_workload() {
         .register("star", view.clone(), Policy::default())
         .unwrap();
     let mut rng = cqc_workload::rng(32);
-    let requests: Vec<Request> = random_requests(&mut rng, &view, engine.db(), 200)
+    let requests: Vec<Request> = random_requests(&mut rng, &view, &engine.db(), 200)
         .into_iter()
         .map(|bound| Request {
             view: "star".into(),

@@ -1,27 +1,49 @@
 //! The database catalog.
 
+use crate::delta::Delta;
 use crate::relation::Relation;
 use cqc_common::error::{CqcError, Result};
 use cqc_common::hash::FastMap;
 use cqc_common::heap::HeapSize;
+use std::sync::Arc;
 
 /// Index of a relation inside a [`Database`].
 pub type RelationId = usize;
 
-/// A database instance `D`: a named collection of relations.
+/// A monotone version counter: every mutation of a [`Database`] — adding a
+/// relation or applying a [`Delta`] — bumps it. Consumers (the engine's
+/// representation catalog) stamp derived artifacts with the epoch they were
+/// built at and treat a smaller stamp as stale.
+pub type Epoch = u64;
+
+/// A database instance `D`: a named collection of relations, versioned by
+/// an [`Epoch`] counter.
+///
+/// Relations are held behind `Arc`, so cloning a database — the engine
+/// snapshots one per applied delta — copies `O(#relations)` pointers, and
+/// [`Database::apply`] copies only the relations the delta actually
+/// touches (copy-on-write via [`Arc::make_mut`]), never the whole `|D|`.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
-    relations: Vec<Relation>,
+    relations: Vec<Arc<Relation>>,
     by_name: FastMap<String, RelationId>,
+    epoch: Epoch,
 }
 
 impl Database {
-    /// Creates an empty database.
+    /// Creates an empty database (epoch 0).
     pub fn new() -> Database {
         Database::default()
     }
 
-    /// Adds a relation, returning its id.
+    /// The current version of the database. Strictly increases with every
+    /// successful mutation; queries and representation builds against one
+    /// epoch are consistent snapshots.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Adds a relation, returning its id and bumping the epoch.
     ///
     /// # Errors
     ///
@@ -35,13 +57,63 @@ impl Database {
         }
         let id = self.relations.len();
         self.by_name.insert(relation.name().to_string(), id);
-        self.relations.push(relation);
+        self.relations.push(Arc::new(relation));
+        self.epoch += 1;
         Ok(id)
+    }
+
+    /// Applies a batched insertion delta atomically: every referenced
+    /// relation must exist with matching arity or nothing is changed. The
+    /// epoch is bumped iff at least one genuinely new tuple was inserted;
+    /// the (possibly unchanged) epoch is returned.
+    ///
+    /// # Errors
+    ///
+    /// [`CqcError::Schema`] when a relation is missing or a tuple's arity
+    /// mismatches; the database is left untouched.
+    pub fn apply(&mut self, delta: &Delta) -> Result<Epoch> {
+        // Validate everything before mutating anything (atomicity).
+        for (name, tuples) in delta.groups() {
+            let rel = self.require(name)?;
+            for t in tuples {
+                if t.len() != rel.arity() {
+                    return Err(CqcError::Schema(format!(
+                        "delta tuple {t:?} has arity {} but relation `{name}` has arity {}",
+                        t.len(),
+                        rel.arity()
+                    )));
+                }
+            }
+        }
+        let mut inserted = 0usize;
+        for (name, tuples) in delta.groups() {
+            let id = self.by_name[name];
+            // When a snapshot still shares this relation, check for
+            // genuinely new tuples (O(k log n)) before `make_mut`: a
+            // duplicate-only group must not deep-clone the relation just
+            // to discover it had nothing to do. Unshared relations skip
+            // the probe — `make_mut` is free there and `insert_tuples`
+            // dedupes anyway.
+            if Arc::strong_count(&self.relations[id]) > 1
+                && tuples.iter().all(|t| self.relations[id].contains(t))
+            {
+                continue;
+            }
+            // Copy-on-write: only relations the delta genuinely changes
+            // are cloned, and only when a snapshot still shares them.
+            inserted += Arc::make_mut(&mut self.relations[id]).insert_tuples(tuples);
+        }
+        if inserted > 0 {
+            self.epoch += 1;
+        }
+        Ok(self.epoch)
     }
 
     /// Looks a relation up by name.
     pub fn get(&self, name: &str) -> Option<&Relation> {
-        self.by_name.get(name).map(|&id| &self.relations[id])
+        self.by_name
+            .get(name)
+            .map(|&id| self.relations[id].as_ref())
     }
 
     /// Looks a relation id up by name.
@@ -51,12 +123,12 @@ impl Database {
 
     /// The relation with the given id.
     pub fn relation(&self, id: RelationId) -> &Relation {
-        &self.relations[id]
+        self.relations[id].as_ref()
     }
 
     /// All relations in insertion order.
-    pub fn relations(&self) -> &[Relation] {
-        &self.relations
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> + '_ {
+        self.relations.iter().map(Arc::as_ref)
     }
 
     /// Number of relations.
@@ -67,7 +139,7 @@ impl Database {
     /// The paper's input size measure `|D|`: total number of tuples across
     /// all relations.
     pub fn size(&self) -> usize {
-        self.relations.iter().map(Relation::len).sum()
+        self.relations.iter().map(|r| r.len()).sum()
     }
 
     /// Fetches a relation by name or fails with a schema error mentioning the
@@ -120,5 +192,73 @@ mod tests {
         db.add(Relation::from_pairs("R", vec![(1, 2)])).unwrap();
         let err = db.add(Relation::from_pairs("R", vec![(3, 4)]));
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn epoch_bumps_on_add_and_apply() {
+        let mut db = Database::new();
+        assert_eq!(db.epoch(), 0);
+        db.add(Relation::from_pairs("R", vec![(1, 2)])).unwrap();
+        assert_eq!(db.epoch(), 1);
+
+        let mut delta = Delta::new();
+        delta.insert("R", vec![2, 3]);
+        let e = db.apply(&delta).unwrap();
+        assert_eq!(e, 2);
+        assert_eq!(db.size(), 2);
+        assert!(db.get("R").unwrap().contains(&[2, 3]));
+
+        // A delta of pure duplicates changes nothing and keeps the epoch.
+        let e = db.apply(&delta).unwrap();
+        assert_eq!(e, 2);
+        assert_eq!(db.epoch(), 2);
+    }
+
+    #[test]
+    fn clone_shares_untouched_relations() {
+        let mut db = Database::new();
+        db.add(Relation::from_pairs("R", vec![(1, 2)])).unwrap();
+        db.add(Relation::from_pairs("S", vec![(3, 4)])).unwrap();
+        let snapshot = db.clone();
+
+        let mut delta = Delta::new();
+        delta.insert("R", vec![9, 9]);
+        db.apply(&delta).unwrap();
+
+        // The snapshot is unchanged, the touched relation diverged, and
+        // the untouched relation is still the same allocation.
+        assert!(!snapshot.get("R").unwrap().contains(&[9, 9]));
+        assert!(db.get("R").unwrap().contains(&[9, 9]));
+        assert!(std::ptr::eq(
+            db.get("S").unwrap(),
+            snapshot.get("S").unwrap()
+        ));
+        assert!(!std::ptr::eq(
+            db.get("R").unwrap(),
+            snapshot.get("R").unwrap()
+        ));
+    }
+
+    #[test]
+    fn apply_is_atomic_on_failure() {
+        let mut db = Database::new();
+        db.add(Relation::from_pairs("R", vec![(1, 2)])).unwrap();
+        let before = db.epoch();
+
+        // Missing relation: nothing applied.
+        let mut delta = Delta::new();
+        delta.insert("R", vec![7, 7]);
+        delta.insert("Nope", vec![1]);
+        assert!(db.apply(&delta).is_err());
+        assert_eq!(db.epoch(), before);
+        assert!(!db.get("R").unwrap().contains(&[7, 7]));
+
+        // Arity mismatch: nothing applied.
+        let mut delta = Delta::new();
+        delta.insert("R", vec![7, 7]);
+        delta.insert("R", vec![1, 2, 3]);
+        assert!(db.apply(&delta).is_err());
+        assert_eq!(db.epoch(), before);
+        assert!(!db.get("R").unwrap().contains(&[7, 7]));
     }
 }

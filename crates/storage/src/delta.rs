@@ -1,0 +1,138 @@
+//! Batched database updates.
+//!
+//! A [`Delta`] is a set of tuple insertions, grouped per relation, that is
+//! applied atomically by [`crate::Database::apply`]. Batching matches the
+//! serve-many regime: representations are maintained (or invalidated) once
+//! per delta, not once per tuple, so the amortization argument of the
+//! paper's build-once/answer-many model extends to a database that keeps
+//! receiving writes.
+
+use cqc_common::heap::{vec_deep_bytes, HeapSize};
+use cqc_common::value::Tuple;
+
+/// A batch of tuple insertions, grouped by relation name.
+///
+/// Insertion order of relations is preserved (it only affects reporting);
+/// tuples for the same relation accumulate into one group regardless of the
+/// order in which they were added.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Delta {
+    groups: Vec<(String, Vec<Tuple>)>,
+}
+
+impl Delta {
+    /// An empty delta.
+    pub fn new() -> Delta {
+        Delta::default()
+    }
+
+    /// Queues one tuple for insertion into `relation`.
+    pub fn insert(&mut self, relation: &str, tuple: Tuple) {
+        match self.groups.iter_mut().find(|(n, _)| n == relation) {
+            Some((_, ts)) => ts.push(tuple),
+            None => self.groups.push((relation.to_string(), vec![tuple])),
+        }
+    }
+
+    /// Queues many tuples for insertion into `relation`.
+    pub fn insert_all(&mut self, relation: &str, tuples: impl IntoIterator<Item = Tuple>) {
+        for t in tuples {
+            self.insert(relation, t);
+        }
+    }
+
+    /// Builds a delta from `(relation, tuples)` groups.
+    pub fn from_groups(groups: impl IntoIterator<Item = (String, Vec<Tuple>)>) -> Delta {
+        let mut d = Delta::new();
+        for (name, tuples) in groups {
+            d.insert_all(&name, tuples);
+        }
+        d
+    }
+
+    /// The per-relation insertion groups, in first-touch order.
+    pub fn groups(&self) -> impl Iterator<Item = (&str, &[Tuple])> + '_ {
+        self.groups
+            .iter()
+            .map(|(n, ts)| (n.as_str(), ts.as_slice()))
+    }
+
+    /// The queued tuples for `relation`, if any.
+    pub fn tuples_for(&self, relation: &str) -> Option<&[Tuple]> {
+        self.groups
+            .iter()
+            .find(|(n, _)| n == relation)
+            .map(|(_, ts)| ts.as_slice())
+    }
+
+    /// `true` when the delta touches `relation`.
+    pub fn touches(&self, relation: &str) -> bool {
+        self.tuples_for(relation).is_some_and(|ts| !ts.is_empty())
+    }
+
+    /// Names of the relations the delta touches.
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.groups
+            .iter()
+            .filter(|(_, ts)| !ts.is_empty())
+            .map(|(n, _)| n.as_str())
+    }
+
+    /// Total number of queued tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.groups.iter().map(|(_, ts)| ts.len()).sum()
+    }
+
+    /// `true` when no tuples are queued.
+    pub fn is_empty(&self) -> bool {
+        self.total_tuples() == 0
+    }
+}
+
+impl HeapSize for Delta {
+    fn heap_bytes(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|(n, ts)| n.heap_bytes() + vec_deep_bytes(ts) + std::mem::size_of::<String>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_accumulate_per_relation() {
+        let mut d = Delta::new();
+        d.insert("R", vec![1, 2]);
+        d.insert("S", vec![3, 4]);
+        d.insert("R", vec![5, 6]);
+        assert_eq!(d.total_tuples(), 3);
+        assert_eq!(d.tuples_for("R").unwrap().len(), 2);
+        assert_eq!(d.tuples_for("S").unwrap().len(), 1);
+        assert!(d.tuples_for("T").is_none());
+        assert!(d.touches("R"));
+        assert!(!d.touches("T"));
+        let names: Vec<&str> = d.relation_names().collect();
+        assert_eq!(names, vec!["R", "S"]);
+    }
+
+    #[test]
+    fn empty_delta() {
+        let d = Delta::new();
+        assert!(d.is_empty());
+        assert_eq!(d.total_tuples(), 0);
+        assert_eq!(d.relation_names().count(), 0);
+    }
+
+    #[test]
+    fn from_groups_merges_duplicates() {
+        let d = Delta::from_groups(vec![
+            ("R".to_string(), vec![vec![1, 2]]),
+            ("R".to_string(), vec![vec![3, 4]]),
+        ]);
+        assert_eq!(d.groups().count(), 1);
+        assert_eq!(d.total_tuples(), 2);
+    }
+}

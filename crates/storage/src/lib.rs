@@ -7,7 +7,10 @@
 //! * [`relation::Relation`] — a deduplicated, lexicographically sorted set of
 //!   tuples with O(log n) membership tests;
 //! * [`database::Database`] — the catalog mapping relation names to
-//!   relations, with the `|D|` size measure used throughout the paper;
+//!   relations, with the `|D|` size measure used throughout the paper and a
+//!   monotone [`database::Epoch`] version counter bumped by every mutation;
+//! * [`delta::Delta`] — batched tuple insertions applied atomically via
+//!   [`Database::apply`], the write path of the serve-under-change regime;
 //! * [`sorted_index::SortedIndex`] — a column-major sorted projection of a
 //!   relation under an arbitrary attribute order, supporting the
 //!   prefix-plus-range *count* probes that implement the paper's Õ(1) count
@@ -24,13 +27,15 @@
 
 pub mod csv;
 pub mod database;
+pub mod delta;
 pub mod domain;
 pub mod interner;
 pub mod relation;
 pub mod sorted_index;
 
 pub use csv::{relation_from_csv, CsvOptions};
-pub use database::{Database, RelationId};
+pub use database::{Database, Epoch, RelationId};
+pub use delta::Delta;
 pub use domain::Domain;
 pub use interner::Interner;
 pub use relation::Relation;

@@ -108,6 +108,46 @@ impl Relation {
         vals
     }
 
+    /// Inserts tuples, keeping the rows sorted and deduplicated, and
+    /// returns the number of tuples that were genuinely new. Runs in
+    /// `O(n + k log k)` for `k` insertions via a single sorted merge, so
+    /// applying a small delta never degenerates into a full re-sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tuple's length differs from the relation's arity
+    /// (callers such as [`crate::Database::apply`] validate arities first).
+    pub fn insert_tuples(&mut self, tuples: &[Tuple]) -> usize {
+        let mut fresh: Vec<&Tuple> = tuples
+            .iter()
+            .inspect(|t| assert_eq!(t.len(), self.arity, "tuple arity mismatch in relation"))
+            .filter(|t| !self.contains(t))
+            .collect();
+        fresh.sort_unstable_by(|a, b| lex_cmp(a, b));
+        fresh.dedup();
+        if fresh.is_empty() {
+            return 0;
+        }
+        let inserted = fresh.len();
+        let old_rows = std::mem::take(&mut self.rows);
+        self.rows = Vec::with_capacity(old_rows.len() + inserted * self.arity);
+        let mut fresh = fresh.into_iter().peekable();
+        for row in old_rows.chunks_exact(self.arity) {
+            while let Some(t) = fresh.peek() {
+                if lex_cmp(t, row) == Ordering::Less {
+                    self.rows.extend_from_slice(fresh.next().unwrap());
+                } else {
+                    break;
+                }
+            }
+            self.rows.extend_from_slice(row);
+        }
+        for t in fresh {
+            self.rows.extend_from_slice(t);
+        }
+        inserted
+    }
+
     /// Projects the relation onto the given columns (with deduplication),
     /// producing a new relation. Used by Theorem 2 to build the per-bag
     /// databases π_{F∩Bt}(R_F) of Appendix B.
@@ -201,5 +241,32 @@ mod tests {
     #[should_panic(expected = "tuple arity mismatch")]
     fn arity_mismatch_panics() {
         Relation::new("R", 2, vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn insert_tuples_merges_sorted() {
+        let mut rel = r();
+        // One duplicate of an existing row, one internal duplicate, two new.
+        let n = rel.insert_tuples(&[vec![1, 2], vec![0, 9], vec![0, 9], vec![9, 0]]);
+        assert_eq!(n, 2);
+        assert_eq!(rel.len(), 6);
+        let rows: Vec<&[Value]> = rel.iter().collect();
+        assert_eq!(
+            rows,
+            vec![&[0, 9][..], &[1, 1], &[1, 2], &[2, 2], &[3, 1], &[9, 0]]
+        );
+        assert!(rel.contains(&[0, 9]));
+        assert!(rel.contains(&[9, 0]));
+        // Re-inserting is a no-op.
+        assert_eq!(rel.insert_tuples(&[vec![0, 9]]), 0);
+        assert_eq!(rel.len(), 6);
+    }
+
+    #[test]
+    fn insert_into_empty_relation() {
+        let mut rel = Relation::new("E", 2, vec![]);
+        assert_eq!(rel.insert_tuples(&[vec![2, 1], vec![1, 2]]), 2);
+        let rows: Vec<&[Value]> = rel.iter().collect();
+        assert_eq!(rows, vec![&[1, 2][..], &[2, 1]]);
     }
 }

@@ -1,7 +1,7 @@
 //! Base samplers.
 
 use cqc_common::value::Value;
-use cqc_storage::Relation;
+use cqc_storage::{Database, Delta, Relation};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -24,6 +24,35 @@ pub fn uniform_relation(
         tuples.push((0..arity).map(|_| rng.gen_range(0..domain)).collect());
     }
     Relation::new(name, arity, tuples)
+}
+
+/// An insertion [`Delta`] of `per_relation` tuples for each named relation,
+/// built by recombining column values of existing rows. Because active
+/// domains are per-column unions, a recombined tuple never introduces a new
+/// domain value — which is exactly what keeps a small delta on the engine's
+/// maintain path (domain growth forces a rebuild). Relations missing from
+/// `db` or empty are skipped; recombined tuples may duplicate existing rows
+/// (applying such a tuple is a no-op).
+pub fn recombination_delta(
+    rng: &mut StdRng,
+    db: &Database,
+    relations: &[&str],
+    per_relation: usize,
+) -> Delta {
+    let mut delta = Delta::new();
+    for name in relations {
+        let Some(rel) = db.get(name) else { continue };
+        if rel.is_empty() {
+            continue;
+        }
+        for _ in 0..per_relation {
+            let tuple: Vec<Value> = (0..rel.arity())
+                .map(|c| rel.row(rng.gen_range(0..rel.len()))[c])
+                .collect();
+            delta.insert(name, tuple);
+        }
+    }
+    delta
 }
 
 /// A Zipf(s) sampler over `0..n` via an inverse-CDF table.
@@ -144,5 +173,32 @@ mod tests {
         let z = Zipf::new(20, 1.0);
         let r = zipf_pairs(&mut rng(5), "R", 500, 30, &z);
         assert!(r.iter().all(|t| t[0] < 30 && t[1] < 20));
+    }
+
+    #[test]
+    fn recombination_delta_stays_in_column_domains() {
+        let mut db = Database::new();
+        db.add(uniform_relation(&mut rng(2), "R", 2, 40, 9))
+            .unwrap();
+        db.add(Relation::new("Empty", 2, vec![])).unwrap();
+        let delta = recombination_delta(&mut rng(3), &db, &["R", "Empty", "Missing"], 5);
+        assert_eq!(delta.total_tuples(), 5, "only R contributes");
+        let r = db.get("R").unwrap();
+        for (name, tuples) in delta.groups() {
+            assert_eq!(name, "R");
+            for t in tuples {
+                for (c, v) in t.iter().enumerate() {
+                    assert!(r.column_values(c).contains(v), "column {c} value {v}");
+                }
+            }
+        }
+        // Applying never grows an active domain, so the column unions are
+        // unchanged.
+        let before: Vec<_> = (0..2).map(|c| r.column_values(c)).collect();
+        db.apply(&delta).unwrap();
+        let r = db.get("R").unwrap();
+        for (c, column) in before.iter().enumerate() {
+            assert_eq!(&r.column_values(c), column);
+        }
     }
 }

@@ -42,7 +42,7 @@ fn main() {
     println!("{}\n", engine.explain("mutual").unwrap());
 
     // Serve many: a stream of mutual-friend requests over actual edges.
-    let requests: Vec<Request> = witness_requests(&mut rng, &view, engine.db(), 5000)
+    let requests: Vec<Request> = witness_requests(&mut rng, &view, &engine.db(), 5000)
         .into_iter()
         .map(|bound| Request {
             view: "mutual".into(),
