@@ -37,44 +37,87 @@ pub struct DelayStats {
     pub work: MetricsSnapshot,
 }
 
+/// Incremental delay measurement for push-style enumeration: call
+/// [`DelayProbe::tick`] once per answer (e.g. from an
+/// [`cqc_common::AnswerSink`]) and [`DelayProbe::finish`] after the
+/// enumeration exhausts. Gap semantics match [`measure_delays`], including
+/// the final "done" step of the §2.3 delay definition.
+#[derive(Debug)]
+pub struct DelayProbe {
+    before: MetricsSnapshot,
+    start: Instant,
+    last: Instant,
+    gaps: Vec<u64>,
+    first_ns: u64,
+    tuples: usize,
+}
+
+impl Default for DelayProbe {
+    fn default() -> DelayProbe {
+        DelayProbe::start()
+    }
+}
+
+impl DelayProbe {
+    /// Starts the clock.
+    pub fn start() -> DelayProbe {
+        let now = Instant::now();
+        DelayProbe {
+            before: metrics::snapshot(),
+            start: now,
+            last: now,
+            gaps: Vec::new(),
+            first_ns: 0,
+            tuples: 0,
+        }
+    }
+
+    /// Records the arrival of one answer.
+    #[inline]
+    pub fn tick(&mut self) {
+        let now = Instant::now();
+        let gap = now.duration_since(self.last).as_nanos() as u64;
+        if self.tuples == 0 {
+            self.first_ns = gap;
+        }
+        self.gaps.push(gap);
+        self.last = now;
+        self.tuples += 1;
+    }
+
+    /// Ends the enumeration and folds the gaps into [`DelayStats`].
+    pub fn finish(mut self) -> DelayStats {
+        let end = Instant::now();
+        // The "done" notification also counts as a delay step (§2.3).
+        self.gaps
+            .push(end.duration_since(self.last).as_nanos() as u64);
+        if self.tuples == 0 {
+            self.first_ns = self.gaps[0];
+        }
+        self.gaps.sort_unstable();
+        let q = |p: f64| -> u64 {
+            let idx = ((self.gaps.len() as f64 - 1.0) * p).round() as usize;
+            self.gaps[idx]
+        };
+        DelayStats {
+            first_ns: self.first_ns,
+            max_ns: *self.gaps.last().expect("at least the done gap"),
+            p50_ns: q(0.5),
+            p99_ns: q(0.99),
+            total_ns: end.duration_since(self.start).as_nanos() as u64,
+            tuples: self.tuples,
+            work: metrics::snapshot().delta_since(&self.before),
+        }
+    }
+}
+
 /// Drains `iter`, recording inter-arrival gaps.
 pub fn measure_delays(iter: impl Iterator<Item = Tuple>) -> DelayStats {
-    let before = metrics::snapshot();
-    let start = Instant::now();
-    let mut last = start;
-    let mut gaps: Vec<u64> = Vec::new();
-    let mut first_ns = 0u64;
-    let mut tuples = 0usize;
+    let mut probe = DelayProbe::start();
     for _ in iter {
-        let now = Instant::now();
-        let gap = now.duration_since(last).as_nanos() as u64;
-        if tuples == 0 {
-            first_ns = gap;
-        }
-        gaps.push(gap);
-        last = now;
-        tuples += 1;
+        probe.tick();
     }
-    let end = Instant::now();
-    // The "done" notification also counts as a delay step (§2.3).
-    gaps.push(end.duration_since(last).as_nanos() as u64);
-    if tuples == 0 {
-        first_ns = gaps[0];
-    }
-    gaps.sort_unstable();
-    let q = |p: f64| -> u64 {
-        let idx = ((gaps.len() as f64 - 1.0) * p).round() as usize;
-        gaps[idx]
-    };
-    DelayStats {
-        first_ns,
-        max_ns: *gaps.last().unwrap(),
-        p50_ns: q(0.5),
-        p99_ns: q(0.99),
-        total_ns: end.duration_since(start).as_nanos() as u64,
-        tuples,
-        work: metrics::snapshot().delta_since(&before),
-    }
+    probe.finish()
 }
 
 /// Aggregates delay stats across a batch of enumerations.
@@ -215,6 +258,20 @@ mod tests {
         let d = measure_delays(std::iter::empty());
         assert_eq!(d.tuples, 0);
         assert!(d.first_ns > 0 || d.max_ns >= d.first_ns);
+    }
+
+    #[test]
+    fn probe_counts_ticks_and_orders_percentiles() {
+        let mut p = DelayProbe::start();
+        for _ in 0..5 {
+            p.tick();
+        }
+        let d = p.finish();
+        assert_eq!(d.tuples, 5);
+        assert!(d.max_ns >= d.p99_ns && d.p99_ns >= d.p50_ns);
+        let empty = DelayProbe::start().finish();
+        assert_eq!(empty.tuples, 0);
+        assert_eq!(empty.first_ns, empty.max_ns);
     }
 
     #[test]

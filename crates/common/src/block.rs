@@ -1,0 +1,318 @@
+//! Flat answer blocks and push-style enumeration sinks.
+//!
+//! The enumeration pipeline used to be pull-style: every structure exposed
+//! an `Iterator<Item = Tuple>` and every `next()` allocated a fresh
+//! `Vec<Value>` per answer. The paper's delay guarantees are about work per
+//! answer, not allocations per answer — and in practice allocator traffic,
+//! not the data structures, dominated the measured delay. This module is
+//! the push-style replacement:
+//!
+//! * [`AnswerSink`] — the receiver side. Enumerators call
+//!   [`AnswerSink::push`] with a **borrowed** value slice per answer; the
+//!   sink decides whether to copy (into a flat block), count, or stop.
+//! * [`AnswerBlock`] — the standard sink: one arity-strided `Vec<Value>`
+//!   holding every answer of an enumeration back to back. Clearing a block
+//!   keeps its capacity, so a block reused across requests reaches a
+//!   steady state with **zero** heap allocations per answer.
+//! * [`ExistsSink`] / [`CountingSink`] / [`FnSink`] — existence probes,
+//!   cardinality counts, and ad-hoc closures over the same push interface.
+//!
+//! The pull-style iterators are retained as thin compatibility shims built
+//! on the same cores; new code (and every hot serve path) goes through
+//! sinks.
+
+use crate::heap::HeapSize;
+use crate::value::{Tuple, Value};
+
+/// The receiving end of a push-style enumeration.
+///
+/// Enumerators hand each answer to [`AnswerSink::push`] as a borrowed
+/// slice valid only for the duration of the call; the sink copies what it
+/// wants to keep. Returning `false` stops the enumeration early (the
+/// device behind first-answer probes), and enumerators must not call
+/// `push` again after a `false`.
+pub trait AnswerSink {
+    /// Receives one answer (the free-variable values, enumeration order).
+    /// Returns `false` to stop the enumeration.
+    fn push(&mut self, tuple: &[Value]) -> bool;
+}
+
+/// A flat, arity-strided block of answers: tuple `i` occupies
+/// `values[i * arity .. (i + 1) * arity]`.
+///
+/// The arity is locked in by the first [`AnswerSink::push`] after
+/// construction and re-checked (debug) on every later push;
+/// [`AnswerBlock::clear`] keeps both the arity and the allocated capacity,
+/// which is what makes reuse across requests allocation-free once the
+/// high-water mark is reached. Zero-arity answers (all-bound views emit
+/// the empty tuple) are supported: the block then counts answers without
+/// storing values.
+#[derive(Debug, Clone, Default)]
+pub struct AnswerBlock {
+    values: Vec<Value>,
+    arity: usize,
+    len: usize,
+}
+
+impl AnswerBlock {
+    /// An empty block; the arity is adopted from the first push.
+    pub fn new() -> AnswerBlock {
+        AnswerBlock::default()
+    }
+
+    /// An empty block with pre-reserved capacity for `tuples` answers of
+    /// the given arity.
+    pub fn with_capacity(arity: usize, tuples: usize) -> AnswerBlock {
+        AnswerBlock {
+            values: Vec::with_capacity(arity * tuples),
+            arity,
+            len: 0,
+        }
+    }
+
+    /// Number of answers held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no answers are held.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The tuple arity (0 until the first push on a fresh block).
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Answer `i` as a value slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    pub fn get(&self, i: usize) -> &[Value] {
+        assert!(
+            i < self.len,
+            "answer index {i} out of bounds ({})",
+            self.len
+        );
+        &self.values[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// The raw flat value storage (length `len() * arity()`).
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Iterates over the answers as value slices.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[Value]> + '_ {
+        (0..self.len).map(move |i| {
+            // Not `chunks_exact`: arity 0 blocks hold answers without values.
+            &self.values[i * self.arity..(i + 1) * self.arity]
+        })
+    }
+
+    /// Copies the block out into the legacy owned-tuple representation
+    /// (compatibility; one allocation per tuple by construction).
+    pub fn to_tuples(&self) -> Vec<Tuple> {
+        self.iter().map(<[Value]>::to_vec).collect()
+    }
+
+    /// Forgets the answers but keeps the arity and the allocated capacity
+    /// — the reuse point of the steady-state serve loop.
+    pub fn clear(&mut self) {
+        self.values.clear();
+        self.len = 0;
+    }
+
+    /// Resets the block completely (arity unlocked, capacity kept) so it
+    /// can be reused for a view of a different arity.
+    pub fn reset(&mut self) {
+        self.clear();
+        self.arity = 0;
+    }
+}
+
+impl AnswerSink for AnswerBlock {
+    #[inline]
+    fn push(&mut self, tuple: &[Value]) -> bool {
+        if self.len == 0 && self.arity == 0 {
+            self.arity = tuple.len();
+        }
+        debug_assert_eq!(tuple.len(), self.arity, "answer arity changed mid-block");
+        self.values.extend_from_slice(tuple);
+        self.len += 1;
+        true
+    }
+}
+
+impl HeapSize for AnswerBlock {
+    fn heap_bytes(&self) -> usize {
+        self.values.heap_bytes()
+    }
+}
+
+impl<'b> IntoIterator for &'b AnswerBlock {
+    type Item = &'b [Value];
+    type IntoIter = BlockIter<'b>;
+
+    fn into_iter(self) -> BlockIter<'b> {
+        BlockIter { block: self, i: 0 }
+    }
+}
+
+/// Iterator over the answers of an [`AnswerBlock`] (borrowed slices).
+#[derive(Debug)]
+pub struct BlockIter<'b> {
+    block: &'b AnswerBlock,
+    i: usize,
+}
+
+impl<'b> Iterator for BlockIter<'b> {
+    type Item = &'b [Value];
+
+    fn next(&mut self) -> Option<&'b [Value]> {
+        if self.i >= self.block.len() {
+            return None;
+        }
+        let t = self.block.get(self.i);
+        self.i += 1;
+        Some(t)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.block.len() - self.i;
+        (n, Some(n))
+    }
+}
+
+/// A sink that only records whether any answer arrived, stopping the
+/// enumeration at the first one — the first-answer probe of §3.3.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExistsSink {
+    /// `true` once an answer has been pushed.
+    pub found: bool,
+}
+
+impl AnswerSink for ExistsSink {
+    #[inline]
+    fn push(&mut self, _tuple: &[Value]) -> bool {
+        self.found = true;
+        false
+    }
+}
+
+/// A sink that counts answers without retaining them (the measurement
+/// path: no copy, no allocation, no early stop).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingSink {
+    /// Number of answers pushed.
+    pub count: usize,
+}
+
+impl AnswerSink for CountingSink {
+    #[inline]
+    fn push(&mut self, _tuple: &[Value]) -> bool {
+        self.count += 1;
+        true
+    }
+}
+
+/// Adapts a closure `FnMut(&[Value]) -> bool` into a sink.
+#[derive(Debug)]
+pub struct FnSink<F>(pub F);
+
+impl<F: FnMut(&[Value]) -> bool> AnswerSink for FnSink<F> {
+    #[inline]
+    fn push(&mut self, tuple: &[Value]) -> bool {
+        (self.0)(tuple)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_strides_by_arity() {
+        let mut b = AnswerBlock::new();
+        assert!(b.push(&[1, 2]));
+        assert!(b.push(&[3, 4]));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.arity(), 2);
+        assert_eq!(b.get(0), &[1, 2]);
+        assert_eq!(b.get(1), &[3, 4]);
+        assert_eq!(b.values(), &[1, 2, 3, 4]);
+        assert_eq!(b.to_tuples(), vec![vec![1, 2], vec![3, 4]]);
+        let collected: Vec<&[Value]> = b.iter().collect();
+        assert_eq!(collected, vec![&[1, 2][..], &[3, 4]]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_arity() {
+        let mut b = AnswerBlock::new();
+        for i in 0..100u64 {
+            b.push(&[i, i + 1, i + 2]);
+        }
+        let cap = b.values.capacity();
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.arity(), 3);
+        assert_eq!(b.values.capacity(), cap);
+        b.push(&[7, 8, 9]);
+        assert_eq!(b.get(0), &[7, 8, 9]);
+    }
+
+    #[test]
+    fn zero_arity_answers_are_counted() {
+        let mut b = AnswerBlock::new();
+        assert!(b.push(&[]));
+        assert!(b.push(&[]));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.arity(), 0);
+        assert_eq!(b.to_tuples(), vec![Vec::<Value>::new(), Vec::new()]);
+        assert_eq!(b.iter().count(), 2);
+    }
+
+    #[test]
+    fn reset_unlocks_arity() {
+        let mut b = AnswerBlock::new();
+        b.push(&[1, 2]);
+        b.reset();
+        b.push(&[9]);
+        assert_eq!(b.arity(), 1);
+        assert_eq!(b.get(0), &[9]);
+    }
+
+    #[test]
+    fn exists_sink_stops_immediately() {
+        let mut s = ExistsSink::default();
+        assert!(!s.found);
+        assert!(!s.push(&[1]));
+        assert!(s.found);
+    }
+
+    #[test]
+    fn counting_and_fn_sinks() {
+        let mut c = CountingSink::default();
+        assert!(c.push(&[1]));
+        assert!(c.push(&[2]));
+        assert_eq!(c.count, 2);
+        let mut seen = Vec::new();
+        let mut f = FnSink(|t: &[Value]| {
+            seen.push(t.to_vec());
+            seen.len() < 2
+        });
+        assert!(f.push(&[1]));
+        assert!(!f.push(&[2]));
+        assert_eq!(seen, vec![vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn block_into_iter() {
+        let mut b = AnswerBlock::new();
+        b.push(&[5, 6]);
+        let tuples: Vec<&[Value]> = (&b).into_iter().collect();
+        assert_eq!(tuples, vec![&[5, 6][..]]);
+    }
+}

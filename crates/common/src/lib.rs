@@ -13,11 +13,21 @@
 //!   Lemma 3 split-point searches;
 //! * [`error`] — the workspace-wide error type;
 //! * [`metrics`] — cheap thread-local operation counters used by the
-//!   benchmark harness to report machine-independent work measures.
+//!   benchmark harness to report machine-independent work measures;
+//! * [`block`] — the flat [`AnswerBlock`] answer representation and the
+//!   push-style [`AnswerSink`] trait every enumerator drives, the
+//!   foundation of the allocation-free serve path;
+//! * [`alloc`] — a vendored counting allocator that lets binaries and
+//!   tests *prove* the zero-allocations-per-answer discipline.
+//!
+//! `unsafe` is denied crate-wide with a single scoped exception in
+//! [`alloc`] (implementing `GlobalAlloc` requires it).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
+pub mod block;
 pub mod error;
 pub mod hash;
 pub mod heap;
@@ -25,6 +35,7 @@ pub mod metrics;
 pub mod util;
 pub mod value;
 
+pub use block::{AnswerBlock, AnswerSink, CountingSink, ExistsSink, FnSink};
 pub use error::{CqcError, Result};
 pub use hash::{FastHasher, FastMap, FastSet};
 pub use heap::HeapSize;

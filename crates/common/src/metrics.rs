@@ -4,17 +4,32 @@
 //! additionally reports *work* counters (trie seeks, count-index probes,
 //! dictionary lookups) so that the scaling shapes claimed by the paper can be
 //! verified independently of the host. Counting uses plain `Cell`s in
-//! thread-local storage and costs a few nanoseconds per increment; the
-//! counters are always compiled in.
+//! thread-local storage and costs a few nanoseconds per increment; those
+//! counters are always compiled in because they sit on the *search* side of
+//! the algorithms, whose per-step cost already includes a binary search.
+//!
+//! The one exception is [`record_tuple_output`]: it sits on the innermost
+//! emit path, which the flat-block pipeline drives at one answer per handful
+//! of nanoseconds — even a thread-local increment is measurable there, and a
+//! shared counter would be a contended atomic. It is therefore compiled out
+//! entirely unless the `metrics` cargo feature is enabled; with the feature
+//! on it is a single process-wide **relaxed** atomic (cheap, monotone, and
+//! meaningful when summed across serving threads).
 
 use std::cell::Cell;
+#[cfg(feature = "metrics")]
+use std::sync::atomic::{AtomicU64, Ordering};
 
 thread_local! {
     static TRIE_SEEKS: Cell<u64> = const { Cell::new(0) };
     static COUNT_PROBES: Cell<u64> = const { Cell::new(0) };
     static DICT_LOOKUPS: Cell<u64> = const { Cell::new(0) };
-    static TUPLES_OUTPUT: Cell<u64> = const { Cell::new(0) };
 }
+
+/// Process-wide output-tuple counter (only with the `metrics` feature; the
+/// hot loop carries no counter at all without it).
+#[cfg(feature = "metrics")]
+static TUPLES_OUTPUT: AtomicU64 = AtomicU64::new(0);
 
 /// A snapshot of all counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -25,7 +40,10 @@ pub struct MetricsSnapshot {
     pub count_probes: u64,
     /// Number of heavy-pair dictionary lookups.
     pub dict_lookups: u64,
-    /// Number of output tuples produced by enumerators.
+    /// Number of output tuples produced by enumerators. Always 0 unless
+    /// the `metrics` cargo feature is enabled (the emit path is otherwise
+    /// counter-free); with the feature on this is a process-wide total,
+    /// not a per-thread one.
     pub tuples_output: u64,
 }
 
@@ -64,10 +82,25 @@ pub fn record_dict_lookup() {
     DICT_LOOKUPS.with(|c| c.set(c.get() + 1));
 }
 
-/// Records an output tuple.
+/// Records an output tuple. A no-op (compiled out entirely) unless the
+/// `metrics` cargo feature is enabled; with it, one relaxed atomic
+/// increment on a process-wide counter.
 #[inline]
 pub fn record_tuple_output() {
-    TUPLES_OUTPUT.with(|c| c.set(c.get() + 1));
+    #[cfg(feature = "metrics")]
+    TUPLES_OUTPUT.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Reads the output-tuple counter (0 without the `metrics` feature).
+fn tuples_output() -> u64 {
+    #[cfg(feature = "metrics")]
+    {
+        TUPLES_OUTPUT.load(Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "metrics"))]
+    {
+        0
+    }
 }
 
 /// Reads the current counter values.
@@ -76,16 +109,18 @@ pub fn snapshot() -> MetricsSnapshot {
         trie_seeks: TRIE_SEEKS.with(Cell::get),
         count_probes: COUNT_PROBES.with(Cell::get),
         dict_lookups: DICT_LOOKUPS.with(Cell::get),
-        tuples_output: TUPLES_OUTPUT.with(Cell::get),
+        tuples_output: tuples_output(),
     }
 }
 
-/// Resets all counters to zero (per thread).
+/// Resets all counters to zero (per thread; the output-tuple counter,
+/// when the `metrics` feature is on, is process-wide and reset globally).
 pub fn reset() {
     TRIE_SEEKS.with(|c| c.set(0));
     COUNT_PROBES.with(|c| c.set(0));
     DICT_LOOKUPS.with(|c| c.set(0));
-    TUPLES_OUTPUT.with(|c| c.set(0));
+    #[cfg(feature = "metrics")]
+    TUPLES_OUTPUT.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -104,7 +139,10 @@ mod tests {
         assert_eq!(s.trie_seeks, 3);
         assert_eq!(s.count_probes, 1);
         assert_eq!(s.dict_lookups, 2);
+        #[cfg(feature = "metrics")]
         assert_eq!(s.tuples_output, 1);
+        #[cfg(not(feature = "metrics"))]
+        assert_eq!(s.tuples_output, 0, "emit path is counter-free by default");
         assert_eq!(s.work(), 6);
         reset();
         assert_eq!(snapshot(), MetricsSnapshot::default());

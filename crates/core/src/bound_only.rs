@@ -82,6 +82,23 @@ impl BoundOnlyView {
         Ok(out.into_iter())
     }
 
+    /// Push-style answering: at most one empty tuple is pushed.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the bound value count mismatches the pattern.
+    pub fn answer_into(
+        &self,
+        bound_values: &[Value],
+        sink: &mut impl cqc_common::AnswerSink,
+    ) -> Result<()> {
+        if self.exists(bound_values)? {
+            metrics::record_tuple_output();
+            sink.push(&[]);
+        }
+        Ok(())
+    }
+
     /// The view definition.
     pub fn view(&self) -> &AdornedView {
         &self.view

@@ -199,6 +199,10 @@ impl CompressedView {
 
     /// Answers an access request: an iterator over the free-variable tuples.
     ///
+    /// This is the legacy pull-style interface (one tuple allocation per
+    /// answer); the serve path uses [`CompressedView::answer_into`] /
+    /// [`CompressedView::enumerator`], which allocate nothing per answer.
+    ///
     /// # Errors
     ///
     /// Fails when the bound value count mismatches the view's pattern.
@@ -207,8 +211,10 @@ impl CompressedView {
             CompressedView::BoundOnly(s) => AnswerIter::Eager(s.answer(bound_values)?),
             CompressedView::Materialized(s) => AnswerIter::Materialized(s.answer(bound_values)?),
             CompressedView::Direct(s) => AnswerIter::Direct(s.answer(bound_values)?),
-            CompressedView::Tradeoff(s) => AnswerIter::Tradeoff(s.answer(bound_values)?),
-            CompressedView::Decomposed(s) => AnswerIter::Decomposed(s.answer(bound_values)?),
+            CompressedView::Tradeoff(s) => AnswerIter::Tradeoff(Box::new(s.answer(bound_values)?)),
+            CompressedView::Decomposed(s) => {
+                AnswerIter::Decomposed(Box::new(s.answer(bound_values)?))
+            }
             CompressedView::Factorized(s) => AnswerIter::Factorized(s.answer(bound_values)?),
             CompressedView::AlwaysEmpty(v) => {
                 v.check_access(bound_values)?;
@@ -217,9 +223,45 @@ impl CompressedView {
         })
     }
 
-    /// `true` iff the request has at least one answer.
+    /// A reusable push-style enumerator for this representation: request
+    /// scratch (traversal stacks, constraint vectors, joins, odometer
+    /// cursors) is created once and reused across
+    /// [`ViewEnumerator::answer_into`] calls, so steady-state serving
+    /// performs zero heap allocations per answer.
+    pub fn enumerator(&self) -> ViewEnumerator<'_> {
+        match self {
+            CompressedView::BoundOnly(s) => ViewEnumerator::BoundOnly(s),
+            CompressedView::Materialized(s) => ViewEnumerator::Materialized(s),
+            CompressedView::Direct(s) => ViewEnumerator::Direct(s.enumerator()),
+            CompressedView::Tradeoff(s) => ViewEnumerator::Tradeoff { s, iter: None },
+            CompressedView::Decomposed(s) => ViewEnumerator::Decomposed { s, iter: None },
+            CompressedView::Factorized(s) => ViewEnumerator::Factorized { s, iter: None },
+            CompressedView::AlwaysEmpty(v) => ViewEnumerator::AlwaysEmpty(v),
+        }
+    }
+
+    /// One-shot push-style answering: drives every answer of the request
+    /// into `sink` as a borrowed slice (no per-answer tuple allocation).
+    /// For request streams, hold a [`CompressedView::enumerator`] instead
+    /// so the per-request scratch is reused too.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the bound value count mismatches the view's pattern.
+    pub fn answer_into(
+        &self,
+        bound_values: &[Value],
+        sink: &mut impl cqc_common::AnswerSink,
+    ) -> Result<()> {
+        self.enumerator().answer_into(bound_values, sink)
+    }
+
+    /// `true` iff the request has at least one answer (first-answer probe;
+    /// no answer tuple is materialized).
     pub fn exists(&self, bound_values: &[Value]) -> Result<bool> {
-        Ok(self.answer(bound_values)?.next().is_some())
+        let mut probe = cqc_common::ExistsSink::default();
+        self.answer_into(bound_values, &mut probe)?;
+        Ok(probe.found)
     }
 
     /// A human-readable description of the representation: strategy,
@@ -309,6 +351,103 @@ impl HeapSize for CompressedView {
     }
 }
 
+/// Unified reusable push-style enumerator (see
+/// [`CompressedView::enumerator`]).
+///
+/// The delay-tuned variants create their underlying iterator lazily on the
+/// first request and then re-seed it via its `reset`, keeping all scratch;
+/// the baseline variants are stateless (materialized, bound-only) or hold
+/// a reusable join (direct).
+pub enum ViewEnumerator<'a> {
+    /// Proposition 1 membership probes.
+    BoundOnly(&'a BoundOnlyView),
+    /// Materialized range scans (push borrowed row slices).
+    Materialized(&'a MaterializedView),
+    /// Per-request worst-case-optimal join with a reusable cursor.
+    Direct(cqc_join::baselines::DirectEnum<'a>),
+    /// Algorithm 2 with reusable enumeration scratch.
+    Tradeoff {
+        /// The structure.
+        s: &'a Theorem1Structure,
+        /// Lazily created, reset-reused iterator.
+        iter: Option<crate::theorem1::Theorem1Iter<'a>>,
+    },
+    /// Algorithm 5 with reusable odometer scratch.
+    Decomposed {
+        /// The structure.
+        s: &'a Theorem2Structure,
+        /// Lazily created, reset-reused iterator.
+        iter: Option<crate::theorem2::Theorem2Iter<'a>>,
+    },
+    /// Factorized pre-order enumeration with reusable scratch.
+    Factorized {
+        /// The representation.
+        s: &'a FactorizedRepresentation,
+        /// Lazily created, reset-reused iterator.
+        iter: Option<cqc_factorized::FactorizedIter<'a>>,
+    },
+    /// A view proven empty during rewriting (validates access arity only).
+    AlwaysEmpty(&'a AdornedView),
+}
+
+impl ViewEnumerator<'_> {
+    /// Answers one request into `sink`; answers arrive as borrowed slices
+    /// in the representation's enumeration order. Reuses all scratch from
+    /// previous calls.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the bound value count mismatches the view's pattern.
+    pub fn answer_into(
+        &mut self,
+        bound_values: &[Value],
+        sink: &mut impl cqc_common::AnswerSink,
+    ) -> Result<()> {
+        match self {
+            ViewEnumerator::BoundOnly(s) => s.answer_into(bound_values, sink),
+            ViewEnumerator::Materialized(s) => s.answer_into(bound_values, sink),
+            ViewEnumerator::Direct(e) => e.answer_into(bound_values, sink),
+            ViewEnumerator::Tradeoff { s, iter } => {
+                let it = match iter {
+                    Some(it) => {
+                        it.reset(bound_values)?;
+                        it
+                    }
+                    None => iter.insert(s.answer(bound_values)?),
+                };
+                it.drain_into(sink);
+                Ok(())
+            }
+            ViewEnumerator::Decomposed { s, iter } => {
+                let it = match iter {
+                    Some(it) => {
+                        it.reset(bound_values)?;
+                        it
+                    }
+                    None => iter.insert(s.answer(bound_values)?),
+                };
+                it.drain_into(sink);
+                Ok(())
+            }
+            ViewEnumerator::Factorized { s, iter } => {
+                let it = match iter {
+                    Some(it) => {
+                        it.reset(bound_values)?;
+                        it
+                    }
+                    None => iter.insert(s.answer(bound_values)?),
+                };
+                it.drain_into(sink);
+                Ok(())
+            }
+            ViewEnumerator::AlwaysEmpty(v) => {
+                v.check_access(bound_values)?;
+                Ok(())
+            }
+        }
+    }
+}
+
 /// Unified answer iterator.
 pub enum AnswerIter<'a> {
     /// Pre-collected answers (bound-only and always-empty cases).
@@ -317,10 +456,10 @@ pub enum AnswerIter<'a> {
     Materialized(cqc_join::baselines::MaterializedAnswer<'a>),
     /// Per-request worst-case-optimal join.
     Direct(cqc_join::baselines::DirectAnswer<'a>),
-    /// Algorithm 2.
-    Tradeoff(crate::theorem1::Theorem1Iter<'a>),
-    /// Algorithm 5.
-    Decomposed(crate::theorem2::Theorem2Iter<'a>),
+    /// Algorithm 2 (boxed: the iterator carries its reusable scratch).
+    Tradeoff(Box<crate::theorem1::Theorem1Iter<'a>>),
+    /// Algorithm 5 (boxed: the iterator carries its reusable scratch).
+    Decomposed(Box<crate::theorem2::Theorem2Iter<'a>>),
     /// Factorized pre-order enumeration.
     Factorized(cqc_factorized::FactorizedIter<'a>),
 }

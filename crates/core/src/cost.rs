@@ -175,11 +175,16 @@ impl CostEstimator {
 
     /// Translates a rank tuple of free variables to values.
     pub fn ranks_to_values(&self, ranks: &[usize]) -> Vec<Value> {
-        ranks
-            .iter()
-            .zip(&self.domains)
-            .map(|(&r, d)| d.value(r))
-            .collect()
+        let mut out = Vec::with_capacity(ranks.len());
+        self.ranks_to_values_into(ranks, &mut out);
+        out
+    }
+
+    /// [`CostEstimator::ranks_to_values`] into a reused buffer (cleared
+    /// first) — the per-answer form used by the enumerators.
+    pub fn ranks_to_values_into(&self, ranks: &[usize], out: &mut Vec<Value>) {
+        out.clear();
+        out.extend(ranks.iter().zip(&self.domains).map(|(&r, d)| d.value(r)));
     }
 
     /// `|R_F(B)|` for atom `ai` — the build-time count (no valuation).

@@ -24,6 +24,7 @@ use cqc_common::util::approx_gt;
 use cqc_common::value::Value;
 use cqc_join::leapfrog::LevelConstraint;
 use cqc_join::plan::ViewPlan;
+use std::rc::Rc;
 
 /// The dictionary: one map per tree node, keyed by the bound valuation in
 /// bound-head order.
@@ -96,14 +97,23 @@ impl HeavyDictionary {
         // 2. DFS: at each node, evaluate T(v_b, I(w)) for the surviving
         //    candidates; store heavy pairs (with an emptiness-probe bit) and
         //    pass the non-zero ones to the children.
-        let mut stack: Vec<(u32, Vec<Vec<Value>>)> = vec![(0, root_candidates)];
+        //
+        //    The candidate valuations themselves are stored exactly once
+        //    (in `root_candidates`); the per-node survivor sets are index
+        //    lists shared between siblings through an `Rc`. The earlier
+        //    version deep-cloned the whole `Vec<Vec<Value>>` survivor list
+        //    for every binary node, making build cost quadratic in tree
+        //    depth × candidates.
+        let all_indices: Rc<Vec<u32>> = Rc::new((0..root_candidates.len() as u32).collect());
+        let mut stack: Vec<(u32, Rc<Vec<u32>>)> = vec![(0, all_indices)];
         while let Some((w, cands)) = stack.pop() {
             let node = &tree.nodes[w as usize];
             let threshold = tau_level(tree.tau, tree.alpha, node.level);
             let boxes = box_decomposition(&node.interval, &sizes);
-            let mut survivors: Vec<Vec<Value>> = Vec::with_capacity(cands.len());
-            for cand in cands {
-                let t: f64 = boxes.iter().map(|b| est.t_box_bound(&cand, b)).sum();
+            let mut survivors: Vec<u32> = Vec::with_capacity(cands.len());
+            for &ci in cands.iter() {
+                let cand = &root_candidates[ci as usize];
+                let t: f64 = boxes.iter().map(|b| est.t_box_bound(cand, b)).sum();
                 if t <= 0.0 {
                     continue; // dead everywhere below this node too
                 }
@@ -121,11 +131,12 @@ impl HeavyDictionary {
                     }
                     maps[w as usize].insert(Box::from(&cand[..]), bit);
                 }
-                survivors.push(cand);
+                survivors.push(ci);
             }
+            let survivors = Rc::new(survivors);
             match (node.left, node.right) {
                 (Some(l), Some(r)) => {
-                    stack.push((l, survivors.clone()));
+                    stack.push((l, Rc::clone(&survivors)));
                     stack.push((r, survivors));
                 }
                 (Some(l), None) => stack.push((l, survivors)),
@@ -196,9 +207,21 @@ impl HeapSize for HeavyDictionary {
 /// Per-free-level constraints induced by a canonical box, in enumeration
 /// order (length `mu`).
 pub fn free_constraints(est: &CostEstimator, b: &CanonicalBox, mu: usize) -> Vec<LevelConstraint> {
+    let mut cons = Vec::with_capacity(mu);
+    free_constraints_into(est, b, mu, &mut cons);
+    cons
+}
+
+/// [`free_constraints`] appended to a reused buffer — the allocation-free
+/// form the enumerators drive per canonical box.
+pub fn free_constraints_into(
+    est: &CostEstimator,
+    b: &CanonicalBox,
+    mu: usize,
+    cons: &mut Vec<LevelConstraint>,
+) {
     let doms = est.domains();
     let p = b.range_pos();
-    let mut cons = Vec::with_capacity(mu);
     for (ep, dom) in doms.iter().enumerate().take(mu) {
         if ep < p {
             cons.push(LevelConstraint::Fixed(dom.value(b.prefix[ep])));
@@ -211,7 +234,6 @@ pub fn free_constraints(est: &CostEstimator, b: &CanonicalBox, mu: usize) -> Vec
             cons.push(LevelConstraint::Free);
         }
     }
-    cons
 }
 
 #[cfg(test)]

@@ -122,22 +122,81 @@ impl CanonicalBox {
     }
 }
 
-/// The box decomposition `B(I)` of a closed f-interval (§4.1 / Lemma 1),
-/// following the endpoint convention of Example 13: the innermost left and
-/// right boxes absorb the closed endpoints, the middle box is open.
+/// A reusable buffer of canonical boxes.
 ///
-/// Returned boxes are non-empty, pairwise disjoint, partition `I`, are
-/// sorted lexicographically (every point of an earlier box precedes every
-/// point of a later box), and number at most `2µ − 1`.
-pub fn box_decomposition(interval: &FInterval, sizes: &[usize]) -> Vec<CanonicalBox> {
-    let mu = interval.mu();
+/// [`box_decomposition_ranks`] refills it in place: the outer `Vec` and
+/// every per-box prefix `Vec` keep their capacity across refills, so a
+/// `BoxList` owned by a long-lived enumerator reaches a steady state where
+/// decomposing a node's interval performs **no** heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct BoxList {
+    boxes: Vec<CanonicalBox>,
+    len: usize,
+}
+
+impl BoxList {
+    /// An empty list.
+    pub fn new() -> BoxList {
+        BoxList::default()
+    }
+
+    /// Number of live boxes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no boxes are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The live boxes.
+    pub fn as_slice(&self) -> &[CanonicalBox] {
+        &self.boxes[..self.len]
+    }
+
+    /// Box `i`.
+    pub fn get(&self, i: usize) -> &CanonicalBox {
+        &self.boxes[..self.len][i]
+    }
+
+    /// Forgets the live boxes, keeping every buffer.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Appends a box, reusing a retired slot's prefix buffer if available.
+    fn push(&mut self, prefix: &[usize], range: (usize, usize)) {
+        if self.len < self.boxes.len() {
+            let b = &mut self.boxes[self.len];
+            b.prefix.clear();
+            b.prefix.extend_from_slice(prefix);
+            b.range = range;
+        } else {
+            self.boxes.push(CanonicalBox {
+                prefix: prefix.to_vec(),
+                range,
+            });
+        }
+        self.len += 1;
+    }
+}
+
+/// The decomposition core shared by [`box_decomposition`] and
+/// [`box_decomposition_ranks`]: emits each box as `(prefix, range)`.
+fn decompose(
+    lo: &[usize],
+    hi: &[usize],
+    sizes: &[usize],
+    push: &mut impl FnMut(&[usize], (usize, usize)),
+) {
+    let mu = lo.len();
     assert!(
         mu >= 1,
         "box decomposition needs at least one free variable"
     );
+    debug_assert_eq!(hi.len(), mu);
     debug_assert_eq!(sizes.len(), mu);
-    let lo = &interval.lo;
-    let hi = &interval.hi;
     debug_assert!(
         lex_cmp_ranks(lo, hi) != Ordering::Greater,
         "interval endpoints out of order"
@@ -146,18 +205,14 @@ pub fn box_decomposition(interval: &FInterval, sizes: &[usize]) -> Vec<Canonical
     // First differing position.
     let Some(j) = (0..mu).find(|&i| lo[i] != hi[i]) else {
         // Unit interval.
-        return vec![CanonicalBox::unit(lo)];
+        push(&lo[..mu - 1], (lo[mu - 1], lo[mu - 1]));
+        return;
     };
-
-    let mut boxes = Vec::with_capacity(2 * mu - 1);
 
     if j == mu - 1 {
         // Endpoints share all but the last position: one closed box.
-        boxes.push(CanonicalBox {
-            prefix: lo[..mu - 1].to_vec(),
-            range: (lo[mu - 1], hi[mu - 1]),
-        });
-        return boxes;
+        push(&lo[..mu - 1], (lo[mu - 1], hi[mu - 1]));
+        return;
     }
 
     // Left boxes, innermost (i = µ-1) outwards to j+1.
@@ -169,22 +224,15 @@ pub fn box_decomposition(interval: &FInterval, sizes: &[usize]) -> Vec<Canonical
             // (lo_i, ⊤].
             (lo[i] + 1, sizes[i] - 1)
         };
-        let b = CanonicalBox {
-            prefix: lo[..i].to_vec(),
-            range,
-        };
-        if !b.is_empty() {
-            boxes.push(b);
+        if range.0 <= range.1 {
+            push(&lo[..i], range);
         }
     }
     // Middle box: ⟨lo[..j], (lo_j, hi_j)⟩.
     if lo[j] < hi[j].wrapping_sub(1) && hi[j] > 0 {
-        let b = CanonicalBox {
-            prefix: lo[..j].to_vec(),
-            range: (lo[j] + 1, hi[j] - 1),
-        };
-        if !b.is_empty() {
-            boxes.push(b);
+        let range = (lo[j] + 1, hi[j] - 1);
+        if range.0 <= range.1 {
+            push(&lo[..j], range);
         }
     }
     // Right boxes, outermost (i = j+1) to innermost (µ-1).
@@ -199,15 +247,37 @@ pub fn box_decomposition(interval: &FInterval, sizes: &[usize]) -> Vec<Canonical
             }
             (0, hi[i] - 1)
         };
-        let b = CanonicalBox {
-            prefix: hi[..i].to_vec(),
-            range,
-        };
-        if !b.is_empty() {
-            boxes.push(b);
+        if range.0 <= range.1 {
+            push(&hi[..i], range);
         }
     }
+}
+
+/// The box decomposition `B(I)` of a closed f-interval (§4.1 / Lemma 1),
+/// following the endpoint convention of Example 13: the innermost left and
+/// right boxes absorb the closed endpoints, the middle box is open.
+///
+/// Returned boxes are non-empty, pairwise disjoint, partition `I`, are
+/// sorted lexicographically (every point of an earlier box precedes every
+/// point of a later box), and number at most `2µ − 1`.
+pub fn box_decomposition(interval: &FInterval, sizes: &[usize]) -> Vec<CanonicalBox> {
+    let mut boxes = Vec::with_capacity(2 * interval.mu() - 1);
+    decompose(&interval.lo, &interval.hi, sizes, &mut |prefix, range| {
+        boxes.push(CanonicalBox {
+            prefix: prefix.to_vec(),
+            range,
+        });
+    });
     boxes
+}
+
+/// [`box_decomposition`] into a reusable [`BoxList`], taking the interval
+/// endpoints as borrowed rank slices — the allocation-free form used by
+/// the enumerators (no `FInterval` is materialized for clipped node
+/// intervals, and no box buffer is reallocated in steady state).
+pub fn box_decomposition_ranks(lo: &[usize], hi: &[usize], sizes: &[usize], out: &mut BoxList) {
+    out.clear();
+    decompose(lo, hi, sizes, &mut |prefix, range| out.push(prefix, range));
 }
 
 #[cfg(test)]
@@ -409,6 +479,28 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn boxlist_refill_matches_vec_decomposition() {
+        let sizes = [3usize, 2, 2];
+        let full = FInterval::full(&sizes).unwrap();
+        let all_points = points_of_interval(&full, &sizes);
+        let mut list = BoxList::new();
+        for a in 0..all_points.len() {
+            for b in a..all_points.len() {
+                let i = FInterval {
+                    lo: all_points[a].clone(),
+                    hi: all_points[b].clone(),
+                };
+                let vec_boxes = box_decomposition(&i, &sizes);
+                box_decomposition_ranks(&i.lo, &i.hi, &sizes, &mut list);
+                assert_eq!(list.as_slice(), &vec_boxes[..], "[{a},{b}]");
+                assert_eq!(list.len(), vec_boxes.len());
+            }
+        }
+        list.clear();
+        assert!(list.is_empty());
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //! * [`bound_only::BoundOnlyView`] — Proposition 1 for all-bound views;
 //! * [`compressed::CompressedView`] — a unified front door that picks (or
 //!   is told) a strategy and exposes `answer`/`exists`/space accounting;
+//!   its [`compressed::ViewEnumerator`] is the push-style, allocation-free
+//!   serve interface (answers are driven into a
+//!   [`cqc_common::AnswerSink`] as borrowed slices; all enumeration
+//!   scratch is reused across requests);
 //! * the geometric/costing substrate of §4: [`fbox`] (f-intervals, box
 //!   decompositions), [`cost`] (the `T(·)` oracle), [`split`]
 //!   (Lemma 3/Algorithm 1) and [`dbtree`] (the delay-balanced tree);
@@ -55,7 +59,7 @@ pub mod theorem1;
 pub mod theorem2;
 
 pub use bound_only::BoundOnlyView;
-pub use compressed::{CompressedView, Strategy};
+pub use compressed::{CompressedView, Strategy, ViewEnumerator};
 pub use maintain::{MaintainOutcome, MaintainReport};
 pub use theorem1::{Theorem1Stats, Theorem1Structure};
 pub use theorem2::Theorem2Structure;

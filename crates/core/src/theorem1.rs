@@ -17,8 +17,8 @@
 
 use crate::cost::CostEstimator;
 use crate::dbtree::DelayBalancedTree;
-use crate::dictionary::{free_constraints, HeavyDictionary};
-use crate::fbox::{box_decomposition, CanonicalBox, FInterval};
+use crate::dictionary::{free_constraints, free_constraints_into, HeavyDictionary};
+use crate::fbox::{box_decomposition, box_decomposition_ranks, BoxList, CanonicalBox, FInterval};
 use cqc_common::error::{CqcError, Result};
 use cqc_common::heap::HeapSize;
 use cqc_common::metrics;
@@ -163,22 +163,34 @@ impl Theorem1Structure {
     /// Answers an access request: lexicographic, duplicate-free enumeration
     /// of the free-variable tuples with delay Õ(τ).
     ///
+    /// The returned iterator owns all enumeration scratch (constraint
+    /// vectors, box buffers, one reusable leapfrog join); call
+    /// [`Theorem1Iter::reset`] to serve further requests from the same
+    /// scratch with zero steady-state allocations.
+    ///
     /// # Errors
     ///
     /// Fails when the bound value count mismatches the pattern.
     pub fn answer(&self, bound_values: &[Value]) -> Result<Theorem1Iter<'_>> {
-        self.view.check_access(bound_values)?;
-        let stack = match &self.tree {
-            Some(t) => vec![Frame::Enter(t.root())],
-            None => Vec::new(),
-        };
-        Ok(Theorem1Iter {
-            s: self,
-            vb: bound_values.to_vec(),
-            stack,
-            inner: None,
-            clip: None,
-        })
+        let mut it = Theorem1Iter::new(self);
+        it.reset(bound_values)?;
+        Ok(it)
+    }
+
+    /// Push-style answering: drives every answer of the request into
+    /// `sink` (stopping early if the sink declines). One-shot convenience
+    /// over [`Theorem1Structure::answer`] + [`Theorem1Iter::drain_into`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the bound value count mismatches the pattern.
+    pub fn answer_into(
+        &self,
+        bound_values: &[Value],
+        sink: &mut impl cqc_common::AnswerSink,
+    ) -> Result<()> {
+        self.answer(bound_values)?.drain_into(sink);
+        Ok(())
     }
 
     /// Range-restricted access: enumerates only the answers whose
@@ -214,22 +226,16 @@ impl Theorem1Structure {
                 (lex_cmp_ranks(&lo_r, &hi_r) != std::cmp::Ordering::Greater)
                     .then_some(FInterval { lo: lo_r, hi: hi_r })
             });
-        let stack = match (&self.tree, &clip) {
-            (Some(t), Some(_)) => vec![Frame::Enter(t.root())],
-            _ => Vec::new(),
-        };
-        Ok(Theorem1Iter {
-            s: self,
-            vb: bound_values.to_vec(),
-            stack,
-            inner: None,
-            clip,
-        })
+        let mut it = Theorem1Iter::new(self);
+        let enabled = clip.is_some();
+        it.start(bound_values, clip, enabled);
+        Ok(it)
     }
 
     /// First-answer probe (the boolean/k-SetDisjointness access of §3.3).
+    /// No answer tuple is materialized.
     pub fn exists(&self, bound_values: &[Value]) -> Result<bool> {
-        Ok(self.answer(bound_values)?.next().is_some())
+        Ok(self.answer(bound_values)?.advance())
     }
 
     /// Evaluates `(⋈_F R_F(v_b)) ⋉ I` directly (worst-case-optimal, box by
@@ -252,15 +258,19 @@ impl Theorem1Structure {
 
     /// Membership of the fully fixed point: is `(v_b, free_vals)` in the
     /// join? (Algorithm 2 line 11: the split-point check, O(#atoms·log).)
-    fn point_in_join(&self, vb: &[Value], free_vals: &[Value]) -> bool {
+    /// `probe` is a caller-owned scratch buffer for the per-atom prefix
+    /// keys, so the check performs no allocation.
+    fn point_in_join(&self, vb: &[Value], free_vals: &[Value], probe: &mut Vec<Value>) -> bool {
         let nb = self.plan.num_bound;
         for i in 0..self.plan.num_atoms() {
             let levels = self.plan.atom_levels(i);
-            let prefix: Vec<Value> = levels
-                .iter()
-                .map(|&l| if l < nb { vb[l] } else { free_vals[l - nb] })
-                .collect();
-            if self.plan.index(i).count(&prefix, None) == 0 {
+            probe.clear();
+            probe.extend(
+                levels
+                    .iter()
+                    .map(|&l| if l < nb { vb[l] } else { free_vals[l - nb] }),
+            );
+            if self.plan.index(i).count(probe, None) == 0 {
                 return false;
             }
         }
@@ -405,60 +415,182 @@ enum Frame {
 }
 
 /// The Algorithm 2 enumerator (optionally clipped to an output range).
+///
+/// The core is the allocation-free pair [`Theorem1Iter::advance`] /
+/// [`Theorem1Iter::current`]: every answer is exposed as a borrowed slice,
+/// all working memory (traversal stack, constraint vector, canonical-box
+/// buffer, one leapfrog join reused across boxes and nodes, split-point
+/// scratch) lives in the iterator and is reused across nodes **and across
+/// requests** via [`Theorem1Iter::reset`]. The `Iterator<Item = Tuple>`
+/// implementation is a thin compatibility shim that copies each slice.
 pub struct Theorem1Iter<'a> {
     s: &'a Theorem1Structure,
     vb: Vec<Value>,
     stack: Vec<Frame>,
-    inner: Option<IntervalJoinIter<'a>>,
     /// Optional lexicographic output clip (rank space).
     clip: Option<FInterval>,
+    /// The one leapfrog join, re-seeded per canonical box via
+    /// [`LeapfrogJoin::reset`]; created lazily at the first `⊥` node.
+    join: Option<LeapfrogJoin<'a>>,
+    /// `true` while the join is mid-drain on the current box.
+    join_active: bool,
+    /// Box decomposition of the current `⊥` node's (clipped) interval.
+    boxes: BoxList,
+    next_box: usize,
+    /// `true` while boxes of the current `⊥` node remain.
+    boxes_active: bool,
+    /// Reused per-box constraint vector (bound prefix + box constraints).
+    cons: Vec<LevelConstraint>,
+    /// Split-point values of the most recent `Point` answer.
+    point: Vec<Value>,
+    /// Scratch for the split-point membership probe.
+    probe: Vec<Value>,
+    /// Whether [`Theorem1Iter::current`] reads from the join or `point`.
+    emit_from_join: bool,
 }
 
-impl Iterator for Theorem1Iter<'_> {
-    type Item = Tuple;
+impl<'a> Theorem1Iter<'a> {
+    fn new(s: &'a Theorem1Structure) -> Theorem1Iter<'a> {
+        Theorem1Iter {
+            s,
+            vb: Vec::new(),
+            stack: Vec::new(),
+            clip: None,
+            join: None,
+            join_active: false,
+            boxes: BoxList::new(),
+            next_box: 0,
+            boxes_active: false,
+            cons: Vec::new(),
+            point: Vec::new(),
+            probe: Vec::new(),
+            emit_from_join: false,
+        }
+    }
 
-    fn next(&mut self) -> Option<Tuple> {
+    /// (Re)positions the iterator at the start of a request without
+    /// touching buffer capacities. `enabled` gates whether the traversal
+    /// starts at all (an `answer_range` whose clip is empty enumerates
+    /// nothing).
+    fn start(&mut self, bound_values: &[Value], clip: Option<FInterval>, enabled: bool) {
+        self.vb.clear();
+        self.vb.extend_from_slice(bound_values);
+        self.clip = clip;
+        self.stack.clear();
+        self.join_active = false;
+        self.boxes_active = false;
+        self.next_box = 0;
+        self.emit_from_join = false;
+        if enabled {
+            if let Some(t) = &self.s.tree {
+                self.stack.push(Frame::Enter(t.root()));
+            }
+        }
+    }
+
+    /// Rewinds the iterator to answer a fresh access request, reusing all
+    /// scratch buffers (the steady-state serve path performs zero heap
+    /// allocations from here on).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the bound value count mismatches the pattern.
+    pub fn reset(&mut self, bound_values: &[Value]) -> Result<()> {
+        self.s.view.check_access(bound_values)?;
+        self.start(bound_values, None, true);
+        Ok(())
+    }
+
+    /// Steps to the next answer; `true` when one is available via
+    /// [`Theorem1Iter::current`].
+    pub fn advance(&mut self) -> bool {
         use crate::fbox::lex_cmp_ranks;
         use std::cmp::Ordering;
+        let s = self.s;
         loop {
-            if let Some(inner) = &mut self.inner {
-                if let Some(t) = inner.next() {
-                    return Some(t);
+            // 1. Drain the active join (the `⊥` branch's current box).
+            if self.join_active {
+                let j = self.join.as_mut().expect("active join exists");
+                if j.next().is_some() {
+                    metrics::record_tuple_output();
+                    self.emit_from_join = true;
+                    return true;
                 }
-                self.inner = None;
+                self.join_active = false;
             }
-            let tree = self.s.tree.as_ref()?;
+            // 2. Seed the join with the next non-empty box, if any.
+            if self.boxes_active {
+                let mut seeded = false;
+                while self.next_box < self.boxes.len() {
+                    let i = self.next_box;
+                    self.next_box += 1;
+                    if self.boxes.get(i).is_empty() {
+                        continue;
+                    }
+                    let Theorem1Iter {
+                        boxes,
+                        cons,
+                        vb,
+                        join,
+                        ..
+                    } = self;
+                    let b = boxes.get(i);
+                    cons.clear();
+                    cons.extend(vb.iter().map(|&v| LevelConstraint::Fixed(v)));
+                    free_constraints_into(&s.est, b, s.plan.num_free(), cons);
+                    match join {
+                        Some(j) => j.reset(cons),
+                        None => *join = Some(s.plan.join(cons.clone())),
+                    }
+                    seeded = true;
+                    break;
+                }
+                if seeded {
+                    self.join_active = true;
+                    continue;
+                }
+                self.boxes_active = false;
+            }
+            // 3. Pop the next traversal frame.
+            let Some(tree) = s.tree.as_ref() else {
+                return false;
+            };
             match self.stack.pop() {
-                None => return None,
+                None => return false,
                 Some(Frame::Enter(w)) => {
                     let node = &tree.nodes[w as usize];
-                    // Clip the node's interval to the requested range.
-                    let effective = match &self.clip {
-                        None => node.interval.clone(),
+                    // Clip the node's interval to the requested range. The
+                    // clipped endpoints are whole-tuple lexicographic
+                    // max/min, so they are *borrowed* from either side —
+                    // no `FInterval` is materialized.
+                    let (lo, hi): (&[usize], &[usize]) = match &self.clip {
+                        None => (&node.interval.lo, &node.interval.hi),
                         Some(c) => {
                             let lo = if lex_cmp_ranks(&node.interval.lo, &c.lo) == Ordering::Less {
-                                c.lo.clone()
+                                &c.lo[..]
                             } else {
-                                node.interval.lo.clone()
+                                &node.interval.lo[..]
                             };
                             let hi = if lex_cmp_ranks(&node.interval.hi, &c.hi) == Ordering::Greater
                             {
-                                c.hi.clone()
+                                &c.hi[..]
                             } else {
-                                node.interval.hi.clone()
+                                &node.interval.hi[..]
                             };
-                            if lex_cmp_ranks(&lo, &hi) == Ordering::Greater {
+                            if lex_cmp_ranks(lo, hi) == Ordering::Greater {
                                 continue; // disjoint from the range
                             }
-                            FInterval { lo, hi }
+                            (lo, hi)
                         }
                     };
-                    match self.s.dict.get(w, &self.vb) {
+                    match s.dict.get(w, &self.vb) {
                         // ⊥: evaluate the (clipped) interval directly; cost
                         // bounded by τ_ℓ since the pair is light and
                         // T(v_b, ·) is monotone under clipping.
                         None => {
-                            self.inner = Some(self.s.enumerate_interval(&self.vb, &effective));
+                            box_decomposition_ranks(lo, hi, &s.sizes, &mut self.boxes);
+                            self.next_box = 0;
+                            self.boxes_active = true;
                         }
                         // 0: provably empty, skip the subtree.
                         Some(false) => {}
@@ -483,13 +615,65 @@ impl Iterator for Theorem1Iter<'_> {
                             continue;
                         }
                     }
-                    let vals = self.s.est.ranks_to_values(beta);
-                    if self.s.point_in_join(&self.vb, &vals) {
+                    s.est.ranks_to_values_into(beta, &mut self.point);
+                    if s.point_in_join(&self.vb, &self.point, &mut self.probe) {
                         metrics::record_tuple_output();
-                        return Some(vals);
+                        self.emit_from_join = false;
+                        return true;
                     }
                 }
             }
+        }
+    }
+
+    /// The answer produced by the last successful [`Theorem1Iter::advance`]
+    /// (free-variable values, enumeration order), borrowed from the
+    /// iterator's scratch.
+    pub fn current(&self) -> &[Value] {
+        if self.emit_from_join {
+            let nb = self.s.plan.num_bound;
+            &self.join.as_ref().expect("join emitted last").current()[nb..]
+        } else {
+            &self.point
+        }
+    }
+
+    /// Pushes every remaining answer into `sink`, honoring early stops.
+    ///
+    /// The `⊥`-branch hot loop is specialized: while a box's join is
+    /// draining, answers flow `join → sink` directly instead of
+    /// re-entering the traversal state machine per answer.
+    pub fn drain_into(&mut self, sink: &mut impl cqc_common::AnswerSink) {
+        let nb = self.s.plan.num_bound;
+        loop {
+            if self.join_active {
+                let j = self.join.as_mut().expect("active join exists");
+                while let Some(t) = j.next() {
+                    metrics::record_tuple_output();
+                    if !sink.push(&t[nb..]) {
+                        return;
+                    }
+                }
+                self.join_active = false;
+            }
+            if !self.advance() {
+                return;
+            }
+            if !sink.push(self.current()) {
+                return;
+            }
+        }
+    }
+}
+
+impl Iterator for Theorem1Iter<'_> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        if self.advance() {
+            Some(self.current().to_vec())
+        } else {
+            None
         }
     }
 }

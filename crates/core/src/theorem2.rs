@@ -330,38 +330,38 @@ impl Theorem2Structure {
     /// Answers an access request (Algorithm 5). Output order is
     /// decomposition-dependent (§3.2); tuples are duplicate-free.
     ///
+    /// The returned iterator owns all odometer scratch (valuation, per-bag
+    /// cursors with cached bag-level Theorem 1 enumerators, key and emit
+    /// buffers); [`Theorem2Iter::reset`] serves further requests from the
+    /// same scratch.
+    ///
     /// # Errors
     ///
     /// Fails when the bound value count mismatches the pattern.
     pub fn answer(&self, bound_values: &[Value]) -> Result<Theorem2Iter<'_>> {
-        self.view.check_access(bound_values)?;
-        let mut valuation: Vec<Option<Value>> = vec![None; self.num_vars];
-        for (var, val) in self.view.bound_head().iter().zip(bound_values) {
-            valuation[var.index()] = Some(*val);
-        }
-        let mut root_ok = true;
-        for (rel, vars) in &self.root_checks {
-            let tuple: Vec<Value> = vars
-                .iter()
-                .map(|v| valuation[v.index()].expect("bound var valued"))
-                .collect();
-            if !rel.contains(&tuple) {
-                root_ok = false;
-                break;
-            }
-        }
-        Ok(Theorem2Iter {
-            s: self,
-            valuation,
-            states: (0..self.bags.len()).map(|_| BagIterState::Closed).collect(),
-            started: false,
-            done: !root_ok,
-        })
+        let mut it = Theorem2Iter::new(self);
+        it.reset(bound_values)?;
+        Ok(it)
     }
 
-    /// First-answer probe.
+    /// Push-style answering into `sink` (stopping early if the sink
+    /// declines).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the bound value count mismatches the pattern.
+    pub fn answer_into(
+        &self,
+        bound_values: &[Value],
+        sink: &mut impl cqc_common::AnswerSink,
+    ) -> Result<()> {
+        self.answer(bound_values)?.drain_into(sink);
+        Ok(())
+    }
+
+    /// First-answer probe. No answer tuple is materialized.
     pub fn exists(&self, bound_values: &[Value]) -> Result<bool> {
-        Ok(self.answer(bound_values)?.next().is_some())
+        Ok(self.answer(bound_values)?.advance())
     }
 
     /// The view definition.
@@ -480,121 +480,218 @@ impl HeapSize for Theorem2Structure {
     }
 }
 
-/// Per-bag iterator state inside the odometer.
-enum BagIterState<'a> {
-    Closed,
-    Mat { cur: usize, end: usize },
-    Trade(Box<crate::theorem1::Theorem1Iter<'a>>),
+/// Per-bag cursor inside the odometer.
+///
+/// Delay-tuned bags cache their bag-level [`Theorem1Iter`] across opens
+/// (re-seeded via [`Theorem1Iter::reset`]), so re-opening a bag for a new
+/// ancestor valuation reuses the bag enumerator's scratch instead of
+/// rebuilding it.
+struct BagCursor<'a> {
+    /// Whether the bag currently holds a bound row.
+    live: bool,
+    /// `(current row, end row)` for materialized bags.
+    mat: (usize, usize),
+    /// Cached enumerator for Theorem 1 bags.
+    trade: Option<Box<crate::theorem1::Theorem1Iter<'a>>>,
 }
 
 /// The Algorithm 5 enumerator.
+///
+/// Like [`Theorem1Iter`](crate::theorem1::Theorem1Iter), the core is the
+/// pair [`Theorem2Iter::advance`] / [`Theorem2Iter::current`]: answers are
+/// borrowed from an internal emit buffer and every per-bag binding copies
+/// directly from the bag's storage into the valuation — no per-row tuple
+/// is allocated. The `Iterator` implementation is a compatibility shim.
 pub struct Theorem2Iter<'a> {
     s: &'a Theorem2Structure,
     valuation: Vec<Option<Value>>,
-    states: Vec<BagIterState<'a>>,
+    cursors: Vec<BagCursor<'a>>,
+    /// Scratch: the current bag's bound key.
+    key: Vec<Value>,
+    /// Scratch: the most recent answer (head free-variable order).
+    emit: Vec<Value>,
     started: bool,
     done: bool,
 }
 
 impl<'a> Theorem2Iter<'a> {
-    fn key_of(&self, bi: usize) -> Vec<Value> {
-        self.s.bags[bi]
-            .bound_vars
-            .iter()
-            .map(|v| self.valuation[v.index()].expect("bag bound var set by ancestors"))
-            .collect()
+    fn new(s: &'a Theorem2Structure) -> Theorem2Iter<'a> {
+        Theorem2Iter {
+            s,
+            valuation: Vec::new(),
+            cursors: s
+                .bags
+                .iter()
+                .map(|_| BagCursor {
+                    live: false,
+                    mat: (0, 0),
+                    trade: None,
+                })
+                .collect(),
+            key: Vec::new(),
+            emit: Vec::new(),
+            started: false,
+            done: false,
+        }
     }
 
-    fn bind(&mut self, bi: usize, free_vals: &[Value]) {
-        let bag = &self.s.bags[bi];
-        debug_assert_eq!(free_vals.len(), bag.free_vars.len());
-        for (v, val) in bag.free_vars.iter().zip(free_vals) {
-            self.valuation[v.index()] = Some(*val);
+    /// Rewinds the iterator to answer a fresh access request, keeping the
+    /// per-bag enumerator caches and every scratch buffer.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the bound value count mismatches the pattern.
+    pub fn reset(&mut self, bound_values: &[Value]) -> Result<()> {
+        self.s.view.check_access(bound_values)?;
+        self.valuation.clear();
+        self.valuation.resize(self.s.num_vars, None);
+        for (var, val) in self.s.view.bound_head().iter().zip(bound_values) {
+            self.valuation[var.index()] = Some(*val);
         }
+        for c in &mut self.cursors {
+            c.live = false;
+        }
+        self.started = false;
+        let mut root_ok = true;
+        for (rel, vars) in &self.s.root_checks {
+            let Theorem2Iter { valuation, key, .. } = self;
+            key.clear();
+            key.extend(
+                vars.iter()
+                    .map(|v| valuation[v.index()].expect("bound var valued")),
+            );
+            if !rel.contains(key) {
+                root_ok = false;
+                break;
+            }
+        }
+        self.done = !root_ok;
+        Ok(())
     }
 
     /// Opens bag `bi` under the current ancestor valuation; binds the first
     /// tuple if any.
     fn open(&mut self, bi: usize) -> bool {
-        let key = self.key_of(bi);
-        match &self.s.bags[bi].kind {
+        let Theorem2Iter {
+            s,
+            valuation,
+            cursors,
+            key,
+            ..
+        } = self;
+        let s: &'a Theorem2Structure = s;
+        let bag = &s.bags[bi];
+        key.clear();
+        key.extend(
+            bag.bound_vars
+                .iter()
+                .map(|v| valuation[v.index()].expect("bag bound var set by ancestors")),
+        );
+        let cur = &mut cursors[bi];
+        match &bag.kind {
             BagKind::Materialized(mb) => {
-                let (lo, hi) = mb.range_for(&key);
+                let (lo, hi) = mb.range_for(key);
                 if lo >= hi {
-                    self.states[bi] = BagIterState::Closed;
+                    cur.live = false;
                     return false;
                 }
-                let free = mb.free_part(lo).to_vec();
-                self.states[bi] = BagIterState::Mat { cur: lo, end: hi };
-                self.bind(bi, &free);
+                cur.live = true;
+                cur.mat = (lo, hi);
+                for (v, val) in bag.free_vars.iter().zip(mb.free_part(lo)) {
+                    valuation[v.index()] = Some(*val);
+                }
                 true
             }
             BagKind::Tradeoff(t1) => {
-                let mut iter = t1.answer(&key).expect("bag key arity is internal");
-                match iter.next() {
-                    Some(free) => {
-                        self.states[bi] = BagIterState::Trade(Box::new(iter));
-                        self.bind(bi, &free);
-                        true
+                let it = match &mut cur.trade {
+                    Some(it) => {
+                        it.reset(key).expect("bag key arity is internal");
+                        it
                     }
                     None => {
-                        self.states[bi] = BagIterState::Closed;
-                        false
+                        let fresh = t1.answer(key).expect("bag key arity is internal");
+                        cur.trade.insert(Box::new(fresh))
                     }
+                };
+                if it.advance() {
+                    cur.live = true;
+                    for (v, val) in bag.free_vars.iter().zip(it.current()) {
+                        valuation[v.index()] = Some(*val);
+                    }
+                    true
+                } else {
+                    cur.live = false;
+                    false
                 }
             }
         }
     }
 
-    fn advance(&mut self, bi: usize) -> bool {
-        let next_free: Option<Vec<Value>> = match &mut self.states[bi] {
-            BagIterState::Closed => None,
-            BagIterState::Mat { cur, end } => {
-                if *cur + 1 < *end {
-                    *cur += 1;
-                    let c = *cur;
-                    match &self.s.bags[bi].kind {
-                        BagKind::Materialized(mb) => Some(mb.free_part(c).to_vec()),
-                        BagKind::Tradeoff(_) => unreachable!("state/kind mismatch"),
-                    }
-                } else {
-                    None
+    /// Advances bag `bi` to its next row under the same ancestor valuation.
+    fn advance_bag(&mut self, bi: usize) -> bool {
+        let Theorem2Iter {
+            s,
+            valuation,
+            cursors,
+            ..
+        } = self;
+        let bag = &s.bags[bi];
+        let cur = &mut cursors[bi];
+        if !cur.live {
+            return false;
+        }
+        match &bag.kind {
+            BagKind::Materialized(mb) => {
+                let (c, end) = cur.mat;
+                if c + 1 >= end {
+                    return false;
                 }
-            }
-            BagIterState::Trade(iter) => iter.next(),
-        };
-        match next_free {
-            Some(free) => {
-                self.bind(bi, &free);
+                cur.mat = (c + 1, end);
+                for (v, val) in bag.free_vars.iter().zip(mb.free_part(c + 1)) {
+                    valuation[v.index()] = Some(*val);
+                }
                 true
             }
-            None => false,
+            BagKind::Tradeoff(_) => {
+                let it = cur.trade.as_mut().expect("advance on an opened bag");
+                if it.advance() {
+                    for (v, val) in bag.free_vars.iter().zip(it.current()) {
+                        valuation[v.index()] = Some(*val);
+                    }
+                    true
+                } else {
+                    false
+                }
+            }
         }
     }
 
-    fn emit(&self) -> Tuple {
+    fn fill_emit(&mut self) {
         metrics::record_tuple_output();
-        self.s
-            .view
-            .free_head()
-            .iter()
-            .map(|v| self.valuation[v.index()].expect("free var bound by some bag"))
-            .collect()
+        let Theorem2Iter {
+            s, valuation, emit, ..
+        } = self;
+        emit.clear();
+        emit.extend(
+            s.view
+                .free_head()
+                .iter()
+                .map(|v| valuation[v.index()].expect("free var bound by some bag")),
+        );
     }
-}
 
-impl Iterator for Theorem2Iter<'_> {
-    type Item = Tuple;
-
-    fn next(&mut self) -> Option<Tuple> {
+    /// Steps to the next answer; `true` when one is available via
+    /// [`Theorem2Iter::current`].
+    pub fn advance(&mut self) -> bool {
         if self.done {
-            return None;
+            return false;
         }
         let k = self.s.bags.len();
         if k == 0 {
             // Boolean view over the root bag only.
             self.done = true;
-            return Some(self.emit());
+            self.fill_emit();
+            return true;
         }
         let mut i: usize;
         let mut opening: bool;
@@ -610,11 +707,12 @@ impl Iterator for Theorem2Iter<'_> {
             let ok = if opening {
                 self.open(i)
             } else {
-                self.advance(i)
+                self.advance_bag(i)
             };
             if ok {
                 if i + 1 == k {
-                    return Some(self.emit());
+                    self.fill_emit();
+                    return true;
                 }
                 i += 1;
                 opening = true;
@@ -631,7 +729,7 @@ impl Iterator for Theorem2Iter<'_> {
                         // Parent is the root: the access valuation itself
                         // has no extension here, so no answers exist at all.
                         self.done = true;
-                        return None;
+                        return false;
                     }
                 }
             } else {
@@ -639,11 +737,38 @@ impl Iterator for Theorem2Iter<'_> {
                 // predecessor (Algorithm 5 lines 10–13).
                 if i == 0 {
                     self.done = true;
-                    return None;
+                    return false;
                 }
                 i -= 1;
                 opening = false;
             }
+        }
+    }
+
+    /// The answer produced by the last successful
+    /// [`Theorem2Iter::advance`], borrowed from the iterator's scratch.
+    pub fn current(&self) -> &[Value] {
+        &self.emit
+    }
+
+    /// Pushes every remaining answer into `sink`, honoring early stops.
+    pub fn drain_into(&mut self, sink: &mut impl cqc_common::AnswerSink) {
+        while self.advance() {
+            if !sink.push(self.current()) {
+                return;
+            }
+        }
+    }
+}
+
+impl Iterator for Theorem2Iter<'_> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        if self.advance() {
+            Some(self.current().to_vec())
+        } else {
+            None
         }
     }
 }

@@ -29,8 +29,16 @@
 //!
 //! Strategies: `auto`, `auto:<budget>`, `materialize`, `direct`,
 //! `factorized`, `tau:<τ>`, `budget:<exp>`, `decomposed:<exp>`.
+//!
+//! `bench --profile enum` switches the benchmark into the enumeration
+//! profile: the same request stream is served twice through the legacy
+//! per-tuple pull path and twice through the flat-block pipeline (first
+//! pass warms the scratch buffers, second is measured), reporting
+//! answers/sec and — because this binary runs under the vendored counting
+//! allocator — exact heap allocations per answer for both.
 
 use cqc_bench::{fmt_bytes, fmt_ns, BatchStats};
+use cqc_common::alloc as cqalloc;
 use cqc_core::Strategy;
 use cqc_engine::{Engine, Policy, Request, UpdateReport};
 use cqc_join::naive::evaluate_view;
@@ -40,6 +48,13 @@ use cqc_workload::{
     graphs, random_requests, recombination_delta, uniform_relation, witness_requests,
 };
 use std::io::BufRead;
+use std::time::Instant;
+
+/// Every allocation in this binary is counted, so `bench --profile enum`
+/// can report allocations-per-answer exactly (the counter costs a few
+/// nanoseconds per allocation event and nothing per answer).
+#[global_allocator]
+static ALLOC: cqalloc::CountingAlloc = cqalloc::CountingAlloc;
 
 fn main() {
     let mut commands: Vec<String> = Vec::new();
@@ -121,7 +136,9 @@ fn print_help() {
     println!("  ask <name> <values...>   exists <name> <values...>   explain <name>");
     println!("  update <rel> <values...>");
     println!("  bench <name> <requests> <threads> [seed] [witness|random]");
-    println!("        [--with-updates[=<rounds>]] [--json=<path>]");
+    println!("        [--with-updates[=<rounds>]] [--profile enum] [--json=<path>]");
+    println!("        --profile enum: flat-block vs legacy pipeline (answers/s,");
+    println!("        heap allocations per answer under the counting allocator)");
     println!("  stats   demo   help   quit");
     println!();
     println!("strategies: auto  auto:<budget>  materialize  direct  factorized");
@@ -264,13 +281,13 @@ fn execute(engine: &mut Engine, line: &str) -> Result<bool, String> {
                         bound,
                     })
                     .map_err(|e| e.to_string())?;
-                for t in &served.tuples {
+                for t in served.tuples() {
                     let row: Vec<String> = t.iter().map(|&v| engine.display_value(v)).collect();
                     println!("{}", row.join(", "));
                 }
                 println!(
                     "-- {} tuples in {} (max delay {})",
-                    served.tuples.len(),
+                    served.len(),
                     fmt_ns(served.delay.total_ns),
                     fmt_ns(served.delay.max_ns)
                 );
@@ -419,6 +436,8 @@ struct BenchOpts {
     /// `Some(rounds)` to interleave delta application with serving.
     updates: Option<usize>,
     json_path: Option<String>,
+    /// `true` for the enumeration profile (`--profile enum`).
+    profile_enum: bool,
 }
 
 fn parse_bench_opts(opts: &[String]) -> Result<BenchOpts, String> {
@@ -427,17 +446,29 @@ fn parse_bench_opts(opts: &[String]) -> Result<BenchOpts, String> {
         witness: true,
         updates: None,
         json_path: None,
+        profile_enum: false,
     };
     let mut positional = 0usize;
-    for opt in opts {
+    let mut i = 0usize;
+    while i < opts.len() {
+        let opt = &opts[i];
+        i += 1;
         if let Some(flag) = opt.strip_prefix("--") {
-            let (key, val) = match flag.split_once('=') {
-                Some((k, v)) => (k, Some(v)),
+            let (key, mut val) = match flag.split_once('=') {
+                Some((k, v)) => (k, Some(v.to_string())),
                 None => (flag, None),
             };
+            // `--profile enum` (space-separated) is accepted alongside
+            // `--profile=enum`.
+            if key == "profile" && val.is_none() {
+                if let Some(next) = opts.get(i).filter(|n| !n.starts_with("--")) {
+                    val = Some(next.clone());
+                    i += 1;
+                }
+            }
             match key {
                 "with-updates" => {
-                    let rounds = match val {
+                    let rounds = match val.as_deref() {
                         None => 6,
                         Some(v) => v
                             .parse::<usize>()
@@ -451,8 +482,17 @@ fn parse_bench_opts(opts: &[String]) -> Result<BenchOpts, String> {
                     let Some(path) = val else {
                         return Err("--json needs a path (--json=<path>)".into());
                     };
-                    parsed.json_path = Some(path.to_string());
+                    parsed.json_path = Some(path);
                 }
+                "profile" => match val.as_deref() {
+                    Some("enum") => parsed.profile_enum = true,
+                    other => {
+                        return Err(format!(
+                            "unknown bench profile `{}` (only `enum` exists)",
+                            other.unwrap_or("")
+                        ));
+                    }
+                },
                 other => return Err(format!("unknown bench flag `--{other}`")),
             }
             continue;
@@ -469,6 +509,9 @@ fn parse_bench_opts(opts: &[String]) -> Result<BenchOpts, String> {
             _ => return Err(format!("unexpected bench argument `{opt}`")),
         }
         positional += 1;
+    }
+    if parsed.profile_enum && parsed.updates.is_some() {
+        return Err("--profile enum and --with-updates are mutually exclusive".into());
     }
     Ok(parsed)
 }
@@ -515,6 +558,15 @@ fn bench(engine: &mut Engine, rest: &[String]) -> Result<(), String> {
     } else {
         random_requests(&mut rng, &rv.view, &engine.db(), n_req)
     };
+    if opts.profile_enum {
+        if threads != 1 {
+            return Err(format!(
+                "--profile enum measures the single-threaded steady-state loop; \
+                 pass 1 thread, not {threads}"
+            ));
+        }
+        return bench_enum(engine, name, &bounds, opts.json_path.as_deref());
+    }
     let requests: Vec<Request> = bounds
         .into_iter()
         .map(|bound| Request {
@@ -637,6 +689,120 @@ fn bench(engine: &mut Engine, rest: &[String]) -> Result<(), String> {
         return Err(format!(
             "{violations} stale-serve violation(s): answers diverged from the naive oracle"
         ));
+    }
+    Ok(())
+}
+
+/// The enumeration profile: serves the identical request stream through
+/// the legacy per-tuple pull path (`Engine::answer`, one `Vec` per answer)
+/// and through the flat-block pipeline (`Engine::with_view_server`), each
+/// twice — the first pass warms caches and scratch buffers to their
+/// high-water mark, the second is measured for wall time and (thanks to
+/// the counting global allocator) exact heap allocation events.
+fn bench_enum(
+    engine: &Engine,
+    name: &str,
+    bounds: &[Vec<u64>],
+    json_path: Option<&str>,
+) -> Result<(), String> {
+    // Before: the legacy pull path, materializing Vec<Tuple> per request.
+    let legacy_pass = |engine: &Engine| -> Result<usize, String> {
+        let mut answers = 0usize;
+        for b in bounds {
+            answers += engine.answer(name, b).map_err(|e| e.to_string())?.len();
+        }
+        Ok(answers)
+    };
+    legacy_pass(engine)?; // warm (builds the representation, touches caches)
+    let snap = cqalloc::snapshot();
+    let t0 = Instant::now();
+    let legacy_answers = legacy_pass(engine)?;
+    let legacy_ns = t0.elapsed().as_nanos() as u64;
+    let legacy_allocs = cqalloc::snapshot().allocations_since(&snap);
+
+    // After: the flat-block pipeline through one reusable ViewServer.
+    // Warm-up and measurement share the server so the measured pass sees
+    // steady-state scratch.
+    let (flat_answers, flat_ns, flat_allocs) = engine
+        .with_view_server(name, |server| -> Result<(usize, u64, u64), String> {
+            let mut answers = 0usize;
+            for b in bounds {
+                server.serve(b).map_err(|e| e.to_string())?; // warm
+            }
+            let snap = cqalloc::snapshot();
+            let t0 = Instant::now();
+            for b in bounds {
+                answers += server.serve(b).map_err(|e| e.to_string())?.len();
+            }
+            let ns = t0.elapsed().as_nanos() as u64;
+            Ok((answers, ns, cqalloc::snapshot().allocations_since(&snap)))
+        })
+        .map_err(|e| e.to_string())??;
+
+    if flat_answers != legacy_answers {
+        return Err(format!(
+            "enum profile self-check failed: flat path produced {flat_answers} answers, \
+             legacy path {legacy_answers}"
+        ));
+    }
+
+    let per_s = |answers: usize, ns: u64| answers as f64 / (ns.max(1) as f64 / 1e9);
+    let per_answer = |allocs: u64, answers: usize| allocs as f64 / answers.max(1) as f64;
+    let legacy_rate = per_s(legacy_answers, legacy_ns);
+    let flat_rate = per_s(flat_answers, flat_ns);
+    println!(
+        "bench `{name}` [profile enum]: {} requests, {} answers",
+        bounds.len(),
+        flat_answers
+    );
+    println!(
+        "  legacy pull path: {legacy_rate:.0} answers/s ({}), {legacy_allocs} allocs \
+         ({:.3} per answer)",
+        fmt_ns(legacy_ns),
+        per_answer(legacy_allocs, legacy_answers)
+    );
+    println!(
+        "  flat-block path:  {flat_rate:.0} answers/s ({}), {flat_allocs} allocs \
+         ({:.3} per answer)",
+        fmt_ns(flat_ns),
+        per_answer(flat_allocs, flat_answers)
+    );
+    println!(
+        "  speedup: {:.2}x, allocation events eliminated: {}",
+        flat_rate / legacy_rate.max(1e-9),
+        legacy_allocs.saturating_sub(flat_allocs)
+    );
+    if let Some(path) = json_path {
+        let fields = vec![
+            format!("\"view\": {}", json_string(name)),
+            "\"profile\": \"enum\"".to_string(),
+            format!("\"requests\": {}", bounds.len()),
+            format!("\"answers\": {flat_answers}"),
+            format!("\"legacy_wall_ns\": {legacy_ns}"),
+            format!("\"legacy_answers_per_s\": {legacy_rate:.1}"),
+            format!("\"legacy_allocs\": {legacy_allocs}"),
+            format!(
+                "\"legacy_allocs_per_answer\": {:.4}",
+                per_answer(legacy_allocs, legacy_answers)
+            ),
+            format!("\"flat_wall_ns\": {flat_ns}"),
+            format!("\"flat_answers_per_s\": {flat_rate:.1}"),
+            format!("\"flat_allocs\": {flat_allocs}"),
+            format!(
+                "\"flat_allocs_per_answer\": {:.4}",
+                per_answer(flat_allocs, flat_answers)
+            ),
+            format!("\"speedup\": {:.3}", flat_rate / legacy_rate.max(1e-9)),
+        ];
+        let json = format!("{{\n  {}\n}}\n", fields.join(",\n  "));
+        std::fs::write(path, json).map_err(|e| format!("write `{path}`: {e}"))?;
+        println!("  wrote JSON summary to {path}");
+    }
+    if flat_allocs > 0 {
+        eprintln!(
+            "warning: flat path performed {flat_allocs} allocation(s) in steady state \
+             (expected 0)"
+        );
     }
     Ok(())
 }

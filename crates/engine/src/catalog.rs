@@ -6,9 +6,13 @@
 //! owns that amortization. It maps a [`CatalogKey`] — normalized query
 //! text, adornment and strategy tag — to an `Arc<CompressedView>`, so that
 //! repeated requests (and distinct registered names for the same view)
-//! never rebuild. Entries are evicted least-recently-used when the
-//! deterministic [`HeapSize`] accounting exceeds the configured byte
-//! budget.
+//! never rebuild. When the deterministic [`HeapSize`] accounting exceeds
+//! the configured byte budget, eviction is **cost-aware**: the victim is
+//! the entry with the highest bytes ÷ measured-rebuild-time ratio — the
+//! one that frees the most memory per nanosecond it would cost to bring
+//! back — with plain LRU recency as the tie-break. Rebuild times are
+//! measured when entries are built, so the policy needs no extra
+//! bookkeeping.
 //!
 //! Since the database became versioned, every entry additionally carries
 //! the [`Epoch`] it was built (or maintained) at. A lookup passes the
@@ -66,6 +70,11 @@ pub struct CatalogStats {
     pub budget_bytes: usize,
 }
 
+/// Floor applied to measured rebuild times when scoring eviction victims:
+/// entries whose build was unmeasured (or sub-microsecond noise) must not
+/// look infinitely cheap to rebuild.
+const EVICT_MIN_REBUILD_NS: u64 = 1_000;
+
 struct Slot {
     view: Arc<CompressedView>,
     bytes: usize,
@@ -77,6 +86,14 @@ struct Slot {
     /// Logical-clock tick of the last lookup; atomic so cache hits can
     /// refresh recency under the shared lock.
     last_used: AtomicU64,
+}
+
+impl Slot {
+    /// Bytes reclaimed per nanosecond of rebuild cost — higher means a
+    /// better eviction victim (large footprint, cheap to bring back).
+    fn evict_score(&self) -> f64 {
+        self.bytes as f64 / self.build_ns.max(EVICT_MIN_REBUILD_NS) as f64
+    }
 }
 
 #[derive(Default)]
@@ -226,11 +243,20 @@ impl Catalog {
         }
         inner.resident_bytes += bytes;
         while inner.resident_bytes > self.budget_bytes && inner.map.len() > 1 {
+            // Cost-aware victim selection: maximize bytes freed per
+            // nanosecond of measured rebuild time; among equals, evict the
+            // least recently used.
             let victim = inner
                 .map
                 .iter()
                 .filter(|(k, _)| **k != key)
-                .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
+                .max_by(|(_, a), (_, b)| {
+                    a.evict_score().total_cmp(&b.evict_score()).then_with(|| {
+                        b.last_used
+                            .load(Ordering::Relaxed)
+                            .cmp(&a.last_used.load(Ordering::Relaxed))
+                    })
+                })
                 .map(|(k, _)| k.clone());
             let Some(victim) = victim else { break };
             if inner.remove(&victim) {

@@ -20,10 +20,10 @@
 
 use crate::catalog::{Catalog, CatalogKey, CatalogStats};
 use crate::policy::{select, Policy};
-use cqc_bench::{measure_delays, DelayStats};
+use cqc_bench::{DelayProbe, DelayStats};
 use cqc_common::error::{CqcError, Result};
 use cqc_common::value::{Tuple, Value};
-use cqc_common::{FastMap, FastSet};
+use cqc_common::{AnswerBlock, AnswerSink, FastMap, FastSet};
 use cqc_core::maintain::MaintainOutcome;
 use cqc_core::CompressedView;
 use cqc_query::parser::parse_adorned;
@@ -62,7 +62,7 @@ impl Default for EngineConfig {
     fn default() -> EngineConfig {
         EngineConfig {
             // Generous enough that eviction only happens under real
-            // pressure; tests shrink it to force the LRU path.
+            // pressure; tests shrink it to force the eviction path.
             catalog_budget_bytes: 256 * 1024 * 1024,
             maintain_max_delta_fraction: 0.2,
             maintain_calibration: true,
@@ -93,12 +93,91 @@ pub struct Request {
 }
 
 /// The answer to one request, with its measured enumeration delays.
+///
+/// The answers live in one flat, arity-strided [`AnswerBlock`] — a single
+/// allocation that grows amortized, instead of the one-`Vec`-per-tuple
+/// representation served previously. [`Served::tuples`] and
+/// [`Served::to_tuples`] are the thin compatibility views.
 #[derive(Debug, Clone)]
 pub struct Served {
-    /// The enumerated free-variable tuples, in the structure's order.
-    pub tuples: Vec<Tuple>,
+    /// The enumerated answers, flat, in the structure's order.
+    pub block: AnswerBlock,
     /// Delay statistics of the enumeration (paper §2.3 definition).
     pub delay: DelayStats,
+}
+
+impl Served {
+    /// Number of answers.
+    pub fn len(&self) -> usize {
+        self.block.len()
+    }
+
+    /// `true` when the request had no answers.
+    pub fn is_empty(&self) -> bool {
+        self.block.is_empty()
+    }
+
+    /// The answers as borrowed value slices, in enumeration order.
+    pub fn tuples(&self) -> impl ExactSizeIterator<Item = &[Value]> + '_ {
+        self.block.iter()
+    }
+
+    /// Copies the answers out into owned tuples (compatibility; allocates
+    /// one `Vec` per tuple by construction).
+    pub fn to_tuples(&self) -> Vec<Tuple> {
+        self.block.to_tuples()
+    }
+}
+
+/// A per-view steady-state server: one reusable enumerator and one
+/// reusable flat answer block (see [`Engine::with_view_server`]).
+pub struct ViewServer<'a> {
+    enumerator: cqc_core::ViewEnumerator<'a>,
+    block: AnswerBlock,
+}
+
+impl ViewServer<'_> {
+    /// Serves one request, returning the filled block (valid until the
+    /// next call). All scratch — the enumerator's and the block's — is
+    /// reused, so steady-state calls allocate nothing.
+    ///
+    /// # Errors
+    ///
+    /// Bound-arity mismatches.
+    pub fn serve(&mut self, bound: &[Value]) -> Result<&AnswerBlock> {
+        self.block.clear();
+        self.enumerator.answer_into(bound, &mut self.block)?;
+        Ok(&self.block)
+    }
+}
+
+/// Sink wiring one [`AnswerBlock`] to a [`DelayProbe`]: each push copies
+/// the answer into the block and stamps an arrival tick.
+struct TimedBlockSink {
+    block: AnswerBlock,
+    probe: DelayProbe,
+}
+
+impl AnswerSink for TimedBlockSink {
+    #[inline]
+    fn push(&mut self, tuple: &[Value]) -> bool {
+        let keep_going = self.block.push(tuple);
+        self.probe.tick();
+        keep_going
+    }
+}
+
+/// Measurement-only sink: ticks the probe, retains nothing.
+struct ProbeSink {
+    probe: DelayProbe,
+}
+
+impl AnswerSink for ProbeSink {
+    #[inline]
+    fn push(&mut self, _tuple: &[Value]) -> bool {
+        self.probe.tick();
+        true
+    }
 }
 
 /// What one [`Engine::update`] call did to the catalog.
@@ -558,7 +637,14 @@ impl Engine {
         Ok(cv)
     }
 
-    /// Answers one request, discarding delay measurements.
+    /// Answers one request into owned per-tuple `Vec`s, discarding delay
+    /// measurements.
+    ///
+    /// This is the legacy pull-iterator path (one heap allocation per
+    /// answer), kept as the compatibility/oracle interface and as the
+    /// before-side of the `cqe bench --profile=enum` comparison; the serve
+    /// path proper ([`Engine::serve`], [`Engine::serve_stream`]) goes
+    /// through the flat-block pipeline.
     ///
     /// # Errors
     ///
@@ -569,7 +655,8 @@ impl Engine {
         Ok(cv.answer(bound)?.collect())
     }
 
-    /// `true` iff the request has at least one answer.
+    /// `true` iff the request has at least one answer (first-answer probe;
+    /// no answer tuple is materialized).
     ///
     /// # Errors
     ///
@@ -582,9 +669,10 @@ impl Engine {
 
     /// Serves one request, measuring enumeration delays.
     ///
-    /// The measured gaps include the cost of materializing the result
-    /// tuples into the returned `Vec`; use [`Engine::measure`] for the pure
-    /// §2.3 enumeration delay of the representation itself.
+    /// Answers are pushed straight into the returned [`Served`]'s flat
+    /// block (no per-answer allocation; the block itself grows amortized).
+    /// The measured gaps include the block copy; use [`Engine::measure`]
+    /// for the pure §2.3 enumeration delay of the representation itself.
     ///
     /// # Errors
     ///
@@ -592,15 +680,20 @@ impl Engine {
     pub fn serve(&self, request: &Request) -> Result<Served> {
         let rv = self.view(&request.view)?;
         let cv = self.representation(&rv)?;
-        let iter = cv.answer(&request.bound)?;
-        let mut tuples = Vec::new();
-        let delay = measure_delays(iter.inspect(|t| tuples.push(t.clone())));
-        Ok(Served { tuples, delay })
+        let mut sink = TimedBlockSink {
+            block: AnswerBlock::new(),
+            probe: DelayProbe::start(),
+        };
+        cv.answer_into(&request.bound, &mut sink)?;
+        Ok(Served {
+            block: sink.block,
+            delay: sink.probe.finish(),
+        })
     }
 
     /// Measures one request's enumeration delays without retaining the
-    /// tuples — no clone or reallocation pollutes the gap measurements
-    /// (the benchmark path).
+    /// tuples — nothing is copied or allocated per answer, so the gaps are
+    /// the representation's own delay (the benchmark path).
     ///
     /// # Errors
     ///
@@ -608,7 +701,69 @@ impl Engine {
     pub fn measure(&self, request: &Request) -> Result<DelayStats> {
         let rv = self.view(&request.view)?;
         let cv = self.representation(&rv)?;
-        Ok(measure_delays(cv.answer(&request.bound)?))
+        let mut sink = ProbeSink {
+            probe: DelayProbe::start(),
+        };
+        cv.answer_into(&request.bound, &mut sink)?;
+        Ok(sink.probe.finish())
+    }
+
+    /// Runs `f` with a [`ViewServer`] for `view`: one reusable enumerator
+    /// plus one reusable flat [`AnswerBlock`], the steady-state serve
+    /// primitive. After the server's scratch has warmed to its high-water
+    /// mark, each [`ViewServer::serve`] call performs **zero** heap
+    /// allocations — the property the counting allocator gates in CI. The
+    /// scoped-closure shape exists because the enumerator borrows the
+    /// catalog's representation for the duration.
+    ///
+    /// **Snapshot semantics:** the representation is resolved once, so the
+    /// whole stream answers from one consistent epoch. A concurrent
+    /// [`Engine::update`] is *not* observed mid-stream (unlike
+    /// [`Engine::serve`], which revalidates per request) — finish the
+    /// closure and re-enter to pick up a newer epoch.
+    ///
+    /// # Errors
+    ///
+    /// Unknown view, or a tagged rebuild failure.
+    pub fn with_view_server<R>(
+        &self,
+        view: &str,
+        f: impl FnOnce(&mut ViewServer<'_>) -> R,
+    ) -> Result<R> {
+        let rv = self.view(view)?;
+        let cv = self.representation(&rv)?;
+        let mut server = ViewServer {
+            enumerator: cv.enumerator(),
+            block: AnswerBlock::new(),
+        };
+        Ok(f(&mut server))
+    }
+
+    /// The steady-state serve loop: answers a stream of requests against
+    /// one view through a single [`ViewServer`]. `on_block` is invoked
+    /// once per request with the request index and the filled block
+    /// (cleared before the next request). Returns the total number of
+    /// answers. The whole stream serves from one database epoch (see the
+    /// snapshot note on [`Engine::with_view_server`]).
+    ///
+    /// # Errors
+    ///
+    /// Unknown view, bound-arity mismatch, or a tagged rebuild failure.
+    pub fn serve_stream(
+        &self,
+        view: &str,
+        bounds: &[Vec<Value>],
+        mut on_block: impl FnMut(usize, &AnswerBlock),
+    ) -> Result<usize> {
+        self.with_view_server(view, |server| {
+            let mut total = 0usize;
+            for (i, bound) in bounds.iter().enumerate() {
+                let block = server.serve(bound)?;
+                total += block.len();
+                on_block(i, block);
+            }
+            Ok(total)
+        })?
     }
 
     /// Runs `f` over the requests striped round-robin across `threads` OS

@@ -12,17 +12,26 @@
 //!   copy-on-write database snapshot, bumps the epoch, and reconciles the
 //!   catalog (delta maintenance for Theorem 1 entries, eager rebuild or
 //!   epoch restamp for the rest);
-//! * [`Catalog`] — a concurrent, memory-budgeted, LRU representation cache
+//! * [`Catalog`] — a concurrent, memory-budgeted representation cache
 //!   keyed by normalized query text + adornment + strategy, so repeated
-//!   requests (and aliased registrations) never rebuild; entries carry
-//!   epoch stamps and are invalidated — lazily on lookup or by an explicit
-//!   sweep — rather than ever served stale;
+//!   requests (and aliased registrations) never rebuild; under budget
+//!   pressure it evicts cost-aware (bytes ÷ measured rebuild time, LRU as
+//!   tie-break); entries carry epoch stamps and are invalidated — lazily
+//!   on lookup or by an explicit sweep — rather than ever served stale;
 //! * [`Policy`] / [`policy::select`] — auto strategy selection consulting
 //!   the width machinery, the §6 LP optimizers and the `T(·)` cost oracle;
 //! * [`Engine::serve_batch`] — batched request serving across OS threads,
 //!   returning per-request [`cqc_bench::DelayStats`];
+//! * [`Engine::serve_stream`] — the steady-state serve loop: one reusable
+//!   enumerator and one reusable flat [`cqc_common::AnswerBlock`] per
+//!   view, zero heap allocations per answer once warm (gated in CI by the
+//!   counting allocator);
 //! * the `cqe` binary — `load` / `gen` / `register` / `ask` / `bench` from
 //!   the command line.
+//!
+//! Every serve path is push-style: representations drive their answers
+//! into a [`cqc_common::AnswerSink`] as borrowed slices, and a [`Served`]
+//! holds one flat block rather than a `Vec` per tuple.
 //!
 //! ```
 //! use cqc_engine::{Engine, Policy, Request};
@@ -39,7 +48,7 @@
 //!     .map(|v| Request { view: "mutual".into(), bound: vec![1, v] })
 //!     .collect();
 //! let served = engine.serve_batch(&reqs, 2).unwrap();
-//! assert_eq!(served[3].tuples, vec![vec![2]]); // V(1, y, 3): y = 2
+//! assert_eq!(served[3].to_tuples(), vec![vec![2]]); // V(1, y, 3): y = 2
 //! assert_eq!(engine.catalog_stats().builds, 1);
 //! ```
 
@@ -52,6 +61,6 @@ pub mod policy;
 
 pub use catalog::{Catalog, CatalogKey, CatalogStats};
 pub use engine::{
-    Engine, EngineConfig, RegisteredView, Request, Served, UpdateReport, UpdateStats,
+    Engine, EngineConfig, RegisteredView, Request, Served, UpdateReport, UpdateStats, ViewServer,
 };
 pub use policy::{Policy, Selection};

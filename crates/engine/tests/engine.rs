@@ -175,6 +175,86 @@ fn tight_budget_evicts_lru_and_rebuilds_on_demand() {
 }
 
 #[test]
+fn eviction_prefers_high_bytes_per_rebuild_nanosecond() {
+    // Two entries with identical byte footprints but very different
+    // (fabricated) rebuild times: under pressure the catalog must evict
+    // the one that is cheap to rebuild, not the least recently used one.
+    use cqc_engine::{Catalog, CatalogKey};
+    use std::sync::Arc;
+
+    let db = triangle_db(120, 5);
+    let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", "bfb").unwrap();
+    let build =
+        || Arc::new(cqc_core::CompressedView::build(&view, &db, Strategy::Materialize).unwrap());
+    let key = |tag: &str| CatalogKey {
+        normalized_query: view.query().normalized_text(),
+        pattern: view.pattern(),
+        strategy_tag: tag.to_string(),
+    };
+    let (a, b, c) = (build(), build(), build());
+    let bytes = std::mem::size_of::<cqc_core::CompressedView>()
+        + cqc_common::HeapSize::heap_bytes(a.as_ref());
+    // Budget fits exactly two entries; the third insertion forces one out.
+    let catalog = Catalog::new(2 * bytes + bytes / 2);
+    // `expensive` took 1s to build, `cheap` 10µs — same bytes, so the
+    // bytes-per-rebuild-nanosecond score dooms `cheap`.
+    catalog.insert(key("expensive"), a, 0, 1_000_000_000);
+    catalog.insert(key("cheap"), b, 0, 10_000);
+    // Make `expensive` the LRU victim candidate: touch `cheap` afterwards,
+    // so plain recency would evict `expensive` instead.
+    assert!(catalog.get(&key("expensive"), 0).is_some());
+    assert!(catalog.get(&key("cheap"), 0).is_some());
+    assert!(catalog.get(&key("cheap"), 0).is_some());
+
+    catalog.insert(key("third"), c, 0, 500_000);
+    assert_eq!(catalog.stats().evictions, 1);
+    assert!(
+        catalog.contains(&key("expensive")),
+        "the slow-to-rebuild entry must survive: {:?}",
+        catalog.stats()
+    );
+    assert!(
+        !catalog.contains(&key("cheap")),
+        "the cheap-to-rebuild entry is the cost-aware victim"
+    );
+    assert!(catalog.contains(&key("third")), "newest always admitted");
+}
+
+#[test]
+fn serve_stream_agrees_with_serve_batch() {
+    let db = triangle_db(150, 41);
+    let view = queries::triangle("bfb").unwrap();
+    let engine = Engine::new(db);
+    engine
+        .register("tri", view.clone(), Policy::default())
+        .unwrap();
+    let mut rng = cqc_workload::rng(43);
+    let bounds = random_requests(&mut rng, &view, &engine.db(), 120);
+    let requests: Vec<Request> = bounds
+        .iter()
+        .map(|b| Request {
+            view: "tri".into(),
+            bound: b.clone(),
+        })
+        .collect();
+    let batch = engine.serve_batch(&requests, 4).unwrap();
+    let mut streamed: Vec<Vec<Tuple>> = Vec::new();
+    let total = engine
+        .serve_stream("tri", &bounds, |i, block| {
+            assert_eq!(i, streamed.len());
+            streamed.push(block.to_tuples());
+        })
+        .unwrap();
+    assert_eq!(
+        total,
+        batch.iter().map(cqc_engine::Served::len).sum::<usize>()
+    );
+    for (s, b) in streamed.iter().zip(&batch) {
+        assert_eq!(s, &b.to_tuples());
+    }
+}
+
+#[test]
 fn generous_budget_never_evicts() {
     let db = triangle_db(100, 21);
     let engine = Engine::new(db);
@@ -228,7 +308,8 @@ fn serve_batch_matches_sequential_across_threads() {
         assert_eq!(served.len(), requests.len());
         for (i, (s, expect)) in served.iter().zip(&sequential).enumerate() {
             assert_eq!(
-                &s.tuples, expect,
+                &s.to_tuples(),
+                expect,
                 "request {i} differs on {threads} threads"
             );
             assert_eq!(s.delay.tuples, expect.len());
@@ -278,7 +359,7 @@ fn serve_batch_on_star_workload() {
     let sequential = engine.serve_batch(&requests, 1).unwrap();
     let parallel = engine.serve_batch(&requests, 4).unwrap();
     for (s, p) in sequential.iter().zip(&parallel) {
-        assert_eq!(s.tuples, p.tuples);
+        assert_eq!(s.to_tuples(), p.to_tuples());
     }
     let s = engine.catalog_stats();
     assert_eq!(s.builds, 1, "one build serves every thread: {s:?}");

@@ -154,39 +154,45 @@ impl FactorizedRepresentation {
 
     /// Answers an access request with constant delay.
     ///
+    /// The returned iterator owns its scratch (valuation, cursors, key and
+    /// emit buffers); [`FactorizedIter::reset`] serves further requests
+    /// from the same scratch with zero steady-state allocations.
+    ///
     /// # Errors
     ///
     /// Fails when the bound value count mismatches the access pattern.
     pub fn answer(&self, bound_values: &[Value]) -> Result<FactorizedIter<'_>> {
-        self.view.check_access(bound_values)?;
-        let mut valuation: Vec<Option<Value>> = vec![None; self.num_vars];
-        for (var, val) in self.view.bound_head().iter().zip(bound_values) {
-            valuation[var.index()] = Some(*val);
-        }
-        // Root guards.
-        let mut root_ok = true;
-        for (rel, vars) in &self.root_checks {
-            let tuple: Vec<Value> = vars
-                .iter()
-                .map(|v| valuation[v.index()].expect("bound var has a value"))
-                .collect();
-            if !rel.contains(&tuple) {
-                root_ok = false;
-                break;
-            }
-        }
-        Ok(FactorizedIter {
+        let mut it = FactorizedIter {
             rep: self,
-            valuation,
+            valuation: Vec::new(),
             cursor: vec![(0, 0); self.bags.len()],
+            key: Vec::new(),
+            emit: Vec::new(),
             started: false,
-            done: !root_ok,
-        })
+            done: false,
+        };
+        it.reset(bound_values)?;
+        Ok(it)
     }
 
-    /// First-answer probe.
+    /// Push-style answering into `sink` (stopping early if the sink
+    /// declines).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the bound value count mismatches the access pattern.
+    pub fn answer_into(
+        &self,
+        bound_values: &[Value],
+        sink: &mut impl cqc_common::AnswerSink,
+    ) -> Result<()> {
+        self.answer(bound_values)?.drain_into(sink);
+        Ok(())
+    }
+
+    /// First-answer probe. No answer tuple is materialized.
     pub fn exists(&self, bound_values: &[Value]) -> Result<bool> {
-        Ok(self.answer(bound_values)?.next().is_some())
+        Ok(self.answer(bound_values)?.advance())
     }
 
     /// The total number of materialized bag tuples (the dominant space
@@ -216,75 +222,135 @@ impl HeapSize for FactorizedRepresentation {
 }
 
 /// Constant-delay pre-order enumerator over the reduced bags.
+///
+/// The allocation-free core is [`FactorizedIter::advance`] /
+/// [`FactorizedIter::current`]: bag rows are bound into the valuation
+/// straight from the bags' flat storage and each answer is borrowed from
+/// an internal emit buffer. The `Iterator` implementation is a
+/// compatibility shim that copies each slice.
 pub struct FactorizedIter<'a> {
     rep: &'a FactorizedRepresentation,
     valuation: Vec<Option<Value>>,
     /// Per bag: (current row, end row) of the active range.
     cursor: Vec<(usize, usize)>,
+    /// Scratch: the current bag's bound key.
+    key: Vec<Value>,
+    /// Scratch: the most recent answer (head free-variable order).
+    emit: Vec<Value>,
     started: bool,
     done: bool,
 }
 
 impl FactorizedIter<'_> {
+    /// Rewinds the iterator to answer a fresh access request, keeping all
+    /// scratch buffers.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the bound value count mismatches the access pattern.
+    pub fn reset(&mut self, bound_values: &[Value]) -> Result<()> {
+        self.rep.view.check_access(bound_values)?;
+        self.valuation.clear();
+        self.valuation.resize(self.rep.num_vars, None);
+        for (var, val) in self.rep.view.bound_head().iter().zip(bound_values) {
+            self.valuation[var.index()] = Some(*val);
+        }
+        self.started = false;
+        // Root guards.
+        let mut root_ok = true;
+        for (rel, vars) in &self.rep.root_checks {
+            let FactorizedIter { valuation, key, .. } = self;
+            key.clear();
+            key.extend(
+                vars.iter()
+                    .map(|v| valuation[v.index()].expect("bound var has a value")),
+            );
+            if !rel.contains(key) {
+                root_ok = false;
+                break;
+            }
+        }
+        self.done = !root_ok;
+        Ok(())
+    }
+
     /// Opens bag `i` for the current valuation: positions at the first row
     /// of the key range and binds its free variables.
     fn open(&mut self, i: usize) -> bool {
-        let bag = &self.rep.bags[i];
-        let key: Vec<Value> = bag
-            .bound_vars
-            .iter()
-            .map(|v| self.valuation[v.index()].expect("bag bound var set by ancestors"))
-            .collect();
-        let (lo, hi) = bag.range_for(&key);
-        self.cursor[i] = (lo, hi);
+        let FactorizedIter {
+            rep,
+            valuation,
+            cursor,
+            key,
+            ..
+        } = self;
+        let bag = &rep.bags[i];
+        key.clear();
+        key.extend(
+            bag.bound_vars
+                .iter()
+                .map(|v| valuation[v.index()].expect("bag bound var set by ancestors")),
+        );
+        let (lo, hi) = bag.range_for(key);
+        cursor[i] = (lo, hi);
         if lo >= hi {
             return false;
         }
-        self.bind(i, lo);
+        for (v, val) in bag.free_vars.iter().zip(bag.free_part(lo)) {
+            valuation[v.index()] = Some(*val);
+        }
         true
     }
 
     /// Advances bag `i` to its next row, if any.
-    fn advance(&mut self, i: usize) -> bool {
-        let (cur, end) = self.cursor[i];
+    fn advance_bag(&mut self, i: usize) -> bool {
+        let FactorizedIter {
+            rep,
+            valuation,
+            cursor,
+            ..
+        } = self;
+        let (cur, end) = cursor[i];
         if cur + 1 >= end {
             return false;
         }
-        self.cursor[i] = (cur + 1, end);
-        self.bind(i, cur + 1);
+        cursor[i] = (cur + 1, end);
+        let bag = &rep.bags[i];
+        for (v, val) in bag.free_vars.iter().zip(bag.free_part(cur + 1)) {
+            valuation[v.index()] = Some(*val);
+        }
         true
     }
 
-    fn bind(&mut self, i: usize, row: usize) {
-        let bag = &self.rep.bags[i];
-        for (v, val) in bag.free_vars.iter().zip(bag.free_part(row)) {
-            self.valuation[v.index()] = Some(*val);
-        }
-    }
-
-    fn emit(&self) -> Tuple {
+    fn fill_emit(&mut self) {
         metrics::record_tuple_output();
-        self.rep
-            .view
-            .free_head()
-            .iter()
-            .map(|v| self.valuation[v.index()].expect("free var bound"))
-            .collect()
+        let FactorizedIter {
+            rep,
+            valuation,
+            emit,
+            ..
+        } = self;
+        emit.clear();
+        emit.extend(
+            rep.view
+                .free_head()
+                .iter()
+                .map(|v| valuation[v.index()].expect("free var bound")),
+        );
     }
-}
 
-impl Iterator for FactorizedIter<'_> {
-    type Item = Tuple;
-
-    fn next(&mut self) -> Option<Tuple> {
+    /// Steps to the next answer; `true` when one is available via
+    /// [`FactorizedIter::current`].
+    pub fn advance(&mut self) -> bool {
         if self.done {
-            return None;
+            return false;
         }
         let k = self.rep.bags.len();
         if k == 0 {
             // Boolean view: the root guards already passed.
             self.done = true;
-            return Some(self.emit());
+            self.fill_emit();
+            return true;
         }
         let mut i: usize;
         let mut opening: bool;
@@ -300,22 +366,50 @@ impl Iterator for FactorizedIter<'_> {
             let ok = if opening {
                 self.open(i)
             } else {
-                self.advance(i)
+                self.advance_bag(i)
             };
             if ok {
                 if i + 1 == k {
-                    return Some(self.emit());
+                    self.fill_emit();
+                    return true;
                 }
                 i += 1;
                 opening = true;
             } else {
                 if i == 0 {
                     self.done = true;
-                    return None;
+                    return false;
                 }
                 i -= 1;
                 opening = false;
             }
+        }
+    }
+
+    /// The answer produced by the last successful
+    /// [`FactorizedIter::advance`], borrowed from the iterator's scratch.
+    pub fn current(&self) -> &[Value] {
+        &self.emit
+    }
+
+    /// Pushes every remaining answer into `sink`, honoring early stops.
+    pub fn drain_into(&mut self, sink: &mut impl cqc_common::AnswerSink) {
+        while self.advance() {
+            if !sink.push(self.current()) {
+                return;
+            }
+        }
+    }
+}
+
+impl Iterator for FactorizedIter<'_> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        if self.advance() {
+            Some(self.current().to_vec())
+        } else {
+            None
         }
     }
 }

@@ -104,9 +104,32 @@ impl MaterializedView {
         })
     }
 
+    /// Push-style answering: streams the matching rows' free suffixes into
+    /// `sink` as borrowed slices — zero allocations per answer (or per
+    /// request).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the bound value count mismatches the pattern.
+    pub fn answer_into(
+        &self,
+        bound_values: &[Value],
+        sink: &mut impl cqc_common::AnswerSink,
+    ) -> Result<()> {
+        let ans = self.answer(bound_values)?;
+        for i in ans.pos..ans.end {
+            metrics::record_tuple_output();
+            if !sink.push(&self.row(i)[self.num_bound..]) {
+                break;
+            }
+        }
+        Ok(())
+    }
+
     /// `true` iff the access request has at least one answer.
     pub fn exists(&self, bound_values: &[Value]) -> Result<bool> {
-        Ok(self.answer(bound_values)?.next().is_some())
+        let ans = self.answer(bound_values)?;
+        Ok(ans.pos < ans.end)
     }
 }
 
@@ -174,14 +197,84 @@ impl DirectView {
     }
 
     /// `true` iff the access request has at least one answer (first-answer
-    /// probe).
+    /// probe; no answer tuple is materialized).
     pub fn exists(&self, bound_values: &[Value]) -> Result<bool> {
-        Ok(self.answer(bound_values)?.next().is_some())
+        self.view.check_access(bound_values)?;
+        let mut join = self.plan.join(self.plan.bound_constraints(bound_values));
+        Ok(join.is_non_empty())
+    }
+
+    /// A reusable push-style enumerator over this view: the leapfrog join
+    /// and constraint vector are built once and re-seeded per request, so
+    /// steady-state serving performs zero heap allocations.
+    pub fn enumerator(&self) -> DirectEnum<'_> {
+        DirectEnum {
+            v: self,
+            join: None,
+            cons: Vec::new(),
+        }
+    }
+
+    /// One-shot push-style answering (builds a fresh enumerator).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the bound value count mismatches the pattern.
+    pub fn answer_into(
+        &self,
+        bound_values: &[Value],
+        sink: &mut impl cqc_common::AnswerSink,
+    ) -> Result<()> {
+        self.enumerator().answer_into(bound_values, sink)
     }
 
     /// The underlying plan (used by benchmarks for space accounting).
     pub fn plan(&self) -> &ViewPlan {
         &self.plan
+    }
+}
+
+/// Reusable push-style enumerator for [`DirectView`] (see
+/// [`DirectView::enumerator`]).
+pub struct DirectEnum<'a> {
+    v: &'a DirectView,
+    join: Option<crate::leapfrog::LeapfrogJoin<'a>>,
+    cons: Vec<crate::leapfrog::LevelConstraint>,
+}
+
+impl DirectEnum<'_> {
+    /// Answers one request into `sink`, reusing the join across calls.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the bound value count mismatches the pattern.
+    pub fn answer_into(
+        &mut self,
+        bound_values: &[Value],
+        sink: &mut impl cqc_common::AnswerSink,
+    ) -> Result<()> {
+        use crate::leapfrog::LevelConstraint;
+        self.v.view.check_access(bound_values)?;
+        let plan = &self.v.plan;
+        let nb = plan.num_bound;
+        self.cons.clear();
+        self.cons
+            .extend(bound_values.iter().map(|&v| LevelConstraint::Fixed(v)));
+        self.cons.resize(plan.num_levels(), LevelConstraint::Free);
+        let j = match &mut self.join {
+            Some(j) => {
+                j.reset(&self.cons);
+                j
+            }
+            None => self.join.insert(plan.join(self.cons.clone())),
+        };
+        while let Some(t) = j.next() {
+            metrics::record_tuple_output();
+            if !sink.push(&t[nb..]) {
+                break;
+            }
+        }
+        Ok(())
     }
 }
 

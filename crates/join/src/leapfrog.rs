@@ -107,6 +107,12 @@ pub struct LeapfrogJoin<'a> {
     /// `ranges[level][atom]` = the atom's row range after binding all levels
     /// `< level`. `ranges[0]` is the full range.
     ranges: Vec<Vec<(usize, usize)>>,
+    /// `positions[level][atom]` = cursor memo: where the last seek at this
+    /// level landed for this atom. Candidates are monotone while the parent
+    /// binding is unchanged, so the next seek resumes galloping from here —
+    /// a k-row scan costs amortized O(k) instead of O(k log k). Reset to
+    /// the range start whenever a level is entered fresh.
+    positions: Vec<Vec<usize>>,
     /// Current assignment, valid for bound levels.
     current: Vec<Value>,
     levels: usize,
@@ -149,6 +155,7 @@ impl<'a> LeapfrogJoin<'a> {
             constraints,
             participants,
             ranges,
+            positions: vec![vec![0; atoms.len()]; levels],
             atoms,
             levels,
             started: false,
@@ -160,6 +167,34 @@ impl<'a> LeapfrogJoin<'a> {
     /// The number of global levels.
     pub fn num_levels(&self) -> usize {
         self.levels
+    }
+
+    /// Rewinds the join to run again with new constraints, **reusing every
+    /// internal buffer** (participants, per-level ranges, the current
+    /// assignment). This is what makes box-by-box evaluation allocation-free:
+    /// one join is constructed per enumeration and re-seeded per canonical
+    /// box instead of being rebuilt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constraint count mismatches the level count, or if a
+    /// level with no participating atom is not `Fixed` (same contract as
+    /// [`LeapfrogJoin::new`]).
+    pub fn reset(&mut self, constraints: &[LevelConstraint]) {
+        assert_eq!(constraints.len(), self.levels);
+        for (l, p) in self.participants.iter().enumerate() {
+            assert!(
+                !p.is_empty() || matches!(constraints[l], LevelConstraint::Fixed(_)),
+                "level {l} has no participating atom and is not fixed"
+            );
+        }
+        self.constraints.clear();
+        self.constraints.extend_from_slice(constraints);
+        // `ranges[0]` (the full row ranges) never changes; deeper rows are
+        // recomputed by `bind_child_ranges` before they are read.
+        self.started = false;
+        self.done = false;
+        self.resume = self.levels.saturating_sub(1);
     }
 
     /// The current assignment (valid after a successful [`Self::next`]).
@@ -214,10 +249,10 @@ impl<'a> LeapfrogJoin<'a> {
                 if cur == Value::MAX {
                     None
                 } else {
-                    self.seek_level(level, cur + 1)
+                    self.seek_level(level, cur + 1, false)
                 }
             } else {
-                self.seek_level(level, self.constraints[level].start())
+                self.seek_level(level, self.constraints[level].start(), true)
             };
 
             match found {
@@ -250,10 +285,17 @@ impl<'a> LeapfrogJoin<'a> {
     }
 
     /// Leapfrog search at `level` for the smallest common value `>= cand`
-    /// admitted by the level constraint.
-    fn seek_level(&mut self, level: usize, cand: Value) -> Option<Value> {
+    /// admitted by the level constraint. `fresh` marks the first seek after
+    /// (re)entering the level — it invalidates the cursor memo, which is
+    /// only meaningful while the parent binding stays fixed.
+    fn seek_level(&mut self, level: usize, cand: Value, fresh: bool) -> Option<Value> {
         let cons = self.constraints[level];
         let parts = &self.participants[level];
+        if fresh {
+            for &(ai, _) in parts {
+                self.positions[level][ai] = 0;
+            }
+        }
         let mut cand = cand;
         if !cons.admits(cand)
             && matches!(cons, LevelConstraint::Fixed(_) | LevelConstraint::Range(..))
@@ -276,7 +318,11 @@ impl<'a> LeapfrogJoin<'a> {
             let (lo, hi) = self.ranges[level][ai];
             let col = self.atoms[ai].index.col(d);
             metrics::record_trie_seeks(1);
-            let pos = gallop(col, lo, hi, cand);
+            // Resume from the memoized cursor: candidates only grow while
+            // the parent binding is unchanged, so the hit is at or after it.
+            let from = self.positions[level][ai].max(lo);
+            let pos = gallop(col, from, hi, cand);
+            self.positions[level][ai] = pos;
             if pos >= hi {
                 return None;
             }
@@ -473,6 +519,26 @@ mod tests {
         let (cols, levels) = trie_order_for_atom(&[2, 0]);
         assert_eq!(cols, vec![1, 0]);
         assert_eq!(levels, vec![0, 2]);
+    }
+
+    #[test]
+    fn reset_reruns_with_new_constraints() {
+        let r = Relation::from_pairs("R", vec![(1, 2), (1, 3), (2, 4), (3, 5)]);
+        let ri = SortedIndex::build(&r, &[0, 1]);
+        let mut j = LeapfrogJoin::new(
+            vec![AtomInput::new(&ri, vec![0, 1])],
+            2,
+            vec![LevelConstraint::Fixed(1), LevelConstraint::Free],
+        );
+        assert_eq!(run(&mut j), vec![vec![1, 2], vec![1, 3]]);
+        // Mid-drain reset must discard the old cursor state entirely.
+        j.reset(&[LevelConstraint::Fixed(2), LevelConstraint::Free]);
+        assert!(j.next().is_some());
+        j.reset(&[LevelConstraint::Range(2, 3), LevelConstraint::Free]);
+        assert_eq!(run(&mut j), vec![vec![2, 4], vec![3, 5]]);
+        // Resetting after exhaustion revives the join.
+        j.reset(&[LevelConstraint::Free, LevelConstraint::Free]);
+        assert_eq!(run(&mut j).len(), 4);
     }
 
     #[test]
