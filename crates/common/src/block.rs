@@ -22,7 +22,7 @@
 //! sinks.
 
 use crate::heap::HeapSize;
-use crate::value::{Tuple, Value};
+use crate::value::{lex_cmp, Tuple, Value};
 
 /// The receiving end of a push-style enumeration.
 ///
@@ -229,6 +229,75 @@ impl<F: FnMut(&[Value]) -> bool> AnswerSink for FnSink<F> {
     }
 }
 
+/// A reusable `k`-way merge over lexicographically sorted [`AnswerBlock`]s.
+///
+/// Sharded serving enumerates one block per shard, each in the paper's
+/// lexicographic free-variable order; merging them restores the *global*
+/// lexicographic enumeration order, so a sharded engine gives the same
+/// ordered answer stream a single structure would. `k` (the shard count) is
+/// small, so each step is a linear scan over the block cursors rather than
+/// a heap — cheaper in practice and allocation-free after the first use.
+///
+/// The merger is stable across equal tuples (ties go to the lower block
+/// index), which makes concatenation semantics deterministic even when the
+/// inputs are not disjoint.
+#[derive(Debug, Default)]
+pub struct BlockMerger {
+    cursors: Vec<usize>,
+}
+
+impl BlockMerger {
+    /// An empty merger (cursor scratch grows to the largest `k` seen).
+    pub fn new() -> BlockMerger {
+        BlockMerger::default()
+    }
+
+    /// Merges `blocks` — each individually sorted in lexicographic order —
+    /// into `sink`, preserving global lexicographic order. Returns the
+    /// number of tuples pushed; stops early when the sink refuses one.
+    pub fn merge_into(&mut self, blocks: &[&AnswerBlock], sink: &mut impl AnswerSink) -> usize {
+        self.cursors.clear();
+        self.cursors.resize(blocks.len(), 0);
+        let mut pushed = 0usize;
+        loop {
+            let mut best: Option<(usize, &[Value])> = None;
+            for (i, block) in blocks.iter().enumerate() {
+                if self.cursors[i] >= block.len() {
+                    continue;
+                }
+                let t = block.get(self.cursors[i]);
+                match best {
+                    Some((_, bt)) if lex_cmp(t, bt) != std::cmp::Ordering::Less => {}
+                    _ => best = Some((i, t)),
+                }
+            }
+            let Some((i, t)) = best else { break };
+            self.cursors[i] += 1;
+            pushed += 1;
+            if !sink.push(t) {
+                break;
+            }
+        }
+        pushed
+    }
+
+    /// Concatenates `blocks` into `sink` in block order, without reordering
+    /// — the cheap path when the caller does not need the merged
+    /// lexicographic order. Returns the number of tuples pushed.
+    pub fn concat_into(blocks: &[&AnswerBlock], sink: &mut impl AnswerSink) -> usize {
+        let mut pushed = 0usize;
+        for block in blocks {
+            for t in block.iter() {
+                pushed += 1;
+                if !sink.push(t) {
+                    return pushed;
+                }
+            }
+        }
+        pushed
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,5 +383,67 @@ mod tests {
         b.push(&[5, 6]);
         let tuples: Vec<&[Value]> = (&b).into_iter().collect();
         assert_eq!(tuples, vec![&[5, 6][..]]);
+    }
+
+    fn block_of(tuples: &[&[Value]]) -> AnswerBlock {
+        let mut b = AnswerBlock::new();
+        for t in tuples {
+            b.push(t);
+        }
+        b
+    }
+
+    #[test]
+    fn merge_restores_lexicographic_order() {
+        let a = block_of(&[&[1, 9], &[3, 0], &[5, 5]]);
+        let b = block_of(&[&[0, 2], &[3, 1]]);
+        let c = block_of(&[&[2, 2]]);
+        let mut out = AnswerBlock::new();
+        let mut merger = BlockMerger::new();
+        let n = merger.merge_into(&[&a, &b, &c], &mut out);
+        assert_eq!(n, 6);
+        let got: Vec<&[Value]> = out.iter().collect();
+        assert_eq!(
+            got,
+            vec![&[0, 2][..], &[1, 9], &[2, 2], &[3, 0], &[3, 1], &[5, 5]]
+        );
+        // The merger is reusable across calls (and across different k).
+        let mut out2 = AnswerBlock::new();
+        assert_eq!(merger.merge_into(&[&c, &b], &mut out2), 3);
+        assert_eq!(out2.get(0), &[0, 2]);
+    }
+
+    #[test]
+    fn merge_handles_empty_and_ties() {
+        let empty = AnswerBlock::new();
+        let a = block_of(&[&[1], &[2]]);
+        let b = block_of(&[&[1], &[3]]);
+        let mut out = AnswerBlock::new();
+        let mut merger = BlockMerger::new();
+        assert_eq!(merger.merge_into(&[&empty, &a, &b], &mut out), 4);
+        let got: Vec<&[Value]> = out.iter().collect();
+        // Ties are stable: block index order (a before b).
+        assert_eq!(got, vec![&[1][..], &[1], &[2], &[3]]);
+        assert_eq!(merger.merge_into(&[&empty], &mut AnswerBlock::new()), 0);
+    }
+
+    #[test]
+    fn merge_respects_early_stop() {
+        let a = block_of(&[&[1], &[4]]);
+        let b = block_of(&[&[2], &[3]]);
+        let mut probe = ExistsSink::default();
+        let mut merger = BlockMerger::new();
+        assert_eq!(merger.merge_into(&[&a, &b], &mut probe), 1);
+        assert!(probe.found);
+    }
+
+    #[test]
+    fn concat_preserves_block_order() {
+        let a = block_of(&[&[9]]);
+        let b = block_of(&[&[1]]);
+        let mut out = AnswerBlock::new();
+        assert_eq!(BlockMerger::concat_into(&[&a, &b], &mut out), 2);
+        let got: Vec<&[Value]> = out.iter().collect();
+        assert_eq!(got, vec![&[9][..], &[1]]);
     }
 }

@@ -35,7 +35,7 @@ pub mod metrics;
 pub mod util;
 pub mod value;
 
-pub use block::{AnswerBlock, AnswerSink, CountingSink, ExistsSink, FnSink};
+pub use block::{AnswerBlock, AnswerSink, BlockMerger, CountingSink, ExistsSink, FnSink};
 pub use error::{CqcError, Result};
 pub use hash::{FastHasher, FastMap, FastSet};
 pub use heap::HeapSize;

@@ -158,6 +158,68 @@ impl CostEstimator {
         })
     }
 
+    /// Rebuilds this estimator for the post-delta database by **merging**
+    /// the delta's genuinely new rows into clones of each sorted index
+    /// (two-pointer splice with galloping search,
+    /// [`SortedIndex::merge_insert`]) instead of re-sorting every linear
+    /// index from scratch — the incremental base-index maintenance path.
+    /// The caller has already verified the free-variable grid is unchanged
+    /// and passes the freshly scanned `all_domains`.
+    ///
+    /// Returns `Ok(None)` when the merged indexes cannot be reconciled with
+    /// the post-delta relations (size disagreement, arity mismatch, atom
+    /// count drift) — the caller should fall back to a full rebuild.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schema errors (a view relation missing from `db`).
+    pub fn maintained(
+        &self,
+        view: &AdornedView,
+        db: &Database,
+        delta: &cqc_storage::Delta,
+        all_domains: &[Domain],
+    ) -> Result<Option<CostEstimator>> {
+        let query = view.query();
+        if query.atoms.len() != self.atoms.len() {
+            return Ok(None);
+        }
+        let free_head = view.free_head();
+        let domains: Vec<Domain> = free_head
+            .iter()
+            .map(|v| all_domains[v.index()].clone())
+            .collect();
+        let mut atoms = Vec::with_capacity(self.atoms.len());
+        for (atom, old) in query.atoms.iter().zip(&self.atoms) {
+            let rel = db.require(&atom.relation)?;
+            let mut build_index = old.build_index.clone();
+            let mut access_index = old.access_index.clone();
+            if let Some(tuples) = delta.tuples_for(&atom.relation) {
+                let Some(fresh) = old.build_index.fresh_from(tuples) else {
+                    return Ok(None);
+                };
+                build_index.merge_insert(&fresh);
+                access_index.merge_insert(&fresh);
+            }
+            if build_index.len() != rel.len() {
+                // The relation changed beyond this delta: merge is unsound.
+                return Ok(None);
+            }
+            atoms.push(AtomCost {
+                build_index,
+                access_index,
+                free_enum: old.free_enum.clone(),
+                bound_pos: old.bound_pos.clone(),
+                u_hat: old.u_hat,
+            });
+        }
+        Ok(Some(CostEstimator {
+            atoms,
+            domains,
+            alpha: self.alpha,
+        }))
+    }
+
     /// The slack α used for the `û` exponents.
     pub fn alpha(&self) -> f64 {
         self.alpha

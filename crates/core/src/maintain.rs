@@ -209,10 +209,21 @@ fn maintain_theorem1(
         });
     }
 
-    // Linear refresh: base indexes over the post-delta database. The
-    // domains scanned for the grid check above are reused, not recomputed.
-    let est = CostEstimator::build_with_domains(&s.view, db, &s.weights, s.alpha, &all_domains)?;
-    let plan = ViewPlan::build(&s.view, db)?;
+    // Base-index refresh over the post-delta database: the sorted delta
+    // run is *merged* into each linear index (two-pointer splice with
+    // galloping search) instead of re-sorting every index from scratch, so
+    // the refresh costs O(|D| + |δ| log |δ|) copying rather than
+    // O(|D| log |D|) comparison sorting. The domains scanned for the grid
+    // check above are reused, not recomputed; if a merge cannot be
+    // reconciled with the post-delta relations, fall back to the rebuild.
+    let est = match s.est.maintained(&s.view, db, delta, &all_domains)? {
+        Some(est) => est,
+        None => CostEstimator::build_with_domains(&s.view, db, &s.weights, s.alpha, &all_domains)?,
+    };
+    let plan = match s.plan.maintained(&s.view, db, delta)? {
+        Some(plan) => plan,
+        None => ViewPlan::build(&s.view, db)?,
+    };
 
     let mut report = MaintainReport {
         delta_tuples: touched_tuples(query, delta),

@@ -52,6 +52,14 @@ pub struct EngineConfig {
     /// path deterministically turn it off, since wall clocks on a loaded
     /// machine can otherwise flip the decision.
     pub maintain_calibration: bool,
+    /// Admission threshold as a fraction of the catalog budget: an entry
+    /// whose measured footprint exceeds
+    /// `catalog_admit_fraction × catalog_budget_bytes` is never cached —
+    /// under the budget it would evict the working set and be evicted right
+    /// back, so it can never repay its residency. `INFINITY` (the default)
+    /// disables admission control; `1.0` refuses only entries larger than
+    /// the whole budget.
+    pub catalog_admit_fraction: f64,
 }
 
 /// How many further deltas a key sits out after its maintenance was
@@ -66,6 +74,7 @@ impl Default for EngineConfig {
             catalog_budget_bytes: 256 * 1024 * 1024,
             maintain_max_delta_fraction: 0.2,
             maintain_calibration: true,
+            catalog_admit_fraction: f64::INFINITY,
         }
     }
 }
@@ -238,10 +247,15 @@ impl Engine {
 
     /// An engine over `db` with explicit tuning.
     pub fn with_config(db: Database, config: EngineConfig) -> Engine {
+        let admit_max_bytes = if config.catalog_admit_fraction.is_finite() {
+            (config.catalog_admit_fraction.max(0.0) * config.catalog_budget_bytes as f64) as usize
+        } else {
+            usize::MAX
+        };
         Engine {
             db: RwLock::new(Arc::new(db)),
             interner: Interner::new(),
-            catalog: Catalog::new(config.catalog_budget_bytes),
+            catalog: Catalog::with_admission(config.catalog_budget_bytes, admit_max_bytes),
             views: RwLock::new(FastMap::default()),
             config,
             update_lock: Mutex::new(()),
@@ -579,6 +593,18 @@ impl Engine {
         self.register(name, view, policy)
     }
 
+    /// Removes a registered view by name, returning whether it existed.
+    /// Catalog entries keyed by the view's normalized query survive (they
+    /// may be shared by aliases and will age out via the budget); only the
+    /// name binding is dropped.
+    pub fn unregister(&self, name: &str) -> bool {
+        self.views
+            .write()
+            .expect("views lock poisoned")
+            .remove(name)
+            .is_some()
+    }
+
     /// The registered view named `name`.
     ///
     /// # Errors
@@ -737,6 +763,26 @@ impl Engine {
             block: AnswerBlock::new(),
         };
         Ok(f(&mut server))
+    }
+
+    /// Runs `f` with the raw reusable enumerator for `view` — the
+    /// lower-level sibling of [`Engine::with_view_server`] for callers that
+    /// own their output blocks (the sharded engine drives one enumerator
+    /// per shard into per-request blocks it manages itself). The same
+    /// snapshot semantics apply: the representation is resolved once.
+    ///
+    /// # Errors
+    ///
+    /// Unknown view, or a tagged rebuild failure.
+    pub fn with_view_enumerator<R>(
+        &self,
+        view: &str,
+        f: impl FnOnce(&mut cqc_core::ViewEnumerator<'_>) -> R,
+    ) -> Result<R> {
+        let rv = self.view(view)?;
+        let cv = self.representation(&rv)?;
+        let mut enumerator = cv.enumerator();
+        Ok(f(&mut enumerator))
     }
 
     /// The steady-state serve loop: answers a stream of requests against

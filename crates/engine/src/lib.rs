@@ -26,6 +26,15 @@
 //!   enumerator and one reusable flat [`cqc_common::AnswerBlock`] per
 //!   view, zero heap allocations per answer once warm (gated in CI by the
 //!   counting allocator);
+//! * [`ShardedEngine`] — one engine spanning cores: relations are
+//!   hash-partitioned into `S` disjoint sub-databases
+//!   ([`cqc_storage::Partitioning`]), each owned by a full [`Engine`] with
+//!   its own catalog and budget slice; `register` builds the per-shard
+//!   representations in parallel, serve paths fan out and `k`-way-merge
+//!   the per-shard flat blocks back into lexicographic order
+//!   ([`cqc_common::BlockMerger`]), and updates split into per-shard
+//!   deltas so shard epochs (the vector version,
+//!   [`ShardedEngine::version`]) advance independently;
 //! * the `cqe` binary — `load` / `gen` / `register` / `ask` / `bench` from
 //!   the command line.
 //!
@@ -58,9 +67,14 @@
 pub mod catalog;
 pub mod engine;
 pub mod policy;
+pub mod sharded;
 
 pub use catalog::{Catalog, CatalogKey, CatalogStats};
 pub use engine::{
     Engine, EngineConfig, RegisteredView, Request, Served, UpdateReport, UpdateStats, ViewServer,
 };
 pub use policy::{Policy, Selection};
+pub use sharded::{
+    spec_for_view, ShardedBlocks, ShardedEngine, ShardedEngineConfig, ShardedUpdateReport,
+    SteadyMeasurement,
+};

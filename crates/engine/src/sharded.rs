@@ -1,0 +1,818 @@
+//! The [`ShardedEngine`]: one engine spanning cores over hash-partitioned
+//! relations.
+//!
+//! The paper's structures compose over disjoint sub-instances — a
+//! compressed representation built per shard answers its shard's output
+//! with the same delay guarantees, exactly as factorized/cover
+//! representations decompose over disjoint sub-databases. A
+//! [`ShardedEngine`] exploits that: a [`PartitionSpec`] hash-partitions
+//! each relation's rows on the column of one shared **partition variable**
+//! (relations that cannot carry it are replicated), producing `S` disjoint
+//! sub-databases, each owned by a full [`Engine`] with its own
+//! representation catalog and budget slice.
+//!
+//! * **Parallel build** — [`ShardedEngine::register`] builds the `S`
+//!   per-shard representations concurrently under `std::thread::scope`;
+//!   each shard's build is over `~|D|/S` rows.
+//! * **Multicore serve** — [`ShardedEngine::serve`] /
+//!   [`ShardedEngine::serve_batch`] / [`ShardedEngine::serve_stream`] fan a
+//!   request out across shards; every shard pushes into its own flat
+//!   [`AnswerBlock`] (the PR 3 sink machinery, still zero allocations per
+//!   answer per shard once warm) and a final `k`-way [`BlockMerger`]
+//!   restores the paper's lexicographic enumeration order.
+//! * **Per-shard epochs** — a [`Delta`] splits into per-shard deltas that
+//!   touch only the shards owning their rows; untouched shards keep their
+//!   epoch, so their catalog entries stay valid independently. The global
+//!   database version is [`ShardedEngine::version`], the vector of shard
+//!   epochs (extending the PR 2 versioning).
+//!
+//! **Correctness.** Every answer valuation ν assigns the partition variable
+//! one value, and all hash-partitioned relations store their ν-matching
+//! rows in the single shard `hash(ν(v)) % S` (replicated relations are
+//! everywhere), so ν is witnessed in exactly one shard: the per-shard
+//! answer sets are disjoint and their union is the full answer set. A view
+//! none of whose relations are hash-partitioned would be answered in full
+//! by *every* shard; such views are routed to shard 0 alone instead.
+
+use crate::engine::{Engine, EngineConfig, Request, Served, UpdateReport};
+use crate::policy::Policy;
+use cqc_bench::DelayStats;
+use cqc_common::error::{CqcError, Result};
+use cqc_common::value::{Tuple, Value};
+use cqc_common::{AnswerBlock, BlockMerger, FastMap};
+use cqc_query::parser::parse_adorned;
+use cqc_query::{AdornedView, Var};
+use cqc_storage::{Database, Delta, Epoch, PartitionSpec, Partitioning, ShardAssignment};
+use std::sync::RwLock;
+
+/// Tuning for a [`ShardedEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedEngineConfig {
+    /// Number of shards (≥ 1). Each shard runs on its own OS thread during
+    /// parallel build and fan-out serving.
+    pub shards: usize,
+    /// Per-engine tuning; the catalog budget is divided evenly across
+    /// shards (each shard's catalog gets a `1/S` slice).
+    pub engine: EngineConfig,
+}
+
+impl Default for ShardedEngineConfig {
+    fn default() -> ShardedEngineConfig {
+        ShardedEngineConfig {
+            shards: std::thread::available_parallelism().map_or(4, usize::from),
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// Scratch for shard-major block serving: `blocks[shard][request]`, reused
+/// across calls so the steady state allocates nothing per answer.
+#[derive(Debug, Default)]
+pub struct ShardedBlocks {
+    blocks: Vec<Vec<AnswerBlock>>,
+}
+
+impl ShardedBlocks {
+    /// Empty scratch; capacity grows to the high-water mark of use.
+    pub fn new() -> ShardedBlocks {
+        ShardedBlocks::default()
+    }
+
+    /// The per-shard blocks of request `i` (one block per shard).
+    pub fn request_blocks(&self, i: usize) -> impl Iterator<Item = &AnswerBlock> + '_ {
+        self.blocks.iter().map(move |shard| &shard[i])
+    }
+
+    /// Total answers across all shards and requests.
+    pub fn total_answers(&self) -> usize {
+        self.blocks
+            .iter()
+            .flat_map(|shard| shard.iter().map(AnswerBlock::len))
+            .sum()
+    }
+
+    fn ensure_shape(&mut self, shards: usize, requests: usize) {
+        self.blocks.resize_with(shards, Vec::new);
+        for shard in &mut self.blocks {
+            shard.resize_with(requests, AnswerBlock::new);
+            for b in shard.iter_mut() {
+                b.reset(); // keep capacity, unlock arity for a new view
+            }
+        }
+    }
+}
+
+/// One steady-state measurement of the shard-major serve loop (see
+/// [`ShardedEngine::measure_steady_state`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SteadyMeasurement {
+    /// Total answers across shards and requests in the measured pass.
+    pub answers: usize,
+    /// Wall time of the measured pass (barrier release to last shard done).
+    pub wall_ns: u64,
+    /// Heap allocation events observed during the measured pass (0 in
+    /// steady state; only meaningful under the counting global allocator).
+    pub alloc_events: u64,
+}
+
+/// What one [`ShardedEngine::update`] did, per shard and in aggregate.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedUpdateReport {
+    /// The post-delta epoch vector (the global database version).
+    pub epochs: Vec<Epoch>,
+    /// Shards whose sub-delta was non-empty (the only ones doing work).
+    pub shards_touched: usize,
+    /// Aggregate catalog reconciliation counts across touched shards.
+    pub maintained: usize,
+    /// Entries rebuilt across touched shards.
+    pub rebuilt: usize,
+    /// Entries restamped across touched shards.
+    pub restamped: usize,
+}
+
+/// A register-once / serve-many engine whose database is hash-partitioned
+/// across `S` single-core [`Engine`]s. See the module docs for the
+/// partitioning invariant and the serve/merge pipeline.
+pub struct ShardedEngine {
+    partitioning: Partitioning,
+    engines: Vec<Engine>,
+    /// `true` → the view fans out to every shard; `false` → all of its
+    /// relations are replicated and shard 0 alone serves it.
+    fanout: RwLock<FastMap<String, bool>>,
+}
+
+impl ShardedEngine {
+    /// Partitions `db` under `spec` and builds one engine per shard. The
+    /// catalog budget of `config.engine` is divided evenly across shards.
+    ///
+    /// # Errors
+    ///
+    /// Invalid shard counts and out-of-range hash columns.
+    pub fn new(
+        db: Database,
+        spec: PartitionSpec,
+        config: ShardedEngineConfig,
+    ) -> Result<ShardedEngine> {
+        let shards = config.shards.max(1);
+        let partitioning = Partitioning::new(spec, shards)?;
+        let sub_dbs = partitioning.split_database(&db)?;
+        let mut engine_config = config.engine;
+        engine_config.catalog_budget_bytes = (engine_config.catalog_budget_bytes / shards).max(1);
+        let engines = sub_dbs
+            .into_iter()
+            .map(|d| Engine::with_config(d, engine_config))
+            .collect();
+        Ok(ShardedEngine {
+            partitioning,
+            engines,
+            fanout: RwLock::new(FastMap::default()),
+        })
+    }
+
+    /// [`ShardedEngine::new`] with the spec derived from `view` by
+    /// [`spec_for_view`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ShardedEngine::new`].
+    pub fn for_view(
+        db: Database,
+        view: &AdornedView,
+        config: ShardedEngineConfig,
+    ) -> Result<ShardedEngine> {
+        let spec = spec_for_view(view, &db);
+        ShardedEngine::new(db, spec, config)
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// The engine owning shard `s` (introspection and tests).
+    pub fn shard(&self, s: usize) -> &Engine {
+        &self.engines[s]
+    }
+
+    /// The partitioning in force.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// The global database version: the vector of shard epochs. A delta
+    /// advances exactly the components of the shards owning its rows.
+    pub fn version(&self) -> Vec<Epoch> {
+        self.engines.iter().map(Engine::epoch).collect()
+    }
+
+    /// Registers an adorned view on every shard, building the `S`
+    /// per-shard representations **in parallel** under
+    /// `std::thread::scope`. Views whose relations are all replicated are
+    /// registered on shard 0 only (every shard would otherwise enumerate
+    /// the full answer set — see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// [`CqcError::Config`] when the view cannot be served under the
+    /// engine's partitioning (a hash-partitioned relation's hash column is
+    /// not pinned to one shared variable by the view); any shard's build
+    /// failure (all shards are rolled back).
+    pub fn register(&self, name: &str, view: AdornedView, policy: Policy) -> Result<()> {
+        let fans_out = routing_for(self.partitioning.spec(), &view)?;
+        {
+            // Reserve the name first: a duplicate must fail *here*, before
+            // any shard is touched — otherwise the rollback below would
+            // tear an existing, working registration out of every shard.
+            let mut fanout = self.fanout.write().expect("fanout lock poisoned");
+            if fanout.contains_key(name) {
+                return Err(CqcError::Config(format!(
+                    "view `{name}` is already registered"
+                )));
+            }
+            fanout.insert(name.to_string(), fans_out);
+        }
+        let result: Result<()> = if fans_out {
+            let outcomes: Vec<Result<()>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .engines
+                    .iter()
+                    .map(|engine| {
+                        let view = view.clone();
+                        let policy = policy.clone();
+                        scope.spawn(move || engine.register(name, view, policy).map(|_| ()))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard register panicked"))
+                    .collect()
+            });
+            outcomes.into_iter().collect()
+        } else {
+            self.engines[0].register(name, view, policy).map(|_| ())
+        };
+        if let Err(e) = result {
+            for engine in &self.engines {
+                engine.unregister(name);
+            }
+            self.fanout
+                .write()
+                .expect("fanout lock poisoned")
+                .remove(name);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Parses and registers (CLI front door), mirroring
+    /// [`Engine::register_text`].
+    ///
+    /// # Errors
+    ///
+    /// Parse failures plus the [`ShardedEngine::register`] failure modes.
+    pub fn register_text(
+        &self,
+        name: &str,
+        query_text: &str,
+        pattern: &str,
+        policy: Policy,
+    ) -> Result<()> {
+        let view = parse_adorned(query_text, pattern)?;
+        self.register(name, view, policy)
+    }
+
+    /// Whether `name` is registered, and if so whether it fans out.
+    fn routing(&self, name: &str) -> Result<bool> {
+        self.fanout
+            .read()
+            .expect("fanout lock poisoned")
+            .get(name)
+            .copied()
+            .ok_or_else(|| CqcError::UnknownView(name.to_string()))
+    }
+
+    /// Serves one request: fans it out across shards, merges the per-shard
+    /// blocks back into the lexicographic enumeration order, and folds the
+    /// delay measurements (totals are the slowest shard's — the fan-out is
+    /// parallel; gap percentiles are per-shard worst cases).
+    ///
+    /// # Errors
+    ///
+    /// Unknown view, bound-arity mismatch, or a tagged rebuild failure.
+    pub fn serve(&self, request: &Request) -> Result<Served> {
+        if !self.routing(&request.view)? {
+            return self.engines[0].serve(request);
+        }
+        let outcomes: Vec<Result<Served>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .engines
+                .iter()
+                .map(|engine| scope.spawn(move || engine.serve(request)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard serve panicked"))
+                .collect()
+        });
+        let parts = outcomes.into_iter().collect::<Result<Vec<Served>>>()?;
+        Ok(merge_served(&parts))
+    }
+
+    /// Serves a batch shard-major: one OS thread per shard serves the whole
+    /// request list against its sub-database, then the per-request blocks
+    /// are `k`-way merged. Request order is preserved. Requests addressed
+    /// to shard-0-routed views are answered by shard 0's thread only.
+    ///
+    /// # Errors
+    ///
+    /// The first failing request's error (by request order), if any.
+    pub fn serve_batch(&self, requests: &[Request]) -> Result<Vec<Served>> {
+        // Resolve routing up front so worker threads share one snapshot
+        // (and unknown views fail before any thread spawns).
+        let fans_out: Vec<bool> = requests
+            .iter()
+            .map(|r| self.routing(&r.view))
+            .collect::<Result<_>>()?;
+        let mut per_shard: Vec<Vec<Option<Result<Served>>>> = std::thread::scope(|scope| {
+            let fans_out = &fans_out;
+            let handles: Vec<_> = self
+                .engines
+                .iter()
+                .enumerate()
+                .map(|(si, engine)| {
+                    scope.spawn(move || {
+                        requests
+                            .iter()
+                            .zip(fans_out)
+                            .map(|(r, &fan)| (fan || si == 0).then(|| engine.serve(r)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard serve panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(requests.len());
+        let mut parts: Vec<Served> = Vec::with_capacity(self.engines.len());
+        for i in 0..requests.len() {
+            parts.clear();
+            for shard in &mut per_shard {
+                if let Some(res) = shard[i].take() {
+                    parts.push(res?);
+                }
+            }
+            out.push(merge_served(&parts));
+        }
+        Ok(out)
+    }
+
+    /// Shard-major block serving into reusable scratch — the zero-alloc
+    /// steady-state primitive behind [`ShardedEngine::serve_stream`] and
+    /// the shard benchmark. Every shard thread resolves its representation
+    /// once, then drives its reusable enumerator into
+    /// `out.blocks[shard][request]`; once the scratch has warmed to its
+    /// high-water mark a repeat call performs **zero** heap allocations per
+    /// answer on every shard. Returns the total answer count.
+    ///
+    /// # Errors
+    ///
+    /// Unknown view, bound-arity mismatch, or a tagged rebuild failure.
+    pub fn serve_blocks_into(
+        &self,
+        view: &str,
+        bounds: &[Vec<Value>],
+        out: &mut ShardedBlocks,
+    ) -> Result<usize> {
+        let fans_out = self.routing(view)?;
+        out.ensure_shape(self.engines.len(), bounds.len());
+        let outcomes: Vec<Result<()>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .engines
+                .iter()
+                .zip(out.blocks.iter_mut())
+                .enumerate()
+                .map(|(si, (engine, blocks))| {
+                    scope.spawn(move || -> Result<()> {
+                        if !fans_out && si != 0 {
+                            return Ok(()); // blocks already reset
+                        }
+                        engine.with_view_enumerator(view, |enumerator| {
+                            for (b, block) in bounds.iter().zip(blocks.iter_mut()) {
+                                enumerator.answer_into(b, block)?;
+                            }
+                            Ok(())
+                        })?
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard serve panicked"))
+                .collect()
+        });
+        outcomes.into_iter().collect::<Result<()>>()?;
+        Ok(out.total_answers())
+    }
+
+    /// Measures one steady-state pass of the shard-major serve loop: every
+    /// shard thread resolves its enumerator, runs a warm pass (scratch and
+    /// blocks reach their high-water marks), then all threads rendezvous on
+    /// a barrier so the measured pass is bracketed exactly — the returned
+    /// wall time and allocation-event count (from the process's
+    /// [`cqc_common::alloc`] counters, meaningful when the counting
+    /// allocator is installed) cover only the warm per-shard serve loops,
+    /// not thread spawns or scratch growth. This is the instrument behind
+    /// `cqe bench --profile shard` and the sharded allocation-discipline
+    /// test: in steady state the loops perform **zero** heap allocations
+    /// per answer on every shard.
+    ///
+    /// # Errors
+    ///
+    /// Unknown view, bound-arity mismatch, or a tagged rebuild failure.
+    pub fn measure_steady_state(
+        &self,
+        view: &str,
+        bounds: &[Vec<Value>],
+        out: &mut ShardedBlocks,
+    ) -> Result<SteadyMeasurement> {
+        let fans_out = self.routing(view)?;
+        out.ensure_shape(self.engines.len(), bounds.len());
+        let active = if fans_out { self.engines.len() } else { 1 };
+        // Three rendezvous points: warm passes complete → main snapshots
+        // the allocation counters while every shard is parked → measured
+        // passes run → all shards done. With a single barrier the snapshot
+        // would race the tail of the warm passes (arrival is release) and
+        // count their scratch growth.
+        let warm_done = std::sync::Barrier::new(active + 1);
+        let start_measured = std::sync::Barrier::new(active + 1);
+        let measured_done = std::sync::Barrier::new(active + 1);
+        let mut wall_ns = 0u64;
+        let mut alloc_events = 0u64;
+        let outcomes: Vec<Result<()>> = std::thread::scope(|scope| {
+            let (warm_done, start_measured, measured_done) =
+                (&warm_done, &start_measured, &measured_done);
+            let handles: Vec<_> = self
+                .engines
+                .iter()
+                .zip(out.blocks.iter_mut())
+                .take(active)
+                .map(|(engine, blocks)| {
+                    scope.spawn(move || -> Result<()> {
+                        let outcome = engine.with_view_enumerator(view, |enumerator| {
+                            let mut err: Option<CqcError> = None;
+                            let mut pass =
+                                |err: &mut Option<CqcError>, blocks: &mut [AnswerBlock]| {
+                                    for (b, block) in bounds.iter().zip(blocks.iter_mut()) {
+                                        block.clear();
+                                        if let Err(e) = enumerator.answer_into(b, block) {
+                                            err.get_or_insert(e);
+                                            return;
+                                        }
+                                    }
+                                };
+                            pass(&mut err, blocks); // warm
+                            warm_done.wait();
+                            start_measured.wait();
+                            pass(&mut err, blocks); // measured
+                            measured_done.wait();
+                            match err {
+                                Some(e) => Err(e),
+                                None => Ok(()),
+                            }
+                        });
+                        match outcome {
+                            Ok(inner) => inner,
+                            Err(e) => {
+                                // The closure never ran: keep the barrier
+                                // counts aligned so the main thread and the
+                                // other shards are not deadlocked.
+                                warm_done.wait();
+                                start_measured.wait();
+                                measured_done.wait();
+                                Err(e)
+                            }
+                        }
+                    })
+                })
+                .collect();
+            warm_done.wait(); // every shard warmed and parked
+            let before = cqc_common::alloc::snapshot();
+            let t0 = std::time::Instant::now();
+            start_measured.wait(); // release the measured pass
+            measured_done.wait(); // all shards done
+            wall_ns = t0.elapsed().as_nanos() as u64;
+            alloc_events = cqc_common::alloc::snapshot().allocations_since(&before);
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard measure panicked"))
+                .collect()
+        });
+        outcomes.into_iter().collect::<Result<()>>()?;
+        Ok(SteadyMeasurement {
+            answers: out.total_answers(),
+            wall_ns,
+            alloc_events,
+        })
+    }
+
+    /// The sharded steady-state serve loop: serves `bounds` shard-major via
+    /// [`ShardedEngine::serve_blocks_into`], then invokes `on_block` once
+    /// per request with the `k`-way-merged block (lexicographic enumeration
+    /// order, cleared before the next request). Returns the total number of
+    /// answers. Scratch is allocated per call; a caller serving many
+    /// streams should hold a [`ShardedBlocks`] and use
+    /// [`ShardedEngine::serve_stream_with`], which reuses it and reaches
+    /// the zero-allocations-per-answer steady state across calls.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ShardedEngine::serve_blocks_into`].
+    pub fn serve_stream(
+        &self,
+        view: &str,
+        bounds: &[Vec<Value>],
+        on_block: impl FnMut(usize, &AnswerBlock),
+    ) -> Result<usize> {
+        self.serve_stream_with(view, bounds, &mut ShardedBlocks::new(), on_block)
+    }
+
+    /// [`ShardedEngine::serve_stream`] over caller-owned scratch: the
+    /// per-shard blocks (and their capacities) survive between calls, so a
+    /// stream served repeatedly through the same [`ShardedBlocks`] settles
+    /// into the warm, allocation-free per-shard loops.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ShardedEngine::serve_blocks_into`].
+    pub fn serve_stream_with(
+        &self,
+        view: &str,
+        bounds: &[Vec<Value>],
+        scratch: &mut ShardedBlocks,
+        mut on_block: impl FnMut(usize, &AnswerBlock),
+    ) -> Result<usize> {
+        let total = self.serve_blocks_into(view, bounds, scratch)?;
+        let mut merged = AnswerBlock::new();
+        let mut merger = BlockMerger::new();
+        let mut refs: Vec<&AnswerBlock> = Vec::with_capacity(self.engines.len());
+        for i in 0..bounds.len() {
+            merged.reset();
+            refs.clear();
+            refs.extend(scratch.request_blocks(i));
+            merger.merge_into(&refs, &mut merged);
+            on_block(i, &merged);
+        }
+        Ok(total)
+    }
+
+    /// Answers one request into owned tuples, in lexicographic enumeration
+    /// order (compatibility/oracle interface, mirroring
+    /// [`Engine::answer`]).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ShardedEngine::serve`].
+    pub fn answer(&self, view: &str, bound: &[Value]) -> Result<Vec<Tuple>> {
+        let served = self.serve(&Request {
+            view: view.to_string(),
+            bound: bound.to_vec(),
+        })?;
+        Ok(served.to_tuples())
+    }
+
+    /// `true` iff the request has at least one answer. Probes shards
+    /// sequentially with first-answer short-circuiting — existence needs
+    /// one witness, not a fan-out.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ShardedEngine::serve`].
+    pub fn exists(&self, view: &str, bound: &[Value]) -> Result<bool> {
+        let fans_out = self.routing(view)?;
+        let shards = if fans_out { self.engines.len() } else { 1 };
+        for engine in &self.engines[..shards] {
+            if engine.exists(view, bound)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Applies a batched delta: the delta splits into per-shard deltas that
+    /// touch only the shards owning their rows, and the touched shards
+    /// update **in parallel** (each reconciling its own catalog —
+    /// maintain/rebuild/restamp — before publishing its shard epoch).
+    /// Untouched shards keep epoch and catalog untouched, which is the
+    /// point of per-shard versioning.
+    ///
+    /// # Errors
+    ///
+    /// Routing failures (out-of-range hash column) before anything is
+    /// applied; the first shard error afterwards (other shards still
+    /// complete their updates).
+    pub fn update(&self, delta: &Delta) -> Result<ShardedUpdateReport> {
+        let split = self.partitioning.split_delta(delta)?;
+        let outcomes: Vec<Option<Result<UpdateReport>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .engines
+                .iter()
+                .zip(&split)
+                .map(|(engine, d)| scope.spawn(move || (!d.is_empty()).then(|| engine.update(d))))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard update panicked"))
+                .collect()
+        });
+        let mut report = ShardedUpdateReport::default();
+        let mut first_error = None;
+        for outcome in outcomes {
+            let Some(outcome) = outcome else { continue };
+            report.shards_touched += 1;
+            match outcome {
+                Ok(r) => {
+                    report.maintained += r.maintained;
+                    report.rebuilt += r.rebuilt;
+                    report.restamped += r.restamped;
+                }
+                Err(e) => {
+                    first_error.get_or_insert(e);
+                }
+            }
+        }
+        report.epochs = self.version();
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    }
+
+    /// Aggregate catalog counters across all shards.
+    pub fn catalog_stats(&self) -> crate::catalog::CatalogStats {
+        let mut total = crate::catalog::CatalogStats::default();
+        for engine in &self.engines {
+            let s = engine.catalog_stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.builds += s.builds;
+            total.maintained += s.maintained;
+            total.evictions += s.evictions;
+            total.invalidations += s.invalidations;
+            total.admission_rejected += s.admission_rejected;
+            total.entries += s.entries;
+            total.resident_bytes += s.resident_bytes;
+            total.budget_bytes += s.budget_bytes;
+        }
+        total
+    }
+}
+
+impl std::fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("shards", &self.engines.len())
+            .field("version", &self.version())
+            .field("hashed_relations", &self.partitioning.spec().num_hashed())
+            .finish()
+    }
+}
+
+/// Folds per-shard [`Served`]s into one: blocks are `k`-way merged back
+/// into lexicographic order; totals take the slowest shard (the fan-out is
+/// parallel) and gap statistics the per-shard worst case.
+fn merge_served(parts: &[Served]) -> Served {
+    let refs: Vec<&AnswerBlock> = parts.iter().map(|s| &s.block).collect();
+    let mut block = AnswerBlock::new();
+    BlockMerger::new().merge_into(&refs, &mut block);
+    let mut delay = DelayStats::default();
+    for p in parts {
+        let d = &p.delay;
+        delay.tuples += d.tuples;
+        delay.total_ns = delay.total_ns.max(d.total_ns);
+        delay.max_ns = delay.max_ns.max(d.max_ns);
+        delay.p50_ns = delay.p50_ns.max(d.p50_ns);
+        delay.p99_ns = delay.p99_ns.max(d.p99_ns);
+        delay.first_ns = if delay.first_ns == 0 {
+            d.first_ns
+        } else {
+            delay.first_ns.min(d.first_ns)
+        };
+        delay.work.trie_seeks += d.work.trie_seeks;
+        delay.work.count_probes += d.work.count_probes;
+        delay.work.dict_lookups += d.work.dict_lookups;
+        delay.work.tuples_output += d.work.tuples_output;
+    }
+    Served { block, delay }
+}
+
+/// Derives the partitioning for `view`: every head variable is scored by
+/// the number of tuples that would have to be **replicated** — the rows of
+/// relations that cannot be hash-partitioned on that variable (an atom
+/// missing the variable, a non-natural atom, or two atoms over one
+/// relation pinning the variable to different columns). The variable with
+/// the least replication wins; bound-head variables win ties (requests then
+/// route their work to the owning shard, the ISSUE's bound-prefix
+/// preference), then head order. A view that admits no partitioning at all
+/// yields the all-replicate spec, which the engine serves from shard 0.
+pub fn spec_for_view(view: &AdornedView, db: &Database) -> PartitionSpec {
+    let query = view.query();
+    // Candidates in preference order: bound head variables first.
+    let mut candidates: Vec<Var> = view.bound_head();
+    candidates.extend(view.free_head());
+
+    let mut best: Option<(usize, PartitionSpec)> = None; // (replicated tuples, spec)
+    for &v in &candidates {
+        // relation → Some(col) when partitionable on v, None when forced
+        // to replicate: an atom must be natural and contain v, and every
+        // atom over the relation must pin v to the same column.
+        let mut assignment: FastMap<&str, Option<usize>> = FastMap::default();
+        for atom in &query.atoms {
+            let pinned = if atom.is_natural() {
+                atom.position_of(v)
+            } else {
+                None
+            };
+            assignment
+                .entry(atom.relation.as_str())
+                .and_modify(|slot| {
+                    if *slot != pinned {
+                        *slot = None; // inconsistent across atoms → replicate
+                    }
+                })
+                .or_insert(pinned);
+        }
+        if assignment.values().all(Option::is_none) {
+            continue; // v partitions nothing
+        }
+        let replicated: usize = assignment
+            .iter()
+            .filter(|(_, col)| col.is_none())
+            .map(|(name, _)| db.get(name).map_or(0, |r| r.len()))
+            .sum();
+        // Candidates are iterated in preference order (bound variables
+        // first), so a strict improvement is the only way to displace the
+        // incumbent — ties keep the earlier, more-preferred variable.
+        let better = best.as_ref().map_or(true, |(r, _)| replicated < *r);
+        if better {
+            let mut spec = PartitionSpec::new();
+            for (name, col) in &assignment {
+                spec = match col {
+                    Some(c) => spec.hash(name, *c),
+                    None => spec.replicate(name),
+                };
+            }
+            best = Some((replicated, spec));
+        }
+    }
+    best.map_or_else(PartitionSpec::new, |(_, spec)| spec)
+}
+
+/// Validates `view` against `spec` and decides its routing: `Ok(true)` when
+/// the view fans out across shards (at least one of its relations is
+/// hash-partitioned, with every hash column pinned to one shared variable
+/// by the view — the condition that makes per-shard answers disjoint and
+/// complete), `Ok(false)` when all of its relations are replicated (shard 0
+/// serves it alone).
+///
+/// # Errors
+///
+/// [`CqcError::Config`] when a hash-partitioned relation is used in a way
+/// that breaks the invariant: a non-natural atom over it, a hash column out
+/// of range, or two hashed atoms disagreeing on the partition variable.
+fn routing_for(spec: &PartitionSpec, view: &AdornedView) -> Result<bool> {
+    let mut partition_var: Option<Var> = None;
+    for atom in &view.query().atoms {
+        let ShardAssignment::Hash(col) = spec.assignment(&atom.relation) else {
+            continue;
+        };
+        if !atom.is_natural() {
+            return Err(CqcError::Config(format!(
+                "view cannot be served sharded: relation `{}` is hash-partitioned but \
+                 `{atom}` is not a natural-join atom",
+                atom.relation
+            )));
+        }
+        let Some(cqc_query::atom::Term::Var(v)) = atom.terms.get(col) else {
+            return Err(CqcError::Config(format!(
+                "view cannot be served sharded: relation `{}` hashes on column {col}, \
+                 which is out of range for `{atom}`",
+                atom.relation
+            )));
+        };
+        match partition_var {
+            None => partition_var = Some(*v),
+            Some(p) if p == *v => {}
+            Some(p) => {
+                return Err(CqcError::Config(format!(
+                    "view cannot be served sharded: hash columns disagree on the \
+                     partition variable ({} vs {} in `{atom}`)",
+                    view.query().var_name(p),
+                    view.query().var_name(*v),
+                )));
+            }
+        }
+    }
+    Ok(partition_var.is_some())
+}

@@ -1,0 +1,373 @@
+//! Sharded-engine acceptance: a [`ShardedEngine`] must be observationally
+//! identical to an unsharded [`Engine`] — tuple for tuple, across
+//! strategies, shard counts, and interleaved updates — while routing work
+//! and epochs only to the shards owning the touched rows.
+
+use cqc_core::Strategy;
+use cqc_engine::{
+    spec_for_view, Engine, Policy, Request, ShardedBlocks, ShardedEngine, ShardedEngineConfig,
+};
+use cqc_query::parser::parse_adorned;
+use cqc_storage::{shard_of_value, Database, Delta, PartitionSpec, Relation};
+
+fn triangle_db(seed: u64) -> Database {
+    let mut rng = cqc_workload::rng(seed);
+    let mut db = Database::new();
+    for name in ["R", "S", "T"] {
+        db.add(cqc_workload::uniform_relation(&mut rng, name, 2, 120, 12))
+            .unwrap();
+    }
+    db
+}
+
+fn config(shards: usize) -> ShardedEngineConfig {
+    ShardedEngineConfig {
+        shards,
+        ..ShardedEngineConfig::default()
+    }
+}
+
+fn strategies() -> Vec<(&'static str, Policy)> {
+    vec![
+        (
+            "theorem-1",
+            Policy::Fixed(Strategy::Tradeoff {
+                tau: 2.0,
+                weights: Some(vec![0.5, 0.5, 0.5]),
+            }),
+        ),
+        ("materialize", Policy::Fixed(Strategy::Materialize)),
+        ("direct", Policy::Fixed(Strategy::Direct)),
+        ("factorized", Policy::Fixed(Strategy::Factorized)),
+        ("auto", Policy::default()),
+    ]
+}
+
+fn sorted(mut v: Vec<Vec<u64>>) -> Vec<Vec<u64>> {
+    v.sort_unstable();
+    v
+}
+
+/// The acceptance property: sharded serve ≡ unsharded serve tuple for
+/// tuple, for every strategy, shard count, pattern, and bound valuation.
+#[test]
+fn sharded_matches_unsharded_across_strategies_and_shard_counts() {
+    let query = "Q(x,y,z) :- R(x,y), S(y,z), T(z,x)";
+    for pattern in ["bfb", "bff", "fff"] {
+        let view = parse_adorned(query, pattern).unwrap();
+        let nb = pattern.chars().filter(|c| *c == 'b').count();
+        let mut requests: Vec<Vec<u64>> = vec![vec![]];
+        for _ in 0..nb {
+            requests = requests
+                .iter()
+                .flat_map(|r| {
+                    (0..12u64).step_by(3).map(move |v| {
+                        let mut r2 = r.clone();
+                        r2.push(v);
+                        r2
+                    })
+                })
+                .collect();
+        }
+        for (tag, policy) in strategies() {
+            let db = triangle_db(41);
+            let engine = Engine::new(db.clone());
+            engine.register("v", view.clone(), policy.clone()).unwrap();
+            for shards in [1usize, 2, 4, 7] {
+                let sharded = ShardedEngine::for_view(db.clone(), &view, config(shards)).unwrap();
+                sharded.register("v", view.clone(), policy.clone()).unwrap();
+                for bound in &requests {
+                    let expect = sorted(engine.answer("v", bound).unwrap());
+                    let got = sorted(sharded.answer("v", bound).unwrap());
+                    assert_eq!(
+                        got, expect,
+                        "{tag} pattern {pattern} shards {shards} bound {bound:?}"
+                    );
+                    assert_eq!(
+                        sharded.exists("v", bound).unwrap(),
+                        !expect.is_empty(),
+                        "{tag} exists {pattern} shards {shards} bound {bound:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Interleaved updates: after every delta both engines must still agree,
+/// and only the shards owning the delta's rows may advance their epoch.
+#[test]
+fn sharded_matches_unsharded_under_interleaved_updates() {
+    let query = "Q(x,y,z) :- R(x,y), S(y,z), T(z,x)";
+    let view = parse_adorned(query, "bfb").unwrap();
+    let policy = Policy::Fixed(Strategy::Tradeoff {
+        tau: 2.0,
+        weights: Some(vec![0.5, 0.5, 0.5]),
+    });
+    for shards in [2usize, 4, 7] {
+        let db = triangle_db(97);
+        let engine = Engine::new(db.clone());
+        engine.register("v", view.clone(), policy.clone()).unwrap();
+        let sharded = ShardedEngine::for_view(db, &view, config(shards)).unwrap();
+        sharded.register("v", view.clone(), policy.clone()).unwrap();
+
+        let mut rng = cqc_workload::rng(5);
+        for round in 0..4u64 {
+            let delta =
+                cqc_workload::recombination_delta(&mut rng, &engine.db(), &["R", "S", "T"], 3);
+            let before = sharded.version();
+            engine.update(&delta).unwrap();
+            let report = sharded.update(&delta).unwrap();
+            assert_eq!(report.epochs, sharded.version());
+            // Shards whose sub-delta was empty must not move their epoch.
+            let moved = before
+                .iter()
+                .zip(&report.epochs)
+                .filter(|(b, a)| a > b)
+                .count();
+            assert!(moved <= report.shards_touched, "round {round}");
+
+            for x in (0..12u64).step_by(2) {
+                for z in (0..12u64).step_by(3) {
+                    let expect = sorted(engine.answer("v", &[x, z]).unwrap());
+                    let got = sorted(sharded.answer("v", &[x, z]).unwrap());
+                    assert_eq!(got, expect, "round {round} shards {shards} vb ({x},{z})");
+                }
+            }
+        }
+    }
+}
+
+/// A delta routed to a hashed relation touches exactly the owning shard's
+/// epoch; the other components of the version vector are untouched.
+#[test]
+fn per_shard_epochs_advance_independently() {
+    let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z)", "bff").unwrap();
+    let db = {
+        let mut db = Database::new();
+        db.add(Relation::from_pairs("R", vec![(1, 2), (2, 3), (3, 4)]))
+            .unwrap();
+        db.add(Relation::from_pairs("S", vec![(2, 5), (3, 6), (4, 7)]))
+            .unwrap();
+        db
+    };
+    let sharded = ShardedEngine::for_view(db, &view, config(4)).unwrap();
+    sharded
+        .register("v", view, Policy::Fixed(Strategy::Direct))
+        .unwrap();
+    // spec_for_view picks y (R.1 = S.0): zero replication.
+    assert_eq!(sharded.partitioning().spec().num_hashed(), 2);
+
+    let before = sharded.version();
+    let mut delta = Delta::new();
+    delta.insert("R", vec![9, 4]); // y = 4 → exactly one owner shard
+    let report = sharded.update(&delta).unwrap();
+    assert_eq!(report.shards_touched, 1);
+    let owner = shard_of_value(4, 4);
+    for (si, (b, a)) in before.iter().zip(&report.epochs).enumerate() {
+        if si == owner {
+            assert!(a > b, "owner shard {si} must advance");
+        } else {
+            assert_eq!(a, b, "shard {si} must not advance");
+        }
+    }
+    // The new tuple is served.
+    assert!(sharded.answer("v", &[9]).unwrap().contains(&vec![4u64, 7]));
+}
+
+/// The k-way merge must restore the paper's lexicographic enumeration
+/// order: the merged stream equals the unsharded flat stream exactly —
+/// order included — not just as a set.
+#[test]
+fn merged_stream_preserves_lexicographic_order() {
+    let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z)", "bff").unwrap();
+    let mut rng = cqc_workload::rng(11);
+    let mut db = Database::new();
+    for name in ["R", "S"] {
+        db.add(cqc_workload::uniform_relation(&mut rng, name, 2, 300, 20))
+            .unwrap();
+    }
+    let policy = Policy::Fixed(Strategy::Tradeoff {
+        tau: 4.0,
+        weights: None,
+    });
+    let engine = Engine::new(db.clone());
+    engine.register("p2", view.clone(), policy.clone()).unwrap();
+    let sharded = ShardedEngine::for_view(db, &view, config(4)).unwrap();
+    sharded.register("p2", view.clone(), policy).unwrap();
+
+    let bounds: Vec<Vec<u64>> = (0..20u64).map(|x| vec![x]).collect();
+    let mut unsharded_blocks: Vec<Vec<Vec<u64>>> = Vec::new();
+    engine
+        .serve_stream("p2", &bounds, |_, block| {
+            unsharded_blocks.push(block.iter().map(<[u64]>::to_vec).collect());
+        })
+        .unwrap();
+    let mut merged_blocks: Vec<Vec<Vec<u64>>> = Vec::new();
+    let total = sharded
+        .serve_stream("p2", &bounds, |_, block| {
+            merged_blocks.push(block.iter().map(<[u64]>::to_vec).collect());
+        })
+        .unwrap();
+    assert_eq!(merged_blocks, unsharded_blocks, "order must match exactly");
+    assert_eq!(total, unsharded_blocks.iter().map(Vec::len).sum::<usize>());
+    assert!(total > 500, "workload too sparse to be meaningful: {total}");
+    for block in &merged_blocks {
+        assert!(
+            block.windows(2).all(|w| w[0] < w[1]),
+            "merged block must be strictly lexicographically increasing"
+        );
+    }
+
+    // serve() and serve_batch() agree with the stream too.
+    let requests: Vec<Request> = bounds
+        .iter()
+        .map(|b| Request {
+            view: "p2".into(),
+            bound: b.clone(),
+        })
+        .collect();
+    let batch = sharded.serve_batch(&requests).unwrap();
+    for (i, served) in batch.iter().enumerate() {
+        let tuples: Vec<Vec<u64>> = served.tuples().map(<[u64]>::to_vec).collect();
+        assert_eq!(tuples, merged_blocks[i], "request {i}");
+        let single = sharded.serve(&requests[i]).unwrap();
+        assert_eq!(single.to_tuples(), tuples, "request {i}");
+    }
+}
+
+/// A view over only replicated relations (here: a triple self-join that no
+/// single column can partition) is routed to shard 0 alone — fanning it
+/// out would duplicate every answer S times.
+#[test]
+fn replicate_only_views_route_to_shard_zero() {
+    let mut rng = cqc_workload::rng(3);
+    let mut db = Database::new();
+    db.add(cqc_workload::uniform_relation(&mut rng, "R", 2, 150, 14))
+        .unwrap();
+    let view = parse_adorned("V(x,y,z) :- R(x,y), R(y,z), R(z,x)", "bfb").unwrap();
+    let spec = spec_for_view(&view, &db);
+    assert_eq!(spec.num_hashed(), 0, "self-join cannot be partitioned");
+
+    let engine = Engine::new(db.clone());
+    engine
+        .register("mutual", view.clone(), Policy::default())
+        .unwrap();
+    let sharded = ShardedEngine::new(db, spec, config(4)).unwrap();
+    sharded
+        .register("mutual", view.clone(), Policy::default())
+        .unwrap();
+    // Only shard 0 carries the registration.
+    assert!(sharded.shard(0).view("mutual").is_ok());
+    for s in 1..4 {
+        assert!(sharded.shard(s).view("mutual").is_err());
+    }
+    for x in 0..14u64 {
+        for z in 0..14u64 {
+            assert_eq!(
+                sorted(sharded.answer("mutual", &[x, z]).unwrap()),
+                sorted(engine.answer("mutual", &[x, z]).unwrap()),
+                "vb ({x},{z})"
+            );
+        }
+    }
+}
+
+/// Registering a view that uses a hash-partitioned relation in a way that
+/// breaks the disjointness invariant must be refused — and rolled back, so
+/// the name stays free.
+#[test]
+fn incompatible_views_are_rejected_and_rolled_back() {
+    let mut db = Database::new();
+    db.add(Relation::from_pairs("R", vec![(1, 2), (2, 3), (3, 1)]))
+        .unwrap();
+    // R is hash-partitioned on column 0.
+    let spec = PartitionSpec::new().hash("R", 0);
+    let sharded = ShardedEngine::new(db, spec, config(2)).unwrap();
+    // The two atoms pin R's hash column to different variables (x and y):
+    // per-shard answers would not be disjoint or complete.
+    let bad = parse_adorned("Q(x,y,z) :- R(x,y), R(y,z)", "fff").unwrap();
+    let err = sharded.register("v", bad, Policy::Fixed(Strategy::Direct));
+    assert!(err.is_err());
+    assert!(
+        sharded.shard(0).view("v").is_err(),
+        "rollback must unregister"
+    );
+    // The name is reusable with a compatible view.
+    let good = parse_adorned("Q(x,y) :- R(x,y)", "bf").unwrap();
+    sharded
+        .register("v", good, Policy::Fixed(Strategy::Direct))
+        .unwrap();
+    assert_eq!(sharded.answer("v", &[1]).unwrap(), vec![vec![2u64]]);
+}
+
+/// Re-registering an existing name must fail cleanly and leave the
+/// original registration serving on every shard (a failed duplicate must
+/// not be "rolled back" over a working view).
+#[test]
+fn duplicate_register_preserves_existing_view() {
+    let mut db = Database::new();
+    db.add(Relation::from_pairs("R", vec![(1, 2), (2, 3), (3, 1)]))
+        .unwrap();
+    let view = parse_adorned("Q(x,y) :- R(x,y)", "bf").unwrap();
+    let sharded = ShardedEngine::for_view(db, &view, config(2)).unwrap();
+    sharded
+        .register("v", view.clone(), Policy::Fixed(Strategy::Direct))
+        .unwrap();
+    assert_eq!(sharded.answer("v", &[1]).unwrap(), vec![vec![2u64]]);
+
+    let dup = sharded.register("v", view, Policy::Fixed(Strategy::Materialize));
+    assert!(dup.is_err(), "duplicate name must be rejected");
+    // The original registration still serves on every shard.
+    assert_eq!(sharded.answer("v", &[1]).unwrap(), vec![vec![2u64]]);
+    assert_eq!(sharded.answer("v", &[2]).unwrap(), vec![vec![3u64]]);
+}
+
+/// The shard-major block path reuses its scratch: a second pass over the
+/// same stream pushes the same answers into the same blocks.
+#[test]
+fn serve_blocks_into_is_reusable() {
+    let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z)", "bff").unwrap();
+    let mut rng = cqc_workload::rng(23);
+    let mut db = Database::new();
+    for name in ["R", "S"] {
+        db.add(cqc_workload::uniform_relation(&mut rng, name, 2, 200, 16))
+            .unwrap();
+    }
+    let sharded = ShardedEngine::for_view(db, &view, config(3)).unwrap();
+    sharded
+        .register(
+            "p2",
+            view,
+            Policy::Fixed(Strategy::Tradeoff {
+                tau: 4.0,
+                weights: None,
+            }),
+        )
+        .unwrap();
+    let bounds: Vec<Vec<u64>> = (0..16u64).map(|x| vec![x]).collect();
+    let mut scratch = ShardedBlocks::new();
+    let first = sharded
+        .serve_blocks_into("p2", &bounds, &mut scratch)
+        .unwrap();
+    let snapshot: Vec<Vec<Vec<u64>>> = (0..bounds.len())
+        .map(|i| {
+            scratch
+                .request_blocks(i)
+                .flat_map(|b| b.iter().map(<[u64]>::to_vec))
+                .collect()
+        })
+        .collect();
+    let second = sharded
+        .serve_blocks_into("p2", &bounds, &mut scratch)
+        .unwrap();
+    assert_eq!(first, second);
+    assert!(first > 100, "workload too sparse: {first}");
+    for (i, expect) in snapshot.iter().enumerate() {
+        let again: Vec<Vec<u64>> = scratch
+            .request_blocks(i)
+            .flat_map(|b| b.iter().map(<[u64]>::to_vec))
+            .collect();
+        assert_eq!(&again, expect, "request {i}");
+    }
+}

@@ -12,7 +12,7 @@ use cqc_common::error::Result;
 use cqc_common::heap::HeapSize;
 use cqc_common::value::Value;
 use cqc_query::{AdornedView, Var};
-use cqc_storage::{Database, SortedIndex};
+use cqc_storage::{Database, Delta, SortedIndex};
 
 /// Join infrastructure for one adorned view: variable order plus per-atom
 /// trie indexes.
@@ -66,6 +66,53 @@ impl ViewPlan {
             indexes,
             atom_levels,
         })
+    }
+
+    /// Rebuilds the plan for the post-delta database by merging the delta's
+    /// genuinely new rows into clones of the trie indexes
+    /// ([`SortedIndex::merge_insert`]) instead of re-sorting each one —
+    /// the incremental maintenance path mirroring
+    /// `cqc_core::cost::CostEstimator::maintained`.
+    ///
+    /// Returns `Ok(None)` when a merged index cannot be reconciled with the
+    /// post-delta relation (size or arity disagreement) — fall back to
+    /// [`ViewPlan::build`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates schema errors (a view relation missing from `db`).
+    pub fn maintained(
+        &self,
+        view: &AdornedView,
+        db: &Database,
+        delta: &Delta,
+    ) -> Result<Option<ViewPlan>> {
+        let query = view.query();
+        if query.atoms.len() != self.indexes.len() {
+            return Ok(None);
+        }
+        let mut indexes = Vec::with_capacity(self.indexes.len());
+        for (atom, old) in query.atoms.iter().zip(&self.indexes) {
+            let rel = db.require(&atom.relation)?;
+            let mut ix = old.clone();
+            if let Some(tuples) = delta.tuples_for(&atom.relation) {
+                let Some(fresh) = old.fresh_from(tuples) else {
+                    return Ok(None);
+                };
+                ix.merge_insert(&fresh);
+            }
+            if ix.len() != rel.len() {
+                return Ok(None);
+            }
+            indexes.push(ix);
+        }
+        Ok(Some(ViewPlan {
+            order: self.order.clone(),
+            level_of: self.level_of.clone(),
+            num_bound: self.num_bound,
+            indexes,
+            atom_levels: self.atom_levels.clone(),
+        }))
     }
 
     /// Total number of join levels (= head arity for natural joins).

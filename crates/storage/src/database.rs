@@ -49,6 +49,19 @@ impl Database {
     ///
     /// Fails if a relation with the same name already exists.
     pub fn add(&mut self, relation: Relation) -> Result<RelationId> {
+        self.add_arc(Arc::new(relation))
+    }
+
+    /// Adds an already-shared relation, returning its id and bumping the
+    /// epoch. The shard partitioner uses this to replicate one relation
+    /// into every sub-database without deep-copying its rows; copy-on-write
+    /// ([`Database::apply`]) still clones it if a shard-local delta touches
+    /// it later.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a relation with the same name already exists.
+    pub fn add_arc(&mut self, relation: Arc<Relation>) -> Result<RelationId> {
         if self.by_name.contains_key(relation.name()) {
             return Err(CqcError::Schema(format!(
                 "relation `{}` already exists",
@@ -57,9 +70,17 @@ impl Database {
         }
         let id = self.relations.len();
         self.by_name.insert(relation.name().to_string(), id);
-        self.relations.push(Arc::new(relation));
+        self.relations.push(relation);
         self.epoch += 1;
         Ok(id)
+    }
+
+    /// The shared handle of the relation named `name`, if present — the
+    /// cheap way to replicate a relation into another database.
+    pub fn get_arc(&self, name: &str) -> Option<Arc<Relation>> {
+        self.by_name
+            .get(name)
+            .map(|&id| Arc::clone(&self.relations[id]))
     }
 
     /// Applies a batched insertion delta atomically: every referenced

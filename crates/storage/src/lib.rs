@@ -16,6 +16,9 @@
 //!   prefix-plus-range *count* probes that implement the paper's Õ(1) count
 //!   oracle (two binary searches), and the cursor ranges that back the
 //!   leapfrog trie-join in `cqc-join`;
+//! * [`partition::Partitioning`] — hash partitioning of a database into
+//!   disjoint shard sub-databases (and the matching per-shard routing of
+//!   [`delta::Delta`]s), the substrate of the sharded engine;
 //! * [`domain::Domain`] — per-variable sorted active domains with
 //!   rank/value conversions; `cqc-core` works in rank space so that the
 //!   open/closed interval algebra of §4.1 reduces to integer arithmetic;
@@ -30,6 +33,7 @@ pub mod database;
 pub mod delta;
 pub mod domain;
 pub mod interner;
+pub mod partition;
 pub mod relation;
 pub mod sorted_index;
 
@@ -38,5 +42,6 @@ pub use database::{Database, Epoch, RelationId};
 pub use delta::Delta;
 pub use domain::Domain;
 pub use interner::Interner;
+pub use partition::{shard_of_value, PartitionSpec, Partitioning, ShardAssignment};
 pub use relation::Relation;
 pub use sorted_index::SortedIndex;

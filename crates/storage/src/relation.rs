@@ -24,16 +24,49 @@ impl Relation {
     ///
     /// Panics if any tuple's length differs from `arity`, or if `arity == 0`.
     pub fn new(name: impl Into<String>, arity: usize, tuples: Vec<Tuple>) -> Relation {
-        assert!(arity > 0, "relations must have positive arity");
-        let mut tuples = tuples;
+        let mut flat = Vec::with_capacity(tuples.len() * arity);
         for t in &tuples {
             assert_eq!(t.len(), arity, "tuple arity mismatch in relation");
+            flat.extend_from_slice(t);
         }
-        tuples.sort_unstable_by(|a, b| lex_cmp(a, b));
-        tuples.dedup();
-        let mut rows = Vec::with_capacity(tuples.len() * arity);
-        for t in &tuples {
-            rows.extend_from_slice(t);
+        Relation::from_flat(name, arity, flat)
+    }
+
+    /// Builds a relation from a flat row-major buffer (`rows * arity`
+    /// values), sorting via a row permutation and deduplicating — no
+    /// per-tuple `Vec` is ever allocated, which is what the bulk loaders
+    /// and the shard partitioner use. Already-sorted input (the common case
+    /// when rows come from another sorted relation) is detected and adopted
+    /// without copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity == 0` or `flat.len()` is not a multiple of `arity`.
+    pub fn from_flat(name: impl Into<String>, arity: usize, flat: Vec<Value>) -> Relation {
+        assert!(arity > 0, "relations must have positive arity");
+        assert_eq!(
+            flat.len() % arity,
+            0,
+            "flat buffer length must be a multiple of the arity"
+        );
+        let n = flat.len() / arity;
+        let row = |i: usize| &flat[i * arity..(i + 1) * arity];
+        if (1..n).all(|i| lex_cmp(row(i - 1), row(i)) == Ordering::Less) {
+            return Relation {
+                name: name.into(),
+                arity,
+                rows: flat,
+            };
+        }
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.sort_unstable_by(|&a, &b| lex_cmp(row(a as usize), row(b as usize)));
+        let mut rows: Vec<Value> = Vec::with_capacity(flat.len());
+        for &ri in &perm {
+            let r = row(ri as usize);
+            if rows.len() >= arity && rows[rows.len() - arity..] == *r {
+                continue; // duplicate of the row just emitted
+            }
+            rows.extend_from_slice(r);
         }
         Relation {
             name: name.into(),
@@ -48,8 +81,13 @@ impl Relation {
         name: impl Into<String>,
         pairs: impl IntoIterator<Item = (Value, Value)>,
     ) -> Relation {
-        let tuples: Vec<Tuple> = pairs.into_iter().map(|(a, b)| vec![a, b]).collect();
-        Relation::new(name, 2, tuples)
+        let pairs = pairs.into_iter();
+        let mut flat = Vec::with_capacity(pairs.size_hint().0 * 2);
+        for (a, b) in pairs {
+            flat.push(a);
+            flat.push(b);
+        }
+        Relation::from_flat(name, 2, flat)
     }
 
     /// The relation name.
@@ -156,11 +194,11 @@ impl Relation {
         for &c in cols {
             assert!(c < self.arity, "projection column out of range");
         }
-        let tuples: Vec<Tuple> = self
-            .iter()
-            .map(|r| cols.iter().map(|&c| r[c]).collect())
-            .collect();
-        Relation::new(name, cols.len(), tuples)
+        let mut flat = Vec::with_capacity(self.len() * cols.len());
+        for r in self.iter() {
+            flat.extend(cols.iter().map(|&c| r[c]));
+        }
+        Relation::from_flat(name, cols.len(), flat)
     }
 }
 
@@ -219,6 +257,31 @@ mod tests {
         let q = r.project("Q", &[1, 0]);
         assert!(q.contains(&[2, 1]));
         assert!(!q.contains(&[1, 2]) || r.contains(&[2, 1]));
+    }
+
+    #[test]
+    fn from_flat_matches_new() {
+        let tuples = vec![vec![3, 1], vec![1, 2], vec![1, 2], vec![2, 2], vec![1, 1]];
+        let flat: Vec<Value> = tuples.iter().flatten().copied().collect();
+        assert_eq!(
+            Relation::from_flat("R", 2, flat),
+            Relation::new("R", 2, tuples)
+        );
+        // Already-sorted input is adopted as-is.
+        let sorted = Relation::from_flat("S", 2, vec![1, 1, 1, 2, 2, 2]);
+        assert_eq!(sorted.len(), 3);
+        assert!(sorted.contains(&[1, 2]));
+        // Sorted-with-duplicates still dedups.
+        let dup = Relation::from_flat("D", 1, vec![1, 1, 2]);
+        assert_eq!(dup.len(), 2);
+        // Empty buffer.
+        assert!(Relation::from_flat("E", 3, vec![]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the arity")]
+    fn from_flat_ragged_buffer_panics() {
+        Relation::from_flat("R", 2, vec![1, 2, 3]);
     }
 
     #[test]

@@ -19,11 +19,11 @@ pub fn uniform_relation(
     rows: usize,
     domain: u64,
 ) -> Relation {
-    let mut tuples = Vec::with_capacity(rows);
+    let mut flat = Vec::with_capacity(rows * arity);
     for _ in 0..rows {
-        tuples.push((0..arity).map(|_| rng.gen_range(0..domain)).collect());
+        flat.extend((0..arity).map(|_| rng.gen_range(0..domain)));
     }
-    Relation::new(name, arity, tuples)
+    Relation::from_flat(name, arity, flat)
 }
 
 /// An insertion [`Delta`] of `per_relation` tuples for each named relation,
@@ -112,11 +112,12 @@ pub fn zipf_pairs(
     first_domain: u64,
     zipf: &Zipf,
 ) -> Relation {
-    let mut tuples: Vec<Vec<Value>> = Vec::with_capacity(rows);
+    let mut flat: Vec<Value> = Vec::with_capacity(rows * 2);
     for _ in 0..rows {
-        tuples.push(vec![rng.gen_range(0..first_domain), zipf.sample(rng)]);
+        flat.push(rng.gen_range(0..first_domain));
+        flat.push(zipf.sample(rng));
     }
-    Relation::new(name, 2, tuples)
+    Relation::from_flat(name, 2, flat)
 }
 
 #[cfg(test)]
