@@ -24,6 +24,10 @@ thread_local! {
     static TRIE_SEEKS: Cell<u64> = const { Cell::new(0) };
     static COUNT_PROBES: Cell<u64> = const { Cell::new(0) };
     static DICT_LOOKUPS: Cell<u64> = const { Cell::new(0) };
+    static BUILD_SORT_NS: Cell<u64> = const { Cell::new(0) };
+    static BUILD_INDEX_NS: Cell<u64> = const { Cell::new(0) };
+    static BUILD_DICT_NS: Cell<u64> = const { Cell::new(0) };
+    static BUILD_LP_NS: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Process-wide output-tuple counter (only with the `metrics` feature; the
@@ -103,6 +107,83 @@ fn tuples_output() -> u64 {
     }
 }
 
+/// One phase of representation construction, for the build-time breakdown
+/// reported by `cqe bench --profile build`. Phases are coarse on purpose:
+/// they answer "where does a register go" (the preprocessing cost the
+/// paper's §4.3 analysis budgets), not per-call microtimings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildPhase {
+    /// Row-permutation sorting inside index/relation construction.
+    Sort,
+    /// Gathering/emitting sorted index columns (everything in an index
+    /// build that is not the sort itself).
+    Index,
+    /// Heavy-pair dictionary construction (Appendix A).
+    Dictionary,
+    /// LP and width-search solves (MinDelayCover/MinSpaceCover/ρ⁺ — the
+    /// strategy-selection and cover-construction programs of §6).
+    Lp,
+}
+
+/// Cumulative per-thread build-phase wall times, in nanoseconds.
+///
+/// Like the work counters these are thread-local: a build that runs on one
+/// thread (the engine's register path) reads its own phases exactly; a
+/// parallel sharded build accumulates each shard's phases on that shard's
+/// thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuildPhaseSnapshot {
+    /// Permutation-sort time inside index and relation construction.
+    pub sort_ns: u64,
+    /// Column gather/emit time of index builds (excluding the sort).
+    pub index_ns: u64,
+    /// Heavy-pair dictionary construction time.
+    pub dict_ns: u64,
+    /// LP / width-search solve time.
+    pub lp_ns: u64,
+}
+
+impl BuildPhaseSnapshot {
+    /// Componentwise difference `self - earlier`, saturating at zero.
+    pub fn delta_since(&self, earlier: &BuildPhaseSnapshot) -> BuildPhaseSnapshot {
+        BuildPhaseSnapshot {
+            sort_ns: self.sort_ns.saturating_sub(earlier.sort_ns),
+            index_ns: self.index_ns.saturating_sub(earlier.index_ns),
+            dict_ns: self.dict_ns.saturating_sub(earlier.dict_ns),
+            lp_ns: self.lp_ns.saturating_sub(earlier.lp_ns),
+        }
+    }
+
+    /// Total attributed build time.
+    pub fn total_ns(&self) -> u64 {
+        self.sort_ns + self.index_ns + self.dict_ns + self.lp_ns
+    }
+}
+
+/// Adds `ns` to one build-phase timer. Called a handful of times per
+/// representation build (never per answer), so the thread-local add is
+/// free relative to the phases themselves.
+#[inline]
+pub fn record_build_phase(phase: BuildPhase, ns: u64) {
+    let cell = match phase {
+        BuildPhase::Sort => &BUILD_SORT_NS,
+        BuildPhase::Index => &BUILD_INDEX_NS,
+        BuildPhase::Dictionary => &BUILD_DICT_NS,
+        BuildPhase::Lp => &BUILD_LP_NS,
+    };
+    cell.with(|c| c.set(c.get() + ns));
+}
+
+/// Reads the cumulative build-phase timers of this thread.
+pub fn build_phases() -> BuildPhaseSnapshot {
+    BuildPhaseSnapshot {
+        sort_ns: BUILD_SORT_NS.with(Cell::get),
+        index_ns: BUILD_INDEX_NS.with(Cell::get),
+        dict_ns: BUILD_DICT_NS.with(Cell::get),
+        lp_ns: BUILD_LP_NS.with(Cell::get),
+    }
+}
+
 /// Reads the current counter values.
 pub fn snapshot() -> MetricsSnapshot {
     MetricsSnapshot {
@@ -119,6 +200,10 @@ pub fn reset() {
     TRIE_SEEKS.with(|c| c.set(0));
     COUNT_PROBES.with(|c| c.set(0));
     DICT_LOOKUPS.with(|c| c.set(0));
+    BUILD_SORT_NS.with(|c| c.set(0));
+    BUILD_INDEX_NS.with(|c| c.set(0));
+    BUILD_DICT_NS.with(|c| c.set(0));
+    BUILD_LP_NS.with(|c| c.set(0));
     #[cfg(feature = "metrics")]
     TUPLES_OUTPUT.store(0, Ordering::Relaxed);
 }
@@ -146,6 +231,30 @@ mod tests {
         assert_eq!(s.work(), 6);
         reset();
         assert_eq!(snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn build_phase_timers_accumulate_and_reset() {
+        reset();
+        record_build_phase(BuildPhase::Sort, 5);
+        record_build_phase(BuildPhase::Sort, 7);
+        record_build_phase(BuildPhase::Index, 3);
+        record_build_phase(BuildPhase::Dictionary, 11);
+        record_build_phase(BuildPhase::Lp, 2);
+        let p = build_phases();
+        assert_eq!(p.sort_ns, 12);
+        assert_eq!(p.index_ns, 3);
+        assert_eq!(p.dict_ns, 11);
+        assert_eq!(p.lp_ns, 2);
+        assert_eq!(p.total_ns(), 28);
+        let later = {
+            record_build_phase(BuildPhase::Sort, 8);
+            build_phases()
+        };
+        assert_eq!(later.delta_since(&p).sort_ns, 8);
+        assert_eq!(later.delta_since(&p).dict_ns, 0);
+        reset();
+        assert_eq!(build_phases(), BuildPhaseSnapshot::default());
     }
 
     #[test]

@@ -24,19 +24,31 @@ pub type Tuple = Vec<Value>;
 /// This is the order `≤` lifted from **dom** to tuples in Section 4.1 of the
 /// paper; all output enumeration guarantees are stated with respect to it.
 ///
+/// Arities 1 and 2 — the binary relations of every graph workload and the
+/// unary projections — take branch-free unrolled paths: this comparator is
+/// the inner loop of every remaining comparison sort and sorted merge on
+/// the build path, where the generic loop's per-element bounds checks and
+/// loop control are measurable.
+///
 /// # Panics
 ///
 /// Debug-asserts that both slices have the same length.
 #[inline]
 pub fn lex_cmp(a: &[Value], b: &[Value]) -> Ordering {
     debug_assert_eq!(a.len(), b.len(), "lex_cmp requires equal arity");
-    for (x, y) in a.iter().zip(b.iter()) {
-        match x.cmp(y) {
-            Ordering::Equal => continue,
-            other => return other,
+    match (a, b) {
+        ([x], [y]) => x.cmp(y),
+        ([x0, x1], [y0, y1]) => x0.cmp(y0).then_with(|| x1.cmp(y1)),
+        _ => {
+            for (x, y) in a.iter().zip(b.iter()) {
+                match x.cmp(y) {
+                    Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            Ordering::Equal
         }
     }
-    Ordering::Equal
 }
 
 /// Returns `true` if `a` is lexicographically strictly smaller than `b`.
@@ -68,6 +80,25 @@ mod tests {
         assert!(!lex_lt(&[0, 2], &[0, 2]));
         assert!(lex_le(&[0, 2], &[0, 2]));
         assert!(!lex_le(&[1, 0], &[0, 9]));
+    }
+
+    #[test]
+    fn unrolled_arity_1_and_2_match_generic() {
+        // The fast paths must agree with the generic loop on every
+        // ordering outcome, including the equal-prefix cases.
+        for (a, b) in [(0u64, 0u64), (0, 1), (1, 0), (7, 7)] {
+            assert_eq!(lex_cmp(&[a], &[b]), a.cmp(&b));
+        }
+        for a0 in 0u64..3 {
+            for a1 in 0u64..3 {
+                for b0 in 0u64..3 {
+                    for b1 in 0u64..3 {
+                        let expect = (a0, a1).cmp(&(b0, b1));
+                        assert_eq!(lex_cmp(&[a0, a1], &[b0, b1]), expect);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -99,6 +99,34 @@ impl CompressedView {
     ///
     /// Propagates parse/schema/LP errors and invalid configurations.
     pub fn build(view: &AdornedView, db: &Database, strategy: Strategy) -> Result<CompressedView> {
+        CompressedView::build_pooled(view, db, strategy, &mut cqc_storage::IndexPool::new())
+    }
+
+    /// [`CompressedView::build`] drawing sorted indexes from a
+    /// caller-supplied [`cqc_storage::IndexPool`]. The engine passes the
+    /// pool it already used for strategy selection, so the veto cost
+    /// oracle's indexes are reused by the actual build (the Example 3
+    /// rewrite shares untouched relations by `Arc`, which is what makes
+    /// the pool recognize them across the two phases).
+    ///
+    /// The pool serves the strategies that index the base relations
+    /// directly (Theorem 1 in all its forms). The Theorem 2 and
+    /// factorized paths build over **bag-local databases** — fresh
+    /// per-bag projections with per-node allocations — which the
+    /// identity-keyed pool can never share across bags; each bag's inner
+    /// Theorem 1 build still pools its own cost-oracle and trie indexes
+    /// internally. (A content-keyed projection cache across bags is a
+    /// separate, future optimization.)
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`CompressedView::build`].
+    pub fn build_pooled(
+        view: &AdornedView,
+        db: &Database,
+        strategy: Strategy,
+        pool: &mut cqc_storage::IndexPool,
+    ) -> Result<CompressedView> {
         // Example 3 preprocessing.
         let rewritten = rewrite_view(view, db)?;
         if rewritten.always_empty {
@@ -160,8 +188,8 @@ impl CompressedView {
                         choice.weights
                     }
                 };
-                Ok(CompressedView::Tradeoff(Theorem1Structure::build(
-                    view, db, &weights, tau,
+                Ok(CompressedView::Tradeoff(Theorem1Structure::build_pooled(
+                    view, db, &weights, tau, pool,
                 )?))
             }
             Strategy::TradeoffBudget { space_budget_exp } => {
@@ -178,11 +206,12 @@ impl CompressedView {
                 let log_budget = space_budget_exp * (db.size().max(2) as f64).ln();
                 let choice = min_delay_cover(&h, view.free_vars(), &log_sizes, log_budget)?;
                 let tau = choice.log_tau.exp().max(1.0);
-                Ok(CompressedView::Tradeoff(Theorem1Structure::build(
+                Ok(CompressedView::Tradeoff(Theorem1Structure::build_pooled(
                     view,
                     db,
                     &choice.weights,
                     tau,
+                    pool,
                 )?))
             }
             Strategy::Decomposed { space_budget_exp } => Ok(CompressedView::Decomposed(

@@ -22,17 +22,24 @@
 use crate::fbox::{box_decomposition, CanonicalBox, FInterval};
 use cqc_common::error::{CqcError, Result};
 use cqc_common::heap::HeapSize;
+use cqc_common::metrics;
 use cqc_common::value::Value;
 use cqc_query::AdornedView;
-use cqc_storage::{Database, Domain, SortedIndex};
+use cqc_storage::{Database, Domain, IndexPool, SortedIndex};
+use std::sync::Arc;
 
 /// Per-atom count indexes and exponent.
+///
+/// Indexes are `Arc`-shared: the access index's column order coincides
+/// with the trie order of `cqc_join::plan::ViewPlan`, so a cost oracle
+/// built through the same [`IndexPool`] as the plan shares that index
+/// instead of re-sorting it.
 #[derive(Debug)]
 struct AtomCost {
     /// Sorted `[free cols (enum order) | bound cols]`.
-    build_index: SortedIndex,
+    build_index: Arc<SortedIndex>,
     /// Sorted `[bound cols (bound-head order) | free cols (enum order)]`.
-    access_index: SortedIndex,
+    access_index: Arc<SortedIndex>,
     /// Enumeration positions of this atom's free variables, ascending.
     free_enum: Vec<usize>,
     /// Bound-head positions of this atom's bound variables, ascending.
@@ -67,8 +74,26 @@ impl CostEstimator {
         weights: &[f64],
         alpha: f64,
     ) -> Result<CostEstimator> {
+        CostEstimator::build_pooled(view, db, weights, alpha, &mut IndexPool::new())
+    }
+
+    /// [`CostEstimator::build`] drawing both per-atom indexes from `pool`:
+    /// within one registration the access index (`[bound | free]`) has the
+    /// same column order as the join plan's trie index, so the two
+    /// structures build it once between them.
+    ///
+    /// # Errors
+    ///
+    /// Fails on schema mismatches.
+    pub fn build_pooled(
+        view: &AdornedView,
+        db: &Database,
+        weights: &[f64],
+        alpha: f64,
+        pool: &mut IndexPool,
+    ) -> Result<CostEstimator> {
         let all_domains = view.query().active_domains(db)?;
-        CostEstimator::build_with_domains(view, db, weights, alpha, &all_domains)
+        CostEstimator::build_with_domains_pooled(view, db, weights, alpha, &all_domains, pool)
     }
 
     /// [`CostEstimator::build`] with the per-variable active domains
@@ -86,6 +111,30 @@ impl CostEstimator {
         weights: &[f64],
         alpha: f64,
         all_domains: &[Domain],
+    ) -> Result<CostEstimator> {
+        CostEstimator::build_with_domains_pooled(
+            view,
+            db,
+            weights,
+            alpha,
+            all_domains,
+            &mut IndexPool::new(),
+        )
+    }
+
+    /// [`CostEstimator::build_with_domains`] over a caller-supplied
+    /// [`IndexPool`] (the fully explicit form the others delegate to).
+    ///
+    /// # Errors
+    ///
+    /// Fails on schema mismatches.
+    pub fn build_with_domains_pooled(
+        view: &AdornedView,
+        db: &Database,
+        weights: &[f64],
+        alpha: f64,
+        all_domains: &[Domain],
+        pool: &mut IndexPool,
     ) -> Result<CostEstimator> {
         let query = view.query();
         query.require_natural_join()?;
@@ -113,7 +162,7 @@ impl CostEstimator {
 
         let mut atoms = Vec::with_capacity(query.atoms.len());
         for (i, atom) in query.atoms.iter().enumerate() {
-            let rel = db.require(&atom.relation)?;
+            db.require(&atom.relation)?;
             let vars: Vec<cqc_query::Var> = atom.vars().collect();
 
             // (enum position, schema column) of free vars, ascending.
@@ -143,8 +192,8 @@ impl CostEstimator {
                 .collect();
 
             atoms.push(AtomCost {
-                build_index: SortedIndex::build(rel, &build_order),
-                access_index: SortedIndex::build(rel, &access_order),
+                build_index: pool.get_or_build(db, &atom.relation, &build_order)?,
+                access_index: pool.get_or_build(db, &atom.relation, &access_order)?,
                 free_enum: free_cols.iter().map(|&(p, _)| p).collect(),
                 bound_pos: bound_cols.iter().map(|&(p, _)| p).collect(),
                 u_hat: weights[i] / alpha,
@@ -192,15 +241,20 @@ impl CostEstimator {
         let mut atoms = Vec::with_capacity(self.atoms.len());
         for (atom, old) in query.atoms.iter().zip(&self.atoms) {
             let rel = db.require(&atom.relation)?;
-            let mut build_index = old.build_index.clone();
-            let mut access_index = old.access_index.clone();
-            if let Some(tuples) = delta.tuples_for(&atom.relation) {
+            let (build_index, access_index) = if let Some(tuples) = delta.tuples_for(&atom.relation)
+            {
                 let Some(fresh) = old.build_index.fresh_from(tuples) else {
                     return Ok(None);
                 };
+                let mut build_index = (*old.build_index).clone();
+                let mut access_index = (*old.access_index).clone();
                 build_index.merge_insert(&fresh);
                 access_index.merge_insert(&fresh);
-            }
+                (Arc::new(build_index), Arc::new(access_index))
+            } else {
+                // Untouched atom: share the old indexes outright.
+                (Arc::clone(&old.build_index), Arc::clone(&old.access_index))
+            };
             if build_index.len() != rel.len() {
                 // The relation changed beyond this delta: merge is unsound.
                 return Ok(None);
@@ -250,13 +304,95 @@ impl CostEstimator {
     }
 
     /// `|R_F(B)|` for atom `ai` — the build-time count (no valuation).
+    ///
+    /// Allocation-free: the box's constraints are applied by narrowing the
+    /// build index depth by depth instead of materializing a prefix vector
+    /// — counts are the inner loop of tree construction and dictionary
+    /// build, where the old per-call `Vec` was a measurable fraction of
+    /// register time.
     pub fn count_box(&self, ai: usize, b: &CanonicalBox) -> usize {
         if b.is_empty() {
             return 0;
         }
+        metrics::record_count_probe();
         let atom = &self.atoms[ai];
-        let (prefix, range) = self.atom_free_constraints(atom, b, &mut Vec::new());
-        atom.build_index.count(&prefix, range)
+        let ix = &atom.build_index;
+        let (mut lo, mut hi) = (0usize, ix.len());
+        let p = b.range_pos();
+        for (d, &ep) in atom.free_enum.iter().enumerate() {
+            if lo >= hi {
+                return 0;
+            }
+            if ep < p {
+                (lo, hi) = ix.narrow_eq(lo, hi, d, self.domains[ep].value(b.prefix[ep]));
+            } else if ep == p {
+                (lo, hi) = ix.narrow_range(
+                    lo,
+                    hi,
+                    d,
+                    self.domains[ep].value(b.range.0),
+                    self.domains[ep].value(b.range.1),
+                );
+                break;
+            } else {
+                break;
+            }
+        }
+        hi - lo
+    }
+
+    /// Rows of atom `ai`'s access index matching `vb`'s bound values — the
+    /// box-independent half of `|R_F(v_b, B)|`. The dictionary build caches
+    /// this per candidate valuation and re-narrows only the free columns
+    /// per box ([`CostEstimator::count_box_bound_in`]); atoms with no bound
+    /// variables return the full index.
+    pub fn bound_range(&self, ai: usize, vb: &[Value]) -> (usize, usize) {
+        let atom = &self.atoms[ai];
+        let ix = &atom.access_index;
+        let (mut lo, mut hi) = (0usize, ix.len());
+        for (d, &p) in atom.bound_pos.iter().enumerate() {
+            if lo >= hi {
+                break;
+            }
+            (lo, hi) = ix.narrow_eq(lo, hi, d, vb[p]);
+        }
+        (lo, hi)
+    }
+
+    /// `|R_F(v_b, B)|` given the pre-narrowed bound range of
+    /// [`CostEstimator::bound_range`]: only the box's free-column
+    /// constraints are applied, at the depths after the bound prefix.
+    pub fn count_box_bound_in(&self, ai: usize, range: (usize, usize), b: &CanonicalBox) -> usize {
+        if b.is_empty() {
+            return 0;
+        }
+        metrics::record_count_probe();
+        let atom = &self.atoms[ai];
+        let ix = &atom.access_index;
+        let (mut lo, mut hi) = range;
+        let base = atom.bound_pos.len();
+        let p = b.range_pos();
+        for (k, &ep) in atom.free_enum.iter().enumerate() {
+            if lo >= hi {
+                return 0;
+            }
+            let d = base + k;
+            if ep < p {
+                (lo, hi) = ix.narrow_eq(lo, hi, d, self.domains[ep].value(b.prefix[ep]));
+            } else if ep == p {
+                (lo, hi) = ix.narrow_range(
+                    lo,
+                    hi,
+                    d,
+                    self.domains[ep].value(b.range.0),
+                    self.domains[ep].value(b.range.1),
+                );
+                break;
+            } else {
+                break;
+            }
+        }
+        hi - lo
     }
 
     /// `|R_F(v_b, B)|` for atom `ai` — the query-time count.
@@ -264,36 +400,29 @@ impl CostEstimator {
         if b.is_empty() {
             return 0;
         }
-        let atom = &self.atoms[ai];
-        let mut prefix: Vec<Value> = atom.bound_pos.iter().map(|&p| vb[p]).collect();
-        let (prefix, range) = self.atom_free_constraints(atom, b, &mut prefix);
-        atom.access_index.count(&prefix, range)
+        self.count_box_bound_in(ai, self.bound_range(ai, vb), b)
     }
 
-    /// Shared constraint extraction: appends the atom's constrained free
-    /// columns (values) to `acc` and returns the optional range.
-    fn atom_free_constraints(
-        &self,
-        atom: &AtomCost,
-        b: &CanonicalBox,
-        acc: &mut Vec<Value>,
-    ) -> (Vec<Value>, Option<(Value, Value)>) {
-        let p = b.range_pos();
-        let mut range = None;
-        for &ep in &atom.free_enum {
-            if ep < p {
-                acc.push(self.domains[ep].value(b.prefix[ep]));
-            } else if ep == p {
-                range = Some((
-                    self.domains[ep].value(b.range.0),
-                    self.domains[ep].value(b.range.1),
-                ));
-                break;
-            } else {
-                break;
-            }
-        }
-        (std::mem::take(acc), range)
+    /// Number of atoms (indexable by the `ai` arguments).
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// The exponent `û_F = u_F / α` of atom `ai`.
+    pub(crate) fn u_hat(&self, ai: usize) -> f64 {
+        self.atoms[ai].u_hat
+    }
+
+    /// `true` when atom `ai` is constrained by at least one bound variable
+    /// (its counts depend on the valuation `v_b`).
+    pub(crate) fn has_bound_cols(&self, ai: usize) -> bool {
+        !self.atoms[ai].bound_pos.is_empty()
+    }
+
+    /// The full row range of atom `ai`'s access index — the
+    /// [`CostEstimator::bound_range`] of an atom with no bound variables.
+    pub(crate) fn full_range(&self, ai: usize) -> (usize, usize) {
+        (0, self.atoms[ai].access_index.len())
     }
 
     /// `T(B) = Π_F |R_F(B)|^{û_F}` (atoms with `û_F = 0` contribute 1, the
@@ -529,6 +658,68 @@ pub(crate) mod tests {
         let b = CanonicalBox::unit(&[0, 0, 0]);
         // T = 3^1 · 1^1 (R3 skipped).
         assert!((est.t_box(&b) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pooled_build_shares_indexes_and_counts_identically() {
+        // Two estimators (and a join plan) drawn from one pool must share
+        // every identical (relation, order) index — and answer every count
+        // exactly like unpooled builds.
+        let (view, db) = running_example();
+        let mut pool = IndexPool::new();
+        let est =
+            CostEstimator::build_pooled(&view, &db, &[1.0, 1.0, 1.0], 2.0, &mut pool).unwrap();
+        let first_builds = pool.builds();
+        assert_eq!(pool.hits(), 0);
+        let again =
+            CostEstimator::build_pooled(&view, &db, &[1.0, 1.0, 1.0], 2.0, &mut pool).unwrap();
+        assert_eq!(pool.builds(), first_builds, "second estimator is all hits");
+        assert_eq!(pool.hits(), first_builds);
+        // The trie orders of the join plan coincide with the access
+        // indexes: building the plan through the same pool adds no new
+        // sorts.
+        let plan = cqc_join::plan::ViewPlan::build_pooled(&view, &db, &mut pool).unwrap();
+        assert_eq!(
+            pool.builds(),
+            first_builds,
+            "plan trie indexes reuse the access indexes"
+        );
+        assert_eq!(plan.num_atoms(), 3);
+        let unpooled = running_estimator();
+        let b = CanonicalBox::unit(&[0, 0, 0]);
+        for ai in 0..3 {
+            assert_eq!(est.count_box(ai, &b), unpooled.count_box(ai, &b));
+            assert_eq!(
+                again.count_box_bound(ai, &[1, 1, 1], &b),
+                unpooled.count_box_bound(ai, &[1, 1, 1], &b)
+            );
+        }
+    }
+
+    #[test]
+    fn bound_range_factors_the_bound_count() {
+        // count_box_bound == count_box_bound_in over the cached bound
+        // range, for every atom and valuation of the running example.
+        let est = running_estimator();
+        let sizes = est.sizes();
+        let root = FInterval::full(&sizes).unwrap();
+        for w1 in 1..=3u64 {
+            for w2 in 1..=2u64 {
+                for w3 in 1..=2u64 {
+                    let vb = [w1, w2, w3];
+                    for ai in 0..3 {
+                        let range = est.bound_range(ai, &vb);
+                        for b in box_decomposition(&root, &sizes) {
+                            assert_eq!(
+                                est.count_box_bound_in(ai, range, &b),
+                                est.count_box_bound(ai, &vb, &b),
+                                "atom {ai} vb {vb:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -19,12 +19,13 @@ use crate::dbtree::{tau_level, DelayBalancedTree};
 use crate::fbox::{box_decomposition, CanonicalBox};
 use cqc_common::hash::{fast_set, FastMap, FastSet};
 use cqc_common::heap::HeapSize;
-use cqc_common::metrics;
+use cqc_common::metrics::{self, BuildPhase};
 use cqc_common::util::approx_gt;
 use cqc_common::value::Value;
 use cqc_join::leapfrog::LevelConstraint;
 use cqc_join::plan::ViewPlan;
 use std::rc::Rc;
+use std::time::Instant;
 
 /// The dictionary: one map per tree node, keyed by the bound valuation in
 /// bound-head order.
@@ -40,6 +41,7 @@ impl HeavyDictionary {
         est: &CostEstimator,
         tree: &DelayBalancedTree,
     ) -> HeavyDictionary {
+        let t_build = Instant::now();
         let sizes = est.sizes();
         let nb = plan.num_bound;
         let levels = plan.num_levels();
@@ -66,16 +68,21 @@ impl HeavyDictionary {
         //    enumerate once here and *filter* along tree edges below,
         //    instead of re-running the join per node (same output, far less
         //    work; the per-node join of Algorithm 3 costs a full
-        //    worst-case-join per level).
+        //    worst-case-join per level). One join is constructed and
+        //    re-seeded per box via `LeapfrogJoin::reset`, mirroring the
+        //    serve-side reuse.
         let root_boxes = box_decomposition(&tree.nodes[0].interval, &sizes);
         let mut root_candidates: Vec<Vec<Value>> = Vec::new();
         if nb == 0 {
             root_candidates.push(Vec::new());
         } else {
             let mut seen: FastSet<Box<[Value]>> = fast_set();
+            let mut join = plan.join_subset(&bound_atoms, vec![LevelConstraint::Fixed(0); levels]);
+            let mut cons: Vec<LevelConstraint> = Vec::with_capacity(levels);
             for b in &root_boxes {
-                let mut cons = vec![LevelConstraint::Free; nb];
-                cons.extend(free_constraints(est, b, levels - nb));
+                cons.clear();
+                cons.resize(nb, LevelConstraint::Free);
+                free_constraints_into(est, b, levels - nb, &mut cons);
                 // Free levels untouched by E_{V_b} cannot be joined over;
                 // fixing them to an arbitrary value drops their (vacuous)
                 // constraint and only enlarges the candidate set.
@@ -84,7 +91,7 @@ impl HeavyDictionary {
                         *c = LevelConstraint::Fixed(0);
                     }
                 }
-                let mut join = plan.join_subset(&bound_atoms, cons);
+                join.reset(&cons);
                 while let Some(t) = join.next() {
                     if seen.insert(Box::from(&t[..nb])) {
                         root_candidates.push(t[..nb].to_vec());
@@ -93,6 +100,32 @@ impl HeavyDictionary {
                 }
             }
         }
+
+        // The atoms that actually enter `T(v_b, B)` (û_F > 0), in atom
+        // order so products multiply exactly as `t_box_bound` would.
+        // Counts of atoms without bound variables are
+        // candidate-independent: they are evaluated once per box below,
+        // while bound-touching atoms get their `v_b`-prefix row range
+        // resolved once per candidate here and only re-narrow the free
+        // columns per box — the counts that used to dominate build time.
+        let weighted: Vec<usize> = (0..plan.num_atoms())
+            .filter(|&ai| est.u_hat(ai) > 1e-12)
+            .collect();
+        let cand_ranges: Vec<Vec<(usize, usize)>> = root_candidates
+            .iter()
+            .map(|cand| {
+                weighted
+                    .iter()
+                    .map(|&ai| {
+                        if est.has_bound_cols(ai) {
+                            est.bound_range(ai, cand)
+                        } else {
+                            est.full_range(ai)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
 
         // 2. DFS: at each node, evaluate T(v_b, I(w)) for the surviving
         //    candidates; store heavy pairs (with an emptiness-probe bit) and
@@ -104,27 +137,86 @@ impl HeavyDictionary {
         //    version deep-cloned the whole `Vec<Vec<Value>>` survivor list
         //    for every binary node, making build cost quadratic in tree
         //    depth × candidates.
+        let mut probe_join = plan.join_subset(&all_atoms, vec![LevelConstraint::Fixed(0); levels]);
+        let mut probe_cons: Vec<LevelConstraint> = Vec::with_capacity(levels);
+        // Per box: `Some(count)` for candidate-independent atoms, `None`
+        // for the per-candidate ones; `box_dead` marks boxes that are
+        // empty or killed by a zero candidate-independent count (their
+        // `T(v_b, B)` is exactly 0 for every candidate).
+        let mut free_counts: Vec<Vec<Option<f64>>> = Vec::new();
+        let mut box_dead: Vec<bool> = Vec::new();
         let all_indices: Rc<Vec<u32>> = Rc::new((0..root_candidates.len() as u32).collect());
         let mut stack: Vec<(u32, Rc<Vec<u32>>)> = vec![(0, all_indices)];
         while let Some((w, cands)) = stack.pop() {
             let node = &tree.nodes[w as usize];
             let threshold = tau_level(tree.tau, tree.alpha, node.level);
             let boxes = box_decomposition(&node.interval, &sizes);
+            free_counts.clear();
+            box_dead.clear();
+            for b in &boxes {
+                let mut dead = b.is_empty();
+                let per: Vec<Option<f64>> = weighted
+                    .iter()
+                    .map(|&ai| {
+                        if dead || est.has_bound_cols(ai) {
+                            None
+                        } else {
+                            let c = est.count_box_bound_in(ai, est.full_range(ai), b) as f64;
+                            if c == 0.0 {
+                                dead = true;
+                            }
+                            Some(c)
+                        }
+                    })
+                    .collect();
+                free_counts.push(per);
+                box_dead.push(dead);
+            }
             let mut survivors: Vec<u32> = Vec::with_capacity(cands.len());
             for &ci in cands.iter() {
                 let cand = &root_candidates[ci as usize];
-                let t: f64 = boxes.iter().map(|b| est.t_box_bound(cand, b)).sum();
+                let ranges = &cand_ranges[ci as usize];
+                // T(v_b, I(w)) = Σ_B T(v_b, B), summed until it provably
+                // exceeds the threshold (the partial sum is monotone, so
+                // the heaviness verdict is exact).
+                let mut t = 0.0f64;
+                let mut heavy = false;
+                for (bi, b) in boxes.iter().enumerate() {
+                    if box_dead[bi] {
+                        continue;
+                    }
+                    let mut tb = 1.0f64;
+                    for (wi, &ai) in weighted.iter().enumerate() {
+                        let c = match free_counts[bi][wi] {
+                            Some(c) => c,
+                            None => est.count_box_bound_in(ai, ranges[wi], b) as f64,
+                        };
+                        if c == 0.0 {
+                            tb = 0.0;
+                            break;
+                        }
+                        tb *= c.powf(est.u_hat(ai));
+                    }
+                    t += tb;
+                    if approx_gt(t, threshold) {
+                        heavy = true;
+                        break;
+                    }
+                }
                 if t <= 0.0 {
                     continue; // dead everywhere below this node too
                 }
-                if approx_gt(t, threshold) {
+                if heavy || approx_gt(t, threshold) {
                     let mut bit = false;
-                    for b in &boxes {
-                        let mut cons: Vec<LevelConstraint> =
-                            cand.iter().map(|&v| LevelConstraint::Fixed(v)).collect();
-                        cons.extend(free_constraints(est, b, levels - nb));
-                        let mut join = plan.join_subset(&all_atoms, cons);
-                        if join.is_non_empty() {
+                    for (bi, b) in boxes.iter().enumerate() {
+                        if box_dead[bi] {
+                            continue; // some atom has no matching row
+                        }
+                        probe_cons.clear();
+                        probe_cons.extend(cand.iter().map(|&v| LevelConstraint::Fixed(v)));
+                        free_constraints_into(est, b, levels - nb, &mut probe_cons);
+                        probe_join.reset(&probe_cons);
+                        if probe_join.is_non_empty() {
                             bit = true;
                             break;
                         }
@@ -145,6 +237,7 @@ impl HeavyDictionary {
             }
         }
 
+        metrics::record_build_phase(BuildPhase::Dictionary, t_build.elapsed().as_nanos() as u64);
         HeavyDictionary { maps }
     }
 

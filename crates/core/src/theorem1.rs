@@ -27,7 +27,7 @@ use cqc_join::leapfrog::{LeapfrogJoin, LevelConstraint};
 use cqc_join::plan::ViewPlan;
 use cqc_lp::covers::slack;
 use cqc_query::AdornedView;
-use cqc_storage::Database;
+use cqc_storage::{Database, IndexPool};
 
 /// The Theorem 1 data structure.
 ///
@@ -62,6 +62,25 @@ impl Theorem1Structure {
         db: &Database,
         weights: &[f64],
         tau: f64,
+    ) -> Result<Theorem1Structure> {
+        Theorem1Structure::build_pooled(view, db, weights, tau, &mut IndexPool::new())
+    }
+
+    /// [`Theorem1Structure::build`] drawing every sorted index from `pool`:
+    /// the cost oracle's access indexes and the join plan's trie indexes
+    /// share the same column orders, so between them each distinct
+    /// `(relation, order)` index is sorted exactly once — and a pool shared
+    /// with strategy selection reuses the veto oracle's indexes too.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Theorem1Structure::build`].
+    pub fn build_pooled(
+        view: &AdornedView,
+        db: &Database,
+        weights: &[f64],
+        tau: f64,
+        pool: &mut IndexPool,
     ) -> Result<Theorem1Structure> {
         let query = view.query();
         query.require_natural_join()?;
@@ -99,8 +118,8 @@ impl Theorem1Structure {
         }
         let alpha = slack(&h, weights, view.free_vars()).max(1.0);
 
-        let est = CostEstimator::build(view, db, weights, alpha)?;
-        let plan = ViewPlan::build(view, db)?;
+        let est = CostEstimator::build_pooled(view, db, weights, alpha, pool)?;
+        let plan = ViewPlan::build_pooled(view, db, pool)?;
         let sizes = est.sizes();
         let tree = DelayBalancedTree::build(&est, tau);
         let dict = match &tree {

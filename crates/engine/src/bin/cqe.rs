@@ -42,6 +42,12 @@
 //! register (build) time, steady-state aggregate answers/s, and exact
 //! allocations per answer per shard (0 once warm). Every shard count is
 //! cross-checked against the unsharded answer total.
+//!
+//! `bench --profile build` measures the cold path: a register's per-phase
+//! breakdown (permutation sort, index gather, heavy dictionary, LP/width
+//! solves) plus the shared-plan vs plan-per-shard sharded register curve —
+//! plan-once registration solves strategy selection exactly once and ships
+//! it to all shards.
 
 use cqc_bench::{fmt_bytes, fmt_ns, BatchStats};
 use cqc_common::alloc as cqalloc;
@@ -142,11 +148,14 @@ fn print_help() {
     println!("  ask <name> <values...>   exists <name> <values...>   explain <name>");
     println!("  update <rel> <values...>");
     println!("  bench <name> <requests> <threads> [seed] [witness|random]");
-    println!("        [--with-updates[=<rounds>]] [--profile enum|shard] [--json=<path>]");
+    println!("        [--with-updates[=<rounds>]] [--profile enum|shard|build] [--json=<path>]");
     println!("        --profile enum:  flat-block vs legacy pipeline (answers/s,");
     println!("        heap allocations per answer under the counting allocator)");
     println!("        --profile shard: 1/2/4/8-shard scaling curve (parallel build,");
     println!("        multicore serve, 0 allocs/answer per shard)");
+    println!("        --profile build: register-time breakdown (sort/index/dict/lp)");
+    println!("        + shared-plan vs plan-per-shard register curve");
+    println!("        [--baseline-register-ns=<n>: record a speedup vs that baseline]");
     println!("  stats   demo   help   quit");
     println!();
     println!("strategies: auto  auto:<budget>  materialize  direct  factorized");
@@ -446,6 +455,9 @@ enum BenchProfile {
     Enum,
     /// Sharded scaling curve across 1/2/4/8 shards (`--profile shard`).
     Shard,
+    /// Build-path breakdown + shared-plan vs plan-per-shard register curve
+    /// (`--profile build`).
+    Build,
 }
 
 /// Options accepted by `bench` after the positional arguments.
@@ -456,6 +468,10 @@ struct BenchOpts {
     updates: Option<usize>,
     json_path: Option<String>,
     profile: BenchProfile,
+    /// Reference register time (ns) an earlier commit measured on this
+    /// host, recorded into the build-profile JSON for the speedup-vs-
+    /// baseline field (`--baseline-register-ns=<n>`).
+    baseline_register_ns: Option<u64>,
 }
 
 fn parse_bench_opts(opts: &[String]) -> Result<BenchOpts, String> {
@@ -465,6 +481,7 @@ fn parse_bench_opts(opts: &[String]) -> Result<BenchOpts, String> {
         updates: None,
         json_path: None,
         profile: BenchProfile::Serve,
+        baseline_register_ns: None,
     };
     let mut positional = 0usize;
     let mut i = 0usize;
@@ -505,13 +522,23 @@ fn parse_bench_opts(opts: &[String]) -> Result<BenchOpts, String> {
                 "profile" => match val.as_deref() {
                     Some("enum") => parsed.profile = BenchProfile::Enum,
                     Some("shard") => parsed.profile = BenchProfile::Shard,
+                    Some("build") => parsed.profile = BenchProfile::Build,
                     other => {
                         return Err(format!(
-                            "unknown bench profile `{}` (`enum` and `shard` exist)",
+                            "unknown bench profile `{}` (`enum`, `shard` and `build` exist)",
                             other.unwrap_or("")
                         ));
                     }
                 },
+                "baseline-register-ns" => {
+                    let Some(v) = val else {
+                        return Err("--baseline-register-ns needs a value".into());
+                    };
+                    parsed.baseline_register_ns = Some(
+                        v.parse::<u64>()
+                            .map_err(|_| format!("bad baseline register ns `{v}`"))?,
+                    );
+                }
                 other => return Err(format!("unknown bench flag `--{other}`")),
             }
             continue;
@@ -579,22 +606,21 @@ fn bench(engine: &mut Engine, rest: &[String]) -> Result<(), String> {
     };
     match opts.profile {
         BenchProfile::Enum => {
-            if threads != 1 {
-                return Err(format!(
-                    "--profile enum measures the single-threaded steady-state loop; \
-                     pass 1 thread, not {threads}"
-                ));
-            }
+            require_single_threaded("enum", threads)?;
             return bench_enum(engine, name, &bounds, opts.json_path.as_deref());
         }
         BenchProfile::Shard => {
-            if threads != 1 {
-                return Err(format!(
-                    "--profile shard manages its own shard threads; \
-                     pass 1 thread, not {threads}"
-                ));
-            }
+            require_single_threaded("shard", threads)?;
             return bench_shard(engine, &rv, &bounds, opts.json_path.as_deref());
+        }
+        BenchProfile::Build => {
+            require_single_threaded("build", threads)?;
+            return bench_build(
+                engine,
+                &rv,
+                opts.json_path.as_deref(),
+                opts.baseline_register_ns,
+            );
         }
         BenchProfile::Serve => {}
     }
@@ -704,7 +730,7 @@ fn bench(engine: &mut Engine, rest: &[String]) -> Result<(), String> {
         println!("  stale-serve violations: {violations}");
     }
     if let Some(path) = &opts.json_path {
-        let json = bench_json(
+        let fields = serve_json_fields(
             name,
             served,
             threads,
@@ -713,8 +739,7 @@ fn bench(engine: &mut Engine, rest: &[String]) -> Result<(), String> {
             rebuilds,
             opts.updates.map(|_| (rounds_applied, &updates, violations)),
         );
-        std::fs::write(path, json).map_err(|e| format!("write `{path}`: {e}"))?;
-        println!("  wrote JSON summary to {path}");
+        write_json_summary(path, &fields)?;
     }
     if violations > 0 {
         return Err(format!(
@@ -825,9 +850,7 @@ fn bench_enum(
             ),
             format!("\"speedup\": {:.3}", flat_rate / legacy_rate.max(1e-9)),
         ];
-        let json = format!("{{\n  {}\n}}\n", fields.join(",\n  "));
-        std::fs::write(path, json).map_err(|e| format!("write `{path}`: {e}"))?;
-        println!("  wrote JSON summary to {path}");
+        write_json_summary(path, &fields)?;
     }
     if flat_allocs > 0 {
         eprintln!(
@@ -1001,10 +1024,259 @@ fn bench_shard(
             format!("\"floor_enforced\": {floor_enforced}"),
             format!("\"floor_4s_vs_1s_ok\": {floor_ok}"),
         ];
-        let json = format!("{{\n  {}\n}}\n", fields.join(",\n  "));
-        std::fs::write(path, json).map_err(|e| format!("write `{path}`: {e}"))?;
-        println!("  wrote JSON summary to {path}");
+        write_json_summary(path, &fields)?;
     }
+    Ok(())
+}
+
+/// The build profile: where does a register go, and what does plan-once
+/// sharded registration save?
+///
+/// 1. **Phase breakdown** — one fresh single-threaded [`Engine`] register
+///    with the view's registered strategy, bracketed by the
+///    [`cqc_common::metrics`] build-phase timers: permutation-sort time,
+///    index gather/emit time, heavy-dictionary time, and LP/width-search
+///    time (the §4.3 preprocessing quantities, measured instead of
+///    hand-waved).
+/// 2. **Headline register** — best-of-3 one-shard
+///    [`cqc_engine::ShardedEngine`] registers with the same fixed
+///    strategy, comparable number-for-number with `BENCH_shard.json`'s
+///    `register_ns`; `--baseline-register-ns` (a number measured by an
+///    earlier commit on the same host) turns it into a speedup.
+/// 3. **Shared-plan vs plan-per-shard curve** — at 1/2/4/8 shards, the
+///    auto-policy register through the plan-once path
+///    ([`cqc_engine::ShardedEngine::register`], selection solved exactly
+///    once) versus the per-shard path
+///    ([`cqc_engine::ShardedEngine::register_planning_per_shard`], S
+///    independent selections). CI gates shared ≤ per-shard across the
+///    curve.
+fn bench_build(
+    engine: &Engine,
+    rv: &cqc_engine::RegisteredView,
+    json_path: Option<&str>,
+    baseline_register_ns: Option<u64>,
+) -> Result<(), String> {
+    use cqc_common::metrics;
+    use cqc_engine::{ShardedEngine, ShardedEngineConfig};
+
+    let base_db = (*engine.db()).clone();
+    let fixed = Policy::Fixed(rv.selection.strategy.clone());
+
+    // 1. Phase breakdown on this thread (the timers are thread-local).
+    let before = metrics::build_phases();
+    let t0 = Instant::now();
+    let fresh = Engine::new(base_db.clone());
+    fresh
+        .register(&rv.name, rv.view.clone(), fixed.clone())
+        .map_err(|e| e.to_string())?;
+    let single_register_ns = t0.elapsed().as_nanos() as u64;
+    let phases = metrics::build_phases().delta_since(&before);
+
+    // 2. Headline one-shard sharded register (the BENCH_shard methodology).
+    let sharded_config = |shards: usize| ShardedEngineConfig {
+        shards,
+        ..ShardedEngineConfig::default()
+    };
+    let one_shard_register_ns = best_of_3_ns(|| {
+        let spec = cqc_engine::spec_for_view(&rv.view, &base_db);
+        let sharded = ShardedEngine::new(base_db.clone(), spec, sharded_config(1))
+            .map_err(|e| e.to_string())?;
+        let t0 = Instant::now();
+        sharded
+            .register(&rv.name, rv.view.clone(), fixed.clone())
+            .map_err(|e| e.to_string())?;
+        Ok(t0.elapsed().as_nanos() as u64)
+    })?;
+
+    println!(
+        "bench `{}` [profile build]: single-engine register {} \
+         (sort {}, index {}, dict {}, lp {}, other {})",
+        rv.name,
+        fmt_ns(single_register_ns),
+        fmt_ns(phases.sort_ns),
+        fmt_ns(phases.index_ns),
+        fmt_ns(phases.dict_ns),
+        fmt_ns(phases.lp_ns),
+        fmt_ns(single_register_ns.saturating_sub(phases.total_ns())),
+    );
+    println!(
+        "  1-shard sharded register (best of 3): {}",
+        fmt_ns(one_shard_register_ns)
+    );
+    let speedup =
+        baseline_register_ns.map(|base| base as f64 / one_shard_register_ns.max(1) as f64);
+    if let (Some(base), Some(s)) = (baseline_register_ns, speedup) {
+        println!("  vs baseline register {}: {s:.2}x faster", fmt_ns(base));
+    }
+
+    // 3. Shared-plan vs plan-per-shard auto-policy register curve.
+    struct Point {
+        shards: usize,
+        shared_register_ns: u64,
+        per_shard_register_ns: u64,
+    }
+    let auto = Policy::default();
+    let mut curve: Vec<Point> = Vec::new();
+    let mut shared_solves_4s = 0u64;
+    let mut per_shard_solves_4s = 0u64;
+    for shards in [1usize, 2, 4, 8] {
+        // One register; alongside the wall time, the selection-solve delta
+        // proves the plan-once property deterministically (1 solve for
+        // shared-plan, S for per-shard) — the check wall clocks can't
+        // flake on.
+        let one_register = |per_shard: bool| -> Result<(u64, u64), String> {
+            let solves_before = cqc_engine::policy::selection_solves();
+            let spec = cqc_engine::spec_for_view(&rv.view, &base_db);
+            let sharded = ShardedEngine::new(base_db.clone(), spec, sharded_config(shards))
+                .map_err(|e| e.to_string())?;
+            let t0 = Instant::now();
+            if per_shard {
+                sharded
+                    .register_planning_per_shard(&rv.name, rv.view.clone(), auto.clone())
+                    .map_err(|e| e.to_string())?;
+            } else {
+                sharded
+                    .register(&rv.name, rv.view.clone(), auto.clone())
+                    .map_err(|e| e.to_string())?;
+            }
+            let ns = t0.elapsed().as_nanos() as u64;
+            Ok((ns, cqc_engine::policy::selection_solves() - solves_before))
+        };
+        // Interleave the two sides (3 rounds, best of each) so scheduler
+        // drift on a loaded host hits both measurements alike.
+        let mut shared_register_ns = u64::MAX;
+        let mut per_shard_register_ns = u64::MAX;
+        let mut shared_solves = 0u64;
+        let mut per_shard_solves = 0u64;
+        for _ in 0..3 {
+            let (ns, solves) = one_register(false)?;
+            shared_register_ns = shared_register_ns.min(ns);
+            shared_solves = solves;
+            let (ns, solves) = one_register(true)?;
+            per_shard_register_ns = per_shard_register_ns.min(ns);
+            per_shard_solves = solves;
+        }
+        if shards == 4 {
+            shared_solves_4s = shared_solves;
+            per_shard_solves_4s = per_shard_solves;
+        }
+        println!(
+            "  {shards} shard(s), auto policy: shared-plan register {} ({shared_solves} \
+             selection solve/register) vs plan-per-shard {} ({per_shard_solves} solves) \
+             ({:.2}x)",
+            fmt_ns(shared_register_ns),
+            fmt_ns(per_shard_register_ns),
+            per_shard_register_ns as f64 / shared_register_ns.max(1) as f64
+        );
+        curve.push(Point {
+            shards,
+            shared_register_ns,
+            per_shard_register_ns,
+        });
+    }
+    // Shared-plan must not cost more than plan-per-shard: structurally it
+    // does strictly less work (one selection instead of S per register).
+    // The comparison sums the whole curve (8 best-of-3 points) and allows
+    // 10% for scheduler noise — a single-point wall-clock inequality flakes
+    // on loaded hosts where selection is a small fraction of the build; the
+    // noise-immune form of the property is `plan_once_ok`.
+    let shared_sum: u64 = curve.iter().map(|p| p.shared_register_ns).sum();
+    let per_shard_sum: u64 = curve.iter().map(|p| p.per_shard_register_ns).sum();
+    let shared_ok = shared_sum as f64 <= per_shard_sum as f64 * 1.10;
+    let plan_once_ok = shared_solves_4s == 1 && per_shard_solves_4s == 4;
+    println!(
+        "  curve total: shared-plan {} ≤ plan-per-shard {}: {}; selection solved once: {}",
+        fmt_ns(shared_sum),
+        fmt_ns(per_shard_sum),
+        if shared_ok { "ok" } else { "REGRESSED" },
+        if plan_once_ok { "ok" } else { "VIOLATED" }
+    );
+    if !shared_ok {
+        eprintln!(
+            "warning: shared-plan registers ({}) slower than plan-per-shard ({}) across the curve",
+            fmt_ns(shared_sum),
+            fmt_ns(per_shard_sum)
+        );
+    }
+
+    if let Some(path) = json_path {
+        let points: Vec<String> = curve
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"shards\": {}, \"shared_register_ns\": {}, \
+                     \"per_shard_register_ns\": {}}}",
+                    p.shards, p.shared_register_ns, p.per_shard_register_ns
+                )
+            })
+            .collect();
+        let mut fields = vec![
+            format!("\"view\": {}", json_string(&rv.name)),
+            "\"profile\": \"build\"".to_string(),
+            format!("\"strategy\": {}", json_string(&rv.selection.tag)),
+            format!("\"db_tuples\": {}", base_db.size()),
+            format!("\"register_ns\": {single_register_ns}"),
+            format!("\"sort_ns\": {}", phases.sort_ns),
+            format!("\"index_ns\": {}", phases.index_ns),
+            format!("\"dict_ns\": {}", phases.dict_ns),
+            format!("\"lp_ns\": {}", phases.lp_ns),
+            format!("\"one_shard_register_ns\": {one_shard_register_ns}"),
+        ];
+        if let (Some(base), Some(s)) = (baseline_register_ns, speedup) {
+            fields.push(format!("\"baseline_register_ns\": {base}"));
+            fields.push(format!("\"register_speedup_vs_baseline\": {s:.3}"));
+        }
+        fields.push(format!(
+            "\"plan_curve\": [\n    {}\n  ]",
+            points.join(",\n    ")
+        ));
+        fields.push(format!("\"shared_register_ns_total\": {shared_sum}"));
+        fields.push(format!("\"per_shard_register_ns_total\": {per_shard_sum}"));
+        fields.push(format!(
+            "\"shared_plan_speedup_total\": {:.3}",
+            per_shard_sum as f64 / shared_sum.max(1) as f64
+        ));
+        fields.push(format!(
+            "\"selection_solves_shared_4s\": {shared_solves_4s}"
+        ));
+        fields.push(format!(
+            "\"selection_solves_per_shard_4s\": {per_shard_solves_4s}"
+        ));
+        fields.push(format!("\"plan_once_ok\": {plan_once_ok}"));
+        fields.push(format!("\"shared_plan_le_per_shard_ok\": {shared_ok}"));
+        write_json_summary(path, &fields)?;
+    }
+    Ok(())
+}
+
+/// `threads` must be 1 for profiles that manage their own threading.
+fn require_single_threaded(profile: &str, threads: usize) -> Result<(), String> {
+    if threads != 1 {
+        return Err(format!(
+            "--profile {profile} manages its own measurement loop; \
+             pass 1 thread, not {threads}"
+        ));
+    }
+    Ok(())
+}
+
+/// Best wall time of three runs of `f` — on an oversubscribed host a single
+/// measurement is at the mercy of the scheduler; the fastest run reflects
+/// the work itself.
+fn best_of_3_ns(mut f: impl FnMut() -> Result<u64, String>) -> Result<u64, String> {
+    let mut best = u64::MAX;
+    for _ in 0..3 {
+        best = best.min(f()?);
+    }
+    Ok(best)
+}
+
+/// Assembles `fields` into the flat JSON object every profile writes, and
+/// reports the path — the shared tail of all `--json` flows.
+fn write_json_summary(path: &str, fields: &[String]) -> Result<(), String> {
+    let json = format!("{{\n  {}\n}}\n", fields.join(",\n  "));
+    std::fs::write(path, json).map_err(|e| format!("write `{path}`: {e}"))?;
+    println!("  wrote JSON summary to {path}");
     Ok(())
 }
 
@@ -1028,9 +1300,9 @@ fn json_string(s: &str) -> String {
     out
 }
 
-/// Hand-rolled JSON (the environment has no serde): flat summary object for
-/// per-commit perf tracking. `wall_ns` is serving-only wall time.
-fn bench_json(
+/// Hand-rolled JSON fields (the environment has no serde): flat summary
+/// for per-commit perf tracking. `wall_ns` is serving-only wall time.
+fn serve_json_fields(
     name: &str,
     requests: usize,
     threads: usize,
@@ -1038,7 +1310,7 @@ fn bench_json(
     batch: &BatchStats,
     rebuilds: u64,
     updates: Option<(usize, &UpdateReport, usize)>,
-) -> String {
+) -> Vec<String> {
     let mut fields = vec![
         format!("\"view\": {}", json_string(name)),
         format!("\"requests\": {requests}"),
@@ -1063,5 +1335,5 @@ fn bench_json(
         fields.push(format!("\"stale_serve_violations\": {violations}"));
         fields.push(format!("\"final_epoch\": {}", u.epoch));
     }
-    format!("{{\n  {}\n}}\n", fields.join(",\n  "))
+    fields
 }

@@ -19,7 +19,7 @@
 //! database snapshot they serve from.
 
 use crate::catalog::{Catalog, CatalogKey, CatalogStats};
-use crate::policy::{select, Policy};
+use crate::policy::{select_pooled, Policy, Selection};
 use cqc_bench::{DelayProbe, DelayStats};
 use cqc_common::error::{CqcError, Result};
 use cqc_common::value::{Tuple, Value};
@@ -532,6 +532,12 @@ impl Engine {
     /// concrete strategy and building its representation into the catalog
     /// immediately (so the first request is already a cache hit).
     ///
+    /// Selection and build share one [`cqc_storage::IndexPool`]: the veto
+    /// cost oracle's sorted indexes are reused by the actual structure
+    /// build instead of being re-sorted (the Example 3 rewrite shares
+    /// untouched relations by `Arc`, which is what lets the pool recognize
+    /// them across the two phases).
+    ///
     /// # Errors
     ///
     /// Fails on duplicate names; build failures are tagged with the view
@@ -542,8 +548,37 @@ impl Engine {
         view: AdornedView,
         policy: Policy,
     ) -> Result<Arc<RegisteredView>> {
-        let selection =
-            select(&view, &self.db(), &policy).map_err(|e| e.for_view(name, "auto-selection"))?;
+        let mut pool = cqc_storage::IndexPool::new();
+        let selection = select_pooled(&view, &self.db(), &policy, &mut pool)
+            .map_err(|e| e.for_view(name, "auto-selection"))?;
+        self.register_with_pool(name, view, selection, &mut pool)
+    }
+
+    /// Registers a view whose strategy selection has **already been
+    /// solved** — the plan-once path: a sharded engine resolves the
+    /// selection once against global statistics and hands the identical
+    /// [`Selection`] to every shard, which then only builds its shard-local
+    /// indexes and dictionaries.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Engine::register`] (minus selection errors).
+    pub fn register_selected(
+        &self,
+        name: &str,
+        view: AdornedView,
+        selection: Selection,
+    ) -> Result<Arc<RegisteredView>> {
+        self.register_with_pool(name, view, selection, &mut cqc_storage::IndexPool::new())
+    }
+
+    fn register_with_pool(
+        &self,
+        name: &str,
+        view: AdornedView,
+        selection: Selection,
+        pool: &mut cqc_storage::IndexPool,
+    ) -> Result<Arc<RegisteredView>> {
         let key = CatalogKey {
             normalized_query: view.query().normalized_text(),
             pattern: view.pattern(),
@@ -567,7 +602,7 @@ impl Engine {
         // Build eagerly; distinct names sharing a catalog key share the
         // build (the catalog hit skips it). A failed build must unregister
         // the name, or the caller could never retry with a fixed strategy.
-        if let Err(e) = self.representation(&registered) {
+        if let Err(e) = self.representation_pooled(&registered, pool) {
             self.views
                 .write()
                 .expect("views lock poisoned")
@@ -640,6 +675,17 @@ impl Engine {
     /// an entry stamped older — built before a delta this snapshot already
     /// reflects — is invalidated and rebuilt instead of served stale.
     fn representation(&self, rv: &RegisteredView) -> Result<Arc<CompressedView>> {
+        self.representation_pooled(rv, &mut cqc_storage::IndexPool::new())
+    }
+
+    /// [`Engine::representation`] building any catalog miss through the
+    /// caller's index pool (registration passes the pool its strategy
+    /// selection already filled).
+    fn representation_pooled(
+        &self,
+        rv: &RegisteredView,
+        pool: &mut cqc_storage::IndexPool,
+    ) -> Result<Arc<CompressedView>> {
         let db = self.db();
         if let Some(cv) = self.catalog.get(&rv.key, db.epoch()) {
             return Ok(cv);
@@ -651,8 +697,9 @@ impl Engine {
             return Ok(cv);
         }
         let t0 = Instant::now();
-        let built = CompressedView::build(&rv.view, &db, rv.selection.strategy.clone())
-            .map_err(|e| e.for_view(&rv.name, &rv.selection.tag))?;
+        let built =
+            CompressedView::build_pooled(&rv.view, &db, rv.selection.strategy.clone(), pool)
+                .map_err(|e| e.for_view(&rv.name, &rv.selection.tag))?;
         let cv = Arc::new(built);
         self.catalog.insert(
             rv.key.clone(),

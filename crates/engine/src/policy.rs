@@ -25,7 +25,20 @@ use cqc_decomp::{search_connex, Objective};
 use cqc_lp::fractional::min_delay_cover;
 use cqc_query::rewrite::rewrite_view;
 use cqc_query::AdornedView;
-use cqc_storage::Database;
+use cqc_storage::{Database, IndexPool};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of full auto-selection solves (LP cover + width
+/// search + cost-oracle veto). Bumped once per [`select`] call that
+/// resolves an [`Policy::Auto`]; `Fixed` passthroughs don't count. The
+/// sharded engine's plan-once registration is gated on this in tests: for
+/// `S` shards one register must add exactly 1, not `S`.
+static SELECTION_SOLVES: AtomicU64 = AtomicU64::new(0);
+
+/// Reads the cumulative auto-selection solve counter.
+pub fn selection_solves() -> u64 {
+    SELECTION_SOLVES.load(Ordering::Relaxed)
+}
 
 /// How the engine should compress a registered view.
 #[derive(Debug, Clone)]
@@ -95,10 +108,34 @@ const EPS: f64 = 1e-6;
 
 /// Resolves `policy` for `view` over `db`.
 ///
+/// Auto policies are resolved **to a concrete plan**: the winning LP cover
+/// (with its τ) or decomposition (with its δ assignment) is embedded in
+/// the returned strategy, so building the representation — on this engine,
+/// or on every shard of a sharded engine — never re-runs the §6 programs.
+/// This is the plan-once contract: one `select` call per registration,
+/// however many shards build from it.
+///
 /// # Errors
 ///
 /// Propagates schema/LP/decomposition failures from the consulted oracles.
 pub fn select(view: &AdornedView, db: &Database, policy: &Policy) -> Result<Selection> {
+    select_pooled(view, db, policy, &mut IndexPool::new())
+}
+
+/// [`select`] drawing the veto cost oracle's indexes from `pool`. The
+/// engine passes the same pool to the subsequent build, which — because the
+/// Example 3 rewrite shares untouched relations by `Arc` — reuses those
+/// indexes instead of re-sorting them.
+///
+/// # Errors
+///
+/// Same failure modes as [`select`].
+pub fn select_pooled(
+    view: &AdornedView,
+    db: &Database,
+    policy: &Policy,
+    pool: &mut IndexPool,
+) -> Result<Selection> {
     let budget = match policy {
         Policy::Fixed(s) => {
             return Ok(Selection {
@@ -109,6 +146,7 @@ pub fn select(view: &AdornedView, db: &Database, policy: &Policy) -> Result<Sele
         }
         Policy::Auto { space_budget_exp } => *space_budget_exp,
     };
+    SELECTION_SOLVES.fetch_add(1, Ordering::Relaxed);
 
     if view.mu() == 0 {
         // Prop. 1: membership probes on linear-space indexes; no knob beats
@@ -213,7 +251,7 @@ pub fn select(view: &AdornedView, db: &Database, policy: &Policy) -> Result<Sele
             // The LP reasons about exponents only; the cost oracle prices
             // the actual instance.
             let alpha = choice.alpha.max(1.0);
-            let est = CostEstimator::build(view, db, &choice.weights, alpha)
+            let est = CostEstimator::build_pooled(view, db, &choice.weights, alpha, pool)
                 .ok()
                 .and_then(|cost| {
                     let sizes = cost.sizes();
@@ -230,13 +268,12 @@ pub fn select(view: &AdornedView, db: &Database, policy: &Policy) -> Result<Sele
                     .map(|e| format!(", ≈{e:.0} dictionary entries predicted"))
                     .unwrap_or_default();
                 Ok(Selection {
-                    strategy: Strategy::TradeoffBudget {
-                        space_budget_exp: target,
-                    },
+                    strategy: concrete_tradeoff(&choice),
                     tag: format!("theorem-1 budget={target}"),
                     reason: format!(
                         "fhw(H|V_b) = {fhw:.2} exceeds {target_note}; MinDelayCover delay \
-                         |D|^{t1_exp:.2} ≤ δ-height {t2_exp:.2} → theorem-1{est_note}"
+                         |D|^{t1_exp:.2} ≤ δ-height {t2_exp:.2} → theorem-1{est_note} \
+                         (cover solved once at selection)"
                     ),
                 })
             } else {
@@ -246,13 +283,15 @@ pub fn select(view: &AdornedView, db: &Database, policy: &Policy) -> Result<Sele
                     "δ-height wins"
                 };
                 Ok(Selection {
-                    strategy: Strategy::Decomposed {
-                        space_budget_exp: target,
+                    strategy: Strategy::DecomposedExplicit {
+                        td: decomp.td,
+                        delta: decomp.delta,
                     },
                     tag: format!("theorem-2 budget={target}"),
                     reason: format!(
                         "fhw(H|V_b) = {fhw:.2} exceeds {target_note}; δ-height {t2_exp:.2} vs \
-                         theorem-1 delay |D|^{t1_exp:.2} → theorem-2 ({why})"
+                         theorem-1 delay |D|^{t1_exp:.2} → theorem-2 ({why}; decomposition \
+                         solved once at selection)"
                     ),
                 })
             }
@@ -260,27 +299,45 @@ pub fn select(view: &AdornedView, db: &Database, policy: &Policy) -> Result<Sele
         (Ok(choice), Err(_)) => {
             let t1_exp = (choice.log_tau / n.ln()).max(0.0);
             Ok(Selection {
-                strategy: Strategy::TradeoffBudget {
-                    space_budget_exp: target,
-                },
+                strategy: concrete_tradeoff(&choice),
                 tag: format!("theorem-1 budget={target}"),
                 reason: format!(
                     "no budgeted decomposition found; MinDelayCover delay |D|^{t1_exp:.2} \
-                     under {target_note} → theorem-1"
+                     under {target_note} → theorem-1 (cover solved once at selection)"
                 ),
             })
         }
-        (Err(_), Ok(decomp)) => Ok(Selection {
-            strategy: Strategy::Decomposed {
-                space_budget_exp: target,
-            },
-            tag: format!("theorem-2 budget={target}"),
-            reason: format!(
-                "MinDelayCover infeasible; δ-height {:.2} under {target_note} → theorem-2",
+        (Err(_), Ok(decomp)) => {
+            let reason = format!(
+                "MinDelayCover infeasible; δ-height {:.2} under {target_note} → theorem-2 \
+                 (decomposition solved once at selection)",
                 decomp.score
-            ),
-        }),
+            );
+            Ok(Selection {
+                strategy: Strategy::DecomposedExplicit {
+                    td: decomp.td,
+                    delta: decomp.delta,
+                },
+                tag: format!("theorem-2 budget={target}"),
+                reason,
+            })
+        }
         (Err(e), Err(_)) => Err(e),
+    }
+}
+
+/// The winning MinDelayCover choice as an explicit Theorem 1 strategy —
+/// exactly what `CompressedView::build` would re-derive for
+/// `TradeoffBudget` on the same snapshot, but solved once here and carried
+/// by the selection instead of re-solved per build (and, for a sharded
+/// engine, per shard). The selection keeps the *budget-form* tag: tags are
+/// catalog keys, and the concrete weights are ordered by the view's atom
+/// order, which aliased registrations permute — the canonical budget tag
+/// is what lets aliases keep sharing one entry.
+fn concrete_tradeoff(choice: &cqc_lp::fractional::CoverChoice) -> Strategy {
+    Strategy::Tradeoff {
+        tau: choice.log_tau.exp().max(1.0),
+        weights: Some(choice.weights.clone()),
     }
 }
 

@@ -35,7 +35,7 @@
 //! by *every* shard; such views are routed to shard 0 alone instead.
 
 use crate::engine::{Engine, EngineConfig, Request, Served, UpdateReport};
-use crate::policy::Policy;
+use crate::policy::{select, Policy};
 use cqc_bench::DelayStats;
 use cqc_common::error::{CqcError, Result};
 use cqc_common::value::{Tuple, Value};
@@ -43,7 +43,7 @@ use cqc_common::{AnswerBlock, BlockMerger, FastMap};
 use cqc_query::parser::parse_adorned;
 use cqc_query::{AdornedView, Var};
 use cqc_storage::{Database, Delta, Epoch, PartitionSpec, Partitioning, ShardAssignment};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
 /// Tuning for a [`ShardedEngine`].
 #[derive(Debug, Clone, Copy)]
@@ -139,6 +139,14 @@ pub struct ShardedEngine {
     /// `true` → the view fans out to every shard; `false` → all of its
     /// relations are replicated and shard 0 alone serves it.
     fanout: RwLock<FastMap<String, bool>>,
+    /// The unsplit database, kept as the **planning snapshot**: strategy
+    /// selection runs once against global statistics (exactly what an
+    /// unsharded engine would see) and the resolved plan ships to every
+    /// shard. Replicated relations share their `Arc`s with the shards, so
+    /// the extra footprint is only the hash-partitioned relations' rows.
+    /// [`ShardedEngine::update`] applies each delta here too
+    /// (copy-on-write), keeping planning statistics current.
+    planning: RwLock<Arc<Database>>,
 }
 
 impl ShardedEngine {
@@ -166,6 +174,7 @@ impl ShardedEngine {
             partitioning,
             engines,
             fanout: RwLock::new(FastMap::default()),
+            planning: RwLock::new(Arc::new(db)),
         })
     }
 
@@ -205,19 +214,87 @@ impl ShardedEngine {
         self.engines.iter().map(Engine::epoch).collect()
     }
 
+    /// The planning snapshot: the unsplit database strategy selection runs
+    /// against.
+    pub fn planning_db(&self) -> Arc<Database> {
+        Arc::clone(&self.planning.read().expect("planning lock poisoned"))
+    }
+
     /// Registers an adorned view on every shard, building the `S`
     /// per-shard representations **in parallel** under
     /// `std::thread::scope`. Views whose relations are all replicated are
     /// registered on shard 0 only (every shard would otherwise enumerate
     /// the full answer set — see the module docs).
     ///
+    /// Strategy selection is **solved exactly once**, against the planning
+    /// snapshot (global statistics — the same data an unsharded engine
+    /// would consult), and the resolved plan — concrete LP cover and τ, or
+    /// explicit decomposition and δ assignment — ships to all `S` shards.
+    /// Each shard then only builds its shard-local indexes and
+    /// dictionaries; the LP cover, width search and τ calibration are
+    /// never re-run per shard. (The previous behavior, each shard solving
+    /// its own selection, survives as
+    /// [`ShardedEngine::register_planning_per_shard`] — the benchmark and
+    /// equivalence-test baseline.)
+    ///
     /// # Errors
     ///
     /// [`CqcError::Config`] when the view cannot be served under the
     /// engine's partitioning (a hash-partitioned relation's hash column is
-    /// not pinned to one shared variable by the view); any shard's build
-    /// failure (all shards are rolled back).
+    /// not pinned to one shared variable by the view); selection failures;
+    /// any shard's build failure (all shards are rolled back).
     pub fn register(&self, name: &str, view: AdornedView, policy: Policy) -> Result<()> {
+        // Fail duplicates before paying for the selection solve (a racing
+        // register slipping past this pre-check is still caught by the
+        // name reservation in `register_shards`).
+        if self
+            .fanout
+            .read()
+            .expect("fanout lock poisoned")
+            .contains_key(name)
+        {
+            return Err(CqcError::Config(format!(
+                "view `{name}` is already registered"
+            )));
+        }
+        let selection = select(&view, &self.planning_db(), &policy)
+            .map_err(|e| e.for_view(name, "auto-selection"))?;
+        self.register_shards(name, view, &|engine, view| {
+            engine
+                .register_selected(name, view, selection.clone())
+                .map(|_| ())
+        })
+    }
+
+    /// [`ShardedEngine::register`] with strategy selection re-solved **on
+    /// every shard** against that shard's sub-database — the pre-plan-once
+    /// behavior, kept as the comparison baseline for `cqe bench --profile
+    /// build` and the shared-plan ≡ per-shard-plan equivalence tests.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ShardedEngine::register`].
+    pub fn register_planning_per_shard(
+        &self,
+        name: &str,
+        view: AdornedView,
+        policy: Policy,
+    ) -> Result<()> {
+        self.register_shards(name, view, &|engine, view| {
+            engine.register(name, view, policy.clone()).map(|_| ())
+        })
+    }
+
+    /// Shared fan-out/rollback skeleton of the two register flavors:
+    /// validates routing, reserves the name, runs `register_one` on every
+    /// participating shard in parallel, and rolls everything back on any
+    /// failure.
+    fn register_shards(
+        &self,
+        name: &str,
+        view: AdornedView,
+        register_one: &(dyn Fn(&Engine, AdornedView) -> Result<()> + Sync),
+    ) -> Result<()> {
         let fans_out = routing_for(self.partitioning.spec(), &view)?;
         {
             // Reserve the name first: a duplicate must fail *here*, before
@@ -238,8 +315,7 @@ impl ShardedEngine {
                     .iter()
                     .map(|engine| {
                         let view = view.clone();
-                        let policy = policy.clone();
-                        scope.spawn(move || engine.register(name, view, policy).map(|_| ()))
+                        scope.spawn(move || register_one(engine, view))
                     })
                     .collect();
                 handles
@@ -249,7 +325,7 @@ impl ShardedEngine {
             });
             outcomes.into_iter().collect()
         } else {
-            self.engines[0].register(name, view, policy).map(|_| ())
+            register_one(&self.engines[0], view)
         };
         if let Err(e) = result {
             for engine in &self.engines {
@@ -614,6 +690,17 @@ impl ShardedEngine {
     /// complete their updates).
     pub fn update(&self, delta: &Delta) -> Result<ShardedUpdateReport> {
         let split = self.partitioning.split_delta(delta)?;
+        {
+            // Keep the planning snapshot current so later registrations
+            // select against fresh statistics. Copy-on-write: only the
+            // relations the delta touches are cloned. A schema error here
+            // aborts before any shard is touched (shards would hit the
+            // same validation).
+            let mut planning = self.planning.write().expect("planning lock poisoned");
+            let mut next = (**planning).clone();
+            next.apply(delta)?;
+            *planning = Arc::new(next);
+        }
         let outcomes: Vec<Option<Result<UpdateReport>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .engines

@@ -1,0 +1,240 @@
+//! Build-path acceptance: plan-once sharded registration.
+//!
+//! PR 5 makes [`ShardedEngine::register`] solve strategy selection exactly
+//! once (against the planning snapshot) and ship the resolved plan to all
+//! shards; [`ShardedEngine::register_planning_per_shard`] keeps the old
+//! one-selection-per-shard behavior as a baseline. These tests pin
+//!
+//! 1. the **count**: one sharded register with an auto policy performs
+//!    exactly one selection solve, however many shards build from it;
+//! 2. the **equivalence**: shared-plan registration answers tuple-for-tuple
+//!    like per-shard-planning registration and like an unsharded engine,
+//!    across shard counts, policies, and access patterns.
+//!
+//! The selection-solve counter is process-global, so every test here
+//! serializes on one mutex — the counts must not see another test's
+//! solves.
+
+use cqc_core::Strategy;
+use cqc_engine::{policy, Engine, Policy, ShardedEngine, ShardedEngineConfig};
+use cqc_query::parser::parse_adorned;
+use cqc_storage::Database;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn counter_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn path_db(seed: u64) -> Database {
+    let mut rng = cqc_workload::rng(seed);
+    let mut db = Database::new();
+    for name in ["R", "S"] {
+        db.add(cqc_workload::uniform_relation(&mut rng, name, 2, 300, 20))
+            .unwrap();
+    }
+    db
+}
+
+fn config(shards: usize) -> ShardedEngineConfig {
+    ShardedEngineConfig {
+        shards,
+        ..ShardedEngineConfig::default()
+    }
+}
+
+fn sorted(mut v: Vec<Vec<u64>>) -> Vec<Vec<u64>> {
+    v.sort_unstable();
+    v
+}
+
+/// The acceptance property of the ISSUE: for `S > 1` shards,
+/// `ShardedEngine::register` runs strategy selection exactly once.
+#[test]
+fn sharded_register_solves_selection_exactly_once() {
+    let _guard = counter_lock();
+    let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z)", "bff").unwrap();
+    for shards in [2usize, 4, 7] {
+        let sharded = ShardedEngine::for_view(path_db(11), &view, config(shards)).unwrap();
+        let before = policy::selection_solves();
+        sharded
+            .register("v", view.clone(), Policy::default())
+            .unwrap();
+        assert_eq!(
+            policy::selection_solves() - before,
+            1,
+            "{shards} shards must share one selection solve"
+        );
+    }
+}
+
+/// The per-shard baseline really does re-solve on every shard (the
+/// counter tells the two register flavors apart).
+#[test]
+fn per_shard_baseline_solves_once_per_shard() {
+    let _guard = counter_lock();
+    let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z)", "bff").unwrap();
+    for shards in [2usize, 4] {
+        let sharded = ShardedEngine::for_view(path_db(11), &view, config(shards)).unwrap();
+        let before = policy::selection_solves();
+        sharded
+            .register_planning_per_shard("v", view.clone(), Policy::default())
+            .unwrap();
+        assert_eq!(
+            policy::selection_solves() - before,
+            shards as u64,
+            "per-shard planning must solve once per shard"
+        );
+    }
+}
+
+/// A fixed policy never solves: the passthrough must stay free on both
+/// register flavors.
+#[test]
+fn fixed_policies_never_solve_selection() {
+    let _guard = counter_lock();
+    let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z)", "bff").unwrap();
+    let sharded = ShardedEngine::for_view(path_db(11), &view, config(4)).unwrap();
+    let before = policy::selection_solves();
+    sharded
+        .register(
+            "v",
+            view.clone(),
+            Policy::Fixed(Strategy::Tradeoff {
+                tau: 4.0,
+                weights: None,
+            }),
+        )
+        .unwrap();
+    assert_eq!(policy::selection_solves(), before);
+}
+
+/// A duplicate register fails before paying for a selection solve (the
+/// fail-fast duplicate check precedes planning).
+#[test]
+fn duplicate_register_fails_before_selection() {
+    let _guard = counter_lock();
+    let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z)", "bff").unwrap();
+    let sharded = ShardedEngine::for_view(path_db(11), &view, config(3)).unwrap();
+    sharded
+        .register("v", view.clone(), Policy::default())
+        .unwrap();
+    let before = policy::selection_solves();
+    assert!(sharded
+        .register("v", view.clone(), Policy::default())
+        .is_err());
+    assert_eq!(
+        policy::selection_solves(),
+        before,
+        "duplicate must not re-solve selection"
+    );
+    // The original registration must still serve.
+    assert!(sharded.answer("v", &[1]).is_ok());
+}
+
+/// Shared-plan registration ≡ per-shard-planning registration ≡ unsharded
+/// engine, tuple for tuple, across shard counts, policies, and patterns.
+#[test]
+fn shared_plan_register_matches_per_shard_register() {
+    let _guard = counter_lock();
+    let query = "Q(x,y,z) :- R(x,y), S(y,z)";
+    let policies: Vec<(&str, Policy)> = vec![
+        ("auto", Policy::default()),
+        (
+            "auto-budget",
+            Policy::Auto {
+                space_budget_exp: Some(1.1),
+            },
+        ),
+        (
+            "theorem-1",
+            Policy::Fixed(Strategy::Tradeoff {
+                tau: 3.0,
+                weights: None,
+            }),
+        ),
+    ];
+    for pattern in ["bff", "bfb"] {
+        let view = parse_adorned(query, pattern).unwrap();
+        let nb = pattern.chars().filter(|c| *c == 'b').count();
+        let mut requests: Vec<Vec<u64>> = vec![vec![]];
+        for _ in 0..nb {
+            requests = requests
+                .iter()
+                .flat_map(|r| {
+                    (0..20u64).step_by(4).map(move |v| {
+                        let mut r2 = r.clone();
+                        r2.push(v);
+                        r2
+                    })
+                })
+                .collect();
+        }
+        for (tag, policy) in &policies {
+            let db = path_db(23);
+            let oracle = Engine::new(db.clone());
+            oracle.register("v", view.clone(), policy.clone()).unwrap();
+            for shards in [1usize, 3, 4] {
+                let shared = ShardedEngine::for_view(db.clone(), &view, config(shards)).unwrap();
+                shared.register("v", view.clone(), policy.clone()).unwrap();
+                let per = ShardedEngine::for_view(db.clone(), &view, config(shards)).unwrap();
+                per.register_planning_per_shard("v", view.clone(), policy.clone())
+                    .unwrap();
+                for bound in &requests {
+                    let expect = sorted(oracle.answer("v", bound).unwrap());
+                    let got_shared = sorted(shared.answer("v", bound).unwrap());
+                    let got_per = sorted(per.answer("v", bound).unwrap());
+                    assert_eq!(
+                        got_shared, expect,
+                        "shared-plan {tag} {pattern} {shards} shards {bound:?}"
+                    );
+                    assert_eq!(
+                        got_per, expect,
+                        "per-shard {tag} {pattern} {shards} shards {bound:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Registrations after an update select against refreshed planning
+/// statistics and still answer correctly (the planning snapshot follows
+/// the shards' data).
+#[test]
+fn register_after_update_uses_fresh_planning_snapshot() {
+    let _guard = counter_lock();
+    let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z)", "bff").unwrap();
+    let db = path_db(59);
+    let sharded = ShardedEngine::for_view(db.clone(), &view, config(3)).unwrap();
+    let mut delta = cqc_storage::Delta::new();
+    for i in 0..40u64 {
+        delta.insert("R", vec![i % 20, (i * 7) % 20]);
+        delta.insert("S", vec![(i * 3) % 20, i % 20]);
+    }
+    sharded.update(&delta).unwrap();
+    assert_eq!(sharded.planning_db().size(), {
+        let mut oracle_db = db.clone();
+        oracle_db.apply(&delta).unwrap();
+        oracle_db.size()
+    });
+    sharded
+        .register("v", view.clone(), Policy::default())
+        .unwrap();
+    let mut oracle_db = db;
+    oracle_db.apply(&delta).unwrap();
+    let oracle = Engine::new(oracle_db);
+    oracle
+        .register("v", view.clone(), Policy::default())
+        .unwrap();
+    for x in (0..20u64).step_by(3) {
+        assert_eq!(
+            sorted(sharded.answer("v", &[x]).unwrap()),
+            sorted(oracle.answer("v", &[x]).unwrap()),
+            "x = {x}"
+        );
+    }
+}

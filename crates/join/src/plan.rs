@@ -12,10 +12,16 @@ use cqc_common::error::Result;
 use cqc_common::heap::HeapSize;
 use cqc_common::value::Value;
 use cqc_query::{AdornedView, Var};
-use cqc_storage::{Database, Delta, SortedIndex};
+use cqc_storage::{Database, Delta, IndexPool, SortedIndex};
+use std::sync::Arc;
 
 /// Join infrastructure for one adorned view: variable order plus per-atom
 /// trie indexes.
+///
+/// Indexes are `Arc`-shared: a plan built through an [`IndexPool`] reuses
+/// any identical `(relation, column-order)` index already built by the cost
+/// oracle or another atom of the same registration instead of re-sorting
+/// it.
 #[derive(Debug)]
 pub struct ViewPlan {
     /// Global variable order: bound head variables, then free head variables.
@@ -24,18 +30,35 @@ pub struct ViewPlan {
     pub level_of: Vec<usize>,
     /// Number of bound variables (they occupy levels `0..num_bound`).
     pub num_bound: usize,
-    indexes: Vec<SortedIndex>,
+    indexes: Vec<Arc<SortedIndex>>,
     atom_levels: Vec<Vec<usize>>,
 }
 
 impl ViewPlan {
     /// Builds the plan: validates the view is a natural join over `db` and
-    /// constructs the trie indexes.
+    /// constructs the trie indexes through a private [`IndexPool`] (atoms
+    /// over the same relation and order still share).
     ///
     /// # Errors
     ///
     /// Fails on non-natural-join views and schema mismatches.
     pub fn build(view: &AdornedView, db: &Database) -> Result<ViewPlan> {
+        ViewPlan::build_pooled(view, db, &mut IndexPool::new())
+    }
+
+    /// [`ViewPlan::build`] drawing every trie index from `pool`, so
+    /// indexes shared with other consumers of the same registration (the
+    /// cost oracle's access indexes use the identical column order) are
+    /// built exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Fails on non-natural-join views and schema mismatches.
+    pub fn build_pooled(
+        view: &AdornedView,
+        db: &Database,
+        pool: &mut IndexPool,
+    ) -> Result<ViewPlan> {
         let query = view.query();
         query.require_natural_join()?;
         query.check_schema(db)?;
@@ -52,10 +75,9 @@ impl ViewPlan {
         let mut indexes = Vec::with_capacity(query.atoms.len());
         let mut atom_levels = Vec::with_capacity(query.atoms.len());
         for atom in &query.atoms {
-            let rel = db.require(&atom.relation)?;
             let var_levels: Vec<usize> = atom.vars().map(|v| level_of[v.index()]).collect();
             let (cols, levels) = trie_order_for_atom(&var_levels);
-            indexes.push(SortedIndex::build(rel, &cols));
+            indexes.push(pool.get_or_build(db, &atom.relation, &cols)?);
             atom_levels.push(levels);
         }
 
@@ -94,13 +116,17 @@ impl ViewPlan {
         let mut indexes = Vec::with_capacity(self.indexes.len());
         for (atom, old) in query.atoms.iter().zip(&self.indexes) {
             let rel = db.require(&atom.relation)?;
-            let mut ix = old.clone();
-            if let Some(tuples) = delta.tuples_for(&atom.relation) {
+            let ix = if let Some(tuples) = delta.tuples_for(&atom.relation) {
                 let Some(fresh) = old.fresh_from(tuples) else {
                     return Ok(None);
                 };
-                ix.merge_insert(&fresh);
-            }
+                let mut merged = (**old).clone();
+                merged.merge_insert(&fresh);
+                Arc::new(merged)
+            } else {
+                // Untouched atom: share the old index outright.
+                Arc::clone(old)
+            };
             if ix.len() != rel.len() {
                 return Ok(None);
             }

@@ -93,10 +93,26 @@ impl Lp {
 
     /// Solves the program.
     ///
+    /// Every solve is attributed to the `Lp` build phase of
+    /// [`cqc_common::metrics`] — this is the single funnel all §6 programs
+    /// (MinDelayCover, MinSpaceCover, the ρ⁺ solves of the width search)
+    /// pass through, so `cqe bench --profile build` can report total
+    /// LP time without instrumenting each optimizer.
+    ///
     /// # Errors
     ///
     /// [`CqcError::Lp`] when the program is infeasible or unbounded.
     pub fn solve(&self) -> Result<LpSolution> {
+        let t0 = std::time::Instant::now();
+        let out = self.solve_inner();
+        cqc_common::metrics::record_build_phase(
+            cqc_common::metrics::BuildPhase::Lp,
+            t0.elapsed().as_nanos() as u64,
+        );
+        out
+    }
+
+    fn solve_inner(&self) -> Result<LpSolution> {
         let m = self.rows.len();
         let n = self.n;
 

@@ -55,7 +55,13 @@ pub fn rewrite_view(view: &AdornedView, db: &Database) -> Result<Rewritten> {
     for atom in &query.atoms {
         if atom.is_natural() {
             if out_db.get(&atom.relation).is_none() {
-                out_db.add(db.require(&atom.relation)?.clone())?;
+                db.require(&atom.relation)?; // surface schema errors here
+                let shared = db.get_arc(&atom.relation).expect("require just succeeded");
+                // Share the allocation instead of deep-copying the rows:
+                // the rewrite is read-only, and keeping the original `Arc`
+                // lets downstream index pools recognize the relation across
+                // selection and build.
+                out_db.add_arc(shared)?;
             }
             new_atoms.push(atom.clone());
             continue;

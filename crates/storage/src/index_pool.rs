@@ -1,0 +1,146 @@
+//! A per-build pool of shared [`SortedIndex`]es.
+//!
+//! One representation build touches the same `(relation, column-order)`
+//! index from several places: the trie indexes of the join plan, the two
+//! count indexes of the cost oracle, and — during auto strategy selection —
+//! the veto oracle's indexes, all over one database snapshot. Without
+//! sharing, each site re-sorts the same rows; an [`IndexPool`] makes every
+//! site ask the pool instead, so each distinct index is built exactly once
+//! per registration and `Arc`-shared from then on.
+//!
+//! Entries are keyed by the relation's **allocation identity**
+//! (`Arc::as_ptr`) plus the column order, and the pool pins each keyed
+//! relation with an `Arc` clone, so a key can never be reused by a
+//! different relation while the pool is alive. This makes pooling sound
+//! across the Example 3 rewrite: rewritten databases share untouched
+//! relations by `Arc`, so those indexes pool across selection and build,
+//! while derived (filtered) relations get fresh allocations and therefore
+//! fresh keys.
+
+use crate::database::Database;
+use crate::relation::Relation;
+use crate::sorted_index::SortedIndex;
+use cqc_common::error::{CqcError, Result};
+use cqc_common::hash::FastMap;
+use std::sync::Arc;
+
+/// Pool key: relation allocation address + column order.
+type PoolKey = (usize, Vec<usize>);
+/// Pool entry: the pinned relation and its shared index.
+type PoolEntry = (Arc<Relation>, Arc<SortedIndex>);
+
+/// A build-scoped cache of sorted indexes, keyed by relation identity and
+/// attribute order. See the module docs for the sharing and soundness
+/// story.
+#[derive(Debug, Default)]
+pub struct IndexPool {
+    entries: FastMap<PoolKey, PoolEntry>,
+    hits: u64,
+    builds: u64,
+}
+
+impl IndexPool {
+    /// An empty pool.
+    pub fn new() -> IndexPool {
+        IndexPool::default()
+    }
+
+    /// The pooled index of `relation` under `order`, building it on first
+    /// use. The relation is pinned by the pool for as long as the pool
+    /// lives (which is what keeps pointer keys sound).
+    pub fn index_for(&mut self, relation: &Arc<Relation>, order: &[usize]) -> Arc<SortedIndex> {
+        let key = (Arc::as_ptr(relation) as usize, order.to_vec());
+        if let Some((_pin, ix)) = self.entries.get(&key) {
+            self.hits += 1;
+            return Arc::clone(ix);
+        }
+        let ix = Arc::new(SortedIndex::build(relation, order));
+        self.builds += 1;
+        self.entries
+            .insert(key, (Arc::clone(relation), Arc::clone(&ix)));
+        ix
+    }
+
+    /// [`IndexPool::index_for`] by relation name against a database
+    /// snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`CqcError::Schema`] when the relation is missing.
+    pub fn get_or_build(
+        &mut self,
+        db: &Database,
+        name: &str,
+        order: &[usize],
+    ) -> Result<Arc<SortedIndex>> {
+        let rel = db
+            .get_arc(name)
+            .ok_or_else(|| CqcError::Schema(format!("relation `{name}` not found in database")))?;
+        Ok(self.index_for(&rel, order))
+    }
+
+    /// Number of lookups answered from the pool.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of indexes actually built.
+    pub fn builds(&self) -> u64 {
+        self.builds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_relation_and_order_shares() {
+        let mut db = Database::new();
+        db.add(Relation::from_pairs("R", vec![(1, 2), (2, 3)]))
+            .unwrap();
+        let mut pool = IndexPool::new();
+        let a = pool.get_or_build(&db, "R", &[0, 1]).unwrap();
+        let b = pool.get_or_build(&db, "R", &[0, 1]).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(pool.builds(), 1);
+        assert_eq!(pool.hits(), 1);
+        // A different order is a different index.
+        let c = pool.get_or_build(&db, "R", &[1, 0]).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(pool.builds(), 2);
+    }
+
+    #[test]
+    fn distinct_relations_never_collide() {
+        // Two same-shape relations under different allocations must get
+        // distinct indexes even though name lookups go through one pool.
+        let mut db = Database::new();
+        db.add(Relation::from_pairs("R", vec![(1, 2)])).unwrap();
+        db.add(Relation::from_pairs("S", vec![(7, 8)])).unwrap();
+        let mut pool = IndexPool::new();
+        let r = pool.get_or_build(&db, "R", &[0, 1]).unwrap();
+        let s = pool.get_or_build(&db, "S", &[0, 1]).unwrap();
+        assert_eq!(r.value(0, 0), 1);
+        assert_eq!(s.value(0, 0), 7);
+        assert!(pool.get_or_build(&db, "T", &[0]).is_err());
+    }
+
+    #[test]
+    fn pool_pins_relations_across_database_drop() {
+        // The pool must keep serving correct indexes even if the source
+        // database is dropped and a new relation happens to be allocated:
+        // the pinned Arc keeps the old allocation (and its address) alive.
+        let mut pool = IndexPool::new();
+        let first = {
+            let mut db = Database::new();
+            db.add(Relation::from_pairs("R", vec![(5, 6)])).unwrap();
+            pool.get_or_build(&db, "R", &[0, 1]).unwrap()
+        };
+        let mut db2 = Database::new();
+        db2.add(Relation::from_pairs("R", vec![(9, 9)])).unwrap();
+        let second = pool.get_or_build(&db2, "R", &[0, 1]).unwrap();
+        assert_eq!(first.value(0, 0), 5);
+        assert_eq!(second.value(0, 0), 9);
+    }
+}

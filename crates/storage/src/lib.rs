@@ -32,8 +32,10 @@ pub mod csv;
 pub mod database;
 pub mod delta;
 pub mod domain;
+pub mod index_pool;
 pub mod interner;
 pub mod partition;
+mod radix;
 pub mod relation;
 pub mod sorted_index;
 
@@ -41,6 +43,7 @@ pub use csv::{relation_from_csv, CsvOptions};
 pub use database::{Database, Epoch, RelationId};
 pub use delta::Delta;
 pub use domain::Domain;
+pub use index_pool::IndexPool;
 pub use interner::Interner;
 pub use partition::{shard_of_value, PartitionSpec, Partitioning, ShardAssignment};
 pub use relation::Relation;

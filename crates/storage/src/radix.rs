@@ -1,0 +1,197 @@
+//! LSD radix sorting of row permutations.
+//!
+//! Every sorted structure in this crate — [`crate::Relation`]'s row order,
+//! every [`crate::SortedIndex`] — is produced by sorting a `u32` row
+//! permutation lexicographically under some column order. A comparison sort
+//! pays `O(n log n)` calls through a permutation indirection (two random
+//! reads per comparison); for `u64` keys an LSD radix sort replaces that
+//! with `O(n · bytes)` sequential counting-sort passes, where `bytes` is
+//! the number of *significant* bytes of each column (interned domains are
+//! small, so most columns need one or two passes). Lexicographic order
+//! falls out of stability: columns are processed last to first, and within
+//! a column bytes least-significant first.
+//!
+//! [`sort_perm`] picks the algorithm: tiny inputs and high arities (where
+//! `n · Σ bytes` loses to `n log n`) fall back to the comparison sort, so
+//! callers always get the cheaper of the two.
+
+use cqc_common::value::Value;
+
+/// Number of buckets per counting-sort pass (one byte at a time).
+const BUCKETS: usize = 256;
+
+/// Inputs below this length use the comparison sort: counting-sort
+/// histograms dominate the cost of sorting a handful of rows.
+const SMALL_N: usize = 64;
+
+/// Sorts `perm` so that rows compare lexicographically under the
+/// depth-major key columns `cols` (all of length `perm.len()`; column 0 is
+/// the most significant). Equal rows may land in any relative order — every
+/// caller treats full-key duplicates as identical.
+///
+/// Chooses LSD radix passes over the significant bytes of each column when
+/// that is cheaper than a comparison sort, and the comparison sort
+/// otherwise (tiny `n`, or total radix passes exceeding the comparison
+/// depth — the "high arity" regime).
+pub(crate) fn sort_perm(perm: &mut [u32], cols: &[Vec<Value>]) {
+    let n = perm.len();
+    if n <= 1 {
+        return;
+    }
+    // Significant bytes per column, from each column's maximum value.
+    let sig_bytes = |col: &Vec<Value>| -> u32 {
+        let max = col.iter().copied().max().unwrap_or(0);
+        (u64::BITS - max.leading_zeros()).div_ceil(8).max(1)
+    };
+    let total_passes: u32 = cols.iter().map(sig_bytes).sum();
+    // Comparison cost ≈ n · log₂ n probe pairs; radix cost ≈ n ·
+    // total_passes bucket moves. The constant factors are close enough
+    // that comparing the exponents directly picks the right side.
+    let log2n = usize::BITS - n.leading_zeros();
+    if n < SMALL_N || total_passes > 2 * log2n {
+        perm.sort_unstable_by(|&a, &b| {
+            for col in cols {
+                match col[a as usize].cmp(&col[b as usize]) {
+                    std::cmp::Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        return;
+    }
+
+    // LSD over columns (last to first) and bytes (least significant
+    // first); each pass is a stable counting sort of (perm, key) pairs.
+    // Keys are gathered once per column so every pass reads sequentially.
+    let mut keys: Vec<Value> = Vec::with_capacity(n);
+    let mut perm_out: Vec<u32> = vec![0; n];
+    let mut keys_out: Vec<Value> = vec![0; n];
+    for col in cols.iter().rev() {
+        keys.clear();
+        keys.extend(perm.iter().map(|&r| col[r as usize]));
+        for byte in 0..sig_bytes(col) {
+            let shift = 8 * byte;
+            let mut hist = [0usize; BUCKETS];
+            for &k in &keys {
+                hist[((k >> shift) & 0xff) as usize] += 1;
+            }
+            // A constant byte plane permutes nothing: skip the scatter.
+            if hist.contains(&n) {
+                continue;
+            }
+            let mut offsets = [0usize; BUCKETS];
+            let mut acc = 0usize;
+            for (o, &h) in offsets.iter_mut().zip(&hist) {
+                *o = acc;
+                acc += h;
+            }
+            for (&p, &k) in perm.iter().zip(&keys) {
+                let slot = &mut offsets[((k >> shift) & 0xff) as usize];
+                perm_out[*slot] = p;
+                keys_out[*slot] = k;
+                *slot += 1;
+            }
+            perm.copy_from_slice(&perm_out);
+            keys.copy_from_slice(&keys_out);
+        }
+    }
+}
+
+/// `true` when the depth-major columns are already in (weak) lexicographic
+/// order — the adoption fast path: a sorted input skips the sort entirely.
+pub(crate) fn columns_sorted(cols: &[Vec<Value>], n: usize) -> bool {
+    'rows: for i in 1..n {
+        for col in cols {
+            match col[i - 1].cmp(&col[i]) {
+                std::cmp::Ordering::Less => continue 'rows,
+                std::cmp::Ordering::Equal => continue,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference: plain comparison sort of the permutation.
+    fn reference(perm: &mut [u32], cols: &[Vec<Value>]) {
+        perm.sort_by(|&a, &b| {
+            cols.iter()
+                .map(|c| c[a as usize].cmp(&c[b as usize]))
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+    }
+
+    /// Materializes the sorted rows (duplicate rows are identical, so the
+    /// row sequence is canonical even where the permutation is not).
+    fn rows_of(perm: &[u32], cols: &[Vec<Value>]) -> Vec<Vec<Value>> {
+        perm.iter()
+            .map(|&r| cols.iter().map(|c| c[r as usize]).collect())
+            .collect()
+    }
+
+    fn lcg(state: &mut u64, m: u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (*state >> 33) % m
+    }
+
+    #[test]
+    fn radix_matches_comparison_across_shapes() {
+        let mut state = 0xc0ffee_u64;
+        for trial in 0..40 {
+            let arity = 1 + trial % 4;
+            let n = [3usize, 50, 200, 1000][trial % 4usize];
+            // Mix tiny and large value domains to cover 1..8-byte passes.
+            let domain = [7u64, 300, 70_000, u64::MAX / 2][(trial / 4) % 4];
+            let cols: Vec<Vec<Value>> = (0..arity)
+                .map(|_| (0..n).map(|_| lcg(&mut state, domain.max(1))).collect())
+                .collect();
+            let mut radix: Vec<u32> = (0..n as u32).collect();
+            let mut cmp = radix.clone();
+            sort_perm(&mut radix, &cols);
+            reference(&mut cmp, &cols);
+            assert_eq!(
+                rows_of(&radix, &cols),
+                rows_of(&cmp, &cols),
+                "trial {trial} (n={n}, arity={arity}, domain={domain})"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_input() {
+        let cols = vec![vec![1u64; 500], (0..500).map(|i| i % 3).collect()];
+        let mut perm: Vec<u32> = (0..500).collect();
+        let mut cmp = perm.clone();
+        sort_perm(&mut perm, &cols);
+        reference(&mut cmp, &cols);
+        assert_eq!(rows_of(&perm, &cols), rows_of(&cmp, &cols));
+    }
+
+    #[test]
+    fn sorted_detection() {
+        let cols = vec![vec![1u64, 1, 2, 2], vec![1u64, 2, 1, 1]];
+        assert!(columns_sorted(&cols, 4));
+        let unsorted = vec![vec![1u64, 1, 2, 2], vec![2u64, 1, 1, 1]];
+        assert!(!columns_sorted(&unsorted, 4));
+        assert!(columns_sorted(&[], 0));
+        assert!(columns_sorted(&cols, 1));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut perm: Vec<u32> = vec![];
+        sort_perm(&mut perm, &[]);
+        let cols = vec![vec![9u64]];
+        let mut perm = vec![0u32];
+        sort_perm(&mut perm, &cols);
+        assert_eq!(perm, vec![0]);
+    }
+}

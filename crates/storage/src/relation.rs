@@ -1,8 +1,11 @@
 //! Relations: deduplicated sorted tuple sets.
 
+use crate::radix::sort_perm;
 use cqc_common::heap::HeapSize;
+use cqc_common::metrics::{self, BuildPhase};
 use cqc_common::value::{lex_cmp, Tuple, Value};
 use std::cmp::Ordering;
+use std::time::Instant;
 
 /// A relation instance: a set of `arity`-tuples over the value domain.
 ///
@@ -37,7 +40,10 @@ impl Relation {
     /// per-tuple `Vec` is ever allocated, which is what the bulk loaders
     /// and the shard partitioner use. Already-sorted input (the common case
     /// when rows come from another sorted relation) is detected and adopted
-    /// without copying.
+    /// without copying; everything else is sorted by an LSD radix
+    /// permutation sort (comparison fallback for high arities and tiny
+    /// inputs) instead of `sort_unstable_by(lex_cmp)` through the row
+    /// indirection.
     ///
     /// # Panics
     ///
@@ -58,8 +64,16 @@ impl Relation {
                 rows: flat,
             };
         }
+        let t0 = Instant::now();
+        let mut cols: Vec<Vec<Value>> = (0..arity).map(|_| Vec::with_capacity(n)).collect();
+        for i in 0..n {
+            for (col, &v) in cols.iter_mut().zip(row(i)) {
+                col.push(v);
+            }
+        }
         let mut perm: Vec<u32> = (0..n as u32).collect();
-        perm.sort_unstable_by(|&a, &b| lex_cmp(row(a as usize), row(b as usize)));
+        sort_perm(&mut perm, &cols);
+        metrics::record_build_phase(BuildPhase::Sort, t0.elapsed().as_nanos() as u64);
         let mut rows: Vec<Value> = Vec::with_capacity(flat.len());
         for &ri in &perm {
             let r = row(ri as usize);

@@ -13,11 +13,13 @@
 //!    sorted runs level by level; this index exposes the per-level columns
 //!    and range-narrowing operations the cursors need.
 
+use crate::radix::{columns_sorted, sort_perm};
 use crate::relation::Relation;
 use cqc_common::heap::HeapSize;
-use cqc_common::metrics;
+use cqc_common::metrics::{self, BuildPhase};
 use cqc_common::util::{lower_bound, upper_bound};
 use cqc_common::value::{lex_cmp, Tuple, Value};
+use std::time::Instant;
 
 /// A lexicographically sorted projection of a relation under a fixed
 /// attribute order.
@@ -34,6 +36,14 @@ impl SortedIndex {
     /// Builds the index for `relation` sorted by the attribute permutation
     /// `order` (`order[d]` = schema column at depth `d`).
     ///
+    /// Construction is sort-light: the depth-major columns are gathered in
+    /// one sequential pass, an input already sorted under `order` is
+    /// adopted as-is (the identity order over a relation's schema-sorted
+    /// rows — the most common index), and everything else goes through an
+    /// LSD radix permutation sort (comparison fallback for high arities
+    /// and tiny inputs) instead of a comparison sort through the row
+    /// indirection.
+    ///
     /// # Panics
     ///
     /// Panics unless `order` is a permutation of `0..relation.arity()`.
@@ -47,25 +57,26 @@ impl SortedIndex {
         }
 
         let n = relation.len();
-        let mut perm: Vec<u32> = (0..n as u32).collect();
-        perm.sort_unstable_by(|&a, &b| {
-            let ra = relation.row(a as usize);
-            let rb = relation.row(b as usize);
-            for &c in order {
-                match ra[c].cmp(&rb[c]) {
-                    std::cmp::Ordering::Equal => continue,
-                    other => return other,
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
-
+        let t0 = Instant::now();
         let mut cols: Vec<Vec<Value>> = (0..arity).map(|_| Vec::with_capacity(n)).collect();
-        for &ri in &perm {
-            let row = relation.row(ri as usize);
+        for row in relation.iter() {
             for (d, &c) in order.iter().enumerate() {
                 cols[d].push(row[c]);
             }
+        }
+        let already_sorted = columns_sorted(&cols, n);
+        metrics::record_build_phase(BuildPhase::Index, t0.elapsed().as_nanos() as u64);
+        if !already_sorted {
+            let t0 = Instant::now();
+            let mut perm: Vec<u32> = (0..n as u32).collect();
+            sort_perm(&mut perm, &cols);
+            metrics::record_build_phase(BuildPhase::Sort, t0.elapsed().as_nanos() as u64);
+            let t0 = Instant::now();
+            for col in &mut cols {
+                let gathered = std::mem::take(col);
+                *col = perm.iter().map(|&ri| gathered[ri as usize]).collect();
+            }
+            metrics::record_build_phase(BuildPhase::Index, t0.elapsed().as_nanos() as u64);
         }
         SortedIndex {
             order: order.to_vec(),
