@@ -37,6 +37,16 @@ pub trait AnswerSink {
     fn push(&mut self, tuple: &[Value]) -> bool;
 }
 
+/// Mutable references forward, so `&mut dyn AnswerSink` (the
+/// object-safe handle the network service layer passes around) satisfies
+/// the generic `impl AnswerSink` bounds used throughout the enumerators.
+impl<S: AnswerSink + ?Sized> AnswerSink for &mut S {
+    #[inline]
+    fn push(&mut self, tuple: &[Value]) -> bool {
+        (**self).push(tuple)
+    }
+}
+
 /// A flat, arity-strided block of answers: tuple `i` occupies
 /// `values[i * arity .. (i + 1) * arity]`.
 ///
@@ -130,6 +140,31 @@ impl AnswerBlock {
     pub fn reset(&mut self) {
         self.clear();
         self.arity = 0;
+    }
+
+    /// Appends `count` answers of the given `arity` from an already-flat
+    /// value stream — the decode path for wire chunks, which arrive exactly
+    /// in this layout. A fresh (or `reset`) block adopts `arity`; `count`
+    /// is explicit so zero-arity chunks (answer counts without values) land
+    /// correctly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `flat.len() != count * arity`, or when the block already
+    /// holds answers of a different arity.
+    pub fn extend_flat(&mut self, arity: usize, count: usize, flat: &[Value]) {
+        assert_eq!(
+            flat.len(),
+            count * arity,
+            "flat chunk length {} does not match {count} answers of arity {arity}",
+            flat.len()
+        );
+        if self.len == 0 && self.arity == 0 {
+            self.arity = arity;
+        }
+        assert_eq!(arity, self.arity, "chunk arity changed mid-block");
+        self.values.extend_from_slice(flat);
+        self.len += count;
     }
 }
 
@@ -256,6 +291,24 @@ impl BlockMerger {
     /// into `sink`, preserving global lexicographic order. Returns the
     /// number of tuples pushed; stops early when the sink refuses one.
     pub fn merge_into(&mut self, blocks: &[&AnswerBlock], sink: &mut impl AnswerSink) -> usize {
+        // Degenerate shapes the router hits constantly: all inputs empty
+        // (a selective request), or exactly one non-empty input (a
+        // single-shard view, or a fan-out where only one shard matched).
+        // Both skip the per-tuple k-way scan entirely.
+        let mut non_empty = blocks.iter().filter(|b| !b.is_empty());
+        let Some(first) = non_empty.next() else {
+            return 0;
+        };
+        if non_empty.next().is_none() {
+            let mut pushed = 0usize;
+            for t in first.iter() {
+                pushed += 1;
+                if !sink.push(t) {
+                    break;
+                }
+            }
+            return pushed;
+        }
         self.cursors.clear();
         self.cursors.resize(blocks.len(), 0);
         let mut pushed = 0usize;
@@ -435,6 +488,75 @@ mod tests {
         let mut merger = BlockMerger::new();
         assert_eq!(merger.merge_into(&[&a, &b], &mut probe), 1);
         assert!(probe.found);
+    }
+
+    #[test]
+    fn merge_of_all_empty_blocks_is_empty() {
+        let e1 = AnswerBlock::new();
+        let e2 = AnswerBlock::new();
+        let mut out = AnswerBlock::new();
+        let mut merger = BlockMerger::new();
+        assert_eq!(merger.merge_into(&[], &mut out), 0);
+        assert_eq!(merger.merge_into(&[&e1, &e2], &mut out), 0);
+        assert!(out.is_empty());
+        // The fast path must not poison later real merges.
+        let a = block_of(&[&[2], &[5]]);
+        let b = block_of(&[&[1]]);
+        assert_eq!(merger.merge_into(&[&a, &b], &mut out), 3);
+        assert_eq!(out.get(0), &[1]);
+    }
+
+    #[test]
+    fn merge_single_nonempty_block_passes_through() {
+        let a = block_of(&[&[3, 1], &[4, 1], &[5, 9]]);
+        let empty = AnswerBlock::new();
+        let mut out = AnswerBlock::new();
+        let mut merger = BlockMerger::new();
+        let n = merger.merge_into(&[&empty, &a, &empty], &mut out);
+        assert_eq!(n, 3);
+        let got: Vec<&[Value]> = out.iter().collect();
+        assert_eq!(got, vec![&[3, 1][..], &[4, 1], &[5, 9]]);
+        // Early stop still honoured on the passthrough path.
+        let mut probe = ExistsSink::default();
+        assert_eq!(merger.merge_into(&[&a, &empty], &mut probe), 1);
+        assert!(probe.found);
+    }
+
+    #[test]
+    fn extend_flat_decodes_wire_chunks() {
+        let mut b = AnswerBlock::new();
+        b.extend_flat(2, 2, &[1, 2, 3, 4]);
+        b.extend_flat(2, 1, &[5, 6]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.get(2), &[5, 6]);
+        // Zero-arity chunks carry counts without values.
+        let mut z = AnswerBlock::new();
+        z.extend_flat(0, 4, &[]);
+        assert_eq!(z.len(), 4);
+        assert_eq!(z.arity(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn extend_flat_rejects_ragged_chunks() {
+        AnswerBlock::new().extend_flat(2, 2, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn mut_ref_sink_forwards() {
+        fn fill(sink: &mut dyn AnswerSink) {
+            sink.push(&[1]);
+            sink.push(&[2]);
+        }
+        let mut b = AnswerBlock::new();
+        fill(&mut b);
+        assert_eq!(b.len(), 2);
+        // And a `&mut dyn` handle satisfies `impl AnswerSink` bounds.
+        let a = block_of(&[&[7]]);
+        let mut out = AnswerBlock::new();
+        let mut sink: &mut dyn AnswerSink = &mut out;
+        assert_eq!(BlockMerger::new().merge_into(&[&a], &mut sink), 1);
+        assert_eq!(out.get(0), &[7]);
     }
 
     #[test]

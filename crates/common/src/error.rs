@@ -35,6 +35,19 @@ pub enum CqcError {
     },
     /// A request referenced a view name that was never registered.
     UnknownView(String),
+    /// An I/O operation failed (network or file). Carries the rendered
+    /// `std::io::Error` — the original is neither `Clone` nor `PartialEq`,
+    /// which this enum requires, so only the text survives.
+    Io(String),
+    /// A wire-protocol violation or a remote failure that arrived over the
+    /// wire. `code` is a stable numeric identifier (see `frame::code`);
+    /// `detail` is human-readable context.
+    Protocol {
+        /// Stable numeric error code carried in error frames.
+        code: u16,
+        /// Human-readable context.
+        detail: String,
+    },
 }
 
 impl CqcError {
@@ -73,7 +86,17 @@ impl fmt::Display for CqcError {
                     "unknown view `{name}`: register it before serving requests"
                 )
             }
+            CqcError::Io(m) => write!(f, "i/o error: {m}"),
+            CqcError::Protocol { code, detail } => {
+                write!(f, "protocol error (code {code}): {detail}")
+            }
         }
+    }
+}
+
+impl From<std::io::Error> for CqcError {
+    fn from(e: std::io::Error) -> CqcError {
+        CqcError::Io(format!("{e} ({:?})", e.kind()))
     }
 }
 
@@ -119,6 +142,27 @@ mod tests {
         let cause = e.source().expect("ViewBuild must expose its cause");
         assert!(cause.to_string().contains("not found"), "{cause}");
         assert!(CqcError::Parse("x".into()).source().is_none());
+    }
+
+    #[test]
+    fn io_errors_convert_and_keep_the_kind() {
+        let io = std::io::Error::new(std::io::ErrorKind::ConnectionReset, "peer went away");
+        let e: CqcError = io.into();
+        let msg = e.to_string();
+        assert!(msg.starts_with("i/o error:"), "{msg}");
+        assert!(msg.contains("peer went away"), "{msg}");
+        assert!(msg.contains("ConnectionReset"), "{msg}");
+    }
+
+    #[test]
+    fn protocol_errors_carry_code_and_detail() {
+        let e = CqcError::Protocol {
+            code: 104,
+            detail: "shard 2 died mid-stream".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("code 104"), "{msg}");
+        assert!(msg.contains("shard 2"), "{msg}");
     }
 
     #[test]

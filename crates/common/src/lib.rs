@@ -18,7 +18,10 @@
 //!   push-style [`AnswerSink`] trait every enumerator drives, the
 //!   foundation of the allocation-free serve path;
 //! * [`alloc`] — a vendored counting allocator that lets binaries and
-//!   tests *prove* the zero-allocations-per-answer discipline.
+//!   tests *prove* the zero-allocations-per-answer discipline;
+//! * [`frame`] — the `cqc-net` wire frame codec: length-prefixed
+//!   versioned frames whose answer chunks are arity-strided value runs
+//!   that decode straight into an [`AnswerBlock`].
 //!
 //! `unsafe` is denied crate-wide with a single scoped exception in
 //! [`alloc`] (implementing `GlobalAlloc` requires it).
@@ -29,6 +32,7 @@
 pub mod alloc;
 pub mod block;
 pub mod error;
+pub mod frame;
 pub mod hash;
 pub mod heap;
 pub mod metrics;

@@ -67,6 +67,7 @@
 pub mod catalog;
 pub mod engine;
 pub mod policy;
+pub mod service;
 pub mod sharded;
 
 pub use catalog::{Catalog, CatalogKey, CatalogStats};
@@ -74,7 +75,8 @@ pub use engine::{
     Engine, EngineConfig, RegisteredView, Request, Served, UpdateReport, UpdateStats, ViewServer,
 };
 pub use policy::{Policy, Selection};
+pub use service::BlockService;
 pub use sharded::{
-    spec_for_view, ShardedBlocks, ShardedEngine, ShardedEngineConfig, ShardedUpdateReport,
-    SteadyMeasurement,
+    spec_for_view, view_fans_out, ShardedBlocks, ShardedEngine, ShardedEngineConfig,
+    ShardedUpdateReport, SteadyMeasurement,
 };

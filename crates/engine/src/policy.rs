@@ -61,6 +61,54 @@ impl Default for Policy {
     }
 }
 
+impl Policy {
+    /// Parses a compact strategy token — the grammar the `cqe` CLI and the
+    /// wire protocol share, so a policy is expressible as a short string on
+    /// both ends: `auto`, `auto:<budget>`, `materialize`, `direct`,
+    /// `factorized`, `tau:<t>`, `budget:<b>`, `decomposed:<b>`.
+    ///
+    /// # Errors
+    ///
+    /// [`cqc_common::CqcError::Config`] on an unknown token or a bad
+    /// numeric parameter.
+    pub fn parse(token: &str) -> Result<Policy> {
+        use cqc_common::CqcError;
+        let (kind, param) = match token.split_once(':') {
+            Some((k, p)) => (k, Some(p)),
+            None => (token, None),
+        };
+        let num = |p: Option<&str>| -> Result<f64> {
+            p.ok_or_else(|| {
+                CqcError::Config(format!("strategy `{kind}` needs a numeric parameter"))
+            })?
+            .parse::<f64>()
+            .map_err(|_| CqcError::Config(format!("bad numeric parameter in `{token}`")))
+        };
+        match kind {
+            "auto" => Ok(Policy::Auto {
+                space_budget_exp: param.map(|p| num(Some(p))).transpose()?,
+            }),
+            "materialize" => Ok(Policy::Fixed(Strategy::Materialize)),
+            "direct" => Ok(Policy::Fixed(Strategy::Direct)),
+            "factorized" => Ok(Policy::Fixed(Strategy::Factorized)),
+            "tau" => Ok(Policy::Fixed(Strategy::Tradeoff {
+                tau: num(param)?,
+                weights: None,
+            })),
+            "budget" => Ok(Policy::Fixed(Strategy::TradeoffBudget {
+                space_budget_exp: num(param)?,
+            })),
+            "decomposed" => Ok(Policy::Fixed(Strategy::Decomposed {
+                space_budget_exp: num(param)?,
+            })),
+            other => Err(CqcError::Config(format!(
+                "unknown strategy `{other}` (try: auto, auto:<b>, materialize, direct, \
+                 factorized, tau:<t>, budget:<b>, decomposed:<b>)"
+            ))),
+        }
+    }
+}
+
 /// The outcome of strategy selection.
 #[derive(Debug, Clone)]
 pub struct Selection {
@@ -467,6 +515,41 @@ mod tests {
         .unwrap();
         assert_eq!(sel.tag, "theorem-1 τ=2");
         assert_eq!(sel.reason, "fixed by caller");
+    }
+
+    #[test]
+    fn policy_tokens_parse() {
+        assert!(matches!(
+            Policy::parse("auto").unwrap(),
+            Policy::Auto {
+                space_budget_exp: None
+            }
+        ));
+        assert!(matches!(
+            Policy::parse("auto:1.5").unwrap(),
+            Policy::Auto {
+                space_budget_exp: Some(b)
+            } if (b - 1.5).abs() < 1e-12
+        ));
+        assert!(matches!(
+            Policy::parse("materialize").unwrap(),
+            Policy::Fixed(Strategy::Materialize)
+        ));
+        assert!(matches!(
+            Policy::parse("tau:2").unwrap(),
+            Policy::Fixed(Strategy::Tradeoff { tau, weights: None }) if (tau - 2.0).abs() < 1e-12
+        ));
+        assert!(matches!(
+            Policy::parse("decomposed:1.25").unwrap(),
+            Policy::Fixed(Strategy::Decomposed { .. })
+        ));
+        for bad in ["tau", "tau:x", "wat", "budget"] {
+            let err = Policy::parse(bad).unwrap_err();
+            assert!(
+                matches!(err, cqc_common::CqcError::Config(_)),
+                "{bad}: {err}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! [`BlockService`] — the one trait local and remote serving share.
+//!
+//! The remote tier (`cqc-net`) needs every participant — a single
+//! [`Engine`] behind a shard server, a [`ShardedEngine`] spanning cores,
+//! and the network router fronting a fleet — to answer the same four
+//! requests: register a view, stream a request's answers, apply a delta,
+//! and report a version vector. This trait is that contract, shaped like
+//! the wire protocol so a network hop neither adds nor loses capability:
+//!
+//! * policies travel as the compact **strategy token** grammar
+//!   ([`Policy::parse`]) rather than as a `Policy` value, so a register
+//!   request is expressible in a frame;
+//! * answers are pushed into a `&mut dyn AnswerSink` — the object-safe
+//!   handle a connection handler owns — and arrive in the paper's
+//!   lexicographic enumeration order, which is what lets a router k-way
+//!   merge per-shard streams back into one exact order;
+//! * versions are **epoch vectors** (one entry per shard; length 1 for a
+//!   single engine), the consistency token the router checks per request.
+
+use crate::engine::Engine;
+use crate::policy::Policy;
+use crate::sharded::ShardedEngine;
+use cqc_common::error::Result;
+use cqc_common::{AnswerBlock, AnswerSink, BlockMerger, Value};
+use cqc_storage::{Delta, Epoch};
+
+/// A view-serving participant: local engine, sharded engine, or a remote
+/// fleet behind a router — interchangeable behind one object-safe trait.
+pub trait BlockService: Send + Sync {
+    /// Registers `query_text` + `pattern` under `name` with the strategy
+    /// described by `strategy` (the [`Policy::parse`] token grammar).
+    /// Returns the epoch vector the registration observed.
+    ///
+    /// # Errors
+    ///
+    /// Token parse failures ([`cqc_common::CqcError::Config`]) plus the
+    /// underlying registration failure modes.
+    fn register_view(
+        &self,
+        name: &str,
+        query_text: &str,
+        pattern: &str,
+        strategy: &str,
+    ) -> Result<Vec<Epoch>>;
+
+    /// Streams one request's answers into `sink` in lexicographic
+    /// enumeration order; returns the answer count (the sink may have
+    /// stopped the stream early, in which case the count is what was
+    /// pushed).
+    ///
+    /// # Errors
+    ///
+    /// Unknown view, bound-arity mismatch, or a rebuild failure.
+    fn serve_into(&self, view: &str, bound: &[Value], sink: &mut dyn AnswerSink) -> Result<usize>;
+
+    /// Applies a batched delta; returns the post-delta epoch vector.
+    ///
+    /// # Errors
+    ///
+    /// Routing/schema failures before anything is applied; shard update
+    /// failures after.
+    fn apply_update(&self, delta: &Delta) -> Result<Vec<Epoch>>;
+
+    /// The current epoch vector (length = shard count; length 1 for a
+    /// single engine).
+    fn version(&self) -> Vec<Epoch>;
+}
+
+impl BlockService for Engine {
+    fn register_view(
+        &self,
+        name: &str,
+        query_text: &str,
+        pattern: &str,
+        strategy: &str,
+    ) -> Result<Vec<Epoch>> {
+        let policy = Policy::parse(strategy)?;
+        self.register_text(name, query_text, pattern, policy)?;
+        Ok(vec![self.epoch()])
+    }
+
+    fn serve_into(&self, view: &str, bound: &[Value], sink: &mut dyn AnswerSink) -> Result<usize> {
+        let mut count = 0usize;
+        let mut counted = cqc_common::FnSink(|t: &[Value]| {
+            count += 1;
+            sink.push(t)
+        });
+        self.with_view_enumerator(view, |enumerator| {
+            enumerator.answer_into(bound, &mut counted)
+        })??;
+        Ok(count)
+    }
+
+    fn apply_update(&self, delta: &Delta) -> Result<Vec<Epoch>> {
+        Ok(vec![Engine::update(self, delta)?.epoch])
+    }
+
+    fn version(&self) -> Vec<Epoch> {
+        vec![self.epoch()]
+    }
+}
+
+impl BlockService for ShardedEngine {
+    fn register_view(
+        &self,
+        name: &str,
+        query_text: &str,
+        pattern: &str,
+        strategy: &str,
+    ) -> Result<Vec<Epoch>> {
+        let policy = Policy::parse(strategy)?;
+        self.register_text(name, query_text, pattern, policy)?;
+        Ok(ShardedEngine::version(self))
+    }
+
+    fn serve_into(
+        &self,
+        view: &str,
+        bound: &[Value],
+        mut sink: &mut dyn AnswerSink,
+    ) -> Result<usize> {
+        // One-request fan-out: per-shard blocks, then the k-way merge
+        // restores the global order before anything reaches the sink.
+        let mut scratch = crate::sharded::ShardedBlocks::new();
+        let bounds = [bound.to_vec()];
+        self.serve_blocks_into(view, &bounds, &mut scratch)?;
+        let refs: Vec<&AnswerBlock> = scratch.request_blocks(0).collect();
+        Ok(BlockMerger::new().merge_into(&refs, &mut sink))
+    }
+
+    fn apply_update(&self, delta: &Delta) -> Result<Vec<Epoch>> {
+        Ok(ShardedEngine::update(self, delta)?.epochs)
+    }
+
+    fn version(&self) -> Vec<Epoch> {
+        ShardedEngine::version(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sharded::{spec_for_view, ShardedEngineConfig};
+    use cqc_query::parser::parse_adorned;
+    use cqc_storage::{Database, Relation};
+
+    fn db() -> Database {
+        let pairs = vec![(1, 2), (2, 3), (3, 1), (1, 3), (2, 1)];
+        let mut db = Database::new();
+        for name in ["R", "S", "T"] {
+            db.add(Relation::from_pairs(name, pairs.clone())).unwrap();
+        }
+        db
+    }
+
+    const QUERY: &str = "V(x,y,z) :- R(x,y), S(y,z), T(z,x)";
+
+    fn sharded(shards: usize) -> ShardedEngine {
+        let view = parse_adorned(QUERY, "bff").unwrap();
+        let spec = spec_for_view(&view, &db());
+        ShardedEngine::new(
+            db(),
+            spec,
+            ShardedEngineConfig {
+                shards,
+                ..ShardedEngineConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn collect(svc: &dyn BlockService, view: &str, bound: &[Value]) -> Vec<Vec<Value>> {
+        let mut block = AnswerBlock::new();
+        svc.serve_into(view, bound, &mut block).unwrap();
+        block.to_tuples()
+    }
+
+    #[test]
+    fn engine_and_sharded_engine_serve_identically() {
+        let local = Engine::new(db());
+        let sharded = sharded(3);
+        let l: &dyn BlockService = &local;
+        let s: &dyn BlockService = &sharded;
+        assert_eq!(
+            l.register_view("tri", QUERY, "bff", "auto").unwrap().len(),
+            1
+        );
+        assert_eq!(
+            s.register_view("tri", QUERY, "bff", "auto").unwrap().len(),
+            3
+        );
+        for v in 0..4u64 {
+            assert_eq!(collect(l, "tri", &[v]), collect(s, "tri", &[v]));
+        }
+        // Early stop propagates through the trait object.
+        let mut probe = cqc_common::ExistsSink::default();
+        let n = s.serve_into("tri", &[1], &mut probe).unwrap();
+        assert!(probe.found);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn updates_advance_version_vectors_in_lockstep() {
+        let local = Engine::new(db());
+        let sharded = sharded(2);
+        let l: &dyn BlockService = &local;
+        let s: &dyn BlockService = &sharded;
+        l.register_view("tri", QUERY, "bff", "tau:2").unwrap();
+        s.register_view("tri", QUERY, "bff", "tau:2").unwrap();
+        let mut delta = Delta::new();
+        delta.insert("R", vec![3, 3]);
+        let lv = l.apply_update(&delta).unwrap();
+        let sv = s.apply_update(&delta).unwrap();
+        assert_eq!(lv, l.version());
+        assert_eq!(sv, s.version());
+        assert_eq!(collect(l, "tri", &[3]), collect(s, "tri", &[3]));
+    }
+
+    #[test]
+    fn bad_strategy_token_is_a_config_error() {
+        let local = Engine::new(db());
+        let err = (&local as &dyn BlockService)
+            .register_view("v", QUERY, "bff", "nonsense")
+            .unwrap_err();
+        assert!(matches!(err, cqc_common::CqcError::Config(_)), "{err}");
+    }
+}

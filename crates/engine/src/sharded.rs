@@ -868,6 +868,10 @@ pub fn spec_for_view(view: &AdornedView, db: &Database) -> PartitionSpec {
 /// [`CqcError::Config`] when a hash-partitioned relation is used in a way
 /// that breaks the invariant: a non-natural atom over it, a hash column out
 /// of range, or two hashed atoms disagreeing on the partition variable.
+pub fn view_fans_out(spec: &PartitionSpec, view: &AdornedView) -> Result<bool> {
+    routing_for(spec, view)
+}
+
 fn routing_for(spec: &PartitionSpec, view: &AdornedView) -> Result<bool> {
     let mut partition_var: Option<Var> = None;
     for atom in &view.query().atoms {

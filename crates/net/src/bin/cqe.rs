@@ -16,6 +16,17 @@
 //! explain <name>                       strategy selection + representation
 //! update <rel> <v1> <v2> ...           insert one tuple (bumps the epoch,
 //!                                      maintains/rebuilds cached views)
+//! serve <addr> [--shard=<i>/<n> <pattern> "<query>"]
+//!                                      expose the current database as a
+//!                                      shard server (blocks until killed);
+//!                                      --shard keeps only slice i of an
+//!                                      n-way hash split derived from the
+//!                                      query's partition spec
+//! route <addr> <pattern> "<query>" --shards=<a,b,c>
+//!                                      run the front-door router: fans
+//!                                      requests out across the shard
+//!                                      fleet and merges the streams back
+//!                                      into exact lexicographic order
 //! bench <name> <requests> <threads> [seed] [witness|random]
 //!       [--with-updates[=<rounds>]] [--json=<path>]
 //!                                      serve a generated request stream;
@@ -48,19 +59,30 @@
 //! solves) plus the shared-plan vs plan-per-shard sharded register curve —
 //! plan-once registration solves strategy selection exactly once and ships
 //! it to all shards.
+//!
+//! `bench --profile net` stands up a loopback fleet — four shard servers
+//! on 127.0.0.1 behind a [`cqc_net::Router`] — and serves the identical
+//! request stream remotely and through an in-process 4-shard
+//! [`cqc_engine::ShardedEngine`] under the same partition spec, reporting
+//! answers/s on both paths, wire bytes per answer, and a tuple-for-tuple
+//! stream-equivalence verdict (also re-checked after an interleaved
+//! update through both paths).
 
 use cqc_bench::{fmt_bytes, fmt_ns, BatchStats};
 use cqc_common::alloc as cqalloc;
-use cqc_core::Strategy;
-use cqc_engine::{Engine, Policy, Request, UpdateReport};
+use cqc_common::AnswerBlock;
+use cqc_engine::{BlockService, Engine, Policy, Request, UpdateReport};
 use cqc_join::naive::evaluate_view;
+use cqc_net::{ClientConfig, NetServer, NetServerConfig, Router};
+use cqc_query::parser::parse_adorned;
 use cqc_storage::csv::CsvOptions;
-use cqc_storage::Delta;
+use cqc_storage::{Delta, Partitioning};
 use cqc_workload::{
     graphs, random_requests, recombination_delta, uniform_relation, witness_requests,
 };
 use std::io::BufRead;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Every allocation in this binary is counted, so `bench --profile enum`
 /// can report allocations-per-answer exactly (the counter costs a few
@@ -147,14 +169,25 @@ fn print_help() {
     println!("  register <name> <pattern> <strategy> <query>");
     println!("  ask <name> <values...>   exists <name> <values...>   explain <name>");
     println!("  update <rel> <values...>");
+    println!("  serve <addr> [--shard=<i>/<n> <pattern> \"<query>\"]");
+    println!("        [--max-inflight=<n>] [--deadline-ms=<n>]");
+    println!("        shard server over the current database (blocks until killed);");
+    println!("        --shard keeps slice i of an n-way hash split for the query");
+    println!("  route <addr> <pattern> \"<query>\" --shards=<a,b,c>");
+    println!("        [--max-inflight=<n>] [--deadline-ms=<n>]");
+    println!("        front-door router: health-checks the fleet, fans out, merges");
     println!("  bench <name> <requests> <threads> [seed] [witness|random]");
-    println!("        [--with-updates[=<rounds>]] [--profile enum|shard|build] [--json=<path>]");
+    println!(
+        "        [--with-updates[=<rounds>]] [--profile enum|shard|build|net] [--json=<path>]"
+    );
     println!("        --profile enum:  flat-block vs legacy pipeline (answers/s,");
     println!("        heap allocations per answer under the counting allocator)");
     println!("        --profile shard: 1/2/4/8-shard scaling curve (parallel build,");
     println!("        multicore serve, 0 allocs/answer per shard)");
     println!("        --profile build: register-time breakdown (sort/index/dict/lp)");
     println!("        + shared-plan vs plan-per-shard register curve");
+    println!("        --profile net:   loopback fleet vs in-process sharded serve");
+    println!("        (answers/s both paths, wire bytes/answer, stream equivalence)");
     println!("        [--baseline-register-ns=<n>: record a speedup vs that baseline]");
     println!("  stats   demo   help   quit");
     println!();
@@ -188,38 +221,11 @@ fn split_words(line: &str) -> Result<Vec<String>, String> {
     Ok(words)
 }
 
+/// Strategy tokens share one grammar with the wire protocol
+/// ([`Policy::parse`]), so a token accepted here is accepted verbatim by a
+/// remote `register` through the router.
 fn parse_strategy(token: &str) -> Result<Policy, String> {
-    let (kind, param) = match token.split_once(':') {
-        Some((k, p)) => (k, Some(p)),
-        None => (token, None),
-    };
-    let num = |p: Option<&str>| -> Result<f64, String> {
-        p.ok_or_else(|| format!("strategy `{kind}` needs a numeric parameter"))?
-            .parse::<f64>()
-            .map_err(|_| format!("bad numeric parameter in `{token}`"))
-    };
-    match kind {
-        "auto" => Ok(Policy::Auto {
-            space_budget_exp: param.map(|p| num(Some(p))).transpose()?,
-        }),
-        "materialize" => Ok(Policy::Fixed(Strategy::Materialize)),
-        "direct" => Ok(Policy::Fixed(Strategy::Direct)),
-        "factorized" => Ok(Policy::Fixed(Strategy::Factorized)),
-        "tau" => Ok(Policy::Fixed(Strategy::Tradeoff {
-            tau: num(param)?,
-            weights: None,
-        })),
-        "budget" => Ok(Policy::Fixed(Strategy::TradeoffBudget {
-            space_budget_exp: num(param)?,
-        })),
-        "decomposed" => Ok(Policy::Fixed(Strategy::Decomposed {
-            space_budget_exp: num(param)?,
-        })),
-        other => Err(format!(
-            "unknown strategy `{other}` (try: auto, auto:<b>, materialize, direct, \
-             factorized, tau:<t>, budget:<b>, decomposed:<b>)"
-        )),
-    }
+    Policy::parse(token).map_err(|e| e.to_string())
 }
 
 /// Executes one command; `Ok(false)` means quit.
@@ -361,6 +367,8 @@ fn execute(engine: &mut Engine, line: &str) -> Result<bool, String> {
                 u.restamped
             );
         }
+        "serve" => serve_cmd(engine, rest)?,
+        "route" => route_cmd(engine, rest)?,
         "bench" => bench(engine, rest)?,
         "demo" => {
             for cmd in [
@@ -446,6 +454,163 @@ fn gen(engine: &mut Engine, rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Server tuning flags shared by `serve` and `route`
+/// (`--max-inflight=<n>`, `--deadline-ms=<n>`); unknown flags are the
+/// caller's to reject.
+fn net_server_config(opts: &[String]) -> Result<NetServerConfig, String> {
+    let mut config = NetServerConfig::default();
+    for opt in opts {
+        let Some(flag) = opt.strip_prefix("--") else {
+            continue;
+        };
+        match flag.split_once('=') {
+            Some(("max-inflight", v)) => {
+                config.max_inflight = v
+                    .parse()
+                    .map_err(|_| format!("bad --max-inflight value `{v}`"))?;
+            }
+            Some(("deadline-ms", v)) => {
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --deadline-ms value `{v}`"))?;
+                config.request_deadline = Some(Duration::from_millis(ms));
+            }
+            _ => {}
+        }
+    }
+    Ok(config)
+}
+
+/// Rejects any `--flag` not in `known` (the positional words were already
+/// consumed by the caller).
+fn reject_unknown_flags(opts: &[String], known: &[&str]) -> Result<(), String> {
+    for opt in opts {
+        if let Some(flag) = opt.strip_prefix("--") {
+            let key = flag.split_once('=').map_or(flag, |(k, _)| k);
+            if !known.contains(&key) {
+                return Err(format!("unknown flag `--{key}`"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `serve <addr> [--shard=<i>/<n> <pattern> "<query>"] [--max-inflight=<n>]
+/// [--deadline-ms=<n>]` — expose the current database as a shard server.
+///
+/// Views are registered *remotely* (by a router or any protocol client),
+/// so the command only needs data: with `--shard=<i>/<n>` the local
+/// database is hash-split under the partition spec derived for the given
+/// adorned query and only slice `i` is served — every fleet member runs
+/// the same deterministic script with a different `i` and the slices line
+/// up with what a router under the same spec expects. Blocks until the
+/// process is killed.
+fn serve_cmd(engine: &mut Engine, rest: &[String]) -> Result<(), String> {
+    let usage = "usage: serve <addr> [--shard=<i>/<n> <pattern> \"<query>\"] \
+                 [--max-inflight=<n>] [--deadline-ms=<n>]";
+    let [addr, opts @ ..] = rest else {
+        return Err(usage.into());
+    };
+    reject_unknown_flags(opts, &["shard", "max-inflight", "deadline-ms"])?;
+    let config = net_server_config(opts)?;
+    let shard = opts
+        .iter()
+        .find_map(|o| o.strip_prefix("--shard="))
+        .map(|v| -> Result<(usize, usize), String> {
+            let (i, n) = v
+                .split_once('/')
+                .ok_or_else(|| format!("bad --shard value `{v}` (want <i>/<n>)"))?;
+            let i: usize = i.parse().map_err(|_| format!("bad shard index `{i}`"))?;
+            let n: usize = n.parse().map_err(|_| format!("bad shard count `{n}`"))?;
+            if n == 0 || i >= n {
+                return Err(format!("shard index {i} out of range for {n} shard(s)"));
+            }
+            Ok((i, n))
+        })
+        .transpose()?;
+    let positional: Vec<&String> = opts.iter().filter(|o| !o.starts_with("--")).collect();
+
+    // Take the engine (this command never returns); the REPL keeps an
+    // empty stand-in it will never get to use.
+    let owned = std::mem::replace(engine, Engine::new(cqc_storage::Database::new()));
+    let service: Arc<dyn BlockService> = match shard {
+        None => {
+            if !positional.is_empty() {
+                return Err(usage.into());
+            }
+            Arc::new(owned)
+        }
+        Some((i, n)) => {
+            let [pattern, query] = positional.as_slice() else {
+                return Err(usage.into());
+            };
+            let view = parse_adorned(query, pattern).map_err(|e| e.to_string())?;
+            let db = owned.db();
+            let spec = cqc_engine::spec_for_view(&view, &db);
+            let part = Partitioning::new(spec, n).map_err(|e| e.to_string())?;
+            let mut slices = part.split_database(&db).map_err(|e| e.to_string())?;
+            let slice = slices.swap_remove(i);
+            println!(
+                "shard {i}/{n}: keeping {} of {} tuples under the `{query}` spec",
+                slice.size(),
+                db.size()
+            );
+            Arc::new(Engine::new(slice))
+        }
+    };
+    let handle = NetServer::spawn(service, addr, config).map_err(|e| e.to_string())?;
+    println!(
+        "shard server listening on {} (protocol v{}; register views remotely; ctrl-c to stop)",
+        handle.addr(),
+        cqc_common::frame::PROTOCOL_VERSION
+    );
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `route <addr> <pattern> "<query>" --shards=<a,b,c> [--max-inflight=<n>]
+/// [--deadline-ms=<n>]` — run the front-door router over a shard fleet.
+///
+/// The partition spec is derived from the *local* database and the given
+/// adorned query — load or `gen` the same data (same seeds) the fleet was
+/// split from so the spec matches the fleet's slices. Blocks until the
+/// process is killed.
+fn route_cmd(engine: &mut Engine, rest: &[String]) -> Result<(), String> {
+    let usage = "usage: route <addr> <pattern> \"<query>\" --shards=<a,b,c> \
+                 [--max-inflight=<n>] [--deadline-ms=<n>]";
+    let [addr, pattern, query, opts @ ..] = rest else {
+        return Err(usage.into());
+    };
+    reject_unknown_flags(opts, &["shards", "max-inflight", "deadline-ms"])?;
+    let config = net_server_config(opts)?;
+    let shards: Vec<String> = opts
+        .iter()
+        .find_map(|o| o.strip_prefix("--shards="))
+        .ok_or_else(|| usage.to_string())?
+        .split(',')
+        .map(str::to_string)
+        .collect();
+    let view = parse_adorned(query, pattern).map_err(|e| e.to_string())?;
+    let spec = cqc_engine::spec_for_view(&view, &engine.db());
+    let router =
+        Router::connect(&shards, spec, ClientConfig::default()).map_err(|e| e.to_string())?;
+    println!(
+        "router connected to {} shard(s): {}",
+        router.num_shards(),
+        router.addrs().join(", ")
+    );
+    let handle = NetServer::spawn(Arc::new(router), addr, config).map_err(|e| e.to_string())?;
+    println!(
+        "router listening on {} (protocol v{}; ctrl-c to stop)",
+        handle.addr(),
+        cqc_common::frame::PROTOCOL_VERSION
+    );
+    loop {
+        std::thread::park();
+    }
+}
+
 /// Which benchmark flow `bench` runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum BenchProfile {
@@ -458,6 +623,8 @@ enum BenchProfile {
     /// Build-path breakdown + shared-plan vs plan-per-shard register curve
     /// (`--profile build`).
     Build,
+    /// Loopback fleet versus in-process sharded serve (`--profile net`).
+    Net,
 }
 
 /// Options accepted by `bench` after the positional arguments.
@@ -523,9 +690,10 @@ fn parse_bench_opts(opts: &[String]) -> Result<BenchOpts, String> {
                     Some("enum") => parsed.profile = BenchProfile::Enum,
                     Some("shard") => parsed.profile = BenchProfile::Shard,
                     Some("build") => parsed.profile = BenchProfile::Build,
+                    Some("net") => parsed.profile = BenchProfile::Net,
                     other => {
                         return Err(format!(
-                            "unknown bench profile `{}` (`enum`, `shard` and `build` exist)",
+                            "unknown bench profile `{}` (`enum`, `shard`, `build` and `net` exist)",
                             other.unwrap_or("")
                         ));
                     }
@@ -621,6 +789,10 @@ fn bench(engine: &mut Engine, rest: &[String]) -> Result<(), String> {
                 opts.json_path.as_deref(),
                 opts.baseline_register_ns,
             );
+        }
+        BenchProfile::Net => {
+            require_single_threaded("net", threads)?;
+            return bench_net(engine, &rv, &bounds, opts.json_path.as_deref());
         }
         BenchProfile::Serve => {}
     }
@@ -1245,6 +1417,205 @@ fn bench_build(
         fields.push(format!("\"plan_once_ok\": {plan_once_ok}"));
         fields.push(format!("\"shared_plan_le_per_shard_ok\": {shared_ok}"));
         write_json_summary(path, &fields)?;
+    }
+    Ok(())
+}
+
+/// The net profile: how much does the wire cost, and is the remote stream
+/// *exactly* the local stream?
+///
+/// Stands up four shard servers on 127.0.0.1 — each a fresh [`Engine`]
+/// over one slice of the current database, split under the partition spec
+/// derived for the benched view — fronts them with a [`Router`], and
+/// serves the identical request stream twice: through an in-process
+/// 4-shard [`cqc_engine::ShardedEngine`] under the same spec, and through
+/// the router over TCP. Both paths are warmed, then measured, and the
+/// merged streams are compared tuple-for-tuple (the order contract is
+/// exact lexicographic on both sides, so equality is `==`, not set
+/// equality). One recombination delta is then applied through both update
+/// paths and the full stream is re-compared, so the gate also covers the
+/// split-delta/epoch machinery. Wire bytes come from the router's
+/// per-connection counters around the measured pass.
+fn bench_net(
+    engine: &Engine,
+    rv: &cqc_engine::RegisteredView,
+    bounds: &[Vec<u64>],
+    json_path: Option<&str>,
+) -> Result<(), String> {
+    use cqc_engine::{ShardedBlocks, ShardedEngine, ShardedEngineConfig};
+    const SHARDS: usize = 4;
+
+    let base_db = (*engine.db()).clone();
+    let query_text = rv.view.query().to_string();
+    let pattern = rv.view.pattern();
+    let spec = cqc_engine::spec_for_view(&rv.view, &base_db);
+
+    // In-process baseline: a 4-shard engine under the same spec. Both
+    // sides register with the `auto` policy so neither gets a hand-tuned
+    // advantage.
+    let sharded = ShardedEngine::new(
+        base_db.clone(),
+        spec.clone(),
+        ShardedEngineConfig {
+            shards: SHARDS,
+            ..ShardedEngineConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    sharded
+        .register(&rv.name, rv.view.clone(), parse_strategy("auto")?)
+        .map_err(|e| e.to_string())?;
+
+    // The loopback fleet: one server per database slice, OS-chosen ports.
+    let part = Partitioning::new(spec.clone(), SHARDS).map_err(|e| e.to_string())?;
+    let slices = part.split_database(&base_db).map_err(|e| e.to_string())?;
+    let mut servers = Vec::with_capacity(SHARDS);
+    let mut addrs = Vec::with_capacity(SHARDS);
+    for slice in slices {
+        let handle = NetServer::spawn(
+            Arc::new(Engine::new(slice)),
+            "127.0.0.1:0",
+            NetServerConfig::default(),
+        )
+        .map_err(|e| e.to_string())?;
+        addrs.push(handle.addr().to_string());
+        servers.push(handle);
+    }
+    let router =
+        Router::connect(&addrs, spec, ClientConfig::default()).map_err(|e| e.to_string())?;
+    router
+        .register_view(&rv.name, &query_text, &pattern, "auto")
+        .map_err(|e| e.to_string())?;
+
+    // One measured pass per side; `collect` toggles the tuple capture so
+    // the warm pass costs no Vec growth inside the measurement.
+    let mut scratch = ShardedBlocks::new();
+    let mut local_pass = |collect: bool| -> Result<(Vec<Vec<u64>>, usize, u64), String> {
+        let mut tuples: Vec<Vec<u64>> = vec![Vec::new(); bounds.len()];
+        let t0 = Instant::now();
+        let answers = sharded
+            .serve_stream_with(&rv.name, bounds, &mut scratch, |i, block| {
+                if collect {
+                    tuples[i].extend_from_slice(block.values());
+                }
+            })
+            .map_err(|e| e.to_string())?;
+        Ok((tuples, answers, t0.elapsed().as_nanos() as u64))
+    };
+    let remote_pass = |collect: bool| -> Result<(Vec<Vec<u64>>, usize, u64), String> {
+        let mut tuples: Vec<Vec<u64>> = vec![Vec::new(); bounds.len()];
+        let mut block = AnswerBlock::new();
+        let mut answers = 0usize;
+        let t0 = Instant::now();
+        for (i, bound) in bounds.iter().enumerate() {
+            block.reset();
+            answers += router
+                .serve_merged(&rv.name, bound, &mut block)
+                .map_err(|e| e.to_string())?;
+            if collect {
+                tuples[i].extend_from_slice(block.values());
+            }
+        }
+        Ok((tuples, answers, t0.elapsed().as_nanos() as u64))
+    };
+
+    local_pass(false)?; // warm: builds per-shard scratch high-water marks
+    let (local_tuples, local_answers, local_ns) = local_pass(true)?;
+    remote_pass(false)?; // warm: server-side scratch + connection buffers
+    let (rx0, tx0) = router.wire_bytes();
+    let (remote_tuples, remote_answers, remote_ns) = remote_pass(true)?;
+    let (rx1, tx1) = router.wire_bytes();
+    let stream_equal = local_tuples == remote_tuples && local_answers == remote_answers;
+
+    // One delta through both update paths, then the full stream again:
+    // catches split-delta or maintenance divergence the static pass can't.
+    let mut view_relations: Vec<&str> = rv
+        .view
+        .query()
+        .atoms
+        .iter()
+        .map(|a| a.relation.as_str())
+        .collect();
+    view_relations.sort_unstable();
+    view_relations.dedup();
+    let mut rng = cqc_workload::rng(13);
+    let delta = recombination_delta(&mut rng, &base_db, &view_relations, 3);
+    sharded.apply_update(&delta).map_err(|e| e.to_string())?;
+    router.apply_update(&delta).map_err(|e| e.to_string())?;
+    let (local_after, local_answers_after, _) = local_pass(true)?;
+    let (remote_after, remote_answers_after, _) = remote_pass(true)?;
+    let update_equal = local_after == remote_after && local_answers_after == remote_answers_after;
+    let epochs_equal = sharded.version() == router.version();
+
+    let per_s = |answers: usize, ns: u64| answers as f64 / (ns.max(1) as f64 / 1e9);
+    let local_rate = per_s(local_answers, local_ns);
+    let remote_rate = per_s(remote_answers, remote_ns);
+    let wire_in = rx1 - rx0;
+    let wire_out = tx1 - tx0;
+    let bytes_per_answer = wire_in as f64 / remote_answers.max(1) as f64;
+    println!(
+        "bench `{}` [profile net]: {} requests, {} answers, {SHARDS} loopback shard(s), \
+         protocol v{}",
+        rv.name,
+        bounds.len(),
+        local_answers,
+        cqc_common::frame::PROTOCOL_VERSION
+    );
+    println!(
+        "  in-process sharded: {local_rate:.0} answers/s ({})",
+        fmt_ns(local_ns)
+    );
+    println!(
+        "  loopback fleet:     {remote_rate:.0} answers/s ({}), {} down / {} up \
+         ({bytes_per_answer:.1} bytes/answer)",
+        fmt_ns(remote_ns),
+        fmt_bytes(wire_in as usize),
+        fmt_bytes(wire_out as usize)
+    );
+    println!(
+        "  remote/local: {:.2}x; streams identical: {}; after update: {}; epochs aligned: {}",
+        remote_rate / local_rate.max(1e-9),
+        stream_equal,
+        update_equal,
+        epochs_equal
+    );
+
+    let all_equal = stream_equal && update_equal;
+    if let Some(path) = json_path {
+        let fields = [
+            format!("\"view\": {}", json_string(&rv.name)),
+            "\"profile\": \"net\"".to_string(),
+            format!(
+                "\"protocol_version\": {}",
+                cqc_common::frame::PROTOCOL_VERSION
+            ),
+            format!("\"shards\": {SHARDS}"),
+            format!("\"requests\": {}", bounds.len()),
+            format!("\"answers\": {local_answers}"),
+            format!("\"local_wall_ns\": {local_ns}"),
+            format!("\"local_answers_per_s\": {local_rate:.1}"),
+            format!("\"net_wall_ns\": {remote_ns}"),
+            format!("\"net_answers_per_s\": {remote_rate:.1}"),
+            format!(
+                "\"net_vs_local\": {:.4}",
+                remote_rate / local_rate.max(1e-9)
+            ),
+            format!("\"wire_bytes_down\": {wire_in}"),
+            format!("\"wire_bytes_up\": {wire_out}"),
+            format!("\"bytes_per_answer\": {bytes_per_answer:.2}"),
+            format!("\"epochs_equal\": {epochs_equal}"),
+            format!("\"stream_equal\": {all_equal}"),
+        ];
+        write_json_summary(path, &fields)?;
+    }
+    for server in &mut servers {
+        server.shutdown();
+    }
+    if !all_equal {
+        return Err(format!(
+            "net profile self-check failed: remote stream diverged from the in-process \
+             stream (pre-update equal: {stream_equal}, post-update equal: {update_equal})"
+        ));
     }
     Ok(())
 }

@@ -1,0 +1,40 @@
+//! `cqc-net` — the remote serving tier for the `cqc` workspace.
+//!
+//! The paper's regime (Deep & Koutris, PODS 2018) is build once, answer
+//! many; this crate takes "many" off-box. It is std-only TCP — no
+//! external dependencies — in three layers:
+//!
+//! * [`protocol`] — message encoding over the versioned, length-prefixed
+//!   frame codec in [`cqc_common::frame`]. Answer streams travel as
+//!   arity-strided [`cqc_common::AnswerBlock`] chunks that decode with one
+//!   flat copy, and every failure maps onto the
+//!   [`cqc_common::CqcError`] taxonomy via a stable numeric code table.
+//! * [`server`] — [`server::NetServer`]: a thread-per-connection loop
+//!   wrapping any [`cqc_engine::BlockService`] (an engine, a sharded
+//!   engine, or a router). Per-request deadlines and client disconnects
+//!   stop enumeration mid-block through the push-sink early-stop hook;
+//!   a bounded in-flight gate refuses excess serve requests with a typed
+//!   refusal frame instead of buffering without bound.
+//! * [`client`] / [`router`] — [`client::ShardClient`] (one connection,
+//!   retry with capped backoff, client-side deadlines) and
+//!   [`router::Router`]: the front door holding health-checked
+//!   connections to N shard servers, fanning each request out
+//!   shard-major, checking every reply's epoch vector against the last
+//!   known version, and k-way merging the per-shard streams back into
+//!   exact lexicographic order with [`cqc_common::BlockMerger`].
+//!
+//! The `cqe` binary gains `serve --addr` (shard server), `route`
+//! (front-door router) and `bench --profile net` (loopback fleet vs
+//! in-process serve) on top of the existing subcommands.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod router;
+pub mod server;
+
+pub use client::{ClientConfig, RemoteShard, ShardClient};
+pub use router::Router;
+pub use server::{NetServer, NetServerConfig, ServerHandle};

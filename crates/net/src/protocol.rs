@@ -1,0 +1,271 @@
+//! Message-level encoding over the [`cqc_common::frame`] codec.
+//!
+//! One function pair per message: `encode_*` fills a reusable
+//! [`PayloadWriter`], `parse_*` reads a received payload back with every
+//! bound check mapped to a typed [`code::BAD_FRAME`] protocol error. The
+//! layouts (protocol version 1):
+//!
+//! | frame | payload |
+//! |---|---|
+//! | `Register` | `str name \| str query \| str pattern \| str strategy` |
+//! | `Serve` | `str view \| u16 n \| n×u64 bound values` |
+//! | `Update` | `u32 groups \| per group: str rel, u16 arity, u32 rows, rows×arity u64` |
+//! | `Health` | empty |
+//! | `RegisterOk` / `UpdateOk` / `HealthOk` | epoch vector (`u32 n \| n×u64`) |
+//! | `Chunk` | `u16 arity \| u32 count \| count×arity u64` (see [`cqc_common::frame`]) |
+//! | `ServeDone` | `u64 total \| epoch vector` |
+//! | `Error` | `u16 code \| str detail` |
+//!
+//! `str` is `u32 len | UTF-8 bytes`; all integers little endian.
+
+use cqc_common::error::Result;
+use cqc_common::frame::{code, encode_epochs, PayloadReader, PayloadWriter};
+use cqc_common::{CqcError, Value};
+use cqc_storage::{Delta, Epoch};
+
+/// A parsed register request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterReq {
+    /// View name to bind.
+    pub name: String,
+    /// Conjunctive query text.
+    pub query: String,
+    /// Adornment pattern (`b`/`f` per head variable).
+    pub pattern: String,
+    /// Strategy token (the [`cqc_engine::Policy::parse`] grammar).
+    pub strategy: String,
+}
+
+/// A parsed serve request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeReq {
+    /// Registered view name.
+    pub view: String,
+    /// Bound-variable values, pattern order.
+    pub bound: Vec<Value>,
+}
+
+/// Encodes a [`RegisterReq`] into `w` (cleared first).
+pub fn encode_register(w: &mut PayloadWriter, req: &RegisterReq) {
+    w.start()
+        .put_str(&req.name)
+        .put_str(&req.query)
+        .put_str(&req.pattern)
+        .put_str(&req.strategy);
+}
+
+/// Parses a [`RegisterReq`].
+///
+/// # Errors
+///
+/// [`code::BAD_FRAME`] on truncation or non-UTF-8 strings.
+pub fn parse_register(payload: &[u8]) -> Result<RegisterReq> {
+    let mut r = PayloadReader::new(payload);
+    Ok(RegisterReq {
+        name: r.get_str()?.to_string(),
+        query: r.get_str()?.to_string(),
+        pattern: r.get_str()?.to_string(),
+        strategy: r.get_str()?.to_string(),
+    })
+}
+
+/// Encodes a [`ServeReq`] into `w` (cleared first).
+pub fn encode_serve(w: &mut PayloadWriter, view: &str, bound: &[Value]) {
+    w.start().put_str(view).put_u16(bound.len() as u16);
+    w.put_values(bound);
+}
+
+/// Parses a [`ServeReq`].
+///
+/// # Errors
+///
+/// [`code::BAD_FRAME`] on truncation or non-UTF-8 strings.
+pub fn parse_serve(payload: &[u8]) -> Result<ServeReq> {
+    let mut r = PayloadReader::new(payload);
+    let view = r.get_str()?.to_string();
+    let n = r.get_u16()? as usize;
+    let mut bound = Vec::with_capacity(n);
+    r.get_values(n, &mut bound)?;
+    Ok(ServeReq { view, bound })
+}
+
+/// Encodes a [`Delta`] into `w` (cleared first). Empty groups are dropped
+/// (they carry no information and a zero arity would be ambiguous).
+pub fn encode_update(w: &mut PayloadWriter, delta: &Delta) {
+    let groups: Vec<(&str, &[Vec<Value>])> =
+        delta.groups().filter(|(_, ts)| !ts.is_empty()).collect();
+    w.start().put_u32(groups.len() as u32);
+    for (rel, tuples) in groups {
+        w.put_str(rel)
+            .put_u16(tuples[0].len() as u16)
+            .put_u32(tuples.len() as u32);
+        for t in tuples {
+            w.put_values(t);
+        }
+    }
+}
+
+/// Parses a [`Delta`].
+///
+/// # Errors
+///
+/// [`code::BAD_FRAME`] on truncation, non-UTF-8 strings, or a tuple whose
+/// arity disagrees with its group header.
+pub fn parse_update(payload: &[u8]) -> Result<Delta> {
+    let mut r = PayloadReader::new(payload);
+    let ngroups = r.get_u32()? as usize;
+    let mut delta = Delta::new();
+    for _ in 0..ngroups {
+        let rel = r.get_str()?.to_string();
+        let arity = r.get_u16()? as usize;
+        let rows = r.get_u32()? as usize;
+        for _ in 0..rows {
+            let mut t = Vec::with_capacity(arity);
+            r.get_values(arity, &mut t)?;
+            delta.insert(&rel, t);
+        }
+    }
+    Ok(delta)
+}
+
+/// Encodes a `ServeDone` payload (`u64 total | epoch vector`) into `w`
+/// (cleared first).
+pub fn encode_serve_done(w: &mut PayloadWriter, total: u64, epochs: &[Epoch]) {
+    w.start().put_u64(total);
+    encode_epochs(w, epochs);
+}
+
+/// Parses a `ServeDone` payload back into `(total, epochs)`.
+///
+/// # Errors
+///
+/// [`code::BAD_FRAME`] on truncation.
+pub fn parse_serve_done(payload: &[u8]) -> Result<(u64, Vec<Epoch>)> {
+    let mut r = PayloadReader::new(payload);
+    let total = r.get_u64()?;
+    let epochs = cqc_common::frame::decode_epochs(&mut r)?;
+    Ok((total, epochs))
+}
+
+/// Encodes an epoch-vector-only payload (`RegisterOk`, `UpdateOk`,
+/// `HealthOk`) into `w` (cleared first).
+pub fn encode_epoch_reply(w: &mut PayloadWriter, epochs: &[Epoch]) {
+    encode_epochs(w.start(), epochs);
+}
+
+/// Parses an epoch-vector-only payload.
+///
+/// # Errors
+///
+/// [`code::BAD_FRAME`] on truncation.
+pub fn parse_epoch_reply(payload: &[u8]) -> Result<Vec<Epoch>> {
+    cqc_common::frame::decode_epochs(&mut PayloadReader::new(payload))
+}
+
+/// Encodes an error payload (`u16 code | str detail`) into `w` (cleared
+/// first).
+pub fn encode_error(w: &mut PayloadWriter, e: &CqcError) {
+    w.start()
+        .put_u16(cqc_common::frame::error_code(e))
+        .put_str(&e.to_string());
+}
+
+/// Parses an error payload back into the typed [`CqcError`] it encodes
+/// (via [`cqc_common::frame::decode_error`]).
+///
+/// # Errors
+///
+/// [`code::BAD_FRAME`] on truncation — of the *carrier*; the carried
+/// error comes back in the `Ok` arm by design.
+pub fn parse_error(payload: &[u8]) -> Result<CqcError> {
+    let mut r = PayloadReader::new(payload);
+    let code_ = r.get_u16()?;
+    let detail = r.get_str()?;
+    Ok(cqc_common::frame::decode_error(code_, detail))
+}
+
+/// A typed refusal for an unexpected frame kind — the shared "the peer is
+/// speaking out of turn" error both ends raise.
+pub fn unexpected_frame(context: &str, kind: cqc_common::frame::FrameKind) -> CqcError {
+    CqcError::Protocol {
+        code: code::BAD_FRAME,
+        detail: format!("unexpected {kind:?} frame {context}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_round_trips() {
+        let req = RegisterReq {
+            name: "tri".into(),
+            query: "V(x,y,z) :- R(x,y), S(y,z), T(z,x)".into(),
+            pattern: "bff".into(),
+            strategy: "tau:2".into(),
+        };
+        let mut w = PayloadWriter::new();
+        encode_register(&mut w, &req);
+        assert_eq!(parse_register(w.bytes()).unwrap(), req);
+    }
+
+    #[test]
+    fn serve_round_trips() {
+        let mut w = PayloadWriter::new();
+        encode_serve(&mut w, "tri", &[7, 11]);
+        let req = parse_serve(w.bytes()).unwrap();
+        assert_eq!(req.view, "tri");
+        assert_eq!(req.bound, vec![7, 11]);
+        // Empty bound vectors (fff patterns) survive.
+        encode_serve(&mut w, "all", &[]);
+        assert!(parse_serve(w.bytes()).unwrap().bound.is_empty());
+    }
+
+    #[test]
+    fn update_round_trips() {
+        let mut delta = Delta::new();
+        delta.insert("R", vec![1, 2]);
+        delta.insert("R", vec![3, 4]);
+        delta.insert("S", vec![5, 6]);
+        let mut w = PayloadWriter::new();
+        encode_update(&mut w, &delta);
+        let back = parse_update(w.bytes()).unwrap();
+        assert_eq!(back.tuples_for("R").unwrap(), &[vec![1, 2], vec![3, 4]]);
+        assert_eq!(back.tuples_for("S").unwrap(), &[vec![5, 6]]);
+        assert_eq!(back.total_tuples(), 3);
+    }
+
+    #[test]
+    fn serve_done_and_epoch_replies_round_trip() {
+        let mut w = PayloadWriter::new();
+        encode_serve_done(&mut w, 42, &[3, 1, 4]);
+        assert_eq!(parse_serve_done(w.bytes()).unwrap(), (42, vec![3, 1, 4]));
+        encode_epoch_reply(&mut w, &[9]);
+        assert_eq!(parse_epoch_reply(w.bytes()).unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn errors_round_trip_typed() {
+        let mut w = PayloadWriter::new();
+        encode_error(&mut w, &CqcError::UnknownView("ghost".into()));
+        let back = parse_error(w.bytes()).unwrap();
+        assert!(matches!(back, CqcError::UnknownView(_)), "{back}");
+        let deadline = CqcError::Protocol {
+            code: code::DEADLINE,
+            detail: "deadline elapsed".into(),
+        };
+        encode_error(&mut w, &deadline);
+        let back = parse_error(w.bytes()).unwrap();
+        assert!(
+            matches!(
+                back,
+                CqcError::Protocol {
+                    code: code::DEADLINE,
+                    ..
+                }
+            ),
+            "{back}"
+        );
+    }
+}

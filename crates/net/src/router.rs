@@ -1,0 +1,322 @@
+//! The front-door router: N shard servers behind one [`BlockService`].
+//!
+//! The router is the network mirror of [`cqc_engine::ShardedEngine`]: the
+//! same [`cqc_storage::PartitionSpec`] decides which relations are
+//! hash-partitioned and which replicate, the same
+//! [`cqc_engine::view_fans_out`] check decides whether a view fans out
+//! across the fleet or is served by shard 0 alone, and the same
+//! [`cqc_common::BlockMerger`] restores the exact global lexicographic
+//! order from the per-shard streams. What the network adds:
+//!
+//! * **health-checked connections** — [`Router::connect`] probes every
+//!   shard before the router is usable, and [`Router::health_check`]
+//!   re-probes on demand;
+//! * **per-request epoch consistency** — every serve reply carries the
+//!   epoch vector the shard observed; the router compares it against the
+//!   version it last saw from that shard and fails the request with a
+//!   typed [`code::EPOCH_MISMATCH`] instead of silently merging streams
+//!   from different database versions (an out-of-band writer is caught,
+//!   not absorbed);
+//! * **typed partial failure** — a shard that dies mid-stream surfaces as
+//!   [`code::SHARD_FAILED`] naming the shard, never a hang (the client's
+//!   socket timeouts bound every wait).
+//!
+//! Updates split per shard with [`cqc_storage::Partitioning::split_delta`]
+//! — exactly the rows each shard owns — and only touched shards are
+//! contacted, so shard epochs advance independently just as they do in
+//! the in-process sharded engine.
+
+use cqc_common::error::Result;
+use cqc_common::frame::code;
+use cqc_common::{AnswerBlock, AnswerSink, BlockMerger, CqcError, FastMap, Value};
+use cqc_engine::{view_fans_out, BlockService};
+use cqc_query::parser::parse_adorned;
+use cqc_storage::{Delta, Epoch, PartitionSpec, Partitioning};
+use std::sync::{Mutex, RwLock};
+
+use crate::client::{ClientConfig, ShardClient};
+use crate::protocol::RegisterReq;
+
+/// The fan-out/merge router over a fleet of shard servers.
+#[derive(Debug)]
+pub struct Router {
+    clients: Vec<Mutex<ShardClient>>,
+    addrs: Vec<String>,
+    partitioning: Partitioning,
+    /// view name → fans out across shards (false: shard 0 serves alone).
+    fanout: RwLock<FastMap<String, bool>>,
+    /// Last known epoch vector per shard — the consistency expectation
+    /// every serve reply is checked against.
+    expected: RwLock<Vec<Vec<Epoch>>>,
+}
+
+impl Router {
+    /// Connects to `addrs` under `spec` (one shard per address, in shard
+    /// order — the spec's hash assignment must match how the fleet's
+    /// sub-databases were split) and health-checks every shard.
+    ///
+    /// # Errors
+    ///
+    /// Partitioning validation failures, connect failures (after the
+    /// client's retries), and failed health probes — the router refuses
+    /// to start over a partially reachable fleet.
+    pub fn connect(addrs: &[String], spec: PartitionSpec, config: ClientConfig) -> Result<Router> {
+        if addrs.is_empty() {
+            return Err(CqcError::Config(
+                "a router needs at least one shard address".into(),
+            ));
+        }
+        let partitioning = Partitioning::new(spec, addrs.len())?;
+        let mut clients = Vec::with_capacity(addrs.len());
+        let mut expected = Vec::with_capacity(addrs.len());
+        for (i, addr) in addrs.iter().enumerate() {
+            let mut client = ShardClient::new(addr.clone(), config);
+            let epochs = client.health().map_err(|e| shard_error(i, addr, e))?;
+            expected.push(epochs);
+            clients.push(Mutex::new(client));
+        }
+        Ok(Router {
+            clients,
+            addrs: addrs.to_vec(),
+            partitioning,
+            fanout: RwLock::new(FastMap::default()),
+            expected: RwLock::new(expected),
+        })
+    }
+
+    /// Number of shards fronted.
+    pub fn num_shards(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// The shard addresses, in shard order.
+    pub fn addrs(&self) -> &[String] {
+        &self.addrs
+    }
+
+    /// The partitioning in force.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// Probes every shard and refreshes the expected epoch vectors (the
+    /// recovery path after an out-of-band write raised
+    /// [`code::EPOCH_MISMATCH`]). Returns the per-shard vectors.
+    ///
+    /// # Errors
+    ///
+    /// The first unreachable shard, typed with its index and address.
+    pub fn health_check(&self) -> Result<Vec<Vec<Epoch>>> {
+        let mut fresh = Vec::with_capacity(self.clients.len());
+        for i in 0..self.clients.len() {
+            let epochs = self
+                .lock_shard(i)
+                .health()
+                .map_err(|e| shard_error(i, &self.addrs[i], e))?;
+            fresh.push(epochs);
+        }
+        *self.expected.write().expect("expected lock poisoned") = fresh.clone();
+        Ok(fresh)
+    }
+
+    /// Cumulative wire traffic across all shard connections:
+    /// `(bytes received, bytes sent)`.
+    pub fn wire_bytes(&self) -> (u64, u64) {
+        let mut totals = (0u64, 0u64);
+        for i in 0..self.clients.len() {
+            let (r, w) = self.lock_shard(i).wire_bytes();
+            totals.0 += r;
+            totals.1 += w;
+        }
+        totals
+    }
+
+    fn lock_shard(&self, i: usize) -> std::sync::MutexGuard<'_, ShardClient> {
+        self.clients[i].lock().expect("shard client poisoned")
+    }
+
+    fn routing(&self, view: &str) -> Result<bool> {
+        self.fanout
+            .read()
+            .expect("fanout lock poisoned")
+            .get(view)
+            .copied()
+            .ok_or_else(|| CqcError::UnknownView(view.to_string()))
+    }
+
+    /// Serves one request across the fleet: shard-major fan-out, epoch
+    /// check per reply, k-way merge into `sink` in exact lexicographic
+    /// order. Returns the merged answer count (early stop respected).
+    ///
+    /// # Errors
+    ///
+    /// Unknown view, [`code::EPOCH_MISMATCH`] on a version-skewed shard,
+    /// [`code::SHARD_FAILED`] (or the shard's own typed error) on a
+    /// partial failure.
+    pub fn serve_merged(
+        &self,
+        view: &str,
+        bound: &[Value],
+        mut sink: &mut dyn AnswerSink,
+    ) -> Result<usize> {
+        let fans_out = self.routing(view)?;
+        let shards = if fans_out { self.clients.len() } else { 1 };
+        let expected = self
+            .expected
+            .read()
+            .expect("expected lock poisoned")
+            .clone();
+        // Shard-major fan-out: each thread owns its shard's connection
+        // and drains the full stream into a local block.
+        let results: Vec<Result<AnswerBlock>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|i| {
+                    let expected = &expected;
+                    scope.spawn(move || -> Result<AnswerBlock> {
+                        let mut block = AnswerBlock::new();
+                        let (_n, epochs) = self
+                            .lock_shard(i)
+                            .serve_block(view, bound, &mut block)
+                            .map_err(|e| shard_error(i, &self.addrs[i], e))?;
+                        if epochs != expected[i] {
+                            return Err(CqcError::Protocol {
+                                code: code::EPOCH_MISMATCH,
+                                detail: format!(
+                                    "shard {i} ({}) served at epochs {epochs:?}, expected \
+                                     {:?}; re-sync with health_check()",
+                                    self.addrs[i], expected[i]
+                                ),
+                            });
+                        }
+                        Ok(block)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard serve thread panicked"))
+                .collect()
+        });
+        let mut blocks = Vec::with_capacity(shards);
+        for r in results {
+            blocks.push(r?);
+        }
+        let refs: Vec<&AnswerBlock> = blocks.iter().collect();
+        Ok(BlockMerger::new().merge_into(&refs, &mut sink))
+    }
+}
+
+/// Tags a shard-level failure with the shard index and address. Typed
+/// remote errors keep their code (a remote deadline stays
+/// [`code::DEADLINE`]); transport failures become
+/// [`code::SHARD_FAILED`].
+fn shard_error(i: usize, addr: &str, e: CqcError) -> CqcError {
+    match e {
+        CqcError::Io(m) => CqcError::Protocol {
+            code: code::SHARD_FAILED,
+            detail: format!("shard {i} ({addr}): {m}"),
+        },
+        CqcError::Protocol { code: c, detail } => CqcError::Protocol {
+            code: c,
+            detail: format!("shard {i} ({addr}): {detail}"),
+        },
+        other => other,
+    }
+}
+
+impl BlockService for Router {
+    fn register_view(
+        &self,
+        name: &str,
+        query_text: &str,
+        pattern: &str,
+        strategy: &str,
+    ) -> Result<Vec<Epoch>> {
+        // Parse locally first: the fan-out decision needs the adorned
+        // view, and a parse error should not reach the fleet.
+        let view = parse_adorned(query_text, pattern)?;
+        let fans_out = view_fans_out(self.partitioning.spec(), &view)?;
+        let req = RegisterReq {
+            name: name.into(),
+            query: query_text.into(),
+            pattern: pattern.into(),
+            strategy: strategy.into(),
+        };
+        // Register on every shard (replicated relations live everywhere;
+        // a later spec may route differently) — in parallel, build time
+        // dominates.
+        let results: Vec<Result<Vec<Epoch>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.clients.len())
+                .map(|i| {
+                    let req = &req;
+                    scope.spawn(move || {
+                        self.lock_shard(i)
+                            .register(req)
+                            .map_err(|e| shard_error(i, &self.addrs[i], e))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard register thread panicked"))
+                .collect()
+        });
+        let mut expected = self.expected.write().expect("expected lock poisoned");
+        let mut flat = Vec::new();
+        for (i, r) in results.into_iter().enumerate() {
+            let epochs = r?;
+            expected[i] = epochs.clone();
+            flat.extend(epochs);
+        }
+        self.fanout
+            .write()
+            .expect("fanout lock poisoned")
+            .insert(name.to_string(), fans_out);
+        Ok(flat)
+    }
+
+    fn serve_into(&self, view: &str, bound: &[Value], sink: &mut dyn AnswerSink) -> Result<usize> {
+        self.serve_merged(view, bound, sink)
+    }
+
+    fn apply_update(&self, delta: &Delta) -> Result<Vec<Epoch>> {
+        let split = self.partitioning.split_delta(delta)?;
+        let results: Vec<Option<Result<Vec<Epoch>>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = split
+                .iter()
+                .enumerate()
+                .map(|(i, sub)| {
+                    if sub.is_empty() {
+                        return None; // untouched shard: epoch unchanged
+                    }
+                    Some(scope.spawn(move || {
+                        self.lock_shard(i)
+                            .update(sub)
+                            .map_err(|e| shard_error(i, &self.addrs[i], e))
+                    }))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.map(|h| h.join().expect("shard update thread panicked")))
+                .collect()
+        });
+        let mut expected = self.expected.write().expect("expected lock poisoned");
+        for (i, r) in results.into_iter().enumerate() {
+            if let Some(r) = r {
+                expected[i] = r?;
+            }
+        }
+        Ok(expected.iter().flatten().copied().collect())
+    }
+
+    fn version(&self) -> Vec<Epoch> {
+        self.expected
+            .read()
+            .expect("expected lock poisoned")
+            .iter()
+            .flatten()
+            .copied()
+            .collect()
+    }
+}

@@ -1,0 +1,365 @@
+//! The shard server: a [`cqc_engine::BlockService`] behind a TCP listener.
+//!
+//! One OS thread per connection (the fleet model is few, long-lived
+//! connections — a router holds one per shard), each running a
+//! read-dispatch-reply loop over the frame codec. Three service
+//! properties the ISSUE requires are enforced here rather than in the
+//! engine:
+//!
+//! * **deadlines** — a serve request gets `request_deadline` of wall
+//!   time; the streaming sink checks the clock every
+//!   `DEADLINE_CHECK_MASK + 1` answers and stops the enumeration through
+//!   the push-sink early-stop hook, so a runaway request costs bounded
+//!   server time and the client gets a typed [`code::DEADLINE`] error;
+//! * **backpressure** — at most `max_inflight` serve requests run at
+//!   once across all connections; excess requests are refused immediately
+//!   with [`code::REFUSED`] instead of queueing unboundedly;
+//! * **cancellation** — a client that hangs up mid-stream turns the next
+//!   chunk flush into a write error, which the sink converts into the
+//!   same early stop: enumeration halts mid-block, not at stream end.
+
+use cqc_common::error::Result;
+use cqc_common::frame::{code, FrameKind, FrameReader, PayloadWriter};
+use cqc_common::{AnswerBlock, AnswerSink, CqcError, Value};
+use cqc_engine::BlockService;
+use std::io::{BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::protocol;
+
+/// The sink checks the deadline every `DEADLINE_CHECK_MASK + 1` pushes
+/// (power of two, so the check compiles to a mask test).
+const DEADLINE_CHECK_MASK: u64 = 255;
+
+/// Tuning for a [`NetServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct NetServerConfig {
+    /// Serve requests allowed in flight at once across all connections;
+    /// excess requests get an immediate [`code::REFUSED`] error frame.
+    pub max_inflight: usize,
+    /// Wall-time budget per serve request; `None` disables the deadline.
+    pub request_deadline: Option<Duration>,
+    /// Answers per chunk frame (the latency/overhead trade: chunks are
+    /// flushed to the socket as they fill).
+    pub chunk_tuples: usize,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> NetServerConfig {
+        NetServerConfig {
+            max_inflight: 64,
+            request_deadline: Some(Duration::from_secs(30)),
+            chunk_tuples: 1024,
+        }
+    }
+}
+
+/// A running server: the bound address plus the shutdown control.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves `:0` requests).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, hangs up every live connection, and joins the
+    /// accept thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop: it re-checks the stop flag per
+        // iteration, so one throwaway connection is enough.
+        let _ = TcpStream::connect(self.addr);
+        for conn in self.conns.lock().expect("conn list poisoned").drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A TCP front for one [`BlockService`].
+#[derive(Debug)]
+pub struct NetServer;
+
+impl NetServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and serves `service` until the
+    /// returned handle shuts down. Connection threads are detached; the
+    /// handle's shutdown hangs their sockets up, which ends their loops.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures as [`CqcError::Io`].
+    pub fn spawn(
+        service: Arc<dyn BlockService>,
+        addr: &str,
+        config: NetServerConfig,
+    ) -> Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let bound = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let inflight = Arc::new(AtomicUsize::new(0));
+        let accept_stop = Arc::clone(&stop);
+        let accept_conns = Arc::clone(&conns);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                // Chunk streams are many small sequential writes; without
+                // this, Nagle + delayed ACK stalls every reply ~40 ms.
+                stream.set_nodelay(true).ok();
+                if let Ok(tracked) = stream.try_clone() {
+                    accept_conns
+                        .lock()
+                        .expect("conn list poisoned")
+                        .push(tracked);
+                }
+                let service = Arc::clone(&service);
+                let inflight = Arc::clone(&inflight);
+                std::thread::spawn(move || {
+                    handle_connection(&*service, stream, config, &inflight);
+                });
+            }
+        });
+        Ok(ServerHandle {
+            addr: bound,
+            stop,
+            conns,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+/// The streaming serve sink: buffers answers into a reusable block and
+/// flushes a chunk frame whenever it fills. Deadline hits and socket
+/// failures both stop the enumeration by returning `false` from `push` —
+/// the cooperative-cancellation hook — and are recorded for the dispatch
+/// loop to translate into an error frame (or a hangup).
+struct ChunkSink<'w, W: Write> {
+    writer: &'w mut W,
+    payload: PayloadWriter,
+    block: AnswerBlock,
+    chunk_tuples: usize,
+    deadline: Option<Instant>,
+    pushes: u64,
+    total: u64,
+    failure: Option<CqcError>,
+}
+
+impl<'w, W: Write> ChunkSink<'w, W> {
+    fn new(writer: &'w mut W, chunk_tuples: usize, deadline: Option<Instant>) -> ChunkSink<'w, W> {
+        ChunkSink {
+            writer,
+            payload: PayloadWriter::new(),
+            block: AnswerBlock::new(),
+            chunk_tuples: chunk_tuples.max(1),
+            deadline,
+            pushes: 0,
+            total: 0,
+            failure: None,
+        }
+    }
+
+    fn flush_chunk(&mut self) -> Result<()> {
+        if self.block.is_empty() {
+            return Ok(());
+        }
+        cqc_common::frame::encode_chunk(&mut self.payload, &self.block, 0, self.block.len());
+        cqc_common::frame::write_frame(self.writer, FrameKind::Chunk, self.payload.bytes())?;
+        self.block.clear();
+        Ok(())
+    }
+
+    /// Flushes the tail chunk; the sink's work is done after this.
+    fn finish(&mut self) -> Result<()> {
+        self.flush_chunk()
+    }
+}
+
+impl<W: Write> AnswerSink for ChunkSink<'_, W> {
+    fn push(&mut self, tuple: &[Value]) -> bool {
+        // Check the deadline on push 0 and every MASK+1 thereafter, so a
+        // zero deadline fires before any work and a long stream pays one
+        // clock read per few hundred answers.
+        if self.pushes & DEADLINE_CHECK_MASK == 0 {
+            if let Some(deadline) = self.deadline {
+                if Instant::now() >= deadline {
+                    self.failure = Some(CqcError::Protocol {
+                        code: code::DEADLINE,
+                        detail: format!("request deadline elapsed after {} answers", self.total),
+                    });
+                    return false;
+                }
+            }
+        }
+        self.pushes += 1;
+        self.block.push(tuple);
+        self.total += 1;
+        if self.block.len() >= self.chunk_tuples {
+            if let Err(e) = self.flush_chunk() {
+                // Socket gone (client cancelled) or codec refusal: stop
+                // enumerating mid-block.
+                self.failure = Some(e);
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn send_error(writer: &mut impl Write, payload: &mut PayloadWriter, e: &CqcError) -> Result<()> {
+    protocol::encode_error(payload, e);
+    cqc_common::frame::write_frame(writer, FrameKind::Error, payload.bytes())?;
+    writer.flush()?;
+    Ok(())
+}
+
+fn send_epochs(
+    writer: &mut impl Write,
+    payload: &mut PayloadWriter,
+    kind: FrameKind,
+    epochs: &[u64],
+) -> Result<()> {
+    protocol::encode_epoch_reply(payload, epochs);
+    cqc_common::frame::write_frame(writer, kind, payload.bytes())?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// One connection's read-dispatch-reply loop. Request-level failures are
+/// answered with an error frame and the connection stays up; transport
+/// failures (peer gone, malformed frame) end the loop.
+fn handle_connection(
+    service: &dyn BlockService,
+    stream: TcpStream,
+    config: NetServerConfig,
+    inflight: &AtomicUsize,
+) {
+    let Ok(mut read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = BufWriter::new(stream);
+    let mut frames = FrameReader::new();
+    let mut payload = PayloadWriter::new();
+    loop {
+        let (kind, body) = match frames.read_frame(&mut read_half) {
+            Ok(f) => f,
+            Err(e @ CqcError::Protocol { .. }) => {
+                // Tell the peer why before hanging up (best effort: it may
+                // be speaking a different protocol entirely).
+                let _ = send_error(&mut writer, &mut payload, &e);
+                return;
+            }
+            Err(_) => return, // peer disconnected
+        };
+        let outcome: Result<()> = match kind {
+            FrameKind::Health => send_epochs(
+                &mut writer,
+                &mut payload,
+                FrameKind::HealthOk,
+                &service.version(),
+            ),
+            FrameKind::Register => match protocol::parse_register(body)
+                .and_then(|r| service.register_view(&r.name, &r.query, &r.pattern, &r.strategy))
+            {
+                Ok(epochs) => {
+                    send_epochs(&mut writer, &mut payload, FrameKind::RegisterOk, &epochs)
+                }
+                Err(e) => send_error(&mut writer, &mut payload, &e),
+            },
+            FrameKind::Update => match protocol::parse_update(body)
+                .and_then(|delta| service.apply_update(&delta))
+            {
+                Ok(epochs) => send_epochs(&mut writer, &mut payload, FrameKind::UpdateOk, &epochs),
+                Err(e) => send_error(&mut writer, &mut payload, &e),
+            },
+            FrameKind::Serve => {
+                serve_one(service, body, &mut writer, &mut payload, &config, inflight)
+            }
+            other => {
+                let _ = send_error(
+                    &mut writer,
+                    &mut payload,
+                    &protocol::unexpected_frame("as a request", other),
+                );
+                return;
+            }
+        };
+        if outcome.is_err() {
+            return; // the reply could not be written: connection is dead
+        }
+    }
+}
+
+/// Dispatches one serve request: gate on the in-flight bound, stream
+/// chunks under the deadline, close with `ServeDone` or an error frame.
+fn serve_one(
+    service: &dyn BlockService,
+    body: &[u8],
+    writer: &mut BufWriter<TcpStream>,
+    payload: &mut PayloadWriter,
+    config: &NetServerConfig,
+    inflight: &AtomicUsize,
+) -> Result<()> {
+    let req = match protocol::parse_serve(body) {
+        Ok(r) => r,
+        Err(e) => return send_error(writer, payload, &e),
+    };
+    if inflight.fetch_add(1, Ordering::SeqCst) >= config.max_inflight {
+        inflight.fetch_sub(1, Ordering::SeqCst);
+        return send_error(
+            writer,
+            payload,
+            &CqcError::Protocol {
+                code: code::REFUSED,
+                detail: format!(
+                    "server at capacity ({} serve requests in flight)",
+                    config.max_inflight
+                ),
+            },
+        );
+    }
+    let deadline = config.request_deadline.map(|d| Instant::now() + d);
+    let mut sink = ChunkSink::new(writer, config.chunk_tuples, deadline);
+    let served = service.serve_into(&req.view, &req.bound, &mut sink);
+    let failure = sink.failure.take();
+    let total = sink.total;
+    let tail = match failure {
+        None => sink.finish(),
+        Some(_) => Ok(()),
+    };
+    inflight.fetch_sub(1, Ordering::SeqCst);
+    match (served, failure, tail) {
+        (Err(e), _, _) => send_error(writer, payload, &e),
+        (Ok(_), Some(CqcError::Io(m)), _) => Err(CqcError::Io(m)), // peer gone mid-stream
+        (Ok(_), Some(e), _) => send_error(writer, payload, &e),    // deadline
+        (Ok(_), None, Err(e)) => Err(e),                           // tail flush failed: peer gone
+        (Ok(_), None, Ok(())) => {
+            protocol::encode_serve_done(payload, total, &service.version());
+            cqc_common::frame::write_frame(writer, FrameKind::ServeDone, payload.bytes())?;
+            writer.flush()?;
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Fault injection: every way a fleet can misbehave must surface as a
+//! *typed* error in bounded time — never a hang, never a silent partial
+//! answer. Scripted fake shards (raw TCP speaking the frame codec) make
+//! the failures deterministic: death mid-stream, a stalled server, an
+//! overloaded server, a wrong protocol version, and a server-side
+//! deadline are each provoked on purpose and asserted on by error code.
+
+use std::io::Write;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cqc_common::frame::{self, code, FrameKind, FrameReader, PayloadWriter};
+use cqc_common::{AnswerBlock, AnswerSink, CqcError};
+use cqc_engine::{BlockService, Engine};
+use cqc_net::{protocol, ClientConfig, NetServer, NetServerConfig, Router, ShardClient};
+use cqc_storage::{Database, PartitionSpec, Relation};
+
+/// A scripted fake shard: binds a loopback port, accepts one connection,
+/// and hands it to `behavior`. The thread is detached — it dies with the
+/// test process.
+fn fake_shard(behavior: impl FnOnce(TcpStream) + Send + 'static) -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        if let Ok((stream, _)) = listener.accept() {
+            behavior(stream);
+        }
+    });
+    addr
+}
+
+fn send(stream: &mut TcpStream, kind: FrameKind, payload: &PayloadWriter) {
+    frame::write_frame(stream, kind, payload.bytes()).unwrap();
+    stream.flush().unwrap();
+}
+
+/// Client config tuned for tests: fail fast, short backoffs.
+fn fast_client() -> ClientConfig {
+    ClientConfig {
+        connect_attempts: 2,
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(20),
+        io_timeout: Some(Duration::from_millis(500)),
+        refused_retries: 1,
+    }
+}
+
+fn tiny_db() -> Database {
+    let mut db = Database::new();
+    db.add(Relation::from_pairs(
+        "R",
+        vec![(1, 2), (2, 3), (3, 1), (1, 3), (2, 1)],
+    ))
+    .unwrap();
+    db
+}
+
+/// A shard that answers health and register, streams half an answer, then
+/// dies. The router must return a typed [`code::SHARD_FAILED`] naming the
+/// shard — quickly, not after a hang.
+#[test]
+fn shard_death_mid_stream_is_typed_not_hung() {
+    let addr = fake_shard(|mut stream| {
+        let mut frames = FrameReader::new();
+        let mut w = PayloadWriter::new();
+        loop {
+            let kind = match frames.read_frame(&mut stream) {
+                Ok((k, _)) => k,
+                Err(_) => return,
+            };
+            match kind {
+                FrameKind::Health => {
+                    protocol::encode_epoch_reply(&mut w, &[7]);
+                    send(&mut stream, FrameKind::HealthOk, &w);
+                }
+                FrameKind::Register => {
+                    protocol::encode_epoch_reply(&mut w, &[7]);
+                    send(&mut stream, FrameKind::RegisterOk, &w);
+                }
+                FrameKind::Serve => {
+                    // Half an answer stream, then death mid-serve.
+                    let mut block = AnswerBlock::new();
+                    block.push(&[1, 2]);
+                    frame::encode_chunk(&mut w, &block, 0, 1);
+                    send(&mut stream, FrameKind::Chunk, &w);
+                    let _ = stream.shutdown(Shutdown::Both);
+                    return;
+                }
+                _ => return,
+            }
+        }
+    });
+
+    let router = Router::connect(
+        &[addr],
+        PartitionSpec::new(), // R replicated → served by "shard 0" alone
+        fast_client(),
+    )
+    .unwrap();
+    router
+        .register_view("v", "Q(x,y) :- R(x,y)", "ff", "direct")
+        .unwrap();
+
+    let t0 = Instant::now();
+    let mut block = AnswerBlock::new();
+    let err = router.serve_merged("v", &[], &mut block).unwrap_err();
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "partial failure took {:?} — that is a hang, not a typed error",
+        t0.elapsed()
+    );
+    match err {
+        CqcError::Protocol { code: c, detail } => {
+            assert_eq!(c, code::SHARD_FAILED, "wrong code: {detail}");
+            assert!(detail.contains("shard 0"), "must name the shard: {detail}");
+        }
+        other => panic!("expected SHARD_FAILED, got {other}"),
+    }
+}
+
+/// Killing a *real* shard server under a live router: the next serve
+/// fails fast with [`code::SHARD_FAILED`] instead of waiting forever on a
+/// dead socket.
+#[test]
+fn killed_shard_server_fails_fast() {
+    let db = tiny_db();
+    let mut servers = Vec::new();
+    let mut addrs = Vec::new();
+    for _ in 0..2 {
+        let handle = NetServer::spawn(
+            Arc::new(Engine::new(db.clone())),
+            "127.0.0.1:0",
+            NetServerConfig::default(),
+        )
+        .unwrap();
+        addrs.push(handle.addr().to_string());
+        servers.push(handle);
+    }
+    let router = Router::connect(&addrs, PartitionSpec::new(), fast_client()).unwrap();
+    router
+        .register_view("v", "Q(x,y) :- R(x,y)", "ff", "direct")
+        .unwrap();
+    router
+        .serve_merged("v", &[], &mut AnswerBlock::new())
+        .unwrap();
+
+    servers[0].shutdown();
+    let t0 = Instant::now();
+    let err = router
+        .serve_merged("v", &[], &mut AnswerBlock::new())
+        .unwrap_err();
+    assert!(t0.elapsed() < Duration::from_secs(10), "{:?}", t0.elapsed());
+    match err {
+        CqcError::Protocol { code: c, detail } => {
+            assert_eq!(c, code::SHARD_FAILED, "wrong code: {detail}");
+            assert!(detail.contains("shard 0"), "must name the shard: {detail}");
+        }
+        other => panic!("expected SHARD_FAILED, got {other}"),
+    }
+}
+
+/// A shard that accepts the request and then stalls forever: the client's
+/// socket deadline fires and bounds the wait.
+#[test]
+fn slow_shard_hits_the_client_deadline() {
+    let addr = fake_shard(|mut stream| {
+        let mut frames = FrameReader::new();
+        // Read the request, then stall well past the client's timeout.
+        let _ = frames.read_frame(&mut stream);
+        std::thread::sleep(Duration::from_secs(5));
+    });
+
+    let mut client = ShardClient::new(addr, fast_client());
+    let t0 = Instant::now();
+    let err = client.health().unwrap_err();
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed >= Duration::from_millis(400) && elapsed < Duration::from_secs(4),
+        "deadline did not bound the wait: {elapsed:?}"
+    );
+    assert!(matches!(err, CqcError::Io(_)), "expected Io, got {err}");
+}
+
+/// A zero deadline on the server fires before the first answer is pushed
+/// and comes back as a typed [`code::DEADLINE`] error frame mid-protocol.
+#[test]
+fn server_deadline_fires_as_a_typed_error() {
+    let server = NetServer::spawn(
+        Arc::new(Engine::new(tiny_db())),
+        "127.0.0.1:0",
+        NetServerConfig {
+            request_deadline: Some(Duration::ZERO),
+            ..NetServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = ShardClient::new(server.addr().to_string(), fast_client());
+    client
+        .register(&protocol::RegisterReq {
+            name: "v".into(),
+            query: "Q(x,y) :- R(x,y)".into(),
+            pattern: "ff".into(),
+            strategy: "direct".into(),
+        })
+        .unwrap();
+    let err = client
+        .serve_block("v", &[], &mut AnswerBlock::new())
+        .unwrap_err();
+    match err {
+        CqcError::Protocol { code: c, detail } => {
+            assert_eq!(c, code::DEADLINE, "wrong code: {detail}");
+        }
+        other => panic!("expected DEADLINE, got {other}"),
+    }
+    // The connection stays usable after a typed error: health still works.
+    client.health().unwrap();
+}
+
+/// With the in-flight gate at zero, every serve is refused; the client
+/// retries its bounded number of times and then surfaces the typed
+/// [`code::REFUSED`] backpressure error.
+#[test]
+fn overloaded_server_refuses_with_typed_backpressure() {
+    let server = NetServer::spawn(
+        Arc::new(Engine::new(tiny_db())),
+        "127.0.0.1:0",
+        NetServerConfig {
+            max_inflight: 0,
+            ..NetServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = ShardClient::new(server.addr().to_string(), fast_client());
+    // Register is not gated — only serve consumes an in-flight slot.
+    client
+        .register(&protocol::RegisterReq {
+            name: "v".into(),
+            query: "Q(x,y) :- R(x,y)".into(),
+            pattern: "ff".into(),
+            strategy: "direct".into(),
+        })
+        .unwrap();
+    let err = client
+        .serve_block("v", &[], &mut AnswerBlock::new())
+        .unwrap_err();
+    match err {
+        CqcError::Protocol { code: c, detail } => {
+            assert_eq!(c, code::REFUSED, "wrong code: {detail}");
+        }
+        other => panic!("expected REFUSED, got {other}"),
+    }
+}
+
+/// A frame with the wrong protocol version is answered with a typed
+/// [`code::VERSION_MISMATCH`] error frame, then the connection closes —
+/// the server never guesses at an unknown wire format.
+#[test]
+fn wrong_protocol_version_is_rejected() {
+    let server = NetServer::spawn(
+        Arc::new(Engine::new(tiny_db())),
+        "127.0.0.1:0",
+        NetServerConfig::default(),
+    )
+    .unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    // len=2 (version + kind), version=99, kind=Health.
+    stream.write_all(&2u32.to_le_bytes()).unwrap();
+    stream.write_all(&[99, 0x04]).unwrap();
+    stream.flush().unwrap();
+
+    let mut frames = FrameReader::new();
+    let (kind, body) = frames.read_frame(&mut stream).unwrap();
+    assert_eq!(kind, FrameKind::Error);
+    let err = protocol::parse_error(body).unwrap();
+    match err {
+        CqcError::Protocol { code: c, detail } => {
+            assert_eq!(c, code::VERSION_MISMATCH, "wrong code: {detail}");
+        }
+        other => panic!("expected VERSION_MISMATCH, got {other}"),
+    }
+}

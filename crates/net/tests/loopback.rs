@@ -1,0 +1,294 @@
+//! Loopback acceptance: a fleet of real shard servers on 127.0.0.1 behind
+//! a [`Router`] must be observationally identical to an in-process
+//! [`ShardedEngine`] under the same partition spec — tuple for tuple,
+//! order included — across strategies, adornment patterns, and
+//! interleaved updates. The consistency machinery (per-request epoch
+//! vectors, typed remote errors) is exercised against the same fleet.
+
+use std::sync::Arc;
+
+use cqc_common::frame::code;
+use cqc_common::{AnswerBlock, CqcError};
+use cqc_engine::{
+    spec_for_view, BlockService, Engine, Policy, ShardedBlocks, ShardedEngine, ShardedEngineConfig,
+};
+use cqc_net::server::ServerHandle;
+use cqc_net::{ClientConfig, NetServer, NetServerConfig, Router, ShardClient};
+use cqc_query::parser::parse_adorned;
+use cqc_storage::{Database, Delta, PartitionSpec, Partitioning};
+
+const QUERY: &str = "Q(x,y,z) :- R(x,y), S(y,z), T(z,x)";
+const SHARDS: usize = 4;
+
+fn triangle_db(seed: u64) -> Database {
+    let mut rng = cqc_workload::rng(seed);
+    let mut db = Database::new();
+    for name in ["R", "S", "T"] {
+        db.add(cqc_workload::uniform_relation(&mut rng, name, 2, 120, 12))
+            .unwrap();
+    }
+    db
+}
+
+/// Fast-failing client config: tests should never sit out the default
+/// 5-second socket timeout.
+fn client_config() -> ClientConfig {
+    ClientConfig {
+        io_timeout: Some(std::time::Duration::from_secs(10)),
+        ..ClientConfig::default()
+    }
+}
+
+/// One real shard server per slice of `db` under `spec`, on OS-chosen
+/// loopback ports. Handles shut the servers down on drop.
+fn spawn_fleet(db: &Database, spec: &PartitionSpec) -> (Vec<ServerHandle>, Vec<String>) {
+    let part = Partitioning::new(spec.clone(), SHARDS).unwrap();
+    let mut servers = Vec::with_capacity(SHARDS);
+    let mut addrs = Vec::with_capacity(SHARDS);
+    for slice in part.split_database(db).unwrap() {
+        let handle = NetServer::spawn(
+            Arc::new(Engine::new(slice)),
+            "127.0.0.1:0",
+            NetServerConfig::default(),
+        )
+        .unwrap();
+        addrs.push(handle.addr().to_string());
+        servers.push(handle);
+    }
+    (servers, addrs)
+}
+
+/// The in-process reference under the identical spec and shard count.
+fn local_sharded(db: &Database, spec: &PartitionSpec, pattern: &str, token: &str) -> ShardedEngine {
+    let sharded = ShardedEngine::new(
+        db.clone(),
+        spec.clone(),
+        ShardedEngineConfig {
+            shards: SHARDS,
+            ..ShardedEngineConfig::default()
+        },
+    )
+    .unwrap();
+    let view = parse_adorned(QUERY, pattern).unwrap();
+    sharded
+        .register("v", view, Policy::parse(token).unwrap())
+        .unwrap();
+    sharded
+}
+
+/// The local merged streams, one flat tuple vector per request.
+fn local_streams(sharded: &ShardedEngine, bounds: &[Vec<u64>]) -> Vec<Vec<u64>> {
+    let mut streams: Vec<Vec<u64>> = vec![Vec::new(); bounds.len()];
+    sharded
+        .serve_stream_with("v", bounds, &mut ShardedBlocks::new(), |i, block| {
+            streams[i].extend_from_slice(block.values());
+        })
+        .unwrap();
+    streams
+}
+
+/// The remote merged streams through the router, same shape.
+fn remote_streams(router: &Router, bounds: &[Vec<u64>]) -> Vec<Vec<u64>> {
+    let mut block = AnswerBlock::new();
+    bounds
+        .iter()
+        .map(|bound| {
+            block.reset();
+            router.serve_merged("v", bound, &mut block).unwrap();
+            block.values().to_vec()
+        })
+        .collect()
+}
+
+/// Every combination of `nb` bound values over the generator domain,
+/// stepped so the grid stays small.
+fn bound_grid(nb: usize) -> Vec<Vec<u64>> {
+    let mut grid: Vec<Vec<u64>> = vec![vec![]];
+    for _ in 0..nb {
+        grid = grid
+            .iter()
+            .flat_map(|b| {
+                (0..12u64).step_by(3).map(move |v| {
+                    let mut b2 = b.clone();
+                    b2.push(v);
+                    b2
+                })
+            })
+            .collect();
+    }
+    grid
+}
+
+/// The acceptance property: the remote merged stream is tuple-for-tuple
+/// identical — exact lexicographic order included — to the local sharded
+/// stream, for every strategy token and adornment pattern.
+#[test]
+fn remote_stream_matches_local_sharded_across_strategies() {
+    let db = triangle_db(41);
+    for pattern in ["bfb", "bff", "fff"] {
+        let view = parse_adorned(QUERY, pattern).unwrap();
+        let spec = spec_for_view(&view, &db);
+        let bounds = bound_grid(pattern.matches('b').count());
+        for token in ["tau:2", "materialize", "direct", "factorized", "auto"] {
+            let sharded = local_sharded(&db, &spec, pattern, token);
+            let (_servers, addrs) = spawn_fleet(&db, &spec);
+            let router = Router::connect(&addrs, spec.clone(), client_config()).unwrap();
+            router.register_view("v", QUERY, pattern, token).unwrap();
+
+            let local = local_streams(&sharded, &bounds);
+            let remote = remote_streams(&router, &bounds);
+            assert_eq!(
+                remote, local,
+                "{token} pattern {pattern}: remote stream diverged"
+            );
+            assert!(
+                local.iter().map(Vec::len).sum::<usize>() > 0,
+                "{token} pattern {pattern}: workload served nothing — test is vacuous"
+            );
+        }
+    }
+}
+
+/// Interleaved updates through both paths: after every delta the remote
+/// stream must still equal the local stream, and the router's flattened
+/// epoch view must track the sharded engine's version vector exactly.
+#[test]
+fn interleaved_updates_keep_remote_and_local_aligned() {
+    let db = triangle_db(97);
+    let view = parse_adorned(QUERY, "bff").unwrap();
+    let spec = spec_for_view(&view, &db);
+    let bounds = bound_grid(1);
+
+    let sharded = local_sharded(&db, &spec, "bff", "tau:2");
+    let (_servers, addrs) = spawn_fleet(&db, &spec);
+    let router = Router::connect(&addrs, spec.clone(), client_config()).unwrap();
+    router.register_view("v", QUERY, "bff", "tau:2").unwrap();
+    assert_eq!(router.version(), sharded.version());
+
+    let mut rng = cqc_workload::rng(5);
+    for round in 0..3u64 {
+        let delta = cqc_workload::recombination_delta(&mut rng, &db, &["R", "S", "T"], 3);
+        sharded.update(&delta).unwrap();
+        let epochs = router.apply_update(&delta).unwrap();
+        assert_eq!(epochs, sharded.version(), "round {round}: epochs diverged");
+
+        let local = local_streams(&sharded, &bounds);
+        let remote = remote_streams(&router, &bounds);
+        assert_eq!(remote, local, "round {round}: stream diverged after delta");
+    }
+}
+
+/// An out-of-band writer (a client updating one shard directly, behind
+/// the router's back) must surface as a typed [`code::EPOCH_MISMATCH`] on
+/// the next serve — never as a silent merge of skewed versions — and
+/// [`Router::health_check`] re-syncs.
+#[test]
+fn out_of_band_update_raises_epoch_mismatch_until_resync() {
+    let db = triangle_db(11);
+    let view = parse_adorned(QUERY, "bff").unwrap();
+    let spec = spec_for_view(&view, &db);
+
+    let (_servers, addrs) = spawn_fleet(&db, &spec);
+    let router = Router::connect(&addrs, spec.clone(), client_config()).unwrap();
+    router.register_view("v", QUERY, "bff", "direct").unwrap();
+
+    // Sneak a delta into shard 0 without telling the router.
+    let mut sneak = ShardClient::new(addrs[0].clone(), client_config());
+    let mut delta = Delta::new();
+    delta.insert("R", vec![100, 101]);
+    sneak.update(&delta).unwrap();
+
+    let mut block = AnswerBlock::new();
+    let err = router.serve_merged("v", &[0], &mut block).unwrap_err();
+    match err {
+        CqcError::Protocol { code: c, detail } => {
+            assert_eq!(c, code::EPOCH_MISMATCH, "wrong code: {detail}");
+            assert!(
+                detail.contains("shard 0"),
+                "detail must name the shard: {detail}"
+            );
+        }
+        other => panic!("expected an epoch mismatch, got {other}"),
+    }
+
+    // Re-sync, then the fleet serves again.
+    router.health_check().unwrap();
+    block.reset();
+    router.serve_merged("v", &[0], &mut block).unwrap();
+}
+
+/// Remote failures keep their types across the wire: an unknown view, a
+/// bad strategy token, and an unparseable query all come back as the same
+/// [`CqcError`] variants a local engine would raise.
+#[test]
+fn remote_errors_stay_typed() {
+    let db = triangle_db(23);
+    let view = parse_adorned(QUERY, "bff").unwrap();
+    let spec = spec_for_view(&view, &db);
+    let (_servers, addrs) = spawn_fleet(&db, &spec);
+
+    // Unknown view, straight at a shard server.
+    let mut client = ShardClient::new(addrs[0].clone(), client_config());
+    let mut block = AnswerBlock::new();
+    let err = client.serve_block("nope", &[], &mut block).unwrap_err();
+    // The variant survives the wire; the detail string is the remote
+    // display text (lossy by design), so match on variant + substring.
+    assert!(
+        matches!(err, CqcError::UnknownView(ref v) if v.contains("nope")),
+        "expected UnknownView, got {err}"
+    );
+
+    // Unknown view through the router (rejected before any wire traffic).
+    let router = Router::connect(&addrs, spec.clone(), client_config()).unwrap();
+    let err = router.serve_merged("nope", &[], &mut block).unwrap_err();
+    assert!(matches!(err, CqcError::UnknownView(_)), "got {err}");
+
+    // A bad strategy token fails remotely as the same Config error the
+    // local Policy parser raises.
+    let err = router
+        .register_view("v", QUERY, "bff", "bogus")
+        .unwrap_err();
+    assert!(matches!(err, CqcError::Config(_)), "got {err}");
+
+    // An unparseable query is refused by the router locally.
+    let err = router
+        .register_view("v", "this is not a query", "bff", "auto")
+        .unwrap_err();
+    assert!(matches!(err, CqcError::Parse(_)), "got {err}");
+}
+
+/// Arity-0 answer streams (a fully-bound probe) survive the wire: chunk
+/// frames carry explicit counts, so "yes, N times" round-trips even
+/// though there are no values to send.
+#[test]
+fn fully_bound_probes_serve_remotely() {
+    let db = triangle_db(41);
+    let view = parse_adorned(QUERY, "bbb").unwrap();
+    let spec = spec_for_view(&view, &db);
+    let bounds = bound_grid(3);
+
+    let sharded = local_sharded(&db, &spec, "bbb", "tau:2");
+    let (_servers, addrs) = spawn_fleet(&db, &spec);
+    let router = Router::connect(&addrs, spec.clone(), client_config()).unwrap();
+    router.register_view("v", QUERY, "bbb", "tau:2").unwrap();
+
+    let mut local_counts = Vec::with_capacity(bounds.len());
+    sharded
+        .serve_stream_with("v", &bounds, &mut ShardedBlocks::new(), |_, block| {
+            local_counts.push(block.len());
+        })
+        .unwrap();
+    let mut block = AnswerBlock::new();
+    let remote_counts: Vec<usize> = bounds
+        .iter()
+        .map(|bound| {
+            block.reset();
+            router.serve_merged("v", bound, &mut block).unwrap()
+        })
+        .collect();
+    assert_eq!(remote_counts, local_counts);
+    assert!(
+        local_counts.iter().sum::<usize>() > 0,
+        "no witnesses in the grid — test is vacuous"
+    );
+}
