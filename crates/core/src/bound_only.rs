@@ -10,7 +10,7 @@ use cqc_common::heap::HeapSize;
 use cqc_common::metrics;
 use cqc_common::value::{Tuple, Value};
 use cqc_query::{AdornedView, Var};
-use cqc_storage::{Database, Relation};
+use cqc_storage::{Database, Delta, Relation};
 
 /// The Proposition 1 structure: per-atom relations plus head-position
 /// extraction tables.
@@ -56,6 +56,38 @@ impl BoundOnlyView {
             view: view.clone(),
             checks,
         })
+    }
+
+    /// Maintains the structure across `delta` (already applied to `db`):
+    /// the membership snapshots of touched relations are re-taken from the
+    /// post-delta database, untouched ones are kept. Inserts and removes
+    /// are equally trivial here — the structure is a per-atom copy of the
+    /// base relations.
+    ///
+    /// Returns `Ok(None)` when the stored view cannot absorb deltas
+    /// (non-natural atoms from the Example 3 rewrite).
+    ///
+    /// # Errors
+    ///
+    /// Fails when a touched relation is missing from `db`.
+    pub fn maintained(&self, db: &Database, delta: &Delta) -> Result<Option<BoundOnlyView>> {
+        let query = self.view.query();
+        if query.atoms.iter().any(|a| !a.is_natural()) {
+            return Ok(None);
+        }
+        let mut checks = Vec::with_capacity(self.checks.len());
+        for ((rel, positions), atom) in self.checks.iter().zip(&query.atoms) {
+            let rel = if delta.touches(&atom.relation) {
+                db.require(&atom.relation)?.clone()
+            } else {
+                rel.clone()
+            };
+            checks.push((rel, positions.clone()));
+        }
+        Ok(Some(BoundOnlyView {
+            view: self.view.clone(),
+            checks,
+        }))
     }
 
     /// `true` iff the fully bound request is in the view.

@@ -34,7 +34,7 @@ use std::sync::Arc;
 /// with the trie order of `cqc_join::plan::ViewPlan`, so a cost oracle
 /// built through the same [`IndexPool`] as the plan shares that index
 /// instead of re-sorting it.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct AtomCost {
     /// Sorted `[free cols (enum order) | bound cols]`.
     build_index: Arc<SortedIndex>,
@@ -49,7 +49,7 @@ struct AtomCost {
 }
 
 /// The cost oracle for one adorned view under a fixed cover.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CostEstimator {
     atoms: Vec<AtomCost>,
     /// Active domains of the free variables, in enumeration order.
@@ -210,7 +210,8 @@ impl CostEstimator {
     /// Rebuilds this estimator for the post-delta database by **merging**
     /// the delta's genuinely new rows into clones of each sorted index
     /// (two-pointer splice with galloping search,
-    /// [`SortedIndex::merge_insert`]) instead of re-sorting every linear
+    /// [`SortedIndex::merge_insert`]) and compacting its removals out
+    /// ([`SortedIndex::merge_remove`]) instead of re-sorting every linear
     /// index from scratch — the incremental base-index maintenance path.
     /// The caller has already verified the free-variable grid is unchanged
     /// and passes the freshly scanned `all_domains`.
@@ -241,15 +242,23 @@ impl CostEstimator {
         let mut atoms = Vec::with_capacity(self.atoms.len());
         for (atom, old) in query.atoms.iter().zip(&self.atoms) {
             let rel = db.require(&atom.relation)?;
-            let (build_index, access_index) = if let Some(tuples) = delta.tuples_for(&atom.relation)
-            {
-                let Some(fresh) = old.build_index.fresh_from(tuples) else {
-                    return Ok(None);
-                };
+            let (build_index, access_index) = if delta.touches(&atom.relation) {
                 let mut build_index = (*old.build_index).clone();
                 let mut access_index = (*old.access_index).clone();
-                build_index.merge_insert(&fresh);
-                access_index.merge_insert(&fresh);
+                if let Some(tuples) = delta.tuples_for(&atom.relation) {
+                    let Some(fresh) = old.build_index.fresh_from(tuples) else {
+                        return Ok(None);
+                    };
+                    build_index.merge_insert(&fresh);
+                    access_index.merge_insert(&fresh);
+                }
+                if let Some(tuples) = delta.removes_for(&atom.relation) {
+                    let Some(stale) = old.build_index.stale_from(tuples) else {
+                        return Ok(None);
+                    };
+                    build_index.merge_remove(&stale);
+                    access_index.merge_remove(&stale);
+                }
                 (Arc::new(build_index), Arc::new(access_index))
             } else {
                 // Untouched atom: share the old indexes outright.

@@ -1,36 +1,64 @@
 //! Delta maintenance of compressed representations.
 //!
 //! The paper builds its structures over a static database (§4); this module
-//! extends the Theorem 1 structure to survive batched inserts without a
-//! full rebuild, in the spirit of factorised-representation maintenance
-//! (Olteanu & Závodný). The observation that makes localized maintenance
-//! sound is monotonicity: under insertions, every cost `T(v_b, I(w))` and
-//! every restricted join can only *grow*, so
+//! extends every strategy to survive batched inserts *and deletes* without
+//! a full rebuild, in the spirit of factorised-representation maintenance
+//! (Olteanu & Závodný). [`cqc_storage::Delta`] keeps its insert and remove
+//! sets disjoint (last-write-wins), so the two directions commute and can
+//! be repaired independently.
 //!
-//! * heavy pairs stay heavy and `1` bits stay `1` — nothing stored becomes
-//!   wrong by staying;
-//! * a light pair that turns heavy simply keeps being evaluated directly
-//!   (the `⊥` branch of Algorithm 2 runs on the refreshed base indexes and
-//!   is always correct; only its delay bound degrades, proportionally to
-//!   the delta);
-//! * the single hazard is a stored `0` bit whose restricted join became
-//!   non-empty — a stale "provably empty" certificate would *suppress*
-//!   answers.
+//! **Theorem 1** gets genuinely incremental maintenance. The observation
+//! that makes it sound is locality: a tuple only changes the restricted
+//! join `Q[v_b] ⋈ I(w)` of the (valuation, interval) pairs that agree with
+//! it on the positions it pins — its *slab*. Per direction:
 //!
-//! Maintenance therefore (1) refreshes the linear-size base indexes (the
-//! `Õ(|D|)` term, unavoidable because answers are enumerated from them),
-//! (2) keeps the delay-balanced tree's shape, and (3) re-probes exactly the
-//! `0` bits on tree nodes whose f-interval intersects an inserted tuple's
-//! slab — the affected root-to-leaf paths — flipping them to `1` where the
-//! insert created answers. Everything else is untouched, so the work beyond
-//! the linear refresh is bounded by the delta, not by the structure.
+//! * under **inserts**, costs only grow: heavy pairs stay heavy and `1`
+//!   bits stay `1`; a light pair that turns heavy keeps being evaluated
+//!   directly (the `⊥` branch of Algorithm 2 runs on the refreshed base
+//!   indexes and is always correct, only its delay degrades with the
+//!   delta); the single hazard is a stored `0` bit whose restricted join
+//!   became non-empty — a stale "provably empty" certificate would
+//!   *suppress* answers. Affected `0` bits are re-probed and flipped to
+//!   `1` where the insert created answers.
+//! * under **removes**, the hazards mirror: a stored `1` bit whose
+//!   restricted join drained is delay-only (the interval simply yields no
+//!   answers when enumerated — Point frames re-check against the refreshed
+//!   indexes), but leaving it would erode the delay bound, so affected `1`
+//!   bits are re-probed and flipped back to `0` where the remove emptied
+//!   the interval. A remove that makes a free variable's active domain
+//!   value vanish entirely shifts the rank-space grid and forces a rebuild
+//!   (caught by the grid equality check, exactly like domain growth).
 //!
-//! When the preconditions fail — a free variable's active domain changed
-//! (the rank-space grid the tree lives in would shift), or the view needs
-//! the Example 3 rewrite (the delta would have to be rewritten too) — the
-//! caller is told to rebuild instead. The engine additionally rebuilds when
-//! its cost calibration says the delta is too large for maintenance to pay
-//! off.
+//! Maintenance therefore (1) refreshes the linear-size base indexes by
+//! two-pointer merge (`merge_insert`/`merge_remove` — the `Õ(|D|)` term,
+//! unavoidable because answers are enumerated from them), (2) keeps the
+//! delay-balanced tree's shape, and (3) re-probes exactly the dictionary
+//! bits on tree nodes whose f-interval intersects a delta tuple's slab —
+//! the affected root-to-leaf paths. Everything else is untouched, so the
+//! work beyond the linear refresh is bounded by the delta, not by the
+//! structure.
+//!
+//! **Every other strategy** has a cheaper-than-rebuild maintain path of its
+//! own:
+//!
+//! * materialized and direct baselines patch their trie indexes by merge
+//!   and (for the materialized result) repair losses by projection
+//!   membership and gains by slab-restricted joins
+//!   ([`cqc_join::baselines::MaterializedView::maintained`],
+//!   [`cqc_join::baselines::DirectView::maintained`]);
+//! * the Theorem 2 structure and the factorized d-tree re-derive only the
+//!   bags touched by the delta plus their ancestors and re-run the
+//!   semijoin fixup restricted to that set
+//!   ([`crate::theorem2::Theorem2Structure::maintained`],
+//!   [`cqc_factorized::FactorizedRepresentation::maintained`]);
+//! * the Prop. 1 bound-only structure re-snapshots touched relations;
+//! * always-empty views re-derive their ground guards.
+//!
+//! When the preconditions fail — the Theorem 1 grid shifted, or the view
+//! needs the Example 3 rewrite (the delta would have to be rewritten too)
+//! — the caller is told to rebuild instead. The engine additionally
+//! rebuilds when its cost calibration says the delta is too large for
+//! maintenance to pay off.
 
 use crate::compressed::CompressedView;
 use crate::cost::CostEstimator;
@@ -68,14 +96,20 @@ pub enum MaintainOutcome {
 /// Work performed by a successful maintenance pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MaintainReport {
-    /// Tuples in the delta that touch the view's relations.
+    /// Tuples in the delta (inserts and removes) that touch the view's
+    /// relations.
     pub delta_tuples: usize,
-    /// Tree nodes whose interval intersects an inserted tuple's slab.
+    /// Theorem 1: tree nodes whose interval intersects a delta tuple's
+    /// slab. Theorem 2 / factorized: bags re-derived from the base
+    /// relations.
     pub affected_nodes: usize,
-    /// Stored `0` bits re-probed on affected nodes.
+    /// Dictionary bits re-probed on affected nodes (`0` bits against
+    /// inserts, `1` bits against removes).
     pub reprobed_entries: usize,
     /// `0` bits flipped to `1` (inserts created answers in the interval).
     pub flipped_bits: usize,
+    /// `1` bits flipped back to `0` (removes emptied the interval).
+    pub cleared_bits: usize,
 }
 
 /// An inserted tuple's footprint on the free-variable grid and the bound
@@ -111,16 +145,18 @@ impl Slab {
 }
 
 impl CompressedView {
-    /// Attempts to maintain this representation across `delta`, which has
-    /// already been applied to `db`. `original` is the view as registered
-    /// (pre-rewrite); `self` must have been built from the pre-delta
-    /// database.
+    /// Attempts to maintain this representation across `delta` (inserts
+    /// and removes; the sets are disjoint by [`Delta`]'s last-write-wins
+    /// canonicalization), which has already been applied to `db`.
+    /// `original` is the view as registered (pre-rewrite); `self` must have
+    /// been built from the pre-delta database.
     ///
-    /// Only the Theorem 1 structure supports genuine delta maintenance;
-    /// every other strategy (and any precondition failure) reports
-    /// [`MaintainOutcome::NeedsRebuild`]. A delta that does not touch the
-    /// view's relations is [`MaintainOutcome::Unaffected`] for *every*
-    /// strategy.
+    /// Every strategy has a maintain path (see the module docs for what
+    /// each one repairs); precondition failures — a shifted Theorem 1
+    /// grid, a view needing the Example 3 rewrite, an index that cannot be
+    /// reconciled — report [`MaintainOutcome::NeedsRebuild`]. A delta that
+    /// does not touch the view's relations is
+    /// [`MaintainOutcome::Unaffected`] for *every* strategy.
     ///
     /// # Errors
     ///
@@ -135,28 +171,110 @@ impl CompressedView {
         if !query.atoms.iter().any(|a| delta.touches(&a.relation)) {
             return Ok(MaintainOutcome::Unaffected);
         }
+        // Every non-always-empty path below works on the stored (rewritten)
+        // view, whose relations coincide with the base relations only when
+        // no atom needed the Example 3 rewrite.
+        let needs_rewrite = query.atoms.iter().any(|a| !a.is_natural());
+        let rewrite_rebuild = || {
+            Ok(MaintainOutcome::NeedsRebuild {
+                reason: "the Example 3 rewrite derives filtered relations; \
+                         the delta would need the same rewrite"
+                    .into(),
+            })
+        };
+        let base_report = || MaintainReport {
+            delta_tuples: touched_tuples(query, delta),
+            ..MaintainReport::default()
+        };
+        let irreconcilable = || {
+            Ok(MaintainOutcome::NeedsRebuild {
+                reason: "a maintained index could not be reconciled with the post-delta database"
+                    .into(),
+            })
+        };
         match self {
             CompressedView::Tradeoff(s) => {
-                if query.atoms.iter().any(|a| !a.is_natural()) {
-                    return Ok(MaintainOutcome::NeedsRebuild {
-                        reason: "the Example 3 rewrite derives filtered relations; \
-                                 the delta would need the same rewrite"
-                            .into(),
-                    });
+                if needs_rewrite {
+                    return rewrite_rebuild();
                 }
                 maintain_theorem1(s, db, delta)
+            }
+            CompressedView::Materialized(s) => {
+                if needs_rewrite {
+                    return rewrite_rebuild();
+                }
+                match s.maintained(db, delta)? {
+                    Some(v) => Ok(MaintainOutcome::Maintained {
+                        view: Box::new(CompressedView::Materialized(v)),
+                        report: base_report(),
+                    }),
+                    None => irreconcilable(),
+                }
+            }
+            CompressedView::Direct(s) => {
+                if needs_rewrite {
+                    return rewrite_rebuild();
+                }
+                match s.maintained(db, delta)? {
+                    Some(v) => Ok(MaintainOutcome::Maintained {
+                        view: Box::new(CompressedView::Direct(v)),
+                        report: base_report(),
+                    }),
+                    None => irreconcilable(),
+                }
+            }
+            CompressedView::Decomposed(s) => {
+                if needs_rewrite {
+                    return rewrite_rebuild();
+                }
+                match s.maintained(db, delta)? {
+                    Some((v, rebuilt_bags)) => Ok(MaintainOutcome::Maintained {
+                        view: Box::new(CompressedView::Decomposed(v)),
+                        report: MaintainReport {
+                            affected_nodes: rebuilt_bags,
+                            ..base_report()
+                        },
+                    }),
+                    None => irreconcilable(),
+                }
+            }
+            CompressedView::Factorized(s) => {
+                if needs_rewrite {
+                    return rewrite_rebuild();
+                }
+                match s.maintained(db, delta)? {
+                    Some((v, rebuilt_bags)) => Ok(MaintainOutcome::Maintained {
+                        view: Box::new(CompressedView::Factorized(v)),
+                        report: MaintainReport {
+                            affected_nodes: rebuilt_bags,
+                            ..base_report()
+                        },
+                    }),
+                    None => irreconcilable(),
+                }
+            }
+            CompressedView::BoundOnly(s) => {
+                if needs_rewrite {
+                    return rewrite_rebuild();
+                }
+                match s.maintained(db, delta)? {
+                    Some(v) => Ok(MaintainOutcome::Maintained {
+                        view: Box::new(CompressedView::BoundOnly(v)),
+                        report: base_report(),
+                    }),
+                    None => irreconcilable(),
+                }
             }
             CompressedView::AlwaysEmpty(_) => {
                 // Inserts can make a previously failing ground guard pass,
                 // so "always empty" must be re-derived, not trusted.
+                // (Removes keep a failing guard failing, but re-deriving
+                // handles both directions uniformly.)
                 let rewritten = rewrite_view(original, db)?;
                 if rewritten.always_empty {
                     Ok(MaintainOutcome::Maintained {
                         view: Box::new(CompressedView::AlwaysEmpty(rewritten.view)),
-                        report: MaintainReport {
-                            delta_tuples: touched_tuples(query, delta),
-                            ..MaintainReport::default()
-                        },
+                        report: base_report(),
                     })
                 } else {
                     Ok(MaintainOutcome::NeedsRebuild {
@@ -164,12 +282,6 @@ impl CompressedView {
                     })
                 }
             }
-            other => Ok(MaintainOutcome::NeedsRebuild {
-                reason: format!(
-                    "strategy `{}` has no delta-maintenance path",
-                    other.strategy_name()
-                ),
-            }),
         }
     }
 }
@@ -180,8 +292,9 @@ fn touched_tuples(query: &cqc_query::ConjunctiveQuery, delta: &Delta) -> usize {
     names.dedup();
     names
         .iter()
-        .filter_map(|n| delta.tuples_for(n))
-        .map(<[_]>::len)
+        .map(|n| {
+            delta.tuples_for(n).map_or(0, <[_]>::len) + delta.removes_for(n).map_or(0, <[_]>::len)
+        })
         .sum()
 }
 
@@ -248,66 +361,83 @@ fn maintain_theorem1(
         });
     };
 
-    // One slab per (atom, inserted tuple) pair — an atom is touched per
-    // occurrence, so self-joins see the tuple once per role.
+    // One slab per (atom, delta tuple) pair — an atom is touched per
+    // occurrence, so self-joins see the tuple once per role. Inserts and
+    // removes get separate slab lists: inserts can only invalidate `0`
+    // bits, removes can only invalidate `1` bits. (A removed tuple's
+    // values still rank: the grid check above guarantees the active
+    // domains are unchanged, and the tuple was present pre-delta.)
     let enum_pos_of = |v: cqc_query::Var| free_head.iter().position(|w| *w == v);
     let bound_pos_of = |v: cqc_query::Var| bound_head.iter().position(|w| *w == v);
-    let mut slabs: Vec<Slab> = Vec::new();
+    let slab_of = |t: &[Value], atom: &cqc_query::atom::Atom| -> Option<Slab> {
+        let mut free_fix = Vec::new();
+        let mut bound_fix = Vec::new();
+        for (col, v) in atom.vars().enumerate() {
+            if let Some(p) = enum_pos_of(v) {
+                // `None` is unreachable after the grid check; bail soundly
+                // rather than trusting the invariant.
+                free_fix.push((p, s.est.domains()[p].rank(t[col])?));
+            } else if let Some(p) = bound_pos_of(v) {
+                bound_fix.push((p, t[col]));
+            }
+        }
+        Some(Slab {
+            free_fix,
+            bound_fix,
+        })
+    };
+    let mut ins_slabs: Vec<Slab> = Vec::new();
+    let mut rem_slabs: Vec<Slab> = Vec::new();
     for atom in &query.atoms {
-        let Some(tuples) = delta.tuples_for(&atom.relation) else {
-            continue;
-        };
-        for t in tuples {
-            let mut free_fix = Vec::new();
-            let mut bound_fix = Vec::new();
-            for (col, v) in atom.vars().enumerate() {
-                if let Some(p) = enum_pos_of(v) {
-                    match s.est.domains()[p].rank(t[col]) {
-                        Some(r) => free_fix.push((p, r)),
-                        // Unreachable after the grid check; bail soundly
-                        // rather than trusting the invariant.
-                        None => {
-                            return Ok(MaintainOutcome::NeedsRebuild {
-                                reason: format!(
-                                    "inserted value {} is outside the free grid",
-                                    t[col]
-                                ),
-                            });
-                        }
+        for (tuples, out) in [
+            (delta.tuples_for(&atom.relation), &mut ins_slabs),
+            (delta.removes_for(&atom.relation), &mut rem_slabs),
+        ] {
+            for t in tuples.unwrap_or(&[]) {
+                match slab_of(t, atom) {
+                    Some(slab) => out.push(slab),
+                    None => {
+                        return Ok(MaintainOutcome::NeedsRebuild {
+                            reason: "a delta value is outside the free grid".into(),
+                        });
                     }
-                } else if let Some(p) = bound_pos_of(v) {
-                    bound_fix.push((p, t[col]));
                 }
             }
-            slabs.push(Slab {
-                free_fix,
-                bound_fix,
-            });
         }
     }
 
-    // Re-probe stale `0` bits on affected nodes. Monotonicity makes this
-    // the only repair needed for exact answers (see module docs).
+    // Re-probe stale bits on affected nodes: `0` bits hit by an insert
+    // slab (the restricted join may have become non-empty — leaving the
+    // bit would suppress answers) and `1` bits hit by a remove slab (the
+    // join may have drained — leaving the bit erodes the delay bound).
+    // Locality makes this the only repair needed (see module docs).
     let mut dict = s.dict.clone();
     let all_atoms: Vec<usize> = (0..plan.num_atoms()).collect();
     let nb = plan.num_bound;
     let mu = plan.num_levels() - nb;
     for (w, node) in tree.nodes.iter().enumerate() {
         let boxes = box_decomposition(&node.interval, &s.sizes);
-        let hitting: Vec<&Slab> = slabs
+        let hit_ins: Vec<&Slab> = ins_slabs
             .iter()
             .filter(|slab| boxes.iter().any(|b| slab.hits_box(b)))
             .collect();
-        if hitting.is_empty() {
+        let hit_rem: Vec<&Slab> = rem_slabs
+            .iter()
+            .filter(|slab| boxes.iter().any(|b| slab.hits_box(b)))
+            .collect();
+        if hit_ins.is_empty() && hit_rem.is_empty() {
             continue;
         }
         report.affected_nodes += 1;
-        let stale: Vec<Vec<Value>> = dict
+        let stale: Vec<(Vec<Value>, bool)> = dict
             .entries_of(w as u32)
-            .filter(|(vb, bit)| !bit && hitting.iter().any(|s| s.matches_valuation(vb)))
-            .map(|(vb, _)| vb.to_vec())
+            .filter(|(vb, bit)| {
+                let hits = if *bit { &hit_rem } else { &hit_ins };
+                hits.iter().any(|s| s.matches_valuation(vb))
+            })
+            .map(|(vb, bit)| (vb.to_vec(), bit))
             .collect();
-        for vb in stale {
+        for (vb, bit) in stale {
             report.reprobed_entries += 1;
             let nonempty = boxes.iter().any(|b| {
                 let mut cons: Vec<LevelConstraint> =
@@ -315,9 +445,12 @@ fn maintain_theorem1(
                 cons.extend(free_constraints(&est, b, mu));
                 plan.join_subset(&all_atoms, cons).is_non_empty()
             });
-            if nonempty {
+            if nonempty && !bit {
                 dict.set(w as u32, &vb, true);
                 report.flipped_bits += 1;
+            } else if !nonempty && bit {
+                dict.set(w as u32, &vb, false);
+                report.cleared_bits += 1;
             }
         }
     }
@@ -535,24 +668,9 @@ mod tests {
     }
 
     #[test]
-    fn non_maintainable_strategies_ask_for_rebuild() {
-        let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", "bfb").unwrap();
+    fn rewritten_views_ask_for_rebuild() {
         let mut db = triangle_db(40, 10, 13);
-        for strategy in [
-            Strategy::Materialize,
-            Strategy::Direct,
-            Strategy::Factorized,
-        ] {
-            let built = CompressedView::build(&view, &db, strategy).unwrap();
-            let delta = in_domain_delta(&db, &["R"], 2, 17);
-            let mut db2 = db.clone();
-            db2.apply(&delta).unwrap();
-            assert!(matches!(
-                built.maintain(&view, &db2, &delta).unwrap(),
-                MaintainOutcome::NeedsRebuild { .. }
-            ));
-        }
-        // Constants in the view (Example 3 rewrite) also refuse.
+        // Constants in the view (Example 3 rewrite) refuse maintenance.
         let mut db3 = Database::new();
         db3.add(Relation::new(
             "R",
@@ -610,5 +728,209 @@ mod tests {
             built.maintain(&view, &db, &delta).unwrap(),
             MaintainOutcome::NeedsRebuild { .. }
         ));
+    }
+
+    /// The PR's acceptance property: over random *mixed* insert/delete
+    /// deltas, every strategy's maintained representation answers
+    /// tuple-for-tuple like a from-scratch rebuild on the post-delta
+    /// database (both checked against the naive oracle).
+    #[test]
+    fn maintained_matches_rebuild_on_mixed_deltas_all_strategies() {
+        let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", "bfb").unwrap();
+        let strategies: Vec<Strategy> = vec![
+            Strategy::Materialize,
+            Strategy::Direct,
+            Strategy::Tradeoff {
+                tau: 2.0,
+                weights: Some(vec![0.5, 0.5, 0.5]),
+            },
+            Strategy::Factorized,
+            Strategy::Decomposed {
+                space_budget_exp: 1.5,
+            },
+        ];
+        for strat in &strategies {
+            let mut maintained_runs = 0;
+            for seed in 0..6u64 {
+                let mut db = triangle_db(60, 12, seed * 53 + 11);
+                let built = CompressedView::build(&view, &db, strat.clone()).unwrap();
+                let delta = cqc_workload::mixed_delta(
+                    &mut cqc_workload::rng(seed * 13 + 5),
+                    &db,
+                    &["R", "S", "T"],
+                    3,
+                    2,
+                );
+                assert!(
+                    delta.remove_groups().any(|(_, t)| !t.is_empty()),
+                    "seed {seed}: the mixed delta must actually delete something"
+                );
+                db.apply(&delta).unwrap();
+
+                let outcome = built.maintain(&view, &db, &delta).unwrap();
+                let MaintainOutcome::Maintained {
+                    view: maintained, ..
+                } = outcome
+                else {
+                    panic!(
+                        "expected maintenance for {}, got {outcome:?} (seed {seed})",
+                        built.strategy_name()
+                    );
+                };
+                maintained_runs += 1;
+                assert_eq!(maintained.strategy_name(), built.strategy_name());
+                let rebuilt = CompressedView::build(&view, &db, strat.clone()).unwrap();
+                for x in 0..12u64 {
+                    for z in 0..12u64 {
+                        let vb = [x, z];
+                        let oracle = evaluate_view(&view, &db, &vb).unwrap();
+                        let mut got = answers(&maintained, &vb);
+                        got.sort_unstable();
+                        assert_eq!(
+                            got,
+                            oracle,
+                            "{} seed {seed} vb {vb:?}",
+                            built.strategy_name()
+                        );
+                        let mut re = answers(&rebuilt, &vb);
+                        re.sort_unstable();
+                        assert_eq!(re, oracle, "rebuilt {} seed {seed}", built.strategy_name());
+                    }
+                }
+            }
+            assert!(maintained_runs > 0);
+        }
+    }
+
+    /// Deleting the only witness of an interval must flip its stale `1`
+    /// bit back to `0` — the mirror of `stale_zero_bits_are_flipped`.
+    #[test]
+    fn stale_one_bits_are_cleared_on_delete() {
+        let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", "bfb").unwrap();
+        let mut db = Database::new();
+        db.add(Relation::from_pairs(
+            "R",
+            vec![(1, 2), (2, 3), (1, 3), (3, 1), (2, 1), (4, 2)],
+        ))
+        .unwrap();
+        db.add(Relation::from_pairs(
+            "S",
+            vec![(2, 3), (3, 1), (3, 2), (1, 2), (2, 4), (2, 1)],
+        ))
+        .unwrap();
+        db.add(Relation::from_pairs(
+            "T",
+            vec![(3, 1), (1, 2), (2, 3), (2, 1), (4, 4), (1, 4)],
+        ))
+        .unwrap();
+        let built = CompressedView::build(
+            &view,
+            &db,
+            Strategy::Tradeoff {
+                tau: 1.0,
+                weights: Some(vec![0.5, 0.5, 0.5]),
+            },
+        )
+        .unwrap();
+        // Q(4, y, 1) = {2} via R(4,2) ∧ S(2,1) ∧ T(1,4); deleting S(2,1)
+        // kills the only witness. The value 1 stays in S's second column
+        // (S(3,1)), so the free grid is unchanged and maintenance runs.
+        assert_eq!(answers(&built, &[4, 1]), vec![vec![2u64]]);
+        let mut delta = Delta::new();
+        delta.remove("S", vec![2, 1]);
+        db.apply(&delta).unwrap();
+
+        let outcome = built.maintain(&view, &db, &delta).unwrap();
+        let MaintainOutcome::Maintained {
+            view: maintained,
+            report,
+        } = outcome
+        else {
+            panic!("expected maintenance, got {outcome:?}");
+        };
+        assert!(answers(&maintained, &[4, 1]).is_empty());
+        assert_eq!(report.delta_tuples, 1, "{report:?}");
+        assert!(report.cleared_bits >= 1, "{report:?}");
+        for x in 0..6u64 {
+            for z in 0..6u64 {
+                assert_eq!(
+                    answers(&maintained, &[x, z]),
+                    evaluate_view(&view, &db, &[x, z]).unwrap(),
+                    "vb ({x},{z})"
+                );
+            }
+        }
+    }
+
+    /// A delete that makes a domain value vanish entirely must force a
+    /// rebuild (the rank-space grid shrinks).
+    #[test]
+    fn domain_shrink_forces_rebuild() {
+        let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", "bfb").unwrap();
+        let mut db = Database::new();
+        db.add(Relation::from_pairs("R", vec![(1, 2), (1, 9), (2, 3)]))
+            .unwrap();
+        db.add(Relation::from_pairs("S", vec![(2, 3), (3, 1), (9, 1)]))
+            .unwrap();
+        db.add(Relation::from_pairs("T", vec![(3, 1), (1, 2)]))
+            .unwrap();
+        let built = CompressedView::build(
+            &view,
+            &db,
+            Strategy::Tradeoff {
+                tau: 2.0,
+                weights: None,
+            },
+        )
+        .unwrap();
+        // y = 9 occurs only in R(1,9) and S(9,1): removing both erases it
+        // from y's active domain.
+        let mut delta = Delta::new();
+        delta.remove("R", vec![1, 9]);
+        delta.remove("S", vec![9, 1]);
+        db.apply(&delta).unwrap();
+        assert!(matches!(
+            built.maintain(&view, &db, &delta).unwrap(),
+            MaintainOutcome::NeedsRebuild { .. }
+        ));
+    }
+
+    /// All-bound views (Prop. 1) maintain by re-snapshotting touched
+    /// relations; membership must track the post-delta database.
+    #[test]
+    fn bound_only_maintained_tracks_membership() {
+        let view = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", "bbb").unwrap();
+        let mut db = triangle_db(40, 8, 21);
+        let built = CompressedView::build(
+            &view,
+            &db,
+            Strategy::Auto {
+                space_budget_exp: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(built.strategy_name(), "bound-only (Prop 1)");
+        let delta =
+            cqc_workload::mixed_delta(&mut cqc_workload::rng(77), &db, &["R", "S", "T"], 3, 3);
+        db.apply(&delta).unwrap();
+        let outcome = built.maintain(&view, &db, &delta).unwrap();
+        let MaintainOutcome::Maintained {
+            view: maintained, ..
+        } = outcome
+        else {
+            panic!("expected maintenance, got {outcome:?}");
+        };
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                for z in 0..8u64 {
+                    let oracle = !evaluate_view(&view, &db, &[x, y, z]).unwrap().is_empty();
+                    assert_eq!(
+                        maintained.exists(&[x, y, z]).unwrap(),
+                        oracle,
+                        "({x},{y},{z})"
+                    );
+                }
+            }
+        }
     }
 }

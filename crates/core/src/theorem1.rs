@@ -33,7 +33,7 @@ use cqc_storage::{Database, IndexPool};
 ///
 /// Fields are `pub(crate)` so that [`crate::maintain`] can re-assemble a
 /// structure from delta-maintained parts without re-running Algorithm 1.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Theorem1Structure {
     pub(crate) view: AdornedView,
     pub(crate) plan: ViewPlan,

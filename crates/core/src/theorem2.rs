@@ -30,11 +30,11 @@ use cqc_common::value::{Tuple, Value};
 use cqc_decomp::{search_connex, Objective, TreeDecomposition};
 use cqc_factorized::bag::{bag_local_components, MaterializedBag};
 use cqc_lp::covers::rho_plus;
-use cqc_query::{AdornedView, Var};
-use cqc_storage::{Database, Relation};
+use cqc_query::{AdornedView, Var, VarSet};
+use cqc_storage::{Database, Delta, Relation};
 
 /// One bag of the structure.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Bag {
     /// Node id in the decomposition.
     node: usize,
@@ -45,7 +45,7 @@ struct Bag {
     kind: BagKind,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum BagKind {
     Materialized(MaterializedBag),
     Tradeoff(Box<Theorem1Structure>),
@@ -190,17 +190,21 @@ impl Theorem2Structure {
     /// The Algorithm 4 bottom-up pass: every materialized row / dictionary
     /// 1-entry must extend into all child subtrees.
     fn semijoin_fixup(&mut self, td: &TreeDecomposition) {
-        // Process deepest-first so children are already truthful.
-        let order: Vec<usize> = {
-            let mut idx: Vec<usize> = (0..self.bags.len()).collect();
-            // Pre-order indexes: children always have larger indexes, so
-            // reversing the bag order is a valid bottom-up sweep.
-            idx.reverse();
-            idx
-        };
         let _ = td;
-        for bi in order {
-            if self.children_of[bi].is_empty() {
+        let all = vec![true; self.bags.len()];
+        self.semijoin_fixup_subset(&all);
+    }
+
+    /// [`Theorem2Structure::semijoin_fixup`] restricted to the bags flagged
+    /// in `dirty`. Sound whenever `dirty` is closed under ancestors of
+    /// changed bags: untouched bags were reduced against children whose
+    /// state has not changed since, so re-reducing them is a no-op.
+    fn semijoin_fixup_subset(&mut self, dirty: &[bool]) {
+        // Process deepest-first so children are already truthful.
+        // Pre-order indexes: children always have larger indexes, so
+        // reversing the bag order is a valid bottom-up sweep.
+        for bi in (0..self.bags.len()).rev() {
+            if !dirty[bi] || self.children_of[bi].is_empty() {
                 continue;
             }
             // Positions of each child's bound vars inside this bag's row
@@ -325,6 +329,121 @@ impl Theorem2Structure {
                 false
             }
         }
+    }
+
+    /// Rebuilds only the bags whose local database is touched by `delta`
+    /// (already applied to `db`), plus their ancestors, then re-runs the
+    /// Algorithm 4 semijoin fixup restricted to that set.
+    ///
+    /// The fixup is destructive — a dropped materialized row or a cleared
+    /// dictionary bit cannot resurrect locally — so a touched bag must be
+    /// re-derived from the base relations rather than patched, and every
+    /// ancestor of a touched bag must be re-derived too (its reduction was
+    /// computed against the old subtree). Bags whose entire subtree is
+    /// untouched keep their reduced state, which is exactly what a full
+    /// rebuild would recompute for them.
+    ///
+    /// Returns the maintained structure and the number of re-derived bags,
+    /// or `Ok(None)` when the stored view cannot absorb deltas (non-natural
+    /// atoms from the Example 3 rewrite).
+    ///
+    /// # Errors
+    ///
+    /// Propagates schema and LP errors from the per-bag rebuilds.
+    pub fn maintained(
+        &self,
+        db: &Database,
+        delta: &Delta,
+    ) -> Result<Option<(Theorem2Structure, usize)>> {
+        let query = self.view.query();
+        if query.atoms.iter().any(|a| !a.is_natural()) {
+            return Ok(None);
+        }
+        query.check_schema(db)?;
+        let h = query.hypergraph();
+        let atoms: Vec<(String, Vec<Var>)> = query
+            .atoms
+            .iter()
+            .map(|a| (a.relation.clone(), a.vars().collect()))
+            .collect();
+        let db_size = (db.size() as f64).max(2.0);
+
+        // A bag is stale iff some atom over a touched relation shares a
+        // variable with it: its local database projects every incident
+        // relation (Appendix B).
+        let mut dirty = vec![false; self.bags.len()];
+        for (bi, b) in self.bags.iter().enumerate() {
+            let bag_set: VarSet = b.bound_vars.iter().chain(&b.free_vars).copied().collect();
+            dirty[bi] = atoms
+                .iter()
+                .any(|(rel, vars)| delta.touches(rel) && vars.iter().any(|v| bag_set.contains(*v)));
+        }
+        // Close under ancestors (see above). Reverse order: a bag marked
+        // through this loop has its own ancestors chained in the same pass.
+        for bi in (0..self.bags.len()).rev() {
+            if dirty[bi] {
+                let mut p = self.parent_of[bi];
+                while let Some(pi) = p {
+                    if dirty[pi] {
+                        break;
+                    }
+                    dirty[pi] = true;
+                    p = self.parent_of[pi];
+                }
+            }
+        }
+        let rebuilt = dirty.iter().filter(|&&d| d).count();
+
+        let mut bags = Vec::with_capacity(self.bags.len());
+        for (bi, b) in self.bags.iter().enumerate() {
+            let kind = if dirty[bi] {
+                let bound: VarSet = b.bound_vars.iter().copied().collect();
+                let free: VarSet = b.free_vars.iter().copied().collect();
+                if self.delta[b.node] <= 1e-9 || b.free_vars.is_empty() {
+                    BagKind::Materialized(MaterializedBag::build(b.node, bound, free, &atoms, db)?)
+                } else {
+                    let (bag_view, bag_db, origins) =
+                        bag_local_components(b.node, bound, free, &atoms, db)?;
+                    let rp = rho_plus(&h, bound.union(free), free, self.delta[b.node])?;
+                    let weights: Vec<f64> = origins.iter().map(|&i| rp.weights[i]).collect();
+                    let tau = db_size.powf(self.delta[b.node]).max(1.0);
+                    BagKind::Tradeoff(Box::new(Theorem1Structure::build(
+                        &bag_view, &bag_db, &weights, tau,
+                    )?))
+                }
+            } else {
+                b.kind.clone()
+            };
+            bags.push(Bag {
+                node: b.node,
+                bound_vars: b.bound_vars.clone(),
+                free_vars: b.free_vars.clone(),
+                kind,
+            });
+        }
+
+        // Refresh the root-check snapshots of touched relations from the
+        // post-delta database; untouched ones are still current.
+        let mut root_checks = Vec::with_capacity(self.root_checks.len());
+        for (rel, vars) in &self.root_checks {
+            if delta.touches(rel.name()) {
+                root_checks.push((db.require(rel.name())?.clone(), vars.clone()));
+            } else {
+                root_checks.push((rel.clone(), vars.clone()));
+            }
+        }
+
+        let mut s = Theorem2Structure {
+            view: self.view.clone(),
+            bags,
+            parent_of: self.parent_of.clone(),
+            children_of: self.children_of.clone(),
+            root_checks,
+            num_vars: self.num_vars,
+            delta: self.delta.clone(),
+        };
+        s.semijoin_fixup_subset(&dirty);
+        Ok(Some((s, rebuilt)))
     }
 
     /// Answers an access request (Algorithm 5). Output order is

@@ -11,7 +11,8 @@
 //! The database is held as a copy-on-write snapshot (`RwLock<Arc<…>>`):
 //! readers clone the `Arc` out and serve from a consistent epoch while
 //! [`Engine::update`] installs the next version. Each update applies a
-//! batched [`Delta`], bumps the epoch, and reconciles the catalog —
+//! batched [`Delta`] — insertions and removals — bumps the epoch, and
+//! reconciles the catalog:
 //! entries whose views the delta cannot affect are restamped, Theorem 1
 //! entries absorb the delta through [`cqc_core::maintain`], and everything
 //! else is rebuilt (or left for lazy invalidation on the next lookup).
@@ -314,13 +315,14 @@ impl Engine {
         self.add_relation(rel)
     }
 
-    /// Applies a batched insertion delta and reconciles the catalog: the
-    /// epoch is bumped, unaffected entries are restamped, Theorem 1 entries
-    /// absorb the delta via [`cqc_core::maintain`] when the delta is small
-    /// enough (and maintenance has not been measured slower than rebuild
-    /// for that key), and everything else is rebuilt eagerly. Concurrent
-    /// readers keep serving their snapshots throughout; once this returns,
-    /// every resident entry is valid for the new epoch.
+    /// Applies a batched delta of insertions and removals and reconciles
+    /// the catalog: the epoch is bumped, unaffected entries are restamped,
+    /// maintainable entries absorb the delta via [`cqc_core::maintain`]
+    /// when the delta is small enough (and maintenance has not been
+    /// measured slower than rebuild for that key), and everything else is
+    /// rebuilt eagerly. Concurrent readers keep serving their snapshots
+    /// throughout; once this returns, every resident entry is valid for
+    /// the new epoch.
     ///
     /// # Errors
     ///
@@ -428,7 +430,8 @@ impl Engine {
         view_relations.dedup();
         let touched_tuples: usize = view_relations
             .iter()
-            .filter_map(|r| delta.tuples_for(r))
+            .flat_map(|r| [delta.tuples_for(r), delta.removes_for(r)])
+            .flatten()
             .map(<[_]>::len)
             .sum();
         let too_large = touched_tuples as f64

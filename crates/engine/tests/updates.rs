@@ -9,7 +9,7 @@ use cqc_join::naive::evaluate_view;
 use cqc_query::parser::parse_adorned;
 use cqc_query::AdornedView;
 use cqc_storage::{Database, Delta, Relation};
-use cqc_workload::recombination_delta;
+use cqc_workload::{mixed_delta, recombination_delta};
 
 const TRIANGLE: &str = "Q(x,y,z) :- R(x,y), S(y,z), T(z,x)";
 
@@ -157,6 +157,53 @@ fn small_deltas_take_the_maintain_path_and_stay_exact() {
         assert!(maintained_total >= 1, "seed {seed}");
         assert_eq!(engine.update_stats().rebuilt, 0);
         assert_eq!(engine.catalog_stats().maintained as usize, maintained_total);
+    }
+}
+
+/// Mixed insert/delete deltas ride the same maintain path: domain-safe
+/// removals (no active-domain shrink) are absorbed without a rebuild, and
+/// every answer matches the naive oracle on the post-delta snapshot. This
+/// also pins the maintain threshold counting removed tuples — a
+/// remove-only delta must register as touching the view.
+#[test]
+fn mixed_deltas_maintain_and_stay_exact() {
+    for seed in [0u64, 3, 8] {
+        let engine = Engine::with_config(
+            triangle_db(70, 12, seed * 11 + 5),
+            EngineConfig {
+                maintain_calibration: false,
+                ..EngineConfig::default()
+            },
+        );
+        engine
+            .register_text("tri", TRIANGLE, "bfb", theorem1_policy())
+            .unwrap();
+        let view = parse_adorned(TRIANGLE, "bfb").unwrap();
+        let mut rng = cqc_workload::rng(seed + 40);
+        let mut removed_total = 0usize;
+        for _round in 0..4 {
+            let delta = mixed_delta(&mut rng, &engine.db(), &["R", "S", "T"], 2, 2);
+            removed_total += delta.remove_groups().map(|(_, ts)| ts.len()).sum::<usize>();
+            let report = engine.update(&delta).unwrap();
+            assert_eq!(
+                report.rebuilt, 0,
+                "domain-safe mixed deltas must not rebuild (seed {seed}): {report:?}"
+            );
+            for x in 0..12u64 {
+                for z in 0..12u64 {
+                    assert_eq!(
+                        sorted_answer(&engine, "tri", &[x, z]),
+                        evaluate_view(&view, &engine.db(), &[x, z]).unwrap(),
+                        "seed {seed}, vb ({x},{z})"
+                    );
+                }
+            }
+        }
+        assert!(
+            removed_total > 0,
+            "seed {seed}: no removals — test is vacuous"
+        );
+        assert_eq!(engine.update_stats().rebuilt, 0);
     }
 }
 
@@ -315,16 +362,27 @@ fn invalidate_stale_sweeps_eagerly() {
     assert_eq!(sorted_answer(&engine, "tri", &[1, 2]), expect);
 }
 
-/// Non-maintainable strategies (here: materialize) are rebuilt eagerly by
-/// `update` and answer the post-delta result.
+/// Every strategy has a maintain path now, materialize included: a small
+/// delta is absorbed, while an oversized one (past the maintain-fraction
+/// threshold) still falls back to an eager rebuild. Both answer the
+/// post-delta result.
 #[test]
-fn non_maintainable_strategies_rebuild_eagerly() {
+fn materialize_maintains_small_deltas_rebuilds_large_ones() {
     let engine = Engine::new(triangle_db(50, 10, 19));
     engine
         .register_text("mat", TRIANGLE, "bfb", Policy::Fixed(Strategy::Materialize))
         .unwrap();
     let mut rng = cqc_workload::rng(6);
+    // 9 touched tuples against |D| = 150: well under the default 0.2
+    // fraction, so the entry is maintained in place.
     let delta = recombination_delta(&mut rng, &engine.db(), &["R", "S", "T"], 3);
+    let report = engine.update(&delta).unwrap();
+    if report.epoch > 0 && report.maintained + report.rebuilt + report.restamped > 0 {
+        assert_eq!(report.maintained, 1, "{report:?}");
+        assert_eq!(report.rebuilt, 0, "{report:?}");
+    }
+    // ~120 touched tuples blow the threshold: eager rebuild.
+    let delta = recombination_delta(&mut rng, &engine.db(), &["R", "S", "T"], 40);
     let report = engine.update(&delta).unwrap();
     if report.epoch > 0 && report.maintained + report.rebuilt + report.restamped > 0 {
         assert_eq!(report.maintained, 0, "{report:?}");

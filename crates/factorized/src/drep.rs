@@ -6,8 +6,8 @@ use cqc_common::heap::HeapSize;
 use cqc_common::metrics;
 use cqc_common::value::{Tuple, Value};
 use cqc_decomp::TreeDecomposition;
-use cqc_query::{AdornedView, Var};
-use cqc_storage::{Database, Relation};
+use cqc_query::{AdornedView, Var, VarSet};
+use cqc_storage::{Database, Delta, Relation};
 
 /// A factorized representation of a full adorned view over a `V_b`-connex
 /// tree decomposition: semijoin-reduced materialized bags indexed by their
@@ -17,11 +17,74 @@ pub struct FactorizedRepresentation {
     view: AdornedView,
     /// Pre-order sequence of non-root bags.
     bags: Vec<MaterializedBag>,
+    /// Tree parent in `bags` indexes (`None` = child of the root bag);
+    /// retained so delta maintenance can re-reduce a subset of bags.
+    parent_of: Vec<Option<usize>>,
     /// Relations fully contained in `V_b`, checked per access request
     /// (§5.1: "a hash index that tests membership for every hyperedge of H
     /// contained in V_b"; sorted-relation membership is the same Õ(1)).
     root_checks: Vec<(Relation, Vec<Var>)>,
     num_vars: usize,
+}
+
+/// Bottom-up semijoin reduction over the bags flagged in `dirty`: a bag row
+/// survives iff every child bag has a matching row. Bags are in pre-order,
+/// so the reversed index order is a valid bottom-up sweep (children are
+/// already truthful when their parent is processed). Restricting to a
+/// `dirty` set is sound whenever it is closed under ancestors of changed
+/// bags — an untouched bag was reduced against children whose state has not
+/// changed since.
+fn semijoin_reduce(bags: &mut [MaterializedBag], parent_of: &[Option<usize>], dirty: &[bool]) {
+    let mut children_of: Vec<Vec<usize>> = vec![Vec::new(); bags.len()];
+    for (i, p) in parent_of.iter().enumerate() {
+        if let Some(p) = p {
+            children_of[*p].push(i);
+        }
+    }
+    for bi in (0..bags.len()).rev() {
+        if !dirty[bi] || children_of[bi].is_empty() {
+            continue;
+        }
+        // For each child: positions of the child's bound vars inside this
+        // bag's row (bound prefix then free suffix).
+        let row_vars: Vec<Var> = {
+            let mut v = bags[bi].bound_vars.clone();
+            v.extend(&bags[bi].free_vars);
+            v
+        };
+        let extractors: Vec<(usize, Vec<usize>)> = children_of[bi]
+            .iter()
+            .map(|&cbi| {
+                let positions = bags[cbi]
+                    .bound_vars
+                    .iter()
+                    .map(|bv| {
+                        row_vars
+                            .iter()
+                            .position(|rv| rv == bv)
+                            .expect("child bound var is in the parent bag")
+                    })
+                    .collect();
+                (cbi, positions)
+            })
+            .collect();
+        // We cannot hold `&mut bags[bi]` and `&bags[cbi]` at once, so
+        // collect keep-flags first, then retain.
+        let n = bags[bi].len();
+        let mut keep = vec![true; n];
+        for (i, flag) in keep.iter_mut().enumerate() {
+            let row = bags[bi].row(i);
+            for (cbi, positions) in &extractors {
+                let key: Vec<Value> = positions.iter().map(|&p| row[p]).collect();
+                if !bags[*cbi].contains_key(&key) {
+                    *flag = false;
+                    break;
+                }
+            }
+        }
+        let mut it = keep.into_iter();
+        bags[bi].retain(|_| it.next().unwrap());
+    }
 }
 
 impl FactorizedRepresentation {
@@ -63,62 +126,23 @@ impl FactorizedRepresentation {
                 db,
             )?);
         }
+        // Tree parent of each bag, in `bags` indexes.
+        let parent_of: Vec<Option<usize>> = bags
+            .iter()
+            .map(|b| {
+                let p = td.parent(b.node).expect("non-root");
+                if p == td.root() {
+                    None
+                } else {
+                    Some(bag_index_of_node[p])
+                }
+            })
+            .collect();
         // Bottom-up semijoin reduction: a bag row survives iff every child
         // bag has a matching row (children already reduced → every survivor
         // extends to the whole subtree).
-        for &t in td.postorder().iter() {
-            if t == td.root() {
-                continue;
-            }
-            let bi = bag_index_of_node[t];
-            let child_bis: Vec<usize> = td
-                .children(t)
-                .iter()
-                .map(|&c| bag_index_of_node[c])
-                .collect();
-            if child_bis.is_empty() {
-                continue;
-            }
-            // For each child: positions of the child's bound vars inside
-            // this bag's row (bound prefix then free suffix).
-            let row_vars: Vec<Var> = {
-                let mut v = bags[bi].bound_vars.clone();
-                v.extend(&bags[bi].free_vars);
-                v
-            };
-            let extractors: Vec<(usize, Vec<usize>)> = child_bis
-                .iter()
-                .map(|&cbi| {
-                    let positions = bags[cbi]
-                        .bound_vars
-                        .iter()
-                        .map(|bv| {
-                            row_vars
-                                .iter()
-                                .position(|rv| rv == bv)
-                                .expect("child bound var is in the parent bag")
-                        })
-                        .collect();
-                    (cbi, positions)
-                })
-                .collect();
-            // We cannot hold `&mut bags[bi]` and `&bags[cbi]` at once, so
-            // collect keep-flags first, then retain.
-            let n = bags[bi].len();
-            let mut keep = vec![true; n];
-            for (i, flag) in keep.iter_mut().enumerate() {
-                let row = bags[bi].row(i);
-                for (cbi, positions) in &extractors {
-                    let key: Vec<Value> = positions.iter().map(|&p| row[p]).collect();
-                    if !bags[*cbi].contains_key(&key) {
-                        *flag = false;
-                        break;
-                    }
-                }
-            }
-            let mut it = keep.into_iter();
-            bags[bi].retain(|_| it.next().unwrap());
-        }
+        let all = vec![true; bags.len()];
+        semijoin_reduce(&mut bags, &parent_of, &all);
 
         // Root membership checks: edges fully inside V_b.
         let vb = view.bound_vars();
@@ -133,9 +157,103 @@ impl FactorizedRepresentation {
         Ok(FactorizedRepresentation {
             view: view.clone(),
             bags,
+            parent_of,
             root_checks,
             num_vars: query.num_vars(),
         })
+    }
+
+    /// Re-materializes only the bags whose local database is touched by
+    /// `delta` (already applied to `db`), plus their ancestors, then
+    /// re-runs the semijoin reduction restricted to that set.
+    ///
+    /// The reduction is destructive — a dropped bag row cannot resurrect
+    /// locally — so a touched bag is re-derived from the base relations
+    /// rather than patched, and every ancestor of a touched bag is
+    /// re-derived too (its reduction was computed against the old subtree).
+    /// Bags with a fully untouched subtree keep their reduced state, which
+    /// is exactly what a full rebuild would recompute for them.
+    ///
+    /// Returns the maintained representation and the number of re-derived
+    /// bags, or `Ok(None)` when the stored view cannot absorb deltas
+    /// (non-natural atoms from the Example 3 rewrite).
+    ///
+    /// # Errors
+    ///
+    /// Propagates schema errors from the per-bag rebuilds.
+    pub fn maintained(
+        &self,
+        db: &Database,
+        delta: &Delta,
+    ) -> Result<Option<(FactorizedRepresentation, usize)>> {
+        let query = self.view.query();
+        if query.atoms.iter().any(|a| !a.is_natural()) {
+            return Ok(None);
+        }
+        query.check_schema(db)?;
+        let atoms: Vec<(String, Vec<Var>)> = query
+            .atoms
+            .iter()
+            .map(|a| (a.relation.clone(), a.vars().collect()))
+            .collect();
+
+        // A bag is stale iff some atom over a touched relation shares a
+        // variable with it (its local database projects every incident
+        // relation); close the set under ancestors (see above).
+        let mut dirty = vec![false; self.bags.len()];
+        for (bi, b) in self.bags.iter().enumerate() {
+            let bag_set: VarSet = b.bound_vars.iter().chain(&b.free_vars).copied().collect();
+            dirty[bi] = atoms
+                .iter()
+                .any(|(rel, vars)| delta.touches(rel) && vars.iter().any(|v| bag_set.contains(*v)));
+        }
+        for bi in (0..self.bags.len()).rev() {
+            if dirty[bi] {
+                let mut p = self.parent_of[bi];
+                while let Some(pi) = p {
+                    if dirty[pi] {
+                        break;
+                    }
+                    dirty[pi] = true;
+                    p = self.parent_of[pi];
+                }
+            }
+        }
+        let rebuilt = dirty.iter().filter(|&&d| d).count();
+
+        let mut bags = Vec::with_capacity(self.bags.len());
+        for (bi, b) in self.bags.iter().enumerate() {
+            if dirty[bi] {
+                let bound: VarSet = b.bound_vars.iter().copied().collect();
+                let free: VarSet = b.free_vars.iter().copied().collect();
+                bags.push(MaterializedBag::build(b.node, bound, free, &atoms, db)?);
+            } else {
+                bags.push(b.clone());
+            }
+        }
+
+        // Refresh the root-check snapshots of touched relations from the
+        // post-delta database; untouched ones are still current.
+        let mut root_checks = Vec::with_capacity(self.root_checks.len());
+        for (rel, vars) in &self.root_checks {
+            if delta.touches(rel.name()) {
+                root_checks.push((db.require(rel.name())?.clone(), vars.clone()));
+            } else {
+                root_checks.push((rel.clone(), vars.clone()));
+            }
+        }
+
+        semijoin_reduce(&mut bags, &self.parent_of, &dirty);
+        Ok(Some((
+            FactorizedRepresentation {
+                view: self.view.clone(),
+                bags,
+                parent_of: self.parent_of.clone(),
+                root_checks,
+                num_vars: self.num_vars,
+            },
+            rebuilt,
+        )))
     }
 
     /// Convenience constructor: searches for a width-minimal decomposition

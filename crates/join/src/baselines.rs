@@ -16,7 +16,7 @@ use cqc_common::heap::HeapSize;
 use cqc_common::metrics;
 use cqc_common::value::{lex_cmp, Tuple, Value};
 use cqc_query::AdornedView;
-use cqc_storage::Database;
+use cqc_storage::{Database, Delta};
 
 /// Fully materialized view with a lexicographic index on the bound prefix.
 #[derive(Debug)]
@@ -131,6 +131,137 @@ impl MaterializedView {
         let ans = self.answer(bound_values)?;
         Ok(ans.pos < ans.end)
     }
+
+    /// Incrementally maintains the materialized result under a mixed
+    /// insert/delete delta, against the **post-delta** database `db`.
+    ///
+    /// Because the view is a full natural join (projections are rejected at
+    /// build), every base tuple pins its atom's variables to concrete
+    /// result positions. Losses need no join at all: an old result row dies
+    /// iff some atom's projection of it was removed. Gains are found by
+    /// slab-restricted joins — one per inserted tuple, with that atom's
+    /// levels fixed — so the work is proportional to the delta and the
+    /// affected result rows, never the full `|D|^{ρ*}` re-join.
+    ///
+    /// Returns `Ok(None)` when the layout cannot be reconciled — fall back
+    /// to [`MaterializedView::build`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates schema errors (a view relation missing from `db`).
+    pub fn maintained(&self, db: &Database, delta: &Delta) -> Result<Option<MaterializedView>> {
+        let query = self.view.query();
+        if query.require_natural_join().is_err() {
+            return Ok(None);
+        }
+        // Base trie indexes over the post-delta database (linear-ish; the
+        // full result re-join is what maintenance avoids).
+        let plan = ViewPlan::build(&self.view, db)?;
+        if plan.num_levels() != self.width || plan.num_bound != self.num_bound {
+            return Ok(None);
+        }
+        // Per atom: the global level of each of its schema positions.
+        let atom_slots: Vec<Vec<usize>> = query
+            .atoms
+            .iter()
+            .map(|a| a.vars().map(|v| plan.level_of[v.index()]).collect())
+            .collect();
+
+        // Losses: drop old rows whose projection onto some atom was removed.
+        let mut removed_per_atom: Vec<Vec<&Tuple>> = Vec::with_capacity(atom_slots.len());
+        for atom in &query.atoms {
+            let mut rs: Vec<&Tuple> = delta
+                .removes_for(&atom.relation)
+                .map(|ts| ts.iter().collect())
+                .unwrap_or_default();
+            rs.sort_unstable_by(|a, b| lex_cmp(a, b));
+            rs.dedup();
+            removed_per_atom.push(rs);
+        }
+        let mut scratch: Vec<Value> = Vec::new();
+        let dies = |row: &[Value], scratch: &mut Vec<Value>| {
+            for (slots, removed) in atom_slots.iter().zip(&removed_per_atom) {
+                if removed.is_empty() {
+                    continue;
+                }
+                scratch.clear();
+                scratch.extend(slots.iter().map(|&l| row[l]));
+                if removed.binary_search_by(|t| lex_cmp(t, scratch)).is_ok() {
+                    return true;
+                }
+            }
+            false
+        };
+
+        // Gains: one restricted join per inserted tuple, all atoms joined,
+        // the inserted tuple's levels fixed. Emitted rows are already in
+        // global [bound | free] order.
+        let mut gains: Vec<Tuple> = Vec::new();
+        for (i, atom) in query.atoms.iter().enumerate() {
+            let Some(tuples) = delta.tuples_for(&atom.relation) else {
+                continue;
+            };
+            for t in tuples {
+                if t.len() != atom_slots[i].len() {
+                    return Ok(None);
+                }
+                let mut cons = vec![crate::leapfrog::LevelConstraint::Free; plan.num_levels()];
+                for (&l, &v) in atom_slots[i].iter().zip(t) {
+                    match cons[l] {
+                        crate::leapfrog::LevelConstraint::Fixed(w) if w != v => {
+                            // The tuple repeats a variable inconsistently:
+                            // it can never witness an answer.
+                            cons.clear();
+                            break;
+                        }
+                        _ => cons[l] = crate::leapfrog::LevelConstraint::Fixed(v),
+                    }
+                }
+                if cons.is_empty() {
+                    continue;
+                }
+                let mut join = plan.join(cons);
+                while let Some(r) = join.next() {
+                    gains.push(r.to_vec());
+                }
+            }
+        }
+        gains.sort_unstable_by(|a, b| lex_cmp(a, b));
+        gains.dedup();
+
+        // Sorted merge: surviving old rows ∪ gains, deduplicated.
+        let mut rows: Vec<Value> = Vec::with_capacity(self.rows.len());
+        let mut g = 0usize;
+        let push_gain = |rows: &mut Vec<Value>, gain: &[Value]| {
+            if rows.len() < gain.len() || rows[rows.len() - gain.len()..] != *gain {
+                rows.extend_from_slice(gain);
+            }
+        };
+        for i in 0..self.len() {
+            let row = self.row(i);
+            if dies(row, &mut scratch) {
+                continue;
+            }
+            while g < gains.len() && lex_cmp(&gains[g], row) == std::cmp::Ordering::Less {
+                push_gain(&mut rows, &gains[g]);
+                g += 1;
+            }
+            if g < gains.len() && lex_cmp(&gains[g], row) == std::cmp::Ordering::Equal {
+                g += 1;
+            }
+            rows.extend_from_slice(row);
+        }
+        while g < gains.len() {
+            push_gain(&mut rows, &gains[g]);
+            g += 1;
+        }
+        Ok(Some(MaterializedView {
+            view: self.view.clone(),
+            rows,
+            width: self.width,
+            num_bound: self.num_bound,
+        }))
+    }
 }
 
 impl HeapSize for MaterializedView {
@@ -231,6 +362,24 @@ impl DirectView {
     /// The underlying plan (used by benchmarks for space accounting).
     pub fn plan(&self) -> &ViewPlan {
         &self.plan
+    }
+
+    /// Incrementally maintains the base trie indexes under a mixed
+    /// insert/delete delta via [`ViewPlan::maintained`]. Returns `Ok(None)`
+    /// when the plan cannot be reconciled — fall back to
+    /// [`DirectView::build`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates schema errors (a view relation missing from `db`).
+    pub fn maintained(&self, db: &Database, delta: &Delta) -> Result<Option<DirectView>> {
+        Ok(self
+            .plan
+            .maintained(&self.view, db, delta)?
+            .map(|plan| DirectView {
+                view: self.view.clone(),
+                plan,
+            }))
     }
 }
 
@@ -389,6 +538,76 @@ mod tests {
         assert!(dir.exists(&[1, 2, 3]).unwrap());
         assert!(!mat.exists(&[1, 1, 1]).unwrap());
         assert!(!dir.exists(&[1, 1, 1]).unwrap());
+    }
+
+    #[test]
+    fn maintained_baselines_match_rebuild_on_mixed_deltas() {
+        // Property: maintaining either baseline under a random mixed
+        // insert/delete delta equals rebuilding it on the post-delta
+        // database, for every access request.
+        let mut state = 0xabcdu64;
+        let mut next = move |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        for trial in 0..8u64 {
+            let mut db = triangle_db();
+            let mat0;
+            let dir0;
+            {
+                let v = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", "bff").unwrap();
+                mat0 = MaterializedView::build(&v, &db).unwrap();
+                dir0 = DirectView::build(&v, &db).unwrap();
+            }
+            let mut delta = Delta::new();
+            for name in ["R", "S", "T"] {
+                let rel = db.get(name).unwrap();
+                // Remove one random present row, insert two random rows.
+                let victim = rel.row(next(rel.len() as u64) as usize).to_vec();
+                delta.remove(name, victim);
+                for _ in 0..2 {
+                    delta.insert(name, vec![1 + next(4), 1 + next(4)]);
+                }
+            }
+            db.apply(&delta).unwrap();
+            let v = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z), T(z,x)", "bff").unwrap();
+            let mat = mat0.maintained(&db, &delta).unwrap().unwrap();
+            let dir = dir0.maintained(&db, &delta).unwrap().unwrap();
+            let mat_rebuilt = MaterializedView::build(&v, &db).unwrap();
+            for x in 0..6u64 {
+                let expect = evaluate_view(&v, &db, &[x]).unwrap();
+                let got_m: Vec<Tuple> = mat.answer(&[x]).unwrap().collect();
+                let got_d: Vec<Tuple> = dir.answer(&[x]).unwrap().collect();
+                let got_r: Vec<Tuple> = mat_rebuilt.answer(&[x]).unwrap().collect();
+                assert_eq!(got_m, expect, "materialized, trial {trial}, x={x}");
+                assert_eq!(got_d, expect, "direct, trial {trial}, x={x}");
+                assert_eq!(got_r, expect, "rebuilt oracle, trial {trial}, x={x}");
+            }
+            assert_eq!(mat.len(), mat_rebuilt.len(), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn maintained_materialized_handles_self_join_levels() {
+        // A repeated variable through the join: y appears in both atoms, so
+        // a slab fixing R's levels also constrains S's first level.
+        let mut db = Database::new();
+        db.add(Relation::from_pairs("R", vec![(1, 2), (3, 4)]))
+            .unwrap();
+        db.add(Relation::from_pairs("S", vec![(2, 5), (4, 6)]))
+            .unwrap();
+        let v = parse_adorned("Q(x,y,z) :- R(x,y), S(y,z)", "fff").unwrap();
+        let mat0 = MaterializedView::build(&v, &db).unwrap();
+        let mut delta = Delta::new();
+        delta.insert("R", vec![7, 2]);
+        delta.remove("S", vec![4, 6]);
+        db.apply(&delta).unwrap();
+        let mat = mat0.maintained(&db, &delta).unwrap().unwrap();
+        let expect = evaluate_view(&v, &db, &[]).unwrap();
+        let got: Vec<Tuple> = mat.answer(&[]).unwrap().collect();
+        assert_eq!(got, expect);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::leapfrog::{trie_order_for_atom, AtomInput, LeapfrogJoin, LevelConstraint};
 use cqc_common::error::Result;
 use cqc_common::heap::HeapSize;
-use cqc_common::value::Value;
+use cqc_common::value::{Tuple, Value};
 use cqc_query::{AdornedView, Var};
 use cqc_storage::{Database, Delta, IndexPool, SortedIndex};
 use std::sync::Arc;
@@ -22,7 +22,7 @@ use std::sync::Arc;
 /// any identical `(relation, column-order)` index already built by the cost
 /// oracle or another atom of the same registration instead of re-sorting
 /// it.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ViewPlan {
     /// Global variable order: bound head variables, then free head variables.
     pub order: Vec<Var>,
@@ -92,9 +92,11 @@ impl ViewPlan {
 
     /// Rebuilds the plan for the post-delta database by merging the delta's
     /// genuinely new rows into clones of the trie indexes
-    /// ([`SortedIndex::merge_insert`]) instead of re-sorting each one —
-    /// the incremental maintenance path mirroring
-    /// `cqc_core::cost::CostEstimator::maintained`.
+    /// ([`SortedIndex::merge_insert`]) and compacting its genuinely present
+    /// removals out ([`SortedIndex::merge_remove`]) instead of re-sorting
+    /// each one — the incremental maintenance path mirroring
+    /// `cqc_core::cost::CostEstimator::maintained`. [`Delta`] keeps insert
+    /// and remove sets disjoint, so the two merges commute.
     ///
     /// Returns `Ok(None)` when a merged index cannot be reconciled with the
     /// post-delta relation (size or arity disagreement) — fall back to
@@ -116,12 +118,22 @@ impl ViewPlan {
         let mut indexes = Vec::with_capacity(self.indexes.len());
         for (atom, old) in query.atoms.iter().zip(&self.indexes) {
             let rel = db.require(&atom.relation)?;
-            let ix = if let Some(tuples) = delta.tuples_for(&atom.relation) {
-                let Some(fresh) = old.fresh_from(tuples) else {
-                    return Ok(None);
-                };
+            let ix = if delta.touches(&atom.relation) {
                 let mut merged = (**old).clone();
-                merged.merge_insert(&fresh);
+                if let Some(tuples) = delta.tuples_for(&atom.relation) {
+                    let Some(fresh) = merged.fresh_from(tuples) else {
+                        return Ok(None);
+                    };
+                    let fresh: Vec<Tuple> = fresh.into_iter().cloned().collect();
+                    merged.merge_insert(&fresh);
+                }
+                if let Some(tuples) = delta.removes_for(&atom.relation) {
+                    let Some(stale) = merged.stale_from(tuples) else {
+                        return Ok(None);
+                    };
+                    let stale: Vec<Tuple> = stale.into_iter().cloned().collect();
+                    merged.merge_remove(&stale);
+                }
                 Arc::new(merged)
             } else {
                 // Untouched atom: share the old index outright.

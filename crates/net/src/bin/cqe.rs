@@ -14,7 +14,8 @@
 //! ask <name> <v1> <v2> ...             answer one access request
 //! exists <name> <v1> ...               boolean probe
 //! explain <name>                       strategy selection + representation
-//! update <rel> <v1> <v2> ...           insert one tuple (bumps the epoch,
+//! update [--rm] <rel> <v1> <v2> ...    insert (or with --rm delete) one
+//!                                      tuple (bumps the epoch,
 //!                                      maintains/rebuilds cached views)
 //! serve <addr> [--shard=<i>/<n> <pattern> "<query>"]
 //!                                      expose the current database as a
@@ -30,9 +31,10 @@
 //! bench <name> <requests> <threads> [seed] [witness|random]
 //!       [--with-updates[=<rounds>]] [--json=<path>]
 //!                                      serve a generated request stream;
-//!                                      --with-updates interleaves deltas and
-//!                                      cross-checks answers against a naive
-//!                                      oracle, --json writes a summary file
+//!                                      --with-updates interleaves mixed
+//!                                      insert/delete deltas and cross-checks
+//!                                      answers against a naive oracle,
+//!                                      --json writes a summary file
 //! stats                                catalog + update counters
 //! demo                                 canned end-to-end tour
 //! help | quit
@@ -77,9 +79,7 @@ use cqc_net::{ClientConfig, NetServer, NetServerConfig, Router};
 use cqc_query::parser::parse_adorned;
 use cqc_storage::csv::CsvOptions;
 use cqc_storage::{Delta, Partitioning};
-use cqc_workload::{
-    graphs, random_requests, recombination_delta, uniform_relation, witness_requests,
-};
+use cqc_workload::{graphs, mixed_delta, random_requests, uniform_relation, witness_requests};
 use std::io::BufRead;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -168,7 +168,7 @@ fn print_help() {
     println!("  gen triangle <rows> [seed] | gen social <nodes> <edges> [seed] | gen star <k> <rows> [seed]");
     println!("  register <name> <pattern> <strategy> <query>");
     println!("  ask <name> <values...>   exists <name> <values...>   explain <name>");
-    println!("  update <rel> <values...>");
+    println!("  update [--rm] <rel> <values...>");
     println!("  serve <addr> [--shard=<i>/<n> <pattern> \"<query>\"]");
     println!("        [--max-inflight=<n>] [--deadline-ms=<n>]");
     println!("        shard server over the current database (blocks until killed);");
@@ -323,23 +323,36 @@ fn execute(engine: &mut Engine, line: &str) -> Result<bool, String> {
             println!("{}", engine.explain(name).map_err(|e| e.to_string())?);
         }
         "update" => {
+            let usage = "usage: update [--rm] <rel> <values...>";
+            let (removing, rest) = match rest {
+                [flag, rest @ ..] if flag == "--rm" => (true, rest),
+                _ => (false, rest),
+            };
             let [rel, vals @ ..] = rest else {
-                return Err("usage: update <rel> <values...>".into());
+                return Err(usage.into());
             };
             if vals.is_empty() {
-                return Err("usage: update <rel> <values...>".into());
+                return Err(usage.into());
             }
             let tuple: Vec<u64> = vals
                 .iter()
                 .map(|v| engine.resolve_value(v).map_err(|e| e.to_string()))
                 .collect::<Result<_, _>>()?;
             let mut delta = Delta::new();
-            delta.insert(rel, tuple);
+            if removing {
+                delta.remove(rel, tuple);
+            } else {
+                delta.insert(rel, tuple);
+            }
             let report = engine.update(&delta).map_err(|e| e.to_string())?;
             println!(
-                "applied delta to `{rel}` (epoch {}): {} maintained, {} rebuilt, \
+                "applied {} delta to `{rel}` (epoch {}): {} maintained, {} rebuilt, \
                  {} restamped",
-                report.epoch, report.maintained, report.rebuilt, report.restamped
+                if removing { "remove" } else { "insert" },
+                report.epoch,
+                report.maintained,
+                report.rebuilt,
+                report.restamped
             );
         }
         "stats" => {
@@ -847,7 +860,7 @@ fn bench(engine: &mut Engine, rest: &[String]) -> Result<(), String> {
             while let Some(reqs) = chunks.next() {
                 measure(engine, reqs)?;
                 if chunks.peek().is_some() {
-                    let delta = recombination_delta(&mut rng, &engine.db(), &view_relations, 3);
+                    let delta = mixed_delta(&mut rng, &engine.db(), &view_relations, 3, 2);
                     let report = engine.update(&delta).map_err(|e| e.to_string())?;
                     rounds_applied += 1;
                     updates.epoch = report.epoch;
@@ -1432,9 +1445,9 @@ fn bench_build(
 /// the router over TCP. Both paths are warmed, then measured, and the
 /// merged streams are compared tuple-for-tuple (the order contract is
 /// exact lexicographic on both sides, so equality is `==`, not set
-/// equality). One recombination delta is then applied through both update
-/// paths and the full stream is re-compared, so the gate also covers the
-/// split-delta/epoch machinery. Wire bytes come from the router's
+/// equality). One mixed insert/delete delta is then applied through both
+/// update paths and the full stream is re-compared, so the gate also
+/// covers the split-delta/epoch machinery in both directions. Wire bytes come from the router's
 /// per-connection counters around the measured pass.
 fn bench_net(
     engine: &Engine,
@@ -1539,7 +1552,7 @@ fn bench_net(
     view_relations.sort_unstable();
     view_relations.dedup();
     let mut rng = cqc_workload::rng(13);
-    let delta = recombination_delta(&mut rng, &base_db, &view_relations, 3);
+    let delta = mixed_delta(&mut rng, &base_db, &view_relations, 3, 2);
     sharded.apply_update(&delta).map_err(|e| e.to_string())?;
     router.apply_update(&delta).map_err(|e| e.to_string())?;
     let (local_after, local_answers_after, _) = local_pass(true)?;

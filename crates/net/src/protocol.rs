@@ -9,7 +9,7 @@
 //! |---|---|
 //! | `Register` | `str name \| str query \| str pattern \| str strategy` |
 //! | `Serve` | `str view \| u16 n \| n×u64 bound values` |
-//! | `Update` | `u32 groups \| per group: str rel, u16 arity, u32 rows, rows×arity u64` |
+//! | `Update` | insert section, then an optional identical removes section (`u32 groups \| per group: str rel, u16 arity, u32 rows, rows×arity u64` each) |
 //! | `Health` | empty |
 //! | `RegisterOk` / `UpdateOk` / `HealthOk` | epoch vector (`u32 n \| n×u64`) |
 //! | `Chunk` | `u16 arity \| u32 count \| count×arity u64` (see [`cqc_common::frame`]) |
@@ -89,23 +89,42 @@ pub fn parse_serve(payload: &[u8]) -> Result<ServeReq> {
     Ok(ServeReq { view, bound })
 }
 
-/// Encodes a [`Delta`] into `w` (cleared first). Empty groups are dropped
-/// (they carry no information and a zero arity would be ambiguous).
-pub fn encode_update(w: &mut PayloadWriter, delta: &Delta) {
-    let groups: Vec<(&str, &[Vec<Value>])> =
-        delta.groups().filter(|(_, ts)| !ts.is_empty()).collect();
-    w.start().put_u32(groups.len() as u32);
+fn put_delta_section(w: &mut PayloadWriter, groups: &[(&str, &[Vec<Value>])]) {
+    w.put_u32(groups.len() as u32);
     for (rel, tuples) in groups {
         w.put_str(rel)
             .put_u16(tuples[0].len() as u16)
             .put_u32(tuples.len() as u32);
-        for t in tuples {
+        for t in *tuples {
             w.put_values(t);
         }
     }
 }
 
-/// Parses a [`Delta`].
+/// Encodes a [`Delta`] into `w` (cleared first): the insert section, then —
+/// only when the delta carries removals — an identically shaped removes
+/// section. Insert-only deltas therefore encode byte-identically to the
+/// pre-deletion layout, which is what keeps protocol version 1 forward
+/// compatible ([`parse_update`] reads removes iff bytes remain). Empty
+/// groups are dropped (they carry no information and a zero arity would be
+/// ambiguous).
+pub fn encode_update(w: &mut PayloadWriter, delta: &Delta) {
+    let inserts: Vec<(&str, &[Vec<Value>])> =
+        delta.groups().filter(|(_, ts)| !ts.is_empty()).collect();
+    let removes: Vec<(&str, &[Vec<Value>])> = delta
+        .remove_groups()
+        .filter(|(_, ts)| !ts.is_empty())
+        .collect();
+    w.start();
+    put_delta_section(w, &inserts);
+    if !removes.is_empty() {
+        put_delta_section(w, &removes);
+    }
+}
+
+/// Parses a [`Delta`]: the insert section always, then a removes section
+/// iff the payload has bytes left (older insert-only encoders simply end
+/// after the first section).
 ///
 /// # Errors
 ///
@@ -113,16 +132,25 @@ pub fn encode_update(w: &mut PayloadWriter, delta: &Delta) {
 /// arity disagrees with its group header.
 pub fn parse_update(payload: &[u8]) -> Result<Delta> {
     let mut r = PayloadReader::new(payload);
-    let ngroups = r.get_u32()? as usize;
     let mut delta = Delta::new();
-    for _ in 0..ngroups {
-        let rel = r.get_str()?.to_string();
-        let arity = r.get_u16()? as usize;
-        let rows = r.get_u32()? as usize;
-        for _ in 0..rows {
-            let mut t = Vec::with_capacity(arity);
-            r.get_values(arity, &mut t)?;
-            delta.insert(&rel, t);
+    for removes in [false, true] {
+        if removes && r.remaining() == 0 {
+            break;
+        }
+        let ngroups = r.get_u32()? as usize;
+        for _ in 0..ngroups {
+            let rel = r.get_str()?.to_string();
+            let arity = r.get_u16()? as usize;
+            let rows = r.get_u32()? as usize;
+            for _ in 0..rows {
+                let mut t = Vec::with_capacity(arity);
+                r.get_values(arity, &mut t)?;
+                if removes {
+                    delta.remove(&rel, t);
+                } else {
+                    delta.insert(&rel, t);
+                }
+            }
         }
     }
     Ok(delta)
@@ -234,6 +262,45 @@ mod tests {
         assert_eq!(back.tuples_for("R").unwrap(), &[vec![1, 2], vec![3, 4]]);
         assert_eq!(back.tuples_for("S").unwrap(), &[vec![5, 6]]);
         assert_eq!(back.total_tuples(), 3);
+    }
+
+    #[test]
+    fn mixed_update_round_trips() {
+        let mut delta = Delta::new();
+        delta.insert("R", vec![1, 2]);
+        delta.remove("R", vec![9, 9]);
+        delta.remove("T", vec![7]);
+        let mut w = PayloadWriter::new();
+        encode_update(&mut w, &delta);
+        let back = parse_update(w.bytes()).unwrap();
+        assert_eq!(back, delta);
+        // Remove-only deltas survive too (empty insert section).
+        let mut delta = Delta::new();
+        delta.remove("S", vec![5, 6]);
+        encode_update(&mut w, &delta);
+        assert_eq!(parse_update(w.bytes()).unwrap(), delta);
+    }
+
+    #[test]
+    fn insert_only_update_keeps_v1_wire_layout() {
+        // Forward compatibility: an insert-only delta must encode exactly
+        // as the pre-deletion layout did — no removes section at all — so
+        // older peers keep parsing it.
+        let mut delta = Delta::new();
+        delta.insert("R", vec![1, 2]);
+        let mut w = PayloadWriter::new();
+        encode_update(&mut w, &delta);
+        let mut expect = PayloadWriter::new();
+        expect.start().put_u32(1).put_str("R").put_u16(2).put_u32(1);
+        expect.put_values(&[1, 2]);
+        assert_eq!(w.bytes(), expect.bytes());
+        // A delta whose removals were all withdrawn (last write wins) is
+        // insert-only on the wire as well.
+        let mut delta = Delta::new();
+        delta.remove("R", vec![1, 2]);
+        delta.insert("R", vec![1, 2]);
+        encode_update(&mut w, &delta);
+        assert_eq!(w.bytes(), expect.bytes());
     }
 
     #[test]

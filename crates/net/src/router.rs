@@ -22,9 +22,12 @@
 //!   socket timeouts bound every wait).
 //!
 //! Updates split per shard with [`cqc_storage::Partitioning::split_delta`]
-//! — exactly the rows each shard owns — and only touched shards are
-//! contacted, so shard epochs advance independently just as they do in
-//! the in-process sharded engine.
+//! — exactly the rows each shard owns, insertions and removals alike —
+//! and only touched shards are contacted, so shard epochs advance
+//! independently just as they do in the in-process sharded engine. A
+//! mixed insert/delete delta applied through the router is
+//! observationally identical to applying it to a local
+//! [`cqc_engine::ShardedEngine`] (the loopback suite pins this).
 
 use cqc_common::error::Result;
 use cqc_common::frame::code;

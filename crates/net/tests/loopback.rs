@@ -166,8 +166,10 @@ fn interleaved_updates_keep_remote_and_local_aligned() {
     assert_eq!(router.version(), sharded.version());
 
     let mut rng = cqc_workload::rng(5);
+    let mut saw_removal = false;
     for round in 0..3u64 {
-        let delta = cqc_workload::recombination_delta(&mut rng, &db, &["R", "S", "T"], 3);
+        let delta = cqc_workload::mixed_delta(&mut rng, &db, &["R", "S", "T"], 3, 2);
+        saw_removal |= delta.remove_groups().any(|(_, ts)| !ts.is_empty());
         sharded.update(&delta).unwrap();
         let epochs = router.apply_update(&delta).unwrap();
         assert_eq!(epochs, sharded.version(), "round {round}: epochs diverged");
@@ -176,6 +178,63 @@ fn interleaved_updates_keep_remote_and_local_aligned() {
         let remote = remote_streams(&router, &bounds);
         assert_eq!(remote, local, "round {round}: stream diverged after delta");
     }
+    assert!(saw_removal, "no round carried a removal — test is vacuous");
+}
+
+/// The delete path over the wire: removing a witness tuple through the
+/// router must shrink the remote stream exactly as the in-process sharded
+/// engine shrinks — the removed answers vanish from both, the streams stay
+/// tuple-for-tuple equal, and the epoch vectors advance in lockstep.
+#[test]
+fn remote_deletes_match_local_and_advance_epochs() {
+    let db = triangle_db(67);
+    let view = parse_adorned(QUERY, "fff").unwrap();
+    let spec = spec_for_view(&view, &db);
+    let bounds = vec![vec![]];
+
+    let sharded = local_sharded(&db, &spec, "fff", "tau:2");
+    let (_servers, addrs) = spawn_fleet(&db, &spec);
+    let router = Router::connect(&addrs, spec.clone(), client_config()).unwrap();
+    router.register_view("v", QUERY, "fff", "tau:2").unwrap();
+
+    let before = local_streams(&sharded, &bounds);
+    assert_eq!(remote_streams(&router, &bounds), before);
+    let answers_before = before[0].len() / 3;
+    assert!(
+        answers_before > 0,
+        "no triangles to delete — test is vacuous"
+    );
+
+    // Delete the R-edge of the first witness triangle (x, y, z) → R(x, y):
+    // every triangle through that edge must disappear from both paths.
+    let mut delta = Delta::new();
+    delta.remove("R", vec![before[0][0], before[0][1]]);
+    let pre_version = sharded.version();
+    sharded.update(&delta).unwrap();
+    let epochs = router.apply_update(&delta).unwrap();
+    assert_eq!(epochs, sharded.version(), "epochs diverged after delete");
+    assert!(
+        epochs.iter().zip(&pre_version).all(|(a, b)| a >= b)
+            && epochs.iter().zip(&pre_version).any(|(a, b)| a > b),
+        "delete must advance the epoch vector monotonically: {pre_version:?} -> {epochs:?}"
+    );
+
+    let local = local_streams(&sharded, &bounds);
+    let remote = remote_streams(&router, &bounds);
+    assert_eq!(remote, local, "stream diverged after delete");
+    assert!(
+        local[0].len() / 3 < answers_before,
+        "deleting a witness edge must shrink the answer stream"
+    );
+
+    // Deleting a tuple the database does not hold is a no-op on both
+    // paths: epochs hold still and the streams are unchanged.
+    let mut noop = Delta::new();
+    noop.remove("R", vec![900, 901]);
+    sharded.update(&noop).unwrap();
+    let epochs_after = router.apply_update(&noop).unwrap();
+    assert_eq!(epochs_after, epochs, "no-op delete must not bump epochs");
+    assert_eq!(remote_streams(&router, &bounds), local);
 }
 
 /// An out-of-band writer (a client updating one shard directly, behind

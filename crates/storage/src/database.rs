@@ -83,10 +83,15 @@ impl Database {
             .map(|&id| Arc::clone(&self.relations[id]))
     }
 
-    /// Applies a batched insertion delta atomically: every referenced
-    /// relation must exist with matching arity or nothing is changed. The
-    /// epoch is bumped iff at least one genuinely new tuple was inserted;
+    /// Applies a batched delta (insertions and removals) atomically: every
+    /// referenced relation must exist with matching arity or nothing is
+    /// changed. Removing an absent tuple is an idempotent no-op. The epoch
+    /// is bumped iff at least one tuple was genuinely inserted or removed;
     /// the (possibly unchanged) epoch is returned.
+    ///
+    /// [`Delta`] keeps its per-relation insert and remove sets disjoint
+    /// (last write wins), so the order the two sets are applied in cannot
+    /// be observed.
     ///
     /// # Errors
     ///
@@ -94,7 +99,7 @@ impl Database {
     /// mismatches; the database is left untouched.
     pub fn apply(&mut self, delta: &Delta) -> Result<Epoch> {
         // Validate everything before mutating anything (atomicity).
-        for (name, tuples) in delta.groups() {
+        for (name, tuples) in delta.groups().chain(delta.remove_groups()) {
             let rel = self.require(name)?;
             for t in tuples {
                 if t.len() != rel.arity() {
@@ -106,7 +111,7 @@ impl Database {
                 }
             }
         }
-        let mut inserted = 0usize;
+        let mut changed = 0usize;
         for (name, tuples) in delta.groups() {
             let id = self.by_name[name];
             // When a snapshot still shares this relation, check for
@@ -122,9 +127,21 @@ impl Database {
             }
             // Copy-on-write: only relations the delta genuinely changes
             // are cloned, and only when a snapshot still shares them.
-            inserted += Arc::make_mut(&mut self.relations[id]).insert_tuples(tuples);
+            changed += Arc::make_mut(&mut self.relations[id]).insert_tuples(tuples);
         }
-        if inserted > 0 {
+        for (name, tuples) in delta.remove_groups() {
+            let id = self.by_name[name];
+            // Same pre-probe in the other direction: a remove group whose
+            // tuples are all already absent must not deep-clone a shared
+            // relation.
+            if Arc::strong_count(&self.relations[id]) > 1
+                && tuples.iter().all(|t| !self.relations[id].contains(t))
+            {
+                continue;
+            }
+            changed += Arc::make_mut(&mut self.relations[id]).remove_tuples(tuples);
+        }
+        if changed > 0 {
             self.epoch += 1;
         }
         Ok(self.epoch)
@@ -261,6 +278,58 @@ mod tests {
     }
 
     #[test]
+    fn apply_removes_and_bumps_epoch() {
+        let mut db = Database::new();
+        db.add(Relation::from_pairs("R", vec![(1, 2), (2, 3), (3, 4)]))
+            .unwrap();
+        let e0 = db.epoch();
+
+        let mut delta = Delta::new();
+        delta.remove("R", vec![2, 3]);
+        delta.insert("R", vec![9, 9]);
+        let e = db.apply(&delta).unwrap();
+        assert_eq!(e, e0 + 1);
+        assert_eq!(db.size(), 3);
+        assert!(!db.get("R").unwrap().contains(&[2, 3]));
+        assert!(db.get("R").unwrap().contains(&[9, 9]));
+
+        // Removing an absent tuple is an idempotent no-op: no epoch bump.
+        let mut delta = Delta::new();
+        delta.remove("R", vec![2, 3]);
+        assert_eq!(db.apply(&delta).unwrap(), e);
+        assert_eq!(db.epoch(), e);
+    }
+
+    #[test]
+    fn remove_copy_on_write_leaves_snapshots_intact() {
+        let mut db = Database::new();
+        db.add(Relation::from_pairs("R", vec![(1, 2), (2, 3)]))
+            .unwrap();
+        db.add(Relation::from_pairs("S", vec![(3, 4)])).unwrap();
+        let snapshot = db.clone();
+
+        let mut delta = Delta::new();
+        delta.remove("R", vec![1, 2]);
+        db.apply(&delta).unwrap();
+        assert!(snapshot.get("R").unwrap().contains(&[1, 2]));
+        assert!(!db.get("R").unwrap().contains(&[1, 2]));
+        assert!(std::ptr::eq(
+            db.get("S").unwrap(),
+            snapshot.get("S").unwrap()
+        ));
+
+        // An all-absent remove group must not break sharing.
+        let snapshot2 = db.clone();
+        let mut noop = Delta::new();
+        noop.remove("S", vec![9, 9]);
+        db.apply(&noop).unwrap();
+        assert!(std::ptr::eq(
+            db.get("S").unwrap(),
+            snapshot2.get("S").unwrap()
+        ));
+    }
+
+    #[test]
     fn apply_is_atomic_on_failure() {
         let mut db = Database::new();
         db.add(Relation::from_pairs("R", vec![(1, 2)])).unwrap();
@@ -278,6 +347,14 @@ mod tests {
         let mut delta = Delta::new();
         delta.insert("R", vec![7, 7]);
         delta.insert("R", vec![1, 2, 3]);
+        assert!(db.apply(&delta).is_err());
+        assert_eq!(db.epoch(), before);
+        assert!(!db.get("R").unwrap().contains(&[7, 7]));
+
+        // A bad remove group also blocks the whole delta.
+        let mut delta = Delta::new();
+        delta.insert("R", vec![7, 7]);
+        delta.remove("R", vec![1, 2, 3]);
         assert!(db.apply(&delta).is_err());
         assert_eq!(db.epoch(), before);
         assert!(!db.get("R").unwrap().contains(&[7, 7]));

@@ -192,11 +192,11 @@ impl Partitioning {
         Ok(out)
     }
 
-    /// Splits a delta into one delta per shard: hashed tuples route to the
-    /// single shard owning them, replicated tuples go to every shard. A
-    /// shard whose delta comes back empty is untouched by the update — its
-    /// epoch must not move, which is what keeps cross-shard catalog entries
-    /// independently valid.
+    /// Splits a delta into one delta per shard: hashed tuples (inserts and
+    /// removes alike) route to the single shard owning them, replicated
+    /// tuples go to every shard. A shard whose delta comes back empty is
+    /// untouched by the update — its epoch must not move, which is what
+    /// keeps cross-shard catalog entries independently valid.
     ///
     /// # Errors
     ///
@@ -210,6 +210,18 @@ impl Partitioning {
                     None => {
                         for d in &mut out {
                             d.insert(name, t.clone());
+                        }
+                    }
+                }
+            }
+        }
+        for (name, tuples) in delta.remove_groups() {
+            for t in tuples {
+                match self.shard_of_tuple(name, t)? {
+                    Some(s) => out[s].remove(name, t.clone()),
+                    None => {
+                        for d in &mut out {
+                            d.remove(name, t.clone());
                         }
                     }
                 }
@@ -324,6 +336,40 @@ mod tests {
         for name in ["R", "S"] {
             let total: usize = subs.iter().map(|s| s.get(name).unwrap().len()).sum();
             assert_eq!(total, full.get(name).unwrap().len());
+        }
+    }
+
+    #[test]
+    fn delta_removes_route_like_inserts() {
+        let p = Partitioning::new(spec(), 4).unwrap();
+        let mut full = db();
+        let mut subs = p.split_database(&full).unwrap();
+        // Remove one hashed row each from R and S plus one replicated row,
+        // and insert a fresh hashed row — a genuinely mixed delta.
+        let mut delta = Delta::new();
+        delta.remove("R", vec![0, 0]); // present: (0 % 7, 0 % 11)
+        delta.remove("S", vec![0, 0]); // present: (0 % 11, 0 % 5)
+        delta.remove("T", vec![1, 2]);
+        delta.insert("R", vec![100, 3]);
+        let split = p.split_delta(&delta).unwrap();
+        let owner0 = shard_of_value(0, 4);
+        for (si, d) in split.iter().enumerate() {
+            assert!(d.touches("T"), "replicated remove reaches shard {si}");
+            assert_eq!(
+                d.removes_for("R").is_some_and(|ts| !ts.is_empty()),
+                si == owner0
+            );
+        }
+        full.apply(&delta).unwrap();
+        for (s, d) in subs.iter_mut().zip(&split) {
+            s.apply(d).unwrap();
+        }
+        for name in ["R", "S"] {
+            let total: usize = subs.iter().map(|s| s.get(name).unwrap().len()).sum();
+            assert_eq!(total, full.get(name).unwrap().len(), "{name}");
+        }
+        for s in &subs {
+            assert!(!s.get("T").unwrap().contains(&[1, 2]));
         }
     }
 

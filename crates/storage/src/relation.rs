@@ -200,6 +200,44 @@ impl Relation {
         inserted
     }
 
+    /// Removes tuples, keeping the rows sorted, and returns the number of
+    /// tuples that were genuinely present. Removing an absent tuple is an
+    /// idempotent no-op. Runs in `O(n + k log k)` for `k` removals via a
+    /// single compacting pass, the retraction mirror of
+    /// [`Relation::insert_tuples`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tuple's length differs from the relation's arity
+    /// (callers such as [`crate::Database::apply`] validate arities first).
+    pub fn remove_tuples(&mut self, tuples: &[Tuple]) -> usize {
+        let mut stale: Vec<&Tuple> = tuples
+            .iter()
+            .inspect(|t| assert_eq!(t.len(), self.arity, "tuple arity mismatch in relation"))
+            .filter(|t| self.contains(t))
+            .collect();
+        stale.sort_unstable_by(|a, b| lex_cmp(a, b));
+        stale.dedup();
+        if stale.is_empty() {
+            return 0;
+        }
+        let removed = stale.len();
+        let old_rows = std::mem::take(&mut self.rows);
+        self.rows = Vec::with_capacity(old_rows.len() - removed * self.arity);
+        let mut stale = stale.into_iter().peekable();
+        for row in old_rows.chunks_exact(self.arity) {
+            if stale
+                .peek()
+                .is_some_and(|t| lex_cmp(t, row) == Ordering::Equal)
+            {
+                stale.next();
+                continue;
+            }
+            self.rows.extend_from_slice(row);
+        }
+        removed
+    }
+
     /// Projects the relation onto the given columns (with deduplication),
     /// producing a new relation. Used by Theorem 2 to build the per-bag
     /// databases π_{F∩Bt}(R_F) of Appendix B.
@@ -337,6 +375,94 @@ mod tests {
         // Re-inserting is a no-op.
         assert_eq!(rel.insert_tuples(&[vec![0, 9]]), 0);
         assert_eq!(rel.len(), 6);
+    }
+
+    #[test]
+    fn remove_tuples_compacts_sorted() {
+        let mut rel = r();
+        // One present row, one absent, one duplicate removal of a present row.
+        let n = rel.remove_tuples(&[vec![1, 2], vec![8, 8], vec![1, 2], vec![3, 1]]);
+        assert_eq!(n, 2);
+        assert_eq!(rel.len(), 2);
+        let rows: Vec<&[Value]> = rel.iter().collect();
+        assert_eq!(rows, vec![&[1, 1][..], &[2, 2]]);
+        assert!(!rel.contains(&[1, 2]));
+        // Removing again is an idempotent no-op.
+        assert_eq!(rel.remove_tuples(&[vec![1, 2]]), 0);
+        assert_eq!(rel.len(), 2);
+        // Draining the relation entirely.
+        assert_eq!(rel.remove_tuples(&[vec![1, 1], vec![2, 2]]), 2);
+        assert!(rel.is_empty());
+    }
+
+    #[test]
+    fn remove_then_insert_round_trips() {
+        let mut rel = r();
+        let before: Vec<Tuple> = rel.iter().map(<[Value]>::to_vec).collect();
+        assert_eq!(rel.remove_tuples(&[vec![2, 2]]), 1);
+        assert_eq!(rel.insert_tuples(&[vec![2, 2]]), 1);
+        let after: Vec<Tuple> = rel.iter().map(<[Value]>::to_vec).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn removals_compact_physically_no_tombstones() {
+        // Removal is physical compaction, not tombstoning: the dead rows
+        // leave the flat buffer immediately, so heap usage shrinks, the
+        // sorted invariant holds, and iteration never sees a removed row.
+        let mut rel = Relation::from_flat("R", 2, (0..200).collect());
+        assert_eq!(rel.len(), 100);
+        let before_bytes = rel.heap_bytes();
+        let victims: Vec<Tuple> = (0..50).map(|i| vec![4 * i, 4 * i + 1]).collect();
+        assert_eq!(rel.remove_tuples(&victims), 50);
+        assert_eq!(rel.len(), 50);
+        assert!(rel.heap_bytes() < before_bytes, "no memory reclaimed");
+        for v in &victims {
+            assert!(!rel.contains(v), "tombstone visible for {v:?}");
+        }
+        let rows: Vec<&[Value]> = rel.iter().collect();
+        assert!(
+            rows.windows(2)
+                .all(|w| lex_cmp(w[0], w[1]) == Ordering::Less),
+            "compaction broke the sorted invariant"
+        );
+        // Draining everything leaves a genuinely empty relation, and the
+        // empty relation keeps accepting both operations.
+        let rest: Vec<Tuple> = rows.iter().map(|r| r.to_vec()).collect();
+        assert_eq!(rel.remove_tuples(&rest), 50);
+        assert!(rel.is_empty());
+        assert_eq!(rel.remove_tuples(&[vec![0, 1]]), 0);
+        assert_eq!(rel.insert_tuples(&[vec![0, 1]]), 1);
+    }
+
+    #[test]
+    fn interleaved_inserts_and_removes_match_set_model() {
+        // Model-based: a stream of interleaved inserts/removes against a
+        // BTreeSet oracle. The relation must agree on cardinality,
+        // membership, and (sorted) iteration order at every step.
+        let mut rel = Relation::new("R", 2, vec![]);
+        let mut model = std::collections::BTreeSet::<Tuple>::new();
+        let mut state = 0x9e3779b97f4a7c15u64; // fixed-seed xorshift
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..300 {
+            let t = vec![next() % 7, next() % 7];
+            if next() % 3 == 0 {
+                let removed = rel.remove_tuples(std::slice::from_ref(&t));
+                assert_eq!(removed == 1, model.remove(&t));
+            } else {
+                let inserted = rel.insert_tuples(std::slice::from_ref(&t));
+                assert_eq!(inserted == 1, model.insert(t.clone()));
+            }
+            assert_eq!(rel.len(), model.len());
+        }
+        let rows: Vec<Tuple> = rel.iter().map(<[Value]>::to_vec).collect();
+        let expect: Vec<Tuple> = model.into_iter().collect();
+        assert_eq!(rows, expect, "relation diverged from the set model");
     }
 
     #[test]

@@ -248,6 +248,78 @@ impl SortedIndex {
         self.len += rows.len();
     }
 
+    /// Filters a delta's removal tuples down to the rows genuinely present
+    /// in this index (internal duplicates removed) — exactly the rows
+    /// [`SortedIndex::merge_remove`] expects. Returns `None` when a tuple's
+    /// arity mismatches the index, in which case the caller should rebuild.
+    pub fn stale_from<'a>(&self, tuples: &'a [Tuple]) -> Option<Vec<&'a Tuple>> {
+        let mut stale: Vec<&Tuple> = Vec::new();
+        for t in tuples {
+            if t.len() != self.depth() {
+                return None;
+            }
+            if self.contains_tuple(t) {
+                stale.push(t);
+            }
+        }
+        stale.sort_unstable_by(|a, b| lex_cmp(a, b));
+        stale.dedup();
+        Some(stale)
+    }
+
+    /// Removes `stale` tuples (schema order, all present, no duplicates
+    /// among them) from the sorted columns in place of a full rebuild: the
+    /// retraction mirror of [`SortedIndex::merge_insert`]. The stale rows
+    /// are sorted under the index's attribute order and their positions
+    /// located by the same two-pointer galloping pass; each column is then
+    /// compacted in one `O(n)` sweep — never an `O(n log n)` re-sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stale tuple's length differs from the index arity, or if
+    /// a stale tuple is not present (callers filter via
+    /// [`SortedIndex::stale_from`] first).
+    pub fn merge_remove(&mut self, stale: &[impl AsRef<[Value]>]) {
+        if stale.is_empty() {
+            return;
+        }
+        let arity = self.order.len();
+        // Stale rows in depth-major layout, sorted under the index order.
+        let mut rows: Vec<Vec<Value>> = stale
+            .iter()
+            .map(|t| {
+                let t = t.as_ref();
+                assert_eq!(t.len(), arity, "tuple arity mismatch in index merge");
+                self.order.iter().map(|&c| t[c]).collect()
+            })
+            .collect();
+        rows.sort_unstable_by(|a, b| lex_cmp(a, b));
+        // For each stale row, its position among the old rows.
+        let mut victims: Vec<usize> = Vec::with_capacity(rows.len());
+        let mut from = 0usize;
+        for row in &rows {
+            from = self.gallop_lower_bound(from, row);
+            assert!(
+                from < self.len && self.cmp_row(from, row) == std::cmp::Ordering::Equal,
+                "stale tuple not present in index"
+            );
+            victims.push(from);
+            from += 1;
+        }
+        for d in 0..arity {
+            let old = std::mem::take(&mut self.cols[d]);
+            let mut col = Vec::with_capacity(old.len() - victims.len());
+            let mut prev = 0usize;
+            for &pos in &victims {
+                col.extend_from_slice(&old[prev..pos]);
+                prev = pos + 1;
+            }
+            col.extend_from_slice(&old[prev..]);
+            self.cols[d] = col;
+        }
+        self.len -= victims.len();
+    }
+
     /// Lexicographic comparison of sorted row `r` against a depth-major key.
     fn cmp_row(&self, r: usize, key: &[Value]) -> std::cmp::Ordering {
         for (d, &k) in key.iter().enumerate() {
@@ -463,6 +535,85 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn merge_remove_matches_rebuild() {
+        // Property: removing stale tuples from an index over the old
+        // relation equals building the index over the shrunken relation —
+        // across permuted attribute orders and random victim sets.
+        let mut state = 0x51f3u64;
+        let mut next = move |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        for trial in 0..20u64 {
+            let arity = 2 + (trial % 2) as usize;
+            let mut flat = Vec::new();
+            for _ in 0..(30 + next(40)) {
+                for _ in 0..arity {
+                    flat.push(next(9));
+                }
+            }
+            let mut rel = Relation::from_flat("R", arity, flat);
+            let k = 1 + next(rel.len() as u64 / 2) as usize;
+            let mut stale: Vec<Vec<Value>> = Vec::new();
+            while stale.len() < k {
+                let t = rel.row(next(rel.len() as u64) as usize).to_vec();
+                if !stale.contains(&t) {
+                    stale.push(t);
+                }
+            }
+            let orders: Vec<Vec<usize>> = match arity {
+                2 => vec![vec![0, 1], vec![1, 0]],
+                _ => vec![vec![0, 1, 2], vec![2, 0, 1], vec![1, 2, 0]],
+            };
+            let before: Vec<SortedIndex> =
+                orders.iter().map(|o| SortedIndex::build(&rel, o)).collect();
+            rel.remove_tuples(&stale);
+            for (ix, order) in before.into_iter().zip(&orders) {
+                let mut shrunk = ix;
+                let filtered: Vec<Tuple> = shrunk
+                    .stale_from(&stale)
+                    .unwrap()
+                    .into_iter()
+                    .cloned()
+                    .collect();
+                assert_eq!(filtered.len(), stale.len(), "trial {trial}");
+                shrunk.merge_remove(&filtered);
+                let rebuilt = SortedIndex::build(&rel, order);
+                assert_eq!(shrunk.len(), rebuilt.len(), "trial {trial}");
+                for d in 0..arity {
+                    assert_eq!(shrunk.col(d), rebuilt.col(d), "trial {trial} depth {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stale_from_filters_and_gates() {
+        let r = sample();
+        let ix = SortedIndex::build(&r, &[2, 0, 1]);
+        // Absent tuples are dropped, duplicates collapse.
+        let tuples = vec![
+            vec![1, 10, 100],
+            vec![7, 7, 7],
+            vec![1, 10, 100],
+            vec![2, 30, 300],
+        ];
+        let stale = ix.stale_from(&tuples).unwrap();
+        assert_eq!(stale.len(), 2);
+        // Arity mismatch gates the whole merge.
+        assert!(ix.stale_from(&[vec![1, 2]]).is_none());
+        // Removing everything empties the index.
+        let all: Vec<Tuple> = r.iter().map(<[Value]>::to_vec).collect();
+        let mut ix = SortedIndex::build(&r, &[1, 2, 0]);
+        let stale: Vec<Tuple> = ix.stale_from(&all).unwrap().into_iter().cloned().collect();
+        ix.merge_remove(&stale);
+        assert!(ix.is_empty());
+        assert_eq!(ix.count(&[], None), 0);
     }
 
     #[test]

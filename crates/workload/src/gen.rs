@@ -55,6 +55,59 @@ pub fn recombination_delta(
     delta
 }
 
+/// A mixed insert/remove [`Delta`]: `inserts_per` recombined tuples (as in
+/// [`recombination_delta`]) plus up to `removes_per` deletions of existing
+/// rows for each named relation.
+///
+/// Removals are *domain-safe*: a row is only removed when every one of its
+/// column values still occurs in at least one surviving row of the same
+/// column, so per-column unions — and therefore every query's active
+/// domains — are unchanged by applying the delta. This keeps small mixed
+/// deltas on the maintain path of structures pinned to a rank-space grid
+/// (domain change forces a rebuild). Relations missing from `db` or too
+/// uniform to offer domain-safe victims simply contribute fewer (possibly
+/// zero) removals.
+pub fn mixed_delta(
+    rng: &mut StdRng,
+    db: &Database,
+    relations: &[&str],
+    inserts_per: usize,
+    removes_per: usize,
+) -> Delta {
+    let mut delta = recombination_delta(rng, db, relations, inserts_per);
+    for name in relations {
+        let Some(rel) = db.get(name) else { continue };
+        if rel.is_empty() {
+            continue;
+        }
+        let mut counts: Vec<std::collections::HashMap<Value, usize>> =
+            vec![std::collections::HashMap::new(); rel.arity()];
+        for row in rel.iter() {
+            for (c, v) in row.iter().enumerate() {
+                *counts[c].entry(*v).or_insert(0) += 1;
+            }
+        }
+        let mut chosen: Vec<usize> = Vec::new();
+        let mut attempts = 0;
+        while chosen.len() < removes_per && attempts < removes_per * 16 {
+            attempts += 1;
+            let i = rng.gen_range(0..rel.len());
+            if chosen.contains(&i) {
+                continue;
+            }
+            let row = rel.row(i);
+            if row.iter().enumerate().all(|(c, v)| counts[c][v] >= 2) {
+                for (c, v) in row.iter().enumerate() {
+                    *counts[c].get_mut(v).expect("counted above") -= 1;
+                }
+                chosen.push(i);
+                delta.remove(name, row.to_vec());
+            }
+        }
+    }
+    delta
+}
+
 /// A Zipf(s) sampler over `0..n` via an inverse-CDF table.
 ///
 /// Item `i` has probability proportional to `1/(i+1)^s`.
