@@ -142,6 +142,18 @@ impl AnswerBlock {
         self.arity = 0;
     }
 
+    /// Drops every answer past the first `keep` (no-op when `keep >=
+    /// len()`). Arity and capacity are kept — this is the failover
+    /// rollback point: a resumed stream that turns out to be at the wrong
+    /// epoch is cut back to the verified prefix.
+    pub fn truncate(&mut self, keep: usize) {
+        if keep >= self.len {
+            return;
+        }
+        self.values.truncate(keep * self.arity);
+        self.len = keep;
+    }
+
     /// Appends `count` answers of the given `arity` from an already-flat
     /// value stream — the decode path for wire chunks, which arrive exactly
     /// in this layout. A fresh (or `reset`) block adopts `arity`; `count`

@@ -1,0 +1,178 @@
+//! Per-shard coverage bitmaps for degraded responses.
+//!
+//! A fan-out serve that loses an entire replica group can still answer
+//! from the shards that remain — but only if the response says *exactly*
+//! which shards contributed. [`Coverage`] is that record: one bit per
+//! shard, set iff the shard's stream made it into the merged result. A
+//! full bitmap means the answer is exact; anything less is a degraded
+//! (partial) answer and must travel with a typed `DEGRADED` indication
+//! (`frame::code::DEGRADED`) so no caller can mistake a partial result
+//! for a complete one.
+//!
+//! The wire layout is `u16 n_shards | ceil(n/8) bytes` (bit `i` of byte
+//! `i / 8` is shard `i`, LSB first) — compact enough to ride inside an
+//! error detail or a future response tail without a layout change.
+
+use crate::error::Result;
+use crate::frame::{code, PayloadReader, PayloadWriter};
+use crate::CqcError;
+use std::fmt;
+
+/// A per-shard served/missing bitmap (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coverage {
+    bits: Vec<u8>,
+    shards: usize,
+}
+
+impl Coverage {
+    /// An all-missing bitmap over `shards` shards.
+    pub fn empty(shards: usize) -> Coverage {
+        Coverage {
+            bits: vec![0u8; shards.div_ceil(8)],
+            shards,
+        }
+    }
+
+    /// An all-served bitmap over `shards` shards.
+    pub fn full(shards: usize) -> Coverage {
+        let mut c = Coverage::empty(shards);
+        for i in 0..shards {
+            c.mark(i);
+        }
+        c
+    }
+
+    /// Number of shards the bitmap spans.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Marks shard `i` as served.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= shards()`.
+    pub fn mark(&mut self, i: usize) {
+        assert!(i < self.shards, "shard {i} out of range ({})", self.shards);
+        self.bits[i / 8] |= 1 << (i % 8);
+    }
+
+    /// `true` iff shard `i` was served.
+    pub fn served(&self, i: usize) -> bool {
+        assert!(i < self.shards, "shard {i} out of range ({})", self.shards);
+        self.bits[i / 8] & (1 << (i % 8)) != 0
+    }
+
+    /// Number of shards served.
+    pub fn served_count(&self) -> usize {
+        (0..self.shards).filter(|&i| self.served(i)).count()
+    }
+
+    /// `true` iff every shard was served — the answer is exact.
+    pub fn is_full(&self) -> bool {
+        self.served_count() == self.shards
+    }
+
+    /// The shard indexes that are missing, ascending.
+    pub fn missing(&self) -> Vec<usize> {
+        (0..self.shards).filter(|&i| !self.served(i)).collect()
+    }
+
+    /// Encodes the bitmap (`u16 n_shards | ceil(n/8) bytes`) — appended,
+    /// so it composes as a payload tail.
+    pub fn encode(&self, w: &mut PayloadWriter) {
+        w.put_u16(self.shards as u16);
+        for &b in &self.bits {
+            w.put_u8(b);
+        }
+    }
+
+    /// Decodes a bitmap written by [`Coverage::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`code::BAD_FRAME`] on truncation or a padding bit set past the
+    /// shard count (a forged "extra shard" cannot slip through).
+    pub fn decode(r: &mut PayloadReader<'_>) -> Result<Coverage> {
+        let shards = r.get_u16()? as usize;
+        let mut bits = vec![0u8; shards.div_ceil(8)];
+        for b in &mut bits {
+            *b = r.get_u8()?;
+        }
+        let c = Coverage { bits, shards };
+        for i in shards..c.bits.len() * 8 {
+            if c.bits[i / 8] & (1 << (i % 8)) != 0 {
+                return Err(CqcError::Protocol {
+                    code: code::BAD_FRAME,
+                    detail: format!("coverage bitmap sets padding bit {i} past {shards} shards"),
+                });
+            }
+        }
+        Ok(c)
+    }
+}
+
+impl fmt::Display for Coverage {
+    /// `3/4 shards [1101]` — served count, then one digit per shard.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} shards [", self.served_count(), self.shards)?;
+        for i in 0..self.shards {
+            write!(f, "{}", u8::from(self.served(i)))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_and_queries() {
+        let mut c = Coverage::empty(10);
+        assert_eq!(c.served_count(), 0);
+        assert!(!c.is_full());
+        c.mark(0);
+        c.mark(9);
+        assert!(c.served(0) && c.served(9) && !c.served(5));
+        assert_eq!(c.missing(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert!(Coverage::full(10).is_full());
+        assert!(Coverage::full(0).is_full(), "zero shards is vacuously full");
+    }
+
+    #[test]
+    fn round_trips_on_the_wire() {
+        let mut c = Coverage::empty(11);
+        for i in [0, 3, 10] {
+            c.mark(i);
+        }
+        let mut w = PayloadWriter::new();
+        c.encode(w.start());
+        let mut r = PayloadReader::new(w.bytes());
+        let back = Coverage::decode(&mut r).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(back.to_string(), "3/11 shards [10010000001]");
+    }
+
+    #[test]
+    fn forged_padding_bits_are_rejected() {
+        let mut w = PayloadWriter::new();
+        w.start().put_u16(3).put_u8(0b1111_1000); // bits 3..7 are padding
+        let err = Coverage::decode(&mut PayloadReader::new(w.bytes())).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CqcError::Protocol {
+                    code: code::BAD_FRAME,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        // Truncated bitmaps are typed too.
+        w.start().put_u16(9).put_u8(0);
+        assert!(Coverage::decode(&mut PayloadReader::new(w.bytes())).is_err());
+    }
+}

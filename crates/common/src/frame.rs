@@ -135,6 +135,11 @@ pub mod code {
     pub const SHARD_FAILED: u16 = 104;
     /// A shard's epoch vector disagreed with the router's expectation.
     pub const EPOCH_MISMATCH: u16 = 105;
+    /// A degraded response: one or more replica groups were entirely
+    /// unavailable, so the result covers only a subset of the shards.
+    /// The detail names the missing shards; carriers attach the
+    /// per-shard coverage bitmap (see `cqc_common::Coverage`).
+    pub const DEGRADED: u16 = 106;
 }
 
 /// The wire code for an error (the inverse of [`decode_error`]).
@@ -522,6 +527,67 @@ mod tests {
                 }
             ),
             "{err}"
+        );
+    }
+
+    #[test]
+    fn hostile_frames_are_typed_not_hung() {
+        // A zero-length prefix is rejected before any payload read (body
+        // must carry at least version + kind).
+        let wire = 0u32.to_le_bytes();
+        let err = FrameReader::new().read_frame(&mut &wire[..]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CqcError::Protocol {
+                    code: code::BAD_FRAME,
+                    ..
+                }
+            ),
+            "zero-length frame: {err}"
+        );
+
+        // An oversized length prefix (u32::MAX, far past the 64 MiB cap)
+        // is rejected from the 4-byte prefix alone — before any
+        // allocation or payload read could be sized by attacker input.
+        let wire = u32::MAX.to_le_bytes();
+        let err = FrameReader::new().read_frame(&mut &wire[..]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CqcError::Protocol {
+                    code: code::BAD_FRAME,
+                    ..
+                }
+            ),
+            "oversized frame: {err}"
+        );
+
+        // A truncated payload — the prefix promises 100 bytes, the
+        // stream ends after 10 — surfaces as a typed Io ("peer went
+        // away"), never a hang or a panic.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&100u32.to_le_bytes());
+        wire.extend_from_slice(&[PROTOCOL_VERSION, FrameKind::Health as u8]);
+        wire.extend_from_slice(&[0u8; 8]);
+        let err = FrameReader::new().read_frame(&mut &wire[..]).unwrap_err();
+        assert!(matches!(err, CqcError::Io(_)), "truncated payload: {err}");
+
+        // An unknown kind byte in an otherwise well-formed frame is a
+        // typed BAD_FRAME naming the byte.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameKind::Health, &[]).unwrap();
+        wire[5] = 0x42;
+        let err = FrameReader::new().read_frame(&mut &wire[..]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CqcError::Protocol {
+                    code: code::BAD_FRAME,
+                    ..
+                }
+            ),
+            "unknown kind: {err}"
         );
     }
 

@@ -19,6 +19,9 @@
 //!   foundation of the allocation-free serve path;
 //! * [`alloc`] — a vendored counting allocator that lets binaries and
 //!   tests *prove* the zero-allocations-per-answer discipline;
+//! * [`coverage`] — the per-shard coverage bitmap a degraded (partial)
+//!   response carries so a missing replica group is explicit, never
+//!   silent;
 //! * [`frame`] — the `cqc-net` wire frame codec: length-prefixed
 //!   versioned frames whose answer chunks are arity-strided value runs
 //!   that decode straight into an [`AnswerBlock`].
@@ -31,6 +34,7 @@
 
 pub mod alloc;
 pub mod block;
+pub mod coverage;
 pub mod error;
 pub mod frame;
 pub mod hash;
@@ -40,6 +44,7 @@ pub mod util;
 pub mod value;
 
 pub use block::{AnswerBlock, AnswerSink, BlockMerger, CountingSink, ExistsSink, FnSink};
+pub use coverage::Coverage;
 pub use error::{CqcError, Result};
 pub use hash::{FastHasher, FastMap, FastSet};
 pub use heap::HeapSize;

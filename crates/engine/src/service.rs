@@ -61,8 +61,57 @@ pub trait BlockService: Send + Sync {
     /// failures after.
     fn apply_update(&self, delta: &Delta) -> Result<Vec<Epoch>>;
 
+    /// [`BlockService::apply_update`] preconditioned on the caller's
+    /// last-known epoch vector — the idempotency handle a *retrying*
+    /// client needs. An update whose first attempt died with an ambiguous
+    /// I/O error may or may not have applied; retrying it blind risks a
+    /// double apply. With a precondition the retry is safe: if the first
+    /// attempt landed, the service's version has moved past `expected`
+    /// and the retry is rejected with a typed
+    /// [`cqc_common::frame::code::EPOCH_MISMATCH`] instead of applied
+    /// twice (the client then reconciles via a health probe — a version
+    /// exactly one bump past `expected` means "already applied").
+    ///
+    /// `expected == None` degrades to the unconditioned apply. The
+    /// default implementation is check-then-apply without a lock across
+    /// the two steps: callers that serialize writers per service (the
+    /// router does — one connection per replica, one writer at a time)
+    /// get exact semantics; concurrent out-of-band writers can still
+    /// interleave, which the epoch check on the *next* request catches.
+    ///
+    /// # Errors
+    ///
+    /// [`cqc_common::frame::code::EPOCH_MISMATCH`] when the current
+    /// version differs from `expected`; otherwise the
+    /// [`BlockService::apply_update`] failure modes.
+    fn apply_update_preconditioned(
+        &self,
+        delta: &Delta,
+        expected: Option<&[Epoch]>,
+    ) -> Result<Vec<Epoch>> {
+        if let Some(want) = expected {
+            let now = self.version();
+            if now != want {
+                return Err(cqc_common::CqcError::Protocol {
+                    code: cqc_common::frame::code::EPOCH_MISMATCH,
+                    detail: format!(
+                        "update preconditioned on epochs {want:?} but the service is at \
+                         {now:?}; re-probe and reconcile before retrying"
+                    ),
+                });
+            }
+        }
+        self.apply_update(delta)
+    }
+
     /// The current epoch vector (length = shard count; length 1 for a
     /// single engine).
+    ///
+    /// Replica semantics: every replica of a shard applies the same
+    /// updates in the same order, so replicas at the same epoch vector
+    /// hold identical state and serve identical streams (enumeration
+    /// order is deterministic). A replica whose vector lags its group's
+    /// expectation is *stale* — safe to skip, never safe to serve.
     fn version(&self) -> Vec<Epoch>;
 }
 
@@ -214,6 +263,43 @@ mod tests {
         assert_eq!(lv, l.version());
         assert_eq!(sv, s.version());
         assert_eq!(collect(l, "tri", &[3]), collect(s, "tri", &[3]));
+    }
+
+    #[test]
+    fn preconditioned_update_applies_once_and_only_once() {
+        let local = Engine::new(db());
+        let svc: &dyn BlockService = &local;
+        svc.register_view("tri", QUERY, "bff", "tau:2").unwrap();
+        let before = svc.version();
+        let mut delta = Delta::new();
+        delta.insert("R", vec![3, 3]);
+        let after = svc
+            .apply_update_preconditioned(&delta, Some(&before))
+            .unwrap();
+        assert_ne!(after, before);
+        // A blind retry of the same delta (the ambiguous-Io scenario) is
+        // rejected instead of double-applied…
+        let err = svc
+            .apply_update_preconditioned(&delta, Some(&before))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                cqc_common::CqcError::Protocol {
+                    code: cqc_common::frame::code::EPOCH_MISMATCH,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert_eq!(svc.version(), after, "rejected retry must not apply");
+        // …and `None` keeps the unconditioned behavior.
+        let mut delta2 = Delta::new();
+        delta2.insert("R", vec![4, 4]);
+        assert_ne!(
+            svc.apply_update_preconditioned(&delta2, None).unwrap(),
+            after
+        );
     }
 
     #[test]

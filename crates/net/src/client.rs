@@ -46,6 +46,11 @@ pub struct ClientConfig {
     /// How many times a [`code::REFUSED`] backpressure reply is retried
     /// (with backoff) before surfacing to the caller.
     pub refused_retries: u32,
+    /// Seed for the deterministic backoff jitter. A fleet seeds this from
+    /// the shard (and replica) index so clients that fail together do not
+    /// retry in lockstep; equal seeds reproduce equal backoff sequences
+    /// (no `rand` anywhere in `cqc-net`).
+    pub jitter_seed: u64,
 }
 
 impl Default for ClientConfig {
@@ -56,15 +61,35 @@ impl Default for ClientConfig {
             backoff_cap: Duration::from_millis(200),
             io_timeout: Some(Duration::from_secs(5)),
             refused_retries: 3,
+            jitter_seed: 0,
         }
     }
 }
 
 impl ClientConfig {
     fn backoff(&self, attempt: u32) -> Duration {
-        let exp = self.backoff_base.saturating_mul(1u32 << attempt.min(16));
-        exp.min(self.backoff_cap)
+        jittered_backoff(
+            self.backoff_base,
+            self.backoff_cap,
+            self.jitter_seed,
+            attempt,
+        )
     }
+}
+
+/// Capped exponential backoff with deterministic jitter: the classic
+/// `base * 2^attempt` capped at `cap`, then scaled into `[50%, 100%)` by
+/// a splitmix64-style mix of `(seed, attempt)`. Pure function of its
+/// inputs — reproducible in tests, de-synchronized across a fleet by
+/// distinct seeds.
+pub(crate) fn jittered_backoff(base: Duration, cap: Duration, seed: u64, attempt: u32) -> Duration {
+    let exp = base.saturating_mul(1u32 << attempt.min(16)).min(cap);
+    let mut z = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(attempt) + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let frac = 512 + (z % 512); // 1024ths: [0.5, 1.0)
+    Duration::from_nanos((exp.as_nanos() as u64).saturating_mul(frac) / 1024)
 }
 
 /// One blocking connection to a shard server (or a router — the wire is
@@ -95,6 +120,23 @@ impl ShardClient {
     /// The server address this client targets.
     pub fn addr(&self) -> &str {
         &self.addr
+    }
+
+    /// Rebinds the socket read/write timeout, applying it to the live
+    /// connection immediately (if any). The failover layer uses this to
+    /// cap each attempt's wait by the *remaining* request deadline, so a
+    /// retry can never overrun what the caller budgeted.
+    ///
+    /// # Errors
+    ///
+    /// [`CqcError::Io`] if the live socket rejects the timeout.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> Result<()> {
+        self.config.io_timeout = timeout;
+        if let Some(stream) = self.stream.as_ref() {
+            stream.set_read_timeout(timeout)?;
+            stream.set_write_timeout(timeout)?;
+        }
+        Ok(())
     }
 
     /// Wire traffic so far: `(bytes received, bytes sent)`, frame headers
@@ -209,6 +251,28 @@ impl ShardClient {
     /// Transport failures and remote update errors, typed.
     pub fn update(&mut self, delta: &Delta) -> Result<Vec<Epoch>> {
         protocol::encode_update(&mut self.payload, delta);
+        self.expect_epochs(FrameKind::Update, FrameKind::UpdateOk)
+    }
+
+    /// [`ShardClient::update`] preconditioned on the last-known epoch
+    /// vector: the server applies the delta only if its version still
+    /// equals `expected`, else replies with a typed
+    /// [`code::EPOCH_MISMATCH`]. This is what makes retrying an update
+    /// after an ambiguous I/O failure safe — a retry of a delta that
+    /// already landed is rejected, never double-applied (probe
+    /// [`ShardClient::health`]: a version exactly one bump past
+    /// `expected` means the first attempt applied).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and remote update errors, typed;
+    /// [`code::EPOCH_MISMATCH`] when the precondition no longer holds.
+    pub fn update_preconditioned(
+        &mut self,
+        delta: &Delta,
+        expected: &[Epoch],
+    ) -> Result<Vec<Epoch>> {
+        protocol::encode_update_preconditioned(&mut self.payload, delta, Some(expected));
         self.expect_epochs(FrameKind::Update, FrameKind::UpdateOk)
     }
 
@@ -380,5 +444,45 @@ impl BlockService for RemoteShard {
 
     fn version(&self) -> Vec<Epoch> {
         self.lock().health().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_jitter_is_deterministic_and_bounded() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(200);
+        for seed in [0u64, 1, 7, 1 << 40] {
+            for attempt in 0..8u32 {
+                let a = jittered_backoff(base, cap, seed, attempt);
+                let b = jittered_backoff(base, cap, seed, attempt);
+                assert_eq!(a, b, "same (seed, attempt) must reproduce");
+                let exp = base.saturating_mul(1u32 << attempt.min(16)).min(cap);
+                assert!(
+                    a >= exp / 2 && a < exp,
+                    "jitter in [exp/2, exp): {a:?} vs {exp:?}"
+                );
+            }
+        }
+        // Distinct seeds de-lockstep: two "shards" retrying at the same
+        // attempt numbers do not share a backoff sequence.
+        let seq = |seed| -> Vec<Duration> {
+            (0..6)
+                .map(|a| jittered_backoff(base, cap, seed, a))
+                .collect()
+        };
+        assert_ne!(seq(0), seq(1));
+    }
+
+    #[test]
+    fn backoff_cap_holds_under_jitter() {
+        let base = Duration::from_millis(50);
+        let cap = Duration::from_millis(80);
+        for attempt in 0..32u32 {
+            assert!(jittered_backoff(base, cap, 9, attempt) < cap);
+        }
     }
 }

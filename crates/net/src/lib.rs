@@ -30,11 +30,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
+pub mod chaos;
 pub mod client;
 pub mod protocol;
+pub mod replica;
 pub mod router;
 pub mod server;
 
+pub use breaker::{BreakerConfig, BreakerState, BreakerTransitions, CircuitBreaker};
+pub use chaos::{ChaosService, Fault};
 pub use client::{ClientConfig, RemoteShard, ShardClient};
-pub use router::Router;
+pub use replica::{Deadline, GroupStats, ReplicaGroup, RetryPolicy};
+pub use router::{FleetStats, Router, ServeMode, ServeReport};
 pub use server::{NetServer, NetServerConfig, ServerHandle};

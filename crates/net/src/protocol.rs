@@ -9,7 +9,7 @@
 //! |---|---|
 //! | `Register` | `str name \| str query \| str pattern \| str strategy` |
 //! | `Serve` | `str view \| u16 n \| n×u64 bound values` |
-//! | `Update` | insert section, then an optional identical removes section (`u32 groups \| per group: str rel, u16 arity, u32 rows, rows×arity u64` each) |
+//! | `Update` | insert section, then an optional identical removes section (`u32 groups \| per group: str rel, u16 arity, u32 rows, rows×arity u64` each), then an optional epoch-vector precondition (`u32 n \| n×u64`; its presence forces the removes section out, possibly empty) |
 //! | `Health` | empty |
 //! | `RegisterOk` / `UpdateOk` / `HealthOk` | epoch vector (`u32 n \| n×u64`) |
 //! | `Chunk` | `u16 arity \| u32 count \| count×arity u64` (see [`cqc_common::frame`]) |
@@ -109,6 +109,20 @@ fn put_delta_section(w: &mut PayloadWriter, groups: &[(&str, &[Vec<Value>])]) {
 /// groups are dropped (they carry no information and a zero arity would be
 /// ambiguous).
 pub fn encode_update(w: &mut PayloadWriter, delta: &Delta) {
+    encode_update_preconditioned(w, delta, None);
+}
+
+/// [`encode_update`] with an optional epoch-vector precondition tail
+/// (`u32 n | n×u64`, the [`cqc_common::frame::encode_epochs`] layout).
+/// The tails are sequential-optional, so a precondition forces the
+/// removes section out — possibly with zero groups — to keep the parse
+/// unambiguous; without a precondition the layout is exactly
+/// [`encode_update`]'s.
+pub fn encode_update_preconditioned(
+    w: &mut PayloadWriter,
+    delta: &Delta,
+    precondition: Option<&[Epoch]>,
+) {
     let inserts: Vec<(&str, &[Vec<Value>])> =
         delta.groups().filter(|(_, ts)| !ts.is_empty()).collect();
     let removes: Vec<(&str, &[Vec<Value>])> = delta
@@ -117,20 +131,38 @@ pub fn encode_update(w: &mut PayloadWriter, delta: &Delta) {
         .collect();
     w.start();
     put_delta_section(w, &inserts);
-    if !removes.is_empty() {
+    if !removes.is_empty() || precondition.is_some() {
         put_delta_section(w, &removes);
+    }
+    if let Some(epochs) = precondition {
+        encode_epochs(w, epochs);
     }
 }
 
 /// Parses a [`Delta`]: the insert section always, then a removes section
 /// iff the payload has bytes left (older insert-only encoders simply end
-/// after the first section).
+/// after the first section). A precondition tail, if present, is
+/// discarded — servers use [`parse_update_preconditioned`].
 ///
 /// # Errors
 ///
 /// [`code::BAD_FRAME`] on truncation, non-UTF-8 strings, or a tuple whose
 /// arity disagrees with its group header.
 pub fn parse_update(payload: &[u8]) -> Result<Delta> {
+    parse_update_preconditioned(payload).map(|(delta, _)| delta)
+}
+
+/// Parses a [`Delta`] plus its optional epoch-vector precondition: the
+/// insert section always, then a removes section iff bytes remain, then
+/// the precondition iff bytes *still* remain (see
+/// [`encode_update_preconditioned`] for why this nesting is unambiguous).
+///
+/// # Errors
+///
+/// [`code::BAD_FRAME`] on truncation, non-UTF-8 strings, a tuple whose
+/// arity disagrees with its group header, or trailing bytes past the
+/// precondition.
+pub fn parse_update_preconditioned(payload: &[u8]) -> Result<(Delta, Option<Vec<Epoch>>)> {
     let mut r = PayloadReader::new(payload);
     let mut delta = Delta::new();
     for removes in [false, true] {
@@ -153,7 +185,18 @@ pub fn parse_update(payload: &[u8]) -> Result<Delta> {
             }
         }
     }
-    Ok(delta)
+    let precondition = if r.remaining() > 0 {
+        Some(cqc_common::frame::decode_epochs(&mut r)?)
+    } else {
+        None
+    };
+    if r.remaining() > 0 {
+        return Err(CqcError::Protocol {
+            code: code::BAD_FRAME,
+            detail: format!("{} trailing bytes after the update payload", r.remaining()),
+        });
+    }
+    Ok((delta, precondition))
 }
 
 /// Encodes a `ServeDone` payload (`u64 total | epoch vector`) into `w`
@@ -301,6 +344,63 @@ mod tests {
         delta.insert("R", vec![1, 2]);
         encode_update(&mut w, &delta);
         assert_eq!(w.bytes(), expect.bytes());
+    }
+
+    #[test]
+    fn preconditioned_updates_round_trip() {
+        // Insert-only with a precondition: the removes section is forced
+        // out (empty) so the epochs tail cannot be misread as removes.
+        let mut delta = Delta::new();
+        delta.insert("R", vec![1, 2]);
+        let mut w = PayloadWriter::new();
+        encode_update_preconditioned(&mut w, &delta, Some(&[3, 1, 4]));
+        let (back, pre) = parse_update_preconditioned(w.bytes()).unwrap();
+        assert_eq!(back, delta);
+        assert_eq!(pre, Some(vec![3, 1, 4]));
+        // The legacy parser still reads the delta (precondition ignored).
+        assert_eq!(parse_update(w.bytes()).unwrap(), delta);
+
+        // Mixed delta + precondition.
+        delta.remove("S", vec![9, 9]);
+        encode_update_preconditioned(&mut w, &delta, Some(&[7]));
+        let (back, pre) = parse_update_preconditioned(w.bytes()).unwrap();
+        assert_eq!(back, delta);
+        assert_eq!(pre, Some(vec![7]));
+
+        // No precondition through the new parser: `None`, same delta.
+        encode_update(&mut w, &delta);
+        let (back, pre) = parse_update_preconditioned(w.bytes()).unwrap();
+        assert_eq!(back, delta);
+        assert_eq!(pre, None);
+
+        // An empty epoch vector is still a *present* precondition (the
+        // u32 count is on the wire), distinct from no tail at all.
+        let mut insert_only = Delta::new();
+        insert_only.insert("R", vec![5, 6]);
+        encode_update_preconditioned(&mut w, &insert_only, Some(&[]));
+        let (_, pre) = parse_update_preconditioned(w.bytes()).unwrap();
+        assert_eq!(pre, Some(vec![]));
+    }
+
+    #[test]
+    fn trailing_garbage_after_update_is_rejected() {
+        let mut delta = Delta::new();
+        delta.insert("R", vec![1, 2]);
+        let mut w = PayloadWriter::new();
+        encode_update_preconditioned(&mut w, &delta, Some(&[3]));
+        let mut bytes = w.bytes().to_vec();
+        bytes.push(0xEE);
+        let err = parse_update_preconditioned(&bytes).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CqcError::Protocol {
+                    code: code::BAD_FRAME,
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]

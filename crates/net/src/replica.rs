@@ -1,0 +1,814 @@
+//! Replica groups: R independent servers per shard, one healthy answer.
+//!
+//! The paper's representations are read-heavy and deterministic — two
+//! replicas at the same epoch vector serve byte-identical streams — so a
+//! shard's availability story is simply "ask another replica". This
+//! module is that story, made precise:
+//!
+//! * **[`RetryPolicy`]** — a budgeted failover loop: capped exponential
+//!   backoff with deterministic jitter (seeded from the shard index; no
+//!   `rand` in `cqc-net`), every wait capped by the *remaining* request
+//!   deadline so retries can never overrun what the caller budgeted, and
+//!   an optional hedge: if the primary replica has not answered within
+//!   [`RetryPolicy::hedge_after`], the same request is launched on the
+//!   next healthy replica and the first completion wins.
+//! * **Mid-stream failover with prefix resume** — answers stream into
+//!   the caller's block as chunks arrive, so a replica that dies
+//!   mid-stream leaves a merged prefix behind. The next attempt replays
+//!   the stream and *verifies* the overlap tuple-by-tuple against that
+//!   prefix (the sorted-order cursor makes the comparison exact) instead
+//!   of re-appending it; a verified prefix plus the live suffix equals
+//!   the live replica's complete stream, so correctness never depends on
+//!   the dead replica. Any overlap divergence discards the prefix and
+//!   restarts clean.
+//! * **Per-replica staleness** — a reply's epoch vector is checked
+//!   against the group's expectation; a lagging replica (it missed an
+//!   update its sibling applied) is *skipped*, not served stale, and not
+//!   penalized on its breaker — it is healthy, just behind.
+//! * **Per-replica [`CircuitBreaker`]s** — transport failures count
+//!   against the replica's breaker, so a dead replica stops eating
+//!   deadline budget after a few requests and is re-probed only after a
+//!   cooldown.
+
+use cqc_common::error::Result;
+use cqc_common::frame::code;
+use cqc_common::{AnswerBlock, AnswerSink, CqcError, Value};
+use cqc_storage::{Delta, Epoch};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::breaker::{BreakerConfig, BreakerState, BreakerTransitions, CircuitBreaker};
+use crate::client::{jittered_backoff, ClientConfig, ShardClient};
+use crate::protocol::RegisterReq;
+
+/// The failover budget for one shard's serve attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Serve attempts per request across the shard's replicas (≥ 1).
+    pub attempts: u32,
+    /// First inter-attempt backoff; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling (before jitter scales into `[50%, 100%)`).
+    pub backoff_cap: Duration,
+    /// Wall-time budget for the whole request, retries and backoffs
+    /// included; `None` is unbounded. Attempt socket timeouts are capped
+    /// by what remains of this budget.
+    pub request_deadline: Option<Duration>,
+    /// If the primary replica has not completed within this, hedge the
+    /// request on the next healthy replica (first completion wins).
+    /// `None` disables hedging.
+    pub hedge_after: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 4,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(100),
+            request_deadline: Some(Duration::from_secs(10)),
+            hedge_after: None,
+        }
+    }
+}
+
+/// A request's absolute deadline: the accounting side of
+/// [`RetryPolicy::request_deadline`]. Copyable so every retry, backoff
+/// sleep, and hedge wait measures against the *same* instant.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now (`None` = unbounded).
+    pub fn within(budget: Option<Duration>) -> Deadline {
+        Deadline {
+            at: budget.map(|b| Instant::now() + b),
+        }
+    }
+
+    /// Time left (`None` = unbounded; zero when expired).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
+
+    /// `true` once the budget is exhausted.
+    pub fn expired(&self) -> bool {
+        self.remaining().is_some_and(|r| r.is_zero())
+    }
+
+    /// Caps a wait by the remaining budget.
+    pub fn cap(&self, d: Duration) -> Duration {
+        match self.remaining() {
+            Some(r) => d.min(r),
+            None => d,
+        }
+    }
+
+    /// Caps an optional socket timeout by the remaining budget (at least
+    /// 1 ms — zero-length socket timeouts are invalid at the OS level;
+    /// the expiry check catches the budget itself).
+    pub fn cap_io(&self, io: Option<Duration>) -> Option<Duration> {
+        match (io, self.remaining()) {
+            (None, None) => None,
+            (Some(t), None) => Some(t),
+            (None, Some(r)) => Some(r.max(Duration::from_millis(1))),
+            (Some(t), Some(r)) => Some(t.min(r).max(Duration::from_millis(1))),
+        }
+    }
+
+    /// Typed [`code::DEADLINE`] error once expired.
+    ///
+    /// # Errors
+    ///
+    /// [`code::DEADLINE`] iff the budget is exhausted.
+    pub fn check(&self, what: &str) -> Result<()> {
+        if self.expired() {
+            return Err(CqcError::Protocol {
+                code: code::DEADLINE,
+                detail: format!("request deadline exhausted {what}"),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Counters the chaos harness reads: how often the fault machinery
+/// actually engaged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupStats {
+    /// Attempts beyond a request's first (the failover count).
+    pub failovers: u64,
+    /// Replicas skipped for serving at a lagging/skewed epoch vector.
+    pub stale_skips: u64,
+    /// Attempts that resumed (and verified) a dead replica's prefix.
+    pub prefix_resumes: u64,
+    /// Hedge launches (primary exceeded [`RetryPolicy::hedge_after`]).
+    pub hedges: u64,
+    /// Hedges whose result won over the primary's.
+    pub hedge_wins: u64,
+    /// Replica update attempts that failed (the replica is now stale
+    /// until re-synced; serves skip it via the epoch check).
+    pub update_failures: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    failovers: AtomicU64,
+    stale_skips: AtomicU64,
+    prefix_resumes: AtomicU64,
+    hedges: AtomicU64,
+    hedge_wins: AtomicU64,
+    update_failures: AtomicU64,
+}
+
+/// One replica: its address, its dedicated connection, its breaker.
+#[derive(Debug)]
+pub struct Replica {
+    addr: String,
+    client: Mutex<ShardClient>,
+    breaker: CircuitBreaker,
+}
+
+impl Replica {
+    /// The replica's address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The replica's breaker state.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+}
+
+/// How one serve attempt on one replica ended (internal taxonomy — the
+/// breaker only ever hears about `Fault`s).
+enum AttemptFail {
+    /// Transport or typed remote failure: penalize the breaker, fail
+    /// over.
+    Fault(CqcError),
+    /// Version skew (lagging or out-of-band): skip the replica, no
+    /// breaker penalty.
+    Stale(CqcError),
+    /// The resumed stream contradicted the held prefix (or ended inside
+    /// it): prefix discarded, retry clean. No breaker penalty.
+    Diverged,
+    /// The replica's connection is busy (a hedge loser still draining):
+    /// try another. No breaker penalty.
+    Busy,
+}
+
+/// R replicas of one shard behind a single serve/update facade.
+#[derive(Debug)]
+pub struct ReplicaGroup {
+    shard: usize,
+    replicas: Vec<Replica>,
+    policy: RetryPolicy,
+    base_io: Option<Duration>,
+    jitter_seed: u64,
+    stats: StatsInner,
+}
+
+impl ReplicaGroup {
+    /// A group for shard `shard` over `addrs` (replica 0 is the
+    /// primary). Each replica's client gets a jitter seed derived from
+    /// `(shard, replica)` so a fleet-wide outage does not retry in
+    /// lockstep. Connections are lazy; see `Router::connect_replicated`
+    /// for the eager health probe.
+    pub fn new(
+        shard: usize,
+        addrs: &[String],
+        config: ClientConfig,
+        breaker: BreakerConfig,
+        policy: RetryPolicy,
+    ) -> ReplicaGroup {
+        let replicas = addrs
+            .iter()
+            .enumerate()
+            .map(|(r, addr)| {
+                let seeded = ClientConfig {
+                    jitter_seed: config.jitter_seed ^ (((shard as u64) << 32) | r as u64),
+                    ..config
+                };
+                Replica {
+                    addr: addr.clone(),
+                    client: Mutex::new(ShardClient::new(addr.clone(), seeded)),
+                    breaker: CircuitBreaker::new(breaker),
+                }
+            })
+            .collect();
+        ReplicaGroup {
+            shard,
+            replicas,
+            policy,
+            base_io: config.io_timeout,
+            jitter_seed: shard as u64,
+            stats: StatsInner::default(),
+        }
+    }
+
+    /// The shard index this group serves.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The replicas, primary first.
+    pub fn replicas(&self) -> &[Replica] {
+        &self.replicas
+    }
+
+    /// Replica addresses, primary first.
+    pub fn addrs(&self) -> Vec<String> {
+        self.replicas.iter().map(|r| r.addr.clone()).collect()
+    }
+
+    /// Snapshot of the group's fault counters.
+    pub fn stats(&self) -> GroupStats {
+        GroupStats {
+            failovers: self.stats.failovers.load(Ordering::Relaxed),
+            stale_skips: self.stats.stale_skips.load(Ordering::Relaxed),
+            prefix_resumes: self.stats.prefix_resumes.load(Ordering::Relaxed),
+            hedges: self.stats.hedges.load(Ordering::Relaxed),
+            hedge_wins: self.stats.hedge_wins.load(Ordering::Relaxed),
+            update_failures: self.stats.update_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Cumulative wire traffic across the group's replica connections:
+    /// `(bytes received, bytes sent)`.
+    pub fn wire_bytes(&self) -> (u64, u64) {
+        let mut totals = (0u64, 0u64);
+        for r in &self.replicas {
+            let (rx, tx) = r
+                .client
+                .lock()
+                .expect("replica client poisoned")
+                .wire_bytes();
+            totals.0 += rx;
+            totals.1 += tx;
+        }
+        totals
+    }
+
+    /// Summed breaker transitions across the group's replicas.
+    pub fn breaker_transitions(&self) -> BreakerTransitions {
+        let mut sum = BreakerTransitions::default();
+        for r in &self.replicas {
+            let t = r.breaker.transitions();
+            sum.opened += t.opened;
+            sum.half_opened += t.half_opened;
+            sum.closed += t.closed;
+        }
+        sum
+    }
+
+    /// Health-probes every replica: `(addr, epoch vector or error)` in
+    /// replica order. Used at connect time and for re-syncs.
+    pub fn probe(&self) -> Vec<(String, Result<Vec<Epoch>>)> {
+        self.replicas
+            .iter()
+            .map(|r| {
+                let outcome = r.client.lock().expect("replica client poisoned").health();
+                (r.addr.clone(), outcome)
+            })
+            .collect()
+    }
+
+    /// Registers a view on every replica (all must succeed — a replica
+    /// that misses a registration could never serve the view). Returns
+    /// the epoch vector of the last replica.
+    ///
+    /// # Errors
+    ///
+    /// The first replica failure, tagged with its address.
+    pub fn register(&self, req: &RegisterReq) -> Result<Vec<Epoch>> {
+        let mut epochs = Vec::new();
+        for r in &self.replicas {
+            epochs = r
+                .client
+                .lock()
+                .expect("replica client poisoned")
+                .register(req)
+                .map_err(|e| tag_replica(&r.addr, e))?;
+        }
+        Ok(epochs)
+    }
+
+    fn first_allowed(&self, rotation: usize, exclude: Option<usize>) -> Option<usize> {
+        let n = self.replicas.len();
+        (0..n)
+            .map(|k| (rotation + k) % n)
+            .find(|&i| Some(i) != exclude && self.replicas[i].breaker.allow())
+    }
+
+    /// One serve attempt on replica `idx`, with breaker bookkeeping.
+    #[allow(clippy::too_many_arguments)]
+    fn attempt(
+        &self,
+        idx: usize,
+        view: &str,
+        bound: &[Value],
+        expected: &[Epoch],
+        deadline: Deadline,
+        out: &mut AnswerBlock,
+        base: usize,
+    ) -> std::result::Result<(), AttemptFail> {
+        let replica = &self.replicas[idx];
+        let Ok(mut client) = replica.client.try_lock() else {
+            return Err(AttemptFail::Busy);
+        };
+        if client
+            .set_io_timeout(deadline.cap_io(self.base_io))
+            .is_err()
+        {
+            return Err(AttemptFail::Fault(CqcError::Io(
+                "could not arm the attempt timeout".into(),
+            )));
+        }
+        let pre_len = out.len();
+        let skip = pre_len - base;
+        if skip > 0 {
+            self.stats.prefix_resumes.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut sink = ResumeSink {
+            out,
+            base,
+            skip,
+            replayed: 0,
+            diverged: false,
+        };
+        match client.serve_with_sink(view, bound, &mut sink) {
+            Err(e) => {
+                // The prefix (possibly extended by this attempt's chunks)
+                // is kept: the next attempt re-verifies the whole overlap.
+                replica.breaker.record_failure();
+                Err(AttemptFail::Fault(e))
+            }
+            Ok((_pushed, epochs)) => {
+                if sink.diverged {
+                    // Two replicas disagreed inside the overlap: the held
+                    // prefix has no authority. Start clean.
+                    out.truncate(base);
+                    Err(AttemptFail::Diverged)
+                } else if epochs != expected {
+                    // Completed, but at the wrong version: roll back to
+                    // what we held before this attempt and skip the
+                    // replica (lagging or out-of-band skew — either way
+                    // it must not contribute answers).
+                    out.truncate(pre_len);
+                    let lagging = epochs.len() == expected.len()
+                        && epochs.iter().zip(expected).all(|(e, x)| e <= x);
+                    self.stats.stale_skips.fetch_add(1, Ordering::Relaxed);
+                    Err(AttemptFail::Stale(CqcError::Protocol {
+                        code: code::EPOCH_MISMATCH,
+                        detail: format!(
+                            "replica {} served at epochs {epochs:?}, expected {expected:?}{}",
+                            replica.addr,
+                            if lagging {
+                                " (replica lagging; skipped)"
+                            } else {
+                                "; re-sync with health_check()"
+                            }
+                        ),
+                    }))
+                } else if sink.replayed < skip {
+                    // The correct stream is *shorter* than the held
+                    // prefix: the prefix was wrong. Start clean.
+                    out.truncate(base);
+                    replica.breaker.record_success();
+                    Err(AttemptFail::Diverged)
+                } else {
+                    replica.breaker.record_success();
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Serves one request into `out` (appending), failing over across
+    /// replicas under the group's [`RetryPolicy`]. Returns the number of
+    /// answers appended.
+    ///
+    /// # Errors
+    ///
+    /// [`code::DEADLINE`] when the budget runs out mid-failover, the
+    /// last replica error when the attempt budget runs out, or a typed
+    /// "no replica available" failure when every breaker is open.
+    pub fn serve_into_block(
+        self: &Arc<Self>,
+        view: &str,
+        bound: &[Value],
+        expected: &[Epoch],
+        deadline: Deadline,
+        out: &mut AnswerBlock,
+    ) -> Result<usize> {
+        let base = out.len();
+        if let Some(won) = self.hedged_round(view, bound, expected, deadline, out, base) {
+            return won;
+        }
+        let mut last_err: Option<CqcError> = None;
+        let attempts = self.policy.attempts.max(1);
+        for attempt in 0..attempts {
+            deadline.check("before a serve attempt")?;
+            if attempt > 0 {
+                self.stats.failovers.fetch_add(1, Ordering::Relaxed);
+                let nap = deadline.cap(jittered_backoff(
+                    self.policy.backoff_base,
+                    self.policy.backoff_cap,
+                    self.jitter_seed,
+                    attempt - 1,
+                ));
+                if !nap.is_zero() {
+                    std::thread::sleep(nap);
+                }
+                deadline.check("after the failover backoff")?;
+            }
+            let Some(idx) = self.first_allowed(attempt as usize, None) else {
+                return Err(last_err.unwrap_or_else(|| self.all_down_error()));
+            };
+            match self.attempt(idx, view, bound, expected, deadline, out, base) {
+                Ok(()) => return Ok(out.len() - base),
+                Err(AttemptFail::Fault(e)) | Err(AttemptFail::Stale(e)) => last_err = Some(e),
+                Err(AttemptFail::Diverged) => {
+                    last_err = Some(CqcError::Protocol {
+                        code: code::SHARD_FAILED,
+                        detail: "resumed stream diverged from the held prefix".into(),
+                    });
+                }
+                Err(AttemptFail::Busy) => {
+                    last_err = Some(CqcError::Protocol {
+                        code: code::REFUSED,
+                        detail: format!(
+                            "replica {} connection busy (hedge in flight)",
+                            self.replicas[idx].addr
+                        ),
+                    });
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| self.all_down_error()))
+    }
+
+    /// The optional hedged first round: launch the primary in a helper
+    /// thread, wait [`RetryPolicy::hedge_after`], and race a second
+    /// replica if the primary is slow. `None` means "not hedged — run
+    /// the normal failover loop" (hedging disabled, < 2 replicas, a
+    /// prefix is held, or both racers failed).
+    fn hedged_round(
+        self: &Arc<Self>,
+        view: &str,
+        bound: &[Value],
+        expected: &[Epoch],
+        deadline: Deadline,
+        out: &mut AnswerBlock,
+        base: usize,
+    ) -> Option<Result<usize>> {
+        let hedge_after = self.policy.hedge_after?;
+        if self.replicas.len() < 2 || out.len() != base {
+            return None;
+        }
+        let primary = self.first_allowed(0, None)?;
+        let (tx, rx) = mpsc::channel();
+        let me = Arc::clone(self);
+        let (v, b, x) = (view.to_string(), bound.to_vec(), expected.to_vec());
+        std::thread::spawn(move || {
+            let mut block = AnswerBlock::new();
+            let outcome = me.attempt(primary, &v, &b, &x, deadline, &mut block, 0);
+            let _ = tx.send((outcome, block));
+        });
+        match rx.recv_timeout(deadline.cap(hedge_after)) {
+            Ok((Ok(()), block)) => {
+                adopt(out, &block);
+                Some(Ok(out.len() - base))
+            }
+            Ok((Err(_), block)) => {
+                // Primary failed fast. If it died mid-stream, its flushed
+                // prefix is worth keeping: the failover loop will verify
+                // it against the next replica's replay instead of
+                // re-merging it. (Stale/busy attempts truncate the block
+                // themselves, so only a mid-stream fault leaves tuples.)
+                adopt(out, &block);
+                None
+            }
+            Err(_) => {
+                // Primary is slow (or the deadline is closing in): hedge.
+                self.stats.hedges.fetch_add(1, Ordering::Relaxed);
+                let alt = self.first_allowed(1, Some(primary))?;
+                let mut hedge_block = AnswerBlock::new();
+                let hedged =
+                    self.attempt(alt, view, bound, expected, deadline, &mut hedge_block, 0);
+                // The primary may have finished while the hedge ran;
+                // prefer whichever succeeded (primary on a tie — it was
+                // first on the wire).
+                if let Ok((Ok(()), block)) = rx.try_recv() {
+                    adopt(out, &block);
+                    return Some(Ok(out.len() - base));
+                }
+                match hedged {
+                    Ok(()) => {
+                        self.stats.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                        adopt(out, &hedge_block);
+                        Some(Ok(out.len() - base))
+                    }
+                    Err(_) => {
+                        // Both racers failed (so far): give the primary
+                        // until the deadline, then fall back to the loop.
+                        match deadline
+                            .remaining()
+                            .map_or_else(|| rx.recv().ok(), |r| rx.recv_timeout(r).ok())
+                        {
+                            Some((Ok(()), block)) => {
+                                adopt(out, &block);
+                                Some(Ok(out.len() - base))
+                            }
+                            _ => None,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn all_down_error(&self) -> CqcError {
+        CqcError::Protocol {
+            code: code::SHARD_FAILED,
+            detail: format!(
+                "shard {}: no replica available (breakers open on {})",
+                self.shard,
+                self.addrs().join(", ")
+            ),
+        }
+    }
+
+    /// Applies a preconditioned delta to every replica. The group
+    /// succeeds when at least one replica lands at the new vector;
+    /// replicas that fail are recorded (and left stale — the per-replica
+    /// epoch check keeps them out of serves until an operator re-syncs
+    /// them). An ambiguous I/O failure on a replica is retried under the
+    /// same precondition: a retry of a delta that already landed comes
+    /// back [`code::EPOCH_MISMATCH`], and a health probe exactly one
+    /// bump past `expected` proves the first attempt applied — the
+    /// idempotency contract, pinned by the fault suite.
+    ///
+    /// # Errors
+    ///
+    /// The first replica error when *no* replica applied the delta, or a
+    /// typed divergence error if two replicas report different
+    /// post-update vectors.
+    pub fn update_preconditioned(&self, delta: &Delta, expected: &[Epoch]) -> Result<Vec<Epoch>> {
+        let mut landed: Option<Vec<Epoch>> = None;
+        let mut first_err: Option<CqcError> = None;
+        for r in &self.replicas {
+            if !r.breaker.allow() {
+                self.stats.update_failures.fetch_add(1, Ordering::Relaxed);
+                if first_err.is_none() {
+                    first_err = Some(tag_replica(&r.addr, self.all_down_error()));
+                }
+                continue;
+            }
+            match self.update_on(r, delta, expected) {
+                Ok(v) => {
+                    r.breaker.record_success();
+                    if let Some(prev) = &landed {
+                        if *prev != v {
+                            return Err(CqcError::Protocol {
+                                code: code::EPOCH_MISMATCH,
+                                detail: format!(
+                                    "shard {} replicas diverged after an update: {prev:?} vs \
+                                     {v:?} ({})",
+                                    self.shard, r.addr
+                                ),
+                            });
+                        }
+                    }
+                    landed = Some(v);
+                }
+                Err(e) => {
+                    if matches!(e, CqcError::Io(_)) {
+                        r.breaker.record_failure();
+                    }
+                    self.stats.update_failures.fetch_add(1, Ordering::Relaxed);
+                    if first_err.is_none() {
+                        first_err = Some(tag_replica(&r.addr, e));
+                    }
+                }
+            }
+        }
+        match landed {
+            Some(v) => Ok(v),
+            None => Err(first_err.unwrap_or_else(|| self.all_down_error())),
+        }
+    }
+
+    /// One replica's preconditioned update, with the ambiguous-Io
+    /// reconciliation described on [`ReplicaGroup::update_preconditioned`].
+    fn update_on(&self, r: &Replica, delta: &Delta, expected: &[Epoch]) -> Result<Vec<Epoch>> {
+        let mut client = r.client.lock().expect("replica client poisoned");
+        client.set_io_timeout(self.base_io)?;
+        match client.update_preconditioned(delta, expected) {
+            Err(CqcError::Io(_)) => {
+                // Ambiguous: the delta may or may not have applied before
+                // the transport died. The precondition makes the retry
+                // safe either way.
+                match client.update_preconditioned(delta, expected) {
+                    Err(CqcError::Protocol {
+                        code: code::EPOCH_MISMATCH,
+                        detail,
+                    }) => {
+                        let now = client.health()?;
+                        if plausibly_applied(expected, &now) {
+                            Ok(now) // the first attempt landed
+                        } else {
+                            Err(CqcError::Protocol {
+                                code: code::EPOCH_MISMATCH,
+                                detail,
+                            })
+                        }
+                    }
+                    other => other,
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+/// `now` is exactly one application past `expected`: elementwise
+/// `expected ≤ now ≤ expected + 1`, with at least one bump. (A single
+/// delta bumps each touched shard epoch by at most one.)
+fn plausibly_applied(expected: &[Epoch], now: &[Epoch]) -> bool {
+    now.len() == expected.len()
+        && now != expected
+        && now
+            .iter()
+            .zip(expected)
+            .all(|(n, x)| *n >= *x && *n <= x + 1)
+}
+
+fn tag_replica(addr: &str, e: CqcError) -> CqcError {
+    match e {
+        CqcError::Io(m) => CqcError::Io(format!("replica {addr}: {m}")),
+        CqcError::Protocol { code: c, detail } => CqcError::Protocol {
+            code: c,
+            detail: format!("replica {addr}: {detail}"),
+        },
+        other => other,
+    }
+}
+
+/// Replaces `out`'s answers past its current length with `winner`'s —
+/// the hedge adoption point (`out` is empty past `base` by construction
+/// when hedging runs).
+fn adopt(out: &mut AnswerBlock, winner: &AnswerBlock) {
+    for t in winner.iter() {
+        out.push(t);
+    }
+}
+
+/// The resuming sink: replays (and verifies) the first `skip` answers
+/// against the prefix already held in `out`, then appends the rest. At a
+/// fixed epoch the stream is deterministic, so a verified overlap means
+/// the final block equals the live replica's complete stream.
+struct ResumeSink<'b> {
+    out: &'b mut AnswerBlock,
+    base: usize,
+    skip: usize,
+    replayed: usize,
+    diverged: bool,
+}
+
+impl AnswerSink for ResumeSink<'_> {
+    fn push(&mut self, tuple: &[Value]) -> bool {
+        if self.replayed < self.skip {
+            if self.out.get(self.base + self.replayed) != tuple {
+                self.diverged = true;
+                return false; // hang up: the prefix has no authority
+            }
+            self.replayed += 1;
+            true
+        } else {
+            self.out.push(tuple)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_accounting_caps_every_wait() {
+        let d = Deadline::within(Some(Duration::from_millis(50)));
+        assert!(!d.expired());
+        assert!(d.cap(Duration::from_secs(10)) <= Duration::from_millis(50));
+        assert!(d.cap_io(Some(Duration::from_secs(5))).unwrap() <= Duration::from_millis(50));
+        let unbounded = Deadline::within(None);
+        assert_eq!(unbounded.remaining(), None);
+        assert_eq!(
+            unbounded.cap(Duration::from_secs(7)),
+            Duration::from_secs(7)
+        );
+        assert_eq!(unbounded.cap_io(None), None);
+        let expired = Deadline::within(Some(Duration::ZERO));
+        assert!(expired.expired());
+        let err = expired.check("in a test").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CqcError::Protocol {
+                    code: code::DEADLINE,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        // Even expired, the socket timeout floor is 1 ms (never zero).
+        assert!(expired.cap_io(Some(Duration::from_secs(1))).unwrap() >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn plausibly_applied_is_exactly_one_bump() {
+        assert!(plausibly_applied(&[3, 7], &[4, 7]));
+        assert!(plausibly_applied(&[3, 7], &[4, 8]));
+        assert!(!plausibly_applied(&[3, 7], &[3, 7]), "no bump");
+        assert!(!plausibly_applied(&[3, 7], &[5, 7]), "two bumps");
+        assert!(!plausibly_applied(&[3, 7], &[2, 7]), "regression");
+        assert!(!plausibly_applied(&[3, 7], &[4]), "length skew");
+    }
+
+    #[test]
+    fn resume_sink_verifies_the_overlap() {
+        let mut out = AnswerBlock::new();
+        out.push(&[1, 2]);
+        out.push(&[3, 4]);
+        // Matching replay, then fresh answers append.
+        let mut sink = ResumeSink {
+            out: &mut out,
+            base: 0,
+            skip: 2,
+            replayed: 0,
+            diverged: false,
+        };
+        assert!(sink.push(&[1, 2]));
+        assert!(sink.push(&[3, 4]));
+        assert!(sink.push(&[5, 6]));
+        assert!(!sink.diverged);
+        assert_eq!(out.len(), 3);
+        // A divergent replay stops the stream and flags the prefix.
+        let mut out = AnswerBlock::new();
+        out.push(&[1, 2]);
+        let mut sink = ResumeSink {
+            out: &mut out,
+            base: 0,
+            skip: 1,
+            replayed: 0,
+            diverged: false,
+        };
+        assert!(!sink.push(&[9, 9]));
+        assert!(sink.diverged);
+    }
+}

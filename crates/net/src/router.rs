@@ -1,4 +1,5 @@
-//! The front-door router: N shard servers behind one [`BlockService`].
+//! The front-door router: N shard *replica groups* behind one
+//! [`BlockService`].
 //!
 //! The router is the network mirror of [`cqc_engine::ShardedEngine`]: the
 //! same [`cqc_storage::PartitionSpec`] decides which relations are
@@ -8,44 +9,116 @@
 //! [`cqc_common::BlockMerger`] restores the exact global lexicographic
 //! order from the per-shard streams. What the network adds:
 //!
-//! * **health-checked connections** — [`Router::connect`] probes every
-//!   shard before the router is usable, and [`Router::health_check`]
-//!   re-probes on demand;
-//! * **per-request epoch consistency** — every serve reply carries the
-//!   epoch vector the shard observed; the router compares it against the
-//!   version it last saw from that shard and fails the request with a
-//!   typed [`code::EPOCH_MISMATCH`] instead of silently merging streams
-//!   from different database versions (an out-of-band writer is caught,
-//!   not absorbed);
-//! * **typed partial failure** — a shard that dies mid-stream surfaces as
-//!   [`code::SHARD_FAILED`] naming the shard, never a hang (the client's
-//!   socket timeouts bound every wait).
+//! * **replica groups** — every shard is fronted by a
+//!   [`ReplicaGroup`] of R independent servers; registration fans out to
+//!   all replicas, serves pick one healthy replica per shard and fail
+//!   over on faults under the group's [`RetryPolicy`] (budgeted
+//!   attempts, capped jittered backoff, per-request deadline accounting,
+//!   optional hedged reads, per-replica circuit breakers);
+//! * **health-checked connections** — [`Router::connect_replicated`]
+//!   probes every replica of every shard before the router is usable and
+//!   reports *every* unreachable address in one error (one look tells an
+//!   operator the full extent of an outage); [`Router::health_check`]
+//!   re-probes on demand and tolerates dead replicas as long as each
+//!   shard keeps at least one;
+//! * **per-request epoch consistency, per replica** — every serve reply
+//!   carries the epoch vector the replica observed; a reply that
+//!   disagrees with the group's expectation marks that *replica* stale
+//!   (it is skipped, another is tried) instead of poisoning the request,
+//!   and only if no replica serves at the expected version does a typed
+//!   [`code::EPOCH_MISMATCH`] surface;
+//! * **typed partial failure and graceful degradation** — in the default
+//!   [`ServeMode::Strict`] a shard whose whole replica group is down
+//!   fails the request with [`code::SHARD_FAILED`] naming the shard;
+//!   opting into [`ServeMode::DegradedOk`] returns the surviving shards'
+//!   merged answers instead, with an explicit per-shard
+//!   [`Coverage`] bitmap and a typed [`code::DEGRADED`] indication — a
+//!   partial result can never impersonate a complete one.
 //!
 //! Updates split per shard with [`cqc_storage::Partitioning::split_delta`]
-//! — exactly the rows each shard owns, insertions and removals alike —
-//! and only touched shards are contacted, so shard epochs advance
-//! independently just as they do in the in-process sharded engine. A
-//! mixed insert/delete delta applied through the router is
-//! observationally identical to applying it to a local
-//! [`cqc_engine::ShardedEngine`] (the loopback suite pins this).
+//! and fan out to every replica of each touched shard, preconditioned on
+//! the router's last-known epoch vector so a retried delta after an
+//! ambiguous I/O failure can never double-apply (see
+//! [`ReplicaGroup::update_preconditioned`]). A replica that misses an
+//! update becomes stale and is skipped by the per-replica epoch check
+//! until it is re-synced — degraded redundancy, never wrong answers.
 
 use cqc_common::error::Result;
 use cqc_common::frame::code;
-use cqc_common::{AnswerBlock, AnswerSink, BlockMerger, CqcError, FastMap, Value};
+use cqc_common::{AnswerBlock, AnswerSink, BlockMerger, Coverage, CqcError, FastMap, Value};
 use cqc_engine::{view_fans_out, BlockService};
 use cqc_query::parser::parse_adorned;
 use cqc_storage::{Delta, Epoch, PartitionSpec, Partitioning};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Arc, RwLock};
 
-use crate::client::{ClientConfig, ShardClient};
+use crate::breaker::{BreakerConfig, BreakerTransitions};
+use crate::client::ClientConfig;
 use crate::protocol::RegisterReq;
+use crate::replica::{Deadline, GroupStats, ReplicaGroup, RetryPolicy};
 
-/// The fan-out/merge router over a fleet of shard servers.
+/// How a fan-out serve treats a shard with no serving replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeMode {
+    /// Fail the whole request (exact answers or a typed error).
+    #[default]
+    Strict,
+    /// Answer from the shards that survive, with an explicit coverage
+    /// bitmap and a typed [`code::DEGRADED`] indication on the report.
+    DegradedOk,
+}
+
+/// The outcome of one fan-out serve: what was merged, which shards
+/// contributed, and what failed.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Answers merged into the sink.
+    pub answers: usize,
+    /// Which shards' streams are in the merge (full ⇔ exact).
+    pub coverage: Coverage,
+    /// Per-shard failures (empty when `coverage.is_full()`).
+    pub failures: Vec<(usize, CqcError)>,
+}
+
+impl ServeReport {
+    /// `true` when the result is partial (some shard did not contribute).
+    pub fn is_degraded(&self) -> bool {
+        !self.coverage.is_full()
+    }
+
+    /// The typed [`code::DEGRADED`] error describing this partial result
+    /// (`None` when the result is exact) — what a strict caller would
+    /// have seen, and what a degraded-tolerant caller logs.
+    pub fn degraded_error(&self) -> Option<CqcError> {
+        if !self.is_degraded() {
+            return None;
+        }
+        Some(CqcError::Protocol {
+            code: code::DEGRADED,
+            detail: format!(
+                "partial result: coverage {} (missing shards {:?})",
+                self.coverage,
+                self.coverage.missing()
+            ),
+        })
+    }
+}
+
+/// Fleet-wide fault counters: the sum of every group's [`GroupStats`]
+/// and breaker transitions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FleetStats {
+    /// Summed per-group serve/update fault counters.
+    pub groups: GroupStats,
+    /// Summed per-replica breaker transitions.
+    pub breakers: BreakerTransitions,
+}
+
+/// The fan-out/merge router over a fleet of shard replica groups.
 #[derive(Debug)]
 pub struct Router {
-    clients: Vec<Mutex<ShardClient>>,
-    addrs: Vec<String>,
+    groups: Vec<Arc<ReplicaGroup>>,
     partitioning: Partitioning,
+    policy: RetryPolicy,
     /// view name → fans out across shards (false: shard 0 serves alone).
     fanout: RwLock<FastMap<String, bool>>,
     /// Last known epoch vector per shard — the consistency expectation
@@ -56,32 +129,86 @@ pub struct Router {
 impl Router {
     /// Connects to `addrs` under `spec` (one shard per address, in shard
     /// order — the spec's hash assignment must match how the fleet's
-    /// sub-databases were split) and health-checks every shard.
+    /// sub-databases were split) and health-checks every shard. The
+    /// unreplicated (R = 1) special case of
+    /// [`Router::connect_replicated`].
     ///
     /// # Errors
     ///
-    /// Partitioning validation failures, connect failures (after the
-    /// client's retries), and failed health probes — the router refuses
-    /// to start over a partially reachable fleet.
+    /// Partitioning validation failures, and one error naming *every*
+    /// unreachable address — the router refuses to start over a
+    /// partially reachable fleet.
     pub fn connect(addrs: &[String], spec: PartitionSpec, config: ClientConfig) -> Result<Router> {
-        if addrs.is_empty() {
+        let groups: Vec<Vec<String>> = addrs.iter().map(|a| vec![a.clone()]).collect();
+        Router::connect_replicated(
+            &groups,
+            spec,
+            config,
+            BreakerConfig::default(),
+            RetryPolicy::default(),
+        )
+    }
+
+    /// Connects to a replicated fleet: `groups[s]` lists shard `s`'s
+    /// replica addresses (primary first). Probes every replica of every
+    /// shard up front; *all* unreachable addresses are reported in one
+    /// error, so a multi-shard outage is discovered in one connect
+    /// attempt rather than serially.
+    ///
+    /// # Errors
+    ///
+    /// Partitioning validation failures, empty groups, and failed health
+    /// probes (all of them, in one [`CqcError::Io`]).
+    pub fn connect_replicated(
+        groups: &[Vec<String>],
+        spec: PartitionSpec,
+        config: ClientConfig,
+        breaker: BreakerConfig,
+        policy: RetryPolicy,
+    ) -> Result<Router> {
+        if groups.is_empty() {
             return Err(CqcError::Config(
                 "a router needs at least one shard address".into(),
             ));
         }
-        let partitioning = Partitioning::new(spec, addrs.len())?;
-        let mut clients = Vec::with_capacity(addrs.len());
-        let mut expected = Vec::with_capacity(addrs.len());
-        for (i, addr) in addrs.iter().enumerate() {
-            let mut client = ShardClient::new(addr.clone(), config);
-            let epochs = client.health().map_err(|e| shard_error(i, addr, e))?;
-            expected.push(epochs);
-            clients.push(Mutex::new(client));
+        if let Some(i) = groups.iter().position(Vec::is_empty) {
+            return Err(CqcError::Config(format!(
+                "shard {i} has no replica addresses"
+            )));
+        }
+        let partitioning = Partitioning::new(spec, groups.len())?;
+        let built: Vec<Arc<ReplicaGroup>> = groups
+            .iter()
+            .enumerate()
+            .map(|(s, addrs)| Arc::new(ReplicaGroup::new(s, addrs, config, breaker, policy)))
+            .collect();
+        // Probe the whole fleet before reporting anything: the point is
+        // one error that names every unreachable replica.
+        let mut expected = Vec::with_capacity(built.len());
+        let mut unreachable: Vec<String> = Vec::new();
+        for group in &built {
+            let mut vector: Option<Vec<Epoch>> = None;
+            for (addr, outcome) in group.probe() {
+                match outcome {
+                    Ok(epochs) => vector = Some(max_vector(vector.take(), epochs)),
+                    Err(e) => {
+                        unreachable.push(format!("shard {} ({addr}): {e}", group.shard()));
+                    }
+                }
+            }
+            expected.push(vector.unwrap_or_default());
+        }
+        if !unreachable.is_empty() {
+            return Err(CqcError::Io(format!(
+                "{} unreachable replica(s): {}",
+                unreachable.len(),
+                unreachable.join("; ")
+            )));
         }
         Ok(Router {
-            clients,
-            addrs: addrs.to_vec(),
+            groups: built,
             partitioning,
+            policy,
             fanout: RwLock::new(FastMap::default()),
             expected: RwLock::new(expected),
         })
@@ -89,12 +216,17 @@ impl Router {
 
     /// Number of shards fronted.
     pub fn num_shards(&self) -> usize {
-        self.clients.len()
+        self.groups.len()
     }
 
-    /// The shard addresses, in shard order.
-    pub fn addrs(&self) -> &[String] {
-        &self.addrs
+    /// The primary (first-replica) address per shard, in shard order.
+    pub fn addrs(&self) -> Vec<String> {
+        self.groups.iter().map(|g| g.addrs().remove(0)).collect()
+    }
+
+    /// Every replica address, `groups[s][r]` layout.
+    pub fn replica_addrs(&self) -> Vec<Vec<String>> {
+        self.groups.iter().map(|g| g.addrs()).collect()
     }
 
     /// The partitioning in force.
@@ -102,40 +234,80 @@ impl Router {
         &self.partitioning
     }
 
-    /// Probes every shard and refreshes the expected epoch vectors (the
-    /// recovery path after an out-of-band write raised
-    /// [`code::EPOCH_MISMATCH`]). Returns the per-shard vectors.
+    /// The shard replica groups, in shard order.
+    pub fn groups(&self) -> &[Arc<ReplicaGroup>] {
+        &self.groups
+    }
+
+    /// Fleet-wide fault counters (summed over groups and replicas).
+    pub fn fleet_stats(&self) -> FleetStats {
+        let mut stats = FleetStats::default();
+        for g in &self.groups {
+            let s = g.stats();
+            stats.groups.failovers += s.failovers;
+            stats.groups.stale_skips += s.stale_skips;
+            stats.groups.prefix_resumes += s.prefix_resumes;
+            stats.groups.hedges += s.hedges;
+            stats.groups.hedge_wins += s.hedge_wins;
+            stats.groups.update_failures += s.update_failures;
+            let t = g.breaker_transitions();
+            stats.breakers.opened += t.opened;
+            stats.breakers.half_opened += t.half_opened;
+            stats.breakers.closed += t.closed;
+        }
+        stats
+    }
+
+    /// Probes every replica and refreshes the expected epoch vectors
+    /// (the recovery path after an out-of-band write raised
+    /// [`code::EPOCH_MISMATCH`], and the rejoin path after a replica
+    /// revives). A shard's expectation becomes the elementwise max over
+    /// its reachable replicas — lagging replicas stay stale and skipped.
+    /// Returns the per-shard vectors.
     ///
     /// # Errors
     ///
-    /// The first unreachable shard, typed with its index and address.
+    /// [`code::SHARD_FAILED`] only when a shard has *no* reachable
+    /// replica, naming every dead address of that shard.
     pub fn health_check(&self) -> Result<Vec<Vec<Epoch>>> {
-        let mut fresh = Vec::with_capacity(self.clients.len());
-        for i in 0..self.clients.len() {
-            let epochs = self
-                .lock_shard(i)
-                .health()
-                .map_err(|e| shard_error(i, &self.addrs[i], e))?;
-            fresh.push(epochs);
+        let mut fresh = Vec::with_capacity(self.groups.len());
+        for group in &self.groups {
+            let mut vector: Option<Vec<Epoch>> = None;
+            let mut dead: Vec<String> = Vec::new();
+            for (addr, outcome) in group.probe() {
+                match outcome {
+                    Ok(epochs) => vector = Some(max_vector(vector.take(), epochs)),
+                    Err(e) => dead.push(format!("{addr}: {e}")),
+                }
+            }
+            match vector {
+                Some(v) => fresh.push(v),
+                None => {
+                    return Err(CqcError::Protocol {
+                        code: code::SHARD_FAILED,
+                        detail: format!(
+                            "shard {} has no reachable replica ({})",
+                            group.shard(),
+                            dead.join("; ")
+                        ),
+                    });
+                }
+            }
         }
         *self.expected.write().expect("expected lock poisoned") = fresh.clone();
         Ok(fresh)
     }
 
-    /// Cumulative wire traffic across all shard connections:
+    /// Cumulative wire traffic across all replica connections:
     /// `(bytes received, bytes sent)`.
     pub fn wire_bytes(&self) -> (u64, u64) {
         let mut totals = (0u64, 0u64);
-        for i in 0..self.clients.len() {
-            let (r, w) = self.lock_shard(i).wire_bytes();
+        for g in &self.groups {
+            let (r, w) = g.wire_bytes();
             totals.0 += r;
             totals.1 += w;
         }
         totals
-    }
-
-    fn lock_shard(&self, i: usize) -> std::sync::MutexGuard<'_, ShardClient> {
-        self.clients[i].lock().expect("shard client poisoned")
     }
 
     fn routing(&self, view: &str) -> Result<bool> {
@@ -147,50 +319,67 @@ impl Router {
             .ok_or_else(|| CqcError::UnknownView(view.to_string()))
     }
 
-    /// Serves one request across the fleet: shard-major fan-out, epoch
-    /// check per reply, k-way merge into `sink` in exact lexicographic
-    /// order. Returns the merged answer count (early stop respected).
+    /// Serves one request across the fleet in [`ServeMode::Strict`]:
+    /// shard-major fan-out with per-shard replica failover, epoch check
+    /// per reply, k-way merge into `sink` in exact lexicographic order.
+    /// Returns the merged answer count (early stop respected).
     ///
     /// # Errors
     ///
-    /// Unknown view, [`code::EPOCH_MISMATCH`] on a version-skewed shard,
-    /// [`code::SHARD_FAILED`] (or the shard's own typed error) on a
-    /// partial failure.
+    /// Unknown view, [`code::EPOCH_MISMATCH`] when no replica of a shard
+    /// serves at the expected version, [`code::SHARD_FAILED`] (or the
+    /// shard's own typed error) when a whole replica group is down, and
+    /// [`code::DEADLINE`] when the request budget runs out.
     pub fn serve_merged(
         &self,
         view: &str,
         bound: &[Value],
-        mut sink: &mut dyn AnswerSink,
+        sink: &mut dyn AnswerSink,
     ) -> Result<usize> {
+        let report = self.serve_with_mode(view, bound, sink, ServeMode::Strict)?;
+        Ok(report.answers)
+    }
+
+    /// [`Router::serve_merged`] with an explicit [`ServeMode`]. In
+    /// [`ServeMode::DegradedOk`] a shard whose replica group cannot
+    /// serve is *dropped from the merge* instead of failing the request:
+    /// the report's coverage bitmap says exactly which shards
+    /// contributed, [`ServeReport::degraded_error`] carries the typed
+    /// [`code::DEGRADED`] indication, and the merged stream is still in
+    /// exact lexicographic order over the covered shards.
+    ///
+    /// # Errors
+    ///
+    /// In strict mode, any shard failure (see [`Router::serve_merged`]).
+    /// In degraded mode, only request-level failures (unknown view) —
+    /// shard failures land in the report.
+    pub fn serve_with_mode(
+        &self,
+        view: &str,
+        bound: &[Value],
+        mut sink: &mut dyn AnswerSink,
+        mode: ServeMode,
+    ) -> Result<ServeReport> {
         let fans_out = self.routing(view)?;
-        let shards = if fans_out { self.clients.len() } else { 1 };
+        let shards = if fans_out { self.groups.len() } else { 1 };
         let expected = self
             .expected
             .read()
             .expect("expected lock poisoned")
             .clone();
-        // Shard-major fan-out: each thread owns its shard's connection
-        // and drains the full stream into a local block.
+        let deadline = Deadline::within(self.policy.request_deadline);
+        // Shard-major fan-out: each thread drives its shard's replica
+        // group (failover and all) into a local block.
         let results: Vec<Result<AnswerBlock>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..shards)
                 .map(|i| {
                     let expected = &expected;
+                    let group = &self.groups[i];
                     scope.spawn(move || -> Result<AnswerBlock> {
                         let mut block = AnswerBlock::new();
-                        let (_n, epochs) = self
-                            .lock_shard(i)
-                            .serve_block(view, bound, &mut block)
-                            .map_err(|e| shard_error(i, &self.addrs[i], e))?;
-                        if epochs != expected[i] {
-                            return Err(CqcError::Protocol {
-                                code: code::EPOCH_MISMATCH,
-                                detail: format!(
-                                    "shard {i} ({}) served at epochs {epochs:?}, expected \
-                                     {:?}; re-sync with health_check()",
-                                    self.addrs[i], expected[i]
-                                ),
-                            });
-                        }
+                        group
+                            .serve_into_block(view, bound, &expected[i], deadline, &mut block)
+                            .map_err(|e| shard_error(i, e))?;
                         Ok(block)
                     })
                 })
@@ -200,28 +389,61 @@ impl Router {
                 .map(|h| h.join().expect("shard serve thread panicked"))
                 .collect()
         });
+        let mut coverage = Coverage::empty(shards);
+        let mut failures = Vec::new();
         let mut blocks = Vec::with_capacity(shards);
-        for r in results {
-            blocks.push(r?);
+        for (i, r) in results.into_iter().enumerate() {
+            match r {
+                Ok(block) => {
+                    coverage.mark(i);
+                    blocks.push(block);
+                }
+                Err(e) => match mode {
+                    ServeMode::Strict => return Err(e),
+                    ServeMode::DegradedOk => failures.push((i, e)),
+                },
+            }
         }
         let refs: Vec<&AnswerBlock> = blocks.iter().collect();
-        Ok(BlockMerger::new().merge_into(&refs, &mut sink))
+        let answers = BlockMerger::new().merge_into(&refs, &mut sink);
+        Ok(ServeReport {
+            answers,
+            coverage,
+            failures,
+        })
     }
 }
 
-/// Tags a shard-level failure with the shard index and address. Typed
-/// remote errors keep their code (a remote deadline stays
-/// [`code::DEADLINE`]); transport failures become
-/// [`code::SHARD_FAILED`].
-fn shard_error(i: usize, addr: &str, e: CqcError) -> CqcError {
+/// Elementwise max of two epoch vectors (the freshest state any replica
+/// of a shard has reached); adopts the longer vector on length skew.
+fn max_vector(a: Option<Vec<Epoch>>, b: Vec<Epoch>) -> Vec<Epoch> {
+    match a {
+        None => b,
+        Some(mut a) => {
+            if a.len() != b.len() {
+                return if b.len() > a.len() { b } else { a };
+            }
+            for (x, y) in a.iter_mut().zip(b) {
+                *x = (*x).max(y);
+            }
+            a
+        }
+    }
+}
+
+/// Tags a shard-level failure with the shard index. Typed remote errors
+/// keep their code (a remote deadline stays [`code::DEADLINE`]);
+/// transport failures become [`code::SHARD_FAILED`]. Replica addresses
+/// are already in the detail (tagged by the group).
+fn shard_error(i: usize, e: CqcError) -> CqcError {
     match e {
         CqcError::Io(m) => CqcError::Protocol {
             code: code::SHARD_FAILED,
-            detail: format!("shard {i} ({addr}): {m}"),
+            detail: format!("shard {i}: {m}"),
         },
         CqcError::Protocol { code: c, detail } => CqcError::Protocol {
             code: c,
-            detail: format!("shard {i} ({addr}): {detail}"),
+            detail: format!("shard {i}: {detail}"),
         },
         other => other,
     }
@@ -245,18 +467,17 @@ impl BlockService for Router {
             pattern: pattern.into(),
             strategy: strategy.into(),
         };
-        // Register on every shard (replicated relations live everywhere;
-        // a later spec may route differently) — in parallel, build time
-        // dominates.
+        // Register on every replica of every shard (a replica that
+        // misses a registration could never serve or fail over) — in
+        // parallel across shards, build time dominates.
         let results: Vec<Result<Vec<Epoch>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..self.clients.len())
-                .map(|i| {
+            let handles: Vec<_> = self
+                .groups
+                .iter()
+                .enumerate()
+                .map(|(i, group)| {
                     let req = &req;
-                    scope.spawn(move || {
-                        self.lock_shard(i)
-                            .register(req)
-                            .map_err(|e| shard_error(i, &self.addrs[i], e))
-                    })
+                    scope.spawn(move || group.register(req).map_err(|e| shard_error(i, e)))
                 })
                 .collect();
             handles
@@ -284,6 +505,11 @@ impl BlockService for Router {
 
     fn apply_update(&self, delta: &Delta) -> Result<Vec<Epoch>> {
         let split = self.partitioning.split_delta(delta)?;
+        // Hold the write lock across the fan-out: updates serialize at
+        // the router (one writer at a time), which is what makes the
+        // per-shard precondition an exact idempotency token.
+        let mut expected = self.expected.write().expect("expected lock poisoned");
+        let snapshot = expected.clone();
         let results: Vec<Option<Result<Vec<Epoch>>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = split
                 .iter()
@@ -292,10 +518,12 @@ impl BlockService for Router {
                     if sub.is_empty() {
                         return None; // untouched shard: epoch unchanged
                     }
+                    let group = &self.groups[i];
+                    let want = &snapshot[i];
                     Some(scope.spawn(move || {
-                        self.lock_shard(i)
-                            .update(sub)
-                            .map_err(|e| shard_error(i, &self.addrs[i], e))
+                        group
+                            .update_preconditioned(sub, want)
+                            .map_err(|e| shard_error(i, e))
                     }))
                 })
                 .collect();
@@ -304,7 +532,6 @@ impl BlockService for Router {
                 .map(|h| h.map(|h| h.join().expect("shard update thread panicked")))
                 .collect()
         });
-        let mut expected = self.expected.write().expect("expected lock poisoned");
         for (i, r) in results.into_iter().enumerate() {
             if let Some(r) = r {
                 expected[i] = r?;

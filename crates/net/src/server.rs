@@ -288,9 +288,11 @@ fn handle_connection(
                 }
                 Err(e) => send_error(&mut writer, &mut payload, &e),
             },
-            FrameKind::Update => match protocol::parse_update(body)
-                .and_then(|delta| service.apply_update(&delta))
-            {
+            FrameKind::Update => match protocol::parse_update_preconditioned(body).and_then(
+                |(delta, precondition)| {
+                    service.apply_update_preconditioned(&delta, precondition.as_deref())
+                },
+            ) {
                 Ok(epochs) => send_epochs(&mut writer, &mut payload, FrameKind::UpdateOk, &epochs),
                 Err(e) => send_error(&mut writer, &mut payload, &e),
             },

@@ -43,6 +43,7 @@ fn fast_client() -> ClientConfig {
         backoff_cap: Duration::from_millis(20),
         io_timeout: Some(Duration::from_millis(500)),
         refused_retries: 1,
+        jitter_seed: 0,
     }
 }
 
