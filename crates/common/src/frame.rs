@@ -14,9 +14,11 @@
 //! ```
 //!
 //! `len` counts everything after itself (version + kind + payload), so an
-//! empty-payload frame has `len == 2`. Frames larger than [`MAX_FRAME`]
-//! are rejected on both ends; a version byte other than
-//! [`PROTOCOL_VERSION`] is a [`code::VERSION_MISMATCH`] protocol error.
+//! empty-payload frame has `len == 2`. Frames larger than the reader's
+//! [`FrameLimits`] cap ([`MAX_FRAME`] by default, and always for
+//! writers) are rejected before any allocation; a version byte other
+//! than [`PROTOCOL_VERSION`] is a [`code::VERSION_MISMATCH`] protocol
+//! error.
 //!
 //! Answer chunks ([`FrameKind::Chunk`]) carry
 //! `u16 arity | u32 count | count*arity u64` — `count` is explicit so
@@ -38,8 +40,42 @@ pub const PROTOCOL_VERSION: u8 = 1;
 
 /// Upper bound on `len` (version + kind + payload bytes). Frames above
 /// this are refused before any allocation — a corrupted or hostile length
-/// prefix must not drive a 4 GiB `Vec` reservation.
+/// prefix must not drive a 4 GiB `Vec` reservation. This is the
+/// *default* for [`FrameLimits`]; deployments that know their answer
+/// chunks are small can tighten it per reader.
 pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Per-reader framing bounds, so the 64 MiB default cap ([`MAX_FRAME`])
+/// can be tightened where a peer is less trusted (or loosened never —
+/// the constant stays the hard ceiling for writers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameLimits {
+    max_frame: usize,
+}
+
+impl Default for FrameLimits {
+    fn default() -> FrameLimits {
+        FrameLimits {
+            max_frame: MAX_FRAME,
+        }
+    }
+}
+
+impl FrameLimits {
+    /// Limits with a custom frame cap (version + kind + payload bytes).
+    /// Caps below 2 are raised to 2 — a frame can never be smaller than
+    /// its version and kind bytes.
+    pub fn with_max_frame(max_frame: usize) -> FrameLimits {
+        FrameLimits {
+            max_frame: max_frame.max(2),
+        }
+    }
+
+    /// The largest acceptable `len` value (version + kind + payload).
+    pub fn max_frame(&self) -> usize {
+        self.max_frame
+    }
+}
 
 /// Frame kinds. Requests use the low range, responses the high range, so
 /// a trace is readable at a glance. The values are wire-stable: changing
@@ -206,12 +242,26 @@ pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> Resul
 pub struct FrameReader {
     buf: Vec<u8>,
     bytes_read: u64,
+    limits: FrameLimits,
 }
 
 impl FrameReader {
-    /// An empty reader.
+    /// An empty reader with the default [`FrameLimits`].
     pub fn new() -> FrameReader {
         FrameReader::default()
+    }
+
+    /// An empty reader that refuses frames beyond `limits`.
+    pub fn with_limits(limits: FrameLimits) -> FrameReader {
+        FrameReader {
+            limits,
+            ..FrameReader::default()
+        }
+    }
+
+    /// The framing bounds this reader enforces.
+    pub fn limits(&self) -> FrameLimits {
+        self.limits
     }
 
     /// Total payload-bearing bytes consumed so far (frame headers
@@ -229,10 +279,11 @@ impl FrameReader {
         let mut len4 = [0u8; 4];
         r.read_exact(&mut len4)?;
         let body = u32::from_le_bytes(len4) as usize;
-        if !(2..=MAX_FRAME).contains(&body) {
+        let cap = self.limits.max_frame();
+        if !(2..=cap).contains(&body) {
             return Err(CqcError::Protocol {
                 code: code::BAD_FRAME,
-                detail: format!("frame length {body} outside [2, {MAX_FRAME}]"),
+                detail: format!("frame length {body} outside [2, {cap}]"),
             });
         }
         self.buf.clear();
@@ -589,6 +640,50 @@ mod tests {
             ),
             "unknown kind: {err}"
         );
+    }
+
+    #[test]
+    fn frame_limits_default_to_the_wire_constant() {
+        assert_eq!(FrameLimits::default().max_frame(), MAX_FRAME);
+        assert_eq!(FrameReader::new().limits(), FrameLimits::default());
+        // A cap below the version + kind floor is raised to the floor.
+        assert_eq!(FrameLimits::with_max_frame(0).max_frame(), 2);
+    }
+
+    #[test]
+    fn frame_exactly_at_the_cap_is_accepted() {
+        let cap = 64usize;
+        let payload = vec![0xABu8; cap - 2]; // len == cap exactly
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameKind::Serve, &payload).unwrap();
+        let mut r = FrameReader::with_limits(FrameLimits::with_max_frame(cap));
+        let (k, p) = r.read_frame(&mut &wire[..]).unwrap();
+        assert_eq!(k, FrameKind::Serve);
+        assert_eq!(p, &payload[..]);
+    }
+
+    #[test]
+    fn frame_one_past_the_cap_is_a_typed_bad_frame() {
+        let cap = 64usize;
+        let payload = vec![0xABu8; cap - 1]; // len == cap + 1
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameKind::Serve, &payload).unwrap();
+        let mut r = FrameReader::with_limits(FrameLimits::with_max_frame(cap));
+        let err = r.read_frame(&mut &wire[..]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CqcError::Protocol {
+                    code: code::BAD_FRAME,
+                    ..
+                }
+            ),
+            "cap+1: {err}"
+        );
+        // The same bytes pass under the default cap: the bound is the
+        // reader's configuration, not the frame.
+        let (k, _) = FrameReader::new().read_frame(&mut &wire[..]).unwrap();
+        assert_eq!(k, FrameKind::Serve);
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! Durability for the `cqc` engine: a checksummed write-ahead delta log,
+//! atomic snapshots, and crash recovery.
+//!
+//! The engine's in-memory state is a [`cqc_storage::Database`] advanced by
+//! [`cqc_storage::Delta`]s under a monotone epoch counter. This crate
+//! persists exactly that model, nothing more:
+//!
+//! * [`wal`] — an append-only log of applied deltas. Every record is
+//!   length-prefixed and CRC32-framed (`u32 len | u32 crc | u64 epoch |
+//!   delta bytes`, the delta in the canonical [`cqc_storage::wire`]
+//!   layout) and fsynced **before** the epoch is published to readers, so
+//!   an acknowledged update is never lost. Replay walks the log and stops
+//!   at the first torn, bit-flipped, or out-of-order record, truncating
+//!   the tail instead of panicking: the log's valid prefix is the
+//!   recovered history.
+//! * [`snapshot`] — the whole database in the paper's flat sorted-column
+//!   relation layout, checksummed and written temp-file-then-rename so a
+//!   crash mid-snapshot leaves the previous snapshot untouched. Rows are
+//!   persisted in sorted order, so loading re-adopts them through
+//!   [`cqc_storage::Relation::from_flat`]'s already-sorted fast path — no
+//!   re-sort on warm start.
+//! * [`manifest`] — the single small file binding the current snapshot
+//!   (file + epoch) to the current WAL (generation + replay offset). It
+//!   is the root of recovery and the only file updated in place (also via
+//!   temp-then-rename), which is what lets [`DurableStore::checkpoint`]
+//!   compact the log behind a fresh snapshot atomically.
+//! * [`store`] — [`DurableStore`], the façade the engine talks to:
+//!   `create` a fresh directory, `open` (recover) an existing one,
+//!   [`DurableStore::log`] each applied delta, [`DurableStore::checkpoint`]
+//!   to snapshot + rotate the log.
+//!
+//! The fsync contract and the recovery algorithm are specified in
+//! `docs/DURABILITY.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc32;
+pub mod manifest;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use manifest::Manifest;
+pub use store::{DurableStore, Recovered, CRASH_AFTER_APPENDS_ENV};
+
+use std::path::Path;
+
+/// Fsyncs a directory so a just-renamed file inside it survives power
+/// loss (on POSIX the rename itself is only durable once the directory
+/// entry is).
+pub(crate) fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    std::fs::File::open(dir)?.sync_all()
+}

@@ -1,0 +1,422 @@
+//! [`DurableStore`] — the directory-level façade tying WAL, snapshots,
+//! and manifest together.
+
+use crate::manifest::{self, Manifest};
+use crate::snapshot;
+use crate::wal::{self, WalWriter};
+use cqc_common::error::{CqcError, Result};
+use cqc_storage::{Database, Delta, Epoch};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Crash-injection hook for the recovery harness: when this environment
+/// variable holds `n`, the process calls [`std::process::abort`]
+/// immediately after the `n`-th successful [`DurableStore::log`] append —
+/// i.e. after the record is durable but **before** the epoch is published
+/// or the update acknowledged. That is the worst-case power-failure
+/// point: recovery must replay the record, and the client that never got
+/// an acknowledgement reconciles through a health probe (the
+/// preconditioned-update story).
+pub const CRASH_AFTER_APPENDS_ENV: &str = "CQC_DURABLE_CRASH_AFTER_APPENDS";
+
+/// What [`DurableStore::open`] recovered.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The store, positioned to append after the replayed history.
+    pub store: DurableStore,
+    /// The database at its exact pre-crash epoch.
+    pub db: Database,
+    /// WAL records replayed on top of the snapshot.
+    pub replayed: usize,
+    /// Bytes of torn/corrupt WAL tail that were truncated away.
+    pub truncated_bytes: u64,
+}
+
+struct Inner {
+    wal: WalWriter,
+    manifest: Manifest,
+}
+
+/// One data directory: a manifest, the current snapshot, and the current
+/// WAL generation. Writers go through a mutex — the engine already
+/// serializes updates, so the lock is uncontended in practice.
+pub struct DurableStore {
+    dir: PathBuf,
+    inner: Mutex<Inner>,
+    crash_after: Option<u64>,
+    appends: AtomicU64,
+}
+
+impl std::fmt::Debug for DurableStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableStore")
+            .field("dir", &self.dir)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DurableStore {
+    /// `true` when `dir` holds a manifest — i.e. [`DurableStore::open`]
+    /// will recover state rather than fail.
+    pub fn exists(dir: &Path) -> bool {
+        dir.join(manifest::MANIFEST_FILE).is_file()
+    }
+
+    /// Initializes a fresh data directory (created if missing): an empty
+    /// generation-0 WAL and a manifest with no snapshot. Existing durable
+    /// state in `dir` is refused — recover it with [`DurableStore::open`]
+    /// or delete it explicitly.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; [`CqcError::Config`] when `dir` already holds a
+    /// manifest.
+    pub fn create(dir: &Path) -> Result<DurableStore> {
+        if DurableStore::exists(dir) {
+            return Err(CqcError::Config(format!(
+                "data directory {} already holds durable state; open it instead of re-creating",
+                dir.display()
+            )));
+        }
+        std::fs::create_dir_all(dir)?;
+        let m = Manifest {
+            snapshot_file: None,
+            snapshot_epoch: 0,
+            wal_gen: 0,
+            wal_offset: wal::WAL_HEADER,
+        };
+        let wal = WalWriter::create(&dir.join(m.wal_file()))?;
+        manifest::store(dir, &m)?;
+        Ok(DurableStore::assemble(dir.to_path_buf(), wal, m))
+    }
+
+    /// Recovers `dir`: loads the manifest, the snapshot it names (if
+    /// any), scans the WAL from the manifest's offset, truncates any
+    /// torn/corrupt tail, and replays the valid records whose epoch lies
+    /// past the snapshot. The returned database is at its exact pre-crash
+    /// epoch — including updates that were logged but never acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// [`CqcError::Io`] when no manifest exists or the manifest/snapshot
+    /// fail their checksums; [`CqcError::Schema`] when a replayed delta
+    /// no longer matches the snapshot's schema (both mean the directory
+    /// is damaged beyond safe recovery). WAL-tail damage is *not* an
+    /// error — that is the expected crash debris, reported via
+    /// [`Recovered::truncated_bytes`].
+    pub fn open(dir: &Path) -> Result<Recovered> {
+        let m = manifest::load(dir)?.ok_or_else(|| {
+            CqcError::Io(format!(
+                "no manifest in {} — not a durable data directory",
+                dir.display()
+            ))
+        })?;
+        let mut db = match &m.snapshot_file {
+            Some(f) => snapshot::load(&dir.join(f))?,
+            None => Database::new(),
+        };
+        let wal_path = dir.join(m.wal_file());
+        let scan = if wal_path.is_file() {
+            wal::scan(&wal_path, m.wal_offset)?
+        } else {
+            // The WAL is created and fsynced before the manifest naming it
+            // is renamed in, so this is reachable only through external
+            // damage; an empty log (nothing past the snapshot) is the
+            // safe reading.
+            wal::WalScan {
+                records: Vec::new(),
+                valid_len: 0,
+                truncated_bytes: 0,
+            }
+        };
+        let mut replayed = 0usize;
+        for (epoch, delta) in &scan.records {
+            if *epoch <= db.epoch() {
+                continue; // already inside the snapshot
+            }
+            db.apply(delta)?;
+            // Pin rather than trust bump-by-one counting: the persisted
+            // stamp is the authority on what the fleet observed.
+            db.restore_epoch(*epoch);
+            replayed += 1;
+        }
+        let wal = WalWriter::open_truncated(&wal_path, scan.valid_len)?;
+        let store = DurableStore::assemble(dir.to_path_buf(), wal, m);
+        store.cleanup_stale_files();
+        Ok(Recovered {
+            store,
+            db,
+            replayed,
+            truncated_bytes: scan.truncated_bytes,
+        })
+    }
+
+    fn assemble(dir: PathBuf, wal: WalWriter, manifest: Manifest) -> DurableStore {
+        let crash_after = std::env::var(CRASH_AFTER_APPENDS_ENV)
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok());
+        DurableStore {
+            dir,
+            inner: Mutex::new(Inner { wal, manifest }),
+            crash_after,
+            appends: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends one applied delta, stamped with the epoch it produced, and
+    /// fsyncs. Call after [`Database::apply`] succeeded on a private copy
+    /// and **before** publishing the new epoch: on return the update is
+    /// durable, so an epoch a reader can observe is always recoverable.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures — the caller must then *not* publish the epoch (a
+    /// partially written record is exactly the torn tail recovery
+    /// truncates).
+    pub fn log(&self, epoch: Epoch, delta: &Delta) -> Result<()> {
+        let mut inner = self.inner.lock().expect("durable store lock poisoned");
+        inner.wal.append(epoch, delta)?;
+        drop(inner);
+        let n = self.appends.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.crash_after.is_some_and(|limit| n >= limit) {
+            // Simulated power failure at the worst point: durable on
+            // disk, invisible to every reader, unacknowledged.
+            std::process::abort();
+        }
+        Ok(())
+    }
+
+    /// Checkpoints: writes a snapshot of `db`, rotates to a fresh WAL
+    /// generation, commits both through the manifest, then deletes the
+    /// superseded log and snapshot files. A crash anywhere in the
+    /// sequence leaves a recoverable directory — before the manifest
+    /// rename the old `(snapshot, WAL)` pair is still named and intact;
+    /// after it the new pair is; leftover files are swept on the next
+    /// [`DurableStore::open`].
+    ///
+    /// `db` must be the engine's current published database (schema
+    /// changes such as new relations reach disk *only* through
+    /// checkpoints — the WAL carries deltas, not DDL).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures (the previous checkpoint remains in force).
+    pub fn checkpoint(&self, db: &Database) -> Result<()> {
+        let mut inner = self.inner.lock().expect("durable store lock poisoned");
+        let snap = snapshot::write(&self.dir, db)?;
+        let next = Manifest {
+            snapshot_file: Some(snap),
+            snapshot_epoch: db.epoch(),
+            wal_gen: inner.manifest.wal_gen + 1,
+            wal_offset: wal::WAL_HEADER,
+        };
+        let new_wal = WalWriter::create(&self.dir.join(next.wal_file()))?;
+        manifest::store(&self.dir, &next)?;
+        // Committed: everything the old generation held is now inside the
+        // snapshot. Deletion is best-effort (open() sweeps leftovers).
+        let old = std::mem::replace(&mut inner.manifest, next);
+        inner.wal = new_wal;
+        let _ = std::fs::remove_file(self.dir.join(old.wal_file()));
+        if let Some(old_snap) = old.snapshot_file {
+            if Some(&old_snap) != inner.manifest.snapshot_file.as_ref() {
+                let _ = std::fs::remove_file(self.dir.join(old_snap));
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes `snap-*`/`wal-*`/`*.tmp` files the manifest no longer
+    /// references — debris from a crash between a checkpoint's commit and
+    /// its deletions. Best-effort by design.
+    fn cleanup_stale_files(&self) {
+        let inner = self.inner.lock().expect("durable store lock poisoned");
+        let keep_wal = inner.manifest.wal_file();
+        let keep_snap = inner.manifest.snapshot_file.clone();
+        drop(inner);
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let stale = name.ends_with(".tmp")
+                || (name.starts_with("wal-") && name != keep_wal)
+                || (name.starts_with("snap-") && Some(name) != keep_snap.as_deref());
+            if stale {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+
+    /// The data directory this store owns.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current end-of-WAL offset (introspection for tests and stats).
+    pub fn wal_offset(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("durable store lock poisoned")
+            .wal
+            .offset()
+    }
+
+    /// A copy of the current manifest (introspection for tests and stats).
+    pub fn manifest(&self) -> Manifest {
+        self.inner
+            .lock()
+            .expect("durable store lock poisoned")
+            .manifest
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqc_storage::Relation;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("cqc-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn seed_db() -> Database {
+        let mut db = Database::new();
+        db.add(Relation::from_pairs("R", vec![(1, 2), (2, 3)]))
+            .unwrap();
+        db.add(Relation::from_pairs("S", vec![(2, 3)])).unwrap();
+        db
+    }
+
+    fn insert(rel: &str, a: u64, b: u64) -> Delta {
+        let mut d = Delta::new();
+        d.insert(rel, vec![a, b]);
+        d
+    }
+
+    #[test]
+    fn create_checkpoint_log_open_round_trips() {
+        let dir = temp_dir("round-trip");
+        let store = DurableStore::create(&dir).unwrap();
+        let mut db = seed_db();
+        store.checkpoint(&db).unwrap();
+        for i in 0..5u64 {
+            let delta = insert("R", 100 + i, i);
+            let epoch = db.apply(&delta).unwrap();
+            store.log(epoch, &delta).unwrap();
+        }
+        drop(store);
+
+        let rec = DurableStore::open(&dir).unwrap();
+        assert_eq!(rec.replayed, 5);
+        assert_eq!(rec.truncated_bytes, 0);
+        assert_eq!(rec.db.epoch(), db.epoch());
+        assert_eq!(rec.db.get("R").unwrap(), db.get("R").unwrap());
+        assert_eq!(rec.db.get("S").unwrap(), db.get("S").unwrap());
+
+        // Recovery is idempotent: open again, identical state.
+        drop(rec);
+        let rec = DurableStore::open(&dir).unwrap();
+        assert_eq!(rec.db.epoch(), db.epoch());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_an_existing_directory() {
+        let dir = temp_dir("refuse");
+        let _store = DurableStore::create(&dir).unwrap();
+        assert!(matches!(
+            DurableStore::create(&dir),
+            Err(CqcError::Config(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_compacts_the_log_and_survives_reopen() {
+        let dir = temp_dir("compact");
+        let store = DurableStore::create(&dir).unwrap();
+        let mut db = seed_db();
+        store.checkpoint(&db).unwrap();
+        for i in 0..3u64 {
+            let delta = insert("S", i, i);
+            let epoch = db.apply(&delta).unwrap();
+            store.log(epoch, &delta).unwrap();
+        }
+        let before = store.wal_offset();
+        assert!(before > wal::WAL_HEADER);
+        store.checkpoint(&db).unwrap();
+        assert_eq!(store.wal_offset(), wal::WAL_HEADER, "log must rotate");
+        let m = store.manifest();
+        assert_eq!(m.snapshot_epoch, db.epoch());
+        drop(store);
+
+        // Exactly one wal and one snapshot remain on disk.
+        let mut wals = 0;
+        let mut snaps = 0;
+        for e in std::fs::read_dir(&dir).unwrap().flatten() {
+            let name = e.file_name().to_string_lossy().into_owned();
+            if name.starts_with("wal-") {
+                wals += 1;
+            }
+            if name.starts_with("snap-") {
+                snaps += 1;
+            }
+        }
+        assert_eq!((wals, snaps), (1, 1));
+
+        let rec = DurableStore::open(&dir).unwrap();
+        assert_eq!(rec.replayed, 0, "everything is inside the snapshot");
+        assert_eq!(rec.db.epoch(), db.epoch());
+        assert_eq!(rec.db.get("S").unwrap(), db.get("S").unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_recovers_to_last_valid_prefix_and_keeps_serving() {
+        let dir = temp_dir("torn");
+        let store = DurableStore::create(&dir).unwrap();
+        let mut db = seed_db();
+        store.checkpoint(&db).unwrap();
+        let d1 = insert("R", 7, 7);
+        let e1 = db.apply(&d1).unwrap();
+        store.log(e1, &d1).unwrap();
+        let wal_path = dir.join(store.manifest().wal_file());
+        drop(store);
+        // Crash debris: garbage after the last record.
+        let mut bytes = std::fs::read(&wal_path).unwrap();
+        bytes.extend_from_slice(&[0xAB; 13]);
+        std::fs::write(&wal_path, &bytes).unwrap();
+
+        let rec = DurableStore::open(&dir).unwrap();
+        assert_eq!(rec.truncated_bytes, 13);
+        assert_eq!(rec.replayed, 1);
+        assert_eq!(rec.db.epoch(), e1);
+        // The tail is physically gone and the log accepts new appends.
+        assert_eq!(
+            std::fs::metadata(&wal_path).unwrap().len(),
+            rec.store.wal_offset()
+        );
+        let d2 = insert("R", 8, 8);
+        let mut db2 = rec.db;
+        let e2 = db2.apply(&d2).unwrap();
+        rec.store.log(e2, &d2).unwrap();
+        drop(rec.store);
+        let rec = DurableStore::open(&dir).unwrap();
+        assert_eq!(rec.db.epoch(), e2);
+        assert!(rec.db.get("R").unwrap().contains(&[8, 8]));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_without_manifest_is_a_typed_error() {
+        let dir = temp_dir("nomanifest");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(DurableStore::open(&dir), Err(CqcError::Io(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -27,11 +27,13 @@ use cqc_common::value::{Tuple, Value};
 use cqc_common::{AnswerBlock, AnswerSink, FastMap, FastSet};
 use cqc_core::maintain::MaintainOutcome;
 use cqc_core::CompressedView;
+use cqc_durable::DurableStore;
 use cqc_query::parser::parse_adorned;
 use cqc_query::AdornedView;
 use cqc_storage::csv::{relation_from_csv, CsvOptions};
 use cqc_storage::{Database, Delta, Epoch, Interner, Relation, RelationId};
 use std::io::BufRead;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
@@ -218,6 +220,18 @@ pub struct UpdateStats {
     pub restamped: u64,
 }
 
+/// What recovery replayed when an engine was opened from its data
+/// directory (see [`Engine::open`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// The epoch the engine rejoined at — exactly its pre-crash epoch.
+    pub epoch: Epoch,
+    /// WAL records replayed on top of the snapshot.
+    pub replayed: usize,
+    /// Bytes of torn/corrupt WAL tail truncated away during recovery.
+    pub truncated_bytes: u64,
+}
+
 /// The serve-many front door over a database and a representation catalog.
 pub struct Engine {
     db: RwLock<Arc<Database>>,
@@ -234,6 +248,12 @@ pub struct Engine {
     /// [`MAINTAIN_RETRY_DELTAS`] further deltas so one noisy sample never
     /// disables maintenance forever.
     maintain_paused: Mutex<FastMap<CatalogKey, u64>>,
+    /// The attached durability layer, if any: every applied delta is
+    /// WAL-logged and fsynced before its epoch is published (see
+    /// [`Engine::open`] / [`Engine::attach_durable`]).
+    durable: Option<Arc<DurableStore>>,
+    /// What recovery replayed, when this engine was opened from disk.
+    recovery: Option<RecoveryStats>,
     upd_deltas: AtomicU64,
     upd_maintained: AtomicU64,
     upd_rebuilt: AtomicU64,
@@ -261,11 +281,102 @@ impl Engine {
             config,
             update_lock: Mutex::new(()),
             maintain_paused: Mutex::new(FastMap::default()),
+            durable: None,
+            recovery: None,
             upd_deltas: AtomicU64::new(0),
             upd_maintained: AtomicU64::new(0),
             upd_rebuilt: AtomicU64::new(0),
             upd_restamped: AtomicU64::new(0),
         }
+    }
+
+    /// Warm start: recovers the engine from a durable data directory —
+    /// newest valid snapshot loaded (its sorted runs adopted without a
+    /// re-sort), WAL replayed on top, torn tail truncated — and keeps the
+    /// directory attached so further updates stay durable. The recovered
+    /// engine is at its exact pre-crash epoch ([`Engine::recovery_stats`]
+    /// reports what replay did); views are not persisted and must be
+    /// re-registered, which rebuilds their representations from the
+    /// adopted relations.
+    ///
+    /// # Errors
+    ///
+    /// [`CqcError::Io`] when `dir` holds no durable state (use
+    /// [`Engine::attach_durable`] to start a fresh directory) or when the
+    /// manifest/snapshot fail their checksums.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Engine> {
+        Engine::open_with_config(dir, EngineConfig::default())
+    }
+
+    /// [`Engine::open`] with explicit tuning.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Engine::open`].
+    pub fn open_with_config(dir: impl AsRef<Path>, config: EngineConfig) -> Result<Engine> {
+        let recovered = DurableStore::open(dir.as_ref())?;
+        let stats = RecoveryStats {
+            epoch: recovered.db.epoch(),
+            replayed: recovered.replayed,
+            truncated_bytes: recovered.truncated_bytes,
+        };
+        let mut engine = Engine::with_config(recovered.db, config);
+        engine.durable = Some(Arc::new(recovered.store));
+        engine.recovery = Some(stats);
+        Ok(engine)
+    }
+
+    /// Attaches a fresh durability layer at `dir` (load phase): the
+    /// current database is checkpointed immediately — load-phase schema
+    /// changes reach disk only through snapshots, the WAL carries deltas —
+    /// and every subsequent [`Engine::update`] is logged and fsynced
+    /// before its epoch is published.
+    ///
+    /// # Errors
+    ///
+    /// [`CqcError::Config`] when `dir` already holds durable state
+    /// (recover it with [`Engine::open`] instead) or a layer is already
+    /// attached; I/O failures from the initial checkpoint.
+    pub fn attach_durable(&mut self, dir: impl AsRef<Path>) -> Result<()> {
+        if self.durable.is_some() {
+            return Err(CqcError::Config(
+                "engine already has a data directory attached".into(),
+            ));
+        }
+        let store = DurableStore::create(dir.as_ref())?;
+        store.checkpoint(&self.db())?;
+        self.durable = Some(Arc::new(store));
+        Ok(())
+    }
+
+    /// The attached durability layer, if any.
+    pub fn durable_store(&self) -> Option<&Arc<DurableStore>> {
+        self.durable.as_ref()
+    }
+
+    /// What recovery replayed, when this engine came from [`Engine::open`].
+    pub fn recovery_stats(&self) -> Option<RecoveryStats> {
+        self.recovery
+    }
+
+    /// Checkpoints the attached data directory: snapshots the current
+    /// database (quiescing writers first, so the snapshot is exactly a
+    /// published epoch) and compacts the WAL behind it. Call after bulk
+    /// loads and periodically under sustained updates to bound both the
+    /// log and recovery time.
+    ///
+    /// # Errors
+    ///
+    /// [`CqcError::Config`] when no durability layer is attached; I/O
+    /// failures (the previous checkpoint remains in force).
+    pub fn checkpoint(&self) -> Result<()> {
+        let Some(store) = &self.durable else {
+            return Err(CqcError::Config(
+                "engine has no data directory attached; nothing to checkpoint".into(),
+            ));
+        };
+        let _writer = self.update_lock.lock().expect("update lock poisoned");
+        store.checkpoint(&self.db())
     }
 
     /// A consistent snapshot of the database. Cheap (`Arc` clone); the
@@ -344,6 +455,13 @@ impl Engine {
         if epoch == pre_epoch {
             // Nothing genuinely new (duplicates only): entries stay valid.
             return Ok(report);
+        }
+        // Durability barrier: the delta must be fsynced to the WAL before
+        // any reader can observe the epoch it produced. A log failure
+        // aborts the update entirely — nothing was published, so the
+        // in-memory and on-disk histories still agree.
+        if let Some(store) = &self.durable {
+            store.log(epoch, delta)?;
         }
         let new_db = Arc::new(new_db);
         self.upd_deltas.fetch_add(1, Ordering::Relaxed);

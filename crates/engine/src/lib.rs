@@ -72,7 +72,8 @@ pub mod sharded;
 
 pub use catalog::{Catalog, CatalogKey, CatalogStats};
 pub use engine::{
-    Engine, EngineConfig, RegisteredView, Request, Served, UpdateReport, UpdateStats, ViewServer,
+    Engine, EngineConfig, RecoveryStats, RegisteredView, Request, Served, UpdateReport,
+    UpdateStats, ViewServer,
 };
 pub use policy::{Policy, Selection};
 pub use service::BlockService;

@@ -34,16 +34,24 @@
 //! none of whose relations are hash-partitioned would be answered in full
 //! by *every* shard; such views are routed to shard 0 alone instead.
 
-use crate::engine::{Engine, EngineConfig, Request, Served, UpdateReport};
+use crate::engine::{Engine, EngineConfig, RecoveryStats, Request, Served, UpdateReport};
 use crate::policy::{select, Policy};
 use cqc_bench::DelayStats;
 use cqc_common::error::{CqcError, Result};
 use cqc_common::value::{Tuple, Value};
 use cqc_common::{AnswerBlock, BlockMerger, FastMap};
+use cqc_durable::DurableStore;
 use cqc_query::parser::parse_adorned;
 use cqc_query::{AdornedView, Var};
-use cqc_storage::{Database, Delta, Epoch, PartitionSpec, Partitioning, ShardAssignment};
+use cqc_storage::{Database, Delta, Epoch, PartitionSpec, Partitioning, Relation, ShardAssignment};
+use std::path::Path;
 use std::sync::{Arc, RwLock};
+
+/// The subdirectory of a sharded data directory holding shard `s`'s
+/// durable state (zero-padded so directory listings sort by shard).
+fn shard_dir(dir: &Path, s: usize) -> std::path::PathBuf {
+    dir.join(format!("shard-{s:03}"))
+}
 
 /// Tuning for a [`ShardedEngine`].
 #[derive(Debug, Clone, Copy)]
@@ -191,6 +199,121 @@ impl ShardedEngine {
     ) -> Result<ShardedEngine> {
         let spec = spec_for_view(view, &db);
         ShardedEngine::new(db, spec, config)
+    }
+
+    /// Warm start: recovers a sharded engine from a durable data directory
+    /// written by [`ShardedEngine::attach_durable`] /
+    /// [`ShardedEngine::checkpoint`]. Each shard lives in its own
+    /// `shard-<s>` subdirectory and recovers independently (snapshot plus
+    /// WAL replay), so the engine rejoins at its exact pre-crash epoch
+    /// *vector* — shards that were ahead stay ahead. The planning snapshot
+    /// is rebuilt by merging the recovered shards (hash-partitioned rows
+    /// union disjointly; replicated copies dedup back to one), and `spec`
+    /// must be the same partition spec the directory was written under —
+    /// the spec itself is not persisted, exactly as view definitions are
+    /// not: the serving script re-supplies both.
+    ///
+    /// # Errors
+    ///
+    /// [`CqcError::Io`] when `dir` holds no shard state, plus every
+    /// per-shard [`Engine::open`] failure mode.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        spec: PartitionSpec,
+        config: ShardedEngineConfig,
+    ) -> Result<ShardedEngine> {
+        let dir = dir.as_ref();
+        let mut shards = 0;
+        while DurableStore::exists(&shard_dir(dir, shards)) {
+            shards += 1;
+        }
+        if shards == 0 {
+            return Err(CqcError::Io(format!(
+                "{}: no shard-* durable state to recover",
+                dir.display()
+            )));
+        }
+        let partitioning = Partitioning::new(spec, shards)?;
+        let mut engine_config = config.engine;
+        engine_config.catalog_budget_bytes = (engine_config.catalog_budget_bytes / shards).max(1);
+        let engines: Vec<Engine> = (0..shards)
+            .map(|s| Engine::open_with_config(shard_dir(dir, s), engine_config))
+            .collect::<Result<Vec<_>>>()?;
+        // Rebuild the planning snapshot from the recovered shards. Every
+        // shard holds every relation (hashed ones hold their partition,
+        // replicated ones a full copy), so concatenating per relation and
+        // letting `from_flat` sort-dedup reconstructs the global database.
+        let dbs: Vec<Arc<Database>> = engines.iter().map(Engine::db).collect();
+        let mut planning = Database::new();
+        if let Some(first) = dbs.first() {
+            for rel in first.relations() {
+                let mut flat = Vec::new();
+                for db in &dbs {
+                    let shard_rel = db.get(rel.name()).ok_or_else(|| {
+                        CqcError::Io(format!(
+                            "{}: relation `{}` missing from a recovered shard",
+                            dir.display(),
+                            rel.name()
+                        ))
+                    })?;
+                    for row in shard_rel.iter() {
+                        flat.extend_from_slice(row);
+                    }
+                }
+                planning.add(Relation::from_flat(
+                    rel.name().to_string(),
+                    rel.arity(),
+                    flat,
+                ))?;
+            }
+        }
+        planning.restore_epoch(engines.iter().map(Engine::epoch).max().unwrap_or(0));
+        Ok(ShardedEngine {
+            partitioning,
+            engines,
+            fanout: RwLock::new(FastMap::default()),
+            planning: RwLock::new(Arc::new(planning)),
+        })
+    }
+
+    /// Attaches a fresh durability layer: each shard gets its own
+    /// `shard-<s>` subdirectory of `dir` (created, checkpointed with the
+    /// shard's current sub-database, and logged to independently from then
+    /// on). Recover with [`ShardedEngine::open`] under the same spec.
+    ///
+    /// # Errors
+    ///
+    /// Per-shard [`Engine::attach_durable`] failure modes; a failure
+    /// partway leaves earlier shards attached (the directory should be
+    /// discarded and the call retried fresh).
+    pub fn attach_durable(&mut self, dir: impl AsRef<Path>) -> Result<()> {
+        let dir = dir.as_ref();
+        for (s, engine) in self.engines.iter_mut().enumerate() {
+            engine.attach_durable(shard_dir(dir, s))?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoints every shard's data directory (snapshot + WAL
+    /// compaction). Shards checkpoint sequentially; each one quiesces only
+    /// its own writers.
+    ///
+    /// # Errors
+    ///
+    /// [`CqcError::Config`] when no durability layer is attached; the
+    /// first per-shard I/O failure (earlier shards keep their new
+    /// checkpoints — every manifest on disk stays individually consistent).
+    pub fn checkpoint(&self) -> Result<()> {
+        for engine in &self.engines {
+            engine.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Per-shard recovery statistics, when this engine came from
+    /// [`ShardedEngine::open`] (`None` for a fresh engine).
+    pub fn recovery_stats(&self) -> Option<Vec<RecoveryStats>> {
+        self.engines.iter().map(Engine::recovery_stats).collect()
     }
 
     /// Number of shards.

@@ -17,12 +17,17 @@
 //! update [--rm] <rel> <v1> <v2> ...    insert (or with --rm delete) one
 //!                                      tuple (bumps the epoch,
 //!                                      maintains/rebuilds cached views)
-//! serve <addr> [--shard=<i>/<n> <pattern> "<query>"]
+//! serve <addr> [--shard=<i>/<n> <pattern> "<query>"] [--data-dir=<dir>]
 //!                                      expose the current database as a
 //!                                      shard server (blocks until killed);
 //!                                      --shard keeps only slice i of an
 //!                                      n-way hash split derived from the
-//!                                      query's partition spec
+//!                                      query's partition spec; --data-dir
+//!                                      makes every update durable (WAL +
+//!                                      snapshots) — a dir already holding
+//!                                      state is recovered to its exact
+//!                                      pre-crash epoch, winning over the
+//!                                      script's own database
 //! route <addr> <pattern> "<query>" --shards=<a,b,c>
 //!                                      run the front-door router: fans
 //!                                      requests out across the shard
@@ -78,6 +83,16 @@
 //! (must be 100% while each shard keeps one live replica), failover
 //! latency percentiles, circuit-breaker cycle counts, and the
 //! degraded-mode coverage verdict.
+//!
+//! `bench --profile recovery` is the durability gate: a child
+//! `cqe serve --data-dir` process is hard-killed (SIGKILL) at scripted
+//! points — between durable updates, *mid-apply* right after the WAL
+//! fsync but before the acknowledgment, and with garbage appended to the
+//! log while it is down — and every restart must rejoin at its exact
+//! pre-crash epoch, truncate torn tails cleanly, and serve answer streams
+//! byte-identical to an uninterrupted in-process oracle. Pass
+//! `--gen="<gen args>"` matching the script's own `gen` line so the child
+//! rebuilds the same dataset (same seed, same rows) on its first boot.
 
 use cqc_bench::{fmt_bytes, fmt_ns, BatchStats};
 use cqc_common::alloc as cqalloc;
@@ -86,7 +101,7 @@ use cqc_engine::{BlockService, Engine, Policy, Request, UpdateReport};
 use cqc_join::naive::evaluate_view;
 use cqc_net::{
     BreakerConfig, ChaosService, ClientConfig, Fault, NetServer, NetServerConfig, RetryPolicy,
-    Router, ServeMode, ServerHandle,
+    Router, ServeMode, ServerHandle, ShardClient,
 };
 use cqc_query::parser::parse_adorned;
 use cqc_storage::csv::CsvOptions;
@@ -182,15 +197,17 @@ fn print_help() {
     println!("  ask <name> <values...>   exists <name> <values...>   explain <name>");
     println!("  update [--rm] <rel> <values...>");
     println!("  serve <addr> [--shard=<i>/<n> <pattern> \"<query>\"]");
-    println!("        [--max-inflight=<n>] [--deadline-ms=<n>]");
+    println!("        [--data-dir=<dir>] [--max-inflight=<n>] [--deadline-ms=<n>]");
     println!("        shard server over the current database (blocks until killed);");
-    println!("        --shard keeps slice i of an n-way hash split for the query");
+    println!("        --shard keeps slice i of an n-way hash split for the query;");
+    println!("        --data-dir makes updates durable (WAL + snapshots) — a dir");
+    println!("        that already holds state is recovered and wins over the script");
     println!("  route <addr> <pattern> \"<query>\" --shards=<a,b,c>");
     println!("        [--max-inflight=<n>] [--deadline-ms=<n>]");
     println!("        front-door router: health-checks the fleet, fans out, merges");
     println!("  bench <name> <requests> <threads> [seed] [witness|random]");
     println!(
-        "        [--with-updates[=<rounds>]] [--profile enum|shard|build|net|chaos] \
+        "        [--with-updates[=<rounds>]] [--profile enum|shard|build|net|chaos|recovery] \
 [--json=<path>]"
     );
     println!("        --profile enum:  flat-block vs legacy pipeline (answers/s,");
@@ -204,6 +221,10 @@ fn print_help() {
     println!("        --profile chaos: replicated fleet under scripted faults (kills,");
     println!("        stalls, refusals, epoch lies, mid-stream deaths; availability,");
     println!("        failover latency, breaker cycle, degraded coverage)");
+    println!("        --profile recovery: kill -9 a child `serve --data-dir` process");
+    println!("        at scripted points (between updates, mid-apply, torn WAL tail);");
+    println!("        every restart must rejoin at the exact pre-crash epoch with");
+    println!("        byte-identical streams (needs --gen=\"<gen args>\", same seed)");
     println!("        [--baseline-register-ns=<n>: record a speedup vs that baseline]");
     println!("  stats   demo   help   quit");
     println!();
@@ -536,11 +557,15 @@ fn reject_unknown_flags(opts: &[String], known: &[&str]) -> Result<(), String> {
 /// process is killed.
 fn serve_cmd(engine: &mut Engine, rest: &[String]) -> Result<(), String> {
     let usage = "usage: serve <addr> [--shard=<i>/<n> <pattern> \"<query>\"] \
-                 [--max-inflight=<n>] [--deadline-ms=<n>]";
+                 [--data-dir=<dir>] [--max-inflight=<n>] [--deadline-ms=<n>]";
     let [addr, opts @ ..] = rest else {
         return Err(usage.into());
     };
-    reject_unknown_flags(opts, &["shard", "max-inflight", "deadline-ms"])?;
+    reject_unknown_flags(opts, &["shard", "data-dir", "max-inflight", "deadline-ms"])?;
+    let data_dir = opts
+        .iter()
+        .find_map(|o| o.strip_prefix("--data-dir="))
+        .map(str::to_string);
     let config = net_server_config(opts)?;
     let shard = opts
         .iter()
@@ -562,12 +587,12 @@ fn serve_cmd(engine: &mut Engine, rest: &[String]) -> Result<(), String> {
     // Take the engine (this command never returns); the REPL keeps an
     // empty stand-in it will never get to use.
     let owned = std::mem::replace(engine, Engine::new(cqc_storage::Database::new()));
-    let service: Arc<dyn BlockService> = match shard {
+    let mut serving: Engine = match shard {
         None => {
             if !positional.is_empty() {
                 return Err(usage.into());
             }
-            Arc::new(owned)
+            owned
         }
         Some((i, n)) => {
             let [pattern, query] = positional.as_slice() else {
@@ -584,9 +609,31 @@ fn serve_cmd(engine: &mut Engine, rest: &[String]) -> Result<(), String> {
                 slice.size(),
                 db.size()
             );
-            Arc::new(Engine::new(slice))
+            Engine::new(slice)
         }
     };
+    // Durability: a data dir that already holds state wins over whatever
+    // the script built — a respawned replica rejoins at its exact
+    // pre-crash epoch; a fresh dir adopts the script's database as the
+    // initial checkpoint and logs every update from here on.
+    if let Some(dir) = &data_dir {
+        if cqc_durable::DurableStore::exists(std::path::Path::new(dir)) {
+            serving = Engine::open(dir).map_err(|e| e.to_string())?;
+            let stats = serving.recovery_stats().unwrap_or_default();
+            println!(
+                "recovered data dir `{dir}`: epoch {}, {} wal record(s) replayed, \
+                 {} torn byte(s) truncated (re-register views remotely)",
+                stats.epoch, stats.replayed, stats.truncated_bytes
+            );
+        } else {
+            serving.attach_durable(dir).map_err(|e| e.to_string())?;
+            println!(
+                "attached fresh data dir `{dir}` (checkpointed at epoch {})",
+                serving.epoch()
+            );
+        }
+    }
+    let service: Arc<dyn BlockService> = Arc::new(serving);
     let handle = NetServer::spawn(service, addr, config).map_err(|e| e.to_string())?;
     println!(
         "shard server listening on {} (protocol v{}; register views remotely; ctrl-c to stop)",
@@ -658,6 +705,12 @@ enum BenchProfile {
     /// chaos`): availability, failover latency, breaker cycling, and
     /// degraded-mode coverage, gated against in-process oracles.
     Chaos,
+    /// Kill-−9 crash/recovery harness (`--profile recovery`): a child
+    /// `cqe serve --data-dir` process is killed at scripted points —
+    /// including hard-killed mid-apply and with a torn WAL tail — and
+    /// every restart must rejoin at its exact pre-crash epoch with
+    /// byte-identical answer streams against an in-process oracle.
+    Recovery,
 }
 
 /// Options accepted by `bench` after the positional arguments.
@@ -672,6 +725,10 @@ struct BenchOpts {
     /// host, recorded into the build-profile JSON for the speedup-vs-
     /// baseline field (`--baseline-register-ns=<n>`).
     baseline_register_ns: Option<u64>,
+    /// The `gen` arguments the recovery profile's child process replays to
+    /// rebuild the parent's database on first boot
+    /// (`--gen="triangle 400 7"` — must match the parent's own `gen`).
+    gen: Option<String>,
 }
 
 fn parse_bench_opts(opts: &[String]) -> Result<BenchOpts, String> {
@@ -682,6 +739,7 @@ fn parse_bench_opts(opts: &[String]) -> Result<BenchOpts, String> {
         json_path: None,
         profile: BenchProfile::Serve,
         baseline_register_ns: None,
+        gen: None,
     };
     let mut positional = 0usize;
     let mut i = 0usize;
@@ -725,14 +783,21 @@ fn parse_bench_opts(opts: &[String]) -> Result<BenchOpts, String> {
                     Some("build") => parsed.profile = BenchProfile::Build,
                     Some("net") => parsed.profile = BenchProfile::Net,
                     Some("chaos") => parsed.profile = BenchProfile::Chaos,
+                    Some("recovery") => parsed.profile = BenchProfile::Recovery,
                     other => {
                         return Err(format!(
-                            "unknown bench profile `{}` (`enum`, `shard`, `build`, `net` and \
-                             `chaos` exist)",
+                            "unknown bench profile `{}` (`enum`, `shard`, `build`, `net`, \
+                             `chaos` and `recovery` exist)",
                             other.unwrap_or("")
                         ));
                     }
                 },
+                "gen" => {
+                    let Some(v) = val else {
+                        return Err("--gen needs a value (--gen=\"triangle 400 7\")".into());
+                    };
+                    parsed.gen = Some(v);
+                }
                 "baseline-register-ns" => {
                     let Some(v) = val else {
                         return Err("--baseline-register-ns needs a value".into());
@@ -761,6 +826,9 @@ fn parse_bench_opts(opts: &[String]) -> Result<BenchOpts, String> {
     }
     if parsed.profile != BenchProfile::Serve && parsed.updates.is_some() {
         return Err("--profile and --with-updates are mutually exclusive".into());
+    }
+    if parsed.gen.is_some() && parsed.profile != BenchProfile::Recovery {
+        return Err("--gen only applies to --profile recovery".into());
     }
     Ok(parsed)
 }
@@ -832,6 +900,16 @@ fn bench(engine: &mut Engine, rest: &[String]) -> Result<(), String> {
         BenchProfile::Chaos => {
             require_single_threaded("chaos", threads)?;
             return bench_chaos(&rv, engine, &bounds, opts.json_path.as_deref());
+        }
+        BenchProfile::Recovery => {
+            require_single_threaded("recovery", threads)?;
+            return bench_recovery(
+                &rv,
+                engine,
+                &bounds,
+                opts.gen.as_deref(),
+                opts.json_path.as_deref(),
+            );
         }
         BenchProfile::Serve => {}
     }
@@ -2133,6 +2211,396 @@ fn bench_chaos(
         return Err(format!(
             "chaos profile self-check failed: a request ran {} — past the deadline budget",
             fmt_ns(max_request_ns)
+        ));
+    }
+    Ok(())
+}
+
+/// Spawns a child `cqe` that regenerates the dataset and serves it on
+/// `addr` backed by `data_dir`; with `crash_after`, the durability layer
+/// aborts the process (simulated power cut) right after the n-th WAL
+/// append — durable on disk, never acknowledged to the client.
+fn spawn_serve_child(
+    addr: &str,
+    data_dir: &std::path::Path,
+    gen: &str,
+    crash_after: Option<u64>,
+) -> Result<std::process::Child, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("-e")
+        .arg(format!("gen {gen}"))
+        .arg("-e")
+        .arg(format!("serve {addr} --data-dir={}", data_dir.display()))
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null());
+    if let Some(n) = crash_after {
+        cmd.env(cqc_durable::CRASH_AFTER_APPENDS_ENV, n.to_string());
+    }
+    cmd.spawn().map_err(|e| format!("spawn child cqe: {e}"))
+}
+
+/// Hard-kills a child (SIGKILL — no destructors, no flush) and reaps it.
+fn kill_child(child: &mut Option<std::process::Child>) {
+    if let Some(mut c) = child.take() {
+        let _ = c.kill();
+        let _ = c.wait();
+    }
+}
+
+/// Connects a fresh client to `addr`, polling `health` until the server
+/// answers (a respawned child needs a moment to recover and bind);
+/// returns the client and the first healthy epoch vector.
+fn connect_healthy(addr: &str, budget: Duration) -> Result<(ShardClient, Vec<u64>), String> {
+    let config = ClientConfig {
+        connect_attempts: 1,
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(50),
+        io_timeout: Some(Duration::from_secs(2)),
+        refused_retries: 3,
+        jitter_seed: 9,
+    };
+    let start = Instant::now();
+    loop {
+        let mut client = ShardClient::new(addr, config);
+        match client.health() {
+            Ok(epochs) => return Ok((client, epochs)),
+            Err(e) if start.elapsed() > budget => {
+                return Err(format!("server on {addr} never became healthy: {e}"));
+            }
+            Err(_) => {}
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// One byte-for-byte stream comparison pass: `count` requests served both
+/// by the child (over the wire) and the in-process oracle; returns
+/// `(requests, exact, last miss)`.
+fn recovery_serve_check(
+    client: &mut ShardClient,
+    oracle: &Engine,
+    view: &str,
+    bounds: &[Vec<u64>],
+    cursor: &mut usize,
+    count: usize,
+) -> Result<(u64, u64, Option<String>), String> {
+    let oracle_service: &dyn BlockService = oracle;
+    let mut want = AnswerBlock::new();
+    let mut got = AnswerBlock::new();
+    let (mut attempted, mut exact) = (0u64, 0u64);
+    let mut last_miss = None;
+    for _ in 0..count.min(bounds.len().max(1)) {
+        let bound = &bounds[*cursor % bounds.len()];
+        *cursor += 1;
+        want.reset();
+        oracle_service
+            .serve_into(view, bound, &mut want)
+            .map_err(|e| format!("recovery oracle serve: {e}"))?;
+        got.reset();
+        attempted += 1;
+        match client.serve_block(view, bound, &mut got) {
+            Ok((_, epochs)) if epochs != vec![oracle.epoch()] => {
+                last_miss = Some(format!(
+                    "serve observed epoch vector {epochs:?}, oracle at {}",
+                    oracle.epoch()
+                ));
+            }
+            Ok(_) if got.values() == want.values() => exact += 1,
+            Ok((n, _)) => {
+                last_miss = Some(format!(
+                    "stream diverged from the oracle ({n} answers served, {} expected)",
+                    want.len()
+                ));
+            }
+            Err(e) => last_miss = Some(format!("serve failed: {e}")),
+        }
+    }
+    Ok((attempted, exact, last_miss))
+}
+
+/// The newest WAL file inside a data directory (the one appends go to).
+fn newest_wal(dir: &std::path::Path) -> Result<std::path::PathBuf, String> {
+    let mut wals: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("read {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".log"))
+        })
+        .collect();
+    wals.sort();
+    wals.pop()
+        .ok_or_else(|| format!("no wal-*.log in {}", dir.display()))
+}
+
+/// The recovery profile: a child `cqe serve --data-dir` process driven
+/// through scripted kill points, each restart gated on rejoining at the
+/// exact pre-crash epoch with answer streams byte-identical to an
+/// uninterrupted in-process oracle.
+///
+/// The schedule, in order:
+///
+/// 1. **first boot** — the child regenerates the dataset (`--gen`, same
+///    seed as the parent), attaches a fresh data dir, and must come up at
+///    the oracle's epoch; baseline serves must be exact.
+/// 2. **kill −9 between updates** — one mixed delta lands durably, then
+///    the process is hard-killed and respawned: it must rejoin at the
+///    post-delta epoch and serve exactly (views re-registered — they are
+///    not persisted, by design).
+/// 3. **kill −9 mid-apply** — the respawned child aborts *inside* the
+///    update, after the WAL fsync but before acknowledging (the
+///    worst-case power cut): the client sees an I/O error, yet the next
+///    restart must surface the delta — durable means durable, acked or
+///    not (the epoch probe is how a real client disambiguates, exactly as
+///    with preconditioned updates).
+/// 4. **torn tail** — garbage is appended to the WAL while the child is
+///    dead (a torn final write): recovery must truncate it cleanly —
+///    same epoch, same answers, WAL physically back to its valid length.
+/// 5. **idempotent restart** — one final kill/restart with nothing new:
+///    recovery of a recovered directory must be a fixed point.
+fn bench_recovery(
+    rv: &cqc_engine::RegisteredView,
+    engine: &Engine,
+    bounds: &[Vec<u64>],
+    gen: Option<&str>,
+    json_path: Option<&str>,
+) -> Result<(), String> {
+    let Some(gen) = gen else {
+        return Err(
+            "--profile recovery needs --gen=\"<gen args>\" matching the script's own `gen` \
+             (the child process replays it to rebuild the dataset on first boot)"
+                .into(),
+        );
+    };
+    let query_text = rv.view.query().to_string();
+    let pattern = rv.view.pattern();
+
+    // The uninterrupted oracle: same database, same view, updated in
+    // lockstep with what the child durably applied.
+    let oracle = Engine::new((*engine.db()).clone());
+    (&oracle as &dyn BlockService)
+        .register_view(&rv.name, &query_text, &pattern, "auto")
+        .map_err(|e| e.to_string())?;
+
+    let mut view_relations: Vec<&str> = rv
+        .view
+        .query()
+        .atoms
+        .iter()
+        .map(|a| a.relation.as_str())
+        .collect();
+    view_relations.sort_unstable();
+    view_relations.dedup();
+
+    // A free loopback port (bind, read, release) and a scratch data dir.
+    let port = std::net::TcpListener::bind("127.0.0.1:0")
+        .and_then(|l| l.local_addr())
+        .map_err(|e| format!("pick port: {e}"))?
+        .port();
+    let addr = format!("127.0.0.1:{port}");
+    let data_dir = std::env::temp_dir().join(format!("cqc-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    let mut child: Option<std::process::Child> = None;
+    let outcome = (|| -> Result<(Vec<String>, Vec<String>), String> {
+        let health_budget = Duration::from_secs(20);
+        let register = |client: &mut ShardClient| -> Result<(), String> {
+            client
+                .register(&cqc_net::protocol::RegisterReq {
+                    name: rv.name.clone(),
+                    query: query_text.clone(),
+                    pattern: pattern.clone(),
+                    strategy: "auto".into(),
+                })
+                .map(|_| ())
+                .map_err(|e| format!("remote register: {e}"))
+        };
+        let mut cursor = 0usize;
+        let mut gates: Vec<(&str, bool, String)> = Vec::new();
+        let mut gate = |name: &'static str, ok: bool, detail: String| {
+            println!("  [{}] {name}: {detail}", if ok { "ok" } else { "FAIL" });
+            gates.push((name, ok, detail));
+        };
+        let mut kills = 0u32;
+        let mut compared = 0u64;
+
+        // Phase 1: first boot — fresh data dir, oracle-equal epoch.
+        child = Some(spawn_serve_child(&addr, &data_dir, gen, None)?);
+        let (mut client, epochs) = connect_healthy(&addr, health_budget)?;
+        gate(
+            "first_boot_epoch",
+            epochs == vec![oracle.epoch()],
+            format!("child at {epochs:?}, oracle at {}", oracle.epoch()),
+        );
+        register(&mut client)?;
+        let (a, e, miss) =
+            recovery_serve_check(&mut client, &oracle, &rv.name, bounds, &mut cursor, 8)?;
+        compared += a;
+        gate(
+            "baseline_exact",
+            a > 0 && a == e,
+            miss.unwrap_or_else(|| format!("{e}/{a} exact")),
+        );
+
+        // Phase 2: a durable update, then kill −9 between updates.
+        let mut rng = cqc_workload::rng(31);
+        let delta = mixed_delta(&mut rng, &oracle.db(), &view_relations, 4, 2);
+        client
+            .update(&delta)
+            .map_err(|e| format!("update before kill: {e}"))?;
+        (&oracle as &dyn BlockService)
+            .apply_update(&delta)
+            .map_err(|e| e.to_string())?;
+        kill_child(&mut child);
+        kills += 1;
+        child = Some(spawn_serve_child(&addr, &data_dir, gen, None)?);
+        let (mut client, epochs) = connect_healthy(&addr, health_budget)?;
+        gate(
+            "kill9_rejoins_at_pre_crash_epoch",
+            epochs == vec![oracle.epoch()],
+            format!("child at {epochs:?}, oracle at {}", oracle.epoch()),
+        );
+        register(&mut client)?;
+        let (a, e, miss) =
+            recovery_serve_check(&mut client, &oracle, &rv.name, bounds, &mut cursor, 8)?;
+        compared += a;
+        gate(
+            "kill9_streams_exact",
+            a > 0 && a == e,
+            miss.unwrap_or_else(|| format!("{e}/{a} exact")),
+        );
+
+        // Phase 3: kill −9 *mid-apply* — the child aborts after the WAL
+        // fsync, before replying. The delta is durable but unacknowledged;
+        // the restart must surface it anyway.
+        kill_child(&mut child);
+        kills += 1;
+        child = Some(spawn_serve_child(&addr, &data_dir, gen, Some(1))?);
+        let (mut client, _) = connect_healthy(&addr, health_budget)?;
+        let delta = mixed_delta(&mut rng, &oracle.db(), &view_relations, 3, 1);
+        let update_errored = client.update(&delta).is_err();
+        gate(
+            "mid_apply_update_unacknowledged",
+            update_errored,
+            "the aborting child must never acknowledge".into(),
+        );
+        // The append preceded the abort, so the delta IS on disk: the
+        // oracle applies it too. (A real client would probe `health` — an
+        // epoch one past the precondition means the update landed.)
+        (&oracle as &dyn BlockService)
+            .apply_update(&delta)
+            .map_err(|e| e.to_string())?;
+        kill_child(&mut child); // reap the aborted process
+        kills += 1;
+        child = Some(spawn_serve_child(&addr, &data_dir, gen, None)?);
+        let (mut client, epochs) = connect_healthy(&addr, health_budget)?;
+        gate(
+            "mid_apply_delta_survives",
+            epochs == vec![oracle.epoch()],
+            format!("child at {epochs:?}, oracle at {}", oracle.epoch()),
+        );
+        register(&mut client)?;
+        let (a, e, miss) =
+            recovery_serve_check(&mut client, &oracle, &rv.name, bounds, &mut cursor, 8)?;
+        compared += a;
+        gate(
+            "mid_apply_streams_exact",
+            a > 0 && a == e,
+            miss.unwrap_or_else(|| format!("{e}/{a} exact")),
+        );
+
+        // Phase 4: torn tail — garbage lands after the last record while
+        // the process is dead; recovery truncates it, losing nothing.
+        kill_child(&mut child);
+        kills += 1;
+        let wal = newest_wal(&data_dir)?;
+        let valid_len = std::fs::metadata(&wal).map_err(|e| e.to_string())?.len();
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&wal)
+                .map_err(|e| e.to_string())?;
+            f.write_all(&[0xA5u8; 13]).map_err(|e| e.to_string())?;
+        }
+        child = Some(spawn_serve_child(&addr, &data_dir, gen, None)?);
+        let (mut client, epochs) = connect_healthy(&addr, health_budget)?;
+        let truncated_len = std::fs::metadata(&wal).map_err(|e| e.to_string())?.len();
+        gate(
+            "torn_tail_truncated",
+            truncated_len == valid_len,
+            format!("wal {truncated_len} bytes after recovery (valid prefix {valid_len})"),
+        );
+        gate(
+            "torn_tail_epoch_intact",
+            epochs == vec![oracle.epoch()],
+            format!("child at {epochs:?}, oracle at {}", oracle.epoch()),
+        );
+        register(&mut client)?;
+        let (a, e, miss) =
+            recovery_serve_check(&mut client, &oracle, &rv.name, bounds, &mut cursor, 8)?;
+        compared += a;
+        gate(
+            "torn_tail_streams_exact",
+            a > 0 && a == e,
+            miss.unwrap_or_else(|| format!("{e}/{a} exact")),
+        );
+
+        // Phase 5: recovery is a fixed point — one more restart with
+        // nothing new must change nothing.
+        kill_child(&mut child);
+        kills += 1;
+        child = Some(spawn_serve_child(&addr, &data_dir, gen, None)?);
+        let (mut client, epochs) = connect_healthy(&addr, health_budget)?;
+        register(&mut client)?;
+        let (a, e, miss) =
+            recovery_serve_check(&mut client, &oracle, &rv.name, bounds, &mut cursor, 8)?;
+        compared += a;
+        gate(
+            "restart_idempotent",
+            epochs == vec![oracle.epoch()] && a > 0 && a == e,
+            miss.unwrap_or_else(|| format!("epoch {epochs:?}, {e}/{a} exact")),
+        );
+
+        let failed: Vec<String> = gates
+            .iter()
+            .filter(|(_, ok, _)| !ok)
+            .map(|(name, _, _)| name.to_string())
+            .collect();
+        println!(
+            "bench `{}` [profile recovery]: {kills} kill(-9)s, {compared} answer streams \
+             compared, final epoch {}",
+            rv.name,
+            oracle.epoch()
+        );
+        let mut fields = vec![
+            format!("\"view\": {}", json_string(&rv.name)),
+            "\"profile\": \"recovery\"".to_string(),
+            format!("\"gen\": {}", json_string(gen)),
+            format!("\"kills\": {kills}"),
+            format!("\"streams_compared\": {compared}"),
+            format!("\"final_epoch\": {}", oracle.epoch()),
+        ];
+        for (name, ok, _) in &gates {
+            fields.push(format!("\"{name}\": {ok}"));
+        }
+        fields.push(format!("\"recovery_ok\": {}", failed.is_empty()));
+        Ok((fields, failed))
+    })();
+
+    kill_child(&mut child);
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let (fields, failed) = outcome?;
+    if let Some(path) = json_path {
+        write_json_summary(path, &fields)?;
+    }
+    if !failed.is_empty() {
+        return Err(format!(
+            "recovery profile self-check failed: {}",
+            failed.join(", ")
         ));
     }
     Ok(())

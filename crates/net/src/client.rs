@@ -28,6 +28,7 @@ use std::net::{Shutdown, TcpStream};
 use std::sync::Mutex;
 use std::time::Duration;
 
+use crate::backoff::Backoff;
 use crate::protocol::{self, RegisterReq};
 use cqc_storage::{Delta, Epoch};
 
@@ -46,10 +47,10 @@ pub struct ClientConfig {
     /// How many times a [`code::REFUSED`] backpressure reply is retried
     /// (with backoff) before surfacing to the caller.
     pub refused_retries: u32,
-    /// Seed for the deterministic backoff jitter. A fleet seeds this from
-    /// the shard (and replica) index so clients that fail together do not
-    /// retry in lockstep; equal seeds reproduce equal backoff sequences
-    /// (no `rand` anywhere in `cqc-net`).
+    /// Seed for the deterministic backoff jitter. A fleet derives this
+    /// per client via [`crate::backoff::lane_seed`] so clients that fail
+    /// together do not retry in lockstep; equal seeds reproduce equal
+    /// backoff sequences (no `rand` anywhere in `cqc-net`).
     pub jitter_seed: u64,
 }
 
@@ -68,28 +69,8 @@ impl Default for ClientConfig {
 
 impl ClientConfig {
     fn backoff(&self, attempt: u32) -> Duration {
-        jittered_backoff(
-            self.backoff_base,
-            self.backoff_cap,
-            self.jitter_seed,
-            attempt,
-        )
+        Backoff::new(self.backoff_base, self.backoff_cap, self.jitter_seed).delay(attempt)
     }
-}
-
-/// Capped exponential backoff with deterministic jitter: the classic
-/// `base * 2^attempt` capped at `cap`, then scaled into `[50%, 100%)` by
-/// a splitmix64-style mix of `(seed, attempt)`. Pure function of its
-/// inputs — reproducible in tests, de-synchronized across a fleet by
-/// distinct seeds.
-pub(crate) fn jittered_backoff(base: Duration, cap: Duration, seed: u64, attempt: u32) -> Duration {
-    let exp = base.saturating_mul(1u32 << attempt.min(16)).min(cap);
-    let mut z = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(attempt) + 1);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^= z >> 31;
-    let frac = 512 + (z % 512); // 1024ths: [0.5, 1.0)
-    Duration::from_nanos((exp.as_nanos() as u64).saturating_mul(frac) / 1024)
 }
 
 /// One blocking connection to a shard server (or a router — the wire is
@@ -452,37 +433,16 @@ mod tests {
     use super::*;
 
     #[test]
-    fn backoff_jitter_is_deterministic_and_bounded() {
-        let base = Duration::from_millis(10);
-        let cap = Duration::from_millis(200);
-        for seed in [0u64, 1, 7, 1 << 40] {
-            for attempt in 0..8u32 {
-                let a = jittered_backoff(base, cap, seed, attempt);
-                let b = jittered_backoff(base, cap, seed, attempt);
-                assert_eq!(a, b, "same (seed, attempt) must reproduce");
-                let exp = base.saturating_mul(1u32 << attempt.min(16)).min(cap);
-                assert!(
-                    a >= exp / 2 && a < exp,
-                    "jitter in [exp/2, exp): {a:?} vs {exp:?}"
-                );
-            }
-        }
-        // Distinct seeds de-lockstep: two "shards" retrying at the same
-        // attempt numbers do not share a backoff sequence.
-        let seq = |seed| -> Vec<Duration> {
-            (0..6)
-                .map(|a| jittered_backoff(base, cap, seed, a))
-                .collect()
+    fn client_backoff_delegates_to_the_shared_schedule() {
+        let config = ClientConfig {
+            jitter_seed: 17,
+            ..ClientConfig::default()
         };
-        assert_ne!(seq(0), seq(1));
-    }
-
-    #[test]
-    fn backoff_cap_holds_under_jitter() {
-        let base = Duration::from_millis(50);
-        let cap = Duration::from_millis(80);
-        for attempt in 0..32u32 {
-            assert!(jittered_backoff(base, cap, 9, attempt) < cap);
+        for attempt in 0..6u32 {
+            assert_eq!(
+                config.backoff(attempt),
+                Backoff::new(config.backoff_base, config.backoff_cap, 17).delay(attempt)
+            );
         }
     }
 }

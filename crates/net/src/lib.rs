@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod breaker;
 pub mod chaos;
 pub mod client;
@@ -38,6 +39,7 @@ pub mod replica;
 pub mod router;
 pub mod server;
 
+pub use backoff::{jittered_backoff, lane_seed, Backoff, FAILOVER_LANE};
 pub use breaker::{BreakerConfig, BreakerState, BreakerTransitions, CircuitBreaker};
 pub use chaos::{ChaosService, Fault};
 pub use client::{ClientConfig, RemoteShard, ShardClient};

@@ -89,18 +89,6 @@ pub fn parse_serve(payload: &[u8]) -> Result<ServeReq> {
     Ok(ServeReq { view, bound })
 }
 
-fn put_delta_section(w: &mut PayloadWriter, groups: &[(&str, &[Vec<Value>])]) {
-    w.put_u32(groups.len() as u32);
-    for (rel, tuples) in groups {
-        w.put_str(rel)
-            .put_u16(tuples[0].len() as u16)
-            .put_u32(tuples.len() as u32);
-        for t in *tuples {
-            w.put_values(t);
-        }
-    }
-}
-
 /// Encodes a [`Delta`] into `w` (cleared first): the insert section, then —
 /// only when the delta carries removals — an identically shaped removes
 /// section. Insert-only deltas therefore encode byte-identically to the
@@ -108,6 +96,10 @@ fn put_delta_section(w: &mut PayloadWriter, groups: &[(&str, &[Vec<Value>])]) {
 /// compatible ([`parse_update`] reads removes iff bytes remain). Empty
 /// groups are dropped (they carry no information and a zero arity would be
 /// ambiguous).
+///
+/// The byte layout itself lives in [`cqc_storage::wire`] — one codec
+/// shared with the durable write-ahead log — so a logged delta and a wire
+/// delta replay through the same parser.
 pub fn encode_update(w: &mut PayloadWriter, delta: &Delta) {
     encode_update_preconditioned(w, delta, None);
 }
@@ -123,17 +115,8 @@ pub fn encode_update_preconditioned(
     delta: &Delta,
     precondition: Option<&[Epoch]>,
 ) {
-    let inserts: Vec<(&str, &[Vec<Value>])> =
-        delta.groups().filter(|(_, ts)| !ts.is_empty()).collect();
-    let removes: Vec<(&str, &[Vec<Value>])> = delta
-        .remove_groups()
-        .filter(|(_, ts)| !ts.is_empty())
-        .collect();
     w.start();
-    put_delta_section(w, &inserts);
-    if !removes.is_empty() || precondition.is_some() {
-        put_delta_section(w, &removes);
-    }
+    cqc_storage::wire::put_delta(w, delta, precondition.is_some());
     if let Some(epochs) = precondition {
         encode_epochs(w, epochs);
     }
@@ -164,27 +147,7 @@ pub fn parse_update(payload: &[u8]) -> Result<Delta> {
 /// precondition.
 pub fn parse_update_preconditioned(payload: &[u8]) -> Result<(Delta, Option<Vec<Epoch>>)> {
     let mut r = PayloadReader::new(payload);
-    let mut delta = Delta::new();
-    for removes in [false, true] {
-        if removes && r.remaining() == 0 {
-            break;
-        }
-        let ngroups = r.get_u32()? as usize;
-        for _ in 0..ngroups {
-            let rel = r.get_str()?.to_string();
-            let arity = r.get_u16()? as usize;
-            let rows = r.get_u32()? as usize;
-            for _ in 0..rows {
-                let mut t = Vec::with_capacity(arity);
-                r.get_values(arity, &mut t)?;
-                if removes {
-                    delta.remove(&rel, t);
-                } else {
-                    delta.insert(&rel, t);
-                }
-            }
-        }
-    }
+    let delta = cqc_storage::wire::read_delta(&mut r)?;
     let precondition = if r.remaining() > 0 {
         Some(cqc_common::frame::decode_epochs(&mut r)?)
     } else {

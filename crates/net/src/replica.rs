@@ -6,7 +6,8 @@
 //! module is that story, made precise:
 //!
 //! * **[`RetryPolicy`]** — a budgeted failover loop: capped exponential
-//!   backoff with deterministic jitter (seeded from the shard index; no
+//!   backoff with deterministic jitter (the crate-wide schedule in
+//!   [`crate::backoff`], on the group's reserved failover lane; no
 //!   `rand` in `cqc-net`), every wait capped by the *remaining* request
 //!   deadline so retries can never overrun what the caller budgeted, and
 //!   an optional hedge: if the primary replica has not answered within
@@ -38,8 +39,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::backoff::{lane_seed, Backoff, FAILOVER_LANE};
 use crate::breaker::{BreakerConfig, BreakerState, BreakerTransitions, CircuitBreaker};
-use crate::client::{jittered_backoff, ClientConfig, ShardClient};
+use crate::client::{ClientConfig, ShardClient};
 use crate::protocol::RegisterReq;
 
 /// The failover budget for one shard's serve attempt.
@@ -209,16 +211,18 @@ pub struct ReplicaGroup {
     replicas: Vec<Replica>,
     policy: RetryPolicy,
     base_io: Option<Duration>,
-    jitter_seed: u64,
+    failover_backoff: Backoff,
     stats: StatsInner,
 }
 
 impl ReplicaGroup {
     /// A group for shard `shard` over `addrs` (replica 0 is the
-    /// primary). Each replica's client gets a jitter seed derived from
-    /// `(shard, replica)` so a fleet-wide outage does not retry in
-    /// lockstep. Connections are lazy; see `Router::connect_replicated`
-    /// for the eager health probe.
+    /// primary). Each replica's client gets its own backoff lane
+    /// ([`crate::backoff::lane_seed`] over `(shard, replica)`) and the
+    /// group's failover loop takes the reserved
+    /// [`crate::backoff::FAILOVER_LANE`], so a fleet-wide outage does
+    /// not retry in lockstep. Connections are lazy; see
+    /// `Router::connect_replicated` for the eager health probe.
     pub fn new(
         shard: usize,
         addrs: &[String],
@@ -231,7 +235,7 @@ impl ReplicaGroup {
             .enumerate()
             .map(|(r, addr)| {
                 let seeded = ClientConfig {
-                    jitter_seed: config.jitter_seed ^ (((shard as u64) << 32) | r as u64),
+                    jitter_seed: lane_seed(config.jitter_seed, shard, r as u64),
                     ..config
                 };
                 Replica {
@@ -246,7 +250,11 @@ impl ReplicaGroup {
             replicas,
             policy,
             base_io: config.io_timeout,
-            jitter_seed: shard as u64,
+            failover_backoff: Backoff::new(
+                policy.backoff_base,
+                policy.backoff_cap,
+                lane_seed(config.jitter_seed, shard, FAILOVER_LANE),
+            ),
             stats: StatsInner::default(),
         }
     }
@@ -456,12 +464,7 @@ impl ReplicaGroup {
             deadline.check("before a serve attempt")?;
             if attempt > 0 {
                 self.stats.failovers.fetch_add(1, Ordering::Relaxed);
-                let nap = deadline.cap(jittered_backoff(
-                    self.policy.backoff_base,
-                    self.policy.backoff_cap,
-                    self.jitter_seed,
-                    attempt - 1,
-                ));
+                let nap = deadline.cap(self.failover_backoff.delay(attempt - 1));
                 if !nap.is_zero() {
                     std::thread::sleep(nap);
                 }

@@ -147,6 +147,19 @@ impl Database {
         Ok(self.epoch)
     }
 
+    /// Forces the epoch counter to `epoch` — the durability recovery
+    /// hook, and deliberately the *only* non-monotone epoch operation.
+    /// Replaying a write-ahead log rebuilds relations through the normal
+    /// [`Database::add`]/[`Database::apply`] paths, whose bump-by-one
+    /// counting cannot in general land on the persisted epoch (a snapshot
+    /// reloads `n` relations in `n` bumps regardless of how many deltas
+    /// produced them). Recovery therefore pins the counter to the value
+    /// each persisted record carries, so a restarted engine reports
+    /// *exactly* its pre-crash version vector.
+    pub fn restore_epoch(&mut self, epoch: Epoch) {
+        self.epoch = epoch;
+    }
+
     /// Looks a relation up by name.
     pub fn get(&self, name: &str) -> Option<&Relation> {
         self.by_name

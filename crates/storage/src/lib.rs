@@ -23,7 +23,9 @@
 //!   rank/value conversions; `cqc-core` works in rank space so that the
 //!   open/closed interval algebra of §4.1 reduces to integer arithmetic;
 //! * [`interner::Interner`] — string interning so that real datasets (e.g.
-//!   the DBLP-style examples) can be loaded into the `u64` value domain.
+//!   the DBLP-style examples) can be loaded into the `u64` value domain;
+//! * [`wire`] — the canonical [`delta::Delta`] byte layout, shared by the
+//!   network update message and the durable write-ahead log.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +40,7 @@ pub mod partition;
 mod radix;
 pub mod relation;
 pub mod sorted_index;
+pub mod wire;
 
 pub use csv::{relation_from_csv, CsvOptions};
 pub use database::{Database, Epoch, RelationId};
