@@ -496,6 +496,99 @@ pub fn decode_epochs(r: &mut PayloadReader<'_>) -> Result<Vec<u64>> {
     Ok(out)
 }
 
+/// The priority class a serve request declares in its optional tail.
+///
+/// Classes order admission under overload: when the server's wait queue
+/// is full or a sustained brownout is in effect, lower classes are shed
+/// first. The wire bytes are stable — additions only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum ServePriority {
+    /// Latency-sensitive foreground traffic. Shed last. The default:
+    /// a tail-less v1 serve means `{Interactive, unbounded}`.
+    #[default]
+    Interactive = 0,
+    /// Throughput-oriented background traffic. Shed first under
+    /// sustained overload (brownout).
+    Batch = 1,
+    /// Fleet-internal traffic (probes, resyncs). Between the two: it
+    /// yields to Interactive but outranks Batch.
+    Internal = 2,
+}
+
+impl ServePriority {
+    /// Decodes a wire byte, or a [`code::BAD_FRAME`] protocol error —
+    /// an unknown class from a newer peer must surface as a typed
+    /// reject, never a silent default.
+    pub fn from_u8(b: u8) -> Result<ServePriority> {
+        Ok(match b {
+            0 => ServePriority::Interactive,
+            1 => ServePriority::Batch,
+            2 => ServePriority::Internal,
+            _ => {
+                return Err(CqcError::Protocol {
+                    code: code::BAD_FRAME,
+                    detail: format!("unknown serve priority byte 0x{b:02x}"),
+                })
+            }
+        })
+    }
+
+    /// How strongly this class resists shedding (higher sheds later).
+    /// Interactive outranks Internal outranks Batch.
+    pub fn shed_rank(self) -> u8 {
+        match self {
+            ServePriority::Interactive => 2,
+            ServePriority::Internal => 1,
+            ServePriority::Batch => 0,
+        }
+    }
+}
+
+/// On-the-wire sentinel for "no deadline" in a serve tail's budget
+/// field; any other value is the remaining budget in nanoseconds.
+pub const BUDGET_UNBOUNDED: u64 = u64::MAX;
+
+/// The optional serve tail: a priority class plus the caller's
+/// *remaining* deadline budget at send time, in nanoseconds.
+///
+/// Wire layout (9 bytes, appended after the bound values):
+/// `u8 priority | u64 budget_ns` — with [`BUDGET_UNBOUNDED`] standing
+/// for "priority declared, no deadline". A tail-less serve payload is
+/// byte-identical to protocol v1 and means
+/// `{ Interactive, unbounded }`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeTail {
+    /// The declared priority class.
+    pub priority: ServePriority,
+    /// Remaining deadline budget in nanoseconds, if any.
+    pub budget_ns: Option<u64>,
+}
+
+/// Encodes a serve tail (the inverse of [`decode_serve_tail`]).
+pub fn encode_serve_tail(w: &mut PayloadWriter, tail: &ServeTail) {
+    w.put_u8(tail.priority as u8);
+    // A real budget of u64::MAX ns (585 years) is indistinguishable
+    // from the sentinel; clamp it down one so the sentinel stays
+    // unambiguous on the wire.
+    w.put_u64(match tail.budget_ns {
+        Some(ns) => ns.min(BUDGET_UNBOUNDED - 1),
+        None => BUDGET_UNBOUNDED,
+    });
+}
+
+/// Decodes a serve tail written by [`encode_serve_tail`]. Truncated
+/// bytes and unknown priority classes are typed [`code::BAD_FRAME`]
+/// errors, not panics or silent defaults.
+pub fn decode_serve_tail(r: &mut PayloadReader<'_>) -> Result<ServeTail> {
+    let priority = ServePriority::from_u8(r.get_u8()?)?;
+    let budget = r.get_u64()?;
+    Ok(ServeTail {
+        priority,
+        budget_ns: (budget != BUDGET_UNBOUNDED).then_some(budget),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -797,6 +890,103 @@ mod tests {
             detail: "too slow".into(),
         };
         assert_eq!(decode_error(error_code(&p), "too slow"), p);
+    }
+
+    #[test]
+    fn serve_tails_round_trip() {
+        let cases = [
+            ServeTail {
+                priority: ServePriority::Interactive,
+                budget_ns: Some(1_500_000),
+            },
+            ServeTail {
+                priority: ServePriority::Batch,
+                budget_ns: None,
+            },
+            ServeTail {
+                priority: ServePriority::Internal,
+                budget_ns: Some(0),
+            },
+        ];
+        let mut w = PayloadWriter::new();
+        for tail in cases {
+            encode_serve_tail(w.start(), &tail);
+            assert_eq!(w.bytes().len(), 9, "tail is fixed-width");
+            let mut r = PayloadReader::new(w.bytes());
+            assert_eq!(decode_serve_tail(&mut r).unwrap(), tail);
+            assert_eq!(r.remaining(), 0);
+        }
+        // A budget colliding with the sentinel is clamped, not
+        // reinterpreted as "unbounded".
+        encode_serve_tail(
+            w.start(),
+            &ServeTail {
+                priority: ServePriority::Interactive,
+                budget_ns: Some(BUDGET_UNBOUNDED),
+            },
+        );
+        let mut r = PayloadReader::new(w.bytes());
+        assert_eq!(
+            decode_serve_tail(&mut r).unwrap().budget_ns,
+            Some(BUDGET_UNBOUNDED - 1)
+        );
+    }
+
+    #[test]
+    fn truncated_serve_tail_is_a_typed_bad_frame() {
+        let mut w = PayloadWriter::new();
+        encode_serve_tail(
+            w.start(),
+            &ServeTail {
+                priority: ServePriority::Batch,
+                budget_ns: Some(77),
+            },
+        );
+        // Every proper prefix of the 9-byte tail must be refused — a
+        // peer that dies mid-write cannot leave the parser hanging or
+        // defaulting.
+        for cut in 0..w.bytes().len() {
+            let mut r = PayloadReader::new(&w.bytes()[..cut]);
+            let err = decode_serve_tail(&mut r).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CqcError::Protocol {
+                        code: code::BAD_FRAME,
+                        ..
+                    }
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_priority_byte_is_a_typed_bad_frame() {
+        for bad in [3u8, 0x7F, 0xFF] {
+            let mut w = PayloadWriter::new();
+            w.start().put_u8(bad).put_u64(1_000);
+            let mut r = PayloadReader::new(w.bytes());
+            let err = decode_serve_tail(&mut r).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CqcError::Protocol {
+                        code: code::BAD_FRAME,
+                        ..
+                    }
+                ),
+                "priority byte 0x{bad:02x}: {err}"
+            );
+        }
+        assert!(ServePriority::from_u8(3).is_err());
+        for p in [
+            ServePriority::Interactive,
+            ServePriority::Batch,
+            ServePriority::Internal,
+        ] {
+            assert_eq!(ServePriority::from_u8(p as u8).unwrap(), p);
+        }
     }
 
     #[test]

@@ -258,6 +258,11 @@ pub struct Engine {
     upd_maintained: AtomicU64,
     upd_rebuilt: AtomicU64,
     upd_restamped: AtomicU64,
+    /// Per-view EWMA of measured serve wall time in nanoseconds — the
+    /// cost estimate an admission controller consults to shed requests
+    /// whose deadline budget cannot cover the serve anyway (see
+    /// [`Engine::serve_cost_ns`]).
+    serve_costs: Mutex<FastMap<String, u64>>,
 }
 
 impl Engine {
@@ -287,6 +292,7 @@ impl Engine {
             upd_maintained: AtomicU64::new(0),
             upd_rebuilt: AtomicU64::new(0),
             upd_restamped: AtomicU64::new(0),
+            serve_costs: Mutex::new(FastMap::default()),
         }
     }
 
@@ -879,10 +885,40 @@ impl Engine {
             probe: DelayProbe::start(),
         };
         cv.answer_into(&request.bound, &mut sink)?;
+        let delay = sink.probe.finish();
+        self.record_serve_cost(&request.view, delay.total_ns);
         Ok(Served {
             block: sink.block,
-            delay: sink.probe.finish(),
+            delay,
         })
+    }
+
+    /// Folds one measured serve wall time into the view's cost estimate:
+    /// an EWMA with α = 1/4, seeded by the first sample. A quarter-weight
+    /// EWMA tracks catalog churn (a rebuild after a delta shifts the cost)
+    /// within a handful of serves without letting one descheduled outlier
+    /// rewrite the estimate.
+    pub fn record_serve_cost(&self, view: &str, ns: u64) {
+        let mut costs = self.serve_costs.lock().expect("serve cost lock");
+        match costs.get_mut(view) {
+            Some(ewma) => *ewma = *ewma - *ewma / 4 + ns / 4,
+            None => {
+                costs.insert(view.to_string(), ns);
+            }
+        }
+    }
+
+    /// The EWMA of measured serve wall times for `view` in nanoseconds,
+    /// if any serve has been measured — the estimate behind the
+    /// admission-control rule "shed a request whose remaining deadline
+    /// budget cannot cover the serve it is asking for". `None` until the
+    /// first measured serve (an unknown cost never sheds).
+    pub fn serve_cost_ns(&self, view: &str) -> Option<u64> {
+        self.serve_costs
+            .lock()
+            .expect("serve cost lock")
+            .get(view)
+            .copied()
     }
 
     /// Measures one request's enumeration delays without retaining the

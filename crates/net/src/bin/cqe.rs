@@ -84,6 +84,19 @@
 //! latency percentiles, circuit-breaker cycle counts, and the
 //! degraded-mode coverage verdict.
 //!
+//! `bench --profile mix` is the overload gate: one admission-controlled
+//! shard server (its service time padded to a fixed 10 ms so capacity is
+//! host-independent) is driven by an open-loop, Zipf-skewed mix of
+//! Interactive/Batch/Internal serves at 0.5×/1×/2× its measured
+//! capacity, with deadline budgets and priorities on the wire, a shared
+//! client-side retry budget, and concurrent Update/Health traffic. It
+//! reports per-class accepted-latency percentiles, goodput, shed counts
+//! (client- and server-side, by class and by reason), and retry
+//! amplification, and gates: nothing hangs, accepted Interactive p99
+//! meets its SLO at 2×, goodput holds a floor under overload, Batch
+//! sheds no less than Interactive, amplification stays under 2×, and
+//! Update/Health never fail behind queued serves.
+//!
 //! `bench --profile recovery` is the durability gate: a child
 //! `cqe serve --data-dir` process is hard-killed (SIGKILL) at scripted
 //! points — between durable updates, *mid-apply* right after the WAL
@@ -96,18 +109,23 @@
 
 use cqc_bench::{fmt_bytes, fmt_ns, BatchStats};
 use cqc_common::alloc as cqalloc;
+use cqc_common::frame::{code, ServePriority};
 use cqc_common::AnswerBlock;
 use cqc_engine::{BlockService, Engine, Policy, Request, UpdateReport};
 use cqc_join::naive::evaluate_view;
 use cqc_net::{
-    BreakerConfig, ChaosService, ClientConfig, Fault, NetServer, NetServerConfig, RetryPolicy,
-    Router, ServeMode, ServerHandle, ShardClient,
+    AdmissionStats, BreakerConfig, ChaosService, ClientConfig, Deadline, Fault, NetServer,
+    NetServerConfig, RetryBudget, RetryBudgetConfig, RetryPolicy, Router, ServeMode, ServerHandle,
+    ShardClient,
 };
 use cqc_query::parser::parse_adorned;
 use cqc_storage::csv::CsvOptions;
 use cqc_storage::{Delta, Partitioning};
-use cqc_workload::{graphs, mixed_delta, random_requests, uniform_relation, witness_requests};
+use cqc_workload::{
+    graphs, mixed_delta, random_requests, uniform_relation, witness_requests, Zipf,
+};
 use std::io::BufRead;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -197,17 +215,19 @@ fn print_help() {
     println!("  ask <name> <values...>   exists <name> <values...>   explain <name>");
     println!("  update [--rm] <rel> <values...>");
     println!("  serve <addr> [--shard=<i>/<n> <pattern> \"<query>\"]");
-    println!("        [--data-dir=<dir>] [--max-inflight=<n>] [--deadline-ms=<n>]");
+    println!("        [--data-dir=<dir>] [--max-inflight=<n>] [--queue-depth=<n>]");
+    println!("        [--deadline-ms=<n>] [--brownout-ms=<n>]");
     println!("        shard server over the current database (blocks until killed);");
     println!("        --shard keeps slice i of an n-way hash split for the query;");
     println!("        --data-dir makes updates durable (WAL + snapshots) — a dir");
     println!("        that already holds state is recovered and wins over the script");
     println!("  route <addr> <pattern> \"<query>\" --shards=<a,b,c>");
-    println!("        [--max-inflight=<n>] [--deadline-ms=<n>]");
+    println!("        [--max-inflight=<n>] [--queue-depth=<n>] [--deadline-ms=<n>]");
+    println!("        [--brownout-ms=<n>]");
     println!("        front-door router: health-checks the fleet, fans out, merges");
     println!("  bench <name> <requests> <threads> [seed] [witness|random]");
     println!(
-        "        [--with-updates[=<rounds>]] [--profile enum|shard|build|net|chaos|recovery] \
+        "        [--with-updates[=<rounds>]] [--profile enum|shard|build|net|chaos|mix|recovery] \
 [--json=<path>]"
     );
     println!("        --profile enum:  flat-block vs legacy pipeline (answers/s,");
@@ -221,6 +241,9 @@ fn print_help() {
     println!("        --profile chaos: replicated fleet under scripted faults (kills,");
     println!("        stalls, refusals, epoch lies, mid-stream deaths; availability,");
     println!("        failover latency, breaker cycle, degraded coverage)");
+    println!("        --profile mix:   open-loop Zipf mixed workload against one");
+    println!("        admission-controlled server at 0.5x/1x/2x measured capacity");
+    println!("        (per-class latency/goodput/sheds, retry amplification, SLOs)");
     println!("        --profile recovery: kill -9 a child `serve --data-dir` process");
     println!("        at scripted points (between updates, mid-apply, torn WAL tail);");
     println!("        every restart must rejoin at the exact pre-crash epoch with");
@@ -505,8 +528,8 @@ fn gen(engine: &mut Engine, rest: &[String]) -> Result<(), String> {
 }
 
 /// Server tuning flags shared by `serve` and `route`
-/// (`--max-inflight=<n>`, `--deadline-ms=<n>`); unknown flags are the
-/// caller's to reject.
+/// (`--max-inflight=<n>`, `--queue-depth=<n>`, `--deadline-ms=<n>`,
+/// `--brownout-ms=<n>`); unknown flags are the caller's to reject.
 fn net_server_config(opts: &[String]) -> Result<NetServerConfig, String> {
     let mut config = NetServerConfig::default();
     for opt in opts {
@@ -519,11 +542,22 @@ fn net_server_config(opts: &[String]) -> Result<NetServerConfig, String> {
                     .parse()
                     .map_err(|_| format!("bad --max-inflight value `{v}`"))?;
             }
+            Some(("queue-depth", v)) => {
+                config.queue_depth = v
+                    .parse()
+                    .map_err(|_| format!("bad --queue-depth value `{v}`"))?;
+            }
             Some(("deadline-ms", v)) => {
                 let ms: u64 = v
                     .parse()
                     .map_err(|_| format!("bad --deadline-ms value `{v}`"))?;
                 config.request_deadline = Some(Duration::from_millis(ms));
+            }
+            Some(("brownout-ms", v)) => {
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --brownout-ms value `{v}`"))?;
+                config.brownout_after = Duration::from_millis(ms);
             }
             _ => {}
         }
@@ -557,11 +591,22 @@ fn reject_unknown_flags(opts: &[String], known: &[&str]) -> Result<(), String> {
 /// process is killed.
 fn serve_cmd(engine: &mut Engine, rest: &[String]) -> Result<(), String> {
     let usage = "usage: serve <addr> [--shard=<i>/<n> <pattern> \"<query>\"] \
-                 [--data-dir=<dir>] [--max-inflight=<n>] [--deadline-ms=<n>]";
+                 [--data-dir=<dir>] [--max-inflight=<n>] [--queue-depth=<n>] \
+                 [--deadline-ms=<n>] [--brownout-ms=<n>]";
     let [addr, opts @ ..] = rest else {
         return Err(usage.into());
     };
-    reject_unknown_flags(opts, &["shard", "data-dir", "max-inflight", "deadline-ms"])?;
+    reject_unknown_flags(
+        opts,
+        &[
+            "shard",
+            "data-dir",
+            "max-inflight",
+            "queue-depth",
+            "deadline-ms",
+            "brownout-ms",
+        ],
+    )?;
     let data_dir = opts
         .iter()
         .find_map(|o| o.strip_prefix("--data-dir="))
@@ -646,7 +691,8 @@ fn serve_cmd(engine: &mut Engine, rest: &[String]) -> Result<(), String> {
 }
 
 /// `route <addr> <pattern> "<query>" --shards=<a,b,c> [--max-inflight=<n>]
-/// [--deadline-ms=<n>]` — run the front-door router over a shard fleet.
+/// [--queue-depth=<n>] [--deadline-ms=<n>] [--brownout-ms=<n>]` — run the
+/// front-door router over a shard fleet.
 ///
 /// The partition spec is derived from the *local* database and the given
 /// adorned query — load or `gen` the same data (same seeds) the fleet was
@@ -654,11 +700,21 @@ fn serve_cmd(engine: &mut Engine, rest: &[String]) -> Result<(), String> {
 /// process is killed.
 fn route_cmd(engine: &mut Engine, rest: &[String]) -> Result<(), String> {
     let usage = "usage: route <addr> <pattern> \"<query>\" --shards=<a,b,c> \
-                 [--max-inflight=<n>] [--deadline-ms=<n>]";
+                 [--max-inflight=<n>] [--queue-depth=<n>] [--deadline-ms=<n>] \
+                 [--brownout-ms=<n>]";
     let [addr, pattern, query, opts @ ..] = rest else {
         return Err(usage.into());
     };
-    reject_unknown_flags(opts, &["shards", "max-inflight", "deadline-ms"])?;
+    reject_unknown_flags(
+        opts,
+        &[
+            "shards",
+            "max-inflight",
+            "queue-depth",
+            "deadline-ms",
+            "brownout-ms",
+        ],
+    )?;
     let config = net_server_config(opts)?;
     let shards: Vec<String> = opts
         .iter()
@@ -705,6 +761,12 @@ enum BenchProfile {
     /// chaos`): availability, failover latency, breaker cycling, and
     /// degraded-mode coverage, gated against in-process oracles.
     Chaos,
+    /// Open-loop Zipf-skewed mixed workload against one admission-
+    /// controlled server at 0.5×/1×/2× measured capacity (`--profile
+    /// mix`): per-class accepted latency percentiles, goodput, shed
+    /// counts, retry amplification, and Health/Update liveness under
+    /// overload.
+    Mix,
     /// Kill-−9 crash/recovery harness (`--profile recovery`): a child
     /// `cqe serve --data-dir` process is killed at scripted points —
     /// including hard-killed mid-apply and with a torn WAL tail — and
@@ -783,11 +845,12 @@ fn parse_bench_opts(opts: &[String]) -> Result<BenchOpts, String> {
                     Some("build") => parsed.profile = BenchProfile::Build,
                     Some("net") => parsed.profile = BenchProfile::Net,
                     Some("chaos") => parsed.profile = BenchProfile::Chaos,
+                    Some("mix") => parsed.profile = BenchProfile::Mix,
                     Some("recovery") => parsed.profile = BenchProfile::Recovery,
                     other => {
                         return Err(format!(
                             "unknown bench profile `{}` (`enum`, `shard`, `build`, `net`, \
-                             `chaos` and `recovery` exist)",
+                             `chaos`, `mix` and `recovery` exist)",
                             other.unwrap_or("")
                         ));
                     }
@@ -900,6 +963,10 @@ fn bench(engine: &mut Engine, rest: &[String]) -> Result<(), String> {
         BenchProfile::Chaos => {
             require_single_threaded("chaos", threads)?;
             return bench_chaos(&rv, engine, &bounds, opts.json_path.as_deref());
+        }
+        BenchProfile::Mix => {
+            require_single_threaded("mix", threads)?;
+            return bench_mix(&rv, engine, &bounds, opts.seed, opts.json_path.as_deref());
         }
         BenchProfile::Recovery => {
             require_single_threaded("recovery", threads)?;
@@ -1943,6 +2010,10 @@ fn bench_chaos(
         backoff_cap: Duration::from_millis(20),
         request_deadline: Some(Duration::from_secs(2)),
         hedge_after: Some(Duration::from_millis(150)),
+        retry_budget: RetryBudgetConfig {
+            earn_pct: 20,
+            burst: 32,
+        },
     };
     let router =
         Router::connect_replicated(&group_addrs, spec, client_config, breaker_config, policy)
@@ -1983,6 +2054,34 @@ fn bench_chaos(
         }
         std::thread::sleep(breaker_config.cooldown + Duration::from_millis(50));
     }
+
+    // Phase 2b: a slow-but-alive replica. Replica 0 of every shard
+    // serves correctly but 250 ms late — past hedge_after (150 ms) yet
+    // inside the 300 ms socket timeout, so nothing errors and breakers
+    // never open. Only budget-funded hedges keep the fleet's tail under
+    // the slow replica's latency.
+    let before_slow = router.fleet_stats();
+    for row in &services {
+        row[0].set_fault(Fault::Slowdown(25));
+    }
+    let slow = chaos_exact_phase(&router, &oracle, &rv.name, bounds, &mut cursor, 8)?;
+    for row in &services {
+        row[0].set_fault(Fault::None);
+    }
+    let after_slow = router.fleet_stats();
+    let mut slow_lat = slow.lat_ns.clone();
+    all_lat.extend(&slow.lat_ns);
+    exact_total.absorb(slow);
+    let slow_p99_ns = percentile_ns(&mut slow_lat, 99);
+    let slow_hedges = after_slow.groups.hedges - before_slow.groups.hedges;
+    let slow_budget_spent = after_slow.groups.budget_spent - before_slow.groups.budget_spent;
+    // Bounded tail: hedges fire at 150 ms and the healthy sibling
+    // answers in microseconds, so p99 must land well under the 250 ms
+    // the slow replica would have cost — and every hedge was a budget
+    // token, so spends must cover the hedge count.
+    let slow_replica_ok =
+        slow_p99_ns < 200_000_000 && slow_hedges > 0 && slow_budget_spent >= slow_hedges;
+    std::thread::sleep(breaker_config.cooldown + Duration::from_millis(50));
 
     // Phase 3: really kill replica 0 of every shard.
     for row in &mut servers {
@@ -2131,13 +2230,20 @@ fn bench_chaos(
     );
     println!(
         "  fleet: {} failovers, {} stale skips, {} prefix resumes, {} hedges ({} won), \
-         {} update failures",
+         {} update failures, retry budget {} spent / {} denied",
         fleet.groups.failovers,
         fleet.groups.stale_skips,
         fleet.groups.prefix_resumes,
         fleet.groups.hedges,
         fleet.groups.hedge_wins,
-        fleet.groups.update_failures
+        fleet.groups.update_failures,
+        fleet.groups.budget_spent,
+        fleet.groups.budget_denied
+    );
+    println!(
+        "  slow replica: p99 {} with {slow_hedges} hedges ({slow_budget_spent} budget-funded) \
+         against a 250 ms slowdown (ok: {slow_replica_ok})",
+        fmt_ns(slow_p99_ns)
     );
     println!(
         "  breakers: {} opened, {} half-opened, {} closed (cycled: {breaker_cycled})",
@@ -2172,6 +2278,11 @@ fn bench_chaos(
             format!("\"hedges\": {}", fleet.groups.hedges),
             format!("\"hedge_wins\": {}", fleet.groups.hedge_wins),
             format!("\"update_failures\": {}", fleet.groups.update_failures),
+            format!("\"budget_spent\": {}", fleet.groups.budget_spent),
+            format!("\"budget_denied\": {}", fleet.groups.budget_denied),
+            format!("\"slow_p99_ns\": {slow_p99_ns}"),
+            format!("\"slow_hedges\": {slow_hedges}"),
+            format!("\"slow_replica_ok\": {slow_replica_ok}"),
             format!("\"breaker_opened\": {}", fleet.breakers.opened),
             format!("\"breaker_half_opened\": {}", fleet.breakers.half_opened),
             format!("\"breaker_closed\": {}", fleet.breakers.closed),
@@ -2211,6 +2322,582 @@ fn bench_chaos(
         return Err(format!(
             "chaos profile self-check failed: a request ran {} — past the deadline budget",
             fmt_ns(max_request_ns)
+        ));
+    }
+    if !slow_replica_ok {
+        return Err(format!(
+            "chaos profile self-check failed: slow-replica phase p99 {} with {slow_hedges} \
+             hedges ({slow_budget_spent} budget-funded) — hedging under a retry budget must \
+             keep the tail below the 250 ms slowdown",
+            fmt_ns(slow_p99_ns)
+        ));
+    }
+    Ok(())
+}
+
+/// One scheduled arrival in the mixed-workload harness: when it fires
+/// relative to the phase start, which bound it asks (Zipf-skewed), and
+/// the priority class and deadline budget it carries on the wire.
+struct MixArrival {
+    offset: Duration,
+    bound_idx: usize,
+    priority: ServePriority,
+    budget: Duration,
+}
+
+/// How one open-loop arrival ended (latency in ns). `Refused` and
+/// `Expired` are the *typed* shed outcomes the admission controller
+/// promises; anything else is `Other` and fails the bench.
+#[derive(Clone, Copy)]
+enum MixOutcome {
+    Accepted(u64),
+    Refused(u64),
+    Expired(u64),
+    Other(u64),
+}
+
+/// One phase's per-class ledgers (index: Interactive 0, Batch 1,
+/// Internal 2).
+#[derive(Default)]
+struct MixPhase {
+    offered: [u64; 3],
+    accepted: [u64; 3],
+    refused: [u64; 3],
+    expired: [u64; 3],
+    other: u64,
+    accepted_lat: Vec<u64>,
+    interactive_lat: Vec<u64>,
+    max_ns: u64,
+    elapsed_ns: u64,
+}
+
+impl MixPhase {
+    fn accepted_total(&self) -> u64 {
+        self.accepted.iter().sum()
+    }
+
+    fn shed(&self, class: usize) -> u64 {
+        self.refused[class] + self.expired[class]
+    }
+}
+
+fn mix_class(priority: ServePriority) -> usize {
+    match priority {
+        ServePriority::Interactive => 0,
+        ServePriority::Batch => 1,
+        ServePriority::Internal => 2,
+    }
+}
+
+fn mix_client_config(jitter_seed: u64) -> ClientConfig {
+    ClientConfig {
+        connect_attempts: 3,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(10),
+        io_timeout: Some(Duration::from_secs(2)),
+        refused_retries: 3,
+        jitter_seed,
+    }
+}
+
+/// `lat`'s q-per-mille percentile (ns); 0 when empty.
+fn permille_ns(lat: &mut [u64], q: u64) -> u64 {
+    if lat.is_empty() {
+        return 0;
+    }
+    lat.sort_unstable();
+    lat[(lat.len() - 1) * q as usize / 1000]
+}
+
+/// Replays `arrivals` open-loop against `addr`: `workers` threads pull
+/// the next arrival from a shared cursor, sleep until its offset, and
+/// fire it with its class and deadline budget on the wire, all sharing
+/// one retry budget. Typed sheds return in microseconds, so the pool
+/// stays on schedule — the offered load really is open-loop.
+fn mix_phase(
+    addr: &str,
+    view: &str,
+    bounds: &[Vec<u64>],
+    arrivals: &[MixArrival],
+    workers: usize,
+    budget: &Arc<RetryBudget>,
+) -> Result<MixPhase, String> {
+    let next = AtomicUsize::new(0);
+    // Workers pre-connect (a health probe) before the clock starts, so
+    // connection setup never skews the schedule.
+    let start = Instant::now() + Duration::from_millis(60);
+    let mut phase = MixPhase::default();
+    std::thread::scope(|s| -> Result<(), String> {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let budget = Arc::clone(budget);
+            let next = &next;
+            handles.push(
+                s.spawn(move || -> Result<Vec<(usize, MixOutcome)>, String> {
+                    let mut client = ShardClient::new(addr, mix_client_config(100 + w as u64));
+                    client.set_retry_budget(Some(budget));
+                    client
+                        .health()
+                        .map_err(|e| format!("mix worker pre-connect: {e}"))?;
+                    let mut out = Vec::new();
+                    let mut block = AnswerBlock::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::SeqCst);
+                        let Some(a) = arrivals.get(i) else { break };
+                        std::thread::sleep(
+                            (start + a.offset).saturating_duration_since(Instant::now()),
+                        );
+                        block.reset();
+                        let t0 = Instant::now();
+                        let outcome = match client.serve_with_sink_opts(
+                            view,
+                            &bounds[a.bound_idx],
+                            &mut block,
+                            a.priority,
+                            Deadline::within(Some(a.budget)),
+                        ) {
+                            Ok(_) => MixOutcome::Accepted(t0.elapsed().as_nanos() as u64),
+                            Err(cqc_common::CqcError::Protocol { code: c, .. })
+                                if c == code::REFUSED =>
+                            {
+                                MixOutcome::Refused(t0.elapsed().as_nanos() as u64)
+                            }
+                            Err(cqc_common::CqcError::Protocol { code: c, .. })
+                                if c == code::DEADLINE =>
+                            {
+                                MixOutcome::Expired(t0.elapsed().as_nanos() as u64)
+                            }
+                            Err(_) => MixOutcome::Other(t0.elapsed().as_nanos() as u64),
+                        };
+                        out.push((i, outcome));
+                    }
+                    Ok(out)
+                }),
+            );
+        }
+        for handle in handles {
+            let outcomes = handle
+                .join()
+                .map_err(|_| "mix worker panicked".to_string())??;
+            for (i, outcome) in outcomes {
+                let class = mix_class(arrivals[i].priority);
+                phase.offered[class] += 1;
+                let lat = match outcome {
+                    MixOutcome::Accepted(ns) => {
+                        phase.accepted[class] += 1;
+                        phase.accepted_lat.push(ns);
+                        if class == 0 {
+                            phase.interactive_lat.push(ns);
+                        }
+                        ns
+                    }
+                    MixOutcome::Refused(ns) => {
+                        phase.refused[class] += 1;
+                        ns
+                    }
+                    MixOutcome::Expired(ns) => {
+                        phase.expired[class] += 1;
+                        ns
+                    }
+                    MixOutcome::Other(ns) => {
+                        phase.other += 1;
+                        ns
+                    }
+                };
+                phase.max_ns = phase.max_ns.max(lat);
+            }
+        }
+        Ok(())
+    })?;
+    phase.elapsed_ns = start.elapsed().as_nanos() as u64;
+    Ok(phase)
+}
+
+/// The mix profile: overload robustness, measured.
+///
+/// One admission-controlled shard server (2 serve slots, a 2-deep
+/// priority queue, 300 ms brownout) has every serve padded to a fixed
+/// 10 ms by [`Fault::Slowdown`], so measured capacity is ≈ 200 req/s on
+/// any host and the open-loop schedule stays generatable by a small
+/// worker pool. Capacity is then measured closed-loop through the
+/// tail-less v1 wire path, and three open-loop phases replay a
+/// Zipf-skewed (s = 1.1) bound distribution at 0.5×/1×/2× that rate
+/// with a fixed 70/25/5 Interactive/Batch/Internal class mix, each
+/// class carrying its deadline budget (400/1200/800 ms) on the wire.
+/// Every worker shares one token-bucket retry budget, and an updater
+/// (every 100 ms) plus a health prober (every 20 ms) run throughout —
+/// control traffic must never queue behind serves.
+///
+/// Gates: nothing hangs and every failure is typed; accepted
+/// Interactive p99 at 2× meets its 450 ms SLO; goodput at 2× holds ≥
+/// 35% of capacity (no congestion collapse); Batch sheds at least as
+/// often as Interactive under overload; retry amplification stays
+/// under 2×; and Update/Health see zero failures.
+fn bench_mix(
+    rv: &cqc_engine::RegisteredView,
+    engine: &Engine,
+    bounds: &[Vec<u64>],
+    seed: u64,
+    json_path: Option<&str>,
+) -> Result<(), String> {
+    const WORKERS: usize = 16;
+    const PHASE_SPAN: Duration = Duration::from_millis(1200);
+    const INTERACTIVE_SLO_NS: u64 = 450_000_000;
+
+    if bounds.is_empty() {
+        return Err("mix profile needs at least one request".into());
+    }
+
+    let base_db = (*engine.db()).clone();
+    let query_text = rv.view.query().to_string();
+    let pattern = rv.view.pattern();
+
+    let inner = Engine::new(base_db.clone());
+    (&inner as &dyn BlockService)
+        .register_view(&rv.name, &query_text, &pattern, "auto")
+        .map_err(|e| e.to_string())?;
+    let service = Arc::new(ChaosService::new(Arc::new(inner)));
+    service.set_fault(Fault::Slowdown(1));
+    let server_config = NetServerConfig {
+        max_inflight: 2,
+        queue_depth: 2,
+        brownout_after: Duration::from_millis(300),
+        ..NetServerConfig::default()
+    };
+    let mut handle = NetServer::spawn(
+        Arc::clone(&service) as Arc<dyn BlockService>,
+        "127.0.0.1:0",
+        server_config,
+    )
+    .map_err(|e| e.to_string())?;
+    let addr = handle.addr().to_string();
+
+    // Update stream: deltas precomputed against a shadow database so
+    // each one is valid against the state its predecessors left behind.
+    let mut view_relations: Vec<&str> = rv
+        .view
+        .query()
+        .atoms
+        .iter()
+        .map(|a| a.relation.as_str())
+        .collect();
+    view_relations.sort_unstable();
+    view_relations.dedup();
+    let mut sim = base_db.clone();
+    let mut drng = cqc_workload::rng(seed.wrapping_add(101));
+    let mut deltas = Vec::with_capacity(64);
+    for _ in 0..64 {
+        let delta = mixed_delta(&mut drng, &sim, &view_relations, 2, 1);
+        sim.apply(&delta).map_err(|e| e.to_string())?;
+        deltas.push(delta);
+    }
+
+    let shared_budget = Arc::new(RetryBudget::new(RetryBudgetConfig {
+        earn_pct: 20,
+        burst: 20,
+    }));
+    let stop = AtomicBool::new(false);
+    let update_rounds = AtomicU64::new(0);
+    let update_failures = AtomicU64::new(0);
+    let health_probes = AtomicU64::new(0);
+    let health_failures = AtomicU64::new(0);
+
+    type PhaseRow = (&'static str, f64, MixPhase, AdmissionStats, AdmissionStats);
+    let measured: Result<(f64, Vec<PhaseRow>), String> = std::thread::scope(|s| {
+        // Liveness side traffic across the whole run: updates and health
+        // probes bypass admission, so queued serves must never starve
+        // or fail them.
+        let updater = s.spawn(|| {
+            let mut client = ShardClient::new(addr.as_str(), mix_client_config(9));
+            let mut k = 0usize;
+            while !stop.load(Ordering::SeqCst) {
+                match client.update(&deltas[k % deltas.len()]) {
+                    Ok(_) => update_rounds.fetch_add(1, Ordering::Relaxed),
+                    Err(_) => update_failures.fetch_add(1, Ordering::Relaxed),
+                };
+                k += 1;
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        });
+        let prober = s.spawn(|| {
+            let mut client = ShardClient::new(addr.as_str(), mix_client_config(11));
+            while !stop.load(Ordering::SeqCst) {
+                match client.health() {
+                    Ok(_) => health_probes.fetch_add(1, Ordering::Relaxed),
+                    Err(_) => health_failures.fetch_add(1, Ordering::Relaxed),
+                };
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
+
+        let work = (|| -> Result<(f64, Vec<PhaseRow>), String> {
+            // Capacity: closed-loop through the tail-less v1 wire path
+            // (3 workers > 2 slots saturates the server without
+            // overflowing its 2-deep queue).
+            let completions = AtomicU64::new(0);
+            let t0 = Instant::now();
+            let span = Duration::from_millis(600);
+            std::thread::scope(|cs| -> Result<(), String> {
+                let mut hs = Vec::new();
+                for w in 0..3usize {
+                    let completions = &completions;
+                    let addr = addr.as_str();
+                    hs.push(cs.spawn(move || -> Result<(), String> {
+                        let mut client = ShardClient::new(addr, mix_client_config(50 + w as u64));
+                        let mut block = AnswerBlock::new();
+                        let mut i = w;
+                        while t0.elapsed() < span {
+                            block.reset();
+                            client
+                                .serve_with_sink(&rv.name, &bounds[i % bounds.len()], &mut block)
+                                .map_err(|e| format!("capacity serve: {e}"))?;
+                            completions.fetch_add(1, Ordering::Relaxed);
+                            i += 3;
+                        }
+                        Ok(())
+                    }));
+                }
+                for h in hs {
+                    h.join()
+                        .map_err(|_| "capacity worker panicked".to_string())??;
+                }
+                Ok(())
+            })?;
+            let capacity = completions.load(Ordering::Relaxed) as f64 / t0.elapsed().as_secs_f64();
+            if capacity < 10.0 {
+                return Err(format!("implausible measured capacity {capacity:.1} req/s"));
+            }
+
+            // The open-loop schedules: Zipf-skewed bounds, deterministic
+            // 70/25/5 class mix with per-class deadline budgets.
+            let zipf = Zipf::new(bounds.len(), 1.1);
+            let mut zrng = cqc_workload::rng(seed.wrapping_add(7));
+            let mut schedule = |rate_per_s: f64| -> Vec<MixArrival> {
+                let n = ((rate_per_s * PHASE_SPAN.as_secs_f64()) as usize).max(24);
+                let spacing = PHASE_SPAN.as_secs_f64() / n as f64;
+                (0..n)
+                    .map(|i| {
+                        let (priority, budget) = match i % 20 {
+                            0..=13 => (ServePriority::Interactive, Duration::from_millis(400)),
+                            14..=18 => (ServePriority::Batch, Duration::from_millis(1200)),
+                            _ => (ServePriority::Internal, Duration::from_millis(800)),
+                        };
+                        MixArrival {
+                            offset: Duration::from_secs_f64(i as f64 * spacing),
+                            bound_idx: zipf.sample(&mut zrng) as usize,
+                            priority,
+                            budget,
+                        }
+                    })
+                    .collect()
+            };
+
+            let mut rows: Vec<PhaseRow> = Vec::new();
+            for (tag, mult) in [("half", 0.5f64), ("one", 1.0), ("two", 2.0)] {
+                let rate = capacity * mult;
+                let arrivals = schedule(rate);
+                let before = handle.admission_stats();
+                let phase = mix_phase(&addr, &rv.name, bounds, &arrivals, WORKERS, &shared_budget)?;
+                let after = handle.admission_stats();
+                rows.push((tag, rate, phase, before, after));
+                // Drain the queue and unlatch any brownout before the
+                // next phase changes the offered rate.
+                std::thread::sleep(Duration::from_millis(150));
+            }
+            Ok((capacity, rows))
+        })();
+        stop.store(true, Ordering::SeqCst);
+        let _ = updater.join();
+        let _ = prober.join();
+        work
+    });
+    let (capacity, rows) = measured?;
+
+    // The verdicts.
+    let offered_total: u64 = rows.iter().map(|r| r.2.offered.iter().sum::<u64>()).sum();
+    let other_total: u64 = rows.iter().map(|r| r.2.other).sum();
+    let max_request_ns = rows.iter().map(|r| r.2.max_ns).max().unwrap_or(0);
+    let spent = shared_budget.spent();
+    let denied = shared_budget.denied();
+    let amplification = (offered_total + spent) as f64 / offered_total.max(1) as f64;
+    let amplification_ok = amplification < 2.0;
+    // Every shed is a typed REFUSED/DEADLINE in microseconds; a request
+    // past 5 s (budgets top out at 1.2 s) escaped deadline accounting.
+    let no_hung_requests = max_request_ns < 5_000_000_000 && other_total == 0;
+
+    let two = &rows[2].2;
+    let mut two_interactive = two.interactive_lat.clone();
+    let two_interactive_p99 = percentile_ns(&mut two_interactive, 99);
+    let interactive_p99_ok = two.accepted[0] > 0 && two_interactive_p99 <= INTERACTIVE_SLO_NS;
+    let two_goodput = two.accepted_total() as f64 / (two.elapsed_ns.max(1) as f64 / 1e9);
+    let goodput_ok = two_goodput >= 0.35 * capacity;
+    let interactive_shed_frac = two.shed(0) as f64 / two.offered[0].max(1) as f64;
+    let batch_shed_frac = two.shed(1) as f64 / two.offered[1].max(1) as f64;
+    let shed_fairness_ok = batch_shed_frac + 1e-9 >= interactive_shed_frac;
+    let rounds = update_rounds.load(Ordering::Relaxed);
+    let probes = health_probes.load(Ordering::Relaxed);
+    let upd_failures = update_failures.load(Ordering::Relaxed);
+    let hp_failures = health_failures.load(Ordering::Relaxed);
+    let liveness_ok = upd_failures == 0 && hp_failures == 0 && rounds > 0 && probes > 0;
+    let admission = handle.admission_stats();
+
+    println!(
+        "bench `{}` [profile mix]: capacity {capacity:.0} req/s (closed-loop, 10 ms padded \
+         serves), protocol v{}",
+        rv.name,
+        cqc_common::frame::PROTOCOL_VERSION
+    );
+    for (tag, rate, phase, before, after) in &rows {
+        let mut lat = phase.accepted_lat.clone();
+        let p50 = percentile_ns(&mut lat, 50);
+        let p99 = percentile_ns(&mut lat, 99);
+        let offered: u64 = phase.offered.iter().sum();
+        println!(
+            "  {tag}x ({rate:.0}/s): {}/{} accepted ({:.0}/s goodput), p50 {} p99 {}, shed \
+             I/B/N {}+{}+{} (server: {} queue-full, {} brownout, {} expired)",
+            phase.accepted_total(),
+            offered,
+            phase.accepted_total() as f64 / (phase.elapsed_ns.max(1) as f64 / 1e9),
+            fmt_ns(p50),
+            fmt_ns(p99),
+            phase.shed(0),
+            phase.shed(1),
+            phase.shed(2),
+            after.shed_queue_full - before.shed_queue_full,
+            after.shed_brownout - before.shed_brownout,
+            after.shed_expired - before.shed_expired,
+        );
+    }
+    println!(
+        "  2x SLO: accepted Interactive p99 {} (≤ 450 ms: {interactive_p99_ok}), goodput \
+         {two_goodput:.0}/s (≥ 35% of capacity: {goodput_ok}), shed fraction I {:.2} vs B {:.2} \
+         (fair: {shed_fairness_ok})",
+        fmt_ns(two_interactive_p99),
+        interactive_shed_frac,
+        batch_shed_frac
+    );
+    println!(
+        "  retry budget: {spent} spent / {denied} denied — amplification {amplification:.2}x \
+         (< 2x: {amplification_ok})"
+    );
+    println!(
+        "  liveness: {rounds} updates ({upd_failures} failed), {probes} health probes \
+         ({hp_failures} failed), {} brownouts, max request {}",
+        admission.brownouts,
+        fmt_ns(max_request_ns)
+    );
+
+    if let Some(path) = json_path {
+        let mut fields = vec![
+            format!("\"view\": {}", json_string(&rv.name)),
+            "\"profile\": \"mix\"".to_string(),
+            format!(
+                "\"protocol_version\": {}",
+                cqc_common::frame::PROTOCOL_VERSION
+            ),
+            format!("\"capacity_per_s\": {capacity:.2}"),
+            format!("\"workers\": {WORKERS}"),
+            format!("\"offered_total\": {offered_total}"),
+        ];
+        for (tag, rate, phase, before, after) in &rows {
+            let mut lat = phase.accepted_lat.clone();
+            let p50 = percentile_ns(&mut lat, 50);
+            let p99 = percentile_ns(&mut lat, 99);
+            let p999 = permille_ns(&mut lat, 999);
+            let goodput = phase.accepted_total() as f64 / (phase.elapsed_ns.max(1) as f64 / 1e9);
+            fields.extend([
+                format!("\"{tag}_rate_per_s\": {rate:.2}"),
+                format!("\"{tag}_offered\": {}", phase.offered.iter().sum::<u64>()),
+                format!("\"{tag}_goodput_per_s\": {goodput:.2}"),
+                format!("\"{tag}_accepted_p50_ns\": {p50}"),
+                format!("\"{tag}_accepted_p99_ns\": {p99}"),
+                format!("\"{tag}_accepted_p999_ns\": {p999}"),
+                format!("\"{tag}_accepted_interactive\": {}", phase.accepted[0]),
+                format!("\"{tag}_accepted_batch\": {}", phase.accepted[1]),
+                format!("\"{tag}_accepted_internal\": {}", phase.accepted[2]),
+                format!("\"{tag}_shed_interactive\": {}", phase.shed(0)),
+                format!("\"{tag}_shed_batch\": {}", phase.shed(1)),
+                format!("\"{tag}_shed_internal\": {}", phase.shed(2)),
+                format!(
+                    "\"{tag}_server_shed_queue_full\": {}",
+                    after.shed_queue_full - before.shed_queue_full
+                ),
+                format!(
+                    "\"{tag}_server_shed_brownout\": {}",
+                    after.shed_brownout - before.shed_brownout
+                ),
+                format!(
+                    "\"{tag}_server_shed_expired\": {}",
+                    after.shed_expired - before.shed_expired
+                ),
+            ]);
+        }
+        fields.extend([
+            format!("\"server_admitted\": {}", admission.admitted),
+            format!(
+                "\"server_shed_interactive\": {}",
+                admission.shed_interactive
+            ),
+            format!("\"server_shed_batch\": {}", admission.shed_batch),
+            format!("\"server_shed_internal\": {}", admission.shed_internal),
+            format!("\"server_brownouts\": {}", admission.brownouts),
+            format!("\"budget_spent\": {spent}"),
+            format!("\"budget_denied\": {denied}"),
+            format!("\"amplification\": {amplification:.3}"),
+            format!("\"two_interactive_p99_ns\": {two_interactive_p99}"),
+            format!("\"max_request_ns\": {max_request_ns}"),
+            format!("\"update_rounds\": {rounds}"),
+            format!("\"update_failures\": {upd_failures}"),
+            format!("\"health_probes\": {probes}"),
+            format!("\"health_failures\": {hp_failures}"),
+            format!("\"no_hung_requests\": {no_hung_requests}"),
+            format!("\"interactive_p99_ok\": {interactive_p99_ok}"),
+            format!("\"goodput_ok\": {goodput_ok}"),
+            format!("\"shed_fairness_ok\": {shed_fairness_ok}"),
+            format!("\"amplification_ok\": {amplification_ok}"),
+            format!("\"liveness_ok\": {liveness_ok}"),
+        ]);
+        write_json_summary(path, &fields)?;
+    }
+
+    handle.shutdown();
+
+    if !no_hung_requests {
+        return Err(format!(
+            "mix profile self-check failed: max request {} with {other_total} untyped \
+             failures — every outcome must be fast or a typed shed",
+            fmt_ns(max_request_ns)
+        ));
+    }
+    if !interactive_p99_ok {
+        return Err(format!(
+            "mix profile self-check failed: accepted Interactive p99 {} at 2x capacity \
+             blew the 450 ms SLO",
+            fmt_ns(two_interactive_p99)
+        ));
+    }
+    if !goodput_ok {
+        return Err(format!(
+            "mix profile self-check failed: goodput {two_goodput:.0}/s at 2x offered load \
+             fell below 35% of the {capacity:.0}/s capacity (congestion collapse)"
+        ));
+    }
+    if !shed_fairness_ok {
+        return Err(format!(
+            "mix profile self-check failed: Interactive shed fraction \
+             {interactive_shed_frac:.2} exceeded Batch's {batch_shed_frac:.2} under overload"
+        ));
+    }
+    if !amplification_ok {
+        return Err(format!(
+            "mix profile self-check failed: retry amplification {amplification:.2}x \
+             (≥ 2x) — the retry budget failed to bound retry traffic"
+        ));
+    }
+    if !liveness_ok {
+        return Err(format!(
+            "mix profile self-check failed: control-plane liveness ({rounds} updates, \
+             {upd_failures} failed; {probes} health probes, {hp_failures} failed)"
         ));
     }
     Ok(())

@@ -1,0 +1,189 @@
+//! Per-destination retry budgets: the token bucket that stops retries,
+//! failovers, and hedges from amplifying a brownout into a retry storm.
+//!
+//! Every retry mechanism in this crate multiplies load exactly when the
+//! fleet can least afford it: a shard that sheds under overload sees
+//! each refused request come back `1 + retries` times. The fix is the
+//! classic *retry budget*: each **successful** request earns a fraction
+//! of a token ([`RetryBudgetConfig::earn_pct`] per hundred), each retry
+//! or hedge **spends** a whole one, and the bucket is capped at
+//! [`RetryBudgetConfig::burst`] so an idle destination can absorb a
+//! short fault burst but a browning-out destination converges to at
+//! most `earn_pct`% amplification. A denied spend is **backpressure,
+//! not failure**: callers skip the retry (or hedge) and surface the
+//! last real error — they never feed the denial into a circuit breaker,
+//! which would punish the destination for our own restraint.
+//!
+//! One budget guards one destination (a [`crate::ReplicaGroup`] shares
+//! one across its replicas' failovers and hedges; a bare
+//! [`crate::ShardClient`] can be handed one for its bounded-REFUSED
+//! retry loop), so a single slow shard cannot drain the whole fleet's
+//! retry allowance.
+
+use std::sync::Mutex;
+
+/// Tuning for one [`RetryBudget`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryBudgetConfig {
+    /// Tokens earned per hundred successful requests — the steady-state
+    /// ceiling on retry amplification (20 ⇒ at most 1.2× under
+    /// sustained overload, once the burst allowance is spent).
+    pub earn_pct: u32,
+    /// Bucket capacity in whole tokens, and the initial fill: the
+    /// fault burst a destination can absorb from a standing start.
+    pub burst: u32,
+}
+
+impl Default for RetryBudgetConfig {
+    fn default() -> RetryBudgetConfig {
+        RetryBudgetConfig {
+            earn_pct: 20,
+            burst: 10,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BudgetState {
+    /// Fixed-point token balance in hundredths of a token.
+    centitokens: u64,
+    spent: u64,
+    denied: u64,
+}
+
+/// A token-bucket retry budget (see the module docs). Interior-mutable
+/// and cheap to share: one short critical section per event.
+#[derive(Debug)]
+pub struct RetryBudget {
+    config: RetryBudgetConfig,
+    state: Mutex<BudgetState>,
+}
+
+impl RetryBudget {
+    /// A full bucket (`burst` tokens) under `config`.
+    pub fn new(config: RetryBudgetConfig) -> RetryBudget {
+        RetryBudget {
+            config,
+            state: Mutex::new(BudgetState {
+                centitokens: u64::from(config.burst) * 100,
+                spent: 0,
+                denied: 0,
+            }),
+        }
+    }
+
+    /// Credits one successful request: `earn_pct`/100 of a token,
+    /// capped at `burst`.
+    pub fn record_success(&self) {
+        let mut st = self.state.lock().expect("budget lock");
+        st.centitokens = (st.centitokens + u64::from(self.config.earn_pct))
+            .min(u64::from(self.config.burst) * 100);
+    }
+
+    /// Tries to spend one whole token for a retry or hedge. `false`
+    /// means the budget is exhausted — skip the retry and treat the
+    /// condition as backpressure (never as a breaker-visible failure).
+    pub fn try_spend(&self) -> bool {
+        let mut st = self.state.lock().expect("budget lock");
+        if st.centitokens >= 100 {
+            st.centitokens -= 100;
+            st.spent += 1;
+            true
+        } else {
+            st.denied += 1;
+            false
+        }
+    }
+
+    /// Retries/hedges granted so far — the numerator of the bench
+    /// harness's retry-amplification factor.
+    pub fn spent(&self) -> u64 {
+        self.state.lock().expect("budget lock").spent
+    }
+
+    /// Retries/hedges denied so far (each one is a retry storm that
+    /// did not happen).
+    pub fn denied(&self) -> u64 {
+        self.state.lock().expect("budget lock").denied
+    }
+
+    /// Whole tokens currently available (rounded down).
+    pub fn available(&self) -> u64 {
+        self.state.lock().expect("budget lock").centitokens / 100
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_allowance_then_exhaustion() {
+        let b = RetryBudget::new(RetryBudgetConfig {
+            earn_pct: 20,
+            burst: 3,
+        });
+        assert_eq!(b.available(), 3);
+        assert!(b.try_spend());
+        assert!(b.try_spend());
+        assert!(b.try_spend());
+        assert!(!b.try_spend(), "burst spent, no successes yet");
+        assert_eq!(b.spent(), 3);
+        assert_eq!(b.denied(), 1);
+    }
+
+    #[test]
+    fn successes_earn_a_fraction_of_a_token() {
+        let b = RetryBudget::new(RetryBudgetConfig {
+            earn_pct: 20,
+            burst: 1,
+        });
+        assert!(b.try_spend());
+        assert!(!b.try_spend());
+        // Four successes at 20% each: still shy of a whole token.
+        for _ in 0..4 {
+            b.record_success();
+        }
+        assert!(!b.try_spend());
+        b.record_success();
+        assert!(b.try_spend(), "five successes fund one retry at 20%");
+    }
+
+    #[test]
+    fn the_bucket_caps_at_burst() {
+        let b = RetryBudget::new(RetryBudgetConfig {
+            earn_pct: 100,
+            burst: 2,
+        });
+        for _ in 0..1000 {
+            b.record_success();
+        }
+        assert_eq!(b.available(), 2, "credits must not accumulate past burst");
+        assert!(b.try_spend());
+        assert!(b.try_spend());
+        assert!(!b.try_spend());
+    }
+
+    #[test]
+    fn amplification_is_bounded_by_the_earn_rate() {
+        // The property the mixed-workload bench gates on: with a 20%
+        // earn rate, N successes can never fund more than burst + N/5
+        // retries — amplification stays under 2× however hard the
+        // caller hammers.
+        let b = RetryBudget::new(RetryBudgetConfig::default());
+        let mut granted = 0u64;
+        let n = 1000u64;
+        for _ in 0..n {
+            b.record_success();
+            // An adversarial caller tries to retry after every request.
+            if b.try_spend() {
+                granted += 1;
+            }
+        }
+        assert!(
+            granted <= 10 + n / 5 + 1,
+            "granted {granted} retries exceeds burst + 20% of {n}"
+        );
+        assert!(granted >= n / 5, "the earn rate must actually fund retries");
+    }
+}

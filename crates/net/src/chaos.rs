@@ -36,6 +36,13 @@ pub enum Fault {
     /// Serve this many answers, then fail the stream with a typed I/O
     /// error (a replica dying mid-stream, prefix already on the wire).
     DieMidStream(usize),
+    /// Sleep `factor × 10 ms` before serving, then answer correctly — a
+    /// replica that is slow but alive (degraded disk, noisy neighbor).
+    /// Unlike [`Fault::Stall`] the delay is sized to finish *inside* the
+    /// client's socket timeout, so nothing errors: the request is just
+    /// late, and only hedging (funded by the retry budget) keeps the
+    /// caller's tail latency bounded.
+    Slowdown(u32),
 }
 
 /// A [`BlockService`] wrapper that injects the current [`Fault`] into
@@ -110,6 +117,10 @@ impl BlockService for ChaosService {
             Fault::None | Fault::WrongEpoch(_) => self.inner.serve_into(view, bound, sink),
             Fault::Stall(nap) => {
                 std::thread::sleep(nap);
+                self.inner.serve_into(view, bound, sink)
+            }
+            Fault::Slowdown(factor) => {
+                std::thread::sleep(Duration::from_millis(10) * factor);
                 self.inner.serve_into(view, bound, sink)
             }
             Fault::Refuse => Err(CqcError::Protocol {
@@ -200,5 +211,19 @@ mod tests {
         let mut clean = AnswerBlock::new();
         assert_eq!(chaos.serve_into("all", &[], &mut clean).unwrap(), 3);
         assert_eq!(chaos.version(), truth);
+    }
+
+    #[test]
+    fn slowdown_is_late_but_correct() {
+        let chaos = ChaosService::new(engine());
+        chaos.set_fault(Fault::Slowdown(3));
+        let started = std::time::Instant::now();
+        let mut block = AnswerBlock::new();
+        assert_eq!(chaos.serve_into("all", &[], &mut block).unwrap(), 3);
+        assert!(
+            started.elapsed() >= Duration::from_millis(30),
+            "the slowdown must actually delay the serve"
+        );
+        assert_eq!(block.len(), 3, "slow, but every answer arrives");
     }
 }

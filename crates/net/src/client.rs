@@ -13,23 +13,34 @@
 //!   lazily re-established on the next request — never reused in an
 //!   unknown framing state;
 //! * **refusal handling**: a [`code::REFUSED`] backpressure reply is
-//!   retried after a backoff, up to a small bound, before surfacing.
+//!   retried after a backoff, up to a small bound, before surfacing —
+//!   each retry capped by the caller's [`Deadline`] and charged against
+//!   the optional per-destination [`RetryBudget`], so a browning-out
+//!   server is never hammered with free retries;
+//! * **deadline propagation**: [`ShardClient::serve_with_sink_opts`]
+//!   puts the caller's remaining budget and priority class on the wire
+//!   as the optional serve tail, so the server can shed doomed work
+//!   before enumeration. The tail is omitted entirely for the default
+//!   (Interactive, unbounded) case — those requests stay byte-identical
+//!   to the v1 wire format.
 //!
 //! [`RemoteShard`] wraps a client in a mutex to implement
 //! [`BlockService`], which makes a remote server interchangeable with a
 //! local [`cqc_engine::Engine`] behind the same trait object.
 
 use cqc_common::error::Result;
-use cqc_common::frame::{code, FrameKind, FrameReader, PayloadWriter};
+use cqc_common::frame::{code, FrameKind, FrameReader, PayloadWriter, ServePriority, ServeTail};
 use cqc_common::{AnswerBlock, AnswerSink, CqcError, Value};
 use cqc_engine::BlockService;
 use std::io::Write;
 use std::net::{Shutdown, TcpStream};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use crate::backoff::Backoff;
+use crate::budget::RetryBudget;
 use crate::protocol::{self, RegisterReq};
+use crate::replica::Deadline;
 use cqc_storage::{Delta, Epoch};
 
 /// Tuning for a [`ShardClient`].
@@ -83,6 +94,7 @@ pub struct ShardClient {
     frames: FrameReader,
     payload: PayloadWriter,
     bytes_out: u64,
+    retry_budget: Option<Arc<RetryBudget>>,
 }
 
 impl ShardClient {
@@ -95,12 +107,22 @@ impl ShardClient {
             frames: FrameReader::new(),
             payload: PayloadWriter::new(),
             bytes_out: 0,
+            retry_budget: None,
         }
     }
 
     /// The server address this client targets.
     pub fn addr(&self) -> &str {
         &self.addr
+    }
+
+    /// Attaches a (typically shared) retry budget: every REFUSED-retry
+    /// this client takes spends a token, every successful serve earns a
+    /// fraction back, and an empty bucket turns the retry into immediate
+    /// backpressure. `None` (the default) retries on the config bound
+    /// alone.
+    pub fn set_retry_budget(&mut self, budget: Option<Arc<RetryBudget>>) {
+        self.retry_budget = budget;
     }
 
     /// Rebinds the socket read/write timeout, applying it to the live
@@ -281,6 +303,9 @@ impl ShardClient {
     /// server's next chunk write fails and its enumeration stops
     /// cooperatively mid-block — and returns what was pushed.
     ///
+    /// Tail-less on the wire (Interactive priority, unbounded budget):
+    /// byte-identical to the v1 serve frame.
+    ///
     /// # Errors
     ///
     /// Same failure modes as [`ShardClient::serve_block`].
@@ -290,16 +315,63 @@ impl ShardClient {
         bound: &[Value],
         sink: &mut dyn AnswerSink,
     ) -> Result<(u64, Vec<Epoch>)> {
+        self.serve_with_sink_opts(
+            view,
+            bound,
+            sink,
+            ServePriority::Interactive,
+            Deadline::within(None),
+        )
+    }
+
+    /// [`ShardClient::serve_with_sink`] with an explicit priority class
+    /// and deadline. A bounded deadline (or non-Interactive priority)
+    /// travels as the serve frame's optional tail, re-measured at each
+    /// attempt so the server always sees the budget that actually
+    /// remains. REFUSED-backpressure retries are capped by the deadline
+    /// and gated on the attached [`RetryBudget`] (if any); a drained
+    /// budget surfaces the server's refusal instead of retrying.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ShardClient::serve_block`], plus a typed
+    /// [`code::DEADLINE`] when the budget expires between retries.
+    pub fn serve_with_sink_opts(
+        &mut self,
+        view: &str,
+        bound: &[Value],
+        sink: &mut dyn AnswerSink,
+        priority: ServePriority,
+        deadline: Deadline,
+    ) -> Result<(u64, Vec<Epoch>)> {
         let mut refusals = 0u32;
         loop {
-            match self.serve_attempt(view, bound, sink) {
-                Err(CqcError::Protocol { code: c, .. })
+            match self.serve_attempt(view, bound, sink, priority, deadline) {
+                Err(CqcError::Protocol { code: c, detail })
                     if c == code::REFUSED && refusals < self.config.refused_retries =>
                 {
-                    std::thread::sleep(self.config.backoff(refusals));
+                    deadline.check("before a refused-serve retry")?;
+                    if let Some(budget) = &self.retry_budget {
+                        if !budget.try_spend() {
+                            // Backpressure, not failure: surface the
+                            // server's refusal rather than amplify it.
+                            return Err(CqcError::Protocol {
+                                code: code::REFUSED,
+                                detail: format!("retry budget exhausted; last refusal: {detail}"),
+                            });
+                        }
+                    }
+                    std::thread::sleep(deadline.cap(self.config.backoff(refusals)));
                     refusals += 1;
                 }
-                other => return other,
+                other => {
+                    if other.is_ok() {
+                        if let Some(budget) = &self.retry_budget {
+                            budget.record_success();
+                        }
+                    }
+                    return other;
+                }
             }
         }
     }
@@ -309,9 +381,22 @@ impl ShardClient {
         view: &str,
         bound: &[Value],
         sink: &mut dyn AnswerSink,
+        priority: ServePriority,
+        deadline: Deadline,
     ) -> Result<(u64, Vec<Epoch>)> {
         self.ensure_connected()?;
-        protocol::encode_serve(&mut self.payload, view, bound);
+        let budget_ns = deadline
+            .remaining()
+            .map(|r| u64::try_from(r.as_nanos()).unwrap_or(u64::MAX - 1));
+        if budget_ns.is_some() || priority != ServePriority::Interactive {
+            let tail = ServeTail {
+                priority,
+                budget_ns,
+            };
+            protocol::encode_serve_tailed(&mut self.payload, view, bound, Some(&tail));
+        } else {
+            protocol::encode_serve(&mut self.payload, view, bound);
+        }
         if let Err(e) = self.write_frame(FrameKind::Serve) {
             self.poison();
             return Err(e);

@@ -13,8 +13,14 @@
 //!   wrapping any [`cqc_engine::BlockService`] (an engine, a sharded
 //!   engine, or a router). Per-request deadlines and client disconnects
 //!   stop enumeration mid-block through the push-sink early-stop hook;
-//!   a bounded in-flight gate refuses excess serve requests with a typed
-//!   refusal frame instead of buffering without bound.
+//!   an [`admission`] controller bounds concurrency with a small
+//!   priority-aware wait queue, sheds adaptively (LIFO, Batch first)
+//!   under sustained overload, and rejects requests whose wire-carried
+//!   deadline budget is already spent before any enumeration work.
+//! * [`admission`] / [`budget`] — the overload-robustness primitives:
+//!   the server-side admission controller and the client-side
+//!   per-destination retry budget that caps retries + hedges to a
+//!   fraction of successful traffic.
 //! * [`client`] / [`router`] — [`client::ShardClient`] (one connection,
 //!   retry with capped backoff, client-side deadlines) and
 //!   [`router::Router`]: the front door holding health-checked
@@ -30,8 +36,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod backoff;
 pub mod breaker;
+pub mod budget;
 pub mod chaos;
 pub mod client;
 pub mod protocol;
@@ -39,8 +47,10 @@ pub mod replica;
 pub mod router;
 pub mod server;
 
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionStats};
 pub use backoff::{jittered_backoff, lane_seed, Backoff, FAILOVER_LANE};
 pub use breaker::{BreakerConfig, BreakerState, BreakerTransitions, CircuitBreaker};
+pub use budget::{RetryBudget, RetryBudgetConfig};
 pub use chaos::{ChaosService, Fault};
 pub use client::{ClientConfig, RemoteShard, ShardClient};
 pub use replica::{Deadline, GroupStats, ReplicaGroup, RetryPolicy};

@@ -8,7 +8,7 @@
 //! | frame | payload |
 //! |---|---|
 //! | `Register` | `str name \| str query \| str pattern \| str strategy` |
-//! | `Serve` | `str view \| u16 n \| n×u64 bound values` |
+//! | `Serve` | `str view \| u16 n \| n×u64 bound values`, then an optional deadline/priority tail (`u8 priority \| u64 budget_ns`; see [`cqc_common::frame::ServeTail`]) |
 //! | `Update` | insert section, then an optional identical removes section (`u32 groups \| per group: str rel, u16 arity, u32 rows, rows×arity u64` each), then an optional epoch-vector precondition (`u32 n \| n×u64`; its presence forces the removes section out, possibly empty) |
 //! | `Health` | empty |
 //! | `RegisterOk` / `UpdateOk` / `HealthOk` | epoch vector (`u32 n \| n×u64`) |
@@ -19,7 +19,10 @@
 //! `str` is `u32 len | UTF-8 bytes`; all integers little endian.
 
 use cqc_common::error::Result;
-use cqc_common::frame::{code, encode_epochs, PayloadReader, PayloadWriter};
+use cqc_common::frame::{
+    code, decode_serve_tail, encode_epochs, encode_serve_tail, PayloadReader, PayloadWriter,
+    ServeTail,
+};
 use cqc_common::{CqcError, Value};
 use cqc_storage::{Delta, Epoch};
 
@@ -43,6 +46,9 @@ pub struct ServeReq {
     pub view: String,
     /// Bound-variable values, pattern order.
     pub bound: Vec<Value>,
+    /// The optional deadline/priority tail. `None` — a tail-less v1
+    /// frame — means Interactive with no deadline.
+    pub tail: Option<ServeTail>,
 }
 
 /// Encodes a [`RegisterReq`] into `w` (cleared first).
@@ -69,24 +75,56 @@ pub fn parse_register(payload: &[u8]) -> Result<RegisterReq> {
     })
 }
 
-/// Encodes a [`ServeReq`] into `w` (cleared first).
+/// Encodes a tail-less [`ServeReq`] into `w` (cleared first) —
+/// byte-identical to protocol v1.
 pub fn encode_serve(w: &mut PayloadWriter, view: &str, bound: &[Value]) {
-    w.start().put_str(view).put_u16(bound.len() as u16);
-    w.put_values(bound);
+    encode_serve_tailed(w, view, bound, None);
 }
 
-/// Parses a [`ServeReq`].
+/// [`encode_serve`] with an optional deadline/priority tail
+/// (`u8 priority | u64 budget_ns`, see
+/// [`cqc_common::frame::encode_serve_tail`]) appended after the bound
+/// values. Without a tail the layout is exactly [`encode_serve`]'s, so
+/// callers that never set one keep emitting v1 bytes.
+pub fn encode_serve_tailed(
+    w: &mut PayloadWriter,
+    view: &str,
+    bound: &[Value],
+    tail: Option<&ServeTail>,
+) {
+    w.start().put_str(view).put_u16(bound.len() as u16);
+    w.put_values(bound);
+    if let Some(tail) = tail {
+        encode_serve_tail(w, tail);
+    }
+}
+
+/// Parses a [`ServeReq`]: the view and bound values always, then the
+/// deadline/priority tail iff the payload has bytes left (older
+/// encoders simply end after the bound values).
 ///
 /// # Errors
 ///
-/// [`code::BAD_FRAME`] on truncation or non-UTF-8 strings.
+/// [`code::BAD_FRAME`] on truncation, non-UTF-8 strings, an unknown
+/// priority byte, or trailing bytes past the tail.
 pub fn parse_serve(payload: &[u8]) -> Result<ServeReq> {
     let mut r = PayloadReader::new(payload);
     let view = r.get_str()?.to_string();
     let n = r.get_u16()? as usize;
     let mut bound = Vec::with_capacity(n);
     r.get_values(n, &mut bound)?;
-    Ok(ServeReq { view, bound })
+    let tail = if r.remaining() > 0 {
+        Some(decode_serve_tail(&mut r)?)
+    } else {
+        None
+    };
+    if r.remaining() > 0 {
+        return Err(CqcError::Protocol {
+            code: code::BAD_FRAME,
+            detail: format!("{} trailing bytes after the serve payload", r.remaining()),
+        });
+    }
+    Ok(ServeReq { view, bound, tail })
 }
 
 /// Encodes a [`Delta`] into `w` (cleared first): the insert section, then —
@@ -251,9 +289,97 @@ mod tests {
         let req = parse_serve(w.bytes()).unwrap();
         assert_eq!(req.view, "tri");
         assert_eq!(req.bound, vec![7, 11]);
+        assert_eq!(req.tail, None);
         // Empty bound vectors (fff patterns) survive.
         encode_serve(&mut w, "all", &[]);
         assert!(parse_serve(w.bytes()).unwrap().bound.is_empty());
+    }
+
+    #[test]
+    fn tailless_serve_keeps_v1_wire_layout() {
+        // Forward compatibility: a serve without a deadline/priority
+        // tail must encode exactly as protocol v1 did — view, count,
+        // bound values, nothing after — so older peers keep parsing it.
+        let mut w = PayloadWriter::new();
+        encode_serve(&mut w, "tri", &[7, 11]);
+        let mut expect = PayloadWriter::new();
+        expect.start().put_str("tri").put_u16(2);
+        expect.put_values(&[7, 11]);
+        assert_eq!(w.bytes(), expect.bytes());
+        // The tailed encoder with `None` is the same bytes.
+        encode_serve_tailed(&mut w, "tri", &[7, 11], None);
+        assert_eq!(w.bytes(), expect.bytes());
+    }
+
+    #[test]
+    fn tailed_serve_round_trips() {
+        use cqc_common::frame::ServePriority;
+        for tail in [
+            ServeTail {
+                priority: ServePriority::Interactive,
+                budget_ns: Some(2_000_000),
+            },
+            ServeTail {
+                priority: ServePriority::Batch,
+                budget_ns: None,
+            },
+            ServeTail {
+                priority: ServePriority::Internal,
+                budget_ns: Some(0),
+            },
+        ] {
+            let mut w = PayloadWriter::new();
+            encode_serve_tailed(&mut w, "tri", &[5], Some(&tail));
+            let req = parse_serve(w.bytes()).unwrap();
+            assert_eq!(req.view, "tri");
+            assert_eq!(req.bound, vec![5]);
+            assert_eq!(req.tail, Some(tail));
+        }
+        // A tailed zero-bound serve stays unambiguous: the tail is read
+        // by remaining bytes, not by the bound count.
+        let tail = ServeTail {
+            priority: ServePriority::Batch,
+            budget_ns: Some(99),
+        };
+        let mut w = PayloadWriter::new();
+        encode_serve_tailed(&mut w, "all", &[], Some(&tail));
+        assert_eq!(parse_serve(w.bytes()).unwrap().tail, Some(tail));
+    }
+
+    #[test]
+    fn garbage_after_serve_tail_is_rejected() {
+        let mut w = PayloadWriter::new();
+        let tail = ServeTail::default();
+        encode_serve_tailed(&mut w, "tri", &[1], Some(&tail));
+        let mut bytes = w.bytes().to_vec();
+        bytes.push(0xEE);
+        let err = parse_serve(&bytes).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CqcError::Protocol {
+                    code: code::BAD_FRAME,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        // A truncated tail (a lone priority byte, budget missing) is a
+        // typed BAD_FRAME too, never a silent tail-less parse.
+        encode_serve(&mut w, "tri", &[1]);
+        let mut bytes = w.bytes().to_vec();
+        bytes.push(0); // priority byte with no budget after it
+        let err = parse_serve(&bytes).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CqcError::Protocol {
+                    code: code::BAD_FRAME,
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]

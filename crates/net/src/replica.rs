@@ -32,7 +32,7 @@
 //!   cooldown.
 
 use cqc_common::error::Result;
-use cqc_common::frame::code;
+use cqc_common::frame::{code, ServePriority};
 use cqc_common::{AnswerBlock, AnswerSink, CqcError, Value};
 use cqc_storage::{Delta, Epoch};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -41,6 +41,7 @@ use std::time::{Duration, Instant};
 
 use crate::backoff::{lane_seed, Backoff, FAILOVER_LANE};
 use crate::breaker::{BreakerConfig, BreakerState, BreakerTransitions, CircuitBreaker};
+use crate::budget::{RetryBudget, RetryBudgetConfig};
 use crate::client::{ClientConfig, ShardClient};
 use crate::protocol::RegisterReq;
 
@@ -61,6 +62,11 @@ pub struct RetryPolicy {
     /// request on the next healthy replica (first completion wins).
     /// `None` disables hedging.
     pub hedge_after: Option<Duration>,
+    /// The group's per-destination [`RetryBudget`] tuning: failovers and
+    /// hedges spend a token each, successful serves earn a fraction
+    /// back, and an empty bucket means the extra attempt simply does not
+    /// launch (backpressure — never a breaker-visible failure).
+    pub retry_budget: RetryBudgetConfig,
 }
 
 impl Default for RetryPolicy {
@@ -71,6 +77,7 @@ impl Default for RetryPolicy {
             backoff_cap: Duration::from_millis(100),
             request_deadline: Some(Duration::from_secs(10)),
             hedge_after: None,
+            retry_budget: RetryBudgetConfig::default(),
         }
     }
 }
@@ -155,6 +162,11 @@ pub struct GroupStats {
     /// Replica update attempts that failed (the replica is now stale
     /// until re-synced; serves skip it via the epoch check).
     pub update_failures: u64,
+    /// Failovers/hedges the retry budget funded.
+    pub budget_spent: u64,
+    /// Failovers/hedges the retry budget suppressed (each one is load
+    /// that was *not* sent to an already-struggling fleet).
+    pub budget_denied: u64,
 }
 
 #[derive(Debug, Default)]
@@ -212,6 +224,7 @@ pub struct ReplicaGroup {
     policy: RetryPolicy,
     base_io: Option<Duration>,
     failover_backoff: Backoff,
+    budget: RetryBudget,
     stats: StatsInner,
 }
 
@@ -255,6 +268,7 @@ impl ReplicaGroup {
                 policy.backoff_cap,
                 lane_seed(config.jitter_seed, shard, FAILOVER_LANE),
             ),
+            budget: RetryBudget::new(policy.retry_budget),
             stats: StatsInner::default(),
         }
     }
@@ -283,7 +297,15 @@ impl ReplicaGroup {
             hedges: self.stats.hedges.load(Ordering::Relaxed),
             hedge_wins: self.stats.hedge_wins.load(Ordering::Relaxed),
             update_failures: self.stats.update_failures.load(Ordering::Relaxed),
+            budget_spent: self.budget.spent(),
+            budget_denied: self.budget.denied(),
         }
+    }
+
+    /// The group's shared retry budget (failovers and hedges draw on
+    /// it; successful serves refill it).
+    pub fn retry_budget(&self) -> &RetryBudget {
+        &self.budget
     }
 
     /// Cumulative wire traffic across the group's replica connections:
@@ -361,6 +383,7 @@ impl ReplicaGroup {
         view: &str,
         bound: &[Value],
         expected: &[Epoch],
+        priority: ServePriority,
         deadline: Deadline,
         out: &mut AnswerBlock,
         base: usize,
@@ -389,7 +412,7 @@ impl ReplicaGroup {
             replayed: 0,
             diverged: false,
         };
-        match client.serve_with_sink(view, bound, &mut sink) {
+        match client.serve_with_sink_opts(view, bound, &mut sink, priority, deadline) {
             Err(e) => {
                 // The prefix (possibly extended by this attempt's chunks)
                 // is kept: the next attempt re-verifies the whole overlap.
@@ -444,8 +467,10 @@ impl ReplicaGroup {
     /// # Errors
     ///
     /// [`code::DEADLINE`] when the budget runs out mid-failover, the
-    /// last replica error when the attempt budget runs out, or a typed
-    /// "no replica available" failure when every breaker is open.
+    /// last replica error when the attempt budget runs out, a typed
+    /// [`code::REFUSED`] when the retry budget cannot fund another
+    /// failover, or a typed "no replica available" failure when every
+    /// breaker is open.
     pub fn serve_into_block(
         self: &Arc<Self>,
         view: &str,
@@ -454,8 +479,34 @@ impl ReplicaGroup {
         deadline: Deadline,
         out: &mut AnswerBlock,
     ) -> Result<usize> {
+        self.serve_into_block_prioritized(
+            view,
+            bound,
+            expected,
+            ServePriority::Interactive,
+            deadline,
+            out,
+        )
+    }
+
+    /// [`ReplicaGroup::serve_into_block`] with an explicit priority
+    /// class, threaded (with the remaining deadline) onto the wire for
+    /// the primary attempt, every failover, and every hedge.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReplicaGroup::serve_into_block`].
+    pub fn serve_into_block_prioritized(
+        self: &Arc<Self>,
+        view: &str,
+        bound: &[Value],
+        expected: &[Epoch],
+        priority: ServePriority,
+        deadline: Deadline,
+        out: &mut AnswerBlock,
+    ) -> Result<usize> {
         let base = out.len();
-        if let Some(won) = self.hedged_round(view, bound, expected, deadline, out, base) {
+        if let Some(won) = self.hedged_round(view, bound, expected, priority, deadline, out, base) {
             return won;
         }
         let mut last_err: Option<CqcError> = None;
@@ -463,6 +514,13 @@ impl ReplicaGroup {
         for attempt in 0..attempts {
             deadline.check("before a serve attempt")?;
             if attempt > 0 {
+                // A failover is a retry: it must be funded by the
+                // group's budget, or the fleet-wide amplification bound
+                // is fiction. A drained bucket is backpressure — the
+                // last real error surfaces, no breaker is touched.
+                if !self.budget.try_spend() {
+                    return Err(budget_exhausted_error(self.shard, last_err.as_ref()));
+                }
                 self.stats.failovers.fetch_add(1, Ordering::Relaxed);
                 let nap = deadline.cap(self.failover_backoff.delay(attempt - 1));
                 if !nap.is_zero() {
@@ -473,8 +531,11 @@ impl ReplicaGroup {
             let Some(idx) = self.first_allowed(attempt as usize, None) else {
                 return Err(last_err.unwrap_or_else(|| self.all_down_error()));
             };
-            match self.attempt(idx, view, bound, expected, deadline, out, base) {
-                Ok(()) => return Ok(out.len() - base),
+            match self.attempt(idx, view, bound, expected, priority, deadline, out, base) {
+                Ok(()) => {
+                    self.budget.record_success();
+                    return Ok(out.len() - base);
+                }
                 Err(AttemptFail::Fault(e)) | Err(AttemptFail::Stale(e)) => last_err = Some(e),
                 Err(AttemptFail::Diverged) => {
                     last_err = Some(CqcError::Protocol {
@@ -500,12 +561,15 @@ impl ReplicaGroup {
     /// thread, wait [`RetryPolicy::hedge_after`], and race a second
     /// replica if the primary is slow. `None` means "not hedged — run
     /// the normal failover loop" (hedging disabled, < 2 replicas, a
-    /// prefix is held, or both racers failed).
+    /// prefix is held, the retry budget would not fund the hedge, or
+    /// both racers failed).
+    #[allow(clippy::too_many_arguments)]
     fn hedged_round(
         self: &Arc<Self>,
         view: &str,
         bound: &[Value],
         expected: &[Epoch],
+        priority: ServePriority,
         deadline: Deadline,
         out: &mut AnswerBlock,
         base: usize,
@@ -520,11 +584,12 @@ impl ReplicaGroup {
         let (v, b, x) = (view.to_string(), bound.to_vec(), expected.to_vec());
         std::thread::spawn(move || {
             let mut block = AnswerBlock::new();
-            let outcome = me.attempt(primary, &v, &b, &x, deadline, &mut block, 0);
+            let outcome = me.attempt(primary, &v, &b, &x, priority, deadline, &mut block, 0);
             let _ = tx.send((outcome, block));
         });
         match rx.recv_timeout(deadline.cap(hedge_after)) {
             Ok((Ok(()), block)) => {
+                self.budget.record_success();
                 adopt(out, &block);
                 Some(Ok(out.len() - base))
             }
@@ -538,22 +603,52 @@ impl ReplicaGroup {
                 None
             }
             Err(_) => {
-                // Primary is slow (or the deadline is closing in): hedge.
+                // Primary is slow (or the deadline is closing in): hedge
+                // — but a hedge is duplicate load, so it launches only if
+                // the retry budget funds it. Unfunded, we simply keep
+                // waiting on the primary (backpressure, not failure).
+                if !self.budget.try_spend() {
+                    return match deadline
+                        .remaining()
+                        .map_or_else(|| rx.recv().ok(), |r| rx.recv_timeout(r).ok())
+                    {
+                        Some((Ok(()), block)) => {
+                            self.budget.record_success();
+                            adopt(out, &block);
+                            Some(Ok(out.len() - base))
+                        }
+                        Some((Err(_), block)) => {
+                            adopt(out, &block);
+                            None
+                        }
+                        None => None,
+                    };
+                }
                 self.stats.hedges.fetch_add(1, Ordering::Relaxed);
                 let alt = self.first_allowed(1, Some(primary))?;
                 let mut hedge_block = AnswerBlock::new();
-                let hedged =
-                    self.attempt(alt, view, bound, expected, deadline, &mut hedge_block, 0);
+                let hedged = self.attempt(
+                    alt,
+                    view,
+                    bound,
+                    expected,
+                    priority,
+                    deadline,
+                    &mut hedge_block,
+                    0,
+                );
                 // The primary may have finished while the hedge ran;
                 // prefer whichever succeeded (primary on a tie — it was
                 // first on the wire).
                 if let Ok((Ok(()), block)) = rx.try_recv() {
+                    self.budget.record_success();
                     adopt(out, &block);
                     return Some(Ok(out.len() - base));
                 }
                 match hedged {
                     Ok(()) => {
                         self.stats.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                        self.budget.record_success();
                         adopt(out, &hedge_block);
                         Some(Ok(out.len() - base))
                     }
@@ -565,6 +660,7 @@ impl ReplicaGroup {
                             .map_or_else(|| rx.recv().ok(), |r| rx.recv_timeout(r).ok())
                         {
                             Some((Ok(()), block)) => {
+                                self.budget.record_success();
                                 adopt(out, &block);
                                 Some(Ok(out.len() - base))
                             }
@@ -690,6 +786,19 @@ fn plausibly_applied(expected: &[Epoch], now: &[Epoch]) -> bool {
             .iter()
             .zip(expected)
             .all(|(n, x)| *n >= *x && *n <= x + 1)
+}
+
+/// The typed backpressure error for a drained retry budget. Carries the
+/// last real replica error (if any) so the caller still sees *why* the
+/// failovers were being attempted.
+fn budget_exhausted_error(shard: usize, last: Option<&CqcError>) -> CqcError {
+    CqcError::Protocol {
+        code: code::REFUSED,
+        detail: match last {
+            Some(e) => format!("shard {shard}: retry budget exhausted; last attempt: {e}"),
+            None => format!("shard {shard}: retry budget exhausted"),
+        },
+    }
 }
 
 fn tag_replica(addr: &str, e: CqcError) -> CqcError {

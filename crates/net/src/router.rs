@@ -44,7 +44,7 @@
 //! until it is re-synced — degraded redundancy, never wrong answers.
 
 use cqc_common::error::Result;
-use cqc_common::frame::code;
+use cqc_common::frame::{code, ServePriority};
 use cqc_common::{AnswerBlock, AnswerSink, BlockMerger, Coverage, CqcError, FastMap, Value};
 use cqc_engine::{view_fans_out, BlockService};
 use cqc_query::parser::parse_adorned;
@@ -250,6 +250,8 @@ impl Router {
             stats.groups.hedges += s.hedges;
             stats.groups.hedge_wins += s.hedge_wins;
             stats.groups.update_failures += s.update_failures;
+            stats.groups.budget_spent += s.budget_spent;
+            stats.groups.budget_denied += s.budget_denied;
             let t = g.breaker_transitions();
             stats.breakers.opened += t.opened;
             stats.breakers.half_opened += t.half_opened;
@@ -357,8 +359,30 @@ impl Router {
         &self,
         view: &str,
         bound: &[Value],
+        sink: &mut dyn AnswerSink,
+        mode: ServeMode,
+    ) -> Result<ServeReport> {
+        self.serve_with_opts(view, bound, sink, mode, ServePriority::Interactive, None)
+    }
+
+    /// [`Router::serve_with_mode`] with an explicit priority class and
+    /// an optional caller deadline. The *remaining* budget and the class
+    /// travel on the wire with every per-shard attempt, failover, and
+    /// hedge, so each shard server can shed doomed or low-priority work
+    /// before enumerating (a `None` deadline falls back to the router's
+    /// [`RetryPolicy::request_deadline`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Router::serve_with_mode`].
+    pub fn serve_with_opts(
+        &self,
+        view: &str,
+        bound: &[Value],
         mut sink: &mut dyn AnswerSink,
         mode: ServeMode,
+        priority: ServePriority,
+        deadline: Option<Deadline>,
     ) -> Result<ServeReport> {
         let fans_out = self.routing(view)?;
         let shards = if fans_out { self.groups.len() } else { 1 };
@@ -367,7 +391,7 @@ impl Router {
             .read()
             .expect("expected lock poisoned")
             .clone();
-        let deadline = Deadline::within(self.policy.request_deadline);
+        let deadline = deadline.unwrap_or_else(|| Deadline::within(self.policy.request_deadline));
         // Shard-major fan-out: each thread drives its shard's replica
         // group (failover and all) into a local block.
         let results: Vec<Result<AnswerBlock>> = std::thread::scope(|scope| {
@@ -378,7 +402,14 @@ impl Router {
                     scope.spawn(move || -> Result<AnswerBlock> {
                         let mut block = AnswerBlock::new();
                         group
-                            .serve_into_block(view, bound, &expected[i], deadline, &mut block)
+                            .serve_into_block_prioritized(
+                                view,
+                                bound,
+                                &expected[i],
+                                priority,
+                                deadline,
+                                &mut block,
+                            )
                             .map_err(|e| shard_error(i, e))?;
                         Ok(block)
                     })

@@ -7,13 +7,23 @@
 //! engine:
 //!
 //! * **deadlines** — a serve request gets `request_deadline` of wall
-//!   time; the streaming sink checks the clock every
-//!   `DEADLINE_CHECK_MASK + 1` answers and stops the enumeration through
-//!   the push-sink early-stop hook, so a runaway request costs bounded
-//!   server time and the client gets a typed [`code::DEADLINE`] error;
-//! * **backpressure** — at most `max_inflight` serve requests run at
-//!   once across all connections; excess requests are refused immediately
-//!   with [`code::REFUSED`] instead of queueing unboundedly;
+//!   time, tightened by the request's own wire-carried deadline budget
+//!   when a [`cqc_common::frame::ServeTail`] is present; the streaming
+//!   sink checks the clock every `DEADLINE_CHECK_MASK + 1` answers and
+//!   stops the enumeration through the push-sink early-stop hook, so a
+//!   runaway request costs bounded server time and the client gets a
+//!   typed [`code::DEADLINE`] error. A request whose budget is spent on
+//!   arrival — or cannot cover the view's measured serve cost
+//!   ([`BlockService::serve_cost_ns`]) — is shed before any enumeration
+//!   work;
+//! * **backpressure** — serve requests run through an
+//!   [`AdmissionController`]: `max_inflight` concurrent serves, a small
+//!   bounded wait queue with priority-aware adaptive-LIFO shedding, and
+//!   a brownout mode that sheds Batch before Interactive under
+//!   sustained overload (typed [`code::REFUSED`] / [`code::DEADLINE`]
+//!   frames, never unbounded buffering). Health and update frames are
+//!   dispatched inline on their connection thread and are **never**
+//!   queued behind serves;
 //! * **cancellation** — a client that hangs up mid-stream turns the next
 //!   chunk flush into a write error, which the sink converts into the
 //!   same early stop: enumeration halts mid-block, not at stream end.
@@ -24,10 +34,11 @@ use cqc_common::{AnswerBlock, AnswerSink, CqcError, Value};
 use cqc_engine::BlockService;
 use std::io::{BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::admission::{deadline_error, AdmissionConfig, AdmissionController, AdmissionStats};
 use crate::protocol;
 
 /// The sink checks the deadline every `DEADLINE_CHECK_MASK + 1` pushes
@@ -38,9 +49,18 @@ const DEADLINE_CHECK_MASK: u64 = 255;
 #[derive(Debug, Clone, Copy)]
 pub struct NetServerConfig {
     /// Serve requests allowed in flight at once across all connections;
-    /// excess requests get an immediate [`code::REFUSED`] error frame.
+    /// excess requests wait in the bounded admission queue or are shed
+    /// with a typed [`code::REFUSED`] error frame.
     pub max_inflight: usize,
+    /// Admission wait-queue depth behind the in-flight slots (see
+    /// [`AdmissionConfig::queue_depth`]); zero sheds immediately at
+    /// capacity, which is the pre-admission-controller behavior.
+    pub queue_depth: usize,
+    /// Saturation duration before brownout sheds Batch-class serves on
+    /// arrival (see [`AdmissionConfig::brownout_after`]).
+    pub brownout_after: Duration,
     /// Wall-time budget per serve request; `None` disables the deadline.
+    /// A tighter wire-carried deadline budget always wins.
     pub request_deadline: Option<Duration>,
     /// Answers per chunk frame (the latency/overhead trade: chunks are
     /// flushed to the socket as they fill).
@@ -51,8 +71,21 @@ impl Default for NetServerConfig {
     fn default() -> NetServerConfig {
         NetServerConfig {
             max_inflight: 64,
+            queue_depth: 16,
+            brownout_after: Duration::from_secs(1),
             request_deadline: Some(Duration::from_secs(30)),
             chunk_tuples: 1024,
+        }
+    }
+}
+
+impl NetServerConfig {
+    /// The admission-controller limits this config implies.
+    pub fn admission(&self) -> AdmissionConfig {
+        AdmissionConfig {
+            max_inflight: self.max_inflight,
+            queue_depth: self.queue_depth,
+            brownout_after: self.brownout_after,
         }
     }
 }
@@ -64,12 +97,19 @@ pub struct ServerHandle {
     stop: Arc<AtomicBool>,
     conns: Arc<Mutex<Vec<TcpStream>>>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    admission: Arc<AdmissionController>,
 }
 
 impl ServerHandle {
     /// The address the listener actually bound (resolves `:0` requests).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// A snapshot of the server's admission counters (admitted vs shed
+    /// by class and reason) — what the overload bench gates on.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.admission.stats()
     }
 
     /// Stops accepting, hangs up every live connection, and joins the
@@ -117,9 +157,10 @@ impl NetServer {
         let bound = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
-        let inflight = Arc::new(AtomicUsize::new(0));
+        let admission = Arc::new(AdmissionController::new(config.admission()));
         let accept_stop = Arc::clone(&stop);
         let accept_conns = Arc::clone(&conns);
+        let accept_admission = Arc::clone(&admission);
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if accept_stop.load(Ordering::SeqCst) {
@@ -136,9 +177,9 @@ impl NetServer {
                         .push(tracked);
                 }
                 let service = Arc::clone(&service);
-                let inflight = Arc::clone(&inflight);
+                let admission = Arc::clone(&accept_admission);
                 std::thread::spawn(move || {
-                    handle_connection(&*service, stream, config, &inflight);
+                    handle_connection(&*service, stream, config, &admission);
                 });
             }
         });
@@ -147,6 +188,7 @@ impl NetServer {
             stop,
             conns,
             accept_thread: Some(accept_thread),
+            admission,
         })
     }
 }
@@ -250,11 +292,15 @@ fn send_epochs(
 /// One connection's read-dispatch-reply loop. Request-level failures are
 /// answered with an error frame and the connection stays up; transport
 /// failures (peer gone, malformed frame) end the loop.
+///
+/// Only [`FrameKind::Serve`] passes through admission control: health
+/// probes and updates are answered inline right here, so a saturated
+/// serve queue can never starve liveness checks or writes.
 fn handle_connection(
     service: &dyn BlockService,
     stream: TcpStream,
     config: NetServerConfig,
-    inflight: &AtomicUsize,
+    admission: &AdmissionController,
 ) {
     let Ok(mut read_half) = stream.try_clone() else {
         return;
@@ -297,7 +343,7 @@ fn handle_connection(
                 Err(e) => send_error(&mut writer, &mut payload, &e),
             },
             FrameKind::Serve => {
-                serve_one(service, body, &mut writer, &mut payload, &config, inflight)
+                serve_one(service, body, &mut writer, &mut payload, &config, admission)
             }
             other => {
                 let _ = send_error(
@@ -314,45 +360,66 @@ fn handle_connection(
     }
 }
 
-/// Dispatches one serve request: gate on the in-flight bound, stream
-/// chunks under the deadline, close with `ServeDone` or an error frame.
+/// Dispatches one serve request: decode the optional deadline/priority
+/// tail, shed budget-dead requests before any work, run admission, then
+/// stream chunks under the effective deadline and close with `ServeDone`
+/// or an error frame.
 fn serve_one(
     service: &dyn BlockService,
     body: &[u8],
     writer: &mut BufWriter<TcpStream>,
     payload: &mut PayloadWriter,
     config: &NetServerConfig,
-    inflight: &AtomicUsize,
+    admission: &AdmissionController,
 ) -> Result<()> {
     let req = match protocol::parse_serve(body) {
         Ok(r) => r,
         Err(e) => return send_error(writer, payload, &e),
     };
-    if inflight.fetch_add(1, Ordering::SeqCst) >= config.max_inflight {
-        inflight.fetch_sub(1, Ordering::SeqCst);
-        return send_error(
-            writer,
-            payload,
-            &CqcError::Protocol {
-                code: code::REFUSED,
-                detail: format!(
-                    "server at capacity ({} serve requests in flight)",
-                    config.max_inflight
-                ),
-            },
-        );
+    let tail = req.tail.unwrap_or_default();
+    let arrived = Instant::now();
+    let wire_deadline = tail.budget_ns.map(|ns| arrived + Duration::from_nanos(ns));
+    // Cost-based shed: if the view's measured serve cost is known and
+    // the remaining budget cannot cover it, the serve would only burn
+    // server time to produce a mid-stream DEADLINE — refuse it now,
+    // before it occupies queue space or a slot.
+    if let (Some(budget_ns), Some(cost_ns)) = (tail.budget_ns, service.serve_cost_ns(&req.view)) {
+        if budget_ns < cost_ns {
+            admission.record_cost_shed(tail.priority);
+            return send_error(
+                writer,
+                payload,
+                &deadline_error(&format!(
+                    "deadline budget of {budget_ns} ns cannot cover the view's measured \
+                     serve cost of {cost_ns} ns"
+                )),
+            );
+        }
     }
-    let deadline = config.request_deadline.map(|d| Instant::now() + d);
+    // Expired-on-arrival and overload shedding live in the controller;
+    // the wire deadline also bounds queue wait.
+    let permit = match admission.admit(tail.priority, wire_deadline) {
+        Ok(p) => p,
+        Err(e) => return send_error(writer, payload, &e),
+    };
+    // The serving deadline is the tighter of the server's own budget
+    // (counted from admission, not arrival — queue wait already charged
+    // against the wire budget) and the request's wire budget.
+    let own_deadline = config.request_deadline.map(|d| Instant::now() + d);
+    let deadline = match (own_deadline, wire_deadline) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
     let mut sink = ChunkSink::new(writer, config.chunk_tuples, deadline);
     let served = service.serve_into(&req.view, &req.bound, &mut sink);
     let failure = sink.failure.take();
     let total = sink.total;
-    let tail = match failure {
+    let tail_flush = match failure {
         None => sink.finish(),
         Some(_) => Ok(()),
     };
-    inflight.fetch_sub(1, Ordering::SeqCst);
-    match (served, failure, tail) {
+    drop(permit);
+    match (served, failure, tail_flush) {
         (Err(e), _, _) => send_error(writer, payload, &e),
         (Ok(_), Some(CqcError::Io(m)), _) => Err(CqcError::Io(m)), // peer gone mid-stream
         (Ok(_), Some(e), _) => send_error(writer, payload, &e),    // deadline

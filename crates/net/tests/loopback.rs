@@ -6,14 +6,15 @@
 //! vectors, typed remote errors) is exercised against the same fleet.
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use cqc_common::frame::code;
+use cqc_common::frame::{code, ServePriority};
 use cqc_common::{AnswerBlock, CqcError};
 use cqc_engine::{
     spec_for_view, BlockService, Engine, Policy, ShardedBlocks, ShardedEngine, ShardedEngineConfig,
 };
 use cqc_net::server::ServerHandle;
-use cqc_net::{ClientConfig, NetServer, NetServerConfig, Router, ShardClient};
+use cqc_net::{ClientConfig, Deadline, NetServer, NetServerConfig, Router, ServeMode, ShardClient};
 use cqc_query::parser::parse_adorned;
 use cqc_storage::{Database, Delta, PartitionSpec, Partitioning};
 
@@ -235,6 +236,98 @@ fn remote_deletes_match_local_and_advance_epochs() {
     let epochs_after = router.apply_update(&noop).unwrap();
     assert_eq!(epochs_after, epochs, "no-op delete must not bump epochs");
     assert_eq!(remote_streams(&router, &bounds), local);
+}
+
+/// The deadline-tail compatibility pin: a serve carrying a priority
+/// class and a generous deadline budget on the wire must produce the
+/// *identical* merged stream as the tail-less v1 serve and the local
+/// sharded engine — deadline propagation changes when work is shed,
+/// never what an admitted serve answers. An already-expired budget must
+/// come back as a typed [`code::DEADLINE`] shed, not a hang or a silent
+/// partial stream.
+#[test]
+fn deadline_tailed_serves_match_tailless_and_local() {
+    let db = triangle_db(29);
+    let view = parse_adorned(QUERY, "bff").unwrap();
+    let spec = spec_for_view(&view, &db);
+    let bounds = bound_grid(1);
+
+    let sharded = local_sharded(&db, &spec, "bff", "tau:2");
+    let (_servers, addrs) = spawn_fleet(&db, &spec);
+    let router = Router::connect(&addrs, spec.clone(), client_config()).unwrap();
+    router.register_view("v", QUERY, "bff", "tau:2").unwrap();
+
+    let local = local_streams(&sharded, &bounds);
+    assert!(
+        local.iter().map(Vec::len).sum::<usize>() > 0,
+        "workload served nothing — test is vacuous"
+    );
+    for priority in [
+        ServePriority::Interactive,
+        ServePriority::Batch,
+        ServePriority::Internal,
+    ] {
+        let tailed: Vec<Vec<u64>> = bounds
+            .iter()
+            .map(|bound| {
+                let mut block = AnswerBlock::new();
+                router
+                    .serve_with_opts(
+                        "v",
+                        bound,
+                        &mut block,
+                        ServeMode::Strict,
+                        priority,
+                        Some(Deadline::within(Some(Duration::from_secs(30)))),
+                    )
+                    .unwrap();
+                block.values().to_vec()
+            })
+            .collect();
+        assert_eq!(
+            tailed, local,
+            "{priority:?}: deadline-tailed stream diverged from the local one"
+        );
+    }
+
+    // Straight at one shard: the tailed serve answers byte-for-byte what
+    // its tail-less (v1-wire) twin answers, epochs included.
+    let mut client = ShardClient::new(addrs[0].clone(), client_config());
+    let mut plain = AnswerBlock::new();
+    let plain_reply = client.serve_with_sink("v", &bounds[0], &mut plain).unwrap();
+    let mut tailed = AnswerBlock::new();
+    let tailed_reply = client
+        .serve_with_sink_opts(
+            "v",
+            &bounds[0],
+            &mut tailed,
+            ServePriority::Batch,
+            Deadline::within(Some(Duration::from_secs(30))),
+        )
+        .unwrap();
+    assert_eq!(tailed_reply, plain_reply, "reply metadata diverged");
+    assert_eq!(tailed.values(), plain.values(), "answer stream diverged");
+
+    // A budget that is already gone is shed before enumeration, typed.
+    let err = client
+        .serve_with_sink_opts(
+            "v",
+            &bounds[0],
+            &mut AnswerBlock::new(),
+            ServePriority::Interactive,
+            Deadline::within(Some(Duration::ZERO)),
+        )
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CqcError::Protocol {
+                code: code::DEADLINE,
+                ..
+            }
+        ),
+        "expected a typed DEADLINE shed, got {err}"
+    );
 }
 
 /// An out-of-band writer (a client updating one shard directly, behind

@@ -58,6 +58,7 @@ fn fast_policy() -> RetryPolicy {
         backoff_cap: Duration::from_millis(10),
         request_deadline: Some(Duration::from_secs(5)),
         hedge_after: None,
+        ..RetryPolicy::default()
     }
 }
 
